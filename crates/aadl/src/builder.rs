@@ -1,0 +1,458 @@
+//! Fluent programmatic construction of declarative AADL models.
+//!
+//! The benchmark harness generates hundreds of randomized task sets; writing
+//! AADL text and re-parsing it would be wasteful, so this builder constructs
+//! [`Package`]s directly. The parser and the builder produce the same data
+//! structures, and the pretty-printer ([`crate::pretty`]) closes the loop for
+//! round-trip tests.
+//!
+//! ```
+//! use aadl::builder::PackageBuilder;
+//! use aadl::properties::{PropertyValue, TimeVal};
+//! use aadl::Category;
+//!
+//! let pkg = PackageBuilder::new("Demo")
+//!     .processor("cpu_t", |p| p.prop_enum("Scheduling_Protocol", "RMS"))
+//!     .periodic_thread("T1", TimeVal::ms(10), (TimeVal::ms(2), TimeVal::ms(2)), TimeVal::ms(10))
+//!     .system("Top", |s| s)
+//!     .implementation("Top.impl", Category::System, |i| {
+//!         i.sub("cpu", Category::Processor, "cpu_t")
+//!             .sub("t1", Category::Thread, "T1")
+//!             .bind_processor("t1", "cpu")
+//!     })
+//!     .build();
+//! assert_eq!(pkg.types.len(), 3);
+//! ```
+
+use crate::model::{
+    Category, ComponentImpl, ComponentType, ConnKind, Connection, Direction, EndpointRef, Feature,
+    FeatureKind, Mode, Package, PortKind, PropertyAssoc, Subcomponent,
+};
+use crate::properties::{names, PropertyValue, TimeVal};
+
+/// Builder for a [`Package`].
+pub struct PackageBuilder {
+    pkg: Package,
+}
+
+/// Builder for a [`ComponentType`].
+pub struct TypeBuilder {
+    ty: ComponentType,
+}
+
+/// Builder for a [`ComponentImpl`].
+pub struct ImplBuilder {
+    imp: ComponentImpl,
+}
+
+impl PackageBuilder {
+    /// Start a package.
+    pub fn new(name: &str) -> PackageBuilder {
+        PackageBuilder {
+            pkg: Package {
+                name: name.to_owned(),
+                types: Vec::new(),
+                impls: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a component type of any category.
+    pub fn component(
+        mut self,
+        name: &str,
+        category: Category,
+        f: impl FnOnce(TypeBuilder) -> TypeBuilder,
+    ) -> PackageBuilder {
+        let tb = TypeBuilder {
+            ty: ComponentType {
+                name: name.to_owned(),
+                category,
+                features: Vec::new(),
+                properties: Vec::new(),
+            },
+        };
+        self.pkg.types.push(f(tb).ty);
+        self
+    }
+
+    /// Add a processor type.
+    pub fn processor(
+        self,
+        name: &str,
+        f: impl FnOnce(TypeBuilder) -> TypeBuilder,
+    ) -> PackageBuilder {
+        self.component(name, Category::Processor, f)
+    }
+
+    /// Add a bus type.
+    pub fn bus(self, name: &str) -> PackageBuilder {
+        self.component(name, Category::Bus, |b| b)
+    }
+
+    /// Add a device type.
+    pub fn device(
+        self,
+        name: &str,
+        f: impl FnOnce(TypeBuilder) -> TypeBuilder,
+    ) -> PackageBuilder {
+        self.component(name, Category::Device, f)
+    }
+
+    /// Add a system type.
+    pub fn system(self, name: &str, f: impl FnOnce(TypeBuilder) -> TypeBuilder) -> PackageBuilder {
+        self.component(name, Category::System, f)
+    }
+
+    /// Add a thread type.
+    pub fn thread(self, name: &str, f: impl FnOnce(TypeBuilder) -> TypeBuilder) -> PackageBuilder {
+        self.component(name, Category::Thread, f)
+    }
+
+    /// Shorthand: a periodic thread with the three properties §4.1 requires.
+    pub fn periodic_thread(
+        self,
+        name: &str,
+        period: TimeVal,
+        exec: (TimeVal, TimeVal),
+        deadline: TimeVal,
+    ) -> PackageBuilder {
+        self.thread(name, |t| {
+            t.prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(period))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(exec.0, exec.1),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(deadline))
+        })
+    }
+
+    /// Shorthand: a sporadic thread (minimum separation = `period`) with an
+    /// incoming event port `trigger`.
+    pub fn sporadic_thread(
+        self,
+        name: &str,
+        separation: TimeVal,
+        exec: (TimeVal, TimeVal),
+        deadline: TimeVal,
+    ) -> PackageBuilder {
+        self.thread(name, |t| {
+            t.in_event_port("trigger")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(separation))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(exec.0, exec.1),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(deadline))
+        })
+    }
+
+    /// Add a component implementation.
+    pub fn implementation(
+        mut self,
+        name: &str,
+        category: Category,
+        f: impl FnOnce(ImplBuilder) -> ImplBuilder,
+    ) -> PackageBuilder {
+        let type_name = name.split('.').next().unwrap_or(name).to_owned();
+        let ib = ImplBuilder {
+            imp: ComponentImpl {
+                name: name.to_owned(),
+                type_name,
+                category,
+                subcomponents: Vec::new(),
+                connections: Vec::new(),
+                modes: Vec::new(),
+                mode_transitions: Vec::new(),
+                properties: Vec::new(),
+            },
+        };
+        self.pkg.impls.push(f(ib).imp);
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Package {
+        self.pkg
+    }
+}
+
+impl TypeBuilder {
+    /// Add a port feature.
+    pub fn port(mut self, name: &str, dir: Direction, kind: PortKind) -> TypeBuilder {
+        self.ty.features.push(Feature {
+            name: name.to_owned(),
+            kind: FeatureKind::Port { dir, kind },
+            properties: Vec::new(),
+        });
+        self
+    }
+
+    /// `out data port`.
+    pub fn out_data_port(self, name: &str) -> TypeBuilder {
+        self.port(name, Direction::Out, PortKind::Data)
+    }
+
+    /// `in data port`.
+    pub fn in_data_port(self, name: &str) -> TypeBuilder {
+        self.port(name, Direction::In, PortKind::Data)
+    }
+
+    /// `out event port`.
+    pub fn out_event_port(self, name: &str) -> TypeBuilder {
+        self.port(name, Direction::Out, PortKind::Event)
+    }
+
+    /// `in event port`.
+    pub fn in_event_port(self, name: &str) -> TypeBuilder {
+        self.port(name, Direction::In, PortKind::Event)
+    }
+
+    /// `in event data port`.
+    pub fn in_event_data_port(self, name: &str) -> TypeBuilder {
+        self.port(name, Direction::In, PortKind::EventData)
+    }
+
+    /// `out event data port`.
+    pub fn out_event_data_port(self, name: &str) -> TypeBuilder {
+        self.port(name, Direction::Out, PortKind::EventData)
+    }
+
+    /// Set a property on the most recently added feature.
+    pub fn feature_prop(mut self, name: &str, value: PropertyValue) -> TypeBuilder {
+        self.ty
+            .features
+            .last_mut()
+            .expect("feature_prop requires a preceding feature")
+            .properties
+            .push(PropertyAssoc::new(name, value));
+        self
+    }
+
+    /// Set a property on the type.
+    pub fn prop(mut self, name: &str, value: PropertyValue) -> TypeBuilder {
+        self.ty.properties.push(PropertyAssoc::new(name, value));
+        self
+    }
+
+    /// Set an enumeration property on the type.
+    pub fn prop_enum(self, name: &str, literal: &str) -> TypeBuilder {
+        self.prop(name, PropertyValue::Enum(literal.to_owned()))
+    }
+
+    /// Set an integer property on the type.
+    pub fn prop_int(self, name: &str, value: i64) -> TypeBuilder {
+        self.prop(name, PropertyValue::Int(value))
+    }
+}
+
+impl ImplBuilder {
+    /// Add a subcomponent.
+    pub fn sub(mut self, name: &str, category: Category, classifier: &str) -> ImplBuilder {
+        self.imp.subcomponents.push(Subcomponent {
+            name: name.to_owned(),
+            category,
+            classifier: classifier.to_owned(),
+            in_modes: Vec::new(),
+        });
+        self
+    }
+
+    /// Add a port connection `src -> dst`; endpoints are `"sub.feature"` or
+    /// `"feature"` strings.
+    pub fn connect(mut self, name: &str, src: &str, dst: &str) -> ImplBuilder {
+        self.imp.connections.push(Connection {
+            name: name.to_owned(),
+            kind: ConnKind::Port,
+            src: parse_endpoint(src),
+            dst: parse_endpoint(dst),
+            properties: Vec::new(),
+            in_modes: Vec::new(),
+        });
+        self
+    }
+
+    /// Add a data access connection `data -> thread.feature`: the thread
+    /// gains (quantum-exclusive) access to the shared data subcomponent.
+    pub fn connect_data_access(mut self, name: &str, data: &str, dst: &str) -> ImplBuilder {
+        self.imp.connections.push(Connection {
+            name: name.to_owned(),
+            kind: ConnKind::DataAccess,
+            src: EndpointRef {
+                subcomponent: Some(data.to_owned()),
+                feature: String::new(),
+            },
+            dst: parse_endpoint(dst),
+            properties: Vec::new(),
+            in_modes: Vec::new(),
+        });
+        self
+    }
+
+    /// Set a property on the most recently added connection.
+    pub fn conn_prop(mut self, name: &str, value: PropertyValue) -> ImplBuilder {
+        self.imp
+            .connections
+            .last_mut()
+            .expect("conn_prop requires a preceding connection")
+            .properties
+            .push(PropertyAssoc::new(name, value));
+        self
+    }
+
+    /// Bind the most recently added connection to a bus (path relative to
+    /// this implementation).
+    pub fn bind_bus(self, bus: &str) -> ImplBuilder {
+        let path: Vec<String> = bus.split('.').map(str::to_owned).collect();
+        self.conn_prop(
+            names::ACTUAL_CONNECTION_BINDING,
+            PropertyValue::Reference(path),
+        )
+    }
+
+    /// Bind a thread (path) to a processor (path), both relative to this
+    /// implementation.
+    pub fn bind_processor(mut self, thread: &str, processor: &str) -> ImplBuilder {
+        let tpath: Vec<String> = thread.split('.').map(str::to_owned).collect();
+        let ppath: Vec<String> = processor.split('.').map(str::to_owned).collect();
+        self.imp.properties.push(PropertyAssoc {
+            name: names::ACTUAL_PROCESSOR_BINDING.to_owned(),
+            value: PropertyValue::Reference(ppath),
+            applies_to: vec![tpath],
+        });
+        self
+    }
+
+    /// Set a property, optionally scoped (`applies_to` = dotted path).
+    pub fn prop_applied(mut self, name: &str, value: PropertyValue, path: &str) -> ImplBuilder {
+        self.imp.properties.push(PropertyAssoc {
+            name: name.to_owned(),
+            value,
+            applies_to: vec![path.split('.').map(str::to_owned).collect()],
+        });
+        self
+    }
+
+    /// Set an unscoped property on the implementation.
+    pub fn prop(mut self, name: &str, value: PropertyValue) -> ImplBuilder {
+        self.imp.properties.push(PropertyAssoc::new(name, value));
+        self
+    }
+
+    /// Declare a mode.
+    pub fn mode(mut self, name: &str, initial: bool) -> ImplBuilder {
+        self.imp.modes.push(Mode {
+            name: name.to_owned(),
+            initial,
+        });
+        self
+    }
+
+    /// Restrict the most recently added subcomponent to the given modes.
+    pub fn in_modes(mut self, modes: &[&str]) -> ImplBuilder {
+        self.imp
+            .subcomponents
+            .last_mut()
+            .expect("in_modes requires a preceding subcomponent")
+            .in_modes = modes.iter().map(|m| (*m).to_owned()).collect();
+        self
+    }
+
+    /// Declare a mode transition `src -[ trigger ]-> dst`; the trigger is a
+    /// `"sub.port"` endpoint.
+    pub fn mode_transition(mut self, src: &str, trigger: &str, dst: &str) -> ImplBuilder {
+        self.imp.mode_transitions.push(crate::model::ModeTransition {
+            src: src.to_owned(),
+            trigger: parse_endpoint(trigger),
+            dst: dst.to_owned(),
+        });
+        self
+    }
+}
+
+fn parse_endpoint(s: &str) -> EndpointRef {
+    match s.split_once('.') {
+        Some((sub, feature)) => EndpointRef::sub(sub, feature),
+        None => EndpointRef::own(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instantiate;
+
+    #[test]
+    fn builder_constructs_an_instantiable_model() {
+        let pkg = PackageBuilder::new("B")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T1",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(3)),
+                TimeVal::ms(10),
+            )
+            .thread("T2", |t| {
+                t.in_event_port("go")
+                    .feature_prop("Queue_Size", PropertyValue::Int(2))
+                    .out_data_port("result")
+                    .prop_enum(names::DISPATCH_PROTOCOL, "Aperiodic")
+                    .prop(
+                        names::COMPUTE_EXECUTION_TIME,
+                        PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                    )
+                    .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(5)))
+            })
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t1", Category::Thread, "T1")
+                    .sub("t2", Category::Thread, "T2")
+                    .bind_processor("t1", "cpu")
+                    .bind_processor("t2", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert_eq!(m.threads().count(), 2);
+        let cpu = m.find("cpu").unwrap();
+        assert_eq!(m.threads_on(cpu).len(), 2);
+        let t2 = m.component(m.find("t2").unwrap());
+        let fi = t2.feature_index("go").unwrap();
+        assert_eq!(t2.features[fi].properties.queue_size(), 2);
+    }
+
+    #[test]
+    fn connections_and_bus_binding() {
+        let pkg = PackageBuilder::new("C")
+            .bus("net")
+            .thread("A", |t| {
+                t.out_event_port("o")
+                    .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+            })
+            .thread("B", |t| {
+                t.in_event_port("i")
+                    .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+            })
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("a", Category::Thread, "A")
+                    .sub("b", Category::Thread, "B")
+                    .sub("bus0", Category::Bus, "net")
+                    .connect("c", "a.o", "b.i")
+                    .bind_bus("bus0")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert_eq!(m.connections.len(), 1);
+        assert_eq!(m.connections[0].buses.len(), 1);
+        assert_eq!(m.component(m.connections[0].buses[0]).name, "bus0");
+    }
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(parse_endpoint("a.b"), EndpointRef::sub("a", "b"));
+        assert_eq!(parse_endpoint("p"), EndpointRef::own("p"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Validation of the instance model against the translation's assumptions.
+//!
+//! §4.1 of the paper ("Assumptions and restrictions"):
+//!
+//! 1. The system contains at least one thread and at least one processor;
+//!    every thread is bound to a processor.
+//! 2. If a thread is non-periodic (aperiodic, sporadic or background), each of
+//!    its `in event` / `in event data` ports must have an incoming connection.
+//! 3. Every thread specifies `Dispatch_Protocol`, `Compute_Execution_Time`
+//!    and `Compute_Deadline`.
+//! 4. Every processor with bound threads specifies `Scheduling_Protocol`.
+//!
+//! In addition we check structural health: dispatch protocols parse, periodic
+//! and sporadic threads have a `Period`, execution-time ranges are ordered and
+//! positive, deadlines are positive, `HPF` processors have `Priority` on every
+//! bound thread, and processor-binding references resolve.
+
+use std::fmt;
+
+use crate::instance::{CompId, InstanceModel};
+use crate::model::FeatureKind;
+use crate::properties::{names, DispatchProtocol, SchedulingProtocol};
+
+/// A validation finding (all findings are errors for the translation).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ValidationError {
+    /// The model declares no thread (assumption 1).
+    NoThreads,
+    /// The model declares no processor (assumption 1).
+    NoProcessors,
+    /// A thread has no (resolvable) processor binding (assumption 1).
+    UnboundThread {
+        /// Thread path.
+        thread: String,
+    },
+    /// A required property is missing (assumptions 3–4).
+    MissingProperty {
+        /// Component path.
+        component: String,
+        /// Property name.
+        property: &'static str,
+    },
+    /// A property is present but malformed.
+    BadProperty {
+        /// Component path.
+        component: String,
+        /// Property name.
+        property: &'static str,
+        /// Why it is rejected.
+        reason: String,
+    },
+    /// A non-periodic thread has an unconnected in event / event data port
+    /// (assumption 2).
+    UnconnectedEventPort {
+        /// Thread path.
+        thread: String,
+        /// Port name.
+        port: String,
+    },
+    /// The model declares more than one mode somewhere; the paper's
+    /// translation is restricted to single-mode models (§4).
+    MultiMode {
+        /// Component path.
+        component: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NoThreads => write!(f, "the model contains no thread component"),
+            ValidationError::NoProcessors => {
+                write!(f, "the model contains no processor component")
+            }
+            ValidationError::UnboundThread { thread } => {
+                write!(f, "thread `{thread}` is not bound to a processor")
+            }
+            ValidationError::MissingProperty {
+                component,
+                property,
+            } => write!(f, "`{component}` is missing required property {property}"),
+            ValidationError::BadProperty {
+                component,
+                property,
+                reason,
+            } => write!(f, "`{component}`: bad {property}: {reason}"),
+            ValidationError::UnconnectedEventPort { thread, port } => write!(
+                f,
+                "non-periodic thread `{thread}`: in event port `{port}` has no incoming connection"
+            ),
+            ValidationError::MultiMode { component } => write!(
+                f,
+                "`{component}` declares multiple modes; the translation handles single-mode models only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check the §4.1 assumptions; returns all findings (empty = valid).
+pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    let threads: Vec<CompId> = model.threads().map(|t| t.id).collect();
+    if threads.is_empty() {
+        errors.push(ValidationError::NoThreads);
+    }
+    if model.processors().next().is_none() {
+        errors.push(ValidationError::NoProcessors);
+    }
+
+    for &tid in &threads {
+        let t = model.component(tid);
+        let path = t.display_path().to_owned();
+
+        if model.bound_processor(tid).is_none() {
+            errors.push(ValidationError::UnboundThread {
+                thread: path.clone(),
+            });
+        }
+
+        // Required properties (assumption 3).
+        let dispatch = match t.properties.get(names::DISPATCH_PROTOCOL) {
+            None => {
+                errors.push(ValidationError::MissingProperty {
+                    component: path.clone(),
+                    property: names::DISPATCH_PROTOCOL,
+                });
+                None
+            }
+            Some(v) => match v.as_enum().and_then(DispatchProtocol::parse) {
+                Some(d) => Some(d),
+                None => {
+                    errors.push(ValidationError::BadProperty {
+                        component: path.clone(),
+                        property: names::DISPATCH_PROTOCOL,
+                        reason: format!("unrecognized value `{v}`"),
+                    });
+                    None
+                }
+            },
+        };
+
+        match t.properties.compute_execution_time() {
+            None => errors.push(ValidationError::MissingProperty {
+                component: path.clone(),
+                property: names::COMPUTE_EXECUTION_TIME,
+            }),
+            Some((lo, hi)) => {
+                if lo.as_ps() <= 0 || hi < lo {
+                    errors.push(ValidationError::BadProperty {
+                        component: path.clone(),
+                        property: names::COMPUTE_EXECUTION_TIME,
+                        reason: format!("range {lo} .. {hi} must be positive and ordered"),
+                    });
+                }
+            }
+        }
+
+        // Background threads run without a deadline; everyone else needs one.
+        if dispatch != Some(DispatchProtocol::Background) {
+            match t.properties.compute_deadline() {
+                None => errors.push(ValidationError::MissingProperty {
+                    component: path.clone(),
+                    property: names::COMPUTE_DEADLINE,
+                }),
+                Some(d) if d.as_ps() <= 0 => errors.push(ValidationError::BadProperty {
+                    component: path.clone(),
+                    property: names::COMPUTE_DEADLINE,
+                    reason: format!("deadline {d} must be positive"),
+                }),
+                Some(_) => {}
+            }
+        }
+
+        // Periodic/sporadic threads need a period / minimum separation.
+        if matches!(
+            dispatch,
+            Some(DispatchProtocol::Periodic) | Some(DispatchProtocol::Sporadic)
+        ) && t.properties.period().is_none()
+        {
+            errors.push(ValidationError::MissingProperty {
+                component: path.clone(),
+                property: names::PERIOD,
+            });
+        }
+
+        // Assumption 2: event-driven threads must have every in event port
+        // connected (otherwise they can never be dispatched).
+        if dispatch.is_some_and(DispatchProtocol::is_event_driven) {
+            let incoming = model.connections_to(tid);
+            for (fi, feat) in t.features.iter().enumerate() {
+                let FeatureKind::Port { dir, kind } = &feat.kind else {
+                    continue;
+                };
+                if dir.is_in() && kind.is_queued() {
+                    let connected = incoming.iter().any(|c| c.dst == (tid, fi));
+                    if !connected {
+                        errors.push(ValidationError::UnconnectedEventPort {
+                            thread: path.clone(),
+                            port: feat.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Assumption 4 + HPF priorities.
+    for proc in model.processors() {
+        let bound = model.threads_on(proc.id);
+        if bound.is_empty() {
+            continue;
+        }
+        let ppath = proc.display_path().to_owned();
+        match proc.properties.get(names::SCHEDULING_PROTOCOL) {
+            None => errors.push(ValidationError::MissingProperty {
+                component: ppath.clone(),
+                property: names::SCHEDULING_PROTOCOL,
+            }),
+            Some(v) => match v.as_enum().and_then(SchedulingProtocol::parse) {
+                None => errors.push(ValidationError::BadProperty {
+                    component: ppath.clone(),
+                    property: names::SCHEDULING_PROTOCOL,
+                    reason: format!("unrecognized value `{v}`"),
+                }),
+                Some(SchedulingProtocol::Hpf) => {
+                    for tid in bound {
+                        let t = model.component(tid);
+                        if t.properties.priority().is_none() {
+                            errors.push(ValidationError::MissingProperty {
+                                component: t.display_path().to_owned(),
+                                property: names::PRIORITY,
+                            });
+                        }
+                    }
+                }
+                Some(_) => {}
+            },
+        }
+    }
+
+    // Mode restriction (§4).
+    for c in model.components() {
+        if c.modes.len() > 1 {
+            errors.push(ValidationError::MultiMode {
+                component: c.display_path().to_owned(),
+            });
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PackageBuilder;
+    use crate::instance::instantiate;
+    use crate::model::Category;
+    use crate::properties::{PropertyValue, TimeVal};
+
+    fn valid_pkg() -> crate::model::Package {
+        PackageBuilder::new("V")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build()
+    }
+
+    #[test]
+    fn valid_model_passes() {
+        let m = instantiate(&valid_pkg(), "Top.impl").unwrap();
+        assert!(validate(&m).is_empty());
+    }
+
+    #[test]
+    fn unbound_thread_is_flagged() {
+        let pkg = PackageBuilder::new("U")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let errs = validate(&m);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnboundThread { thread } if thread == "t")));
+    }
+
+    #[test]
+    fn missing_properties_are_flagged() {
+        let pkg = PackageBuilder::new("M")
+            .processor("cpu_t", |p| p)
+            .thread("T", |t| t) // nothing specified
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let errs = validate(&m);
+        let missing: Vec<&str> = errs
+            .iter()
+            .filter_map(|e| match e {
+                ValidationError::MissingProperty { property, .. } => Some(*property),
+                _ => None,
+            })
+            .collect();
+        assert!(missing.contains(&names::DISPATCH_PROTOCOL));
+        assert!(missing.contains(&names::COMPUTE_EXECUTION_TIME));
+        assert!(missing.contains(&names::COMPUTE_DEADLINE));
+        assert!(missing.contains(&names::SCHEDULING_PROTOCOL));
+    }
+
+    #[test]
+    fn empty_model_is_flagged() {
+        let pkg = PackageBuilder::new("E")
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| i)
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let errs = validate(&m);
+        assert!(errs.contains(&ValidationError::NoThreads));
+        assert!(errs.contains(&ValidationError::NoProcessors));
+    }
+
+    #[test]
+    fn sporadic_thread_without_connection_is_flagged() {
+        let pkg = PackageBuilder::new("S")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .sporadic_thread(
+                "T",
+                TimeVal::ms(20),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(20),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let errs = validate(&m);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::UnconnectedEventPort { port, .. } if port == "trigger"
+        )));
+    }
+
+    #[test]
+    fn bad_execution_time_range_is_flagged() {
+        let pkg = PackageBuilder::new("B")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(10),
+                (TimeVal::ms(5), TimeVal::ms(2)), // hi < lo
+                TimeVal::ms(10),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).iter().any(|e| matches!(
+            e,
+            ValidationError::BadProperty { property, .. } if *property == names::COMPUTE_EXECUTION_TIME
+        )));
+    }
+
+    #[test]
+    fn hpf_requires_thread_priorities() {
+        let pkg = PackageBuilder::new("H")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "HPF"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).iter().any(|e| matches!(
+            e,
+            ValidationError::MissingProperty { property, .. } if *property == names::PRIORITY
+        )));
+    }
+
+    #[test]
+    fn multi_mode_is_flagged() {
+        let pkg = PackageBuilder::new("MM")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .mode("nominal", true)
+                    .mode("degraded", false)
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m)
+            .iter()
+            .any(|e| matches!(e, ValidationError::MultiMode { .. })));
+        assert!(!m.is_single_mode());
+    }
+
+    #[test]
+    fn background_thread_needs_no_deadline() {
+        let pkg = PackageBuilder::new("BG")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .thread("T", |t| {
+                t.prop_enum(names::DISPATCH_PROTOCOL, "Background").prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(5)),
+                )
+            })
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).is_empty());
+    }
+}

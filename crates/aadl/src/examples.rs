@@ -1,0 +1,451 @@
+//! Canned models, headed by the cruise-control system of Fig. 1 of the paper.
+//!
+//! The paper borrows the cruise-control example from the OSATE release: a
+//! `CruiseControl` system containing two processors connected by a bus and two
+//! software subsystems, each bound to one processor. `HCI` hosts the threads
+//! `DriverModeLogic`, `ButtonPanel`, `RefSpeed` and `InstrumentPanel`;
+//! `CruiseControlLaws` hosts `Cruise1` and `Cruise2`. Threads communicate via
+//! data ports; the semantic connections leaving `RefSpeed` and
+//! `DriverModeLogic` cross subsystem boundaries and are mapped to the bus
+//! (§4.2: the *last* computation step of those threads uses the bus resource).
+//!
+//! The paper prints no timing numbers, so this module assigns documented,
+//! harmonic values that make the nominal system schedulable under RMS
+//! (HCI utilization 0.6, CCL utilization 0.7), plus an *overloaded* variant
+//! whose CCL processor is not schedulable — used throughout the tests,
+//! examples and benches.
+//!
+//! Translating `cruise_control()` must produce exactly the inventory §4.1
+//! reports: "six ACSR processes that represent threads and six ACSR processes
+//! that represent dispatchers for each thread. All connections in the example
+//! are data connections, thus no queue processes are introduced."
+
+use crate::builder::PackageBuilder;
+use crate::instance::{instantiate, InstanceModel};
+use crate::model::{Category, Package};
+use crate::properties::{names, PropertyValue, TimeVal};
+
+/// Timing parameters for one cruise-control thread: (period ms, cmin ms,
+/// cmax ms) with deadline = period.
+type Timing = (i64, i64, i64);
+
+/// The nominal cruise-control timing (schedulable on both processors).
+const NOMINAL: [(&str, Timing); 6] = [
+    ("ButtonPanel", (100, 10, 10)),
+    ("DriverModeLogic", (50, 5, 10)),
+    ("RefSpeed", (50, 5, 10)),
+    ("InstrumentPanel", (100, 10, 10)),
+    ("Cruise1", (50, 10, 20)),
+    ("Cruise2", (100, 20, 30)),
+];
+
+/// Overloaded timing: CCL demand exceeds the processor (Cruise1 45/50 +
+/// Cruise2 30/100 ⇒ utilization 1.2), so `Cruise2` must miss its deadline.
+const OVERLOADED: [(&str, Timing); 6] = [
+    ("ButtonPanel", (100, 10, 10)),
+    ("DriverModeLogic", (50, 5, 10)),
+    ("RefSpeed", (50, 5, 10)),
+    ("InstrumentPanel", (100, 10, 10)),
+    ("Cruise1", (50, 45, 45)),
+    ("Cruise2", (100, 30, 30)),
+];
+
+fn timing_of(table: &[(&str, Timing)], name: &str) -> Timing {
+    table
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, t)| *t)
+        .expect("thread in timing table")
+}
+
+fn cruise_control_with(table: &[(&str, Timing)], scheduling: &str) -> Package {
+    PackageBuilder::new("CruiseControl")
+        .processor("ppc", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, scheduling))
+        .bus("vme")
+        .thread("ButtonPanel", |t| {
+            with_timing(t.out_data_port("cmd"), timing_of(table, "ButtonPanel"))
+        })
+        .thread("DriverModeLogic", |t| {
+            with_timing(
+                t.in_data_port("buttons")
+                    .out_data_port("mode_cmd")
+                    .out_data_port("disp"),
+                timing_of(table, "DriverModeLogic"),
+            )
+        })
+        .thread("RefSpeed", |t| {
+            with_timing(t.out_data_port("speed"), timing_of(table, "RefSpeed"))
+        })
+        .thread("InstrumentPanel", |t| {
+            with_timing(
+                t.in_data_port("disp_in"),
+                timing_of(table, "InstrumentPanel"),
+            )
+        })
+        .thread("Cruise1", |t| {
+            with_timing(
+                t.in_data_port("mode_in")
+                    .in_data_port("ref_speed")
+                    .out_data_port("ctl"),
+                timing_of(table, "Cruise1"),
+            )
+        })
+        .thread("Cruise2", |t| {
+            with_timing(t.in_data_port("ctl_in"), timing_of(table, "Cruise2"))
+        })
+        .system("HCI", |s| {
+            s.out_data_port("mode_out").out_data_port("speed_out")
+        })
+        .implementation("HCI.impl", Category::System, |i| {
+            i.sub("button_panel", Category::Thread, "ButtonPanel")
+                .sub("driver_mode_logic", Category::Thread, "DriverModeLogic")
+                .sub("ref_speed", Category::Thread, "RefSpeed")
+                .sub("instrument_panel", Category::Thread, "InstrumentPanel")
+                .connect("buttons", "button_panel.cmd", "driver_mode_logic.buttons")
+                .connect("disp", "driver_mode_logic.disp", "instrument_panel.disp_in")
+                .connect("mode_up", "driver_mode_logic.mode_cmd", "mode_out")
+                .connect("speed_up", "ref_speed.speed", "speed_out")
+        })
+        .system("CruiseControlLaws", |s| {
+            s.in_data_port("mode_in").in_data_port("speed_in")
+        })
+        .implementation("CruiseControlLaws.impl", Category::System, |i| {
+            i.sub("cruise1", Category::Thread, "Cruise1")
+                .sub("cruise2", Category::Thread, "Cruise2")
+                .connect("mode_down", "mode_in", "cruise1.mode_in")
+                .connect("speed_down", "speed_in", "cruise1.ref_speed")
+                .connect("ctl", "cruise1.ctl", "cruise2.ctl_in")
+        })
+        .system("CruiseControl", |s| s)
+        .implementation("CruiseControl.impl", Category::System, |i| {
+            i.sub("hci", Category::System, "HCI.impl")
+                .sub("ccl", Category::System, "CruiseControlLaws.impl")
+                .sub("hci_processor", Category::Processor, "ppc")
+                .sub("ccl_processor", Category::Processor, "ppc")
+                .sub("bus0", Category::Bus, "vme")
+                .connect("mode_sib", "hci.mode_out", "ccl.mode_in")
+                .bind_bus("bus0")
+                .connect("speed_sib", "hci.speed_out", "ccl.speed_in")
+                .bind_bus("bus0")
+                .bind_processor("hci.button_panel", "hci_processor")
+                .bind_processor("hci.driver_mode_logic", "hci_processor")
+                .bind_processor("hci.ref_speed", "hci_processor")
+                .bind_processor("hci.instrument_panel", "hci_processor")
+                .bind_processor("ccl.cruise1", "ccl_processor")
+                .bind_processor("ccl.cruise2", "ccl_processor")
+        })
+        .build()
+}
+
+fn with_timing(t: crate::builder::TypeBuilder, (p, cmin, cmax): Timing) -> crate::builder::TypeBuilder {
+    t.prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+        .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(p)))
+        .prop(
+            names::COMPUTE_EXECUTION_TIME,
+            PropertyValue::TimeRange(TimeVal::ms(cmin), TimeVal::ms(cmax)),
+        )
+        .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(p)))
+}
+
+/// The cruise-control package of Fig. 1 with the nominal (schedulable)
+/// timing, scheduled by RMS.
+pub fn cruise_control() -> Package {
+    cruise_control_with(&NOMINAL, "RMS")
+}
+
+/// The cruise-control package with an overloaded `CruiseControlLaws`
+/// subsystem (utilization 1.2 on `ccl_processor`) — not schedulable.
+pub fn cruise_control_overloaded() -> Package {
+    cruise_control_with(&OVERLOADED, "RMS")
+}
+
+/// Cruise control with a chosen scheduling protocol on both processors.
+pub fn cruise_control_scheduled(protocol: &str) -> Package {
+    cruise_control_with(&NOMINAL, protocol)
+}
+
+/// Instantiate the nominal cruise-control model.
+pub fn cruise_control_model() -> InstanceModel {
+    instantiate(&cruise_control(), "CruiseControl.impl").expect("cruise control instantiates")
+}
+
+/// A minimal two-thread single-processor package: a periodic producer raising
+/// an event consumed by a sporadic handler — the smallest model exercising
+/// dispatchers, a queue process and assumption 2 of §4.1.
+pub fn producer_handler(queue_size: i64, overflow: &str) -> Package {
+    PackageBuilder::new("ProducerHandler")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "DMS"))
+        .thread("Producer", |t| {
+            t.out_event_port("alarm")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(20)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(5)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(20)))
+        })
+        .thread("Handler", |t| {
+            t.in_event_port("trigger")
+                .feature_prop(names::QUEUE_SIZE, PropertyValue::Int(queue_size))
+                .feature_prop(
+                    names::OVERFLOW_HANDLING_PROTOCOL,
+                    PropertyValue::Enum(overflow.to_owned()),
+                )
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(20)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(5)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(15)))
+        })
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("cpu", Category::Processor, "cpu_t")
+                .sub("producer", Category::Thread, "Producer")
+                .sub("handler", Category::Thread, "Handler")
+                .connect("alarm_conn", "producer.alarm", "handler.trigger")
+                .bind_processor("producer", "cpu")
+                .bind_processor("handler", "cpu")
+        })
+        .build()
+}
+
+/// A three-processor flight-control system exercising every modeled AADL
+/// feature at once: a periodic GPS *device* stimulating a *sporadic* filter,
+/// a bus-bound data path into the control processor, an *aperiodic* alert
+/// handler fed through a bounded queue, and a *shared data* component
+/// accessed from two processors.
+///
+/// ```text
+/// gps (device, 40 ms) ──event──▶ nav_filter (sporadic, sensor_cpu)
+/// imu_reader (periodic, sensor_cpu)
+/// nav_filter ──data/bus──▶ autopilot (periodic, control_cpu)
+/// autopilot ──data──▶ servo_driver (periodic, control_cpu)
+/// autopilot ──event──▶ alert_mgr (aperiodic, display_cpu; queue 2, DropNewest)
+/// display_update (periodic, display_cpu) ⇄ flight_state ⇄ autopilot (shared data)
+/// ```
+///
+/// The timing (quantum 5 ms) keeps every processor comfortably below
+/// utilization 0.6, so the system is schedulable — the "everything at once"
+/// regression model for tests and benches.
+pub fn flight_control() -> Package {
+    let periodic = |p: i64, c: i64, d: i64| {
+        move |t: crate::builder::TypeBuilder| {
+            t.prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(p)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(c), TimeVal::ms(c)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(d)))
+        }
+    };
+    PackageBuilder::new("FlightControl")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+        .bus("backbone")
+        .component("state_t", Category::Data, |d| d)
+        .device("Gps", |d| {
+            d.out_event_data_port("fix")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(40)))
+        })
+        .thread("NavFilter", |t| {
+            t.in_event_data_port("fix_in")
+                .feature_prop(names::QUEUE_SIZE, PropertyValue::Int(1))
+                .out_data_port("position")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(40)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(10)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(20)))
+        })
+        .thread("ImuReader", |t| periodic(20, 5, 20)(t))
+        .thread("Autopilot", |t| {
+            periodic(20, 5, 20)(
+                t.in_data_port("position_in")
+                    .out_data_port("servo_cmd")
+                    .out_event_port("alert"),
+            )
+        })
+        .thread("ServoDriver", |t| periodic(20, 5, 20)(t.in_data_port("cmd")))
+        .thread("AlertMgr", |t| {
+            t.in_event_port("alert_in")
+                .feature_prop(names::QUEUE_SIZE, PropertyValue::Int(2))
+                .feature_prop(
+                    names::OVERFLOW_HANDLING_PROTOCOL,
+                    PropertyValue::Enum("DropNewest".into()),
+                )
+                .prop_enum(names::DISPATCH_PROTOCOL, "Aperiodic")
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(5)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(20)))
+        })
+        .thread("DisplayUpdate", |t| periodic(40, 5, 40)(t))
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("sensor_cpu", Category::Processor, "cpu_t")
+                .sub("control_cpu", Category::Processor, "cpu_t")
+                .sub("display_cpu", Category::Processor, "cpu_t")
+                .sub("net", Category::Bus, "backbone")
+                .sub("flight_state", Category::Data, "state_t")
+                .sub("gps", Category::Device, "Gps")
+                .sub("nav_filter", Category::Thread, "NavFilter")
+                .sub("imu_reader", Category::Thread, "ImuReader")
+                .sub("autopilot", Category::Thread, "Autopilot")
+                .sub("servo_driver", Category::Thread, "ServoDriver")
+                .sub("alert_mgr", Category::Thread, "AlertMgr")
+                .sub("display_update", Category::Thread, "DisplayUpdate")
+                .connect("c_fix", "gps.fix", "nav_filter.fix_in")
+                .connect("c_pos", "nav_filter.position", "autopilot.position_in")
+                .bind_bus("net")
+                .connect("c_servo", "autopilot.servo_cmd", "servo_driver.cmd")
+                .connect("c_alert", "autopilot.alert", "alert_mgr.alert_in")
+                .connect_data_access("a_ap", "flight_state", "autopilot")
+                .connect_data_access("a_disp", "flight_state", "display_update")
+                .bind_processor("nav_filter", "sensor_cpu")
+                .bind_processor("imu_reader", "sensor_cpu")
+                .bind_processor("autopilot", "control_cpu")
+                .bind_processor("servo_driver", "control_cpu")
+                .bind_processor("alert_mgr", "display_cpu")
+                .bind_processor("display_update", "display_cpu")
+                .prop(
+                    names::SCHEDULING_QUANTUM,
+                    PropertyValue::Time(TimeVal::ms(5)),
+                )
+        })
+        .build()
+}
+
+/// Instantiate the flight-control model.
+pub fn flight_control_model() -> InstanceModel {
+    instantiate(&flight_control(), "Top.impl").expect("flight control instantiates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::validate;
+    use crate::model::PortKind;
+
+    #[test]
+    fn cruise_control_matches_fig1_inventory() {
+        let m = cruise_control_model();
+        assert_eq!(m.threads().count(), 6);
+        assert_eq!(m.processors().count(), 2);
+        assert_eq!(m.buses().count(), 1);
+        // §4.1: all connections are data connections.
+        assert!(m.connections.iter().all(|c| c.kind == PortKind::Data));
+        // 5 semantic connections: buttons, disp, mode (3 segs), speed (3 segs), ctl.
+        assert_eq!(m.connections.len(), 5);
+    }
+
+    #[test]
+    fn cruise_control_validates() {
+        let m = cruise_control_model();
+        let errs = validate(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn bus_mapped_connections_leave_refspeed_and_drivermodelogic() {
+        let m = cruise_control_model();
+        let bus_srcs: Vec<String> = m
+            .connections
+            .iter()
+            .filter(|c| !c.buses.is_empty())
+            .map(|c| m.component(c.src.0).name.clone())
+            .collect();
+        assert_eq!(bus_srcs.len(), 2);
+        assert!(bus_srcs.contains(&"driver_mode_logic".to_string()));
+        assert!(bus_srcs.contains(&"ref_speed".to_string()));
+    }
+
+    #[test]
+    fn bindings_partition_threads_across_processors() {
+        let m = cruise_control_model();
+        let hci = m.find("hci_processor").unwrap();
+        let ccl = m.find("ccl_processor").unwrap();
+        assert_eq!(m.threads_on(hci).len(), 4);
+        assert_eq!(m.threads_on(ccl).len(), 2);
+    }
+
+    #[test]
+    fn semantic_connection_crosses_hierarchy() {
+        let m = cruise_control_model();
+        let speed = m
+            .connections
+            .iter()
+            .find(|c| m.component(c.src.0).name == "ref_speed")
+            .unwrap();
+        assert_eq!(m.component(speed.dst.0).name, "cruise1");
+        // The paper: "This connection contains three syntactic connections".
+        assert_eq!(speed.name.split('/').count(), 3);
+    }
+
+    #[test]
+    fn overloaded_variant_also_validates() {
+        let pkg = cruise_control_overloaded();
+        let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+        assert!(validate(&m).is_empty());
+    }
+
+    #[test]
+    fn producer_handler_validates() {
+        let pkg = producer_handler(1, "DropNewest");
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).is_empty());
+        assert_eq!(m.connections.len(), 1);
+        assert_eq!(m.connections[0].kind, PortKind::Event);
+        assert_eq!(m.connections[0].properties.queue_size(), 1);
+    }
+
+    #[test]
+    fn cruise_control_text_round_trips() {
+        let pkg = cruise_control();
+        let text = crate::pretty::render_package(&pkg);
+        let reparsed = crate::parser::parse_package(&text).unwrap();
+        assert_eq!(pkg, reparsed);
+    }
+
+    #[test]
+    fn flight_control_validates_and_round_trips() {
+        let m = flight_control_model();
+        let errs = validate(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(m.threads().count(), 6);
+        assert_eq!(m.processors().count(), 3);
+        assert_eq!(m.devices().count(), 1);
+        assert_eq!(m.accesses.len(), 2);
+        let pkg = flight_control();
+        let text = crate::pretty::render_package(&pkg);
+        let reparsed = crate::parser::parse_package(&text).unwrap();
+        assert_eq!(pkg, reparsed);
+    }
+
+    #[test]
+    fn flight_control_connection_structure() {
+        let m = flight_control_model();
+        // 4 semantic port connections: fix (device→sporadic), pos (bus),
+        // servo, alert.
+        assert_eq!(m.connections.len(), 4);
+        let bus_conns: Vec<_> = m
+            .connections
+            .iter()
+            .filter(|c| !c.buses.is_empty())
+            .collect();
+        assert_eq!(bus_conns.len(), 1);
+        assert_eq!(m.component(bus_conns[0].src.0).name, "nav_filter");
+        // The alert queue has size 2.
+        let alert = m
+            .connections
+            .iter()
+            .find(|c| m.component(c.dst.0).name == "alert_mgr")
+            .unwrap();
+        assert_eq!(alert.properties.queue_size(), 2);
+    }
+}

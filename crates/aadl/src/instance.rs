@@ -1,0 +1,1077 @@
+//! Instantiation: from the declarative model to the bound instance model.
+//!
+//! The translation of the paper "applies to systems that are completely
+//! instantiated and bound" (§4.1). This module builds that instance model:
+//!
+//! 1. **Component tree** — the root implementation is expanded recursively;
+//!    each instance carries its merged property map (type properties, then
+//!    implementation properties, then `applies to` associations from enclosing
+//!    scopes, most specific last).
+//! 2. **Semantic connections** (§2) — starting from each *ultimate source*
+//!    (an out port of a thread or device), syntactic connections are followed
+//!    up the containment hierarchy, across sibling connections, and down to
+//!    every reachable *ultimate destination* (an in port of a thread or
+//!    device). Fan-out yields one semantic connection per destination. Each
+//!    semantic connection merges the properties of its syntactic segments and
+//!    of the destination port (whose `Queue_Size` governs the queue process,
+//!    §4.4), and resolves `Actual_Connection_Binding` references to bus
+//!    instances.
+//! 3. **Bindings** — `Actual_Processor_Binding` references are resolved
+//!    relative to their declaration scope and rewritten to absolute instance
+//!    paths, so `InstanceModel::bound_processor` is a simple lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::{
+    Category, ComponentImpl, Connection, EndpointRef, FeatureKind, Mode, Package, PortKind,
+    PropertyAssoc,
+};
+use crate::properties::{names, PropertyMap, PropertyValue};
+
+/// Identifier of a component instance within an [`InstanceModel`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An instantiated feature.
+#[derive(Clone, Debug)]
+pub struct FeatureInstance {
+    /// Feature name.
+    pub name: String,
+    /// Port/access kind.
+    pub kind: FeatureKind,
+    /// Properties declared on the feature.
+    pub properties: PropertyMap,
+}
+
+/// An instantiated component.
+#[derive(Clone, Debug)]
+pub struct ComponentInstance {
+    /// This instance's id.
+    pub id: CompId,
+    /// Parent instance (`None` for the root).
+    pub parent: Option<CompId>,
+    /// Subcomponent name (root: the implementation name).
+    pub name: String,
+    /// Dotted path below the root (root: empty string).
+    pub path: String,
+    /// Category.
+    pub category: Category,
+    /// The classifier this instance was created from.
+    pub classifier: String,
+    /// Instantiated features.
+    pub features: Vec<FeatureInstance>,
+    /// Merged properties.
+    pub properties: PropertyMap,
+    /// Children.
+    pub children: Vec<CompId>,
+    /// Mode declarations of this instance's implementation.
+    pub modes: Vec<Mode>,
+    /// Mode transitions of this instance's implementation.
+    pub mode_transitions: Vec<crate::model::ModeTransition>,
+    /// Modes (of the *parent*'s implementation) in which this subcomponent
+    /// is active; empty = active in all modes.
+    pub in_modes: Vec<String>,
+}
+
+impl ComponentInstance {
+    /// Find a feature index by (case-insensitive) name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.features
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Display path (root shows its own name).
+    pub fn display_path(&self) -> &str {
+        if self.path.is_empty() {
+            &self.name
+        } else {
+            &self.path
+        }
+    }
+}
+
+/// One semantic connection: ultimate source to ultimate destination.
+#[derive(Clone, Debug)]
+pub struct ConnectionInstance {
+    /// Name: the syntactic connection names joined with `/`.
+    pub name: String,
+    /// Ultimate source `(component, feature index)`.
+    pub src: (CompId, usize),
+    /// Ultimate destination `(component, feature index)`.
+    pub dst: (CompId, usize),
+    /// The kind of the destination port (determines queueing).
+    pub kind: PortKind,
+    /// Merged properties: segment connection properties, then the destination
+    /// port's properties (most specific last).
+    pub properties: PropertyMap,
+    /// Buses the connection is bound to.
+    pub buses: Vec<CompId>,
+}
+
+/// A resolved data access connection: the thread may use the shared data
+/// component (one scheduling quantum at a time, §4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessInstance {
+    /// The accessing thread.
+    pub thread: CompId,
+    /// The shared data component.
+    pub data: CompId,
+    /// The syntactic connection's name.
+    pub name: String,
+}
+
+/// The fully instantiated and bound model.
+#[derive(Clone, Debug)]
+pub struct InstanceModel {
+    components: Vec<ComponentInstance>,
+    /// Semantic connections.
+    pub connections: Vec<ConnectionInstance>,
+    /// Resolved data access connections.
+    pub accesses: Vec<AccessInstance>,
+}
+
+/// Instantiation errors.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstanceError {
+    /// Human-readable message with instance-path context.
+    pub message: String,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, InstanceError> {
+    Err(InstanceError {
+        message: message.into(),
+    })
+}
+
+impl InstanceModel {
+    /// The root instance.
+    pub fn root(&self) -> CompId {
+        CompId(0)
+    }
+
+    /// Access an instance.
+    pub fn component(&self, id: CompId) -> &ComponentInstance {
+        &self.components[id.index()]
+    }
+
+    /// All instances, in creation (pre-)order.
+    pub fn components(&self) -> impl Iterator<Item = &ComponentInstance> {
+        self.components.iter()
+    }
+
+    /// Number of instances.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// All thread instances.
+    pub fn threads(&self) -> impl Iterator<Item = &ComponentInstance> {
+        self.components
+            .iter()
+            .filter(|c| c.category == Category::Thread)
+    }
+
+    /// All processor instances.
+    pub fn processors(&self) -> impl Iterator<Item = &ComponentInstance> {
+        self.components
+            .iter()
+            .filter(|c| c.category == Category::Processor)
+    }
+
+    /// All bus instances.
+    pub fn buses(&self) -> impl Iterator<Item = &ComponentInstance> {
+        self.components
+            .iter()
+            .filter(|c| c.category == Category::Bus)
+    }
+
+    /// All device instances.
+    pub fn devices(&self) -> impl Iterator<Item = &ComponentInstance> {
+        self.components
+            .iter()
+            .filter(|c| c.category == Category::Device)
+    }
+
+    /// Find an instance by dotted path below the root (empty = root).
+    pub fn find(&self, path: &str) -> Option<CompId> {
+        if path.is_empty() {
+            return Some(self.root());
+        }
+        let mut cur = self.root();
+        for seg in path.split('.') {
+            cur = *self.components[cur.index()]
+                .children
+                .iter()
+                .find(|&&c| self.components[c.index()].name.eq_ignore_ascii_case(seg))?;
+        }
+        Some(cur)
+    }
+
+    /// The processor a thread is bound to, via its (resolved, absolute)
+    /// `Actual_Processor_Binding` property.
+    pub fn bound_processor(&self, thread: CompId) -> Option<CompId> {
+        let c = self.component(thread);
+        let r = c.properties.get(names::ACTUAL_PROCESSOR_BINDING)?;
+        let path = r.as_reference()?;
+        self.find(&path.join("."))
+    }
+
+    /// Threads bound to `processor`, in instance order (the set `T_p` of
+    /// Algorithm 1).
+    pub fn threads_on(&self, processor: CompId) -> Vec<CompId> {
+        self.threads()
+            .filter(|t| self.bound_processor(t.id) == Some(processor))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Semantic connections whose ultimate source is `comp` (the set
+    /// `E_t^out` of Algorithm 1).
+    pub fn connections_from(&self, comp: CompId) -> Vec<&ConnectionInstance> {
+        self.connections
+            .iter()
+            .filter(|c| c.src.0 == comp)
+            .collect()
+    }
+
+    /// Semantic connections whose ultimate destination is `comp` (the set
+    /// `E_t^in` of Algorithm 1).
+    pub fn connections_to(&self, comp: CompId) -> Vec<&ConnectionInstance> {
+        self.connections
+            .iter()
+            .filter(|c| c.dst.0 == comp)
+            .collect()
+    }
+
+    /// Data components shared with `thread` via access connections (the
+    /// resource set `R` of Fig. 5).
+    pub fn accesses_of(&self, thread: CompId) -> Vec<&AccessInstance> {
+        self.accesses
+            .iter()
+            .filter(|a| a.thread == thread)
+            .collect()
+    }
+
+    /// Render the instance tree as indented text, with categories, bindings
+    /// and timing summaries — the `aadlsched --tree` view.
+    pub fn render_tree(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut stack: Vec<(CompId, usize)> = vec![(self.root(), 0)];
+        while let Some((id, depth)) = stack.pop() {
+            let c = self.component(id);
+            let _ = write!(out, "{}{} : {}", "  ".repeat(depth), c.name, c.category);
+            if !c.classifier.is_empty() {
+                let _ = write!(out, " ({})", c.classifier);
+            }
+            if c.category == Category::Thread {
+                if let Some(d) = c.properties.dispatch_protocol() {
+                    let _ = write!(out, " [{d}");
+                    if let Some(p) = c.properties.period() {
+                        let _ = write!(out, ", P={p}");
+                    }
+                    if let Some((lo, hi)) = c.properties.compute_execution_time() {
+                        let _ = write!(out, ", C={lo}..{hi}");
+                    }
+                    if let Some(d) = c.properties.compute_deadline() {
+                        let _ = write!(out, ", D={d}");
+                    }
+                    let _ = write!(out, "]");
+                }
+                if let Some(cpu) = self.bound_processor(id) {
+                    let _ = write!(out, " -> {}", self.component(cpu).display_path());
+                }
+            }
+            if !c.in_modes.is_empty() {
+                let _ = write!(out, " in modes ({})", c.in_modes.join(", "));
+            }
+            let _ = writeln!(out);
+            for &child in c.children.iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// True when the whole model declares at most one mode anywhere — the
+    /// restriction under which the paper's translation operates (§4).
+    pub fn is_single_mode(&self) -> bool {
+        self.components.iter().all(|c| c.modes.len() <= 1)
+    }
+}
+
+/// Instantiate `root_impl` (an implementation name like `Top.impl`) from
+/// `pkg`, producing the bound instance model.
+pub fn instantiate(pkg: &Package, root_impl: &str) -> Result<InstanceModel, InstanceError> {
+    let rimpl = match pkg.find_impl(root_impl) {
+        Some(i) => i,
+        None => return err(format!("implementation `{root_impl}` not found in package")),
+    };
+    let mut b = Builder {
+        pkg,
+        components: Vec::new(),
+        scoped: Vec::new(),
+        conn_props: HashMap::new(),
+    };
+    let root = b.build(rimpl.name.clone(), None, String::new())?;
+    debug_assert_eq!(root, CompId(0));
+    b.apply_scoped()?;
+    let connections = b.resolve_semantic_connections()?;
+    let accesses = b.resolve_accesses()?;
+    Ok(InstanceModel {
+        components: b.components,
+        connections,
+        accesses,
+    })
+}
+
+/// A property association waiting for `applies to` resolution.
+struct ScopedAssoc {
+    declared_at: CompId,
+    assoc: PropertyAssoc,
+}
+
+struct Builder<'a> {
+    pkg: &'a Package,
+    components: Vec<ComponentInstance>,
+    scoped: Vec<ScopedAssoc>,
+    /// Connection-scoped properties: (owner instance, connection name) → assocs.
+    conn_props: HashMap<(CompId, String), Vec<(String, PropertyValue)>>,
+}
+
+impl<'a> Builder<'a> {
+    fn build(
+        &mut self,
+        classifier: String,
+        parent: Option<CompId>,
+        name_hint: String,
+    ) -> Result<CompId, InstanceError> {
+        let (ty, imp) = match self.pkg.resolve(&classifier) {
+            Some(r) => r,
+            None => {
+                // A classifier-less subcomponent: allowed, yields a leaf
+                // instance with no features or properties of its own.
+                let id = self.alloc(parent, name_hint.clone(), classifier.clone());
+                return Ok(id);
+            }
+        };
+        let name = if name_hint.is_empty() {
+            classifier.clone()
+        } else {
+            name_hint
+        };
+        let id = self.alloc(parent, name, classifier.clone());
+        self.components[id.index()].category = ty.category;
+
+        // Features from the type.
+        for f in &ty.features {
+            let mut props = PropertyMap::new();
+            for pa in &f.properties {
+                props.set(&pa.name, pa.value.clone());
+            }
+            self.components[id.index()].features.push(FeatureInstance {
+                name: f.name.clone(),
+                kind: f.kind.clone(),
+                properties: props,
+            });
+        }
+
+        // Unscoped properties: type first, implementation overrides.
+        for pa in &ty.properties {
+            self.queue_assoc(id, pa);
+        }
+        if let Some(imp) = imp {
+            for pa in &imp.properties {
+                self.queue_assoc(id, pa);
+            }
+            self.components[id.index()].modes = imp.modes.clone();
+            self.components[id.index()].mode_transitions = imp.mode_transitions.clone();
+            // Children.
+            for sub in &imp.subcomponents {
+                let child = if sub.classifier.is_empty() {
+                    let c = self.alloc(Some(id), sub.name.clone(), String::new());
+                    self.components[c.index()].category = sub.category;
+                    c
+                } else {
+                    let c = self.build(sub.classifier.clone(), Some(id), sub.name.clone())?;
+                    if self.components[c.index()].category != sub.category
+                        && !self.components[c.index()].classifier.is_empty()
+                    {
+                        return err(format!(
+                            "subcomponent `{}` declared as {} but classifier `{}` is {}",
+                            sub.name,
+                            sub.category,
+                            sub.classifier,
+                            self.components[c.index()].category
+                        ));
+                    }
+                    c
+                };
+                self.components[child.index()].in_modes = sub.in_modes.clone();
+                self.components[id.index()].children.push(child);
+            }
+        }
+        Ok(id)
+    }
+
+    fn alloc(&mut self, parent: Option<CompId>, name: String, classifier: String) -> CompId {
+        let id = CompId(u32::try_from(self.components.len()).expect("instance id overflow"));
+        let path = match parent {
+            None => String::new(),
+            Some(p) => {
+                let pp = &self.components[p.index()].path;
+                if pp.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{pp}.{name}")
+                }
+            }
+        };
+        self.components.push(ComponentInstance {
+            id,
+            parent,
+            name,
+            path,
+            category: Category::System,
+            classifier,
+            features: Vec::new(),
+            properties: PropertyMap::new(),
+            children: Vec::new(),
+            modes: Vec::new(),
+            mode_transitions: Vec::new(),
+            in_modes: Vec::new(),
+        });
+        id
+    }
+
+    /// Apply an unscoped association immediately; defer `applies to`.
+    fn queue_assoc(&mut self, id: CompId, pa: &PropertyAssoc) {
+        if pa.applies_to.is_empty() {
+            let value = self.resolve_references(id, &pa.value);
+            self.components[id.index()].properties.set(&pa.name, value);
+        } else {
+            self.scoped.push(ScopedAssoc {
+                declared_at: id,
+                assoc: pa.clone(),
+            });
+        }
+    }
+
+    /// Rewrite every `Reference` in `value` (resolved relative to `scope`)
+    /// to an absolute below-root path, so later consumers need no scope.
+    fn resolve_references(&self, scope: CompId, value: &PropertyValue) -> PropertyValue {
+        match value {
+            PropertyValue::Reference(path) => {
+                match self.resolve_path(scope, path) {
+                    Some(target) => PropertyValue::Reference(
+                        self.components[target.index()]
+                            .path
+                            .split('.')
+                            .map(str::to_owned)
+                            .collect(),
+                    ),
+                    // Leave unresolved references as-is; validation flags them.
+                    None => value.clone(),
+                }
+            }
+            PropertyValue::List(items) => PropertyValue::List(
+                items
+                    .iter()
+                    .map(|v| self.resolve_references(scope, v))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    fn resolve_path(&self, scope: CompId, path: &[String]) -> Option<CompId> {
+        let mut cur = scope;
+        for seg in path {
+            cur = *self.components[cur.index()]
+                .children
+                .iter()
+                .find(|&&c| self.components[c.index()].name.eq_ignore_ascii_case(seg))?;
+        }
+        Some(cur)
+    }
+
+    /// Resolve deferred `applies to` associations onto component instances,
+    /// feature instances, or connections.
+    fn apply_scoped(&mut self) -> Result<(), InstanceError> {
+        let scoped = std::mem::take(&mut self.scoped);
+        for sa in scoped {
+            let value = self.resolve_references(sa.declared_at, &sa.assoc.value);
+            for path in &sa.assoc.applies_to {
+                if let Some(target) = self.resolve_path(sa.declared_at, path) {
+                    self.components[target.index()]
+                        .properties
+                        .set(&sa.assoc.name, value.clone());
+                    continue;
+                }
+                // Component-prefix + feature name?
+                if path.len() >= 2 {
+                    if let Some(owner) = self.resolve_path(sa.declared_at, &path[..path.len() - 1])
+                    {
+                        let fname = &path[path.len() - 1];
+                        if let Some(fi) = self.components[owner.index()].feature_index(fname) {
+                            self.components[owner.index()].features[fi]
+                                .properties
+                                .set(&sa.assoc.name, value.clone());
+                            continue;
+                        }
+                    }
+                }
+                // Component-prefix + connection name?
+                let (owner, last) = if path.len() == 1 {
+                    (Some(sa.declared_at), &path[0])
+                } else {
+                    (
+                        self.resolve_path(sa.declared_at, &path[..path.len() - 1]),
+                        &path[path.len() - 1],
+                    )
+                };
+                if let Some(owner) = owner {
+                    if self.impl_of(owner).is_some_and(|imp| {
+                        imp.connections
+                            .iter()
+                            .any(|c| c.name.eq_ignore_ascii_case(last))
+                    }) {
+                        self.conn_props
+                            .entry((owner, last.to_ascii_lowercase()))
+                            .or_default()
+                            .push((sa.assoc.name.clone(), value.clone()));
+                        continue;
+                    }
+                }
+                return err(format!(
+                    "property `{}` applies to unresolvable path `{}` (declared at `{}`)",
+                    sa.assoc.name,
+                    path.join("."),
+                    self.components[sa.declared_at.index()].display_path()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn impl_of(&self, id: CompId) -> Option<&'a ComponentImpl> {
+        let cl = &self.components[id.index()].classifier;
+        if cl.contains('.') {
+            self.pkg.find_impl(cl)
+        } else {
+            None
+        }
+    }
+
+    /// Resolve an endpoint of a syntactic connection declared in the
+    /// implementation of `owner`.
+    fn endpoint_node(
+        &self,
+        owner: CompId,
+        ep: &EndpointRef,
+    ) -> Result<(CompId, usize), InstanceError> {
+        let comp = match &ep.subcomponent {
+            Some(sub) => match self.resolve_path(owner, std::slice::from_ref(sub)) {
+                Some(c) => c,
+                None => {
+                    return err(format!(
+                        "connection endpoint `{ep}` in `{}`: no subcomponent `{sub}`",
+                        self.components[owner.index()].display_path()
+                    ))
+                }
+            },
+            None => owner,
+        };
+        match self.components[comp.index()].feature_index(&ep.feature) {
+            Some(fi) => Ok((comp, fi)),
+            None => err(format!(
+                "connection endpoint `{ep}` in `{}`: component `{}` has no feature `{}`",
+                self.components[owner.index()].display_path(),
+                self.components[comp.index()].display_path(),
+                ep.feature
+            )),
+        }
+    }
+
+    /// Build the semantic connections by following syntactic edges from every
+    /// ultimate source.
+    fn resolve_semantic_connections(&self) -> Result<Vec<ConnectionInstance>, InstanceError> {
+        // Edges: (node → [(next node, owner, syntactic connection)]).
+        type Node = (CompId, usize);
+        let mut edges: HashMap<Node, Vec<(Node, CompId, &Connection)>> = HashMap::new();
+        for comp in &self.components {
+            let Some(imp) = self.impl_of(comp.id) else {
+                continue;
+            };
+            for conn in &imp.connections {
+                if conn.kind != crate::model::ConnKind::Port {
+                    continue; // access connections are resolved separately
+                }
+                let src = self.endpoint_node(comp.id, &conn.src)?;
+                let dst = self.endpoint_node(comp.id, &conn.dst)?;
+                edges.entry(src).or_default().push((dst, comp.id, conn));
+            }
+        }
+
+        let mut out = Vec::new();
+        for comp in &self.components {
+            if !comp.category.is_connection_terminal() {
+                continue;
+            }
+            for (fi, feat) in comp.features.iter().enumerate() {
+                let FeatureKind::Port { dir, .. } = &feat.kind else {
+                    continue;
+                };
+                if !dir.is_out() {
+                    continue;
+                }
+                // DFS from this ultimate source.
+                let start: Node = (comp.id, fi);
+                let mut stack: Vec<(Node, Vec<(CompId, &Connection)>)> = vec![(start, Vec::new())];
+                let mut visited: Vec<Node> = vec![start];
+                while let Some((node, segs)) = stack.pop() {
+                    let node_comp = &self.components[node.0.index()];
+                    if !segs.is_empty()
+                        && node_comp.category.is_connection_terminal()
+                        && matches!(
+                            &node_comp.features[node.1].kind,
+                            FeatureKind::Port { dir, .. } if dir.is_in()
+                        )
+                    {
+                        // Ultimate destination reached.
+                        out.push(self.make_semantic(start, node, &segs));
+                        continue;
+                    }
+                    if let Some(nexts) = edges.get(&node) {
+                        for (next, owner, conn) in nexts {
+                            if visited.contains(next) {
+                                continue;
+                            }
+                            visited.push(*next);
+                            let mut segs2 = segs.clone();
+                            segs2.push((*owner, *conn));
+                            stack.push((*next, segs2));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn make_semantic(
+        &self,
+        src: (CompId, usize),
+        dst: (CompId, usize),
+        segs: &[(CompId, &Connection)],
+    ) -> ConnectionInstance {
+        let dst_feat = &self.components[dst.0.index()].features[dst.1];
+        let kind = match &dst_feat.kind {
+            FeatureKind::Port { kind, .. } => *kind,
+            _ => PortKind::Data,
+        };
+        let mut properties = PropertyMap::new();
+        let mut buses = Vec::new();
+        let mut names = Vec::new();
+        for (owner, conn) in segs {
+            names.push(conn.name.clone());
+            for pa in &conn.properties {
+                let value = self.resolve_references(*owner, &pa.value);
+                if pa.name.eq_ignore_ascii_case(names_actual_connection_binding()) {
+                    for r in value.references() {
+                        if let Some(b) = self.find_abs(r) {
+                            if self.components[b.index()].category == Category::Bus
+                                && !buses.contains(&b)
+                            {
+                                buses.push(b);
+                            }
+                        }
+                    }
+                }
+                properties.set(&pa.name, value);
+            }
+            // Connection-scoped `applies to` properties.
+            if let Some(extra) = self
+                .conn_props
+                .get(&(*owner, conn.name.to_ascii_lowercase()))
+            {
+                for (name, value) in extra {
+                    if name.eq_ignore_ascii_case(names_actual_connection_binding()) {
+                        for r in value.references() {
+                            if let Some(b) = self.find_abs(r) {
+                                if self.components[b.index()].category == Category::Bus
+                                    && !buses.contains(&b)
+                                {
+                                    buses.push(b);
+                                }
+                            }
+                        }
+                    }
+                    properties.set(name, value.clone());
+                }
+            }
+        }
+        // The destination ("last") port's properties are most specific (§4.4).
+        for (name, value) in dst_feat.properties.iter() {
+            properties.set(name, value.clone());
+        }
+        ConnectionInstance {
+            name: names.join("/"),
+            src,
+            dst,
+            kind,
+            properties,
+            buses,
+        }
+    }
+
+    /// Resolve data access connections: for each `data access shared -> t.f`
+    /// declared in some implementation, find the data component and the
+    /// accessing thread. The destination may be the thread itself or one of
+    /// its requires-access features; hierarchical chaining is not supported
+    /// (the paper omits access connections entirely, §4 — this is the
+    /// extension hook for the `R` set of Fig. 5).
+    fn resolve_accesses(&self) -> Result<Vec<AccessInstance>, InstanceError> {
+        let mut out = Vec::new();
+        for comp in &self.components {
+            let Some(imp) = self.impl_of(comp.id) else {
+                continue;
+            };
+            for conn in &imp.connections {
+                if conn.kind != crate::model::ConnKind::DataAccess {
+                    continue;
+                }
+                let data_name = conn.src.subcomponent.as_deref().unwrap_or("");
+                let data = self
+                    .resolve_path(comp.id, &[data_name.to_owned()])
+                    .filter(|d| self.components[d.index()].category == Category::Data)
+                    .ok_or_else(|| InstanceError {
+                        message: format!(
+                            "access connection `{}` in `{}`: `{}` is not a data subcomponent",
+                            conn.name,
+                            self.components[comp.id.index()].display_path(),
+                            conn.src
+                        ),
+                    })?;
+                // The destination is `thread.feature` or the bare thread name.
+                let thread_name = conn
+                    .dst
+                    .subcomponent
+                    .as_deref()
+                    .unwrap_or(&conn.dst.feature);
+                let thread = self
+                    .resolve_path(comp.id, &[thread_name.to_owned()])
+                    .filter(|t| self.components[t.index()].category == Category::Thread)
+                    .ok_or_else(|| InstanceError {
+                        message: format!(
+                            "access connection `{}` in `{}`: `{}` is not a thread subcomponent",
+                            conn.name,
+                            self.components[comp.id.index()].display_path(),
+                            conn.dst
+                        ),
+                    })?;
+                out.push(AccessInstance {
+                    thread,
+                    data,
+                    name: conn.name.clone(),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Find an instance from an absolute below-root path (already rewritten).
+    fn find_abs(&self, path: &[String]) -> Option<CompId> {
+        let mut cur = CompId(0);
+        for seg in path {
+            cur = *self.components[cur.index()]
+                .children
+                .iter()
+                .find(|&&c| self.components[c.index()].name.eq_ignore_ascii_case(seg))?;
+        }
+        Some(cur)
+    }
+}
+
+fn names_actual_connection_binding() -> &'static str {
+    names::ACTUAL_CONNECTION_BINDING
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_package;
+
+    /// A hierarchical model exercising up/sibling/down semantic connection
+    /// resolution and bus binding, shaped like the paper's Fig. 1.
+    const HIER: &str = r#"
+package H
+public
+  processor cpu_t
+    properties
+      Scheduling_Protocol => RMS;
+  end cpu_t;
+  bus vme
+  end vme;
+
+  thread Src
+    features
+      o: out data port;
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 50 ms;
+      Compute_Execution_Time => 5 ms .. 10 ms;
+      Compute_Deadline => 50 ms;
+  end Src;
+
+  thread Dst
+    features
+      i: in data port;
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 100 ms;
+      Compute_Execution_Time => 10 ms .. 10 ms;
+      Compute_Deadline => 100 ms;
+  end Dst;
+
+  system Left
+    features
+      lo: out data port;
+  end Left;
+  system implementation Left.impl
+    subcomponents
+      src: thread Src;
+    connections
+      up: port src.o -> lo;
+  end Left.impl;
+
+  system Right
+    features
+      ri: in data port;
+  end Right;
+  system implementation Right.impl
+    subcomponents
+      dst: thread Dst;
+    connections
+      down: port ri -> dst.i;
+  end Right.impl;
+
+  system Top
+  end Top;
+  system implementation Top.impl
+    subcomponents
+      left: system Left.impl;
+      right: system Right.impl;
+      cpu1: processor cpu_t;
+      cpu2: processor cpu_t;
+      b: bus vme;
+    connections
+      sib: port left.lo -> right.ri { Actual_Connection_Binding => reference (b); };
+    properties
+      Actual_Processor_Binding => reference (cpu1) applies to left.src;
+      Actual_Processor_Binding => reference (cpu2) applies to right.dst;
+  end Top.impl;
+end H;
+"#;
+
+    fn model() -> InstanceModel {
+        let pkg = parse_package(HIER).unwrap();
+        instantiate(&pkg, "Top.impl").unwrap()
+    }
+
+    #[test]
+    fn tree_structure_and_paths() {
+        let m = model();
+        assert_eq!(m.threads().count(), 2);
+        assert_eq!(m.processors().count(), 2);
+        assert_eq!(m.buses().count(), 1);
+        let src = m.find("left.src").expect("left.src exists");
+        assert_eq!(m.component(src).category, Category::Thread);
+        assert_eq!(m.component(src).path, "left.src");
+        assert!(m.find("nothing.here").is_none());
+        assert_eq!(m.find(""), Some(m.root()));
+    }
+
+    #[test]
+    fn semantic_connection_spans_three_syntactic_segments() {
+        let m = model();
+        assert_eq!(m.connections.len(), 1);
+        let c = &m.connections[0];
+        assert_eq!(c.name, "up/sib/down");
+        let src = m.component(c.src.0);
+        let dst = m.component(c.dst.0);
+        assert_eq!(src.path, "left.src");
+        assert_eq!(dst.path, "right.dst");
+        assert_eq!(c.kind, PortKind::Data);
+    }
+
+    #[test]
+    fn connection_binds_to_bus() {
+        let m = model();
+        let c = &m.connections[0];
+        assert_eq!(c.buses.len(), 1);
+        assert_eq!(m.component(c.buses[0]).name, "b");
+    }
+
+    #[test]
+    fn processor_bindings_resolve() {
+        let m = model();
+        let src = m.find("left.src").unwrap();
+        let dst = m.find("right.dst").unwrap();
+        let cpu1 = m.find("cpu1").unwrap();
+        let cpu2 = m.find("cpu2").unwrap();
+        assert_eq!(m.bound_processor(src), Some(cpu1));
+        assert_eq!(m.bound_processor(dst), Some(cpu2));
+        assert_eq!(m.threads_on(cpu1), vec![src]);
+        assert_eq!(m.threads_on(cpu2), vec![dst]);
+    }
+
+    #[test]
+    fn thread_properties_merge_from_type() {
+        let m = model();
+        let src = m.component(m.find("left.src").unwrap());
+        assert_eq!(
+            src.properties.dispatch_protocol(),
+            Some(crate::properties::DispatchProtocol::Periodic)
+        );
+        assert_eq!(
+            src.properties.period(),
+            Some(crate::properties::TimeVal::ms(50))
+        );
+    }
+
+    #[test]
+    fn connections_from_and_to() {
+        let m = model();
+        let src = m.find("left.src").unwrap();
+        let dst = m.find("right.dst").unwrap();
+        assert_eq!(m.connections_from(src).len(), 1);
+        assert_eq!(m.connections_to(src).len(), 0);
+        assert_eq!(m.connections_to(dst).len(), 1);
+    }
+
+    #[test]
+    fn single_mode_detection() {
+        let m = model();
+        assert!(m.is_single_mode());
+    }
+
+    #[test]
+    fn render_tree_shows_structure_and_bindings() {
+        let m = model();
+        let tree = m.render_tree();
+        assert!(tree.contains("left : system"), "{tree}");
+        assert!(tree.contains("src : thread"), "{tree}");
+        assert!(tree.contains("-> cpu1"), "{tree}");
+        assert!(tree.contains("Periodic"), "{tree}");
+        // Indentation reflects depth: src is nested under left.
+        let left_line = tree.lines().position(|l| l.trim_start().starts_with("left ")).unwrap();
+        let src_line = tree.lines().position(|l| l.trim_start().starts_with("src ")).unwrap();
+        assert!(src_line > left_line);
+    }
+
+    #[test]
+    fn missing_root_impl_is_an_error() {
+        let pkg = parse_package(HIER).unwrap();
+        assert!(instantiate(&pkg, "Nope.impl").is_err());
+    }
+
+    #[test]
+    fn dangling_applies_to_is_an_error() {
+        let src = r#"
+package D
+public
+  system S
+  end S;
+  system implementation S.impl
+    properties
+      Priority => 3 applies to ghost;
+  end S.impl;
+end D;
+"#;
+        let pkg = parse_package(src).unwrap();
+        let e = instantiate(&pkg, "S.impl").unwrap_err();
+        assert!(e.message.contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn feature_scoped_applies_to() {
+        let src = r#"
+package F
+public
+  thread T
+    features
+      p: in event port;
+  end T;
+  system S
+  end S;
+  system implementation S.impl
+    subcomponents
+      t: thread T;
+    properties
+      Queue_Size => 4 applies to t.p;
+  end S.impl;
+end F;
+"#;
+        let pkg = parse_package(src).unwrap();
+        let m = instantiate(&pkg, "S.impl").unwrap();
+        let t = m.component(m.find("t").unwrap());
+        let fi = t.feature_index("p").unwrap();
+        assert_eq!(t.features[fi].properties.queue_size(), 4);
+    }
+
+    #[test]
+    fn fan_out_yields_multiple_semantic_connections() {
+        let src = r#"
+package FO
+public
+  thread A
+    features
+      o: out event port;
+    properties
+      Dispatch_Protocol => Periodic;
+  end A;
+  thread B
+    features
+      i: in event port;
+    properties
+      Dispatch_Protocol => Sporadic;
+  end B;
+  system S
+  end S;
+  system implementation S.impl
+    subcomponents
+      a: thread A;
+      b1: thread B;
+      b2: thread B;
+    connections
+      c1: port a.o -> b1.i;
+      c2: port a.o -> b2.i;
+  end S.impl;
+end FO;
+"#;
+        let pkg = parse_package(src).unwrap();
+        let m = instantiate(&pkg, "S.impl").unwrap();
+        assert_eq!(m.connections.len(), 2);
+        let a = m.find("a").unwrap();
+        assert_eq!(m.connections_from(a).len(), 2);
+        assert!(m.connections.iter().all(|c| c.kind == PortKind::Event));
+    }
+}

@@ -1,0 +1,402 @@
+//! Tokenizer for the AADL textual subset.
+//!
+//! AADL is case-insensitive for keywords; identifiers keep their spelling.
+//! Comments run from `--` to end of line. Tokens carry line/column spans for
+//! error reporting.
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `-[`
+    TransArrowOpen,
+    /// `]->`
+    TransArrowClose,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::FatArrow => write!(f, "`=>`"),
+            Tok::TransArrowOpen => write!(f, "`-[`"),
+            Tok::TransArrowClose => write!(f, "`]->`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+/// A lexing error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character {:?} at line {}, column {}",
+            self.ch, self.line, self.col
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`, appending a final [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Token {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('-') => {
+                        // comment to end of line
+                        for c2 in chars.by_ref() {
+                            if c2 == '\n' {
+                                line += 1;
+                                col = 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('>') => {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::Arrow, tl, tc);
+                    }
+                    Some('[') => {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::TransArrowOpen, tl, tc);
+                    }
+                    other => {
+                        return Err(LexError {
+                            ch: other.copied().unwrap_or('-'),
+                            line,
+                            col,
+                        })
+                    }
+                }
+            }
+            ']' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    col += 1;
+                    if chars.peek() == Some(&'>') {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::TransArrowClose, tl, tc);
+                    } else {
+                        return Err(LexError {
+                            ch: chars.peek().copied().unwrap_or(']'),
+                            line,
+                            col,
+                        });
+                    }
+                } else {
+                    return Err(LexError { ch: ']', line, col });
+                }
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::FatArrow, tl, tc);
+                } else {
+                    return Err(LexError { ch: '=', line, col });
+                }
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    col += 1;
+                    push!(Tok::DotDot, tl, tc);
+                } else {
+                    push!(Tok::Dot, tl, tc);
+                }
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Colon, tl, tc);
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Semi, tl, tc);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, tl, tc);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, tl, tc);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParen, tl, tc);
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LBrace, tl, tc);
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RBrace, tl, tc);
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            col = 1;
+                            s.push('\n');
+                        }
+                        Some(c2) => {
+                            col += 1;
+                            s.push(c2);
+                        }
+                        None => return Err(LexError { ch: '"', line, col }),
+                    }
+                }
+                push!(Tok::Str(s), tl, tc);
+            }
+            c if c.is_ascii_digit() => {
+                let mut v: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(dv) = d.to_digit(10) {
+                        v = v.saturating_mul(10).saturating_add(dv as i64);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(v), tl, tc);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_alphanumeric() || a == '_' {
+                        s.push(a);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(s), tl, tc);
+            }
+            other => {
+                return Err(LexError {
+                    ch: other,
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    push!(Tok::Eof, line, col);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ts = kinds("t1: thread T { Period => 50 ms; };");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("t1".into()),
+                Tok::Colon,
+                Tok::Ident("thread".into()),
+                Tok::Ident("T".into()),
+                Tok::LBrace,
+                Tok::Ident("Period".into()),
+                Tok::FatArrow,
+                Tok::Int(50),
+                Tok::Ident("ms".into()),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_and_ranges() {
+        assert_eq!(
+            kinds("a.b -> c 5 ms .. 10 ms"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Int(5),
+                Tok::Ident("ms".into()),
+                Tok::DotDot,
+                Tok::Int(10),
+                Tok::Ident("ms".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = kinds("a -- this is a comment -> => ..\nb");
+        assert_eq!(
+            ts,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn mode_transition_arrows() {
+        assert_eq!(
+            kinds("m1 -[ p ]-> m2"),
+            vec![
+                Tok::Ident("m1".into()),
+                Tok::TransArrowOpen,
+                Tok::Ident("p".into()),
+                Tok::TransArrowClose,
+                Tok::Ident("m2".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_positions() {
+        let ts = lex("x\n  \"hello world\"").unwrap();
+        assert_eq!(ts[1].tok, Tok::Str("hello world".into()));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lex_error_reports_position() {
+        let err = lex("abc\n  @").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!((err.line, err.col), (2, 3));
+    }
+
+    #[test]
+    fn bare_equals_is_an_error() {
+        assert!(lex("a = b").is_err());
+    }
+}

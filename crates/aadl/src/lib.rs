@@ -1,0 +1,90 @@
+//! # aadl — an AADL (SAE AS5506) front end
+//!
+//! This crate implements the subset of the Architecture Analysis and Design
+//! Language needed by the schedulability analysis of Sokolsky, Lee & Clarke,
+//! *Schedulability Analysis of AADL Models* (IPDPS 2006). It plays the role
+//! the OSATE modeling environment plays for the paper's tool chain: it turns
+//! a *declarative* model (component types, implementations, features,
+//! connections, properties, modes) into a fully *instantiated and bound*
+//! model on which the AADL → ACSR translation operates.
+//!
+//! The paper's §2 overview fixes the scope:
+//!
+//! * **Components** — software (system, process, thread, data) and execution
+//!   platform (processor, bus, memory, device) categories, with features
+//!   (data/event/event-data ports, access), implementations containing
+//!   interconnected subcomponents, and typed properties.
+//! * **Connections** — syntactic port connections composed into *semantic
+//!   connections*: starting from an ultimate source (thread or device), up the
+//!   containment hierarchy, across exactly one sibling connection, and down to
+//!   the ultimate destination. Connections may be bound to buses.
+//! * **Bindings** — application components bound to execution-platform
+//!   components (`Actual_Processor_Binding`, `Actual_Connection_Binding`).
+//! * **Modes** — declared and instantiated; the translation itself restricts
+//!   to single-mode models, as the paper does (§4: "we do not discuss handling
+//!   of modes").
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! .aadl text ──parse──▶ Package (declarative) ──instantiate──▶ InstanceModel
+//!                              ▲                                    │
+//!                        builder API                            validate (§4.1)
+//! ```
+//!
+//! ```
+//! use aadl::parser::parse_package;
+//! use aadl::instance::instantiate;
+//!
+//! let src = r#"
+//! package Tiny
+//! public
+//!   processor cpu_t
+//!   end cpu_t;
+//!   thread T
+//!     properties
+//!       Dispatch_Protocol => Periodic;
+//!       Period => 10 ms;
+//!       Compute_Execution_Time => 2 ms .. 2 ms;
+//!       Compute_Deadline => 10 ms;
+//!   end T;
+//!   system Top
+//!   end Top;
+//!   system implementation Top.impl
+//!     subcomponents
+//!       cpu: processor cpu_t;
+//!       t1: thread T;
+//!     properties
+//!       Scheduling_Protocol => RMS applies to cpu;
+//!       Actual_Processor_Binding => reference (cpu) applies to t1;
+//!   end Top.impl;
+//! end Tiny;
+//! "#;
+//! let pkg = parse_package(src).unwrap();
+//! let model = instantiate(&pkg, "Top.impl").unwrap();
+//! assert_eq!(model.threads().count(), 1);
+//! ```
+
+pub mod builder;
+pub mod check;
+pub mod examples;
+pub mod instance;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod pretty;
+pub mod properties;
+
+pub use check::{validate, ValidationError};
+pub use instance::{
+    instantiate, AccessInstance, CompId, ComponentInstance, ConnectionInstance, InstanceModel,
+};
+pub use model::{
+    Category, ComponentImpl, ComponentType, ConnKind, Connection, EndpointRef, Feature, FeatureKind,
+    Package, PortKind, PropertyAssoc, Subcomponent,
+};
+pub use parser::{parse_package, ParseError};
+pub use properties::{
+    DispatchProtocol, OverflowHandlingProtocol, PropertyValue, SchedulingProtocol, TimeUnit,
+    TimeVal,
+};

@@ -1,0 +1,480 @@
+//! The declarative AADL model: packages, component types and implementations,
+//! features, connections, modes and property associations (§2 of the paper).
+//!
+//! The declarative model is what the parser produces and the builder API
+//! constructs; [`instance`](crate::instance) turns it into the instance tree
+//! the translation consumes.
+
+use crate::properties::PropertyValue;
+
+/// AADL component categories (the subset the analysis handles; §2 of the
+/// paper lists processors, buses, memory, devices on the platform side and
+/// threads/systems on the application side).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// Unit of composition; may contain software and platform components.
+    System,
+    /// Protected address space containing threads.
+    Process,
+    /// Grouping of threads inside a process.
+    ThreadGroup,
+    /// Unit of execution with the semantic automaton of Fig. 4.
+    Thread,
+    /// Shared data component (ultimate destination of access connections).
+    Data,
+    /// Abstraction of hardware + OS; threads are bound to processors.
+    Processor,
+    /// Physical interconnect or protocol layer; connections bind to buses.
+    Bus,
+    /// Memory block.
+    Memory,
+    /// Device interacting with the environment; may terminate connections.
+    Device,
+}
+
+impl Category {
+    /// Parse a category keyword (case-insensitive).
+    pub fn parse(s: &str) -> Option<Category> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "system" => Category::System,
+            "process" => Category::Process,
+            "thread" => Category::Thread,
+            "data" => Category::Data,
+            "processor" => Category::Processor,
+            "bus" => Category::Bus,
+            "memory" => Category::Memory,
+            "device" => Category::Device,
+            _ => return None,
+        })
+    }
+
+    /// True for execution-platform categories.
+    pub fn is_platform(self) -> bool {
+        matches!(
+            self,
+            Category::Processor | Category::Bus | Category::Memory | Category::Device
+        )
+    }
+
+    /// True for categories that can be the ultimate source/destination of a
+    /// semantic port connection (§2: "Ultimate sources and destinations can
+    /// be thread or device components").
+    pub fn is_connection_terminal(self) -> bool {
+        matches!(self, Category::Thread | Category::Device)
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Category::System => "system",
+            Category::Process => "process",
+            Category::ThreadGroup => "thread group",
+            Category::Thread => "thread",
+            Category::Data => "data",
+            Category::Processor => "processor",
+            Category::Bus => "bus",
+            Category::Memory => "memory",
+            Category::Device => "device",
+        })
+    }
+}
+
+/// Kinds of ports.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PortKind {
+    /// Data port: latest-value semantics, no queuing; periodic receivers
+    /// sample at dispatch.
+    Data,
+    /// Event port: queued; dispatches event-driven threads.
+    Event,
+    /// Event data port: queued event carrying data.
+    EventData,
+}
+
+impl PortKind {
+    /// True for the queued kinds (event, event data) that get a queue process
+    /// in the translation (§4.4).
+    pub fn is_queued(self) -> bool {
+        matches!(self, PortKind::Event | PortKind::EventData)
+    }
+}
+
+/// Direction of a port feature.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Incoming.
+    In,
+    /// Outgoing.
+    Out,
+    /// Both (treated as in and out endpoints).
+    InOut,
+}
+
+impl Direction {
+    /// Can act as a source endpoint.
+    pub fn is_out(self) -> bool {
+        matches!(self, Direction::Out | Direction::InOut)
+    }
+
+    /// Can act as a destination endpoint.
+    pub fn is_in(self) -> bool {
+        matches!(self, Direction::In | Direction::InOut)
+    }
+}
+
+/// What a feature is.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FeatureKind {
+    /// A port.
+    Port {
+        /// Direction.
+        dir: Direction,
+        /// Data / event / event data.
+        kind: PortKind,
+    },
+    /// Requires access to an external data/bus component.
+    RequiresAccess {
+        /// The category of the accessed component (data or bus).
+        category: Category,
+    },
+    /// Provides access to an internal data/bus component.
+    ProvidesAccess {
+        /// The category of the accessed component (data or bus).
+        category: Category,
+    },
+}
+
+/// A feature of a component type.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Feature {
+    /// Feature name.
+    pub name: String,
+    /// Port / access kind.
+    pub kind: FeatureKind,
+    /// Properties declared directly on the feature (e.g. `Queue_Size`).
+    pub properties: Vec<PropertyAssoc>,
+}
+
+/// A component type: externally visible features and properties.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ComponentType {
+    /// Type name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Features.
+    pub features: Vec<Feature>,
+    /// Property associations.
+    pub properties: Vec<PropertyAssoc>,
+}
+
+impl ComponentType {
+    /// Find a feature by (case-insensitive) name.
+    pub fn feature(&self, name: &str) -> Option<&Feature> {
+        self.features
+            .iter()
+            .find(|f| f.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A subcomponent declaration inside an implementation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Subcomponent {
+    /// Subcomponent name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Classifier reference: a type name (`T`) or an implementation name
+    /// (`T.impl`). Empty for a classifier-less declaration.
+    pub classifier: String,
+    /// Modes in which the subcomponent is active (empty = all modes).
+    pub in_modes: Vec<String>,
+}
+
+/// One endpoint of a syntactic connection.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EndpointRef {
+    /// The subcomponent the feature belongs to; `None` when the endpoint is a
+    /// feature of the enclosing component itself.
+    pub subcomponent: Option<String>,
+    /// The feature name.
+    pub feature: String,
+}
+
+impl EndpointRef {
+    /// `sub.feature` endpoint.
+    pub fn sub(sub: &str, feature: &str) -> EndpointRef {
+        EndpointRef {
+            subcomponent: Some(sub.to_owned()),
+            feature: feature.to_owned(),
+        }
+    }
+
+    /// `feature` endpoint on the enclosing component.
+    pub fn own(feature: &str) -> EndpointRef {
+        EndpointRef {
+            subcomponent: None,
+            feature: feature.to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for EndpointRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.subcomponent {
+            Some(s) if self.feature.is_empty() => write!(f, "{s}"),
+            Some(s) => write!(f, "{s}.{}", self.feature),
+            None => write!(f, "{}", self.feature),
+        }
+    }
+}
+
+/// The kind of a syntactic connection.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ConnKind {
+    /// A port connection (`port a.x -> b.y`).
+    #[default]
+    Port,
+    /// A data access connection (`data access shared -> t.f`): grants the
+    /// destination's thread access to the source data component.
+    DataAccess,
+    /// A bus access connection.
+    BusAccess,
+}
+
+/// A syntactic connection declared in an implementation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Connection {
+    /// Connection name (used in diagnostics and binding `applies to`).
+    pub name: String,
+    /// Port or access connection.
+    pub kind: ConnKind,
+    /// Source endpoint (for access connections: the accessed component,
+    /// encoded as a subcomponent endpoint with an empty feature name).
+    pub src: EndpointRef,
+    /// Destination endpoint.
+    pub dst: EndpointRef,
+    /// Properties (e.g. `Actual_Connection_Binding`, `Urgency`).
+    pub properties: Vec<PropertyAssoc>,
+    /// Modes in which the connection is active (empty = all modes).
+    pub in_modes: Vec<String>,
+}
+
+/// A mode declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Mode {
+    /// Mode name.
+    pub name: String,
+    /// True for the initial mode.
+    pub initial: bool,
+}
+
+/// A mode transition `src -[ trigger ]-> dst`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ModeTransition {
+    /// Source mode.
+    pub src: String,
+    /// The event port whose event triggers the switch.
+    pub trigger: EndpointRef,
+    /// Destination mode.
+    pub dst: String,
+}
+
+/// A property association, optionally scoped with `applies to`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PropertyAssoc {
+    /// Property name.
+    pub name: String,
+    /// The value.
+    pub value: PropertyValue,
+    /// Target paths (each a dotted subcomponent path relative to the scope of
+    /// the declaration); empty = applies to the declaring element itself.
+    pub applies_to: Vec<Vec<String>>,
+}
+
+impl PropertyAssoc {
+    /// Unscoped association.
+    pub fn new(name: &str, value: PropertyValue) -> PropertyAssoc {
+        PropertyAssoc {
+            name: name.to_owned(),
+            value,
+            applies_to: Vec::new(),
+        }
+    }
+
+    /// Scoped association (`applies to path`).
+    pub fn applied(name: &str, value: PropertyValue, path: &[&str]) -> PropertyAssoc {
+        PropertyAssoc {
+            name: name.to_owned(),
+            value,
+            applies_to: vec![path.iter().map(|s| (*s).to_owned()).collect()],
+        }
+    }
+}
+
+/// A component implementation: internal structure of a type.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ComponentImpl {
+    /// Implementation name (`Type.impl_name`).
+    pub name: String,
+    /// The implemented type's name.
+    pub type_name: String,
+    /// Category (must match the type's).
+    pub category: Category,
+    /// Subcomponents.
+    pub subcomponents: Vec<Subcomponent>,
+    /// Syntactic connections.
+    pub connections: Vec<Connection>,
+    /// Mode declarations.
+    pub modes: Vec<Mode>,
+    /// Mode transitions.
+    pub mode_transitions: Vec<ModeTransition>,
+    /// Property associations (including `applies to` bindings).
+    pub properties: Vec<PropertyAssoc>,
+}
+
+impl ComponentImpl {
+    /// Find a subcomponent by (case-insensitive) name.
+    pub fn subcomponent(&self, name: &str) -> Option<&Subcomponent> {
+        self.subcomponents
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A package: the unit the parser produces.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Package {
+    /// Package name.
+    pub name: String,
+    /// Component types.
+    pub types: Vec<ComponentType>,
+    /// Component implementations.
+    pub impls: Vec<ComponentImpl>,
+}
+
+impl Package {
+    /// Find a component type by (case-insensitive) name.
+    pub fn find_type(&self, name: &str) -> Option<&ComponentType> {
+        self.types
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Find an implementation by (case-insensitive) name (`Type.impl`).
+    pub fn find_impl(&self, name: &str) -> Option<&ComponentImpl> {
+        self.impls
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a classifier reference to `(type, Option<impl>)`.
+    pub fn resolve(&self, classifier: &str) -> Option<(&ComponentType, Option<&ComponentImpl>)> {
+        if classifier.contains('.') {
+            let im = self.find_impl(classifier)?;
+            let ty = self.find_type(&im.type_name)?;
+            Some((ty, Some(im)))
+        } else {
+            self.find_type(classifier).map(|t| (t, None))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{PropertyValue, TimeVal};
+
+    fn tiny_package() -> Package {
+        Package {
+            name: "P".into(),
+            types: vec![
+                ComponentType {
+                    name: "T".into(),
+                    category: Category::Thread,
+                    features: vec![Feature {
+                        name: "out_p".into(),
+                        kind: FeatureKind::Port {
+                            dir: Direction::Out,
+                            kind: PortKind::Data,
+                        },
+                        properties: vec![],
+                    }],
+                    properties: vec![PropertyAssoc::new(
+                        "Period",
+                        PropertyValue::Time(TimeVal::ms(10)),
+                    )],
+                },
+                ComponentType {
+                    name: "Top".into(),
+                    category: Category::System,
+                    features: vec![],
+                    properties: vec![],
+                },
+            ],
+            impls: vec![ComponentImpl {
+                name: "Top.impl".into(),
+                type_name: "Top".into(),
+                category: Category::System,
+                subcomponents: vec![Subcomponent {
+                    name: "t1".into(),
+                    category: Category::Thread,
+                    classifier: "T".into(),
+                    in_modes: vec![],
+                }],
+                connections: vec![],
+                modes: vec![],
+                mode_transitions: vec![],
+                properties: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let p = tiny_package();
+        assert!(p.find_type("t").is_some());
+        assert!(p.find_impl("TOP.IMPL").is_some());
+        assert!(p.find_type("T").unwrap().feature("OUT_P").is_some());
+        assert!(p.find_impl("Top.impl").unwrap().subcomponent("T1").is_some());
+    }
+
+    #[test]
+    fn resolve_handles_types_and_impls() {
+        let p = tiny_package();
+        let (ty, im) = p.resolve("T").unwrap();
+        assert_eq!(ty.name, "T");
+        assert!(im.is_none());
+        let (ty, im) = p.resolve("Top.impl").unwrap();
+        assert_eq!(ty.name, "Top");
+        assert_eq!(im.unwrap().name, "Top.impl");
+        assert!(p.resolve("Nope").is_none());
+    }
+
+    #[test]
+    fn category_predicates() {
+        assert!(Category::Processor.is_platform());
+        assert!(!Category::Thread.is_platform());
+        assert!(Category::Thread.is_connection_terminal());
+        assert!(Category::Device.is_connection_terminal());
+        assert!(!Category::System.is_connection_terminal());
+        assert_eq!(Category::parse("PROCESSOR"), Some(Category::Processor));
+        assert_eq!(Category::parse("widget"), None);
+    }
+
+    #[test]
+    fn port_and_direction_predicates() {
+        assert!(PortKind::Event.is_queued());
+        assert!(PortKind::EventData.is_queued());
+        assert!(!PortKind::Data.is_queued());
+        assert!(Direction::InOut.is_in() && Direction::InOut.is_out());
+        assert!(Direction::In.is_in() && !Direction::In.is_out());
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(EndpointRef::sub("hci", "speed").to_string(), "hci.speed");
+        assert_eq!(EndpointRef::own("speed").to_string(), "speed");
+    }
+}

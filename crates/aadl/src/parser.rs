@@ -1,0 +1,823 @@
+//! Recursive-descent parser for the AADL textual subset.
+//!
+//! The accepted grammar (keywords case-insensitive):
+//!
+//! ```text
+//! package     ::= 'package' ident 'public' { classifier } 'end' ident ';'
+//! classifier  ::= category 'implementation' ident '.' ident { impl_section }
+//!                     'end' ident '.' ident ';'
+//!               | category ident [ 'features' { feature } ]
+//!                     [ 'properties' { prop } ] 'end' ident ';'
+//! category    ::= 'system' | 'process' | 'thread' | 'data'
+//!               | 'processor' | 'bus' | 'memory' | 'device'
+//! feature     ::= ident ':' ('in'|'out'|'in' 'out')
+//!                     ('data'|'event'|'event' 'data') 'port'
+//!                     [ '{' { prop } '}' ] ';'
+//!               | ident ':' ('requires'|'provides') ('data'|'bus') 'access'
+//!                     [ classifier_ref ] ';'
+//! impl_section::= 'subcomponents' { sub } | 'connections' { conn }
+//!               | 'properties' { prop }   | 'modes' { mode | transition }
+//! sub         ::= ident ':' category [ classifier_ref ]
+//!                     [ 'in' 'modes' '(' ident {',' ident} ')' ] ';'
+//! conn        ::= ident ':' 'port' endpoint '->' endpoint
+//!                     [ '{' { prop } '}' ]
+//!                     [ 'in' 'modes' '(' ident {',' ident} ')' ] ';'
+//! endpoint    ::= ident [ '.' ident ]
+//! prop        ::= ident '=>' pvalue [ 'applies' 'to' path {',' path} ] ';'
+//! pvalue      ::= int [ unit ] [ '..' int [ unit ] ]
+//!               | 'reference' '(' path ')' | '(' pvalue {',' pvalue} ')'
+//!               | 'true' | 'false' | string | ident
+//! path        ::= ident { '.' ident }
+//! mode        ::= ident ':' [ 'initial' ] 'mode' ';'
+//! transition  ::= ident '-[' endpoint ']->' ident ';'
+//! ```
+
+use std::fmt;
+
+use crate::lexer::{lex, LexError, Tok, Token};
+use crate::model::{
+    Category, ComponentImpl, ComponentType, ConnKind, Connection, Direction, EndpointRef, Feature,
+    FeatureKind, Mode, ModeTransition, Package, PortKind, PropertyAssoc, Subcomponent,
+};
+use crate::properties::{PropertyValue, TimeUnit, TimeVal};
+
+/// A parse error with source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line (1-based); 0 when the error came from the lexer without position.
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.message, self.line, self.col)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: format!("unexpected character {:?}", e.ch),
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parse one AADL package from source text.
+pub fn parse_package(src: &str) -> Result<Package, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.package()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    /// True when the next token is the given keyword (case-insensitive).
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{kw}`, found {}", self.peek().tok))
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek().tok))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// `ident ['.' ident]` — a classifier reference.
+    fn classifier_ref(&mut self) -> Result<String, ParseError> {
+        let mut s = self.ident()?;
+        if self.peek().tok == Tok::Dot {
+            self.next();
+            s.push('.');
+            s.push_str(&self.ident()?);
+        }
+        Ok(s)
+    }
+
+    /// `ident {'.' ident}` — a dotted path.
+    fn path(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut parts = vec![self.ident()?];
+        while self.peek().tok == Tok::Dot {
+            self.next();
+            parts.push(self.ident()?);
+        }
+        Ok(parts)
+    }
+
+    fn category(&mut self) -> Result<Category, ParseError> {
+        match &self.peek().tok {
+            Tok::Ident(s) => match Category::parse(s) {
+                Some(c) => {
+                    self.next();
+                    Ok(c)
+                }
+                None => self.err(format!("expected component category, found `{s}`")),
+            },
+            other => self.err(format!("expected component category, found {other}")),
+        }
+    }
+
+    fn package(&mut self) -> Result<Package, ParseError> {
+        self.expect_kw("package")?;
+        let name = self.ident()?;
+        self.expect_kw("public")?;
+        let mut pkg = Package {
+            name: name.clone(),
+            types: Vec::new(),
+            impls: Vec::new(),
+        };
+        while !self.at_kw("end") {
+            self.classifier(&mut pkg)?;
+        }
+        self.expect_kw("end")?;
+        let closing = self.ident()?;
+        if !closing.eq_ignore_ascii_case(&name) {
+            return self.err(format!(
+                "package `{name}` closed with mismatched name `{closing}`"
+            ));
+        }
+        self.expect_tok(Tok::Semi)?;
+        Ok(pkg)
+    }
+
+    fn classifier(&mut self, pkg: &mut Package) -> Result<(), ParseError> {
+        let category = self.category()?;
+        if self.eat_kw("implementation") {
+            let imp = self.component_impl(category)?;
+            pkg.impls.push(imp);
+        } else {
+            let ty = self.component_type(category)?;
+            pkg.types.push(ty);
+        }
+        Ok(())
+    }
+
+    fn component_type(&mut self, category: Category) -> Result<ComponentType, ParseError> {
+        let name = self.ident()?;
+        let mut ty = ComponentType {
+            name: name.clone(),
+            category,
+            features: Vec::new(),
+            properties: Vec::new(),
+        };
+        if self.eat_kw("features") {
+            while !self.at_kw("properties") && !self.at_kw("end") {
+                ty.features.push(self.feature()?);
+            }
+        }
+        if self.eat_kw("properties") {
+            while !self.at_kw("end") {
+                ty.properties.push(self.property()?);
+            }
+        }
+        self.expect_kw("end")?;
+        let closing = self.ident()?;
+        if !closing.eq_ignore_ascii_case(&name) {
+            return self.err(format!(
+                "component type `{name}` closed with mismatched name `{closing}`"
+            ));
+        }
+        self.expect_tok(Tok::Semi)?;
+        Ok(ty)
+    }
+
+    fn feature(&mut self) -> Result<Feature, ParseError> {
+        let name = self.ident()?;
+        self.expect_tok(Tok::Colon)?;
+        let kind = if self.at_kw("requires") || self.at_kw("provides") {
+            let provides = self.eat_kw("provides");
+            if !provides {
+                self.expect_kw("requires")?;
+            }
+            let cat = self.category()?;
+            if !matches!(cat, Category::Data | Category::Bus) {
+                return self.err("access features must be data or bus access");
+            }
+            self.expect_kw("access")?;
+            // Optional classifier reference, ignored for analysis purposes.
+            if matches!(&self.peek().tok, Tok::Ident(_)) {
+                let _ = self.classifier_ref()?;
+            }
+            if provides {
+                FeatureKind::ProvidesAccess { category: cat }
+            } else {
+                FeatureKind::RequiresAccess { category: cat }
+            }
+        } else {
+            let dir = if self.eat_kw("in") {
+                if self.eat_kw("out") {
+                    Direction::InOut
+                } else {
+                    Direction::In
+                }
+            } else if self.eat_kw("out") {
+                Direction::Out
+            } else {
+                return self.err("expected `in`, `out`, `requires` or `provides`");
+            };
+            let kind = if self.eat_kw("event") {
+                if self.eat_kw("data") {
+                    PortKind::EventData
+                } else {
+                    PortKind::Event
+                }
+            } else if self.eat_kw("data") {
+                PortKind::Data
+            } else {
+                return self.err("expected `data`, `event` or `event data` port kind");
+            };
+            self.expect_kw("port")?;
+            FeatureKind::Port { dir, kind }
+        };
+        let properties = self.optional_prop_block()?;
+        self.expect_tok(Tok::Semi)?;
+        Ok(Feature {
+            name,
+            kind,
+            properties,
+        })
+    }
+
+    fn optional_prop_block(&mut self) -> Result<Vec<PropertyAssoc>, ParseError> {
+        let mut props = Vec::new();
+        if self.peek().tok == Tok::LBrace {
+            self.next();
+            while self.peek().tok != Tok::RBrace {
+                props.push(self.property()?);
+            }
+            self.expect_tok(Tok::RBrace)?;
+        }
+        Ok(props)
+    }
+
+    fn component_impl(&mut self, category: Category) -> Result<ComponentImpl, ParseError> {
+        let type_name = self.ident()?;
+        self.expect_tok(Tok::Dot)?;
+        let impl_part = self.ident()?;
+        let name = format!("{type_name}.{impl_part}");
+        let mut imp = ComponentImpl {
+            name: name.clone(),
+            type_name,
+            category,
+            subcomponents: Vec::new(),
+            connections: Vec::new(),
+            modes: Vec::new(),
+            mode_transitions: Vec::new(),
+            properties: Vec::new(),
+        };
+        loop {
+            if self.eat_kw("subcomponents") {
+                while !self.at_section_end() {
+                    imp.subcomponents.push(self.subcomponent()?);
+                }
+            } else if self.eat_kw("connections") {
+                while !self.at_section_end() {
+                    imp.connections.push(self.connection()?);
+                }
+            } else if self.eat_kw("properties") {
+                while !self.at_section_end() {
+                    imp.properties.push(self.property()?);
+                }
+            } else if self.eat_kw("modes") {
+                while !self.at_section_end() {
+                    self.mode_or_transition(&mut imp)?;
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("end")?;
+        let closing = self.classifier_ref()?;
+        if !closing.eq_ignore_ascii_case(&name) {
+            return self.err(format!(
+                "implementation `{name}` closed with mismatched name `{closing}`"
+            ));
+        }
+        self.expect_tok(Tok::Semi)?;
+        Ok(imp)
+    }
+
+    fn at_section_end(&self) -> bool {
+        self.at_kw("subcomponents")
+            || self.at_kw("connections")
+            || self.at_kw("properties")
+            || self.at_kw("modes")
+            || self.at_kw("end")
+            || self.peek().tok == Tok::Eof
+    }
+
+    fn subcomponent(&mut self) -> Result<Subcomponent, ParseError> {
+        let name = self.ident()?;
+        self.expect_tok(Tok::Colon)?;
+        let category = self.category()?;
+        let classifier = if matches!(&self.peek().tok, Tok::Ident(_)) && !self.at_kw("in") {
+            self.classifier_ref()?
+        } else {
+            String::new()
+        };
+        let in_modes = self.optional_in_modes()?;
+        self.expect_tok(Tok::Semi)?;
+        Ok(Subcomponent {
+            name,
+            category,
+            classifier,
+            in_modes,
+        })
+    }
+
+    fn optional_in_modes(&mut self) -> Result<Vec<String>, ParseError> {
+        if self.eat_kw("in") {
+            self.expect_kw("modes")?;
+            self.expect_tok(Tok::LParen)?;
+            let mut modes = vec![self.ident()?];
+            while self.peek().tok == Tok::Comma {
+                self.next();
+                modes.push(self.ident()?);
+            }
+            self.expect_tok(Tok::RParen)?;
+            Ok(modes)
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    fn endpoint(&mut self) -> Result<EndpointRef, ParseError> {
+        let first = self.ident()?;
+        if self.peek().tok == Tok::Dot {
+            self.next();
+            let feature = self.ident()?;
+            Ok(EndpointRef {
+                subcomponent: Some(first),
+                feature,
+            })
+        } else {
+            Ok(EndpointRef {
+                subcomponent: None,
+                feature: first,
+            })
+        }
+    }
+
+    fn connection(&mut self) -> Result<Connection, ParseError> {
+        let name = self.ident()?;
+        self.expect_tok(Tok::Colon)?;
+        let kind = if self.eat_kw("port") {
+            ConnKind::Port
+        } else if self.eat_kw("data") {
+            self.expect_kw("access")?;
+            ConnKind::DataAccess
+        } else if self.eat_kw("bus") {
+            self.expect_kw("access")?;
+            ConnKind::BusAccess
+        } else {
+            return self.err("expected `port`, `data access` or `bus access`");
+        };
+        let src = if kind == ConnKind::Port {
+            self.endpoint()?
+        } else {
+            // Access source: the accessed component itself (`shared`) or a
+            // provides-access feature (`sub.f`).
+            self.access_endpoint()?
+        };
+        self.expect_tok(Tok::Arrow)?;
+        let dst = self.endpoint()?;
+        let properties = self.optional_prop_block()?;
+        let in_modes = self.optional_in_modes()?;
+        self.expect_tok(Tok::Semi)?;
+        Ok(Connection {
+            name,
+            kind,
+            src,
+            dst,
+            properties,
+            in_modes,
+        })
+    }
+
+    /// An access-connection source: `sub` (the component itself; empty
+    /// feature name) or `sub.feature`.
+    fn access_endpoint(&mut self) -> Result<EndpointRef, ParseError> {
+        let first = self.ident()?;
+        if self.peek().tok == Tok::Dot {
+            self.next();
+            let feature = self.ident()?;
+            Ok(EndpointRef {
+                subcomponent: Some(first),
+                feature,
+            })
+        } else {
+            Ok(EndpointRef {
+                subcomponent: Some(first),
+                feature: String::new(),
+            })
+        }
+    }
+
+    fn mode_or_transition(&mut self, imp: &mut ComponentImpl) -> Result<(), ParseError> {
+        let name = self.ident()?;
+        match self.peek().tok {
+            Tok::Colon => {
+                self.next();
+                let initial = self.eat_kw("initial");
+                self.expect_kw("mode")?;
+                self.expect_tok(Tok::Semi)?;
+                imp.modes.push(Mode { name, initial });
+            }
+            Tok::TransArrowOpen => {
+                self.next();
+                let trigger = self.endpoint()?;
+                self.expect_tok(Tok::TransArrowClose)?;
+                let dst = self.ident()?;
+                self.expect_tok(Tok::Semi)?;
+                imp.mode_transitions.push(ModeTransition {
+                    src: name,
+                    trigger,
+                    dst,
+                });
+            }
+            _ => return self.err("expected `:` (mode) or `-[` (mode transition)"),
+        }
+        Ok(())
+    }
+
+    fn property(&mut self) -> Result<PropertyAssoc, ParseError> {
+        let name = self.ident()?;
+        self.expect_tok(Tok::FatArrow)?;
+        let value = self.property_value()?;
+        let mut applies_to = Vec::new();
+        if self.eat_kw("applies") {
+            self.expect_kw("to")?;
+            applies_to.push(self.path()?);
+            while self.peek().tok == Tok::Comma {
+                self.next();
+                applies_to.push(self.path()?);
+            }
+        }
+        self.expect_tok(Tok::Semi)?;
+        Ok(PropertyAssoc {
+            name,
+            value,
+            applies_to,
+        })
+    }
+
+    fn property_value(&mut self) -> Result<PropertyValue, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.next();
+                // Optional unit, optional range.
+                let unit = self.try_time_unit();
+                if self.peek().tok == Tok::DotDot {
+                    self.next();
+                    let hi = match self.peek().tok.clone() {
+                        Tok::Int(h) => {
+                            self.next();
+                            h
+                        }
+                        other => return self.err(format!("expected integer, found {other}")),
+                    };
+                    let hi_unit = self.try_time_unit();
+                    match (unit, hi_unit) {
+                        (Some(u1), Some(u2)) => Ok(PropertyValue::TimeRange(
+                            TimeVal::new(v, u1),
+                            TimeVal::new(hi, u2),
+                        )),
+                        (None, None) => Ok(PropertyValue::IntRange(v, hi)),
+                        _ => self.err("range mixes unit-less and unit-carrying bounds"),
+                    }
+                } else {
+                    match unit {
+                        Some(u) => Ok(PropertyValue::Time(TimeVal::new(v, u))),
+                        None => Ok(PropertyValue::Int(v)),
+                    }
+                }
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(PropertyValue::Str(s))
+            }
+            Tok::LParen => {
+                self.next();
+                let mut items = vec![self.property_value()?];
+                while self.peek().tok == Tok::Comma {
+                    self.next();
+                    items.push(self.property_value()?);
+                }
+                self.expect_tok(Tok::RParen)?;
+                Ok(PropertyValue::List(items))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("reference") => {
+                self.next();
+                self.expect_tok(Tok::LParen)?;
+                let path = self.path()?;
+                self.expect_tok(Tok::RParen)?;
+                Ok(PropertyValue::Reference(path))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.next();
+                Ok(PropertyValue::Bool(true))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.next();
+                Ok(PropertyValue::Bool(false))
+            }
+            Tok::Ident(s) => {
+                self.next();
+                Ok(PropertyValue::Enum(s))
+            }
+            other => self.err(format!("expected property value, found {other}")),
+        }
+    }
+
+    /// Consume an identifier that names a time unit, if the next token is one.
+    fn try_time_unit(&mut self) -> Option<TimeUnit> {
+        if let Tok::Ident(s) = &self.peek().tok {
+            if let Some(u) = TimeUnit::parse(s) {
+                self.next();
+                return Some(u);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+-- A two-thread system on one processor.
+package Small
+public
+  processor cpu_t
+    properties
+      Scheduling_Protocol => RMS;
+  end cpu_t;
+
+  thread Sensor
+    features
+      reading: out data port;
+      alarm: out event port;
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 20 ms;
+      Compute_Execution_Time => 3 ms .. 5 ms;
+      Compute_Deadline => 20 ms;
+  end Sensor;
+
+  thread Handler
+    features
+      trigger: in event port { Queue_Size => 2; Overflow_Handling_Protocol => Error; };
+    properties
+      Dispatch_Protocol => Sporadic;
+      Period => 40 ms;
+      Compute_Execution_Time => 4 ms .. 4 ms;
+      Compute_Deadline => 30 ms;
+  end Handler;
+
+  system Top
+  end Top;
+
+  system implementation Top.impl
+    subcomponents
+      cpu: processor cpu_t;
+      sensor: thread Sensor;
+      handler: thread Handler;
+    connections
+      c1: port sensor.alarm -> handler.trigger { Urgency => 3; };
+    properties
+      Actual_Processor_Binding => reference (cpu) applies to sensor, handler;
+  end Top.impl;
+end Small;
+"#;
+
+    #[test]
+    fn parses_the_small_package() {
+        let pkg = parse_package(SMALL).unwrap();
+        assert_eq!(pkg.name, "Small");
+        assert_eq!(pkg.types.len(), 4);
+        assert_eq!(pkg.impls.len(), 1);
+        let sensor = pkg.find_type("Sensor").unwrap();
+        assert_eq!(sensor.category, Category::Thread);
+        assert_eq!(sensor.features.len(), 2);
+        let imp = pkg.find_impl("Top.impl").unwrap();
+        assert_eq!(imp.subcomponents.len(), 3);
+        assert_eq!(imp.connections.len(), 1);
+    }
+
+    #[test]
+    fn feature_properties_are_attached() {
+        let pkg = parse_package(SMALL).unwrap();
+        let h = pkg.find_type("Handler").unwrap();
+        let trig = h.feature("trigger").unwrap();
+        assert_eq!(trig.properties.len(), 2);
+        assert_eq!(trig.properties[0].name, "Queue_Size");
+        assert_eq!(trig.properties[0].value, PropertyValue::Int(2));
+        assert!(matches!(
+            trig.kind,
+            FeatureKind::Port {
+                dir: Direction::In,
+                kind: PortKind::Event
+            }
+        ));
+    }
+
+    #[test]
+    fn time_ranges_parse() {
+        let pkg = parse_package(SMALL).unwrap();
+        let s = pkg.find_type("Sensor").unwrap();
+        let cet = s
+            .properties
+            .iter()
+            .find(|p| p.name == "Compute_Execution_Time")
+            .unwrap();
+        assert_eq!(
+            cet.value,
+            PropertyValue::TimeRange(TimeVal::ms(3), TimeVal::ms(5))
+        );
+    }
+
+    #[test]
+    fn applies_to_multiple_paths() {
+        let pkg = parse_package(SMALL).unwrap();
+        let imp = pkg.find_impl("Top.impl").unwrap();
+        let binding = imp
+            .properties
+            .iter()
+            .find(|p| p.name == "Actual_Processor_Binding")
+            .unwrap();
+        assert_eq!(binding.applies_to.len(), 2);
+        assert_eq!(binding.applies_to[0], vec!["sensor".to_string()]);
+        assert_eq!(
+            binding.value,
+            PropertyValue::Reference(vec!["cpu".to_string()])
+        );
+    }
+
+    #[test]
+    fn connection_properties_parse() {
+        let pkg = parse_package(SMALL).unwrap();
+        let imp = pkg.find_impl("Top.impl").unwrap();
+        let c = &imp.connections[0];
+        assert_eq!(c.src, EndpointRef::sub("sensor", "alarm"));
+        assert_eq!(c.dst, EndpointRef::sub("handler", "trigger"));
+        assert_eq!(c.properties[0].name, "Urgency");
+    }
+
+    #[test]
+    fn modes_parse() {
+        let src = r#"
+package M
+public
+  system S
+  end S;
+  system implementation S.impl
+    subcomponents
+      a: system S in modes (nominal);
+    modes
+      nominal: initial mode;
+      degraded: mode;
+      nominal -[ a.fail ]-> degraded;
+  end S.impl;
+end M;
+"#;
+        let pkg = parse_package(src).unwrap();
+        let imp = pkg.find_impl("S.impl").unwrap();
+        assert_eq!(imp.modes.len(), 2);
+        assert!(imp.modes[0].initial);
+        assert!(!imp.modes[1].initial);
+        assert_eq!(imp.mode_transitions.len(), 1);
+        assert_eq!(imp.mode_transitions[0].src, "nominal");
+        assert_eq!(imp.mode_transitions[0].dst, "degraded");
+        assert_eq!(imp.subcomponents[0].in_modes, vec!["nominal".to_string()]);
+    }
+
+    #[test]
+    fn mismatched_end_name_is_an_error() {
+        let err = parse_package("package A public end B;").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_package("package A\npublic\n  gadget X end X;\nend A;").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("category"), "{err}");
+    }
+
+    #[test]
+    fn list_values_parse() {
+        let src = r#"
+package L
+public
+  system S
+    properties
+      Actual_Connection_Binding => (reference (b1), reference (b2));
+  end S;
+end L;
+"#;
+        let pkg = parse_package(src).unwrap();
+        let s = pkg.find_type("S").unwrap();
+        let refs = s.properties[0].value.references();
+        assert_eq!(refs.len(), 2);
+    }
+
+    #[test]
+    fn access_features_parse() {
+        let src = r#"
+package A
+public
+  thread T
+    features
+      shared: requires data access;
+      net: requires bus access eth;
+  end T;
+end A;
+"#;
+        let pkg = parse_package(src).unwrap();
+        let t = pkg.find_type("T").unwrap();
+        assert!(matches!(
+            t.feature("shared").unwrap().kind,
+            FeatureKind::RequiresAccess {
+                category: Category::Data
+            }
+        ));
+        assert!(matches!(
+            t.feature("net").unwrap().kind,
+            FeatureKind::RequiresAccess {
+                category: Category::Bus
+            }
+        ));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let src = "PACKAGE p PUBLIC THREAD t END t; END p;";
+        let pkg = parse_package(src).unwrap();
+        assert_eq!(pkg.types[0].name, "t");
+    }
+}

@@ -1,0 +1,234 @@
+//! Unparser: render a declarative [`Package`] back to AADL text.
+//!
+//! The output re-parses to an equal model (round-trip property, tested here
+//! and in the crate's proptest suite), which keeps the parser, the builder and
+//! the printer honest with one another.
+
+use std::fmt::Write as _;
+
+use crate::model::{
+    Category, ComponentImpl, ComponentType, Direction, Feature, FeatureKind, Package, PortKind,
+    PropertyAssoc,
+};
+
+/// Render a package to AADL text.
+pub fn render_package(pkg: &Package) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "package {}", pkg.name);
+    let _ = writeln!(out, "public");
+    for ty in &pkg.types {
+        render_type(&mut out, ty);
+    }
+    for imp in &pkg.impls {
+        render_impl(&mut out, imp);
+    }
+    let _ = writeln!(out, "end {};", pkg.name);
+    out
+}
+
+fn render_type(out: &mut String, ty: &ComponentType) {
+    let _ = writeln!(out, "  {} {}", category_kw(ty.category), ty.name);
+    if !ty.features.is_empty() {
+        let _ = writeln!(out, "    features");
+        for f in &ty.features {
+            render_feature(out, f);
+        }
+    }
+    if !ty.properties.is_empty() {
+        let _ = writeln!(out, "    properties");
+        for p in &ty.properties {
+            render_prop(out, p, "      ");
+        }
+    }
+    let _ = writeln!(out, "  end {};", ty.name);
+}
+
+fn render_feature(out: &mut String, f: &Feature) {
+    match &f.kind {
+        FeatureKind::Port { dir, kind } => {
+            let dir_s = match dir {
+                Direction::In => "in",
+                Direction::Out => "out",
+                Direction::InOut => "in out",
+            };
+            let kind_s = match kind {
+                PortKind::Data => "data",
+                PortKind::Event => "event",
+                PortKind::EventData => "event data",
+            };
+            let _ = write!(out, "      {}: {dir_s} {kind_s} port", f.name);
+        }
+        FeatureKind::RequiresAccess { category } => {
+            let _ = write!(out, "      {}: requires {} access", f.name, category_kw(*category));
+        }
+        FeatureKind::ProvidesAccess { category } => {
+            let _ = write!(out, "      {}: provides {} access", f.name, category_kw(*category));
+        }
+    }
+    if !f.properties.is_empty() {
+        let _ = write!(out, " {{ ");
+        for p in &f.properties {
+            let _ = write!(out, "{} => {}; ", p.name, p.value);
+        }
+        let _ = write!(out, "}}");
+    }
+    let _ = writeln!(out, ";");
+}
+
+fn render_impl(out: &mut String, imp: &ComponentImpl) {
+    let _ = writeln!(
+        out,
+        "  {} implementation {}",
+        category_kw(imp.category),
+        imp.name
+    );
+    if !imp.subcomponents.is_empty() {
+        let _ = writeln!(out, "    subcomponents");
+        for s in &imp.subcomponents {
+            let _ = write!(out, "      {}: {}", s.name, category_kw(s.category));
+            if !s.classifier.is_empty() {
+                let _ = write!(out, " {}", s.classifier);
+            }
+            if !s.in_modes.is_empty() {
+                let _ = write!(out, " in modes ({})", s.in_modes.join(", "));
+            }
+            let _ = writeln!(out, ";");
+        }
+    }
+    if !imp.connections.is_empty() {
+        let _ = writeln!(out, "    connections");
+        for c in &imp.connections {
+            let kw = match c.kind {
+                crate::model::ConnKind::Port => "port",
+                crate::model::ConnKind::DataAccess => "data access",
+                crate::model::ConnKind::BusAccess => "bus access",
+            };
+            let _ = write!(out, "      {}: {kw} {} -> {}", c.name, c.src, c.dst);
+            if !c.properties.is_empty() {
+                let _ = write!(out, " {{ ");
+                for p in &c.properties {
+                    let _ = write!(out, "{} => {}; ", p.name, p.value);
+                }
+                let _ = write!(out, "}}");
+            }
+            if !c.in_modes.is_empty() {
+                let _ = write!(out, " in modes ({})", c.in_modes.join(", "));
+            }
+            let _ = writeln!(out, ";");
+        }
+    }
+    if !imp.modes.is_empty() || !imp.mode_transitions.is_empty() {
+        let _ = writeln!(out, "    modes");
+        for m in &imp.modes {
+            let init = if m.initial { "initial " } else { "" };
+            let _ = writeln!(out, "      {}: {init}mode;", m.name);
+        }
+        for t in &imp.mode_transitions {
+            let _ = writeln!(out, "      {} -[ {} ]-> {};", t.src, t.trigger, t.dst);
+        }
+    }
+    if !imp.properties.is_empty() {
+        let _ = writeln!(out, "    properties");
+        for p in &imp.properties {
+            render_prop(out, p, "      ");
+        }
+    }
+    let _ = writeln!(out, "  end {};", imp.name);
+}
+
+fn render_prop(out: &mut String, p: &PropertyAssoc, indent: &str) {
+    let _ = write!(out, "{indent}{} => {}", p.name, p.value);
+    if !p.applies_to.is_empty() {
+        let paths: Vec<String> = p.applies_to.iter().map(|path| path.join(".")).collect();
+        let _ = write!(out, " applies to {}", paths.join(", "));
+    }
+    let _ = writeln!(out, ";");
+}
+
+fn category_kw(c: Category) -> &'static str {
+    match c {
+        Category::System => "system",
+        Category::Process => "process",
+        Category::ThreadGroup => "thread",
+        Category::Thread => "thread",
+        Category::Data => "data",
+        Category::Processor => "processor",
+        Category::Bus => "bus",
+        Category::Memory => "memory",
+        Category::Device => "device",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PackageBuilder;
+    use crate::parser::parse_package;
+    use crate::properties::{names, PropertyValue, TimeVal};
+
+    #[test]
+    fn round_trip_through_text() {
+        let pkg = PackageBuilder::new("RT")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "EDF"))
+            .bus("net")
+            .periodic_thread(
+                "T1",
+                TimeVal::ms(20),
+                (TimeVal::ms(3), TimeVal::ms(5)),
+                TimeVal::ms(20),
+            )
+            .thread("T2", |t| {
+                t.in_event_port("go")
+                    .feature_prop("Queue_Size", PropertyValue::Int(3))
+                    .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                    .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(40)))
+                    .prop(
+                        names::COMPUTE_EXECUTION_TIME,
+                        PropertyValue::TimeRange(TimeVal::ms(2), TimeVal::ms(2)),
+                    )
+                    .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(30)))
+            })
+            .thread("T0", |t| {
+                t.out_event_port("alarm")
+                    .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                    .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(40)))
+                    .prop(
+                        names::COMPUTE_EXECUTION_TIME,
+                        PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                    )
+                    .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(40)))
+            })
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("b", Category::Bus, "net")
+                    .sub("t0", Category::Thread, "T0")
+                    .sub("t1", Category::Thread, "T1")
+                    .sub("t2", Category::Thread, "T2")
+                    .connect("c1", "t0.alarm", "t2.go")
+                    .bind_bus("b")
+                    .bind_processor("t0", "cpu")
+                    .bind_processor("t1", "cpu")
+                    .bind_processor("t2", "cpu")
+            })
+            .build();
+        let text = render_package(&pkg);
+        let reparsed = parse_package(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(pkg, reparsed, "round trip failed:\n{text}");
+    }
+
+    #[test]
+    fn renders_modes() {
+        let pkg = PackageBuilder::new("M")
+            .system("S", |s| s)
+            .implementation("S.impl", Category::System, |i| {
+                i.mode("nominal", true).mode("degraded", false)
+            })
+            .build();
+        let text = render_package(&pkg);
+        assert!(text.contains("nominal: initial mode;"));
+        assert!(text.contains("degraded: mode;"));
+        let reparsed = parse_package(&text).unwrap();
+        assert_eq!(pkg, reparsed);
+    }
+}

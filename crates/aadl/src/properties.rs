@@ -1,0 +1,616 @@
+//! The AADL property system (the subset the analysis consumes).
+//!
+//! Properties carry the timing and deployment information the translation
+//! needs (§4.1 of the paper): every thread must specify `Dispatch_Protocol`,
+//! `Compute_Execution_Time` and `Compute_Deadline`; every processor with
+//! bound threads must specify `Scheduling_Protocol`; event/event-data ports
+//! may specify `Queue_Size`, `Overflow_Handling_Protocol` and `Urgency`;
+//! bindings are expressed through `Actual_Processor_Binding` and
+//! `Actual_Connection_Binding` reference properties.
+//!
+//! Values are dynamically typed ([`PropertyValue`]); typed accessors live on
+//! [`PropertyMap`]. Time values keep their unit until the translation layer
+//! converts them to scheduling quanta.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Standard property names used by the tool chain (case preserved for
+/// display; lookups are case-insensitive as AADL requires).
+pub mod names {
+    /// Thread dispatch protocol: `Periodic`, `Aperiodic`, `Sporadic`, `Background`.
+    pub const DISPATCH_PROTOCOL: &str = "Dispatch_Protocol";
+    /// Period (periodic threads) or minimum inter-arrival separation (sporadic).
+    pub const PERIOD: &str = "Period";
+    /// Range of execution times for the compute entrypoint.
+    pub const COMPUTE_EXECUTION_TIME: &str = "Compute_Execution_Time";
+    /// Deadline of the compute entrypoint, relative to dispatch.
+    pub const COMPUTE_DEADLINE: &str = "Compute_Deadline";
+    /// Scheduling policy of a processor: `RMS`, `DMS`, `EDF`, `LLF`, `HPF`.
+    pub const SCHEDULING_PROTOCOL: &str = "Scheduling_Protocol";
+    /// Explicit thread priority (used by the `HPF` policy).
+    pub const PRIORITY: &str = "Priority";
+    /// Event/event-data port queue capacity (default 1, §4.4).
+    pub const QUEUE_SIZE: &str = "Queue_Size";
+    /// What happens on queue overflow: `DropNewest`, `DropOldest`, `Error` (§4.4).
+    pub const OVERFLOW_HANDLING_PROTOCOL: &str = "Overflow_Handling_Protocol";
+    /// Priority of a connection's dequeue communication (§4.3).
+    pub const URGENCY: &str = "Urgency";
+    /// Thread → processor binding (reference value).
+    pub const ACTUAL_PROCESSOR_BINDING: &str = "Actual_Processor_Binding";
+    /// Connection → bus binding (reference value).
+    pub const ACTUAL_CONNECTION_BINDING: &str = "Actual_Connection_Binding";
+    /// Extension: the size of one scheduling quantum for the discrete-time
+    /// abstraction of §4.1 (defaults to the GCD of all timing properties).
+    pub const SCHEDULING_QUANTUM: &str = "Scheduling_Quantum";
+}
+
+/// AADL time units.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TimeUnit {
+    /// Picoseconds.
+    Ps,
+    /// Nanoseconds.
+    Ns,
+    /// Microseconds.
+    Us,
+    /// Milliseconds.
+    Ms,
+    /// Seconds.
+    Sec,
+    /// Minutes.
+    Min,
+    /// Hours.
+    Hr,
+}
+
+impl TimeUnit {
+    /// Parse a unit name (case-insensitive).
+    pub fn parse(s: &str) -> Option<TimeUnit> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "ps" => TimeUnit::Ps,
+            "ns" => TimeUnit::Ns,
+            "us" => TimeUnit::Us,
+            "ms" => TimeUnit::Ms,
+            "sec" | "s" => TimeUnit::Sec,
+            "min" => TimeUnit::Min,
+            "hr" | "h" => TimeUnit::Hr,
+            _ => return None,
+        })
+    }
+
+    /// Factor to picoseconds (the finest AADL unit).
+    pub fn to_ps(self) -> i64 {
+        match self {
+            TimeUnit::Ps => 1,
+            TimeUnit::Ns => 1_000,
+            TimeUnit::Us => 1_000_000,
+            TimeUnit::Ms => 1_000_000_000,
+            TimeUnit::Sec => 1_000_000_000_000,
+            TimeUnit::Min => 60 * 1_000_000_000_000,
+            TimeUnit::Hr => 3600 * 1_000_000_000_000,
+        }
+    }
+}
+
+impl fmt::Display for TimeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TimeUnit::Ps => "ps",
+            TimeUnit::Ns => "ns",
+            TimeUnit::Us => "us",
+            TimeUnit::Ms => "ms",
+            TimeUnit::Sec => "sec",
+            TimeUnit::Min => "min",
+            TimeUnit::Hr => "hr",
+        })
+    }
+}
+
+/// A time value with its unit.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TimeVal {
+    /// Magnitude in `unit`s.
+    pub value: i64,
+    /// The unit.
+    pub unit: TimeUnit,
+}
+
+impl TimeVal {
+    /// Construct.
+    pub fn new(value: i64, unit: TimeUnit) -> TimeVal {
+        TimeVal { value, unit }
+    }
+
+    /// Milliseconds shorthand.
+    pub fn ms(value: i64) -> TimeVal {
+        TimeVal::new(value, TimeUnit::Ms)
+    }
+
+    /// Convert to picoseconds.
+    pub fn as_ps(self) -> i64 {
+        self.value.saturating_mul(self.unit.to_ps())
+    }
+}
+
+impl PartialOrd for TimeVal {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeVal {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ps().cmp(&other.as_ps())
+    }
+}
+
+impl fmt::Display for TimeVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.value, self.unit)
+    }
+}
+
+/// A dynamically typed AADL property value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PropertyValue {
+    /// Integer (unitless).
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Enumeration literal (e.g. `Periodic`).
+    Enum(String),
+    /// Time with unit.
+    Time(TimeVal),
+    /// Time range (`min .. max`).
+    TimeRange(TimeVal, TimeVal),
+    /// Integer range.
+    IntRange(i64, i64),
+    /// Reference to a component, as a path of subcomponent names.
+    Reference(Vec<String>),
+    /// List of values.
+    List(Vec<PropertyValue>),
+}
+
+impl PropertyValue {
+    /// As integer, when the value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropertyValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As time, when the value is a `Time`.
+    pub fn as_time(&self) -> Option<TimeVal> {
+        match self {
+            PropertyValue::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// As a time range; a single `Time` value counts as a point range.
+    pub fn as_time_range(&self) -> Option<(TimeVal, TimeVal)> {
+        match self {
+            PropertyValue::TimeRange(a, b) => Some((*a, *b)),
+            PropertyValue::Time(t) => Some((*t, *t)),
+            _ => None,
+        }
+    }
+
+    /// As enumeration literal.
+    pub fn as_enum(&self) -> Option<&str> {
+        match self {
+            PropertyValue::Enum(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As a reference path. A singleton `List` of one reference also counts
+    /// (AADL binding properties are list-valued).
+    pub fn as_reference(&self) -> Option<&[String]> {
+        match self {
+            PropertyValue::Reference(p) => Some(p),
+            PropertyValue::List(l) if l.len() == 1 => l[0].as_reference(),
+            _ => None,
+        }
+    }
+
+    /// All reference paths contained in this value (for list-valued bindings).
+    pub fn references(&self) -> Vec<&[String]> {
+        match self {
+            PropertyValue::Reference(p) => vec![p.as_slice()],
+            PropertyValue::List(l) => l.iter().flat_map(|v| v.references()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for PropertyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyValue::Int(v) => write!(f, "{v}"),
+            PropertyValue::Bool(b) => write!(f, "{b}"),
+            PropertyValue::Str(s) => write!(f, "{s:?}"),
+            PropertyValue::Enum(e) => write!(f, "{e}"),
+            PropertyValue::Time(t) => write!(f, "{t}"),
+            PropertyValue::TimeRange(a, b) => write!(f, "{a} .. {b}"),
+            PropertyValue::IntRange(a, b) => write!(f, "{a} .. {b}"),
+            PropertyValue::Reference(p) => write!(f, "reference ({})", p.join(".")),
+            PropertyValue::List(l) => {
+                write!(f, "(")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Thread dispatch protocols (§2 of the paper: "Threads are classified into
+/// periodic, aperiodic, sporadic, and background threads").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DispatchProtocol {
+    /// Dispatched by a timer every `Period`; ignores external events.
+    Periodic,
+    /// Dispatched by an arriving event, no arrival constraint.
+    Aperiodic,
+    /// Dispatched by an arriving event with minimum separation `Period`.
+    Sporadic,
+    /// Dispatched once, immediately after initialization; no deadline.
+    Background,
+}
+
+impl DispatchProtocol {
+    /// Parse an enumeration literal (case-insensitive).
+    pub fn parse(s: &str) -> Option<DispatchProtocol> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "periodic" => DispatchProtocol::Periodic,
+            "aperiodic" => DispatchProtocol::Aperiodic,
+            "sporadic" => DispatchProtocol::Sporadic,
+            "background" => DispatchProtocol::Background,
+            _ => return None,
+        })
+    }
+
+    /// True for the protocols dispatched by incoming events.
+    pub fn is_event_driven(self) -> bool {
+        matches!(
+            self,
+            DispatchProtocol::Aperiodic | DispatchProtocol::Sporadic
+        )
+    }
+}
+
+impl fmt::Display for DispatchProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DispatchProtocol::Periodic => "Periodic",
+            DispatchProtocol::Aperiodic => "Aperiodic",
+            DispatchProtocol::Sporadic => "Sporadic",
+            DispatchProtocol::Background => "Background",
+        })
+    }
+}
+
+/// Processor scheduling protocols encodable as ACSR priority assignments
+/// (§5 of the paper).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SchedulingProtocol {
+    /// Rate-monotonic: static priorities by ascending period.
+    Rms,
+    /// Deadline-monotonic: static priorities by ascending deadline.
+    Dms,
+    /// Fixed priorities from the `Priority` thread property.
+    Hpf,
+    /// Earliest-deadline-first via the parametric priority `dmax - (d - t)`.
+    Edf,
+    /// Least-laxity-first via the parametric priority `Lmax - laxity(e, t)`.
+    Llf,
+}
+
+impl SchedulingProtocol {
+    /// Parse an enumeration literal (several OSATE spellings accepted).
+    pub fn parse(s: &str) -> Option<SchedulingProtocol> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "rms" | "rate_monotonic" | "rate_monotonic_protocol" => SchedulingProtocol::Rms,
+            "dms" | "deadline_monotonic" | "deadline_monotonic_protocol" => {
+                SchedulingProtocol::Dms
+            }
+            "hpf" | "fixed_priority" | "posix_1003_highest_priority_first_protocol" => {
+                SchedulingProtocol::Hpf
+            }
+            "edf" | "earliest_deadline_first" | "earliest_deadline_first_protocol" => {
+                SchedulingProtocol::Edf
+            }
+            "llf" | "least_laxity_first" | "least_laxity_first_protocol" => {
+                SchedulingProtocol::Llf
+            }
+            _ => return None,
+        })
+    }
+
+    /// True for fixed-priority (static) policies.
+    pub fn is_static(self) -> bool {
+        matches!(
+            self,
+            SchedulingProtocol::Rms | SchedulingProtocol::Dms | SchedulingProtocol::Hpf
+        )
+    }
+}
+
+impl fmt::Display for SchedulingProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedulingProtocol::Rms => "RMS",
+            SchedulingProtocol::Dms => "DMS",
+            SchedulingProtocol::Hpf => "HPF",
+            SchedulingProtocol::Edf => "EDF",
+            SchedulingProtocol::Llf => "LLF",
+        })
+    }
+}
+
+/// Behaviour of a full event queue (§4.4 of the paper).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OverflowHandlingProtocol {
+    /// Quietly drop the incoming event (self-loop in the queue process).
+    #[default]
+    DropNewest,
+    /// Drop the oldest queued event. In the counter abstraction of §4.4 the
+    /// queue only tracks the number of pending events, so this behaves like
+    /// `DropNewest` for analysis purposes.
+    DropOldest,
+    /// Raise an error: the queue process moves to an error state (a deadlock
+    /// distinguishable in diagnostics).
+    Error,
+}
+
+impl OverflowHandlingProtocol {
+    /// Parse an enumeration literal (case-insensitive).
+    pub fn parse(s: &str) -> Option<OverflowHandlingProtocol> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "dropnewest" | "drop_newest" => OverflowHandlingProtocol::DropNewest,
+            "dropoldest" | "drop_oldest" => OverflowHandlingProtocol::DropOldest,
+            "error" => OverflowHandlingProtocol::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OverflowHandlingProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverflowHandlingProtocol::DropNewest => "DropNewest",
+            OverflowHandlingProtocol::DropOldest => "DropOldest",
+            OverflowHandlingProtocol::Error => "Error",
+        })
+    }
+}
+
+/// A case-insensitive property name → value map with typed accessors.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PropertyMap {
+    entries: BTreeMap<String, PropertyValue>,
+}
+
+impl PropertyMap {
+    /// Empty map.
+    pub fn new() -> PropertyMap {
+        PropertyMap::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Insert (or overwrite) a property.
+    pub fn set(&mut self, name: &str, value: PropertyValue) {
+        self.entries.insert(Self::key(name), value);
+    }
+
+    /// Look up a property.
+    pub fn get(&self, name: &str) -> Option<&PropertyValue> {
+        self.entries.get(&Self::key(name))
+    }
+
+    /// True when the property is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&Self::key(name))
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate (lower-cased name, value).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PropertyValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Typed: the thread's dispatch protocol.
+    pub fn dispatch_protocol(&self) -> Option<DispatchProtocol> {
+        self.get(names::DISPATCH_PROTOCOL)?
+            .as_enum()
+            .and_then(DispatchProtocol::parse)
+    }
+
+    /// Typed: the processor's scheduling protocol.
+    pub fn scheduling_protocol(&self) -> Option<SchedulingProtocol> {
+        self.get(names::SCHEDULING_PROTOCOL)?
+            .as_enum()
+            .and_then(SchedulingProtocol::parse)
+    }
+
+    /// Typed: the period / minimum separation.
+    pub fn period(&self) -> Option<TimeVal> {
+        self.get(names::PERIOD)?.as_time()
+    }
+
+    /// Typed: the `(min, max)` compute execution time.
+    pub fn compute_execution_time(&self) -> Option<(TimeVal, TimeVal)> {
+        self.get(names::COMPUTE_EXECUTION_TIME)?.as_time_range()
+    }
+
+    /// Typed: the compute deadline.
+    pub fn compute_deadline(&self) -> Option<TimeVal> {
+        self.get(names::COMPUTE_DEADLINE)?.as_time()
+    }
+
+    /// Typed: explicit priority.
+    pub fn priority(&self) -> Option<i64> {
+        self.get(names::PRIORITY)?.as_int()
+    }
+
+    /// Typed: queue size (§4.4: "Queue size of 1 is assumed if the property
+    /// is not specified").
+    pub fn queue_size(&self) -> i64 {
+        self.get(names::QUEUE_SIZE)
+            .and_then(PropertyValue::as_int)
+            .unwrap_or(1)
+    }
+
+    /// Typed: overflow handling protocol (defaults to `DropNewest`).
+    pub fn overflow_handling(&self) -> OverflowHandlingProtocol {
+        self.get(names::OVERFLOW_HANDLING_PROTOCOL)
+            .and_then(|v| v.as_enum())
+            .and_then(OverflowHandlingProtocol::parse)
+            .unwrap_or_default()
+    }
+
+    /// Typed: connection urgency (defaults to 1 — communication must still
+    /// preempt idling).
+    pub fn urgency(&self) -> i64 {
+        self.get(names::URGENCY)
+            .and_then(PropertyValue::as_int)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversion_and_ordering() {
+        assert_eq!(TimeVal::ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(TimeVal::new(1, TimeUnit::Sec).as_ps(), TimeVal::ms(1000).as_ps());
+        assert!(TimeVal::new(999, TimeUnit::Us) < TimeVal::ms(1));
+        assert_eq!(TimeVal::new(1000, TimeUnit::Us), TimeVal::new(1000, TimeUnit::Us));
+    }
+
+    #[test]
+    fn unit_parsing_is_case_insensitive() {
+        assert_eq!(TimeUnit::parse("Ms"), Some(TimeUnit::Ms));
+        assert_eq!(TimeUnit::parse("SEC"), Some(TimeUnit::Sec));
+        assert_eq!(TimeUnit::parse("fortnight"), None);
+    }
+
+    #[test]
+    fn property_map_is_case_insensitive() {
+        let mut m = PropertyMap::new();
+        m.set("Dispatch_Protocol", PropertyValue::Enum("Periodic".into()));
+        assert!(m.contains("dispatch_protocol"));
+        assert_eq!(m.dispatch_protocol(), Some(DispatchProtocol::Periodic));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut m = PropertyMap::new();
+        m.set(names::PERIOD, PropertyValue::Time(TimeVal::ms(50)));
+        m.set(
+            names::COMPUTE_EXECUTION_TIME,
+            PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(10)),
+        );
+        m.set(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(50)));
+        m.set(names::PRIORITY, PropertyValue::Int(7));
+        assert_eq!(m.period(), Some(TimeVal::ms(50)));
+        assert_eq!(
+            m.compute_execution_time(),
+            Some((TimeVal::ms(5), TimeVal::ms(10)))
+        );
+        assert_eq!(m.compute_deadline(), Some(TimeVal::ms(50)));
+        assert_eq!(m.priority(), Some(7));
+    }
+
+    #[test]
+    fn point_execution_time_counts_as_range() {
+        let mut m = PropertyMap::new();
+        m.set(
+            names::COMPUTE_EXECUTION_TIME,
+            PropertyValue::Time(TimeVal::ms(3)),
+        );
+        assert_eq!(
+            m.compute_execution_time(),
+            Some((TimeVal::ms(3), TimeVal::ms(3)))
+        );
+    }
+
+    #[test]
+    fn queue_defaults_match_the_paper() {
+        let m = PropertyMap::new();
+        assert_eq!(m.queue_size(), 1); // §4.4
+        assert_eq!(m.overflow_handling(), OverflowHandlingProtocol::DropNewest);
+        assert_eq!(m.urgency(), 1);
+    }
+
+    #[test]
+    fn protocols_parse_common_spellings() {
+        assert_eq!(
+            SchedulingProtocol::parse("RATE_MONOTONIC_PROTOCOL"),
+            Some(SchedulingProtocol::Rms)
+        );
+        assert_eq!(SchedulingProtocol::parse("edf"), Some(SchedulingProtocol::Edf));
+        assert!(SchedulingProtocol::parse("RMS").unwrap().is_static());
+        assert!(!SchedulingProtocol::parse("LLF").unwrap().is_static());
+        assert_eq!(
+            DispatchProtocol::parse("Sporadic"),
+            Some(DispatchProtocol::Sporadic)
+        );
+        assert!(DispatchProtocol::Sporadic.is_event_driven());
+        assert!(!DispatchProtocol::Periodic.is_event_driven());
+        assert_eq!(
+            OverflowHandlingProtocol::parse("error"),
+            Some(OverflowHandlingProtocol::Error)
+        );
+    }
+
+    #[test]
+    fn references_flatten_from_lists() {
+        let v = PropertyValue::List(vec![
+            PropertyValue::Reference(vec!["cpu1".into()]),
+            PropertyValue::Reference(vec!["bus".into(), "b0".into()]),
+        ]);
+        let refs = v.references();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[1], &["bus".to_string(), "b0".to_string()][..]);
+        assert!(v.as_reference().is_none()); // two entries: ambiguous
+        let single = PropertyValue::List(vec![PropertyValue::Reference(vec!["cpu".into()])]);
+        assert_eq!(single.as_reference().unwrap(), &["cpu".to_string()][..]);
+    }
+
+    #[test]
+    fn display_round_trip_style() {
+        assert_eq!(TimeVal::ms(50).to_string(), "50 ms");
+        assert_eq!(
+            PropertyValue::TimeRange(TimeVal::ms(5), TimeVal::ms(10)).to_string(),
+            "5 ms .. 10 ms"
+        );
+        assert_eq!(
+            PropertyValue::Reference(vec!["hci".into(), "cpu".into()]).to_string(),
+            "reference (hci.cpu)"
+        );
+    }
+}

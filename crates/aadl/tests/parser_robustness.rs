@@ -1,0 +1,160 @@
+//! Robustness tests of the AADL textual front end: malformed inputs must
+//! produce positioned, readable errors — never panics — and edge-case inputs
+//! must parse to the expected structures.
+
+use aadl::parser::{parse_package, ParseError};
+
+fn err_of(src: &str) -> ParseError {
+    parse_package(src).expect_err("should fail to parse")
+}
+
+#[test]
+fn empty_input_fails_cleanly() {
+    let e = err_of("");
+    assert!(e.message.contains("package"), "{e}");
+}
+
+#[test]
+fn missing_public_keyword() {
+    let e = err_of("package P\nthread T end T;\nend P;");
+    assert!(e.message.contains("public"), "{e}");
+    assert_eq!(e.line, 2);
+}
+
+#[test]
+fn unterminated_package() {
+    let e = err_of("package P public thread T end T;");
+    assert!(e.message.contains("end") || e.message.contains("category"), "{e}");
+}
+
+#[test]
+fn bad_feature_syntax() {
+    let e = err_of(
+        "package P public thread T features p: sideways data port; end T; end P;",
+    );
+    assert!(
+        e.message.contains("in") || e.message.contains("out"),
+        "{e}"
+    );
+}
+
+#[test]
+fn bad_property_value() {
+    let e = err_of(
+        "package P public thread T properties Period => ; end T; end P;",
+    );
+    assert!(e.message.contains("property value"), "{e}");
+}
+
+#[test]
+fn range_mixing_units_and_unitless() {
+    let e = err_of(
+        "package P public thread T properties Compute_Execution_Time => 1 ms .. 2; end T; end P;",
+    );
+    assert!(e.message.contains("range"), "{e}");
+}
+
+#[test]
+fn connection_without_arrow() {
+    let e = err_of(
+        "package P public system S end S; system implementation S.impl connections c: port a.b c.d; end S.impl; end P;",
+    );
+    assert!(e.message.contains("->"), "{e}");
+}
+
+#[test]
+fn reserved_like_identifiers_are_fine() {
+    // AADL keywords are contextual in our subset: a thread named `features`
+    // would be ambiguous, but property names that look like keywords parse.
+    let pkg = parse_package(
+        "package P public thread portly properties Dispatch_Protocol => Periodic; end portly; end P;",
+    )
+    .unwrap();
+    assert_eq!(pkg.types[0].name, "portly");
+}
+
+#[test]
+fn deeply_nested_systems_parse_and_instantiate() {
+    // Build a 6-deep chain of systems textually.
+    let mut src = String::from("package Deep\npublic\n");
+    src.push_str("  thread Leaf properties Dispatch_Protocol => Periodic; Period => 10 ms; Compute_Execution_Time => 1 ms .. 1 ms; Compute_Deadline => 10 ms; end Leaf;\n");
+    src.push_str("  processor cpu_t properties Scheduling_Protocol => RMS; end cpu_t;\n");
+    for i in (0..6).rev() {
+        src.push_str(&format!("  system L{i} end L{i};\n"));
+        if i == 5 {
+            src.push_str(&format!(
+                "  system implementation L{i}.impl subcomponents leaf: thread Leaf; end L{i}.impl;\n"
+            ));
+        } else {
+            src.push_str(&format!(
+                "  system implementation L{i}.impl subcomponents inner: system L{}.impl; end L{i}.impl;\n",
+                i + 1
+            ));
+        }
+    }
+    src.push_str("  system Top end Top;\n");
+    src.push_str("  system implementation Top.impl\n    subcomponents\n      cpu: processor cpu_t;\n      chain: system L0.impl;\n    properties\n      Actual_Processor_Binding => reference (cpu) applies to chain.inner.inner.inner.inner.inner.leaf;\n  end Top.impl;\n");
+    src.push_str("end Deep;\n");
+    let pkg = parse_package(&src).unwrap();
+    let m = aadl::instance::instantiate(&pkg, "Top.impl").unwrap();
+    let leaf = m
+        .find("chain.inner.inner.inner.inner.inner.leaf")
+        .expect("deep path resolves");
+    assert!(m.bound_processor(leaf).is_some());
+    assert!(aadl::check::validate(&m).is_empty());
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = r#"
+package C -- trailing comment
+public -- another
+  -- a full-line comment
+  thread T -- comment
+    properties -- comment
+      Dispatch_Protocol => Periodic; -- comment
+  end T; -- comment
+end C; -- done
+"#;
+    let pkg = parse_package(src).unwrap();
+    assert_eq!(pkg.types.len(), 1);
+}
+
+#[test]
+fn unicode_in_strings_is_preserved() {
+    let src = r#"
+package U
+public
+  thread T
+    properties
+      Dispatch_Protocol => Periodic;
+      Source_Text => "héllo → wörld";
+  end T;
+end U;
+"#;
+    let pkg = parse_package(src).unwrap();
+    let v = pkg.types[0]
+        .properties
+        .iter()
+        .find(|p| p.name == "Source_Text")
+        .unwrap();
+    assert_eq!(
+        v.value,
+        aadl::properties::PropertyValue::Str("héllo → wörld".into())
+    );
+}
+
+#[test]
+fn error_positions_point_at_the_offender() {
+    let src = "package P\npublic\n  thread T\n    properties\n      Period => 10 @;\n  end T;\nend P;";
+    let e = err_of(src);
+    assert_eq!(e.line, 5, "{e}");
+}
+
+#[test]
+fn huge_integer_saturates_instead_of_panicking() {
+    let src = "package H public thread T properties Queue_Size => 99999999999999999999999999; end T; end H;";
+    let pkg = parse_package(src).unwrap();
+    let v = pkg.types[0].properties[0].value.as_int().unwrap();
+    assert!(v > 0); // saturated, not wrapped or panicked
+}

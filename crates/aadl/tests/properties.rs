@@ -1,0 +1,131 @@
+//! Property-based tests of the AADL front end: parser ↔ printer round-trips
+//! over randomized declarative models, and property-system invariants.
+
+use aadl::builder::PackageBuilder;
+use aadl::instance::instantiate;
+use aadl::model::{Category, Package};
+use aadl::parser::parse_package;
+use aadl::pretty::render_package;
+use aadl::properties::{names, PropertyValue, TimeUnit, TimeVal};
+use proptest::prelude::*;
+
+fn arb_time() -> impl Strategy<Value = TimeVal> {
+    (1i64..1000, 0usize..4).prop_map(|(v, u)| {
+        TimeVal::new(v, [TimeUnit::Us, TimeUnit::Ms, TimeUnit::Sec, TimeUnit::Min][u])
+    })
+}
+
+/// A randomized single-processor package with `n` periodic threads and a
+/// chain of event connections between consecutive sporadic ones.
+fn arb_package() -> impl Strategy<Value = Package> {
+    (
+        1usize..5,
+        proptest::collection::vec((1i64..50, 1i64..10, 0usize..3), 1..5),
+        0usize..5,
+    )
+        .prop_map(|(_n, threads, scheduling)| {
+            let protocol = ["RMS", "DMS", "EDF", "LLF", "HPF"][scheduling];
+            let mut b = PackageBuilder::new("Gen").processor("cpu_t", |p| {
+                p.prop_enum(names::SCHEDULING_PROTOCOL, protocol)
+            });
+            for (i, (period, wcet, _)) in threads.iter().enumerate() {
+                let period = *period + *wcet; // ensure wcet ≤ period
+                let wcet = *wcet;
+                let name = format!("T{i}");
+                b = b.thread(&name, move |t| {
+                    t.out_event_port("evt")
+                        .in_event_port("inp")
+                        .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                        .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(period)))
+                        .prop(
+                            names::COMPUTE_EXECUTION_TIME,
+                            PropertyValue::TimeRange(TimeVal::ms(wcet), TimeVal::ms(wcet)),
+                        )
+                        .prop(
+                            names::COMPUTE_DEADLINE,
+                            PropertyValue::Time(TimeVal::ms(period)),
+                        )
+                        .prop_int(names::PRIORITY, (i as i64) + 1)
+                });
+            }
+            b = b.system("Top", |s| s);
+            let n = threads.len();
+            b.implementation("Top.impl", Category::System, |mut i| {
+                i = i.sub("cpu", Category::Processor, "cpu_t");
+                for t in 0..n {
+                    let sub = format!("t{t}");
+                    let ty = format!("T{t}");
+                    i = i
+                        .sub(&sub, Category::Thread, &ty)
+                        .bind_processor(&sub, "cpu");
+                }
+                for t in 1..n {
+                    i = i.connect(
+                        &format!("c{t}"),
+                        &format!("t{}.evt", t - 1),
+                        &format!("t{t}.inp"),
+                    );
+                }
+                i
+            })
+            .build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn parser_printer_round_trip(pkg in arb_package()) {
+        let text = render_package(&pkg);
+        let reparsed = parse_package(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(pkg, reparsed);
+    }
+
+    #[test]
+    fn double_round_trip_is_stable(pkg in arb_package()) {
+        let text1 = render_package(&pkg);
+        let pkg2 = parse_package(&text1).unwrap();
+        let text2 = render_package(&pkg2);
+        prop_assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn generated_packages_instantiate(pkg in arb_package()) {
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        prop_assert!(m.threads().count() >= 1);
+        let cpu = m.find("cpu").unwrap();
+        prop_assert_eq!(m.threads_on(cpu).len(), m.threads().count());
+        // Semantic connections: exactly the declared chain (all thread-level,
+        // single segment each).
+        prop_assert_eq!(m.connections.len(), m.threads().count() - 1);
+    }
+
+    #[test]
+    fn time_ordering_matches_picoseconds(a in arb_time(), b in arb_time()) {
+        prop_assert_eq!(a.cmp(&b), a.as_ps().cmp(&b.as_ps()));
+    }
+
+    #[test]
+    fn property_names_are_case_insensitive(
+        upper in any::<bool>(), v in 1i64..100
+    ) {
+        let mut m = aadl::properties::PropertyMap::new();
+        let name = if upper { "QUEUE_SIZE" } else { "queue_size" };
+        m.set(name, PropertyValue::Int(v));
+        prop_assert_eq!(m.queue_size(), v);
+        prop_assert!(m.contains("Queue_Size"));
+    }
+}
+
+#[test]
+fn cruise_control_round_trips_through_text() {
+    let pkg = aadl::examples::cruise_control();
+    let text = render_package(&pkg);
+    let reparsed = parse_package(&text).unwrap();
+    assert_eq!(pkg, reparsed);
+    // And the reparsed model instantiates identically.
+    let m1 = instantiate(&pkg, "CruiseControl.impl").unwrap();
+    let m2 = instantiate(&reparsed, "CruiseControl.impl").unwrap();
+    assert_eq!(m1.num_components(), m2.num_components());
+    assert_eq!(m1.connections.len(), m2.connections.len());
+}

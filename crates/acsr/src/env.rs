@@ -1,0 +1,304 @@
+//! Process definitions, parameterized recursion and provenance tags.
+//!
+//! ACSR expresses recursion through named, possibly parameterized process
+//! definitions (`Compute(e, t) = …`, §3/Fig. 5 of the paper). An [`Env`] owns
+//! the definition table for one model; a term invokes a definition through its
+//! [`DefId`]. Definitions are *templates*: their bodies may reference the
+//! formal parameters through [`Expr::Param`](crate::expr::Expr::Param).
+//!
+//! The environment also owns the **tag table**. Tags are free-form provenance
+//! strings attached to timed-action prefixes; they surface on composed
+//! transition labels so that a trace through the state space of a translated
+//! AADL model can be attributed, quantum by quantum, to the AADL components
+//! that acted — the machinery behind the paper's "failing scenarios in terms
+//! of the original AADL model" (§1, §5).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::EvalError;
+use crate::symbol::Symbol;
+use crate::term::{subst, P};
+
+/// Identifier of a process definition within an [`Env`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DefId(pub(crate) u32);
+
+impl DefId {
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Identifier of a provenance tag within an [`Env`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TagId(pub(crate) u32);
+
+impl TagId {
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A named process definition.
+#[derive(Clone, Debug)]
+pub struct ProcDef {
+    /// The definition's name (used for pretty-printing and diagnostics).
+    pub name: Symbol,
+    /// Number of formal parameters.
+    pub arity: u8,
+    /// The body template; `None` until [`Env::set_body`] is called (allowing
+    /// mutually recursive definitions to be declared first).
+    pub body: Option<P>,
+}
+
+/// The definition and tag tables of one ACSR model.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    defs: Vec<ProcDef>,
+    by_name: HashMap<Symbol, DefId>,
+    tags: Vec<String>,
+    tag_ids: HashMap<String, TagId>,
+}
+
+/// Errors raised when instantiating a definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstantiateError {
+    /// The definition body was never set.
+    MissingBody(Symbol),
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// The definition's name.
+        name: Symbol,
+        /// Declared arity.
+        expected: u8,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// An expression in the body referenced an out-of-range parameter.
+    Eval(EvalError),
+}
+
+impl fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiateError::MissingBody(name) => {
+                write!(f, "definition {name} was declared but its body was never set")
+            }
+            InstantiateError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => write!(f, "{name} expects {expected} argument(s), got {got}"),
+            InstantiateError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+impl From<EvalError> for InstantiateError {
+    fn from(e: EvalError) -> Self {
+        InstantiateError::Eval(e)
+    }
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Declare a definition by name with the given arity, without a body yet.
+    /// Re-declaring an existing name returns the existing id (the arity must
+    /// match).
+    pub fn declare(&mut self, name: &str, arity: u8) -> DefId {
+        let sym = Symbol::new(name);
+        if let Some(&id) = self.by_name.get(&sym) {
+            assert_eq!(
+                self.defs[id.0 as usize].arity, arity,
+                "re-declaration of {name} with different arity"
+            );
+            return id;
+        }
+        let id = DefId(u32::try_from(self.defs.len()).expect("definition table overflow"));
+        self.defs.push(ProcDef {
+            name: sym,
+            arity,
+            body: None,
+        });
+        self.by_name.insert(sym, id);
+        id
+    }
+
+    /// Set (or replace) the body of a declared definition.
+    pub fn set_body(&mut self, id: DefId, body: P) {
+        self.defs[id.0 as usize].body = Some(body);
+    }
+
+    /// Declare a definition and set its body in one step.
+    pub fn define(&mut self, name: &str, arity: u8, body: P) -> DefId {
+        let id = self.declare(name, arity);
+        self.set_body(id, body);
+        id
+    }
+
+    /// Look up a definition by name.
+    pub fn lookup(&self, name: &str) -> Option<DefId> {
+        self.by_name.get(&Symbol::new(name)).copied()
+    }
+
+    /// Access a definition.
+    pub fn def(&self, id: DefId) -> &ProcDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Number of definitions.
+    pub fn num_defs(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Iterate over all definitions.
+    pub fn defs(&self) -> impl Iterator<Item = (DefId, &ProcDef)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DefId(i as u32), d))
+    }
+
+    /// Instantiate definition `id` with concrete arguments, producing the
+    /// ground body term.
+    pub fn instantiate(&self, id: DefId, args: &[i64]) -> Result<P, InstantiateError> {
+        let def = self.def(id);
+        if args.len() != def.arity as usize {
+            return Err(InstantiateError::ArityMismatch {
+                name: def.name,
+                expected: def.arity,
+                got: args.len(),
+            });
+        }
+        let body = def
+            .body
+            .as_ref()
+            .ok_or(InstantiateError::MissingBody(def.name))?;
+        Ok(subst(body, args)?)
+    }
+
+    /// Intern a provenance tag.
+    pub fn tag(&mut self, text: &str) -> TagId {
+        if let Some(&id) = self.tag_ids.get(text) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.tags.len()).expect("tag table overflow"));
+        self.tags.push(text.to_owned());
+        self.tag_ids.insert(text.to_owned(), id);
+        id
+    }
+
+    /// The text of a tag.
+    pub fn tag_text(&self, id: TagId) -> &str {
+        &self.tags[id.0 as usize]
+    }
+
+    /// Number of interned tags.
+    pub fn num_tags(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Verify that every declared definition has a body; returns the names of
+    /// the offenders otherwise. Useful as a sanity check after model
+    /// construction.
+    pub fn check_complete(&self) -> Result<(), Vec<Symbol>> {
+        let missing: Vec<Symbol> = self
+            .defs
+            .iter()
+            .filter(|d| d.body.is_none())
+            .map(|d| d.name)
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(missing)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::symbol::Res;
+    use crate::term::{act, invoke, nil, Proc};
+
+    #[test]
+    fn declare_then_set_body_supports_mutual_recursion() {
+        let mut env = Env::new();
+        let a = env.declare("A", 0);
+        let b = env.declare("B", 0);
+        env.set_body(a, act([(Res::new("r"), 1)], invoke(b, [])));
+        env.set_body(b, act([(Res::new("r"), 2)], invoke(a, [])));
+        assert!(env.check_complete().is_ok());
+        assert_eq!(env.lookup("A"), Some(a));
+        assert_eq!(env.def(b).name.as_str(), "B");
+    }
+
+    #[test]
+    fn redeclaration_returns_same_id() {
+        let mut env = Env::new();
+        let a1 = env.declare("Same", 2);
+        let a2 = env.declare("Same", 2);
+        assert_eq!(a1, a2);
+        assert_eq!(env.num_defs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn redeclaration_with_different_arity_panics() {
+        let mut env = Env::new();
+        env.declare("Bad", 1);
+        env.declare("Bad", 2);
+    }
+
+    #[test]
+    fn instantiate_checks_arity_and_body() {
+        let mut env = Env::new();
+        let x = env.declare("X", 1);
+        assert!(matches!(
+            env.instantiate(x, &[1]),
+            Err(InstantiateError::MissingBody(_))
+        ));
+        env.set_body(x, act([(Res::new("cpu"), Expr::p(0))], nil()));
+        assert!(matches!(
+            env.instantiate(x, &[]),
+            Err(InstantiateError::ArityMismatch { expected: 1, got: 0, .. })
+        ));
+        let ground = env.instantiate(x, &[7]).unwrap();
+        match &*ground {
+            Proc::Act { action, .. } => assert_eq!(action.uses[0].1, Expr::Const(7)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tags_intern() {
+        let mut env = Env::new();
+        let t1 = env.tag("thread RefSpeed computes");
+        let t2 = env.tag("thread RefSpeed computes");
+        let t3 = env.tag("thread Cruise1 computes");
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(env.tag_text(t3), "thread Cruise1 computes");
+        assert_eq!(env.num_tags(), 2);
+    }
+
+    #[test]
+    fn check_complete_reports_missing() {
+        let mut env = Env::new();
+        env.declare("NoBody", 0);
+        let missing = env.check_complete().unwrap_err();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].as_str(), "NoBody");
+    }
+}

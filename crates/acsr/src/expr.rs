@@ -1,0 +1,338 @@
+//! Integer and boolean expressions over process parameters.
+//!
+//! ACSR processes may carry *dynamic parameters* — bounded integer variables
+//! that record execution history (§3 of the paper: "these dynamic parameters
+//! are used as variables that keep the history of the execution — for example,
+//! the progress of time"). The compute process of Fig. 5 is indexed by the
+//! accumulated execution time `e` and the elapsed time `t`; guards such as
+//! `e < cmax - 1` select the available transitions, and dynamic-priority
+//! scheduling policies (EDF, LLF; §5) use *priority expressions* such as
+//! `dmax - (d - t)` over those parameters.
+//!
+//! Expressions appear in process *templates* (the bodies of definitions in an
+//! [`Env`](crate::env::Env)). When a parameterized process is invoked with
+//! concrete arguments the whole body is substituted, which evaluates every
+//! expression to a constant — reachable process terms are always *ground*.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An error produced when evaluating an expression that still references a
+/// parameter in a context where no parameter environment is available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Index of the unbound parameter.
+    pub param: u8,
+    /// Number of arguments that were supplied.
+    pub supplied: usize,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expression references parameter #{} but only {} argument(s) are bound",
+            self.param, self.supplied
+        )
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An integer expression over the parameters of the enclosing process
+/// definition.
+///
+/// The builder methods intentionally mirror the arithmetic operator names
+/// (`add`, `sub`, `mul`) — they build expression trees rather than computing.
+///
+/// `Param(i)` refers to the `i`-th formal parameter. Arithmetic is signed
+/// 64-bit with saturating behaviour to keep analysis total (generated models
+/// use small bounded values, so saturation is never reached in practice).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal constant.
+    Const(i64),
+    /// The value of the `i`-th parameter of the enclosing definition.
+    Param(u8),
+    /// Sum of two expressions.
+    Add(Arc<Expr>, Arc<Expr>),
+    /// Difference of two expressions.
+    Sub(Arc<Expr>, Arc<Expr>),
+    /// Product of two expressions.
+    Mul(Arc<Expr>, Arc<Expr>),
+    /// Minimum of two expressions.
+    Min(Arc<Expr>, Arc<Expr>),
+    /// Maximum of two expressions.
+    Max(Arc<Expr>, Arc<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Literal constant.
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Reference to parameter `i`.
+    pub fn p(i: u8) -> Expr {
+        Expr::Param(i)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Min(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Max(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Evaluate under the given parameter values.
+    pub fn eval(&self, args: &[i64]) -> Result<i64, EvalError> {
+        Ok(match self {
+            Expr::Const(v) => *v,
+            Expr::Param(i) => *args.get(*i as usize).ok_or(EvalError {
+                param: *i,
+                supplied: args.len(),
+            })?,
+            Expr::Add(a, b) => a.eval(args)?.saturating_add(b.eval(args)?),
+            Expr::Sub(a, b) => a.eval(args)?.saturating_sub(b.eval(args)?),
+            Expr::Mul(a, b) => a.eval(args)?.saturating_mul(b.eval(args)?),
+            Expr::Min(a, b) => a.eval(args)?.min(b.eval(args)?),
+            Expr::Max(a, b) => a.eval(args)?.max(b.eval(args)?),
+        })
+    }
+
+    /// Evaluate in a ground context (no parameters bound).
+    pub fn eval_ground(&self) -> Result<i64, EvalError> {
+        self.eval(&[])
+    }
+
+    /// True if the expression is a literal constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Const(_))
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<u32> for Expr {
+    fn from(v: u32) -> Expr {
+        Expr::Const(v as i64)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Expr {
+        Expr::Const(v as i64)
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "p{i}"),
+            Expr::Add(a, b) => write!(f, "({a:?} + {b:?})"),
+            Expr::Sub(a, b) => write!(f, "({a:?} - {b:?})"),
+            Expr::Mul(a, b) => write!(f, "({a:?} * {b:?})"),
+            Expr::Min(a, b) => write!(f, "min({a:?}, {b:?})"),
+            Expr::Max(a, b) => write!(f, "max({a:?}, {b:?})"),
+        }
+    }
+}
+
+/// A boolean expression over process parameters, used as a transition guard.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BExpr {
+    /// Constant truth value.
+    Const(bool),
+    /// `a < b`.
+    Lt(Expr, Expr),
+    /// `a <= b`.
+    Le(Expr, Expr),
+    /// `a == b`.
+    Eq(Expr, Expr),
+    /// `a != b`.
+    Ne(Expr, Expr),
+    /// Conjunction.
+    And(Arc<BExpr>, Arc<BExpr>),
+    /// Disjunction.
+    Or(Arc<BExpr>, Arc<BExpr>),
+    /// Negation.
+    Not(Arc<BExpr>),
+}
+
+#[allow(clippy::should_implement_trait)]
+impl BExpr {
+    /// The constant `true`.
+    pub fn t() -> BExpr {
+        BExpr::Const(true)
+    }
+
+    /// The constant `false`.
+    pub fn f() -> BExpr {
+        BExpr::Const(false)
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> BExpr {
+        BExpr::Lt(a, b)
+    }
+
+    /// `a <= b`.
+    pub fn le(a: Expr, b: Expr) -> BExpr {
+        BExpr::Le(a, b)
+    }
+
+    /// `a > b`.
+    pub fn gt(a: Expr, b: Expr) -> BExpr {
+        BExpr::Lt(b, a)
+    }
+
+    /// `a >= b`.
+    pub fn ge(a: Expr, b: Expr) -> BExpr {
+        BExpr::Le(b, a)
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> BExpr {
+        BExpr::Eq(a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> BExpr {
+        BExpr::Ne(a, b)
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: BExpr) -> BExpr {
+        BExpr::And(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: BExpr) -> BExpr {
+        BExpr::Or(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Negation.
+    pub fn not(self) -> BExpr {
+        BExpr::Not(Arc::new(self))
+    }
+
+    /// Evaluate under the given parameter values.
+    pub fn eval(&self, args: &[i64]) -> Result<bool, EvalError> {
+        Ok(match self {
+            BExpr::Const(b) => *b,
+            BExpr::Lt(a, b) => a.eval(args)? < b.eval(args)?,
+            BExpr::Le(a, b) => a.eval(args)? <= b.eval(args)?,
+            BExpr::Eq(a, b) => a.eval(args)? == b.eval(args)?,
+            BExpr::Ne(a, b) => a.eval(args)? != b.eval(args)?,
+            BExpr::And(a, b) => a.eval(args)? && b.eval(args)?,
+            BExpr::Or(a, b) => a.eval(args)? || b.eval(args)?,
+            BExpr::Not(a) => !a.eval(args)?,
+        })
+    }
+}
+
+impl fmt::Debug for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BExpr::Const(b) => write!(f, "{b}"),
+            BExpr::Lt(a, b) => write!(f, "({a:?} < {b:?})"),
+            BExpr::Le(a, b) => write!(f, "({a:?} <= {b:?})"),
+            BExpr::Eq(a, b) => write!(f, "({a:?} == {b:?})"),
+            BExpr::Ne(a, b) => write!(f, "({a:?} != {b:?})"),
+            BExpr::And(a, b) => write!(f, "({a:?} && {b:?})"),
+            BExpr::Or(a, b) => write!(f, "({a:?} || {b:?})"),
+            BExpr::Not(a) => write!(f, "!{a:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_evaluates() {
+        // 2 * p0 + (p1 - 1)
+        let e = Expr::c(2).mul(Expr::p(0)).add(Expr::p(1).sub(Expr::c(1)));
+        assert_eq!(e.eval(&[3, 10]).unwrap(), 15);
+    }
+
+    #[test]
+    fn min_max_evaluate() {
+        let e = Expr::p(0).min(Expr::c(5)).max(Expr::c(0));
+        assert_eq!(e.eval(&[7]).unwrap(), 5);
+        assert_eq!(e.eval(&[-3]).unwrap(), 0);
+        assert_eq!(e.eval(&[2]).unwrap(), 2);
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let e = Expr::p(2);
+        let err = e.eval(&[1, 2]).unwrap_err();
+        assert_eq!(err.param, 2);
+        assert_eq!(err.supplied, 2);
+        assert!(e.eval_ground().is_err());
+    }
+
+    #[test]
+    fn edf_priority_expression() {
+        // πi = dmax - (di - t): the earlier the absolute deadline, the larger
+        // the priority (§5 of the paper). Here dmax = 50, di = 20, t = p0.
+        let pi = Expr::c(50).sub(Expr::c(20).sub(Expr::p(0)));
+        assert_eq!(pi.eval(&[0]).unwrap(), 30);
+        assert_eq!(pi.eval(&[15]).unwrap(), 45); // closer to deadline ⇒ higher
+    }
+
+    #[test]
+    fn guards_evaluate() {
+        // cmin - 1 < e && e < cmax   with cmin=2, cmax=5, e = p0
+        let g = BExpr::lt(Expr::c(1), Expr::p(0)).and(BExpr::lt(Expr::p(0), Expr::c(5)));
+        assert!(!g.eval(&[1]).unwrap());
+        assert!(g.eval(&[2]).unwrap());
+        assert!(g.eval(&[4]).unwrap());
+        assert!(!g.eval(&[5]).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let g = BExpr::eq(Expr::p(0), Expr::c(0))
+            .or(BExpr::ne(Expr::p(0), Expr::p(0)))
+            .not();
+        assert!(!g.eval(&[0]).unwrap());
+        assert!(g.eval(&[1]).unwrap());
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_panics() {
+        let e = Expr::c(i64::MAX).add(Expr::c(1));
+        assert_eq!(e.eval_ground().unwrap(), i64::MAX);
+        let e = Expr::c(i64::MIN).sub(Expr::c(1));
+        assert_eq!(e.eval_ground().unwrap(), i64::MIN);
+        let e = Expr::c(i64::MAX).mul(Expr::c(2));
+        assert_eq!(e.eval_ground().unwrap(), i64::MAX);
+    }
+}

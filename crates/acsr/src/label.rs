@@ -1,0 +1,296 @@
+//! Ground transition labels.
+//!
+//! The operational semantics (see [`step`](crate::step)) labels every
+//! transition with either a ground timed action — a finite map from resources
+//! to (constant) priorities, plus the provenance tags contributed by the
+//! components that acted — or an instantaneous event (`e!` / `e?` with a
+//! priority) or an internal step `τ@e`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::env::TagId;
+use crate::expr::EvalError;
+use crate::symbol::{Res, Symbol};
+use crate::term::ActionT;
+
+/// Direction of a visible event.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Dir {
+    /// Output `e!`.
+    Send,
+    /// Input `e?`.
+    Recv,
+}
+
+/// A ground timed action: sorted, duplicate-free resource/priority pairs and
+/// the provenance tags of the prefixes that composed it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GAction {
+    /// `(resource, priority)` pairs sorted by resource.
+    pub uses: Box<[(Res, u32)]>,
+    /// Provenance tags from all contributing components (insertion order).
+    pub tags: Box<[TagId]>,
+}
+
+/// Error produced when grounding an action template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionError {
+    /// An expression in the template referenced an unbound parameter.
+    Eval(EvalError),
+    /// The same resource appears twice in one action.
+    DuplicateResource(Res),
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionError::Eval(e) => write!(f, "{e}"),
+            ActionError::DuplicateResource(r) => {
+                write!(f, "resource {r} appears twice in a single action")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+impl From<EvalError> for ActionError {
+    fn from(e: EvalError) -> Self {
+        ActionError::Eval(e)
+    }
+}
+
+impl GAction {
+    /// The idling action `{}`.
+    pub fn idle() -> GAction {
+        GAction {
+            uses: Box::new([]),
+            tags: Box::new([]),
+        }
+    }
+
+    /// Ground an action template in a context with no parameters bound.
+    /// Negative evaluated priorities are clamped to 0 (priority expressions of
+    /// dynamic policies are non-negative by construction; clamping keeps the
+    /// semantics total).
+    pub fn from_template(t: &ActionT, tag: Option<TagId>) -> Result<GAction, ActionError> {
+        let mut uses: Vec<(Res, u32)> = Vec::with_capacity(t.uses.len());
+        for (r, e) in &t.uses {
+            let v = e.eval_ground()?;
+            let prio = u32::try_from(v.max(0)).unwrap_or(u32::MAX);
+            uses.push((*r, prio));
+        }
+        uses.sort_unstable_by_key(|(r, _)| *r);
+        for w in uses.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(ActionError::DuplicateResource(w[0].0));
+            }
+        }
+        Ok(GAction {
+            uses: uses.into_boxed_slice(),
+            tags: tag.map(|t| vec![t]).unwrap_or_default().into_boxed_slice(),
+        })
+    }
+
+    /// The resource set ρ(A).
+    pub fn resources(&self) -> impl Iterator<Item = Res> + '_ {
+        self.uses.iter().map(|(r, _)| *r)
+    }
+
+    /// Number of resources used.
+    pub fn len(&self) -> usize {
+        self.uses.len()
+    }
+
+    /// True when this is the idling action `{}`.
+    pub fn is_empty(&self) -> bool {
+        self.uses.is_empty()
+    }
+
+    /// Priority of access to `r`, or 0 when `r ∉ ρ(A)` (the convention used by
+    /// the preemption relation).
+    pub fn prio_of(&self, r: Res) -> u32 {
+        match self.uses.binary_search_by_key(&r, |(res, _)| *res) {
+            Ok(i) => self.uses[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// True when `r ∈ ρ(A)`.
+    pub fn uses_resource(&self, r: Res) -> bool {
+        self.uses.binary_search_by_key(&r, |(res, _)| *res).is_ok()
+    }
+
+    /// Merge two actions taken simultaneously by parallel components.
+    /// Returns `None` when the resource sets overlap (rule *Par3* requires
+    /// disjointness).
+    pub fn merge(&self, other: &GAction) -> Option<GAction> {
+        let mut uses = Vec::with_capacity(self.uses.len() + other.uses.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.uses.len() && j < other.uses.len() {
+            match self.uses[i].0.cmp(&other.uses[j].0) {
+                std::cmp::Ordering::Less => {
+                    uses.push(self.uses[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    uses.push(other.uses[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => return None,
+            }
+        }
+        uses.extend_from_slice(&self.uses[i..]);
+        uses.extend_from_slice(&other.uses[j..]);
+        let mut tags = Vec::with_capacity(self.tags.len() + other.tags.len());
+        tags.extend_from_slice(&self.tags);
+        tags.extend_from_slice(&other.tags);
+        Some(GAction {
+            uses: uses.into_boxed_slice(),
+            tags: tags.into_boxed_slice(),
+        })
+    }
+}
+
+/// A ground transition label.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Label {
+    /// A timed action (one quantum).
+    A(Arc<GAction>),
+    /// A visible instantaneous event.
+    E {
+        /// The event's name.
+        label: Symbol,
+        /// Send or receive.
+        dir: Dir,
+        /// Priority of the communication.
+        prio: u32,
+    },
+    /// An internal step, possibly remembering the event that produced it
+    /// (written `τ@name` in the paper).
+    Tau {
+        /// Priority (sum of the synchronising parties' priorities).
+        prio: u32,
+        /// The event name for `τ@name`, if any.
+        via: Option<Symbol>,
+    },
+}
+
+impl Label {
+    /// True when the label is a timed action (advances the global clock).
+    pub fn is_timed(&self) -> bool {
+        matches!(self, Label::A(_))
+    }
+
+    /// True when the label is an internal step.
+    pub fn is_tau(&self) -> bool {
+        matches!(self, Label::Tau { .. })
+    }
+
+    /// The action payload, when timed.
+    pub fn action(&self) -> Option<&GAction> {
+        match self {
+            Label::A(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn r(name: &str) -> Res {
+        Res::new(name)
+    }
+
+    #[test]
+    fn grounding_sorts_and_checks_duplicates() {
+        let t = ActionT {
+            uses: vec![(r("zz"), Expr::c(1)), (r("aa"), Expr::c(2))],
+        };
+        let g = GAction::from_template(&t, None).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.uses.windows(2).all(|w| w[0].0 < w[1].0));
+
+        let dup = ActionT {
+            uses: vec![(r("cpu"), Expr::c(1)), (r("cpu"), Expr::c(2))],
+        };
+        assert!(matches!(
+            GAction::from_template(&dup, None),
+            Err(ActionError::DuplicateResource(_))
+        ));
+    }
+
+    #[test]
+    fn negative_priorities_clamp_to_zero() {
+        let t = ActionT {
+            uses: vec![(r("cpu"), Expr::c(-5))],
+        };
+        let g = GAction::from_template(&t, None).unwrap();
+        assert_eq!(g.prio_of(r("cpu")), 0);
+    }
+
+    #[test]
+    fn prio_of_absent_resource_is_zero() {
+        let g = GAction::idle();
+        assert_eq!(g.prio_of(r("cpu")), 0);
+        assert!(!g.uses_resource(r("cpu")));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn merge_requires_disjoint_resources() {
+        let a = GAction::from_template(
+            &ActionT {
+                uses: vec![(r("cpu1"), Expr::c(1))],
+            },
+            None,
+        )
+        .unwrap();
+        let b = GAction::from_template(
+            &ActionT {
+                uses: vec![(r("bus"), Expr::c(2))],
+            },
+            None,
+        )
+        .unwrap();
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.prio_of(r("cpu1")), 1);
+        assert_eq!(merged.prio_of(r("bus")), 2);
+
+        // Overlap ⇒ no joint step (Par3).
+        assert!(merged.merge(&a).is_none());
+    }
+
+    #[test]
+    fn merge_with_idle_is_identity_on_resources() {
+        let a = GAction::from_template(
+            &ActionT {
+                uses: vec![(r("cpu1"), Expr::c(3))],
+            },
+            None,
+        )
+        .unwrap();
+        let merged = a.merge(&GAction::idle()).unwrap();
+        assert_eq!(merged.uses, a.uses);
+    }
+
+    #[test]
+    fn label_queries() {
+        let a = Label::A(Arc::new(GAction::idle()));
+        assert!(a.is_timed());
+        assert!(!a.is_tau());
+        assert!(a.action().unwrap().is_empty());
+        let t = Label::Tau {
+            prio: 2,
+            via: Some(Symbol::new("dispatch")),
+        };
+        assert!(t.is_tau());
+        assert!(!t.is_timed());
+        assert!(t.action().is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! Pretty-printing of terms and labels in a VERSA-like surface syntax.
+//!
+//! Terms print as, e.g.:
+//!
+//! ```text
+//! {(cpu,1),(bus,1)}:(done!,1).Simple
+//! ```
+//!
+//! Printing needs the [`Env`] to resolve definition names and tags, so the
+//! entry points are [`Env::display_proc`] and [`Env::display_label`], which
+//! return cheap wrapper values implementing [`std::fmt::Display`].
+
+use std::fmt;
+
+use crate::env::Env;
+use crate::label::{Dir, Label};
+use crate::term::{EvKind, Proc, TimeBound, P};
+
+/// Displayable wrapper around a process term.
+pub struct ProcDisplay<'a> {
+    env: &'a Env,
+    p: &'a Proc,
+}
+
+/// Displayable wrapper around a transition label.
+pub struct LabelDisplay<'a> {
+    env: &'a Env,
+    l: &'a Label,
+}
+
+impl Env {
+    /// Display a process term using this environment's names.
+    pub fn display_proc<'a>(&'a self, p: &'a P) -> ProcDisplay<'a> {
+        ProcDisplay { env: self, p }
+    }
+
+    /// Display a label using this environment's names.
+    pub fn display_label<'a>(&'a self, l: &'a Label) -> LabelDisplay<'a> {
+        LabelDisplay { env: self, l }
+    }
+}
+
+fn fmt_proc(env: &Env, p: &Proc, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match p {
+        Proc::Nil => write!(f, "NIL"),
+        Proc::Act { action, tag, next } => {
+            write!(f, "{{")?;
+            for (i, (r, e)) in action.uses.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "({r},{e:?})")?;
+            }
+            write!(f, "}}")?;
+            if let Some(t) = tag {
+                write!(f, "[#{}]", env.tag_text(*t))?;
+            }
+            write!(f, ":")?;
+            fmt_proc(env, next, f)
+        }
+        Proc::Evt { event, next } => {
+            match &event.kind {
+                EvKind::Send(l) => write!(f, "({l}!,{:?})", event.prio)?,
+                EvKind::Recv(l) => write!(f, "({l}?,{:?})", event.prio)?,
+                EvKind::Tau(Some(l)) => write!(f, "(tau@{l},{:?})", event.prio)?,
+                EvKind::Tau(None) => write!(f, "(tau,{:?})", event.prio)?,
+            }
+            write!(f, ".")?;
+            fmt_proc(env, next, f)
+        }
+        Proc::Choice(alts) => {
+            write!(f, "(")?;
+            for (i, a) in alts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                fmt_proc(env, a, f)?;
+            }
+            write!(f, ")")
+        }
+        Proc::Par(comps) => {
+            write!(f, "(")?;
+            for (i, c) in comps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " || ")?;
+                }
+                fmt_proc(env, c, f)?;
+            }
+            write!(f, ")")
+        }
+        Proc::Guard { cond, then } => {
+            write!(f, "({cond:?} -> ")?;
+            fmt_proc(env, then, f)?;
+            write!(f, ")")
+        }
+        Proc::Scope {
+            body,
+            limit,
+            exception,
+            timeout,
+            interrupt,
+        } => {
+            write!(f, "[")?;
+            fmt_proc(env, body, f)?;
+            write!(f, "]Δ")?;
+            match limit {
+                TimeBound::Finite(e) => write!(f, "^{e:?}")?,
+                TimeBound::Infinite => write!(f, "^∞")?,
+            }
+            if let Some((l, h)) = exception {
+                write!(f, "_(exc {l} -> ")?;
+                fmt_proc(env, h, f)?;
+                write!(f, ")")?;
+            }
+            if let Some(t) = timeout {
+                write!(f, "(to -> ")?;
+                fmt_proc(env, t, f)?;
+                write!(f, ")")?;
+            }
+            if let Some(i) = interrupt {
+                write!(f, "(int -> ")?;
+                fmt_proc(env, i, f)?;
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Proc::Restrict { body, labels } => {
+            fmt_proc(env, body, f)?;
+            write!(f, " \\ {{")?;
+            for (i, l) in labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, "}}")
+        }
+        Proc::Close { body, resources } => {
+            write!(f, "[")?;
+            fmt_proc(env, body, f)?;
+            write!(f, "]_{{")?;
+            for (i, r) in resources.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{r}")?;
+            }
+            write!(f, "}}")
+        }
+        Proc::Invoke { def, args } => {
+            write!(f, "{}", env.def(*def).name)?;
+            if !args.is_empty() {
+                write!(f, "(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a:?}")?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for ProcDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_proc(self.env, self.p, f)
+    }
+}
+
+impl fmt::Display for LabelDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.l {
+            Label::A(a) => {
+                write!(f, "{{")?;
+                for (i, (r, p)) in a.uses.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "({r},{p})")?;
+                }
+                write!(f, "}}")?;
+                if !a.tags.is_empty() {
+                    write!(f, " [")?;
+                    for (i, t) in a.tags.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "; ")?;
+                        }
+                        write!(f, "{}", self.env.tag_text(*t))?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            Label::E { label, dir, prio } => match dir {
+                Dir::Send => write!(f, "({label}!,{prio})"),
+                Dir::Recv => write!(f, "({label}?,{prio})"),
+            },
+            Label::Tau { prio, via } => match via {
+                Some(l) => write!(f, "(tau@{l},{prio})"),
+                None => write!(f, "(tau,{prio})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{Res, Symbol};
+    use crate::term::{act, evt_send, invoke, nil};
+    use crate::Expr;
+
+    #[test]
+    fn simple_process_prints_like_the_paper() {
+        let mut env = Env::new();
+        let cpu = Res::new("cpu");
+        let bus = Res::new("bus");
+        let done = Symbol::new("done");
+        let simple = env.declare("Simple", 0);
+        env.set_body(
+            simple,
+            act(
+                [(cpu, 1)],
+                act([(cpu, 1), (bus, 1)], evt_send(done, 1, invoke(simple, []))),
+            ),
+        );
+        let p = invoke(simple, []);
+        assert_eq!(env.display_proc(&p).to_string(), "Simple");
+        let body = env.instantiate(simple, &[]).unwrap();
+        let s = env.display_proc(&body).to_string();
+        assert!(s.contains("(cpu,1)"), "got: {s}");
+        assert!(s.contains("(done!,1)"), "got: {s}");
+        assert!(s.ends_with("Simple"), "got: {s}");
+    }
+
+    #[test]
+    fn labels_print_in_versa_notation() {
+        let env = Env::new();
+        let l = Label::E {
+            label: Symbol::new("dispatch"),
+            dir: crate::label::Dir::Recv,
+            prio: 2,
+        };
+        assert_eq!(env.display_label(&l).to_string(), "(dispatch?,2)");
+        let t = Label::Tau {
+            prio: 3,
+            via: Some(Symbol::new("done")),
+        };
+        assert_eq!(env.display_label(&t).to_string(), "(tau@done,3)");
+    }
+
+    #[test]
+    fn all_operators_have_displays() {
+        let mut env = Env::new();
+        let cpu = Res::new("pp_cpu");
+        let e = Symbol::new("pp_ev");
+        let d = env.define("PPX", 1, crate::term::nil());
+        let term = crate::term::restrict(
+            crate::term::close(
+                crate::term::par([
+                    crate::term::scope(
+                        crate::term::guard(
+                            crate::BExpr::lt(crate::Expr::c(1), crate::Expr::c(2)),
+                            crate::term::act([(cpu, 1)], crate::term::nil()),
+                        ),
+                        crate::term::TimeBound::Finite(crate::Expr::c(5)),
+                        Some((e, crate::term::nil())),
+                        Some(crate::term::nil()),
+                        Some(crate::term::evt_recv(e, 1, crate::term::nil())),
+                    ),
+                    crate::term::tau(2, Some(e), crate::term::invoke(d, [crate::Expr::c(7)])),
+                ]),
+                [cpu],
+            ),
+            [e],
+        );
+        let text = env.display_proc(&term).to_string();
+        for needle in ["Δ^5", "exc pp_ev", "(to ->", "(int ->", "||", "tau@pp_ev", "PPX(7)", "\\ {pp_ev}", "]_{pp_cpu}", "(1 < 2) ->"] {
+            assert!(text.contains(needle), "missing {needle} in: {text}");
+        }
+        // Infinite scopes print too.
+        let inf = crate::term::scope(
+            crate::term::nil(),
+            crate::term::TimeBound::Infinite,
+            None,
+            None,
+            None,
+        );
+        assert!(env.display_proc(&inf).to_string().contains("Δ^∞"));
+    }
+
+    #[test]
+    fn action_labels_show_tags() {
+        let mut env = Env::new();
+        let t = env.tag("thread X computes");
+        let a = crate::label::GAction {
+            uses: Box::new([(Res::new("pp_r"), 3)]),
+            tags: Box::new([t]),
+        };
+        let l = Label::A(std::sync::Arc::new(a));
+        let text = env.display_label(&l).to_string();
+        assert!(text.contains("(pp_r,3)"), "{text}");
+        assert!(text.contains("thread X computes"), "{text}");
+    }
+
+    #[test]
+    fn nil_and_invocation_args_print() {
+        let mut env = Env::new();
+        let d = env.declare("Compute", 2);
+        env.set_body(d, nil());
+        let p = invoke(d, [Expr::c(1), Expr::c(2)]);
+        assert_eq!(env.display_proc(&p).to_string(), "Compute(1,2)");
+        assert_eq!(env.display_proc(&nil()).to_string(), "NIL");
+    }
+}

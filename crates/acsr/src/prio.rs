@@ -1,0 +1,271 @@
+//! The preemption relation and the prioritized transition relation.
+//!
+//! Quoting §3 of the paper:
+//!
+//! > For two actions `A1` and `A2`, `A2` preempts `A1`, denoted `A1 ≺ A2`, if
+//! > every resource used in `A1` is also used in `A2` with greater or equal
+//! > priority, and at least one resource has a strictly greater priority. As a
+//! > result of this definition, any resource-using step will preempt an idling
+//! > step (with an empty set of resources). In addition, an internal step with
+//! > a non-zero priority will preempt any timed action to ensure progress in
+//! > the behavior of an ACSR model. The prioritized transition relation for an
+//! > ACSR process removes preempted transitions from the transition relation.
+//!
+//! For events, the classical ACSR preemption applies: an event preempts
+//! another event with the *same label and direction* and strictly lower
+//! priority; internal steps (`τ`) likewise preempt lower-priority internal
+//! steps. Visible events never preempt timed actions (the environment decides
+//! whether to communicate), and timed actions never preempt events.
+//!
+//! This module is where scheduling emerges: when two threads bound to the same
+//! processor both offer a computation step, the joint actions in which the
+//! lower-priority thread holds the CPU are preempted by the ones in which the
+//! higher-priority thread holds it, so exactly the highest-priority ready
+//! thread runs — the priority of the CPU access *is* the scheduling priority
+//! (§5).
+
+use crate::env::Env;
+use crate::label::{GAction, Label};
+use crate::step::steps;
+use crate::term::P;
+
+/// Does `b` preempt `a` (`a ≺ b`)?
+pub fn preempts(a: &Label, b: &Label) -> bool {
+    match (a, b) {
+        (Label::A(a1), Label::A(a2)) => action_preempts(a1, a2),
+        // An internal step with non-zero priority preempts any timed action.
+        (Label::A(_), Label::Tau { prio, .. }) => *prio > 0,
+        // Same label & direction, strictly higher priority.
+        (
+            Label::E {
+                label: l1,
+                dir: d1,
+                prio: p1,
+            },
+            Label::E {
+                label: l2,
+                dir: d2,
+                prio: p2,
+            },
+        ) => l1 == l2 && d1 == d2 && p2 > p1,
+        // Internal steps compete with each other by priority.
+        (Label::Tau { prio: p1, .. }, Label::Tau { prio: p2, .. }) => p2 > p1,
+        _ => false,
+    }
+}
+
+/// The action preemption relation `A1 ≺ A2` of §3 (see module docs).
+/// Absent resources count as priority 0 accesses.
+fn action_preempts(a1: &GAction, a2: &GAction) -> bool {
+    // Every resource used in A1 must also be used in A2 with ≥ priority.
+    for (r, p1) in a1.uses.iter() {
+        if !a2.uses_resource(*r) || a2.prio_of(*r) < *p1 {
+            return false;
+        }
+    }
+    // At least one resource of A2 strictly exceeds its priority in A1
+    // (0 when absent from A1).
+    a2.uses.iter().any(|(r, p2)| *p2 > a1.prio_of(*r))
+}
+
+/// Remove preempted transitions: keep a step iff no other available step's
+/// label preempts its label.
+pub fn prioritize(steps: Vec<(Label, P)>) -> Vec<(Label, P)> {
+    let keep: Vec<bool> = steps
+        .iter()
+        .map(|(l, _)| !steps.iter().any(|(l2, _)| preempts(l, l2)))
+        .collect();
+    steps
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s))
+        .collect()
+}
+
+/// The prioritized transition relation: the unprioritized steps of `p` with
+/// preempted transitions removed.
+pub fn prioritized_steps(env: &Env, p: &P) -> Vec<(Label, P)> {
+    prioritize(steps(env, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Dir;
+    use crate::symbol::{Res, Symbol};
+    use crate::term::{act, choice, evt_send, nil, par, restrict, tau};
+    use std::sync::Arc;
+
+    fn ga(uses: &[(&str, u32)]) -> Label {
+        let mut v: Vec<(Res, u32)> = uses.iter().map(|(r, p)| (Res::new(r), *p)).collect();
+        v.sort_unstable_by_key(|(r, _)| *r);
+        Label::A(Arc::new(GAction {
+            uses: v.into_boxed_slice(),
+            tags: Box::new([]),
+        }))
+    }
+
+    #[test]
+    fn higher_priority_on_same_resource_preempts() {
+        assert!(preempts(&ga(&[("cpu", 1)]), &ga(&[("cpu", 2)])));
+        assert!(!preempts(&ga(&[("cpu", 2)]), &ga(&[("cpu", 1)])));
+    }
+
+    #[test]
+    fn equal_actions_do_not_preempt() {
+        assert!(!preempts(&ga(&[("cpu", 1)]), &ga(&[("cpu", 1)])));
+        assert!(!preempts(&ga(&[]), &ga(&[])));
+    }
+
+    #[test]
+    fn any_resource_using_action_preempts_idling() {
+        assert!(preempts(&ga(&[]), &ga(&[("cpu", 1)])));
+        // ... but not an action that only uses resources at priority 0.
+        assert!(!preempts(&ga(&[]), &ga(&[("cpu", 0)])));
+    }
+
+    #[test]
+    fn preemption_requires_superset_of_resources() {
+        // A1 uses a resource A2 does not ⇒ no preemption, regardless of
+        // priorities (the processes do not actually conflict).
+        assert!(!preempts(&ga(&[("cpu", 1)]), &ga(&[("bus", 9)])));
+        assert!(!preempts(
+            &ga(&[("cpu", 1), ("bus", 1)]),
+            &ga(&[("cpu", 5)])
+        ));
+    }
+
+    #[test]
+    fn superset_with_strict_extra_resource_preempts() {
+        // Same cpu priority, but A2 additionally claims the bus at prio 1 > 0.
+        assert!(preempts(
+            &ga(&[("cpu", 1)]),
+            &ga(&[("cpu", 1), ("bus", 1)])
+        ));
+        // Extra resource at priority 0 is not strict.
+        assert!(!preempts(
+            &ga(&[("cpu", 1)]),
+            &ga(&[("cpu", 1), ("bus", 0)])
+        ));
+    }
+
+    #[test]
+    fn nonzero_tau_preempts_timed_actions() {
+        let t = Label::Tau {
+            prio: 1,
+            via: None,
+        };
+        assert!(preempts(&ga(&[("cpu", 5)]), &t));
+        let t0 = Label::Tau {
+            prio: 0,
+            via: None,
+        };
+        assert!(!preempts(&ga(&[("cpu", 5)]), &t0));
+    }
+
+    #[test]
+    fn events_preempt_same_label_same_dir_only() {
+        let e = Symbol::new("evt");
+        let f = Symbol::new("other");
+        let send1 = Label::E {
+            label: e,
+            dir: Dir::Send,
+            prio: 1,
+        };
+        let send2 = Label::E {
+            label: e,
+            dir: Dir::Send,
+            prio: 2,
+        };
+        let recv2 = Label::E {
+            label: e,
+            dir: Dir::Recv,
+            prio: 2,
+        };
+        let other = Label::E {
+            label: f,
+            dir: Dir::Send,
+            prio: 9,
+        };
+        assert!(preempts(&send1, &send2));
+        assert!(!preempts(&send2, &send1));
+        assert!(!preempts(&send1, &recv2));
+        assert!(!preempts(&send1, &other));
+    }
+
+    #[test]
+    fn visible_events_do_not_preempt_actions() {
+        let e = Label::E {
+            label: Symbol::new("evt"),
+            dir: Dir::Send,
+            prio: 9,
+        };
+        assert!(!preempts(&ga(&[("cpu", 1)]), &e));
+        assert!(!preempts(&e, &ga(&[("cpu", 1)])));
+    }
+
+    #[test]
+    fn prioritized_steps_drop_preempted_compute() {
+        let env = Env::new();
+        let cpu = Res::new("cpu");
+        // Two workers on one cpu: higher priority must win; the joint steps
+        // (low computes, high idles) and (both idle) are preempted.
+        let worker = |prio: i64| {
+            choice([
+                act([(cpu, prio)], nil()),
+                act([] as [(Res, i32); 0], nil()),
+            ])
+        };
+        let p = par([worker(1), worker(2)]);
+        let s = prioritized_steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0.action().unwrap().prio_of(cpu), 2);
+    }
+
+    #[test]
+    fn equal_priorities_stay_nondeterministic() {
+        let env = Env::new();
+        let cpu = Res::new("cpu");
+        // Distinguishable continuations so the two interleavings are distinct
+        // states (identical ones would rightly be deduplicated).
+        let worker = |prio: i64, after: &str| {
+            choice([
+                act([(cpu, prio)], evt_send(Symbol::new(after), 1, nil())),
+                act([] as [(Res, i32); 0], nil()),
+            ])
+        };
+        let p = par([worker(3, "t1_ran"), worker(3, "t2_ran")]);
+        let s = prioritized_steps(&env, &p);
+        // Both "T1 runs" and "T2 runs" survive; "both idle" is preempted.
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|(l, _)| l.action().unwrap().prio_of(cpu) == 3));
+    }
+
+    #[test]
+    fn urgent_sync_preempts_idling() {
+        let env = Env::new();
+        let e = Symbol::new("dispatch");
+        // sender ∥ (receiver + idle): the τ@dispatch at priority 2 preempts
+        // the idling step, so the dispatch happens immediately.
+        let sender = evt_send(e, 1, nil());
+        let receiver = choice([
+            crate::term::evt_recv(e, 1, nil()),
+            act([] as [(Res, i32); 0], nil()),
+        ]);
+        let p = restrict(par([sender, receiver]), [e]);
+        let s = prioritized_steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].0.is_tau());
+    }
+
+    #[test]
+    fn tau_priority_zero_does_not_force_progress() {
+        let env = Env::new();
+        let p = choice([
+            tau(0, None, nil()),
+            act([] as [(Res, i32); 0], nil()),
+        ]);
+        let s = prioritized_steps(&env, &p);
+        assert_eq!(s.len(), 2);
+    }
+}

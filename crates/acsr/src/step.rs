@@ -1,0 +1,740 @@
+//! The unprioritized operational semantics of ACSR.
+//!
+//! [`steps`] computes the outgoing transitions of a ground process term,
+//! following the structural operational semantics of §3 of the paper:
+//!
+//! * **Prefixes** offer exactly their action/event.
+//! * **Choice** offers the union of its alternatives' steps (resolved by any
+//!   step, timed or instantaneous).
+//! * **Parallel** interleaves instantaneous events, synchronises matching
+//!   send/receive pairs into `τ@e` (with summed priority), and — because time
+//!   progress is global — takes timed actions only *jointly*: one action from
+//!   every component, with pairwise disjoint resource sets, merged by rule
+//!   *Par3*. A component with no timed step (e.g. `NIL`) blocks time for the
+//!   whole composition; this is the deadlock mechanism the AADL translation
+//!   relies on.
+//! * **Temporal scope** `P Δᵗ_a (Q, R, S)`: while `t > 0`, `P`'s steps are
+//!   offered (timed steps decrement `t`), `P` emitting the exception event `a`
+//!   exits to `Q`, and the interrupt handler `S` may take over through any of
+//!   its initial steps. When `t` reaches 0 the scope has timed out: `P` may
+//!   still perform *instantaneous* steps at the boundary instant (so a thread
+//!   may signal completion at exactly its deadline), but no further timed
+//!   steps; the timeout continuation `R`'s steps are offered alongside.
+//! * **Restriction** blocks visible events with restricted labels (forcing
+//!   internal synchronisation); **closure** extends every timed action with
+//!   the owned-but-unused resources at priority 0.
+//! * **Invocation** unfolds the definition with its arguments substituted.
+//!
+//! # Panics
+//!
+//! `steps` expects a *ground* term over a *complete* environment. It panics on
+//! construction bugs: expressions referencing parameters outside any
+//! definition, actions naming a resource twice, undefined bodies, arity
+//! mismatches, and unguarded recursion (a definition that unfolds into itself
+//! without an intervening prefix). The AADL translation upholds all of these
+//! invariants; the panics exist to fail fast on hand-built models.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::env::Env;
+use crate::label::{Dir, GAction, Label};
+use crate::term::{EvKind, Proc, TimeBound, P};
+
+/// Maximum number of definition unfoldings along a single derivation before we
+/// declare the recursion unguarded.
+const MAX_UNFOLD_DEPTH: u32 = 128;
+
+/// Compute the unprioritized outgoing transitions of `p`, deduplicated.
+pub fn steps(env: &Env, p: &P) -> Vec<(Label, P)> {
+    let mut out = raw_steps(env, p, 0);
+    if out.len() > 1 {
+        let mut seen: HashSet<(Label, P)> = HashSet::with_capacity(out.len());
+        out.retain(|s| seen.insert(s.clone()));
+    }
+    out
+}
+
+fn ground_prio(e: &crate::expr::Expr) -> u32 {
+    let v = e
+        .eval_ground()
+        .expect("non-ground priority expression in reachable state");
+    u32::try_from(v.max(0)).unwrap_or(u32::MAX)
+}
+
+fn raw_steps(env: &Env, p: &P, depth: u32) -> Vec<(Label, P)> {
+    match &**p {
+        Proc::Nil => Vec::new(),
+
+        Proc::Act { action, tag, next } => {
+            let ga = GAction::from_template(action, *tag)
+                .expect("ill-formed action in reachable state");
+            vec![(Label::A(Arc::new(ga)), next.clone())]
+        }
+
+        Proc::Evt { event, next } => {
+            let prio = ground_prio(&event.prio);
+            let label = match &event.kind {
+                EvKind::Send(l) => Label::E {
+                    label: *l,
+                    dir: Dir::Send,
+                    prio,
+                },
+                EvKind::Recv(l) => Label::E {
+                    label: *l,
+                    dir: Dir::Recv,
+                    prio,
+                },
+                EvKind::Tau(via) => Label::Tau { prio, via: *via },
+            };
+            vec![(label, next.clone())]
+        }
+
+        Proc::Choice(alts) => alts
+            .iter()
+            .flat_map(|a| raw_steps(env, a, depth))
+            .collect(),
+
+        Proc::Guard { cond, then } => {
+            if cond
+                .eval(&[])
+                .expect("non-ground guard in reachable state")
+            {
+                raw_steps(env, then, depth)
+            } else {
+                Vec::new()
+            }
+        }
+
+        Proc::Par(comps) => par_steps(env, comps, depth),
+
+        Proc::Scope {
+            body,
+            limit,
+            exception,
+            timeout,
+            interrupt,
+        } => scope_steps(env, body, limit, exception, timeout, interrupt, depth),
+
+        Proc::Restrict { body, labels } => raw_steps(env, body, depth)
+            .into_iter()
+            .filter(|(l, _)| match l {
+                Label::E { label, .. } => !labels.contains(label),
+                _ => true,
+            })
+            .map(|(l, b)| {
+                (
+                    l,
+                    Arc::new(Proc::Restrict {
+                        body: b,
+                        labels: labels.clone(),
+                    }),
+                )
+            })
+            .collect(),
+
+        Proc::Close { body, resources } => raw_steps(env, body, depth)
+            .into_iter()
+            .map(|(l, b)| {
+                let l = match l {
+                    Label::A(a) => {
+                        let mut uses: Vec<(crate::symbol::Res, u32)> = a.uses.to_vec();
+                        for r in resources.iter() {
+                            if !a.uses_resource(*r) {
+                                uses.push((*r, 0));
+                            }
+                        }
+                        uses.sort_unstable_by_key(|(r, _)| *r);
+                        Label::A(Arc::new(GAction {
+                            uses: uses.into_boxed_slice(),
+                            tags: a.tags.clone(),
+                        }))
+                    }
+                    other => other,
+                };
+                (
+                    l,
+                    Arc::new(Proc::Close {
+                        body: b,
+                        resources: resources.clone(),
+                    }),
+                )
+            })
+            .collect(),
+
+        Proc::Invoke { def, args } => {
+            assert!(
+                depth < MAX_UNFOLD_DEPTH,
+                "unguarded recursion while unfolding {} (depth {})",
+                env.def(*def).name,
+                depth
+            );
+            let vals: Vec<i64> = args
+                .iter()
+                .map(|e| {
+                    e.eval_ground()
+                        .expect("non-ground invocation argument in reachable state")
+                })
+                .collect();
+            let body = env
+                .instantiate(*def, &vals)
+                .unwrap_or_else(|e| panic!("cannot unfold {}: {e}", env.def(*def).name));
+            raw_steps(env, &body, depth + 1)
+        }
+    }
+}
+
+/// Replace component `i` of `comps` with `p`, re-wrapping in `Par`.
+fn replace1(comps: &[P], i: usize, p: P) -> P {
+    let mut new: Vec<P> = comps.to_vec();
+    new[i] = p;
+    Arc::new(Proc::Par(new))
+}
+
+fn replace2(comps: &[P], i: usize, pi: P, j: usize, pj: P) -> P {
+    let mut new: Vec<P> = comps.to_vec();
+    new[i] = pi;
+    new[j] = pj;
+    Arc::new(Proc::Par(new))
+}
+
+fn par_steps(env: &Env, comps: &[P], depth: u32) -> Vec<(Label, P)> {
+    let per: Vec<Vec<(Label, P)>> = comps.iter().map(|c| raw_steps(env, c, depth)).collect();
+    let mut out: Vec<(Label, P)> = Vec::new();
+
+    // 1. A single component performs an instantaneous step on its own.
+    for (i, steps_i) in per.iter().enumerate() {
+        for (l, pi) in steps_i {
+            if !l.is_timed() {
+                out.push((l.clone(), replace1(comps, i, pi.clone())));
+            }
+        }
+    }
+
+    // 2. Two components synchronise a matching send/receive pair into τ@e.
+    for i in 0..per.len() {
+        for j in (i + 1)..per.len() {
+            for (li, pi) in &per[i] {
+                let (l1, d1, p1) = match li {
+                    Label::E { label, dir, prio } => (*label, *dir, *prio),
+                    _ => continue,
+                };
+                for (lj, pj) in &per[j] {
+                    let (l2, d2, p2) = match lj {
+                        Label::E { label, dir, prio } => (*label, *dir, *prio),
+                        _ => continue,
+                    };
+                    if l1 == l2 && d1 != d2 {
+                        out.push((
+                            Label::Tau {
+                                prio: p1.saturating_add(p2),
+                                via: Some(l1),
+                            },
+                            replace2(comps, i, pi.clone(), j, pj.clone()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Joint timed steps: one action per component, resources pairwise
+    //    disjoint (Par3), merged left to right with early conflict pruning.
+    let timed: Vec<Vec<(&GAction, &P)>> = per
+        .iter()
+        .map(|steps_i| {
+            steps_i
+                .iter()
+                .filter_map(|(l, p)| match l {
+                    Label::A(a) => Some((&**a, p)),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if timed.iter().all(|t| !t.is_empty()) {
+        let mut picked: Vec<&P> = Vec::with_capacity(comps.len());
+        combine_timed(&timed, 0, &GAction::idle(), &mut picked, &mut |action, picked| {
+            let new: Vec<P> = picked.iter().map(|p| (*p).clone()).collect();
+            out.push((Label::A(Arc::new(action.clone())), Arc::new(Proc::Par(new))));
+        });
+    }
+
+    out
+}
+
+fn combine_timed<'a>(
+    timed: &[Vec<(&'a GAction, &'a P)>],
+    idx: usize,
+    acc: &GAction,
+    picked: &mut Vec<&'a P>,
+    emit: &mut dyn FnMut(&GAction, &[&'a P]),
+) {
+    if idx == timed.len() {
+        emit(acc, picked);
+        return;
+    }
+    for (a, p) in &timed[idx] {
+        if let Some(merged) = acc.merge(a) {
+            picked.push(p);
+            combine_timed(timed, idx + 1, &merged, picked, emit);
+            picked.pop();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scope_steps(
+    env: &Env,
+    body: &P,
+    limit: &TimeBound,
+    exception: &Option<(crate::symbol::Symbol, P)>,
+    timeout: &Option<P>,
+    interrupt: &Option<P>,
+    depth: u32,
+) -> Vec<(Label, P)> {
+    let remaining: Option<i64> = match limit {
+        TimeBound::Finite(e) => Some(
+            e.eval_ground()
+                .expect("non-ground scope bound in reachable state"),
+        ),
+        TimeBound::Infinite => None,
+    };
+    let mut out: Vec<(Label, P)> = Vec::new();
+    let expired = remaining.is_some_and(|n| n <= 0);
+
+    let rewrap = |b: P, new_limit: TimeBound| -> P {
+        Arc::new(Proc::Scope {
+            body: b,
+            limit: new_limit,
+            exception: exception.clone(),
+            timeout: timeout.clone(),
+            interrupt: interrupt.clone(),
+        })
+    };
+
+    for (l, b) in raw_steps(env, body, depth) {
+        // Exception exit: the body performs the scope's exception event, in
+        // either direction — the thread skeleton of Fig. 4 exits its scope by
+        // *sending* `done`, while the dispatchers of Fig. 6 exit theirs by
+        // *receiving* it.
+        if let (Label::E { label, .. }, Some((exc, handler))) = (&l, exception) {
+            if label == exc {
+                out.push((l.clone(), handler.clone()));
+                continue;
+            }
+        }
+        match &l {
+            Label::A(_) if expired => {
+                // No timed steps past the boundary instant.
+            }
+            Label::A(_) => {
+                let new_limit = match remaining {
+                    Some(n) => TimeBound::Finite(crate::expr::Expr::Const(n - 1)),
+                    None => TimeBound::Infinite,
+                };
+                out.push((l, rewrap(b, new_limit)));
+            }
+            _ => {
+                // Instantaneous steps never consume scope time; they remain
+                // available at the boundary instant as well (a thread may
+                // signal completion at exactly its deadline).
+                out.push((l, rewrap(b, limit.clone())));
+            }
+        }
+    }
+
+    if expired {
+        // Timeout: the continuation's steps are offered at the boundary.
+        if let Some(r) = timeout {
+            out.extend(raw_steps(env, r, depth));
+        }
+    } else if let Some(s) = interrupt {
+        // The interrupt handler may take over at any moment while active.
+        out.extend(raw_steps(env, s, depth));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BExpr, Expr};
+    use crate::symbol::{Res, Symbol};
+    use crate::term::{
+        act, choice, close, evt_recv, evt_send, guard, invoke, nil, par, restrict, scope, tau,
+    };
+
+    fn cpu() -> Res {
+        Res::new("cpu")
+    }
+    fn bus() -> Res {
+        Res::new("bus")
+    }
+
+    fn count_timed(steps: &[(Label, P)]) -> usize {
+        steps.iter().filter(|(l, _)| l.is_timed()).count()
+    }
+
+    #[test]
+    fn nil_has_no_steps() {
+        let env = Env::new();
+        assert!(steps(&env, &nil()).is_empty());
+    }
+
+    #[test]
+    fn action_prefix_offers_one_step() {
+        let env = Env::new();
+        let p = act([(cpu(), 1)], nil());
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        match &s[0].0 {
+            Label::A(a) => {
+                assert_eq!(a.prio_of(cpu()), 1);
+                assert_eq!(a.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_prefixes_offer_their_event() {
+        let env = Env::new();
+        let e = Symbol::new("go");
+        let s = steps(&env, &evt_send(e, 3, nil()));
+        assert_eq!(
+            s[0].0,
+            Label::E {
+                label: e,
+                dir: Dir::Send,
+                prio: 3
+            }
+        );
+        let s = steps(&env, &evt_recv(e, 2, nil()));
+        assert_eq!(
+            s[0].0,
+            Label::E {
+                label: e,
+                dir: Dir::Recv,
+                prio: 2
+            }
+        );
+        let s = steps(&env, &tau(1, Some(e), nil()));
+        assert_eq!(
+            s[0].0,
+            Label::Tau {
+                prio: 1,
+                via: Some(e)
+            }
+        );
+    }
+
+    #[test]
+    fn choice_unions_steps() {
+        let env = Env::new();
+        let p = choice([
+            act([(cpu(), 1)], nil()),
+            evt_send(Symbol::new("go"), 1, nil()),
+        ]);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 2);
+        assert_eq!(count_timed(&s), 1);
+    }
+
+    #[test]
+    fn guards_gate_steps() {
+        let env = Env::new();
+        let p = guard(BExpr::lt(Expr::c(1), Expr::c(2)), act([(cpu(), 1)], nil()));
+        assert_eq!(steps(&env, &p).len(), 1);
+        let p = guard(BExpr::lt(Expr::c(2), Expr::c(1)), act([(cpu(), 1)], nil()));
+        assert!(steps(&env, &p).is_empty());
+    }
+
+    #[test]
+    fn par_advances_time_jointly_with_disjoint_resources() {
+        let env = Env::new();
+        // {(cpu,1)}:NIL ∥ {(bus,1)}:NIL — one joint step using both resources.
+        let p = par([act([(cpu(), 1)], nil()), act([(bus(), 1)], nil())]);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        let a = s[0].0.action().unwrap();
+        assert!(a.uses_resource(cpu()) && a.uses_resource(bus()));
+    }
+
+    #[test]
+    fn par_blocks_conflicting_actions() {
+        let env = Env::new();
+        // Both need cpu ⇒ no joint timed step; no events either ⇒ deadlock.
+        let p = par([act([(cpu(), 1)], nil()), act([(cpu(), 2)], nil())]);
+        assert!(steps(&env, &p).is_empty());
+    }
+
+    #[test]
+    fn par_with_nil_component_blocks_time() {
+        let env = Env::new();
+        let p = par([act([(cpu(), 1)], nil()), nil()]);
+        assert!(steps(&env, &p).is_empty());
+    }
+
+    #[test]
+    fn par_synchronises_events_into_tau() {
+        let env = Env::new();
+        let e = Symbol::new("sync");
+        let p = par([evt_send(e, 2, nil()), evt_recv(e, 3, nil())]);
+        let s = steps(&env, &p);
+        // Individual send, individual recv, and the τ@sync.
+        assert_eq!(s.len(), 3);
+        let taus: Vec<_> = s.iter().filter(|(l, _)| l.is_tau()).collect();
+        assert_eq!(taus.len(), 1);
+        assert_eq!(
+            taus[0].0,
+            Label::Tau {
+                prio: 5,
+                via: Some(e)
+            }
+        );
+    }
+
+    #[test]
+    fn restriction_forces_synchronisation() {
+        let env = Env::new();
+        let e = Symbol::new("locked");
+        let p = restrict(
+            par([evt_send(e, 1, nil()), evt_recv(e, 1, nil())]),
+            [e],
+        );
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].0.is_tau());
+    }
+
+    #[test]
+    fn restriction_can_deadlock_unmatched_events() {
+        let env = Env::new();
+        let e = Symbol::new("nobody_listens");
+        let p = restrict(evt_send(e, 1, nil()), [e]);
+        assert!(steps(&env, &p).is_empty());
+    }
+
+    #[test]
+    fn closure_pads_actions_with_owned_resources() {
+        let env = Env::new();
+        let p = close(act([(cpu(), 1)], nil()), [cpu(), bus()]);
+        let s = steps(&env, &p);
+        let a = s[0].0.action().unwrap();
+        assert_eq!(a.prio_of(cpu()), 1);
+        assert_eq!(a.prio_of(bus()), 0);
+        assert!(a.uses_resource(bus()));
+    }
+
+    #[test]
+    fn recursion_unfolds_through_invoke() {
+        let mut env = Env::new();
+        let d = env.declare("Loop", 1);
+        env.set_body(
+            d,
+            act(
+                [(cpu(), Expr::p(0))],
+                invoke(d, [Expr::p(0).add(Expr::c(1))]),
+            ),
+        );
+        let p = invoke(d, [Expr::c(5)]);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0.action().unwrap().prio_of(cpu()), 5);
+        // The residual is the invocation with incremented argument.
+        let s2 = steps(&env, &s[0].1);
+        assert_eq!(s2[0].0.action().unwrap().prio_of(cpu()), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unguarded recursion")]
+    fn unguarded_recursion_panics() {
+        let mut env = Env::new();
+        let d = env.declare("Omega", 0);
+        env.set_body(d, invoke(d, []));
+        steps(&env, &invoke(d, []));
+    }
+
+    #[test]
+    fn scope_times_out_to_continuation() {
+        let env = Env::new();
+        // scope(idle-loop, 2) with timeout → (done!,1).NIL
+        let mut env2 = Env::new();
+        let idler = env2.declare("Idler", 0);
+        env2.set_body(idler, act([] as [(Res, i32); 0], invoke(idler, [])));
+        let done = Symbol::new("done");
+        let p = scope(
+            invoke(idler, []),
+            crate::term::TimeBound::Finite(Expr::c(2)),
+            None,
+            Some(evt_send(done, 1, nil())),
+            None,
+        );
+        let _ = env;
+        // Step 1: idle (limit 2 → 1).
+        let s = steps(&env2, &p);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].0.is_timed());
+        // Step 2: idle (limit 1 → 0).
+        let s = steps(&env2, &s[0].1);
+        assert_eq!(s.len(), 1);
+        // At the boundary: no more timed steps; the timeout continuation's
+        // event is offered.
+        let s = steps(&env2, &s[0].1);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(s[0].0, Label::E { dir: Dir::Send, .. }));
+    }
+
+    #[test]
+    fn scope_exception_exits_to_handler() {
+        let env = Env::new();
+        let exc = Symbol::new("complete");
+        let after = Symbol::new("after");
+        let body = act([(cpu(), 1)], evt_send(exc, 1, nil()));
+        let p = scope(
+            body,
+            crate::term::TimeBound::Infinite,
+            Some((exc, evt_send(after, 1, nil()))),
+            None,
+            None,
+        );
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1); // the timed step
+        let s = steps(&env, &s[0].1);
+        assert_eq!(s.len(), 1);
+        // The exception event itself is visible...
+        assert!(matches!(&s[0].0, Label::E { label, dir: Dir::Send, .. } if *label == exc));
+        // ...and control transferred to the handler, not the body residual.
+        let s = steps(&env, &s[0].1);
+        assert!(matches!(&s[0].0, Label::E { label, .. } if *label == after));
+    }
+
+    #[test]
+    fn scope_interrupt_handler_can_take_over() {
+        let env = Env::new();
+        let irq = Symbol::new("interrupt");
+        let body = act([(cpu(), 1)], nil());
+        let handler = evt_recv(irq, 1, act([(bus(), 1)], nil()));
+        let p = scope(
+            body,
+            crate::term::TimeBound::Infinite,
+            None,
+            None,
+            Some(handler),
+        );
+        let s = steps(&env, &p);
+        // Body's timed step + handler's receive.
+        assert_eq!(s.len(), 2);
+        let recv = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { dir: Dir::Recv, .. }))
+            .expect("interrupt receive offered");
+        // After the interrupt fires, the scope is dissolved.
+        let s2 = steps(&env, &recv.1);
+        assert_eq!(s2.len(), 1);
+        assert!(s2[0].0.action().unwrap().uses_resource(bus()));
+    }
+
+    #[test]
+    fn scope_exception_triggers_on_receive_too() {
+        // Fig. 6 dispatchers: the scope around the wait-for-done loop is
+        // exited by *receiving* the done event.
+        let env = Env::new();
+        let done = Symbol::new("done");
+        let idle_wait = choice([
+            act([] as [(Res, i32); 0], nil()),
+            evt_recv(done, 1, nil()),
+        ]);
+        let p = scope(
+            idle_wait,
+            crate::term::TimeBound::Finite(Expr::c(5)),
+            Some((done, act([(cpu(), 9)], nil()))),
+            Some(nil()),
+            None,
+        );
+        let s = steps(&env, &p);
+        let recv = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { dir: Dir::Recv, .. }))
+            .expect("done? offered");
+        // Receiving done exits to the handler, not the body continuation.
+        let s2 = steps(&env, &recv.1);
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2[0].0.action().unwrap().prio_of(cpu()), 9);
+    }
+
+    #[test]
+    fn boundary_events_allowed_at_deadline() {
+        // A scope that expires immediately still lets the body perform
+        // instantaneous steps — completion at exactly the deadline.
+        let env = Env::new();
+        let done = Symbol::new("done");
+        let p = scope(
+            evt_send(done, 1, nil()),
+            crate::term::TimeBound::Finite(Expr::c(0)),
+            None,
+            Some(nil()),
+            None,
+        );
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(&s[0].0, Label::E { label, .. } if *label == done));
+    }
+
+    #[test]
+    fn expired_scope_with_nil_timeout_blocks() {
+        let env = Env::new();
+        let p = scope(
+            act([(cpu(), 1)], nil()),
+            crate::term::TimeBound::Finite(Expr::c(0)),
+            None,
+            Some(nil()),
+            None,
+        );
+        assert!(steps(&env, &p).is_empty());
+    }
+
+    #[test]
+    fn duplicate_steps_are_deduplicated() {
+        let env = Env::new();
+        let a = act([(cpu(), 1)], nil());
+        let p = choice([a.clone(), a]);
+        assert_eq!(steps(&env, &p).len(), 1);
+    }
+
+    #[test]
+    fn three_way_par_merges_all_actions() {
+        let env = Env::new();
+        let r1 = Res::new("r1");
+        let r2 = Res::new("r2");
+        let r3 = Res::new("r3");
+        let p = par([
+            act([(r1, 1)], nil()),
+            act([(r2, 2)], nil()),
+            act([(r3, 3)], nil()),
+        ]);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        let a = s[0].0.action().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.prio_of(r2), 2);
+    }
+
+    #[test]
+    fn par_explores_all_disjoint_combinations() {
+        let env = Env::new();
+        // Each component can compute (cpu) or idle: valid joint steps are
+        // (compute, idle), (idle, compute), (idle, idle) — not (compute, compute).
+        let worker = |prio: i64| {
+            choice([
+                act([(cpu(), prio)], nil()),
+                act([] as [(Res, i32); 0], nil()),
+            ])
+        };
+        let p = par([worker(1), worker(2)]);
+        let s = steps(&env, &p);
+        assert_eq!(count_timed(&s), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Interned names.
+//!
+//! ACSR models generated from AADL carry a large number of names — event
+//! labels (`dispatch_HCI_RefSpeed`, `done_HCI_RefSpeed`, queue events `e_q` /
+//! `e_deq`, …), resource names (one per processor and bus), and process
+//! definition names. The paper relies on *carefully chosen names* to raise
+//! failing scenarios back to the AADL level (§1, §5), so names appear on many
+//! labels and must be cheap to copy, compare and hash. We intern every string
+//! once into a process-wide table; a [`Symbol`] is a 4-byte index into it.
+//!
+//! Interned strings are leaked (they live for the lifetime of the process),
+//! which is the standard trade-off for analysis tools whose name population is
+//! bounded by the input model.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare, order and hash.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, Symbol>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `name`, returning its unique symbol.
+    pub fn new(name: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&sym) = int.map.get(name) {
+            return sym;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let sym = Symbol(u32::try_from(int.strings.len()).expect("symbol table overflow"));
+        int.strings.push(leaked);
+        int.map.insert(leaked, sym);
+        sym
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.strings[self.0 as usize]
+    }
+
+    /// The raw index of this symbol in the intern table.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+/// A serially reusable resource (a processor, a bus, shared data, …).
+///
+/// Resources are the central semantic notion of ACSR: a timed action claims a
+/// set of resources for one quantum, and two actions can only proceed in
+/// parallel when their resource sets are disjoint (rule *Par3* in §3 of the
+/// paper).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Res(pub Symbol);
+
+impl Res {
+    /// Intern a resource by name.
+    pub fn new(name: &str) -> Res {
+        Res(Symbol::new(name))
+    }
+
+    /// The resource's name.
+    pub fn name(self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Debug for Res {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Res({})", self.0)
+    }
+}
+
+impl fmt::Display for Res {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<&str> for Res {
+    fn from(s: &str) -> Res {
+        Res::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("dispatch_T1");
+        let b = Symbol::new("dispatch_T1");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "dispatch_T1");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("cpu1"), Symbol::new("cpu2"));
+    }
+
+    #[test]
+    fn resources_compare_by_name() {
+        assert_eq!(Res::new("bus"), Res::new("bus"));
+        assert_ne!(Res::new("bus"), Res::new("cpu"));
+        assert_eq!(Res::new("bus").name().as_str(), "bus");
+    }
+
+    #[test]
+    fn display_shows_name() {
+        assert_eq!(Symbol::new("done").to_string(), "done");
+        assert_eq!(Res::new("cpu").to_string(), "cpu");
+    }
+
+    #[test]
+    fn symbols_are_orderable_deterministically() {
+        // Ordering is by interning index, which is stable within a run; we only
+        // require a total order, not a lexicographic one.
+        let a = Symbol::new("zzz_order_a");
+        let b = Symbol::new("zzz_order_b");
+        assert!(a < b || b < a);
+    }
+}

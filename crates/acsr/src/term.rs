@@ -1,0 +1,484 @@
+//! The ACSR process term language.
+//!
+//! The constructors mirror the operators used in the paper (§3):
+//!
+//! * `NIL` — the deadlocked process (no steps at all). Because time progress is
+//!   global, a `NIL` component blocks time for the entire parallel composition;
+//!   this is exactly how the translation of §4–5 turns a deadline violation
+//!   into a model-wide deadlock.
+//! * **Timed action prefix** `A : P` — performs the set of
+//!   `(resource, priority)` accesses `A` for one quantum, then behaves as `P`.
+//!   The empty action `{}` is an *idling* step.
+//! * **Event prefix** `(e!, p).P` / `(e?, p).P` / `(τ, p).P` — instantaneous
+//!   communication.
+//! * **Choice** `P + Q` — resolved by the first step, timed or instantaneous.
+//! * **Parallel** `P ∥ Q` — events interleave or synchronise; timed actions
+//!   must be taken by *all* components simultaneously with disjoint resources.
+//! * **Temporal scope** `P Δᵗ_a (Q, R, S)` — `P` executes inside the scope; an
+//!   *exception* (output event `a`) transfers control to `Q`; a *timeout* after
+//!   `t` quanta transfers control to `R`; the *interrupt* handler `S` may take
+//!   over at any moment (§3, Fig. 3).
+//! * **Restriction** `P \ F` — events with a label in `F` may only occur as
+//!   internal synchronisations.
+//! * **Resource closure** `[P]_I` — every timed action of `P` is extended with
+//!   the unused resources of `I` at priority 0, modelling exclusive ownership.
+//! * **Invocation** `N(e₁, …, eₖ)` — parameterized recursion through the
+//!   definitions of an [`Env`](crate::env::Env).
+//! * **Guard** `(b → P)` — behaves as `P` when the boolean expression `b`
+//!   evaluates to true, as `NIL` otherwise (used heavily by Fig. 5).
+//!
+//! Terms double as *templates* (inside definitions, where expressions may
+//! reference parameters) and as *states* (ground terms, all expressions
+//! constant). [`subst`] instantiates a template with concrete arguments.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::env::{DefId, TagId};
+use crate::expr::{BExpr, EvalError, Expr};
+use crate::symbol::{Res, Symbol};
+
+/// A reference-counted process term. States reachable during exploration share
+/// structure through these pointers.
+pub type P = Arc<Proc>;
+
+/// A timed-action template: a set of resource accesses whose priorities are
+/// expressions over the enclosing definition's parameters.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ActionT {
+    /// `(resource, priority expression)` pairs. Kept in insertion order;
+    /// ground evaluation sorts and checks for duplicates.
+    pub uses: Vec<(Res, Expr)>,
+}
+
+/// The kind of an event prefix.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EvKind {
+    /// Output event `e!`.
+    Send(Symbol),
+    /// Input event `e?`.
+    Recv(Symbol),
+    /// Internal step `τ` (optionally remembering the event name that produced
+    /// it, written `τ@name` in the paper).
+    Tau(Option<Symbol>),
+}
+
+/// An event-prefix template.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EventT {
+    /// Send / receive / internal.
+    pub kind: EvKind,
+    /// Priority of the communication step.
+    pub prio: Expr,
+}
+
+/// The time bound of a temporal scope.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TimeBound {
+    /// The scope times out after this many quanta.
+    Finite(Expr),
+    /// The scope never times out (exception / interrupt exits only).
+    Infinite,
+}
+
+/// An ACSR process term. See the module documentation for the operator
+/// glossary; construction normally goes through the free functions
+/// ([`act`], [`evt_send`], [`choice`], [`par`], [`scope`], …).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Proc {
+    /// The deadlocked process: no transitions, blocks global time.
+    Nil,
+    /// Timed action prefix `A : next`.
+    Act {
+        /// The resource accesses performed in this quantum.
+        action: ActionT,
+        /// Optional provenance tag surfaced on composed transition labels;
+        /// used by the AADL translation to attribute quanta to components.
+        tag: Option<TagId>,
+        /// Continuation.
+        next: P,
+    },
+    /// Event prefix `(e, p) . next`.
+    Evt {
+        /// The communication performed.
+        event: EventT,
+        /// Continuation.
+        next: P,
+    },
+    /// n-ary choice, resolved by the first step of any alternative.
+    Choice(Vec<P>),
+    /// n-ary parallel composition.
+    Par(Vec<P>),
+    /// Guarded process `(cond → then)`; behaves as `NIL` when `cond` is false.
+    Guard {
+        /// The boolean guard over the enclosing definition's parameters.
+        cond: BExpr,
+        /// The guarded continuation.
+        then: P,
+    },
+    /// Temporal scope `body Δ^limit_a (exception, timeout, interrupt)`.
+    Scope {
+        /// The process executing inside the scope.
+        body: P,
+        /// Remaining time before the timeout exit.
+        limit: TimeBound,
+        /// `(label, handler)`: when `body` performs the event `label` (in
+        /// either direction — skeletons *send* their exit event, dispatchers
+        /// *receive* it), the scope exits to `handler` (the *exception* exit —
+        /// the white-circle exit point in the paper's figures).
+        exception: Option<(Symbol, P)>,
+        /// Continuation taken when the time bound elapses.
+        timeout: Option<P>,
+        /// Handler that may take over (by performing any of its initial steps)
+        /// at any moment while the scope is active.
+        interrupt: Option<P>,
+    },
+    /// Event restriction `body \ labels`.
+    Restrict {
+        /// The restricted process.
+        body: P,
+        /// Labels that may only synchronise internally.
+        labels: Arc<BTreeSet<Symbol>>,
+    },
+    /// Resource closure `[body]_resources`.
+    Close {
+        /// The closed process.
+        body: P,
+        /// Resources owned by the process.
+        resources: Arc<BTreeSet<Res>>,
+    },
+    /// Invocation of a (possibly parameterized) process definition.
+    Invoke {
+        /// The definition being invoked.
+        def: DefId,
+        /// Argument expressions, evaluated at unfolding time.
+        args: Vec<Expr>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Smart constructors
+// ---------------------------------------------------------------------------
+
+/// The deadlocked process `NIL`.
+pub fn nil() -> P {
+    Arc::new(Proc::Nil)
+}
+
+/// Timed action prefix `{(r₁,p₁),…} : next`.
+pub fn act<I, E>(uses: I, next: P) -> P
+where
+    I: IntoIterator<Item = (Res, E)>,
+    E: Into<Expr>,
+{
+    Arc::new(Proc::Act {
+        action: ActionT {
+            uses: uses.into_iter().map(|(r, e)| (r, e.into())).collect(),
+        },
+        tag: None,
+        next,
+    })
+}
+
+/// Timed action prefix carrying a provenance tag.
+pub fn act_tagged<I, E>(uses: I, tag: TagId, next: P) -> P
+where
+    I: IntoIterator<Item = (Res, E)>,
+    E: Into<Expr>,
+{
+    Arc::new(Proc::Act {
+        action: ActionT {
+            uses: uses.into_iter().map(|(r, e)| (r, e.into())).collect(),
+        },
+        tag: Some(tag),
+        next,
+    })
+}
+
+/// Output-event prefix `(label!, prio) . next`.
+pub fn evt_send(label: Symbol, prio: impl Into<Expr>, next: P) -> P {
+    Arc::new(Proc::Evt {
+        event: EventT {
+            kind: EvKind::Send(label),
+            prio: prio.into(),
+        },
+        next,
+    })
+}
+
+/// Input-event prefix `(label?, prio) . next`.
+pub fn evt_recv(label: Symbol, prio: impl Into<Expr>, next: P) -> P {
+    Arc::new(Proc::Evt {
+        event: EventT {
+            kind: EvKind::Recv(label),
+            prio: prio.into(),
+        },
+        next,
+    })
+}
+
+/// Internal-step prefix `(τ, prio) . next`.
+pub fn tau(prio: impl Into<Expr>, via: Option<Symbol>, next: P) -> P {
+    Arc::new(Proc::Evt {
+        event: EventT {
+            kind: EvKind::Tau(via),
+            prio: prio.into(),
+        },
+        next,
+    })
+}
+
+/// n-ary choice `P₁ + P₂ + …`.
+pub fn choice(alts: impl IntoIterator<Item = P>) -> P {
+    let alts: Vec<P> = alts.into_iter().collect();
+    match alts.len() {
+        0 => nil(),
+        1 => alts.into_iter().next().expect("len checked"),
+        _ => Arc::new(Proc::Choice(alts)),
+    }
+}
+
+/// n-ary parallel composition `P₁ ∥ P₂ ∥ …`.
+pub fn par(comps: impl IntoIterator<Item = P>) -> P {
+    let comps: Vec<P> = comps.into_iter().collect();
+    match comps.len() {
+        0 => nil(),
+        1 => comps.into_iter().next().expect("len checked"),
+        _ => Arc::new(Proc::Par(comps)),
+    }
+}
+
+/// Guarded process `(cond → then)`.
+pub fn guard(cond: BExpr, then: P) -> P {
+    Arc::new(Proc::Guard { cond, then })
+}
+
+/// Temporal scope `body Δ^limit_a (exception, timeout, interrupt)`.
+pub fn scope(
+    body: P,
+    limit: TimeBound,
+    exception: Option<(Symbol, P)>,
+    timeout: Option<P>,
+    interrupt: Option<P>,
+) -> P {
+    Arc::new(Proc::Scope {
+        body,
+        limit,
+        exception,
+        timeout,
+        interrupt,
+    })
+}
+
+/// Event restriction `body \ labels`.
+pub fn restrict(body: P, labels: impl IntoIterator<Item = Symbol>) -> P {
+    Arc::new(Proc::Restrict {
+        body,
+        labels: Arc::new(labels.into_iter().collect()),
+    })
+}
+
+/// Resource closure `[body]_resources`.
+pub fn close(body: P, resources: impl IntoIterator<Item = Res>) -> P {
+    Arc::new(Proc::Close {
+        body,
+        resources: Arc::new(resources.into_iter().collect()),
+    })
+}
+
+/// Invocation `def(args…)`.
+pub fn invoke(def: DefId, args: impl IntoIterator<Item = Expr>) -> P {
+    Arc::new(Proc::Invoke {
+        def,
+        args: args.into_iter().collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Substitution
+// ---------------------------------------------------------------------------
+
+/// Instantiate a template with concrete parameter values, producing a ground
+/// term: every expression is evaluated to a constant and every guard whose
+/// condition is decided is pruned (`false` guards become `NIL`, which
+/// contributes no transitions — exactly the semantics of the guard operator).
+pub fn subst(p: &P, args: &[i64]) -> Result<P, EvalError> {
+    Ok(match &**p {
+        Proc::Nil => p.clone(),
+        Proc::Act { action, tag, next } => Arc::new(Proc::Act {
+            action: ActionT {
+                uses: action
+                    .uses
+                    .iter()
+                    .map(|(r, e)| Ok((*r, Expr::Const(e.eval(args)?))))
+                    .collect::<Result<_, EvalError>>()?,
+            },
+            tag: *tag,
+            next: subst(next, args)?,
+        }),
+        Proc::Evt { event, next } => Arc::new(Proc::Evt {
+            event: EventT {
+                kind: event.kind.clone(),
+                prio: Expr::Const(event.prio.eval(args)?),
+            },
+            next: subst(next, args)?,
+        }),
+        Proc::Choice(alts) => Arc::new(Proc::Choice(
+            alts.iter()
+                .map(|a| subst(a, args))
+                .collect::<Result<_, _>>()?,
+        )),
+        Proc::Par(comps) => Arc::new(Proc::Par(
+            comps
+                .iter()
+                .map(|c| subst(c, args))
+                .collect::<Result<_, _>>()?,
+        )),
+        Proc::Guard { cond, then } => {
+            if cond.eval(args)? {
+                subst(then, args)?
+            } else {
+                nil()
+            }
+        }
+        Proc::Scope {
+            body,
+            limit,
+            exception,
+            timeout,
+            interrupt,
+        } => Arc::new(Proc::Scope {
+            body: subst(body, args)?,
+            limit: match limit {
+                TimeBound::Finite(e) => TimeBound::Finite(Expr::Const(e.eval(args)?)),
+                TimeBound::Infinite => TimeBound::Infinite,
+            },
+            exception: exception
+                .as_ref()
+                .map(|(l, h)| Ok::<_, EvalError>((*l, subst(h, args)?)))
+                .transpose()?,
+            timeout: timeout.as_ref().map(|t| subst(t, args)).transpose()?,
+            interrupt: interrupt.as_ref().map(|i| subst(i, args)).transpose()?,
+        }),
+        Proc::Restrict { body, labels } => Arc::new(Proc::Restrict {
+            body: subst(body, args)?,
+            labels: labels.clone(),
+        }),
+        Proc::Close { body, resources } => Arc::new(Proc::Close {
+            body: subst(body, args)?,
+            resources: resources.clone(),
+        }),
+        Proc::Invoke { def, args: a } => Arc::new(Proc::Invoke {
+            def: *def,
+            args: a
+                .iter()
+                .map(|e| Ok(Expr::Const(e.eval(args)?)))
+                .collect::<Result<_, EvalError>>()?,
+        }),
+    })
+}
+
+impl ActionT {
+    /// The idling action `{}`.
+    pub fn idle() -> ActionT {
+        ActionT { uses: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Env;
+
+    fn cpu() -> Res {
+        Res::new("cpu")
+    }
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let p = act([(cpu(), 1)], nil());
+        match &*p {
+            Proc::Act { action, tag, .. } => {
+                assert_eq!(action.uses.len(), 1);
+                assert!(tag.is_none());
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        assert!(matches!(&*nil(), Proc::Nil));
+        assert!(matches!(&*choice([nil(), nil()]), Proc::Choice(v) if v.len() == 2));
+        // Degenerate cases collapse.
+        assert!(matches!(&*choice([]), Proc::Nil));
+        let single = act([(cpu(), 1)], nil());
+        assert_eq!(choice([single.clone()]), single);
+        assert_eq!(par([single.clone()]), single);
+    }
+
+    #[test]
+    fn subst_evaluates_priorities_and_args() {
+        let mut env = Env::new();
+        let d = env.declare("X", 2);
+        // body: {(cpu, p0+1)} : X(p0+1, p1)
+        let body = act(
+            [(cpu(), Expr::p(0).add(Expr::c(1)))],
+            invoke(d, [Expr::p(0).add(Expr::c(1)), Expr::p(1)]),
+        );
+        let ground = subst(&body, &[3, 9]).unwrap();
+        match &*ground {
+            Proc::Act { action, next, .. } => {
+                assert_eq!(action.uses[0].1, Expr::Const(4));
+                match &**next {
+                    Proc::Invoke { args, .. } => {
+                        assert_eq!(args, &[Expr::Const(4), Expr::Const(9)]);
+                    }
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_prunes_false_guards_to_nil() {
+        let g = guard(
+            BExpr::lt(Expr::p(0), Expr::c(5)),
+            act([(cpu(), 1)], nil()),
+        );
+        assert!(matches!(&*subst(&g, &[7]).unwrap(), Proc::Nil));
+        assert!(matches!(
+            &*subst(&g, &[2]).unwrap(),
+            Proc::Act { .. }
+        ));
+    }
+
+    #[test]
+    fn subst_evaluates_scope_bounds() {
+        let s = scope(
+            act([(cpu(), 1)], nil()),
+            TimeBound::Finite(Expr::p(0).mul(Expr::c(2))),
+            None,
+            Some(nil()),
+            None,
+        );
+        match &*subst(&s, &[5]).unwrap() {
+            Proc::Scope { limit, .. } => {
+                assert_eq!(*limit, TimeBound::Finite(Expr::Const(10)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subst_fails_on_unbound_param() {
+        let p = act([(cpu(), Expr::p(3))], nil());
+        assert!(subst(&p, &[1]).is_err());
+    }
+
+    #[test]
+    fn ground_terms_are_structurally_comparable() {
+        let a = act([(cpu(), 1)], evt_send(Symbol::new("done"), 1, nil()));
+        let b = act([(cpu(), 1)], evt_send(Symbol::new("done"), 1, nil()));
+        assert_eq!(a, b);
+        let c = act([(cpu(), 2)], evt_send(Symbol::new("done"), 1, nil()));
+        assert_ne!(a, c);
+    }
+}

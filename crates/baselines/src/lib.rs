@@ -1,0 +1,35 @@
+//! # sched-baselines — classical schedulability analyses and a
+//! Cheddar-style simulator
+//!
+//! The paper positions its exhaustive, process-algebraic analysis against two
+//! families of prior tooling (§6):
+//!
+//! * **Closed-form / fixpoint schedulability tests** — MetaH offered
+//!   rate-monotonic analysis; this crate implements the Liu–Layland and
+//!   hyperbolic utilization bounds, exact response-time analysis for
+//!   fixed-priority scheduling, and the processor-demand criterion for EDF.
+//! * **Simulation-based tools such as Cheddar** — "We believe that exploring
+//!   the state space of a formal executable model offers exhaustive analysis
+//!   of all possible behaviors, which is very important if there is much
+//!   uncertainty in the model behavior." The [`simulator`] module is that
+//!   foil: a discrete-time scheduling simulator that executes *one* behaviour
+//!   per run (fixed or sampled execution times), so experiments can show
+//!   what a simulation misses and the exhaustive exploration catches.
+//!
+//! [`taskset`] generates randomized periodic task sets (UUniFast) and
+//! converts them into AADL packages, closing the loop for the
+//! verdict-agreement experiments (Q2 in `EXPERIMENTS.md`).
+
+pub mod edf_demand;
+pub mod rta;
+pub mod simulator;
+pub mod taskset;
+pub mod types;
+pub mod utilization;
+
+pub use edf_demand::edf_schedulable;
+pub use rta::{response_times, rta_schedulable};
+pub use simulator::{simulate, ExecModel, Policy, SimOutcome};
+pub use taskset::{taskset_to_package, uunifast, TaskSetSpec};
+pub use types::{Task, TaskSet};
+pub use utilization::{hyperbolic_test, liu_layland_bound, rm_utilization_test, utilization};

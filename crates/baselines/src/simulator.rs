@@ -1,0 +1,287 @@
+//! A Cheddar-style discrete-time scheduling simulator (§6 of the paper).
+//!
+//! Executes *one* behaviour of a periodic task set per run: jobs are released
+//! synchronously at multiples of their periods, the scheduler picks the
+//! highest-priority ready job each quantum (RM/DM/HPF static priorities, or
+//! EDF/LLF dynamic ones), and deadline misses are recorded. Execution times
+//! are either fixed at the WCET or sampled per job from `[bcet, wcet]`.
+//!
+//! The point of this module is methodological: a simulator observes a single
+//! interleaving per run, so with execution-time uncertainty it can report "no
+//! miss" for a task set whose state space *does* contain a missing behaviour
+//! — which the exhaustive ACSR exploration finds (experiment Q4). It also
+//! serves as a fast cross-check for the verdict-agreement experiment (Q2):
+//! with `ExecModel::Wcet` and fixed priorities, a miss in the simulation must
+//! also be found by RTA and by the exhaustive analysis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::TaskSet;
+
+/// Scheduling policy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Policy {
+    /// Rate monotonic (static).
+    Rm,
+    /// Deadline monotonic (static).
+    Dm,
+    /// Explicit priorities from [`Task::priority`](crate::types::Task).
+    Hpf,
+    /// Earliest deadline first (dynamic).
+    Edf,
+    /// Least laxity first (dynamic).
+    Llf,
+}
+
+/// How job execution times are chosen.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ExecModel {
+    /// Every job takes its task's WCET.
+    Wcet,
+    /// Every job takes its task's BCET.
+    Bcet,
+    /// Each job's demand is sampled uniformly from `[bcet, wcet]` with the
+    /// given seed (reproducible).
+    Sampled {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A recorded deadline miss.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Miss {
+    /// The task.
+    pub task: usize,
+    /// Release time of the missing job.
+    pub release: u64,
+    /// Its absolute deadline.
+    pub deadline: u64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Deadline misses in release order (empty ⇒ no miss observed *in this
+    /// run* — not a proof of schedulability under execution-time ranges).
+    pub misses: Vec<Miss>,
+    /// `schedule[t]` = the task that held the processor during quantum `t`
+    /// (`None` = idle).
+    pub schedule: Vec<Option<usize>>,
+    /// Number of jobs completed.
+    pub completed: u64,
+}
+
+impl SimOutcome {
+    /// No miss observed.
+    pub fn ok(&self) -> bool {
+        self.misses.is_empty()
+    }
+}
+
+struct Job {
+    task: usize,
+    release: u64,
+    abs_deadline: u64,
+    remaining: u64,
+    missed: bool,
+}
+
+/// Simulate `ts` under `policy` for `horizon` quanta (one hyperperiod covers
+/// all behaviours of a synchronous set with fixed execution times).
+pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> SimOutcome {
+    let mut rng = match exec {
+        ExecModel::Sampled { seed } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let static_prio: Vec<u64> = match policy {
+        // Higher value = higher priority.
+        Policy::Rm => ts.tasks.iter().map(|t| u64::MAX - t.period).collect(),
+        Policy::Dm => ts.tasks.iter().map(|t| u64::MAX - t.deadline).collect(),
+        Policy::Hpf => ts
+            .tasks
+            .iter()
+            .map(|t| t.priority.unwrap_or(0) as u64)
+            .collect(),
+        _ => vec![0; ts.tasks.len()],
+    };
+
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut misses = Vec::new();
+    let mut schedule = Vec::with_capacity(horizon as usize);
+    let mut completed = 0u64;
+
+    for t in 0..horizon {
+        // Releases.
+        for (i, task) in ts.tasks.iter().enumerate() {
+            if t % task.period == 0 {
+                let demand = match exec {
+                    ExecModel::Wcet => task.wcet,
+                    ExecModel::Bcet => task.bcet,
+                    ExecModel::Sampled { .. } => rng
+                        .as_mut()
+                        .expect("sampled exec has rng")
+                        .gen_range(task.bcet..=task.wcet),
+                };
+                jobs.push(Job {
+                    task: i,
+                    release: t,
+                    abs_deadline: t + task.deadline,
+                    remaining: demand,
+                    missed: false,
+                });
+            }
+        }
+
+        // Pick the highest-priority ready job.
+        let pick = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.remaining > 0)
+            .max_by_key(|(idx, j)| {
+                let p = match policy {
+                    Policy::Rm | Policy::Dm | Policy::Hpf => static_prio[j.task],
+                    Policy::Edf => u64::MAX - j.abs_deadline,
+                    Policy::Llf => {
+                        let slack = j.abs_deadline.saturating_sub(t).saturating_sub(j.remaining);
+                        u64::MAX - slack
+                    }
+                };
+                // Deterministic tie-break: earliest release, then lowest index.
+                (p, u64::MAX - j.release, usize::MAX - *idx)
+            })
+            .map(|(idx, _)| idx);
+
+        schedule.push(pick.map(|idx| jobs[idx].task));
+        if let Some(idx) = pick {
+            jobs[idx].remaining -= 1;
+            if jobs[idx].remaining == 0 {
+                completed += 1;
+            }
+        }
+
+        // Miss detection at the *end* of each quantum: a job whose absolute
+        // deadline is t+1 must have finished by then (completion exactly at
+        // the deadline is allowed, matching the ACSR semantics).
+        for j in jobs.iter_mut() {
+            if !j.missed && j.remaining > 0 && j.abs_deadline <= t + 1 {
+                j.missed = true;
+                misses.push(Miss {
+                    task: j.task,
+                    release: j.release,
+                    deadline: j.abs_deadline,
+                });
+            }
+        }
+        jobs.retain(|j| j.remaining > 0 && !j.missed);
+    }
+
+    SimOutcome {
+        misses,
+        schedule,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Task, TaskSet};
+
+    fn two_task_set() -> TaskSet {
+        TaskSet::new(vec![Task::new(0, 10, 5), Task::new(0, 20, 10)])
+    }
+
+    #[test]
+    fn rm_schedules_the_harmonic_full_set() {
+        let ts = two_task_set(); // U = 1.0, harmonic ⇒ RM OK
+        let out = simulate(&ts, Policy::Rm, ExecModel::Wcet, ts.hyperperiod());
+        assert!(out.ok(), "misses: {:?}", out.misses);
+        // Fully utilized: never idle.
+        assert!(out.schedule.iter().all(Option::is_some));
+        assert_eq!(out.completed, 3); // 2 jobs of T1 + 1 job of T2
+    }
+
+    #[test]
+    fn rm_misses_on_the_nonharmonic_full_set() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 5), Task::new(0, 14, 7)]);
+        let out = simulate(&ts, Policy::Rm, ExecModel::Wcet, ts.hyperperiod());
+        assert!(!out.ok());
+        assert_eq!(out.misses[0].task, 1);
+        // EDF schedules the same set (U = 1).
+        let out = simulate(&ts, Policy::Edf, ExecModel::Wcet, ts.hyperperiod());
+        assert!(out.ok(), "misses: {:?}", out.misses);
+    }
+
+    #[test]
+    fn llf_also_schedules_full_utilization() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 5), Task::new(0, 14, 7)]);
+        let out = simulate(&ts, Policy::Llf, ExecModel::Wcet, ts.hyperperiod());
+        assert!(out.ok(), "misses: {:?}", out.misses);
+    }
+
+    #[test]
+    fn hpf_respects_explicit_priorities() {
+        let mut t1 = Task::new(0, 10, 6);
+        t1.priority = Some(1);
+        let mut t2 = Task::new(0, 10, 4).with_deadline(4);
+        t2.priority = Some(9);
+        let ts = TaskSet::new(vec![t1, t2]);
+        let out = simulate(&ts, Policy::Hpf, ExecModel::Wcet, 10);
+        assert!(out.ok());
+        // t2 (priority 9) runs first.
+        assert_eq!(out.schedule[0], Some(1));
+    }
+
+    #[test]
+    fn simulation_agrees_with_rta_on_wcet() {
+        use crate::rta::rm_schedulable;
+        let sets = [
+            TaskSet::new(vec![Task::new(0, 7, 3), Task::new(0, 12, 3), Task::new(0, 20, 5)]),
+            TaskSet::new(vec![Task::new(0, 10, 6), Task::new(0, 15, 8)]),
+            two_task_set(),
+        ];
+        for ts in sets {
+            let sim = simulate(&ts, Policy::Rm, ExecModel::Wcet, ts.hyperperiod());
+            assert_eq!(
+                sim.ok(),
+                rm_schedulable(&ts),
+                "simulation and RTA disagree on {ts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_runs_are_reproducible() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, 10, 5).with_exec_range(2, 5),
+            Task::new(0, 20, 10).with_exec_range(4, 10),
+        ]);
+        let a = simulate(&ts, Policy::Rm, ExecModel::Sampled { seed: 1 }, 40);
+        let b = simulate(&ts, Policy::Rm, ExecModel::Sampled { seed: 1 }, 40);
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn completion_exactly_at_the_deadline_is_not_a_miss() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 10)]);
+        let out = simulate(&ts, Policy::Rm, ExecModel::Wcet, 20);
+        assert!(out.ok());
+    }
+
+    #[test]
+    fn one_quantum_too_much_is_a_miss() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 10).with_deadline(9)]);
+        let out = simulate(&ts, Policy::Rm, ExecModel::Wcet, 10);
+        assert_eq!(out.misses.len(), 1);
+        assert_eq!(out.misses[0].deadline, 9);
+    }
+
+    #[test]
+    fn idle_time_appears_in_the_schedule() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 3)]);
+        let out = simulate(&ts, Policy::Rm, ExecModel::Wcet, 10);
+        assert_eq!(out.schedule.iter().filter(|s| s.is_none()).count(), 7);
+    }
+}

@@ -1,0 +1,154 @@
+//! Periodic task-set types shared by the baseline analyses.
+//!
+//! Time is in integer quanta — the same discrete-time abstraction as the
+//! ACSR translation (§4.1 of the paper), so verdicts are directly comparable.
+
+/// A periodic task (synchronous release at t = 0).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Task {
+    /// Stable identifier (index in the owning set).
+    pub id: usize,
+    /// Period.
+    pub period: u64,
+    /// Best-case execution time (≥ 1).
+    pub bcet: u64,
+    /// Worst-case execution time (≥ bcet).
+    pub wcet: u64,
+    /// Relative deadline (≤ period for the analyses implemented here).
+    pub deadline: u64,
+    /// Explicit priority for HPF (higher = more important).
+    pub priority: Option<u32>,
+}
+
+impl Task {
+    /// A task with implicit deadline (= period) and fixed execution time.
+    pub fn new(id: usize, period: u64, wcet: u64) -> Task {
+        Task {
+            id,
+            period,
+            bcet: wcet,
+            wcet,
+            deadline: period,
+            priority: None,
+        }
+    }
+
+    /// Set an explicit (constrained) deadline.
+    pub fn with_deadline(mut self, deadline: u64) -> Task {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Set an execution-time range.
+    pub fn with_exec_range(mut self, bcet: u64, wcet: u64) -> Task {
+        self.bcet = bcet;
+        self.wcet = wcet;
+        self
+    }
+
+    /// Worst-case utilization of this task.
+    pub fn utilization(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+}
+
+/// A set of periodic tasks on one processor.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TaskSet {
+    /// The tasks.
+    pub tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Build from tasks (re-assigns ids to indices).
+    pub fn new(mut tasks: Vec<Task>) -> TaskSet {
+        for (i, t) in tasks.iter_mut().enumerate() {
+            t.id = i;
+        }
+        TaskSet { tasks }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total worst-case utilization.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Least common multiple of the periods.
+    pub fn hyperperiod(&self) -> u64 {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.tasks
+            .iter()
+            .map(|t| t.period)
+            .fold(1u64, |acc, p| acc / gcd(acc, p) * p)
+    }
+
+    /// Task indices sorted rate-monotonically (ascending period; stable).
+    pub fn rm_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.tasks.len()).collect();
+        idx.sort_by_key(|&i| self.tasks[i].period);
+        idx
+    }
+
+    /// Task indices sorted deadline-monotonically (ascending deadline).
+    pub fn dm_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.tasks.len()).collect();
+        idx.sort_by_key(|&i| self.tasks[i].deadline);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_sums() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 2), Task::new(0, 20, 5)]);
+        assert!((ts.utilization() - 0.45).abs() < 1e-9);
+        assert_eq!(ts.tasks[1].id, 1, "ids reassigned");
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, 10, 1),
+            Task::new(0, 15, 1),
+            Task::new(0, 6, 1),
+        ]);
+        assert_eq!(ts.hyperperiod(), 30);
+    }
+
+    #[test]
+    fn orders() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, 20, 1).with_deadline(5),
+            Task::new(0, 10, 1).with_deadline(10),
+        ]);
+        assert_eq!(ts.rm_order(), vec![1, 0]);
+        assert_eq!(ts.dm_order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn builders() {
+        let t = Task::new(0, 50, 10).with_deadline(40).with_exec_range(5, 10);
+        assert_eq!(t.deadline, 40);
+        assert_eq!(t.bcet, 5);
+        assert!((t.utilization() - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Utilization-based schedulability bounds for rate-monotonic scheduling.
+//!
+//! These are the classical *sufficient* tests (MetaH's analysis family, §6 of
+//! the paper): passing guarantees schedulability; failing is inconclusive —
+//! exactly the gap the paper's exact, exhaustive analysis closes.
+
+use crate::types::TaskSet;
+
+/// Total worst-case utilization `Σ Cᵢ/Tᵢ`.
+pub fn utilization(ts: &TaskSet) -> f64 {
+    ts.utilization()
+}
+
+/// The Liu–Layland bound `n(2^{1/n} − 1)` for `n` tasks.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Sufficient RM test: `U ≤ n(2^{1/n} − 1)` (implicit deadlines).
+pub fn rm_utilization_test(ts: &TaskSet) -> bool {
+    ts.utilization() <= liu_layland_bound(ts.len()) + 1e-12
+}
+
+/// The hyperbolic bound (Bini–Buttazzo): `Π (Uᵢ + 1) ≤ 2` — strictly less
+/// pessimistic than Liu–Layland.
+pub fn hyperbolic_test(ts: &TaskSet) -> bool {
+    ts.tasks
+        .iter()
+        .map(|t| t.utilization() + 1.0)
+        .product::<f64>()
+        <= 2.0 + 1e-12
+}
+
+/// Necessary-and-sufficient EDF test for implicit deadlines: `U ≤ 1`.
+pub fn edf_utilization_test(ts: &TaskSet) -> bool {
+    ts.utilization() <= 1.0 + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Task;
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284271247).abs() < 1e-9);
+        // n → ∞: ln 2.
+        assert!((liu_layland_bound(100_000) - std::f64::consts::LN_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rm_test_accepts_low_utilization() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 2), Task::new(0, 20, 4)]);
+        assert!(rm_utilization_test(&ts)); // U = 0.4
+        assert!(hyperbolic_test(&ts));
+    }
+
+    #[test]
+    fn rm_test_is_inconclusive_above_the_bound() {
+        // U = 0.5 + 0.45 = 0.95 > 0.828: the bound fails even though this
+        // particular set happens to be RM-schedulable (harmonic-ish periods).
+        let ts = TaskSet::new(vec![Task::new(0, 10, 5), Task::new(0, 20, 9)]);
+        assert!(!rm_utilization_test(&ts));
+    }
+
+    #[test]
+    fn hyperbolic_dominates_liu_layland() {
+        // A set accepted by hyperbolic but not by Liu–Layland:
+        // U1 = U2 = 0.414 ⇒ U = 0.828 ≤ bound? L&L bound for 2 = 0.8284.
+        // Use 3 tasks: U_i = 0.28 each: U = 0.84 > 0.7798 (LL for 3) but
+        // Π(1.28)³ = 2.097 > 2 … pick U_i = 0.26: Π(1.26)³ = 2.0004 > 2.
+        // Known example: U = (0.5, 0.25, 0.1): LL bound 0.7798 < 0.85;
+        // hyperbolic: 1.5 · 1.25 · 1.1 = 2.0625 > 2. Try harmonic-friendly
+        // skewed set (0.6, 0.1, 0.1): product = 1.6·1.1·1.1 = 1.936 ≤ 2,
+        // sum = 0.8 > 0.7798.
+        let ts = TaskSet::new(vec![
+            Task::new(0, 10, 6),
+            Task::new(0, 20, 2),
+            Task::new(0, 40, 4),
+        ]);
+        assert!(!rm_utilization_test(&ts));
+        assert!(hyperbolic_test(&ts));
+    }
+
+    #[test]
+    fn edf_accepts_full_utilization() {
+        let ts = TaskSet::new(vec![Task::new(0, 10, 5), Task::new(0, 14, 7)]);
+        assert!((ts.utilization() - 1.0).abs() < 1e-9);
+        assert!(edf_utilization_test(&ts));
+        assert!(!rm_utilization_test(&ts));
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        let ts = TaskSet::default();
+        assert!(rm_utilization_test(&ts));
+        assert!(edf_utilization_test(&ts));
+        assert!(hyperbolic_test(&ts));
+    }
+}

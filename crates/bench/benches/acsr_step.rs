@@ -1,0 +1,93 @@
+//! Microbenchmarks of the ACSR semantic core (experiment F2's engine):
+//! one-step derivation, prioritization, the Par3 product and substitution.
+
+use acsr::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// `n` workers on one cpu, each offering compute/idle — the canonical
+/// scheduling hot spot of the translation.
+fn workers(env: &mut Env, n: usize) -> P {
+    let cpu = Res::new("bench_cpu");
+    let comps: Vec<P> = (0..n)
+        .map(|i| {
+            let d = env.declare(&format!("BW{n}_{i}"), 0);
+            env.set_body(
+                d,
+                choice([
+                    act([(cpu, (i + 1) as i64)], invoke(d, [])),
+                    act([] as [(Res, i32); 0], invoke(d, [])),
+                ]),
+            );
+            invoke(d, [])
+        })
+        .collect();
+    par(comps)
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acsr_prioritized_steps");
+    for n in [2usize, 4, 8] {
+        let mut env = Env::new();
+        let p = workers(&mut env, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| prioritized_steps(&env, &p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unprioritized(c: &mut Criterion) {
+    let mut env = Env::new();
+    let p = workers(&mut env, 6);
+    c.bench_function("acsr_unprioritized_steps_6", |b| {
+        b.iter(|| steps(&env, &p));
+    });
+}
+
+fn bench_subst(c: &mut Criterion) {
+    // A Fig. 5-shaped compute body with guards and parameter arithmetic.
+    let cpu = Res::new("bench_cpu2");
+    let mut env = Env::new();
+    let d = env.declare("BenchCompute", 2);
+    let body = choice([
+        guard(
+            BExpr::lt(Expr::p(0).add(Expr::c(1)), Expr::c(10)),
+            act(
+                [(cpu, Expr::c(50).sub(Expr::c(20).sub(Expr::p(1))))],
+                invoke(d, [Expr::p(0).add(Expr::c(1)), Expr::p(1).add(Expr::c(1))]),
+            ),
+        ),
+        guard(
+            BExpr::ge(Expr::p(0).add(Expr::c(1)), Expr::c(3)),
+            evt_send(Symbol::new("bench_done"), 1, nil()),
+        ),
+        act([] as [(Res, i32); 0], invoke(d, [Expr::p(0), Expr::p(1).add(Expr::c(1))])),
+    ]);
+    env.set_body(d, body);
+    c.bench_function("acsr_instantiate_compute", |b| {
+        b.iter(|| env.instantiate(d, &[4, 7]).unwrap());
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mk = |names: &[(&str, u32)]| {
+        let t = ActionT {
+            uses: names
+                .iter()
+                .map(|(r, p)| (Res::new(r), Expr::c(*p as i64)))
+                .collect(),
+        };
+        GAction::from_template(&t, None).unwrap()
+    };
+    let a = mk(&[("m_r1", 1), ("m_r3", 2), ("m_r5", 3)]);
+    let b = mk(&[("m_r2", 1), ("m_r4", 2), ("m_r6", 3)]);
+    c.bench_function("gaction_merge_disjoint", |bch| {
+        bch.iter(|| a.merge(&b).unwrap());
+    });
+}
+
+use acsr::term::ActionT;
+use acsr::GAction;
+
+criterion_group!(benches, bench_steps, bench_unprioritized, bench_subst, bench_merge);
+criterion_main!(benches);

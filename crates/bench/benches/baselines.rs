@@ -1,0 +1,59 @@
+//! Baseline analysis microbenchmarks: RTA fixpoints, demand-bound
+//! checkpoints and simulator throughput as task sets grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_baselines::edf_demand::edf_schedulable;
+use sched_baselines::rta::response_times;
+use sched_baselines::simulator::{simulate, ExecModel, Policy};
+use sched_baselines::taskset::{uunifast, TaskSetSpec};
+use sched_baselines::types::TaskSet;
+
+fn set(n: usize) -> TaskSet {
+    uunifast(&TaskSetSpec {
+        n,
+        target_utilization: 0.8,
+        periods: vec![10, 20, 40, 50, 100, 200],
+        seed: 42,
+    })
+}
+
+fn bench_rta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rta_response_times");
+    for n in [4usize, 8, 16, 32] {
+        let ts = set(n);
+        let order = ts.rm_order();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| response_times(&ts, &order));
+        });
+    }
+    group.finish();
+}
+
+fn bench_demand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_demand_criterion");
+    for n in [4usize, 8, 16] {
+        let ts = set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| edf_schedulable(&ts));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_hyperperiod");
+    for policy in [Policy::Rm, Policy::Edf, Policy::Llf] {
+        let ts = set(8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| simulate(&ts, policy, ExecModel::Wcet, ts.hyperperiod()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rta, bench_demand, bench_simulator);
+criterion_main!(benches);

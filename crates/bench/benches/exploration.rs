@@ -1,0 +1,99 @@
+//! State-space exploration throughput (the VERSA-equivalent engine): states
+//! per second on product spaces, and trace reconstruction cost.
+
+use acsr::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versa::{explore, Options};
+
+/// Independent modulo-counters: a pure product space of `lens.product()`
+/// states with no communication — a clean throughput measure.
+fn counters(env: &mut Env, lens: &[i64]) -> P {
+    let comps: Vec<P> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let d = env.declare(&format!("Ctr{i}_{len}"), 1);
+            env.set_body(
+                d,
+                choice([
+                    guard(
+                        BExpr::lt(Expr::p(0), Expr::c(len - 1)),
+                        act(
+                            [(Res::new(&format!("ctr_r{i}")), 1)],
+                            invoke(d, [Expr::p(0).add(Expr::c(1))]),
+                        ),
+                    ),
+                    guard(
+                        BExpr::eq(Expr::p(0), Expr::c(len - 1)),
+                        act([(Res::new(&format!("ctr_r{i}")), 1)], invoke(d, [Expr::c(0)])),
+                    ),
+                ]),
+            );
+            invoke(d, [Expr::c(0)])
+        })
+        .collect();
+    par(comps)
+}
+
+fn bench_product_spaces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_product_space");
+    group.sample_size(20);
+    for (label, lens) in [("7x5", vec![7i64, 5]), ("7x5x3", vec![7, 5, 3]), ("11x7x5", vec![11, 7, 5])] {
+        let mut env = Env::new();
+        let p = counters(&mut env, &lens);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| explore(&env, &p, &Options::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_workers");
+    group.sample_size(10);
+    let mut env = Env::new();
+    let p = counters(&mut env, &[13, 11, 7]);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| explore(&env, &p, &Options::default().with_threads(threads)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_deadlock_trace(c: &mut Criterion) {
+    // A long corridor to a deadlock: measures parent-pointer reconstruction.
+    let mut env = Env::new();
+    let d = env.declare("Corridor", 1);
+    env.set_body(
+        d,
+        choice([
+            guard(
+                BExpr::lt(Expr::p(0), Expr::c(500)),
+                act(
+                    [(Res::new("corridor_r"), 1)],
+                    invoke(d, [Expr::p(0).add(Expr::c(1))]),
+                ),
+            ),
+            // p0 == 500: no steps ⇒ deadlock.
+        ]),
+    );
+    let p = invoke(d, [Expr::c(0)]);
+    let ex = explore(&env, &p, &Options::default());
+    assert_eq!(ex.deadlocks.len(), 1);
+    c.bench_function("deadlock_trace_500", |b| {
+        b.iter(|| ex.first_deadlock_trace().unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_product_spaces,
+    bench_parallel_workers,
+    bench_deadlock_trace
+);
+criterion_main!(benches);

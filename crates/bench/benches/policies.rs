@@ -1,0 +1,84 @@
+//! Experiment Q2 bench — cost of a schedulability verdict per scheduling
+//! policy encoding (§5): static priorities (RMS/DMS) vs parametric dynamic
+//! priorities (EDF/LLF) on the same task set, compared with the classical
+//! analyses' cost.
+
+use aadl::instance::instantiate;
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_baselines::edf_demand::edf_schedulable;
+use sched_baselines::rta::rm_schedulable;
+use sched_baselines::taskset::{taskset_to_package, uunifast, TaskSetSpec};
+use sched_baselines::types::TaskSet;
+
+fn set() -> TaskSet {
+    uunifast(&TaskSetSpec {
+        n: 3,
+        target_utilization: 0.75,
+        periods: vec![4, 5, 8, 10],
+        seed: 7,
+    })
+}
+
+fn bench_acsr_per_policy(c: &mut Criterion) {
+    let ts = set();
+    let mut group = c.benchmark_group("acsr_verdict_by_policy");
+    group.sample_size(10);
+    for protocol in ["RMS", "DMS", "EDF", "LLF"] {
+        let pkg = taskset_to_package(&ts, protocol);
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, _| {
+                b.iter(|| {
+                    analyze(
+                        &m,
+                        &TranslateOptions::default(),
+                        &AnalysisOptions::default(),
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let ts = set();
+    c.bench_function("baseline_rta", |b| {
+        b.iter(|| rm_schedulable(&ts));
+    });
+    c.bench_function("baseline_edf_demand", |b| {
+        b.iter(|| edf_schedulable(&ts));
+    });
+    c.bench_function("baseline_simulation_hyperperiod", |b| {
+        b.iter(|| {
+            sched_baselines::simulator::simulate(
+                &ts,
+                sched_baselines::simulator::Policy::Rm,
+                sched_baselines::simulator::ExecModel::Wcet,
+                ts.hyperperiod(),
+            )
+        });
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("uunifast_generate", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            uunifast(&TaskSetSpec {
+                n: 5,
+                target_utilization: 0.8,
+                periods: vec![4, 5, 8, 10, 16, 20],
+                seed,
+            })
+        });
+    });
+}
+
+criterion_group!(benches, bench_acsr_per_policy, bench_baselines, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment Q1 bench — analysis cost as a function of the scheduling
+//! quantum (§4.1's precision / state-space trade-off), on the cruise-control
+//! model at 10, 5 and 1 ms quanta.
+
+use aadl::examples::cruise_control_model;
+use aadl::properties::TimeVal;
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_quantum_sweep(c: &mut Criterion) {
+    let m = cruise_control_model();
+    let mut group = c.benchmark_group("quantum_sweep_cruise");
+    group.sample_size(10);
+    for q in [10i64, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                analyze(
+                    &m,
+                    &TranslateOptions {
+                        quantum: Some(TimeVal::ms(q)),
+                        ..Default::default()
+                    },
+                    &AnalysisOptions::exhaustive(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantum_fine(c: &mut Criterion) {
+    // The 1 ms quantum blows the space up by ~an order of magnitude; keep the
+    // sample count minimal and stop at the first deadlock (none exists, so
+    // this is a full sweep).
+    let m = cruise_control_model();
+    let mut group = c.benchmark_group("quantum_fine_cruise");
+    group.sample_size(10);
+    group.bench_function("1ms", |b| {
+        b.iter(|| {
+            analyze(
+                &m,
+                &TranslateOptions {
+                    quantum: Some(TimeVal::ms(1)),
+                    ..Default::default()
+                },
+                &AnalysisOptions::default(),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantum_sweep, bench_quantum_fine);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiment Q5 bench — queue overflow detection cost vs queue size and
+//! overflow protocol (§4.4).
+
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+use bench::overrun_system;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_queue_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_overflow_detection");
+    group.sample_size(10);
+    for size in [1i64, 2, 4, 8] {
+        let m = overrun_system(size, "Error");
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let v = analyze(
+                    &m,
+                    &TranslateOptions::default(),
+                    &AnalysisOptions::default(),
+                )
+                .unwrap();
+                assert!(!v.schedulable);
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drop_protocol(c: &mut Criterion) {
+    // DropNewest keeps the space finite without a deadlock: full sweep cost.
+    let m = overrun_system(1, "DropNewest");
+    let mut group = c.benchmark_group("queue_drop_protocol");
+    group.sample_size(10);
+    group.bench_function("drop_newest_full_sweep", |b| {
+        b.iter(|| {
+            let v = analyze(
+                &m,
+                &TranslateOptions::default(),
+                &AnalysisOptions::exhaustive(),
+            )
+            .unwrap();
+            assert!(v.schedulable);
+            v
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_sizes, bench_drop_protocol);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment Q3 bench — exploration scaling with model size (threads in the
+//! AADL model) and with engine worker count (the §7 efficiency direction).
+
+use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions};
+use bench::harmonic_system;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use versa::{explore, Options};
+
+fn bench_model_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_threads_in_model");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let m = harmonic_system(n, 4, 0.15);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                analyze(
+                    &m,
+                    &TranslateOptions::default(),
+                    &AnalysisOptions::default(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_workers(c: &mut Criterion) {
+    let m = harmonic_system(5, 4, 0.15);
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let mut group = c.benchmark_group("scaling_engine_workers");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    explore(
+                        &tm.env,
+                        &tm.initial,
+                        &Options::default().with_threads(threads),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_size, bench_engine_workers);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Regenerate every quantitative table of `EXPERIMENTS.md` in one run:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin harness
+//! ```
+
+use std::time::Instant;
+
+use aadl::examples::{cruise_control_model, cruise_control_overloaded};
+use aadl::instance::instantiate;
+use aadl::properties::TimeVal;
+use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions};
+use bench::{harmonic_system, overrun_system, wide_system};
+use sched_baselines::edf_demand::edf_schedulable;
+use sched_baselines::rta::rm_schedulable;
+use sched_baselines::taskset::{taskset_to_package, uunifast, TaskSetSpec};
+
+fn main() {
+    f1_cruise_control();
+    q1_quantum_tradeoff();
+    q2_verdict_agreement();
+    q2b_acceptance_by_utilization();
+    q3_scaling();
+    q5_queue_overflow();
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn f1_cruise_control() {
+    header("F1 — cruise control (Fig. 1): inventory and verdicts");
+    let m = cruise_control_model();
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    println!(
+        "inventory: {} thread processes, {} dispatchers, {} queues (paper §4.1: 6/6/0)",
+        tm.inventory.threads, tm.inventory.dispatchers, tm.inventory.queues
+    );
+    let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::exhaustive()).unwrap();
+    println!(
+        "nominal:    schedulable={} states={} transitions={} time={:?}",
+        v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+    );
+    let m = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
+    let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default()).unwrap();
+    println!(
+        "overloaded: schedulable={} first deadlock at quantum {} ({} states)",
+        v.schedulable,
+        v.scenario.as_ref().map(|s| s.at_quantum).unwrap_or(0),
+        v.stats.states
+    );
+}
+
+fn q1_quantum_tradeoff() {
+    header("Q1 — quantum sweep on the cruise-control model (§4.1 trade-off)");
+    let m = cruise_control_model();
+    println!("{:>10} {:>13} {:>10} {:>13} {:>12}", "quantum", "schedulable", "states", "transitions", "time");
+    for q in [10i64, 5, 1] {
+        let v = analyze(
+            &m,
+            &TranslateOptions {
+                quantum: Some(TimeVal::ms(q)),
+                ..Default::default()
+            },
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        println!(
+            "{:>8}ms {:>13} {:>10} {:>13} {:>12?}",
+            q, v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+        );
+    }
+}
+
+fn q2_verdict_agreement() {
+    header("Q2 — verdict agreement: exhaustive ACSR vs exact baselines");
+    let mut rm_agree = 0;
+    let mut edf_agree = 0;
+    let n = 20u64;
+    for seed in 0..n {
+        let ts = uunifast(&TaskSetSpec {
+            n: 3,
+            target_utilization: 0.85,
+            periods: vec![4, 5, 8, 10],
+            seed,
+        });
+        let rm_exact = rm_schedulable(&ts);
+        let rm_acsr = {
+            let pkg = taskset_to_package(&ts, "RMS");
+            let m = instantiate(&pkg, "Top.impl").unwrap();
+            analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default())
+                .unwrap()
+                .schedulable
+        };
+        if rm_exact == rm_acsr {
+            rm_agree += 1;
+        }
+        let edf_exact = edf_schedulable(&ts);
+        let edf_acsr = {
+            let pkg = taskset_to_package(&ts, "EDF");
+            let m = instantiate(&pkg, "Top.impl").unwrap();
+            analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default())
+                .unwrap()
+                .schedulable
+        };
+        if edf_exact == edf_acsr {
+            edf_agree += 1;
+        }
+    }
+    println!("random task sets (n=3, U*=0.85): {n} sets");
+    println!("RMS:  ACSR vs exact RTA agreement        {rm_agree}/{n}");
+    println!("EDF:  ACSR vs processor-demand agreement {edf_agree}/{n}");
+}
+
+fn q2b_acceptance_by_utilization() {
+    header("Q2b — acceptance ratio by utilization: RMS vs EDF (exhaustive ACSR)");
+    println!("{:>6} {:>12} {:>12}", "U", "RMS accept", "EDF accept");
+    for u10 in [7u64, 8, 9, 10] {
+        let target = u10 as f64 / 10.0;
+        let n = 10u64;
+        let mut rm_ok = 0;
+        let mut edf_ok = 0;
+        for seed in 0..n {
+            let ts = uunifast(&TaskSetSpec {
+                n: 3,
+                target_utilization: target,
+                periods: vec![4, 5, 8, 10],
+                seed: 1000 * u10 + seed,
+            });
+            for (protocol, counter) in [("RMS", &mut rm_ok), ("EDF", &mut edf_ok)] {
+                let pkg = taskset_to_package(&ts, protocol);
+                let m = instantiate(&pkg, "Top.impl").unwrap();
+                if analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default())
+                    .unwrap()
+                    .schedulable
+                {
+                    *counter += 1;
+                }
+            }
+        }
+        println!(
+            "{:>6.2} {:>9}/{n} {:>9}/{n}",
+            target, rm_ok, edf_ok
+        );
+    }
+    println!("(EDF dominates RMS; the gap widens toward U = 1 — the classic curve.)");
+}
+
+fn q3_scaling() {
+    header("Q3 — exploration scaling: model size and engine workers");
+    println!("{:>8} {:>10} {:>13} {:>12}", "threads", "states", "transitions", "time");
+    for n in [2usize, 3, 4, 5, 6] {
+        let m = harmonic_system(n, 4, 0.12);
+        let t0 = Instant::now();
+        let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default()).unwrap();
+        println!(
+            "{:>8} {:>10} {:>13} {:>12?}",
+            n,
+            v.stats.states,
+            v.stats.transitions,
+            t0.elapsed()
+        );
+        assert!(v.schedulable);
+    }
+    let m = harmonic_system(6, 4, 0.12);
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    println!("\nengine workers on the (narrow-frontier) 6-thread harmonic model:");
+    println!("{:>8} {:>12}", "workers", "time");
+    for w in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let ex = versa::explore(&tm.env, &tm.initial, &versa::Options::default().with_threads(w));
+        println!("{:>8} {:>12?}   ({} states)", w, t0.elapsed(), ex.num_states());
+    }
+
+    // Wide-frontier variant: independent execution-time choices on separate
+    // processors make the BFS frontier wide enough for workers to pay off.
+    let m = wide_system(5, 4);
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    println!("\nengine workers on the wide-frontier model (5 cpus, exec 1..4):");
+    println!("{:>8} {:>12}", "workers", "time");
+    for w in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let ex = versa::explore(&tm.env, &tm.initial, &versa::Options::default().with_threads(w));
+        println!("{:>8} {:>12?}   ({} states)", w, t0.elapsed(), ex.num_states());
+    }
+}
+
+fn q5_queue_overflow() {
+    header("Q5 — queue overflow (§4.4): size sweep under the Error protocol");
+    println!("{:>6} {:>12} {:>18}", "size", "verdict", "overflow quantum");
+    for size in [1i64, 2, 3, 4] {
+        let m = overrun_system(size, "Error");
+        let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default()).unwrap();
+        println!(
+            "{:>6} {:>12} {:>18}",
+            size,
+            if v.schedulable { "clean" } else { "overflow" },
+            v.scenario.map(|s| s.at_quantum.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    let m = overrun_system(1, "DropNewest");
+    let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::exhaustive()).unwrap();
+    println!("DropNewest, size 1: schedulable={} ({} states)", v.schedulable, v.stats.states);
+}

@@ -1,0 +1,340 @@
+//! Schedulability analysis: translation + exploration + diagnosis (§5).
+//!
+//! > It can be shown that the resulting ACSR model is deadlock-free if and
+//! > only if every task meets its deadline. […] With this, analysis can be
+//! > performed by state-space exploration of the ACSR process. A deadlock
+//! > found in the state space of the process indicates a violation of the
+//! > timing constraints.
+//!
+//! [`analyze`] runs the full pipeline of the paper's OSATE plugin: translate
+//! the model into ACSR, explore the prioritized transition system with the
+//! VERSA-equivalent engine, and — when a deadlock is found — raise the trace
+//! into an AADL-level [`FailingScenario`].
+
+use aadl::instance::InstanceModel;
+
+use crate::diagnose::{raise, FailingScenario};
+use crate::translate::{translate, TranslateError, TranslateOptions, TranslatedModel};
+
+/// Options for the exploration phase.
+#[derive(Clone, Debug)]
+pub struct AnalysisOptions {
+    /// Exploration options; defaults to stopping at the first deadlock
+    /// (sufficient for a verdict + shortest counterexample).
+    pub explore: versa::Options,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        AnalysisOptions {
+            explore: versa::Options::verdict(),
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Exhaustive exploration (do not stop at the first deadlock).
+    pub fn exhaustive() -> AnalysisOptions {
+        AnalysisOptions {
+            explore: versa::Options::default(),
+        }
+    }
+
+    /// Parallel exploration with `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> AnalysisOptions {
+        self.explore.threads = threads;
+        self
+    }
+}
+
+/// The outcome of a schedulability analysis.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// True iff the state space is deadlock-free — every thread meets its
+    /// deadline in *every* behaviour (§5).
+    pub schedulable: bool,
+    /// True when the exploration hit its state budget before completing; a
+    /// `schedulable = false` verdict is then *unknown* rather than proven.
+    pub truncated: bool,
+    /// The failing scenario, raised to the AADL level, when one exists.
+    pub scenario: Option<FailingScenario>,
+    /// Exploration statistics.
+    pub stats: versa::Stats,
+}
+
+/// Analyze an already-translated model.
+pub fn analyze_translated(
+    model: &InstanceModel,
+    tm: &TranslatedModel,
+    opts: &AnalysisOptions,
+) -> Verdict {
+    let ex = versa::explore(&tm.env, &tm.initial, &opts.explore);
+    let scenario = ex
+        .first_deadlock_trace()
+        .map(|trace| raise(model, tm, &trace));
+    Verdict {
+        schedulable: ex.deadlock_free(),
+        truncated: ex.truncated,
+        scenario,
+        stats: ex.stats,
+    }
+}
+
+/// Translate and analyze an instance model.
+pub fn analyze(
+    model: &InstanceModel,
+    topts: &TranslateOptions,
+    aopts: &AnalysisOptions,
+) -> Result<Verdict, TranslateError> {
+    let tm = translate(model, topts)?;
+    Ok(analyze_translated(model, &tm, aopts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadl::builder::PackageBuilder;
+    use aadl::examples::{cruise_control_model, cruise_control_overloaded, producer_handler};
+    use aadl::instance::instantiate;
+    use aadl::model::Category;
+    use aadl::properties::{names, PropertyValue, TimeVal};
+
+    /// A one-processor, two-thread RMS system; schedulable iff the response
+    /// times work out — here trivially yes (U = 2/10 + 3/15 = 0.4).
+    fn small_ok() -> InstanceModel {
+        let pkg = PackageBuilder::new("OK")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T1",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .periodic_thread(
+                "T2",
+                TimeVal::ms(15),
+                (TimeVal::ms(3), TimeVal::ms(3)),
+                TimeVal::ms(15),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t1", Category::Thread, "T1")
+                    .sub("t2", Category::Thread, "T2")
+                    .bind_processor("t1", "cpu")
+                    .bind_processor("t2", "cpu")
+            })
+            .build();
+        instantiate(&pkg, "Top.impl").unwrap()
+    }
+
+    /// Same structure, overloaded: U = 6/10 + 8/15 > 1.
+    fn small_overloaded() -> InstanceModel {
+        let pkg = PackageBuilder::new("Bad")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T1",
+                TimeVal::ms(10),
+                (TimeVal::ms(6), TimeVal::ms(6)),
+                TimeVal::ms(10),
+            )
+            .periodic_thread(
+                "T2",
+                TimeVal::ms(15),
+                (TimeVal::ms(8), TimeVal::ms(8)),
+                TimeVal::ms(15),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t1", Category::Thread, "T1")
+                    .sub("t2", Category::Thread, "T2")
+                    .bind_processor("t1", "cpu")
+                    .bind_processor("t2", "cpu")
+            })
+            .build();
+        instantiate(&pkg, "Top.impl").unwrap()
+    }
+
+    #[test]
+    fn schedulable_system_is_deadlock_free() {
+        let m = small_ok();
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        assert!(v.schedulable, "stats: {:?}", v.stats);
+        assert!(v.scenario.is_none());
+        assert!(!v.truncated);
+        assert!(v.stats.states > 1);
+    }
+
+    #[test]
+    fn overloaded_system_misses_a_deadline() {
+        let m = small_overloaded();
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!v.schedulable);
+        let sc = v.scenario.expect("scenario");
+        // T2 (period 15) is the RMS victim.
+        assert!(sc
+            .violations
+            .iter()
+            .any(|vk| matches!(vk, crate::ViolationKind::DeadlineMiss { thread } if thread == "t2")));
+    }
+
+    #[test]
+    fn compact_and_faithful_agree_on_verdicts() {
+        for m in [small_ok(), small_overloaded()] {
+            let faithful = analyze(
+                &m,
+                &TranslateOptions::default(),
+                &AnalysisOptions::default(),
+            )
+            .unwrap();
+            let compact = analyze(
+                &m,
+                &TranslateOptions {
+                    compact: true,
+                    ..Default::default()
+                },
+                &AnalysisOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(faithful.schedulable, compact.schedulable);
+        }
+    }
+
+    #[test]
+    fn compact_mode_never_grows_the_state_space() {
+        // For purely periodic models the dispatcher's period/deadline scopes
+        // already track elapsed time, so the skeleton's redundant bookkeeping
+        // does not multiply *states* — compact mode shrinks each state's term
+        // (fewer scopes, one parameter instead of two) without changing the
+        // reachable count. The assertion is `<=`: compact must never be worse.
+        let m = small_ok();
+        let faithful = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        let compact = analyze(
+            &m,
+            &TranslateOptions {
+                compact: true,
+                ..Default::default()
+            },
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        assert!(
+            compact.stats.states <= faithful.stats.states,
+            "compact {} vs faithful {}",
+            compact.stats.states,
+            faithful.stats.states
+        );
+        assert_eq!(compact.stats.deadlocks, faithful.stats.deadlocks);
+    }
+
+    #[test]
+    fn cruise_control_nominal_is_schedulable() {
+        let m = cruise_control_model();
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(v.schedulable, "stats: {:?}", v.stats);
+    }
+
+    #[test]
+    fn cruise_control_overloaded_is_not() {
+        let pkg = cruise_control_overloaded();
+        let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!v.schedulable);
+    }
+
+    #[test]
+    fn producer_handler_round_trip() {
+        let pkg = producer_handler(1, "DropNewest");
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        // Producer (5/20) + handler (5/20, dispatched at most once per 20 ms):
+        // comfortably schedulable.
+        assert!(v.schedulable, "stats: {:?}", v.stats);
+    }
+
+    #[test]
+    fn edf_schedules_what_rms_cannot() {
+        // Classic: two tasks with U = 1.0 — EDF schedulable, RMS not.
+        // T1 = (P=4, C=2), T2 = (P=8, C=4); RM response of T2: 2+2+4 = 8…
+        // that one is schedulable under both; use U > ln2 pattern instead:
+        // T1 = (P=10, C=5), T2 = (P=14, C=7): U = 1.0; RMS misses T2
+        // (response 5+5+7 > 14), EDF meets everything at U = 1.
+        let build = |protocol: &str| {
+            let pkg = PackageBuilder::new("EdfVsRms")
+                .processor("cpu_t", |p| {
+                    p.prop_enum(names::SCHEDULING_PROTOCOL, protocol)
+                })
+                .periodic_thread(
+                    "T1",
+                    TimeVal::ms(10),
+                    (TimeVal::ms(5), TimeVal::ms(5)),
+                    TimeVal::ms(10),
+                )
+                .periodic_thread(
+                    "T2",
+                    TimeVal::ms(14),
+                    (TimeVal::ms(7), TimeVal::ms(7)),
+                    TimeVal::ms(14),
+                )
+                .system("Top", |s| s)
+                .implementation("Top.impl", Category::System, |i| {
+                    i.sub("cpu", Category::Processor, "cpu_t")
+                        .sub("t1", Category::Thread, "T1")
+                        .sub("t2", Category::Thread, "T2")
+                        .bind_processor("t1", "cpu")
+                        .bind_processor("t2", "cpu")
+                        .prop(
+                            names::SCHEDULING_QUANTUM,
+                            PropertyValue::Time(TimeVal::ms(1)),
+                        )
+                })
+                .build();
+            instantiate(&pkg, "Top.impl").unwrap()
+        };
+        let rms = analyze(
+            &build("RMS"),
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!rms.schedulable, "RMS cannot schedule U = 1.0 here");
+        let edf = analyze(
+            &build("EDF"),
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(edf.schedulable, "EDF schedules U = 1.0; stats: {:?}", edf.stats);
+    }
+}

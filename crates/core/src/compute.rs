@@ -1,0 +1,383 @@
+//! The thread computation process of Fig. 5.
+//!
+//! `Compute(e, t)` is indexed by two dynamic parameters — `e`, the execution
+//! time accumulated in the current dispatch, and `t`, the time elapsed since
+//! dispatch — and parameterized statically by `cmin`/`cmax` from
+//! `Compute_Execution_Time`:
+//!
+//! * While more quanta may follow (`e + 1 < cmax`), the process can perform a
+//!   computation step `{(cpu, π), R}` incrementing both parameters.
+//! * Once enough quanta have accumulated (`cmin ≤ e + 1 ≤ cmax`), it can
+//!   perform the **final** computation step, which additionally claims the
+//!   bus resources of its bus-bound outgoing data connections (§4.2: "the
+//!   last computation step of the Compute state uses both cpu and bus"),
+//!   then instantaneously raises its output events (`e_q!`, §4.4 default:
+//!   data is sent at the end of the computation) and signals `done!` to its
+//!   dispatcher.
+//! * At every quantum it may instead be preempted: an idling step that
+//!   advances `t` but not `e`, moving to the `Preempted` state. (See
+//!   [`ComputeSpec::shared_resources`] for how the figure's `R` set is
+//!   realized and where this implementation deliberately deviates.)
+//!
+//! The nondeterministic exit window `[cmin, cmax]` is what makes the analysis
+//! exhaustive over execution-time uncertainty — a single simulation run picks
+//! one duration; the state space contains them all.
+//!
+//! When the scheduling policy is static and the elapsed-time parameter is not
+//! needed, `t` can be dropped (`track_elapsed = false`), collapsing states
+//! that differ only in `t` — the state-space compaction the paper lists as
+//! future work (§7).
+
+use aadl::instance::CompId;
+use acsr::{
+    act_tagged, choice, evt_send, guard, invoke, BExpr, DefId, Env, Expr, Res, Symbol, P,
+};
+
+use crate::names::{NameMap, TagMeaning};
+use crate::policy::PrioSpec;
+
+/// Everything needed to generate one thread's compute process.
+pub struct ComputeSpec<'a> {
+    /// The processor resource.
+    pub cpu: Res,
+    /// The thread's priority on that processor.
+    pub prio: &'a PrioSpec,
+    /// Best-case execution time in quanta.
+    pub cmin_q: i64,
+    /// Worst-case execution time in quanta.
+    pub cmax_q: i64,
+    /// Bus resources claimed by the final computation step (§4.2).
+    pub final_resources: Vec<Res>,
+    /// Shared data resources claimed by *every* computation step — the set
+    /// `R` of Fig. 5, derived from the thread's data access connections.
+    /// §4.1: access to shared data takes a whole quantum; a thread denied the
+    /// resource idles the quantum and repeats the computation. (Fig. 5 also
+    /// shows `R` on preempted steps; we claim `R` only while actually
+    /// computing, since holding data across preemption would deadlock
+    /// same-processor sharers — and the paper itself leaves access
+    /// connections out of its translation, §4.)
+    pub shared_resources: Vec<Res>,
+    /// Output events raised at completion, in order: `(label, priority)`.
+    pub sends: Vec<(Symbol, i64)>,
+    /// Output events raised as a self-loop while computing (the
+    /// `SendPattern::Anytime` refinement of §4.4).
+    pub anytime_sends: Vec<(Symbol, i64)>,
+    /// The `done` event received by the dispatcher.
+    pub done: Symbol,
+    /// Continuation after `done!` (`NIL` when the skeleton's deadline scope
+    /// catches `done` as its exception; `AwaitDispatch` in compact mode).
+    pub after_done: P,
+    /// Track the elapsed-time parameter `t`? Required for dynamic priorities.
+    pub track_elapsed: bool,
+}
+
+/// Declare and define `Compute_<stem>` / `Preempted_<stem>`, registering
+/// their provenance tags. Returns `(compute_def, preempted_def)`.
+pub fn build_compute(
+    env: &mut Env,
+    nm: &mut NameMap,
+    thread: CompId,
+    stem: &str,
+    spec: &ComputeSpec<'_>,
+) -> (DefId, DefId) {
+    assert!(
+        spec.track_elapsed || !spec.prio.needs_elapsed(),
+        "dynamic priorities require the elapsed-time parameter"
+    );
+    let arity = if spec.track_elapsed { 2 } else { 1 };
+    let compute = env.declare(&format!("Compute_{stem}"), arity);
+    let preempted = env.declare(&format!("Preempted_{stem}"), arity);
+
+    let tag_compute = env.tag(&format!("{stem} computes"));
+    let tag_final = env.tag(&format!("{stem} completes"));
+    let tag_preempted = env.tag(&format!("{stem} preempted"));
+    nm.add_tag(tag_compute, TagMeaning::Computes(thread));
+    nm.add_tag(tag_final, TagMeaning::FinalStep(thread));
+    nm.add_tag(tag_preempted, TagMeaning::Preempted(thread));
+
+    let body = |preempt_target: DefId| -> P {
+        let e = Expr::p(0);
+        let pi = spec.prio.expr();
+
+        // Arguments for the next state.
+        let stepped = |e_inc: bool| -> Vec<Expr> {
+            let e_next = if e_inc {
+                Expr::p(0).add(Expr::c(1))
+            } else {
+                Expr::p(0)
+            };
+            if spec.track_elapsed {
+                vec![e_next, Expr::p(1).add(Expr::c(1))]
+            } else {
+                vec![e_next]
+            }
+        };
+
+        // Non-final computation step: e + 1 < cmax; claims {cpu} ∪ R.
+        let mut compute_uses: Vec<(Res, Expr)> = vec![(spec.cpu, pi.clone())];
+        for r in &spec.shared_resources {
+            compute_uses.push((*r, pi.clone()));
+        }
+        let continue_step = guard(
+            BExpr::lt(e.clone().add(Expr::c(1)), Expr::c(spec.cmax_q)),
+            act_tagged(
+                compute_uses.clone(),
+                tag_compute,
+                invoke(compute, stepped(true)),
+            ),
+        );
+
+        // Final computation step: cmin ≤ e + 1 (≤ cmax holds invariantly);
+        // claims {cpu} ∪ R ∪ buses.
+        let mut chain = evt_send(spec.done, 1, spec.after_done.clone());
+        for (label, prio) in spec.sends.iter().rev() {
+            chain = evt_send(*label, *prio, chain);
+        }
+        let mut final_uses = compute_uses;
+        for r in &spec.final_resources {
+            final_uses.push((*r, pi.clone()));
+        }
+        let final_step = guard(
+            BExpr::ge(e.clone().add(Expr::c(1)), Expr::c(spec.cmin_q)),
+            act_tagged(final_uses, tag_final, chain),
+        );
+
+        // Preemption step: {R} with R = ∅; t advances, e does not.
+        let preempt_step = act_tagged(
+            [] as [(Res, Expr); 0],
+            tag_preempted,
+            invoke(preempt_target, stepped(false)),
+        );
+
+        let mut alts = vec![continue_step, final_step, preempt_step];
+        // Optional "events can be raised at any time" refinement (§4.4):
+        // event-send self-loops on the computing state. The send is
+        // instantaneous, so *neither* parameter advances.
+        let same_args: Vec<Expr> = if spec.track_elapsed {
+            vec![Expr::p(0), Expr::p(1)]
+        } else {
+            vec![Expr::p(0)]
+        };
+        for (label, prio) in &spec.anytime_sends {
+            alts.push(evt_send(*label, *prio, invoke(compute, same_args.clone())));
+        }
+        choice(alts)
+    };
+
+    env.set_body(compute, body(preempted));
+    env.set_body(preempted, body(preempted));
+    (compute, preempted)
+}
+
+/// The initial invocation of a thread's compute process.
+pub fn initial_compute(compute: DefId, track_elapsed: bool) -> P {
+    if track_elapsed {
+        invoke(compute, [Expr::c(0), Expr::c(0)])
+    } else {
+        invoke(compute, [Expr::c(0)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::nil;
+    use acsr::{prioritized_steps, steps, Label};
+
+    fn spec<'a>(prio: &'a PrioSpec, cmin: i64, cmax: i64) -> ComputeSpec<'a> {
+        ComputeSpec {
+            cpu: Res::new("cpu_test"),
+            prio,
+            cmin_q: cmin,
+            cmax_q: cmax,
+            final_resources: vec![],
+            shared_resources: vec![],
+            sends: vec![],
+            anytime_sends: vec![],
+            done: Symbol::new("done_test"),
+            after_done: nil(),
+            track_elapsed: true,
+        }
+    }
+
+    fn build(prio: &PrioSpec, cmin: i64, cmax: i64) -> (Env, NameMap, DefId) {
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let s = spec(prio, cmin, cmax);
+        let (c, _p) = build_compute(&mut env, &mut nm, CompId(0), "tst", &s);
+        (env, nm, c)
+    }
+
+    #[test]
+    fn offers_continue_final_and_preempt_in_the_window() {
+        let prio = PrioSpec::Static(3);
+        let (env, _nm, c) = build(&prio, 2, 4);
+        // e = 1: e+1 = 2 ∈ [cmin, cmax) ⇒ continue, final, preempt all offered.
+        let p = invoke(c, [Expr::c(1), Expr::c(1)]);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 3);
+        let timed: Vec<_> = s.iter().filter(|(l, _)| l.is_timed()).collect();
+        assert_eq!(timed.len(), 3);
+    }
+
+    #[test]
+    fn below_cmin_cannot_finish() {
+        let prio = PrioSpec::Static(3);
+        let (env, _nm, c) = build(&prio, 3, 5);
+        let p = initial_compute(c, true); // e = 0, e+1 = 1 < 3
+        let s = steps(&env, &p);
+        // Continue + preempt only.
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn at_cmax_must_finish_or_be_preempted() {
+        let prio = PrioSpec::Static(3);
+        let (env, _nm, c) = build(&prio, 1, 3);
+        // e = 2: e+1 = 3 = cmax ⇒ no continue; final + preempt.
+        let p = invoke(c, [Expr::c(2), Expr::c(2)]);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn final_step_emits_send_chain_then_done() {
+        let prio = PrioSpec::Static(2);
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let eq = Symbol::new("q_conn_tst");
+        let mut s = spec(&prio, 1, 1);
+        s.sends = vec![(eq, 1)];
+        let (c, _) = build_compute(&mut env, &mut nm, CompId(0), "tst2", &s);
+        let p = initial_compute(c, true);
+        let first = steps(&env, &p);
+        // cmin = cmax = 1: final + preempt.
+        assert_eq!(first.len(), 2);
+        let (_, after_final) = first
+            .iter()
+            .find(|(l, _)| l.action().is_some_and(|a| !a.is_empty()))
+            .unwrap();
+        let ev1 = steps(&env, after_final);
+        assert!(matches!(&ev1[0].0, Label::E { label, .. } if *label == eq));
+        let ev2 = steps(&env, &ev1[0].1);
+        assert!(
+            matches!(&ev2[0].0, Label::E { label, .. } if label.as_str() == "done_test")
+        );
+    }
+
+    #[test]
+    fn preemption_holds_e_and_advances_t() {
+        let prio = PrioSpec::Static(2);
+        let (env, _nm, c) = build(&prio, 2, 4);
+        let p = invoke(c, [Expr::c(1), Expr::c(5)]);
+        let s = steps(&env, &p);
+        let (_, preempted) = s
+            .iter()
+            .find(|(l, _)| l.action().is_some_and(|a| a.is_empty()))
+            .unwrap();
+        // The Preempted residual holds (e=1, t=6).
+        match &**preempted {
+            acsr::Proc::Invoke { args, .. } => {
+                assert_eq!(args, &[Expr::Const(1), Expr::Const(6)]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edf_priority_is_evaluated_per_state() {
+        let prio = PrioSpec::Edf { dmax: 10, d: 10 };
+        let (env, _nm, c) = build(&prio, 1, 5);
+        let cpu = Res::new("cpu_test");
+        let p0 = invoke(c, [Expr::c(0), Expr::c(0)]);
+        let s0 = steps(&env, &p0);
+        let pr0 = s0
+            .iter()
+            .filter_map(|(l, _)| l.action())
+            .map(|a| a.prio_of(cpu))
+            .max()
+            .unwrap();
+        let p7 = invoke(c, [Expr::c(0), Expr::c(7)]);
+        let s7 = steps(&env, &p7);
+        let pr7 = s7
+            .iter()
+            .filter_map(|(l, _)| l.action())
+            .map(|a| a.prio_of(cpu))
+            .max()
+            .unwrap();
+        // Closer to the deadline ⇒ higher priority.
+        assert!(pr7 > pr0, "{pr7} vs {pr0}");
+        assert_eq!(pr0, 1); // 10 - (10 - 0) + 1
+        assert_eq!(pr7, 8);
+    }
+
+    #[test]
+    fn untracked_elapsed_uses_single_parameter() {
+        let prio = PrioSpec::Static(4);
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let mut s = spec(&prio, 1, 3);
+        s.track_elapsed = false;
+        let (c, _) = build_compute(&mut env, &mut nm, CompId(0), "tst3", &s);
+        let p = initial_compute(c, false);
+        let steps0 = steps(&env, &p);
+        // The preempted residual is Preempted(0) — a single argument, and the
+        // preempted self-loop keeps the state unchanged.
+        let (_, preempted) = steps0
+            .iter()
+            .find(|(l, _)| l.action().is_some_and(|a| a.is_empty()))
+            .unwrap();
+        match &**preempted {
+            acsr::Proc::Invoke { args, .. } => assert_eq!(args.len(), 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let again = steps(&env, preempted);
+        let (_, pre2) = again
+            .iter()
+            .find(|(l, _)| l.action().is_some_and(|a| a.is_empty()))
+            .unwrap();
+        assert_eq!(preempted, pre2, "preempted state must be a fixpoint");
+    }
+
+    #[test]
+    fn anytime_send_is_a_true_self_loop() {
+        // The raise-at-any-time event must not advance either parameter —
+        // otherwise the state space would be unbounded.
+        let prio = PrioSpec::Static(2);
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let raise = Symbol::new("anytime_ev");
+        let mut sp = spec(&prio, 2, 4);
+        sp.anytime_sends = vec![(raise, 1)];
+        let (c, _) = build_compute(&mut env, &mut nm, CompId(0), "tst5", &sp);
+        let p = invoke(c, [Expr::c(1), Expr::c(3)]);
+        let s = steps(&env, &p);
+        let (_, after_raise) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { label, .. } if *label == raise))
+            .expect("anytime raise offered");
+        assert_eq!(after_raise, &p, "raising must not change the state");
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic priorities")]
+    fn dynamic_priority_without_elapsed_panics() {
+        let prio = PrioSpec::Edf { dmax: 5, d: 5 };
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let mut s = spec(&prio, 1, 2);
+        s.track_elapsed = false;
+        build_compute(&mut env, &mut nm, CompId(0), "tst4", &s);
+    }
+
+    #[test]
+    fn prioritization_prefers_computing_over_preemption() {
+        let prio = PrioSpec::Static(3);
+        let (env, _nm, c) = build(&prio, 2, 4);
+        let p = invoke(c, [Expr::c(0), Expr::c(0)]);
+        // Alone on the processor, the compute step preempts the idle step.
+        let s = prioritized_steps(&env, &p);
+        assert_eq!(s.len(), 1);
+        assert!(!s[0].0.action().unwrap().is_empty());
+    }
+}

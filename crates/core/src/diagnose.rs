@@ -1,0 +1,435 @@
+//! Raising ACSR counterexamples to AADL-level failing scenarios (§5).
+//!
+//! > If a deadlock is found, the failing scenario is "raised" to the level of
+//! > the original AADL model. Steps of the trace are reinterpreted in terms
+//! > of the actions of the components in the AADL model. […] the diagnostic
+//! > information produced by VERSA in terms of the translated ACSR model is
+//! > translated back in terms of the AADL model and can be presented to the
+//! > user in a convenient time line form.
+//!
+//! Two sources of information drive the raising:
+//!
+//! * **Transition labels.** Internal steps `τ@e` are looked up in the
+//!   [`NameMap`](crate::names::NameMap) (dispatches, completions, queue operations, observer
+//!   probes); timed actions carry provenance *tags* identifying which thread
+//!   computed, completed, or sat preempted during each quantum.
+//! * **The deadlocked state.** Walking its *active* positions finds the
+//!   distinguished definitions (`Violation_*`, `Miss_*`, `QErr_*`,
+//!   `LatencyMiss_*`) that say *why* the model deadlocked — which thread
+//!   missed its deadline, which queue overflowed, which latency bound fell.
+
+use std::fmt::Write as _;
+
+use aadl::instance::InstanceModel;
+use acsr::{DefId, Expr, Label, Proc, TimeBound, P};
+use versa::Trace;
+
+use crate::names::{DefMeaning, EventMeaning, TagMeaning};
+use crate::translate::TranslatedModel;
+
+/// Why the model deadlocked.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// A thread missed its compute deadline.
+    DeadlineMiss {
+        /// Instance path of the thread.
+        thread: String,
+    },
+    /// A connection queue overflowed under the `Error` protocol.
+    QueueOverflow {
+        /// The semantic connection's name.
+        connection: String,
+    },
+    /// An end-to-end latency observer timed out.
+    LatencyExceeded {
+        /// Observer index (order of `TranslateOptions::observers`).
+        observer: usize,
+    },
+    /// The model deadlocked without reaching a distinguished state (should
+    /// not happen for models produced by this translation).
+    Unknown,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::DeadlineMiss { thread } => {
+                write!(f, "thread `{thread}` missed its deadline")
+            }
+            ViolationKind::QueueOverflow { connection } => {
+                write!(f, "queue of connection `{connection}` overflowed")
+            }
+            ViolationKind::LatencyExceeded { observer } => {
+                write!(f, "end-to-end latency bound of observer #{observer} exceeded")
+            }
+            ViolationKind::Unknown => write!(f, "model deadlocked (no distinguished state)"),
+        }
+    }
+}
+
+/// What one thread did during one quantum.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Activity {
+    /// Held the processor.
+    Computing,
+    /// Held the processor for the final quantum of its dispatch.
+    Completing,
+    /// Ready but preempted / blocked.
+    Preempted,
+}
+
+/// One quantum of the failing scenario.
+#[derive(Clone, Debug, Default)]
+pub struct QuantumRow {
+    /// Instantaneous events (dispatches, completions, queue operations)
+    /// immediately before this quantum.
+    pub events: Vec<String>,
+    /// Per-thread activity during the quantum: `(path, activity)`.
+    pub activities: Vec<(String, Activity)>,
+}
+
+/// A failing scenario raised to the AADL level.
+#[derive(Clone, Debug)]
+pub struct FailingScenario {
+    /// Why the model deadlocked (possibly several simultaneous findings).
+    pub violations: Vec<ViolationKind>,
+    /// The timeline, one row per quantum.
+    pub timeline: Vec<QuantumRow>,
+    /// Events after the last full quantum, at the instant of the deadlock.
+    pub final_events: Vec<String>,
+    /// The quantum at which the model deadlocked.
+    pub at_quantum: usize,
+}
+
+/// Describe an event meaning at the AADL level.
+fn describe_event(model: &InstanceModel, _tm: &TranslatedModel, m: EventMeaning) -> String {
+    match m {
+        EventMeaning::Dispatch(t) => {
+            format!("dispatch {}", model.component(t).display_path())
+        }
+        EventMeaning::Done(t) => {
+            format!("{} completes", model.component(t).display_path())
+        }
+        EventMeaning::Enqueue(c) => {
+            format!("event queued on `{}`", model.connections[c].name)
+        }
+        EventMeaning::Dequeue(c) => {
+            format!("event dequeued from `{}`", model.connections[c].name)
+        }
+        EventMeaning::ObserverStart(i) => format!("observer #{i} starts timing"),
+        EventMeaning::ObserverEnd(i) => format!("observer #{i} observes the flow end"),
+        EventMeaning::ModeTrigger(i) => format!("mode transition #{i} triggered"),
+        EventMeaning::Activate(t) => {
+            format!("activate {}", model.component(t).display_path())
+        }
+        EventMeaning::Deactivate(t) => {
+            format!("deactivate {}", model.component(t).display_path())
+        }
+    }
+    .to_string()
+}
+
+/// Collect the *active* definition invocations of a state: the head
+/// positions control could be in right now. Expired scopes contribute their
+/// timeout continuation (that is where the violation states live); active
+/// scopes contribute their body.
+pub fn active_defs(p: &P) -> Vec<DefId> {
+    let mut out = Vec::new();
+    walk(p, &mut out);
+    out
+}
+
+fn walk(p: &P, out: &mut Vec<DefId>) {
+    match &**p {
+        Proc::Invoke { def, .. } => out.push(*def),
+        Proc::Par(v) | Proc::Choice(v) => v.iter().for_each(|c| walk(c, out)),
+        Proc::Restrict { body, .. } | Proc::Close { body, .. } => walk(body, out),
+        Proc::Guard { cond, then } => {
+            if cond.eval(&[]).unwrap_or(false) {
+                walk(then, out);
+            }
+        }
+        Proc::Scope {
+            body,
+            limit,
+            timeout,
+            ..
+        } => {
+            let expired = match limit {
+                TimeBound::Finite(Expr::Const(n)) => *n <= 0,
+                TimeBound::Finite(e) => e.eval(&[]).map(|n| n <= 0).unwrap_or(false),
+                TimeBound::Infinite => false,
+            };
+            if expired {
+                if let Some(t) = timeout {
+                    walk(t, out);
+                }
+                // Boundary events of the body may still matter, but for
+                // violation detection the timeout continuation is the
+                // authoritative position.
+                walk(body, out);
+            } else {
+                walk(body, out);
+            }
+        }
+        Proc::Nil | Proc::Act { .. } | Proc::Evt { .. } => {}
+    }
+}
+
+/// Raise a deadlock trace to a failing scenario.
+pub fn raise(model: &InstanceModel, tm: &TranslatedModel, trace: &Trace) -> FailingScenario {
+    let mut timeline = Vec::new();
+    let mut pending: Vec<String> = Vec::new();
+
+    for (label, _state) in trace.iter() {
+        match label {
+            Label::Tau { via: Some(sym), .. } => {
+                if let Some(m) = tm.names.event(*sym) {
+                    pending.push(describe_event(model, tm, m));
+                }
+            }
+            Label::Tau { .. } => {}
+            Label::E { .. } => {
+                // Visible events do not occur in the restricted composition.
+            }
+            Label::A(action) => {
+                let mut row = QuantumRow {
+                    events: std::mem::take(&mut pending),
+                    activities: Vec::new(),
+                };
+                for tag in action.tags.iter() {
+                    if let Some(m) = tm.names.tag(*tag) {
+                        let (t, a) = match m {
+                            TagMeaning::Computes(t) => (t, Activity::Computing),
+                            TagMeaning::FinalStep(t) => (t, Activity::Completing),
+                            TagMeaning::Preempted(t) => (t, Activity::Preempted),
+                        };
+                        row.activities
+                            .push((model.component(t).display_path().to_owned(), a));
+                    }
+                }
+                timeline.push(row);
+            }
+        }
+    }
+
+    // Violations from the deadlocked final state.
+    let mut violations: Vec<ViolationKind> = Vec::new();
+    for def in active_defs(trace.final_state()) {
+        if let Some(m) = tm.names.def(def) {
+            let v = match m {
+                DefMeaning::Violation(t) | DefMeaning::DeadlineMiss(t) => {
+                    ViolationKind::DeadlineMiss {
+                        thread: model.component(t).display_path().to_owned(),
+                    }
+                }
+                DefMeaning::QueueError(c) => ViolationKind::QueueOverflow {
+                    connection: model.connections[c].name.clone(),
+                },
+                DefMeaning::LatencyMiss(i) => ViolationKind::LatencyExceeded { observer: i },
+            };
+            if !violations.contains(&v) {
+                violations.push(v);
+            }
+        }
+    }
+    if violations.is_empty() {
+        violations.push(ViolationKind::Unknown);
+    }
+
+    FailingScenario {
+        violations,
+        at_quantum: timeline.len(),
+        final_events: pending,
+        timeline,
+    }
+}
+
+impl FailingScenario {
+    /// Render the scenario as the "convenient time line form" of §5.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "VIOLATION: {v}");
+        }
+        let _ = writeln!(out, "failing scenario ({} quanta):", self.at_quantum);
+        for (t, row) in self.timeline.iter().enumerate() {
+            for e in &row.events {
+                let _ = writeln!(out, "  t={t:<4} ! {e}");
+            }
+            let mut acts: Vec<String> = row
+                .activities
+                .iter()
+                .map(|(p, a)| match a {
+                    Activity::Computing => format!("{p} runs"),
+                    Activity::Completing => format!("{p} runs (final)"),
+                    Activity::Preempted => format!("{p} preempted"),
+                })
+                .collect();
+            if acts.is_empty() {
+                acts.push("all idle".to_owned());
+            }
+            let _ = writeln!(out, "  t={t:<4} | {}", acts.join(", "));
+        }
+        for e in &self.final_events {
+            let _ = writeln!(out, "  t={:<4} ! {e}", self.at_quantum);
+        }
+        let _ = writeln!(out, "  t={:<4} DEADLOCK", self.at_quantum);
+        out
+    }
+}
+
+#[cfg(test)]
+mod walker_tests {
+    use super::*;
+    use acsr::prelude::*;
+
+    #[test]
+    fn invoke_heads_are_active() {
+        let mut env = Env::new();
+        let a = env.declare("WalkA", 0);
+        let b = env.declare("WalkB", 0);
+        let p = par([invoke(a, []), invoke(b, [])]);
+        let defs = active_defs(&p);
+        assert_eq!(defs, vec![a, b]);
+    }
+
+    #[test]
+    fn prefix_continuations_are_not_active() {
+        let mut env = Env::new();
+        let a = env.declare("WalkC", 0);
+        // The invocation sits behind a prefix: control has not reached it.
+        let p = act([(Res::new("walk_r"), 1)], invoke(a, []));
+        assert!(active_defs(&p).is_empty());
+    }
+
+    #[test]
+    fn expired_scope_exposes_its_timeout() {
+        let mut env = Env::new();
+        let violation = env.declare("WalkViolation", 0);
+        let live = scope(
+            nil(),
+            TimeBound::Finite(Expr::c(3)),
+            None,
+            Some(invoke(violation, [])),
+            None,
+        );
+        // Active scope: the timeout continuation is not yet reachable.
+        assert!(active_defs(&live).is_empty());
+        let expired = scope(
+            nil(),
+            TimeBound::Finite(Expr::c(0)),
+            None,
+            Some(invoke(violation, [])),
+            None,
+        );
+        assert_eq!(active_defs(&expired), vec![violation]);
+    }
+
+    #[test]
+    fn restriction_and_guards_are_transparent() {
+        let mut env = Env::new();
+        let a = env.declare("WalkD", 0);
+        let p = restrict(
+            guard(BExpr::t(), invoke(a, [])),
+            [Symbol::new("walk_ev")],
+        );
+        assert_eq!(active_defs(&p), vec![a]);
+        let q = guard(BExpr::f(), invoke(a, []));
+        assert!(active_defs(&q).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AnalysisOptions};
+    use crate::translate::TranslateOptions;
+    use aadl::examples::cruise_control_overloaded;
+    use aadl::instance::instantiate;
+    use aadl::properties::TimeVal;
+
+    fn overloaded_verdict() -> (InstanceModel, crate::analysis::Verdict) {
+        let pkg = cruise_control_overloaded();
+        let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+        let v = analyze(
+            &m,
+            &TranslateOptions {
+                quantum: Some(TimeVal::ms(5)),
+                ..Default::default()
+            },
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        (m, v)
+    }
+
+    #[test]
+    fn overloaded_cruise_control_names_the_missing_thread() {
+        let (_m, v) = overloaded_verdict();
+        assert!(!v.schedulable);
+        let sc = v.scenario.expect("failing scenario produced");
+        // Cruise2 has the larger period: under RMS it is the one preempted
+        // past its deadline by the overloaded Cruise1.
+        assert!(
+            sc.violations.iter().any(|vk| matches!(
+                vk,
+                ViolationKind::DeadlineMiss { thread } if thread == "ccl.cruise2"
+            )),
+            "violations: {:?}",
+            sc.violations
+        );
+    }
+
+    #[test]
+    fn timeline_shows_dispatches_and_activity() {
+        let (_m, v) = overloaded_verdict();
+        let sc = v.scenario.unwrap();
+        assert!(!sc.timeline.is_empty());
+        // The first row carries the initial dispatch events of all 6 threads.
+        assert!(sc.timeline[0]
+            .events
+            .iter()
+            .any(|e| e.starts_with("dispatch ")));
+        assert_eq!(
+            sc.timeline[0]
+                .events
+                .iter()
+                .filter(|e| e.starts_with("dispatch "))
+                .count(),
+            6
+        );
+        // Somewhere, cruise2 sits preempted while cruise1 runs.
+        assert!(sc.timeline.iter().any(|row| {
+            row.activities
+                .iter()
+                .any(|(p, a)| p == "ccl.cruise2" && *a == Activity::Preempted)
+                && row
+                    .activities
+                    .iter()
+                    .any(|(p, a)| p == "ccl.cruise1" && *a == Activity::Computing)
+        }));
+    }
+
+    #[test]
+    fn render_produces_a_timeline() {
+        let (_m, v) = overloaded_verdict();
+        let sc = v.scenario.unwrap();
+        let text = sc.render();
+        assert!(text.contains("VIOLATION: thread `ccl.cruise2` missed its deadline"));
+        assert!(text.contains("DEADLOCK"));
+        assert!(text.contains("dispatch ccl.cruise1"));
+        assert!(text.lines().count() > sc.at_quantum);
+    }
+
+    #[test]
+    fn deadlock_happens_at_the_deadline_quantum() {
+        let (_m, v) = overloaded_verdict();
+        let sc = v.scenario.unwrap();
+        // Cruise2: deadline 100 ms = 20 quanta — BFS finds a shortest
+        // counterexample, which cannot be later than the first deadline miss
+        // on the CCL processor (cruise1's deadline is 10 quanta).
+        assert!(sc.at_quantum <= 20, "deadlocked at {}", sc.at_quantum);
+        assert!(sc.at_quantum >= 9);
+    }
+}

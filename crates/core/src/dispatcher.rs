@@ -1,0 +1,506 @@
+//! The thread dispatchers of Fig. 6.
+//!
+//! One dispatcher process per thread, generated from its dispatch protocol:
+//!
+//! * **Periodic** (Fig. 6a): "In the initial state, Dispatcher_p sends the
+//!   dispatch event. Note that the dispatcher cannot idle in this state and
+//!   has to send this event immediately." It then waits for `done` inside a
+//!   deadline scope (timeout ⇒ blocked process ⇒ model-wide deadlock, the
+//!   timing violation), idles out the rest of the period inside a period
+//!   scope, and repeats.
+//! * **Aperiodic** (Fig. 6b): idles until an `e_deq` event arrives from a
+//!   queue process, dispatches, and waits for `done` before the deadline.
+//!   With several incoming connections, the choice is resolved by priorities
+//!   from each connection's `Urgency` property (§4.3).
+//! * **Sporadic** (Fig. 6c): like the aperiodic dispatcher, but the next
+//!   dequeue cannot happen until the minimum separation `p` has elapsed since
+//!   the dispatch — encoded by nesting the deadline scope inside a
+//!   period-length scope whose timeout returns to the listening state.
+//! * **Background**: dispatches immediately and never watches a deadline.
+
+use aadl::instance::CompId;
+use acsr::{
+    act, choice, evt_recv, evt_send, invoke, nil, scope, DefId, Env, Expr, Res, Symbol, TimeBound,
+    P,
+};
+
+use crate::modes::Gate;
+use crate::names::{DefMeaning, NameMap};
+
+/// Dispatcher flavour, with timing in quanta.
+pub enum DispatcherKind {
+    /// Fig. 6a.
+    Periodic {
+        /// Period.
+        period_q: i64,
+        /// Deadline (≤ period).
+        deadline_q: i64,
+    },
+    /// Fig. 6b. `triggers` are the `e_deq` events of the thread's incoming
+    /// queued connections, with their urgencies.
+    Aperiodic {
+        /// Deadline.
+        deadline_q: i64,
+        /// `(e_deq label, urgency)` per incoming connection.
+        triggers: Vec<(Symbol, i64)>,
+    },
+    /// Fig. 6c.
+    Sporadic {
+        /// Minimum separation between dispatches.
+        separation_q: i64,
+        /// Deadline (≤ separation).
+        deadline_q: i64,
+        /// `(e_deq label, urgency)` per incoming connection.
+        triggers: Vec<(Symbol, i64)>,
+    },
+    /// Dispatched once, immediately; no deadline.
+    Background,
+}
+
+/// Generated dispatcher definitions.
+pub struct DispatcherDefs {
+    /// `Dispatcher_<stem>` — the dispatcher's active initial state.
+    pub disp_def: DefId,
+    /// `Miss_<stem>` — the blocked state entered on deadline timeout.
+    pub miss_def: Option<DefId>,
+    /// The process to compose: `Dispatcher_<stem>` or, for a mode-gated
+    /// thread that is inactive in the initial mode, `Inactive_<stem>`.
+    pub initial: P,
+}
+
+/// Declare and define the dispatcher of a thread.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dispatcher(
+    env: &mut Env,
+    nm: &mut NameMap,
+    thread: CompId,
+    stem: &str,
+    dispatch: Symbol,
+    done: Symbol,
+    idle_def: DefId,
+    kind: &DispatcherKind,
+    gate: Option<&Gate>,
+) -> DispatcherDefs {
+    let disp_def = env.declare(&format!("Dispatcher_{stem}"), 0);
+
+    // Mode gating (modes extension): an `Inactive` state the dispatcher can
+    // be switched into/out of at its listening boundaries, and the extra
+    // `deact?` alternative added to those boundaries.
+    let (inactive_def, deact_alt) = match gate {
+        Some(g) => {
+            let inactive = env.declare(&format!("Inactive_{stem}"), 0);
+            env.set_body(
+                inactive,
+                choice([
+                    act([] as [(Res, Expr); 0], invoke(inactive, [])),
+                    evt_recv(g.activate, 1, invoke(disp_def, [])),
+                ]),
+            );
+            (
+                Some(inactive),
+                Some(evt_recv(g.deactivate, 1, invoke(inactive, []))),
+            )
+        }
+        None => (None, None),
+    };
+    let initial = match (gate, inactive_def) {
+        (Some(g), Some(inactive)) if !g.initially_active => invoke(inactive, []),
+        _ => invoke(disp_def, []),
+    };
+
+    // Shared wait-for-done loop: idles, offering done? (the scope exception
+    // intercepts the receive).
+    let mut make_wait = |deadline_q: i64, after_done: P| -> (P, DefId) {
+        let dw = env.declare(&format!("DoneWait_{stem}"), 0);
+        env.set_body(
+            dw,
+            choice([
+                act([] as [(Res, Expr); 0], invoke(dw, [])),
+                evt_recv(done, 1, nil()),
+            ]),
+        );
+        let miss = env.define(&format!("Miss_{stem}"), 0, nil());
+        nm.add_def(miss, DefMeaning::DeadlineMiss(thread));
+        (
+            scope(
+                invoke(dw, []),
+                TimeBound::Finite(Expr::c(deadline_q)),
+                Some((done, after_done)),
+                Some(invoke(miss, [])),
+                None,
+            ),
+            miss,
+        )
+    };
+
+    match kind {
+        DispatcherKind::Periodic {
+            period_q,
+            deadline_q,
+        } => {
+            let (inner, miss) = make_wait(*deadline_q, invoke(idle_def, []));
+            let outer = scope(
+                inner,
+                TimeBound::Finite(Expr::c(*period_q)),
+                None,
+                Some(invoke(disp_def, [])),
+                None,
+            );
+            let mut alts = vec![evt_send(dispatch, 1, outer)];
+            alts.extend(deact_alt.clone());
+            env.set_body(disp_def, choice(alts));
+            DispatcherDefs {
+                disp_def,
+                miss_def: Some(miss),
+                initial,
+            }
+        }
+        DispatcherKind::Aperiodic {
+            deadline_q,
+            triggers,
+        } => {
+            let (inner, miss) = make_wait(*deadline_q, invoke(disp_def, []));
+            let mut alts = vec![act([] as [(Res, Expr); 0], invoke(disp_def, []))];
+            for (trig, urgency) in triggers {
+                alts.push(evt_recv(
+                    *trig,
+                    *urgency,
+                    evt_send(dispatch, 1, inner.clone()),
+                ));
+            }
+            alts.extend(deact_alt.clone());
+            env.set_body(disp_def, choice(alts));
+            DispatcherDefs {
+                disp_def,
+                miss_def: Some(miss),
+                initial,
+            }
+        }
+        DispatcherKind::Sporadic {
+            separation_q,
+            deadline_q,
+            triggers,
+        } => {
+            let (inner, miss) = make_wait(*deadline_q, invoke(idle_def, []));
+            let outer = scope(
+                inner,
+                TimeBound::Finite(Expr::c(*separation_q)),
+                None,
+                Some(invoke(disp_def, [])),
+                None,
+            );
+            let mut alts = vec![act([] as [(Res, Expr); 0], invoke(disp_def, []))];
+            for (trig, urgency) in triggers {
+                alts.push(evt_recv(
+                    *trig,
+                    *urgency,
+                    evt_send(dispatch, 1, outer.clone()),
+                ));
+            }
+            alts.extend(deact_alt.clone());
+            env.set_body(disp_def, choice(alts));
+            DispatcherDefs {
+                disp_def,
+                miss_def: Some(miss),
+                initial,
+            }
+        }
+        DispatcherKind::Background => {
+            // Background threads are dispatched once, immediately; mode
+            // gating is not supported for them (documented restriction).
+            env.set_body(disp_def, evt_send(dispatch, 1, invoke(idle_def, [])));
+            DispatcherDefs {
+                disp_def,
+                miss_def: None,
+                initial,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::{par, prioritized_steps, restrict, steps, Label};
+
+    fn env_with_idle() -> (Env, DefId) {
+        let mut env = Env::new();
+        let idle = env.declare("Idle", 0);
+        env.set_body(idle, act([] as [(Res, Expr); 0], invoke(idle, [])));
+        (env, idle)
+    }
+
+    /// A fake thread that accepts dispatch and sends done after exactly
+    /// `quanta` time steps.
+    fn fake_thread(env: &mut Env, stem: &str, dispatch: Symbol, done: Symbol, quanta: i64) -> P {
+        let wait = env.declare(&format!("FakeWait_{stem}"), 0);
+        let run = env.declare(&format!("FakeRun_{stem}"), 1);
+        env.set_body(
+            wait,
+            choice([
+                act([] as [(Res, Expr); 0], invoke(wait, [])),
+                evt_recv(dispatch, 1, invoke(run, [Expr::c(quanta)])),
+            ]),
+        );
+        env.set_body(
+            run,
+            choice([
+                acsr::guard(
+                    acsr::BExpr::gt(Expr::p(0), Expr::c(0)),
+                    act(
+                        [(Res::new("fake_cpu"), 1)],
+                        invoke(run, [Expr::p(0).sub(Expr::c(1))]),
+                    ),
+                ),
+                acsr::guard(
+                    acsr::BExpr::eq(Expr::p(0), Expr::c(0)),
+                    evt_send(done, 1, invoke(wait, [])),
+                ),
+            ]),
+        );
+        invoke(wait, [])
+    }
+
+    #[test]
+    fn periodic_dispatcher_cannot_idle_initially() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_pd");
+        let done = Symbol::new("done_pd");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "pd",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Periodic {
+                period_q: 4,
+                deadline_q: 3,
+            }, None,);
+        let s = steps(&env, &invoke(defs.disp_def, []));
+        assert_eq!(s.len(), 1);
+        assert!(matches!(&s[0].0, Label::E { label, .. } if *label == dispatch));
+    }
+
+    #[test]
+    fn periodic_dispatcher_cycle_is_deadlock_free_when_thread_is_fast() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_pc");
+        let done = Symbol::new("done_pc");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "pc",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Periodic {
+                period_q: 4,
+                deadline_q: 3,
+            }, None,);
+        let thread = fake_thread(&mut env, "pc", dispatch, done, 2); // 2 ≤ 3
+        let sys = restrict(par([invoke(defs.disp_def, []), thread]), [dispatch, done]);
+        let ex = versa::explore(&env, &sys, &versa::Options::default());
+        assert!(
+            ex.deadlock_free(),
+            "fast thread meets the deadline every period"
+        );
+        // The cycle is periodic: finitely many states.
+        assert!(ex.num_states() <= 32);
+    }
+
+    #[test]
+    fn periodic_dispatcher_deadlocks_when_thread_is_slow() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_ps");
+        let done = Symbol::new("done_ps");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(7),
+            "ps",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Periodic {
+                period_q: 4,
+                deadline_q: 2,
+            }, None,);
+        let thread = fake_thread(&mut env, "ps", dispatch, done, 3); // 3 > 2
+        let sys = restrict(par([invoke(defs.disp_def, []), thread]), [dispatch, done]);
+        let ex = versa::explore(&env, &sys, &versa::Options::default());
+        assert_eq!(ex.deadlocks.len(), 1);
+        let t = ex.first_deadlock_trace().unwrap();
+        // Deadlock at the deadline: τ@dispatch + 2 quanta.
+        assert_eq!(t.elapsed_quanta(), 2);
+        assert_eq!(
+            nm.def(defs.miss_def.unwrap()),
+            Some(DefMeaning::DeadlineMiss(CompId(7)))
+        );
+    }
+
+    #[test]
+    fn completion_at_exactly_the_deadline_is_allowed() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_px");
+        let done = Symbol::new("done_px");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "px",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Periodic {
+                period_q: 4,
+                deadline_q: 2,
+            }, None,);
+        let thread = fake_thread(&mut env, "px", dispatch, done, 2); // exactly d
+        let sys = restrict(par([invoke(defs.disp_def, []), thread]), [dispatch, done]);
+        let ex = versa::explore(&env, &sys, &versa::Options::default());
+        assert!(ex.deadlock_free());
+    }
+
+    #[test]
+    fn sporadic_dispatcher_enforces_minimum_separation() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_sp");
+        let done = Symbol::new("done_sp");
+        let trig = Symbol::new("deq_sp");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "sp",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Sporadic {
+                separation_q: 5,
+                deadline_q: 3,
+                triggers: vec![(trig, 1)],
+            }, None,);
+        // Initially the dispatcher offers idle + the dequeue receive.
+        let s = steps(&env, &invoke(defs.disp_def, []));
+        assert_eq!(s.len(), 2);
+        let (_, after_trig) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { .. }))
+            .unwrap();
+        // After the trigger, the dispatch must fire immediately.
+        let s = steps(&env, after_trig);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(&s[0].0, Label::E { label, .. } if *label == dispatch));
+        // Inside the separation scope the trigger is NOT offered: only timed
+        // steps and the done receive.
+        let (_, in_sep) = &s[0];
+        let inside = steps(&env, in_sep);
+        assert!(inside
+            .iter()
+            .all(|(l, _)| !matches!(l, Label::E { label, .. } if *label == trig)));
+    }
+
+    #[test]
+    fn aperiodic_dispatcher_relistens_after_done() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_ap");
+        let done = Symbol::new("done_ap");
+        let trig = Symbol::new("deq_ap");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "ap",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Aperiodic {
+                deadline_q: 3,
+                triggers: vec![(trig, 1)],
+            }, None,);
+        // trigger → dispatch → (done) → back to listening.
+        let s = steps(&env, &invoke(defs.disp_def, []));
+        let (_, a) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { .. }))
+            .unwrap();
+        let s = steps(&env, a);
+        let (_, b) = &s[0]; // dispatch!
+        let s = steps(&env, b);
+        let (_, c) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { label, .. } if *label == done))
+            .unwrap();
+        assert_eq!(c, &invoke(defs.disp_def, []));
+    }
+
+    #[test]
+    fn urgency_resolves_trigger_choice() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_ur");
+        let done = Symbol::new("done_ur");
+        let lo = Symbol::new("deq_lo");
+        let hi = Symbol::new("deq_hi");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "ur",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Aperiodic {
+                deadline_q: 3,
+                triggers: vec![(lo, 1), (hi, 5)],
+            }, None,);
+        // Compose with two senders offering both events; the higher-urgency
+        // sync should win under prioritization.
+        let senders = par([
+            evt_send(lo, 1, nil()),
+            evt_send(hi, 1, nil()),
+            invoke(defs.disp_def, []),
+        ]);
+        let sys = restrict(senders, [lo, hi]);
+        let s = prioritized_steps(&env, &sys);
+        // Only the hi sync (priority 1+5) survives; the lo sync (1+1) is a
+        // lower-priority τ.
+        let taus: Vec<_> = s.iter().filter(|(l, _)| l.is_tau()).collect();
+        assert_eq!(taus.len(), 1);
+        assert!(matches!(taus[0].0, Label::Tau { prio: 6, .. }));
+    }
+
+    #[test]
+    fn background_dispatcher_fires_once() {
+        let (mut env, idle) = env_with_idle();
+        let mut nm = NameMap::default();
+        let dispatch = Symbol::new("dispatch_bg");
+        let done = Symbol::new("done_bg");
+        let defs = build_dispatcher(
+            &mut env,
+            &mut nm,
+            CompId(0),
+            "bg",
+            dispatch,
+            done,
+            idle,
+            &DispatcherKind::Background, None,);
+        assert!(defs.miss_def.is_none());
+        let s = steps(&env, &invoke(defs.disp_def, []));
+        assert_eq!(s.len(), 1);
+        assert!(matches!(&s[0].0, Label::E { label, .. } if *label == dispatch));
+        // Afterwards: idle forever.
+        let s = steps(&env, &s[0].1);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].0.is_timed());
+    }
+}

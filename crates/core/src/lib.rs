@@ -1,0 +1,80 @@
+//! # aadl2acsr — schedulability analysis of AADL models via ACSR
+//!
+//! The primary contribution of Sokolsky, Lee & Clarke, *Schedulability
+//! Analysis of AADL Models* (IPDPS 2006): a semantics-preserving translation
+//! of fully instantiated and bound AADL models into the real-time process
+//! algebra ACSR, such that **the ACSR model is deadlock-free iff every thread
+//! meets its deadline** (§5). Schedulability analysis is then state-space
+//! exploration (the `versa` crate), and a deadlock trace is *raised* back to
+//! the AADL level as a failing scenario.
+//!
+//! ## The translation (Algorithm 1 of the paper)
+//!
+//! ```text
+//! for all p ∈ P:                          (processors)
+//!   for all t ∈ T_p:                      (threads bound to p)
+//!     generate a skeleton S_t for t                 (§4.2, Figs 4–5 → skeleton/compute)
+//!     generate a dispatcher D_t for E_t^in          (§4.3, Fig 6  → dispatcher)
+//!     for all e ∈ E_t^out:
+//!       populate S_t with events e!                 (§4.4 → event sends)
+//!       if e is mapped to a bus b: populate S_t with resource b
+//!     for all e ∈ E_t^in:
+//!       generate the queue process for e            (§4.4 → queue)
+//! ```
+//!
+//! Scheduling policies are encoded as priority assignments on the processor
+//! resource (§5): fixed-priority policies (RMS, DMS, HPF) become static
+//! priorities, and dynamic policies become parametric priority expressions
+//! over the compute process's `(e, t)` parameters — EDF as
+//! `π = dmax − (d − t) + 1`, LLF analogously over the laxity.
+//!
+//! ## Crate layout
+//!
+//! | module | paper | contents |
+//! |--------|-------|----------|
+//! | [`quantum`] | §4.1 | discrete-time abstraction: time values → scheduling quanta |
+//! | [`names`] | §1/§5 | name map between AADL instances and ACSR symbols/tags |
+//! | [`policy`] | §5 | scheduling protocols as priority specifications |
+//! | [`compute`] | Fig 5 | the `Compute`/`Preempted` process of a thread |
+//! | [`skeleton`] | Fig 4 | the thread skeleton automaton |
+//! | [`dispatcher`] | Fig 6 | periodic / aperiodic / sporadic / background dispatchers |
+//! | [`queue`] | §4.4 | connection queue counter processes |
+//! | [`mod@translate`] | Alg. 1 | whole-model orchestration |
+//! | [`analysis`] | §5 | schedulability verdicts via deadlock detection |
+//! | [`diagnose`] | §5 | raising failing traces to AADL-level timelines |
+//! | [`observer`] | §5 | end-to-end latency observer processes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aadl::examples::cruise_control_model;
+//! use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+//!
+//! let model = cruise_control_model();
+//! let verdict = analyze(&model, &TranslateOptions::default(),
+//!                       &AnalysisOptions::default()).unwrap();
+//! assert!(verdict.schedulable);
+//! ```
+
+pub mod analysis;
+pub mod compute;
+pub mod diagnose;
+pub mod dispatcher;
+pub mod modes;
+pub mod names;
+pub mod observer;
+pub mod policy;
+pub mod quantum;
+pub mod queue;
+pub mod skeleton;
+pub mod translate;
+
+pub use analysis::{analyze, analyze_translated, AnalysisOptions, Verdict};
+pub use diagnose::{FailingScenario, ViolationKind};
+pub use names::{ComponentRole, DefMeaning, EventMeaning, NameMap, TagMeaning};
+pub use observer::LatencyObserver;
+pub use policy::PrioSpec;
+pub use quantum::{derive_quantum, thread_timing, ThreadTiming};
+pub use translate::{
+    translate, Inventory, SendPattern, TranslateError, TranslateOptions, TranslatedModel,
+};

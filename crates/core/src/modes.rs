@@ -1,0 +1,491 @@
+//! Mode support — the extension the paper explicitly leaves out:
+//!
+//! > Given the limited space, we do not discuss handling of modes in the
+//! > translation, which is, in general, quite involved. (§4)
+//!
+//! This module implements a bounded, documented encoding for the common case:
+//!
+//! * **Modes at the root only.** The root implementation may declare modes
+//!   (exactly one initial); any other moded component is rejected.
+//! * **Thread gating.** Direct thread subcomponents of the root with an
+//!   `in modes (…)` clause are *gated*: their dispatcher can be switched off
+//!   (`deact_t`) and on (`act_t`) by the mode manager. Deactivation takes
+//!   effect at the dispatcher's next listening/period boundary — ongoing
+//!   dispatches complete, matching the AADL rule that executing threads
+//!   finish before deactivation.
+//! * **Triggers.** A mode transition `m1 -[ t.port ]-> m2` fires when thread
+//!   `t` raises `port` (at completion, like every event in the default send
+//!   pattern). Triggers with no transition from the current mode are
+//!   absorbed.
+//! * **The mode manager** is one ACSR process: per mode a state that idles,
+//!   absorbs inert triggers, and reacts to its transitions; per transition a
+//!   chain of switch steps that patiently (idling) hand `deact!`/`act!`
+//!   events to the affected dispatchers, then enter the new mode's state.
+//!   Switch events carry priority 3 so they preempt a simultaneous dispatch
+//!   at the boundary instant.
+//!
+//! Mode-gated *connections* and nested moded systems are not supported
+//! (rejected with a clear error).
+
+use std::collections::HashMap;
+
+use aadl::instance::{CompId, InstanceModel};
+use aadl::model::{Category, FeatureKind};
+use acsr::{act, choice, evt_recv, evt_send, invoke, DefId, Env, Expr, Res, Symbol, P};
+
+use crate::names::{EventMeaning, NameMap};
+use crate::translate::TranslateError;
+
+/// Per-thread gate events.
+#[derive(Copy, Clone, Debug)]
+pub struct Gate {
+    /// Activation event received by the dispatcher.
+    pub activate: Symbol,
+    /// Deactivation event received by the dispatcher.
+    pub deactivate: Symbol,
+    /// Is the thread active in the initial mode?
+    pub initially_active: bool,
+}
+
+/// The result of building the mode manager.
+#[derive(Debug)]
+pub struct ModeSetup {
+    /// The manager's initial process.
+    pub manager_initial: P,
+    /// Gates for the mode-gated threads.
+    pub gates: HashMap<CompId, Gate>,
+    /// Trigger events to append to each raising thread's completion chain.
+    pub trigger_sends: HashMap<CompId, Vec<(Symbol, i64)>>,
+}
+
+fn unsupported<T>(msg: impl Into<String>) -> Result<T, TranslateError> {
+    Err(TranslateError::Unsupported(msg.into()))
+}
+
+/// Build the mode manager for `model`, if its root declares modes.
+/// Returns `Ok(None)` for single-mode models.
+pub fn build_mode_manager(
+    env: &mut Env,
+    nm: &mut NameMap,
+    model: &InstanceModel,
+) -> Result<Option<ModeSetup>, TranslateError> {
+    let root = model.component(model.root());
+    if root.modes.len() <= 1 {
+        return Ok(None);
+    }
+    for c in model.components() {
+        if c.id != root.id && c.modes.len() > 1 {
+            return unsupported(format!(
+                "modes are only supported on the root implementation; `{}` also declares modes",
+                c.display_path()
+            ));
+        }
+    }
+    let initials: Vec<&str> = root
+        .modes
+        .iter()
+        .filter(|m| m.initial)
+        .map(|m| m.name.as_str())
+        .collect();
+    if initials.len() != 1 {
+        return unsupported(format!(
+            "exactly one initial mode required, found {}",
+            initials.len()
+        ));
+    }
+    let initial_mode = initials[0].to_owned();
+    let mode_names: Vec<String> = root.modes.iter().map(|m| m.name.clone()).collect();
+
+    // Gated threads: direct thread children of the root with `in modes`.
+    let mut gates: HashMap<CompId, Gate> = HashMap::new();
+    for &child in &root.children {
+        let c = model.component(child);
+        if c.in_modes.is_empty() {
+            continue;
+        }
+        for m in &c.in_modes {
+            if !mode_names.iter().any(|n| n.eq_ignore_ascii_case(m)) {
+                return unsupported(format!(
+                    "`{}` is in mode `{m}`, which the root does not declare",
+                    c.display_path()
+                ));
+            }
+        }
+        match c.category {
+            Category::Thread => {
+                let stem = crate::names::stem_of(model, child);
+                let activate = Symbol::new(&format!("act_{stem}"));
+                let deactivate = Symbol::new(&format!("deact_{stem}"));
+                nm.add_event(activate, EventMeaning::Activate(child));
+                nm.add_event(deactivate, EventMeaning::Deactivate(child));
+                gates.insert(
+                    child,
+                    Gate {
+                        activate,
+                        deactivate,
+                        initially_active: c
+                            .in_modes
+                            .iter()
+                            .any(|m| m.eq_ignore_ascii_case(&initial_mode)),
+                    },
+                );
+            }
+            _ => {
+                return unsupported(format!(
+                    "`in modes` is only supported on thread subcomponents; `{}` is a {}",
+                    c.display_path(),
+                    c.category
+                ))
+            }
+        }
+    }
+
+    /// Is a (possibly gated) thread active in mode `m`?
+    fn active_in(model: &InstanceModel, t: CompId, m: &str) -> bool {
+        let c = model.component(t);
+        c.in_modes.is_empty() || c.in_modes.iter().any(|x| x.eq_ignore_ascii_case(m))
+    }
+
+    // Trigger events: one per (thread, out event port) used by a transition.
+    let mut trigger_sends: HashMap<CompId, Vec<(Symbol, i64)>> = HashMap::new();
+    let mut trigger_syms: Vec<Symbol> = Vec::new();
+    let mut transition_trigger: Vec<Symbol> = Vec::new();
+    for (ti, tr) in root.mode_transitions.iter().enumerate() {
+        let sub = tr.trigger.subcomponent.as_deref().ok_or_else(|| {
+            TranslateError::Unsupported(format!(
+                "mode transition #{ti}: trigger `{}` must be `thread.port`",
+                tr.trigger
+            ))
+        })?;
+        let thread = root
+            .children
+            .iter()
+            .copied()
+            .find(|&c| model.component(c).name.eq_ignore_ascii_case(sub))
+            .ok_or_else(|| {
+                TranslateError::Unsupported(format!(
+                    "mode transition #{ti}: no subcomponent `{sub}`"
+                ))
+            })?;
+        let tc = model.component(thread);
+        let fi = tc.feature_index(&tr.trigger.feature).ok_or_else(|| {
+            TranslateError::Unsupported(format!(
+                "mode transition #{ti}: `{sub}` has no feature `{}`",
+                tr.trigger.feature
+            ))
+        })?;
+        match &tc.features[fi].kind {
+            FeatureKind::Port { dir, kind } if dir.is_out() && kind.is_queued() => {}
+            _ => {
+                return unsupported(format!(
+                    "mode transition #{ti}: trigger `{}` is not an out event port",
+                    tr.trigger
+                ))
+            }
+        }
+        let stem = crate::names::stem_of(model, thread);
+        let sym = Symbol::new(&format!("mt_{stem}_{}", tr.trigger.feature));
+        if !trigger_syms.contains(&sym) {
+            trigger_syms.push(sym);
+            nm.add_event(sym, EventMeaning::ModeTrigger(ti));
+            trigger_sends
+                .entry(thread)
+                .or_default()
+                .push((sym, 1));
+        }
+        transition_trigger.push(sym);
+    }
+
+    // Mode state definitions.
+    let mode_defs: HashMap<String, DefId> = mode_names
+        .iter()
+        .map(|m| {
+            (
+                m.to_ascii_lowercase(),
+                env.declare(&format!("ModeMgr_{m}"), 0),
+            )
+        })
+        .collect();
+    let def_of = |m: &str| mode_defs[&m.to_ascii_lowercase()];
+
+    // Per transition: the switch-step chain.
+    let mut switch_entry: Vec<P> = Vec::new();
+    for (ti, tr) in root.mode_transitions.iter().enumerate() {
+        if !mode_names.iter().any(|n| n.eq_ignore_ascii_case(&tr.src))
+            || !mode_names.iter().any(|n| n.eq_ignore_ascii_case(&tr.dst))
+        {
+            return unsupported(format!(
+                "mode transition #{ti}: unknown mode `{}` or `{}`",
+                tr.src, tr.dst
+            ));
+        }
+        // Deactivations first, then activations, then the new mode.
+        let mut sends: Vec<(Symbol, bool)> = Vec::new(); // (event, is_deact)
+        let mut gated: Vec<CompId> = gates.keys().copied().collect();
+        gated.sort();
+        for t in &gated {
+            let was = active_in(model, *t, &tr.src);
+            let will = active_in(model, *t, &tr.dst);
+            if was && !will {
+                sends.push((gates[t].deactivate, true));
+            }
+        }
+        for t in &gated {
+            let was = active_in(model, *t, &tr.src);
+            let will = active_in(model, *t, &tr.dst);
+            if !was && will {
+                sends.push((gates[t].activate, false));
+            }
+        }
+        // Chain of patient switch steps, each absorbing stray triggers.
+        let mut cont = invoke(def_of(&tr.dst), []);
+        for (k, (sym, _)) in sends.iter().enumerate().rev() {
+            let step = env.declare(&format!("ModeSwitch_{ti}_{k}"), 0);
+            let mut alts = vec![
+                act([] as [(Res, Expr); 0], invoke(step, [])),
+                evt_send(*sym, 3, cont),
+            ];
+            for trig in &trigger_syms {
+                alts.push(evt_recv(*trig, 1, invoke(step, [])));
+            }
+            env.set_body(step, choice(alts));
+            cont = invoke(step, []);
+        }
+        switch_entry.push(cont);
+    }
+
+    // Mode state bodies: idle + react to own transitions + absorb the rest.
+    for m in &mode_names {
+        let def = def_of(m);
+        let mut alts = vec![act([] as [(Res, Expr); 0], invoke(def, []))];
+        let mut reacting: Vec<Symbol> = Vec::new();
+        for (ti, tr) in root.mode_transitions.iter().enumerate() {
+            if tr.src.eq_ignore_ascii_case(m) {
+                let sym = transition_trigger[ti];
+                if reacting.contains(&sym) {
+                    return unsupported(format!(
+                        "mode `{m}` has two transitions on the same trigger"
+                    ));
+                }
+                reacting.push(sym);
+                alts.push(evt_recv(sym, 2, switch_entry[ti].clone()));
+            }
+        }
+        for trig in &trigger_syms {
+            if !reacting.contains(trig) {
+                alts.push(evt_recv(*trig, 1, invoke(def, [])));
+            }
+        }
+        env.set_body(def, choice(alts));
+    }
+
+    Ok(Some(ModeSetup {
+        manager_initial: invoke(def_of(&initial_mode), []),
+        gates,
+        trigger_sends,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadl::builder::PackageBuilder;
+    use aadl::instance::instantiate;
+    use aadl::model::Category;
+    use aadl::properties::{names, TimeVal};
+
+    fn base_builder() -> PackageBuilder {
+        PackageBuilder::new("MT")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .thread("T", |t| {
+                t.out_event_port("evt")
+                    .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                    .prop(
+                        names::PERIOD,
+                        aadl::properties::PropertyValue::Time(TimeVal::ms(4)),
+                    )
+                    .prop(
+                        names::COMPUTE_EXECUTION_TIME,
+                        aadl::properties::PropertyValue::TimeRange(
+                            TimeVal::ms(1),
+                            TimeVal::ms(1),
+                        ),
+                    )
+                    .prop(
+                        names::COMPUTE_DEADLINE,
+                        aadl::properties::PropertyValue::Time(TimeVal::ms(4)),
+                    )
+            })
+            .system("Top", |s| s)
+    }
+
+    #[test]
+    fn single_mode_models_need_no_manager() {
+        let pkg = base_builder()
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        assert!(build_mode_manager(&mut env, &mut nm, &m)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn two_initial_modes_are_rejected() {
+        let pkg = base_builder()
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .mode("a", true)
+                    .mode("b", true)
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let err = build_mode_manager(&mut env, &mut nm, &m).unwrap_err();
+        assert!(matches!(err, TranslateError::Unsupported(msg) if msg.contains("initial")));
+    }
+
+    #[test]
+    fn unknown_in_mode_is_rejected() {
+        let pkg = base_builder()
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .in_modes(&["ghost"])
+                    .bind_processor("t", "cpu")
+                    .mode("a", true)
+                    .mode("b", false)
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let err = build_mode_manager(&mut env, &mut nm, &m).unwrap_err();
+        assert!(matches!(err, TranslateError::Unsupported(msg) if msg.contains("ghost")));
+    }
+
+    #[test]
+    fn non_thread_gating_is_rejected() {
+        let pkg = base_builder()
+            .bus("net")
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("b", Category::Bus, "net")
+                    .in_modes(&["a"])
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .mode("a", true)
+                    .mode("b", false)
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let err = build_mode_manager(&mut env, &mut nm, &m).unwrap_err();
+        assert!(matches!(err, TranslateError::Unsupported(msg) if msg.contains("thread")));
+    }
+
+    #[test]
+    fn bad_trigger_endpoints_are_rejected() {
+        for (trigger, needle) in [
+            ("ghost.evt", "no subcomponent"),
+            ("t.nope", "no feature"),
+        ] {
+            let pkg = base_builder()
+                .implementation("Top.impl", Category::System, |i| {
+                    i.sub("cpu", Category::Processor, "cpu_t")
+                        .sub("t", Category::Thread, "T")
+                        .bind_processor("t", "cpu")
+                        .mode("a", true)
+                        .mode("b", false)
+                        .mode_transition("a", trigger, "b")
+                })
+                .build();
+            let m = instantiate(&pkg, "Top.impl").unwrap();
+            let mut env = Env::new();
+            let mut nm = NameMap::default();
+            let err = build_mode_manager(&mut env, &mut nm, &m).unwrap_err();
+            assert!(
+                matches!(&err, TranslateError::Unsupported(msg) if msg.contains(needle)),
+                "{trigger}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_transitions_on_one_trigger_are_rejected() {
+        let pkg = base_builder()
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .mode("a", true)
+                    .mode("b", false)
+                    .mode("c", false)
+                    .mode_transition("a", "t.evt", "b")
+                    .mode_transition("a", "t.evt", "c")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let err = build_mode_manager(&mut env, &mut nm, &m).unwrap_err();
+        assert!(matches!(err, TranslateError::Unsupported(msg) if msg.contains("two transitions")));
+    }
+
+    #[test]
+    fn gates_reflect_the_initial_mode() {
+        let pkg = base_builder()
+            .thread("G", |t| {
+                t.prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                    .prop(
+                        names::PERIOD,
+                        aadl::properties::PropertyValue::Time(TimeVal::ms(4)),
+                    )
+                    .prop(
+                        names::COMPUTE_EXECUTION_TIME,
+                        aadl::properties::PropertyValue::TimeRange(
+                            TimeVal::ms(1),
+                            TimeVal::ms(1),
+                        ),
+                    )
+                    .prop(
+                        names::COMPUTE_DEADLINE,
+                        aadl::properties::PropertyValue::Time(TimeVal::ms(4)),
+                    )
+            })
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .sub("g1", Category::Thread, "G")
+                    .in_modes(&["a"])
+                    .bind_processor("g1", "cpu")
+                    .sub("g2", Category::Thread, "G")
+                    .in_modes(&["b"])
+                    .bind_processor("g2", "cpu")
+                    .mode("a", true)
+                    .mode("b", false)
+                    .mode_transition("a", "t.evt", "b")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let setup = build_mode_manager(&mut env, &mut nm, &m).unwrap().unwrap();
+        let g1 = m.find("g1").unwrap();
+        let g2 = m.find("g2").unwrap();
+        assert!(setup.gates[&g1].initially_active);
+        assert!(!setup.gates[&g2].initially_active);
+        assert_eq!(setup.trigger_sends.len(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end latency observers (§5 of the paper).
+//!
+//! > The approach to checking thread deadlines by means of an observer
+//! > process […] can be extended to check other timing properties of AADL
+//! > models. For example, an observer process can capture violations of an
+//! > end-to-end latency constraint for a data flow […]. Such an observer
+//! > would be triggered by an input event and, just like a dispatcher
+//! > process, would deadlock if the output event is not observed by the flow
+//! > deadline.
+//!
+//! CCS-style synchronisation is binary, so an observer cannot eavesdrop on
+//! the `τ@e` of two other processes; instead the translation adds dedicated
+//! *probe* events to the completion chains of the observed threads
+//! (`obs<i>_start!` at the flow source's completion, `obs<i>_end!` at the
+//! destination's), which the observer alone receives. The observer:
+//!
+//! * idles until a `start` probe arrives, then watches inside a temporal
+//!   scope bounded by the latency budget;
+//! * receiving `end` within the bound exits the scope back to the idle
+//!   state (exception exit);
+//! * re-triggered `start` probes during a watch are absorbed (this observer
+//!   tracks one flow instance at a time; the paper notes pipelined flows
+//!   need dynamically spawned observers, which is out of scope);
+//! * the scope's timeout is a distinguished deadlocking state
+//!   (`LatencyMiss`), surfacing in diagnostics as a latency violation;
+//! * stray `end` probes while idle are absorbed.
+
+use aadl::instance::CompId;
+use aadl::properties::TimeVal;
+use acsr::{act, choice, evt_recv, invoke, nil, scope, DefId, Env, Expr, Res, Symbol, TimeBound};
+
+use crate::names::{DefMeaning, NameMap};
+
+/// A latency constraint: from the completion of `from` to the completion of
+/// `to` within `bound`.
+#[derive(Clone, Debug)]
+pub struct LatencyObserver {
+    /// The flow's source thread.
+    pub from: CompId,
+    /// The flow's destination thread.
+    pub to: CompId,
+    /// The end-to-end latency budget.
+    pub bound: TimeVal,
+}
+
+/// Declare and define observer `idx`, watching `start` → `end` within
+/// `bound_q` quanta. Returns the observer's initial definition.
+pub fn build_observer(
+    env: &mut Env,
+    nm: &mut NameMap,
+    idx: usize,
+    start: Symbol,
+    end: Symbol,
+    bound_q: i64,
+) -> DefId {
+    let obs = env.declare(&format!("Observer_{idx}"), 0);
+    let watch_body = env.declare(&format!("ObserverWatch_{idx}"), 0);
+    env.set_body(
+        watch_body,
+        choice([
+            act([] as [(Res, Expr); 0], invoke(watch_body, [])),
+            // Re-triggered start: absorbed.
+            evt_recv(start, 1, invoke(watch_body, [])),
+            // The end probe; the enclosing scope's exception intercepts it.
+            evt_recv(end, 1, nil()),
+        ]),
+    );
+    let miss = env.define(&format!("LatencyMiss_{idx}"), 0, nil());
+    nm.add_def(miss, DefMeaning::LatencyMiss(idx));
+    let watch = scope(
+        invoke(watch_body, []),
+        TimeBound::Finite(Expr::c(bound_q)),
+        Some((end, invoke(obs, []))),
+        Some(invoke(miss, [])),
+        None,
+    );
+    env.set_body(
+        obs,
+        choice([
+            act([] as [(Res, Expr); 0], invoke(obs, [])),
+            evt_recv(start, 1, watch),
+            // Stray end while idle: absorbed.
+            evt_recv(end, 1, invoke(obs, [])),
+        ]),
+    );
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::{evt_send, par, restrict, P};
+    use versa::{explore, Options};
+
+    fn harness(bound_q: i64, gap_q: i64) -> (Env, P) {
+        // A driver that emits start, idles `gap_q` quanta, then emits end,
+        // then idles forever.
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let start = Symbol::new("obs0_start_t");
+        let end = Symbol::new("obs0_end_t");
+        let obs = build_observer(&mut env, &mut nm, 0, start, end, bound_q);
+
+        let idle = env.declare("IdleH", 0);
+        env.set_body(idle, act([] as [(Res, Expr); 0], invoke(idle, [])));
+        let gap = env.declare("Gap", 1);
+        env.set_body(
+            gap,
+            choice([
+                acsr::guard(
+                    acsr::BExpr::gt(Expr::p(0), Expr::c(0)),
+                    act(
+                        [] as [(Res, Expr); 0],
+                        invoke(gap, [Expr::p(0).sub(Expr::c(1))]),
+                    ),
+                ),
+                acsr::guard(
+                    acsr::BExpr::eq(Expr::p(0), Expr::c(0)),
+                    evt_send(end, 1, invoke(idle, [])),
+                ),
+            ]),
+        );
+        let driver = evt_send(start, 1, invoke(gap, [Expr::c(gap_q)]));
+        let sys = restrict(par([invoke(obs, []), driver]), [start, end]);
+        (env, sys)
+    }
+
+    #[test]
+    fn within_bound_is_deadlock_free() {
+        let (env, sys) = harness(5, 3);
+        let ex = explore(&env, &sys, &Options::default());
+        assert!(ex.deadlock_free());
+    }
+
+    #[test]
+    fn at_exactly_the_bound_is_allowed() {
+        let (env, sys) = harness(5, 5);
+        let ex = explore(&env, &sys, &Options::default());
+        assert!(ex.deadlock_free());
+    }
+
+    #[test]
+    fn beyond_the_bound_deadlocks() {
+        let (env, sys) = harness(5, 6);
+        let ex = explore(&env, &sys, &Options::default());
+        assert_eq!(ex.deadlocks.len(), 1);
+        // Deadlock at the bound: 1 start + 5 quanta.
+        let t = ex.first_deadlock_trace().unwrap();
+        assert_eq!(t.elapsed_quanta(), 5);
+    }
+
+    #[test]
+    fn stray_end_probe_is_absorbed() {
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let start = Symbol::new("obs1_start_t");
+        let end = Symbol::new("obs1_end_t");
+        let obs = build_observer(&mut env, &mut nm, 1, start, end, 3);
+        let idle = env.declare("IdleS", 0);
+        env.set_body(idle, act([] as [(Res, Expr); 0], invoke(idle, [])));
+        // Driver emits only end.
+        let driver = evt_send(end, 1, invoke(idle, []));
+        let sys = restrict(par([invoke(obs, []), driver]), [start, end]);
+        let ex = explore(&env, &sys, &Options::default());
+        assert!(ex.deadlock_free());
+    }
+}

@@ -1,0 +1,286 @@
+//! The discrete-time abstraction of §4.1.
+//!
+//! > We assume that time is discrete. That is, time is partitioned into
+//! > fixed-size scheduling quanta and all scheduling decisions are made at
+//! > quantum boundaries. […] As a result of this assumption, analysis will
+//! > overapproximate timing behavior of a thread and may result in false
+//! > reports of deadline violations. Precision of the timing analysis can be
+//! > improved by making scheduling quanta smaller, which tends to increase
+//! > the size of the state space that needs to be explored.
+//!
+//! The quantum is taken from the extension property `Scheduling_Quantum` on
+//! the root instance when present, and otherwise defaults to the GCD of every
+//! timing property in the model (the finest quantum that represents all
+//! values exactly). Conversions round **conservatively**: worst-case
+//! execution times round up, best-case execution times round down (widening
+//! the nondeterministic execution-time window), deadlines round down, and
+//! periods round down (more frequent dispatches) — so a "schedulable" verdict
+//! at any quantum is trustworthy, while an "unschedulable" verdict at a
+//! coarse quantum may be a false report that a finer quantum refutes
+//! (experiment Q1 measures exactly this trade-off).
+
+use aadl::instance::{CompId, InstanceModel};
+use aadl::properties::{names, DispatchProtocol, TimeVal};
+
+use crate::translate::TranslateError;
+
+/// Gcd helper over picosecond magnitudes.
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Derive the scheduling quantum (in picoseconds) for a model: the
+/// `Scheduling_Quantum` property of the root instance if present, otherwise
+/// the GCD of all periods, deadlines and execution-time bounds of all
+/// threads, devices and latency bounds.
+pub fn derive_quantum(model: &InstanceModel) -> Result<i64, TranslateError> {
+    let root = model.component(model.root());
+    if let Some(q) = root
+        .properties
+        .get(names::SCHEDULING_QUANTUM)
+        .and_then(|v| v.as_time())
+    {
+        if q.as_ps() <= 0 {
+            return Err(TranslateError::Quantum(format!(
+                "Scheduling_Quantum must be positive, got {q}"
+            )));
+        }
+        return Ok(q.as_ps());
+    }
+    let mut g: i64 = 0;
+    let mut fold = |t: TimeVal| g = gcd(g, t.as_ps());
+    for c in model.components() {
+        if let Some(p) = c.properties.period() {
+            fold(p);
+        }
+        if let Some(d) = c.properties.compute_deadline() {
+            fold(d);
+        }
+        if let Some((lo, hi)) = c.properties.compute_execution_time() {
+            fold(lo);
+            fold(hi);
+        }
+    }
+    if g <= 0 {
+        return Err(TranslateError::Quantum(
+            "no timing properties found to derive a scheduling quantum from".into(),
+        ));
+    }
+    Ok(g)
+}
+
+/// A thread's timing parameters, converted to quanta.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadTiming {
+    /// Dispatch protocol.
+    pub dispatch: DispatchProtocol,
+    /// Period / minimum separation in quanta (periodic and sporadic threads).
+    pub period_q: Option<i64>,
+    /// Best-case execution time in quanta (≥ 1).
+    pub cmin_q: i64,
+    /// Worst-case execution time in quanta (≥ cmin).
+    pub cmax_q: i64,
+    /// Deadline in quanta (absent only for background threads).
+    pub deadline_q: Option<i64>,
+    /// Explicit priority (HPF).
+    pub priority: Option<i64>,
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// Convert a thread's timing properties to quanta with the conservative
+/// rounding documented in the module docs. The §4.1 assumptions must have
+/// been validated beforehand; missing properties are reported as
+/// [`TranslateError::Unsupported`] rather than panicking.
+pub fn thread_timing(
+    model: &InstanceModel,
+    thread: CompId,
+    quantum_ps: i64,
+) -> Result<ThreadTiming, TranslateError> {
+    let t = model.component(thread);
+    let path = t.display_path();
+    let dispatch = t.properties.dispatch_protocol().ok_or_else(|| {
+        TranslateError::Unsupported(format!("thread `{path}` has no Dispatch_Protocol"))
+    })?;
+    let (lo, hi) = t.properties.compute_execution_time().ok_or_else(|| {
+        TranslateError::Unsupported(format!("thread `{path}` has no Compute_Execution_Time"))
+    })?;
+    let cmin_q = (lo.as_ps() / quantum_ps).max(1);
+    let cmax_q = ceil_div(hi.as_ps(), quantum_ps).max(cmin_q);
+
+    let deadline_q = match t.properties.compute_deadline() {
+        Some(d) => Some((d.as_ps() / quantum_ps).max(1)),
+        None if dispatch == DispatchProtocol::Background => None,
+        None => {
+            return Err(TranslateError::Unsupported(format!(
+                "thread `{path}` has no Compute_Deadline"
+            )))
+        }
+    };
+    let period_q = t
+        .properties
+        .period()
+        .map(|p| (p.as_ps() / quantum_ps).max(1));
+    if matches!(
+        dispatch,
+        DispatchProtocol::Periodic | DispatchProtocol::Sporadic
+    ) && period_q.is_none()
+    {
+        return Err(TranslateError::Unsupported(format!(
+            "{dispatch} thread `{path}` has no Period"
+        )));
+    }
+    // The dispatcher of Fig. 6 nests the deadline scope inside the period
+    // scope, which requires d ≤ p.
+    if let (Some(d), Some(p)) = (deadline_q, period_q) {
+        if dispatch != DispatchProtocol::Aperiodic && d > p {
+            return Err(TranslateError::Unsupported(format!(
+                "thread `{path}`: Compute_Deadline ({d} quanta) exceeds Period ({p} quanta); \
+                 the Fig. 6 dispatcher requires deadline ≤ period"
+            )));
+        }
+    }
+    Ok(ThreadTiming {
+        dispatch,
+        period_q,
+        cmin_q,
+        cmax_q,
+        deadline_q,
+        priority: t.properties.priority(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadl::builder::PackageBuilder;
+    use aadl::instance::instantiate;
+    use aadl::model::Category;
+    use aadl::properties::{PropertyValue, TimeUnit};
+
+    fn one_thread(period_ms: i64, lo_ms: i64, hi_ms: i64, dl_ms: i64) -> InstanceModel {
+        let pkg = PackageBuilder::new("Q")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(period_ms),
+                (TimeVal::ms(lo_ms), TimeVal::ms(hi_ms)),
+                TimeVal::ms(dl_ms),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+            })
+            .build();
+        instantiate(&pkg, "Top.impl").unwrap()
+    }
+
+    #[test]
+    fn quantum_is_gcd_of_timing() {
+        let m = one_thread(50, 5, 10, 50);
+        let q = derive_quantum(&m).unwrap();
+        assert_eq!(q, TimeVal::ms(5).as_ps());
+    }
+
+    #[test]
+    fn explicit_quantum_overrides_gcd() {
+        let pkg = PackageBuilder::new("Q2")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(50),
+                (TimeVal::ms(5), TimeVal::ms(10)),
+                TimeVal::ms(50),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .prop(
+                        names::SCHEDULING_QUANTUM,
+                        PropertyValue::Time(TimeVal::ms(10)),
+                    )
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert_eq!(derive_quantum(&m).unwrap(), TimeVal::ms(10).as_ps());
+    }
+
+    #[test]
+    fn thread_timing_converts_exactly_at_fine_quantum() {
+        let m = one_thread(50, 5, 10, 50);
+        let tid = m.find("t").unwrap();
+        let tt = thread_timing(&m, tid, TimeVal::ms(5).as_ps()).unwrap();
+        assert_eq!(tt.period_q, Some(10));
+        assert_eq!(tt.cmin_q, 1);
+        assert_eq!(tt.cmax_q, 2);
+        assert_eq!(tt.deadline_q, Some(10));
+    }
+
+    #[test]
+    fn coarse_quantum_rounds_conservatively() {
+        // quantum 4 ms: period 50 → 12 (floor), cmin 5 → 1 (floor),
+        // cmax 10 → 3 (ceil), deadline 50 → 12 (floor).
+        let m = one_thread(50, 5, 10, 50);
+        let tid = m.find("t").unwrap();
+        let tt = thread_timing(&m, tid, TimeVal::new(4, TimeUnit::Ms).as_ps()).unwrap();
+        assert_eq!(tt.period_q, Some(12));
+        assert_eq!(tt.cmin_q, 1);
+        assert_eq!(tt.cmax_q, 3);
+        assert_eq!(tt.deadline_q, Some(12));
+    }
+
+    #[test]
+    fn tiny_execution_time_still_takes_one_quantum() {
+        let m = one_thread(50, 5, 10, 50);
+        let tid = m.find("t").unwrap();
+        // Huge quantum: everything collapses but stays ≥ 1 / ordered.
+        let tt = thread_timing(&m, tid, TimeVal::ms(40).as_ps()).unwrap();
+        assert_eq!(tt.cmin_q, 1);
+        assert_eq!(tt.cmax_q, 1);
+        assert_eq!(tt.period_q, Some(1));
+        assert_eq!(tt.deadline_q, Some(1));
+    }
+
+    #[test]
+    fn deadline_beyond_period_is_rejected() {
+        let m = one_thread(50, 5, 10, 80); // d > p
+        let tid = m.find("t").unwrap();
+        let err = thread_timing(&m, tid, TimeVal::ms(5).as_ps()).unwrap_err();
+        assert!(matches!(err, TranslateError::Unsupported(_)));
+    }
+
+    #[test]
+    fn zero_quantum_rejected() {
+        let pkg = PackageBuilder::new("Z")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .periodic_thread(
+                "T",
+                TimeVal::ms(50),
+                (TimeVal::ms(5), TimeVal::ms(10)),
+                TimeVal::ms(50),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .prop(
+                        names::SCHEDULING_QUANTUM,
+                        PropertyValue::Time(TimeVal::ms(0)),
+                    )
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(derive_quantum(&m).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Queue processes for semantic event / event-data connections (§4.4).
+//!
+//! > The queue of a connection e is represented by a counter ACSR process E
+//! > that counts up to the number specified by the Queue_Size property of the
+//! > last port of the connection. Queue size of 1 is assumed if the property
+//! > is not specified. The counter is sufficient for the representation of
+//! > the queue, since we do not model the attributes of individual events.
+//!
+//! The counter is incremented by the input event `e_q` (sent by the source
+//! thread) and decremented by the output event `e_deq` (received by the
+//! destination thread's dispatcher). On overflow, the
+//! `Overflow_Handling_Protocol` of the port decides: `DropNewest` /
+//! `DropOldest` quietly drop (a self-loop — indistinguishable in the counter
+//! abstraction), while `Error` moves the queue to an error state: a deadlock
+//! distinguishable in diagnostics.
+
+use acsr::{
+    act, choice, evt_recv, evt_send, guard, invoke, nil, BExpr, Env, Expr, Res, Symbol,
+};
+
+use aadl::properties::OverflowHandlingProtocol;
+
+use crate::names::{ConnNames, DefMeaning, EventMeaning, NameMap};
+
+/// Declare and define the queue process of semantic connection `conn_idx`,
+/// returning its names. `urgency` is the priority of the dequeue
+/// communication (§4.3).
+pub fn build_queue(
+    env: &mut Env,
+    nm: &mut NameMap,
+    conn_idx: usize,
+    stem: &str,
+    size: i64,
+    overflow: OverflowHandlingProtocol,
+    urgency: i64,
+) -> ConnNames {
+    let size = size.max(1);
+    let enqueue = Symbol::new(&format!("q_{stem}"));
+    let dequeue = Symbol::new(&format!("deq_{stem}"));
+    nm.add_event(enqueue, EventMeaning::Enqueue(conn_idx));
+    nm.add_event(dequeue, EventMeaning::Dequeue(conn_idx));
+
+    let queue_def = env.declare(&format!("Queue_{stem}"), 1);
+    let n = Expr::p(0);
+
+    let mut alts = vec![
+        // Time may always pass.
+        act([] as [(Res, Expr); 0], invoke(queue_def, [n.clone()])),
+        // Dequeue when non-empty.
+        guard(
+            BExpr::gt(n.clone(), Expr::c(0)),
+            evt_send(
+                dequeue,
+                urgency,
+                invoke(queue_def, [n.clone().sub(Expr::c(1))]),
+            ),
+        ),
+    ];
+
+    let error_def = match overflow {
+        OverflowHandlingProtocol::Error => {
+            let err = env.define(&format!("QErr_{stem}"), 0, nil());
+            nm.add_def(err, DefMeaning::QueueError(conn_idx));
+            // Enqueue below capacity… (receive priority 0: the τ's urgency
+            // comes from the sender — completion-instant sends are urgent,
+            // nondeterministic anytime/free-device raises are not, which
+            // keeps saturated-queue τ self-loops from stopping time)
+            alts.push(guard(
+                BExpr::lt(n.clone(), Expr::c(size)),
+                evt_recv(enqueue, 0, invoke(queue_def, [n.clone().add(Expr::c(1))])),
+            ));
+            // …or overflow into the error state.
+            alts.push(guard(
+                BExpr::ge(n.clone(), Expr::c(size)),
+                evt_recv(enqueue, 0, invoke(err, [])),
+            ));
+            Some(err)
+        }
+        OverflowHandlingProtocol::DropNewest | OverflowHandlingProtocol::DropOldest => {
+            // Saturating enqueue: `min(n + 1, size)`. Receive priority 0 —
+            // see the Error branch comment.
+            alts.push(evt_recv(
+                enqueue,
+                0,
+                invoke(queue_def, [n.clone().add(Expr::c(1)).min(Expr::c(size))]),
+            ));
+            None
+        }
+    };
+
+    env.set_body(queue_def, choice(alts));
+    ConnNames {
+        conn: conn_idx,
+        enqueue,
+        dequeue,
+        queue_def,
+        error_def,
+    }
+}
+
+/// The initial (empty) queue process.
+pub fn initial_queue(names: &ConnNames) -> acsr::P {
+    invoke(names.queue_def, [Expr::c(0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::{steps, Dir, Label, P};
+
+    fn build(size: i64, overflow: OverflowHandlingProtocol) -> (Env, NameMap, ConnNames) {
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let names = build_queue(
+            &mut env,
+            &mut nm,
+            0,
+            &format!("c{}_{:?}", size, overflow),
+            size,
+            overflow,
+            2,
+        );
+        (env, nm, names)
+    }
+
+    fn enqueue_step(env: &Env, p: &P, enqueue: Symbol) -> P {
+        let s = steps(env, p);
+        s.iter()
+            .find(|(l, _)| matches!(l, Label::E { label, dir: Dir::Recv, .. } if *label == enqueue))
+            .expect("enqueue offered")
+            .1
+            .clone()
+    }
+
+    #[test]
+    fn counts_up_and_down() {
+        let (env, _nm, names) = build(2, OverflowHandlingProtocol::DropNewest);
+        let q0 = initial_queue(&names);
+        // Empty: no dequeue offered.
+        let s = steps(&env, &q0);
+        assert!(!s
+            .iter()
+            .any(|(l, _)| matches!(l, Label::E { dir: Dir::Send, .. })));
+        let q1 = enqueue_step(&env, &q0, names.enqueue);
+        // Non-empty: dequeue offered with the urgency priority.
+        let s = steps(&env, &q1);
+        let deq = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { dir: Dir::Send, .. }))
+            .expect("dequeue offered");
+        assert!(matches!(deq.0, Label::E { prio: 2, .. }));
+        // After dequeue, the queue is empty again.
+        assert_eq!(deq.1, q0);
+    }
+
+    #[test]
+    fn drop_newest_saturates() {
+        let (env, _nm, names) = build(1, OverflowHandlingProtocol::DropNewest);
+        let q0 = initial_queue(&names);
+        let q1 = enqueue_step(&env, &q0, names.enqueue);
+        let q2 = enqueue_step(&env, &q1, names.enqueue);
+        // Saturated: the overflowing enqueue is a self-loop.
+        assert_eq!(q1, q2);
+        assert!(names.error_def.is_none());
+    }
+
+    #[test]
+    fn error_protocol_deadlocks_on_overflow() {
+        let (env, nm, names) = build(1, OverflowHandlingProtocol::Error);
+        let q0 = initial_queue(&names);
+        let q1 = enqueue_step(&env, &q0, names.enqueue);
+        let q2 = enqueue_step(&env, &q1, names.enqueue);
+        // The error state has no steps at all: it blocks global time.
+        assert!(steps(&env, &q2).is_empty());
+        let err = names.error_def.unwrap();
+        assert_eq!(nm.def(err), Some(DefMeaning::QueueError(0)));
+        assert_eq!(q2, invoke(err, []));
+    }
+
+    #[test]
+    fn queue_always_lets_time_pass_until_error() {
+        let (env, _nm, names) = build(3, OverflowHandlingProtocol::Error);
+        let mut q = initial_queue(&names);
+        for _ in 0..3 {
+            let s = steps(&env, &q);
+            assert!(s.iter().any(|(l, _)| l.is_timed()), "idle step offered");
+            q = enqueue_step(&env, &q, names.enqueue);
+        }
+    }
+
+    #[test]
+    fn event_meanings_registered() {
+        let (_env, nm, names) = build(2, OverflowHandlingProtocol::DropNewest);
+        assert_eq!(nm.event(names.enqueue), Some(EventMeaning::Enqueue(0)));
+        assert_eq!(nm.event(names.dequeue), Some(EventMeaning::Dequeue(0)));
+    }
+
+    #[test]
+    fn size_defaults_to_at_least_one() {
+        let (env, _nm, names) = build(0, OverflowHandlingProtocol::Error);
+        let q0 = initial_queue(&names);
+        // Size clamped to 1: one enqueue fits.
+        let q1 = enqueue_step(&env, &q0, names.enqueue);
+        assert_ne!(q0, q1);
+    }
+}

@@ -1,0 +1,330 @@
+//! The thread skeleton of Fig. 4.
+//!
+//! The full semantic automaton of the AADL standard contains activation,
+//! deactivation, finalization and recovery subprocesses; per §4.2, for
+//! single-mode models — the only ones the paper's translation covers —
+//! `ThreadActivate`/`ThreadDeactivate` are absent, and with instantaneous
+//! initialization the skeleton reduces to the dispatch cycle:
+//!
+//! ```text
+//! AwaitDispatch --dispatch?--> [ Compute ]Δ^deadline --done!--> AwaitDispatch
+//!                                   │ timeout
+//!                                   ▼
+//!                               Violation (deadlocks the model)
+//! ```
+//!
+//! * `AwaitDispatch` idles (time may pass) while offering the `dispatch?`
+//!   event to its dispatcher.
+//! * The computation runs inside a temporal scope bounded by the thread's
+//!   deadline (Fig. 4's `computeDeadline` timeout into `Violation`); the
+//!   scope's exception exit is the `done` event, returning to
+//!   `AwaitDispatch`.
+//! * Background threads are "dispatched immediately upon initialization"
+//!   (§4.2, dashed edges of Fig. 4) and have no deadline: their computation
+//!   runs unscoped and the thread halts after completion.
+//!
+//! In *compact* mode the skeleton scope is omitted — the dispatcher's own
+//! deadline scope (Fig. 6) already induces the deadlock — trading the
+//! faithful Fig. 4 structure for a smaller state space (the ablation of
+//! experiment Q1b).
+
+use aadl::instance::CompId;
+use aadl::properties::DispatchProtocol;
+use acsr::{act, choice, evt_recv, invoke, nil, scope, DefId, Env, Expr, Res, TimeBound};
+
+use crate::compute::{build_compute, initial_compute, ComputeSpec};
+use crate::names::{DefMeaning, NameMap};
+
+/// Everything needed to generate one thread's skeleton.
+pub struct SkeletonSpec<'a> {
+    /// The compute-process specification (Fig. 5 inputs).
+    pub compute: ComputeSpec<'a>,
+    /// Dispatch protocol (background threads skip the deadline scope).
+    pub dispatch_protocol: DispatchProtocol,
+    /// The `dispatch` event received from the dispatcher.
+    pub dispatch: acsr::Symbol,
+    /// Deadline in quanta (`None` for background threads).
+    pub deadline_q: Option<i64>,
+    /// Generate the faithful Fig. 4 deadline scope (`true`) or rely on the
+    /// dispatcher's deadline scope alone (`false`, compact mode).
+    pub faithful_scope: bool,
+    /// Shared idle definition (`Idle = {} : Idle`) for halted threads.
+    pub idle_def: DefId,
+}
+
+/// Generated skeleton definitions for one thread.
+pub struct SkeletonDefs {
+    /// `AwaitDispatch_<stem>` — the skeleton's initial state.
+    pub skel_def: DefId,
+    /// `Compute_<stem>`.
+    pub compute_def: DefId,
+    /// `Preempted_<stem>`.
+    pub preempted_def: DefId,
+    /// `Violation_<stem>` when the faithful scope is generated.
+    pub violation_def: Option<DefId>,
+}
+
+/// Declare and define the skeleton of a thread.
+pub fn build_skeleton(
+    env: &mut Env,
+    nm: &mut NameMap,
+    thread: CompId,
+    stem: &str,
+    mut spec: SkeletonSpec<'_>,
+) -> SkeletonDefs {
+    let skel_def = env.declare(&format!("AwaitDispatch_{stem}"), 0);
+    let background = spec.dispatch_protocol == DispatchProtocol::Background;
+    let scoped = spec.faithful_scope && spec.deadline_q.is_some() && !background;
+
+    // Where control goes after `done!`: swallowed by the scope's exception
+    // exit in faithful mode; explicit continuation otherwise.
+    spec.compute.after_done = if scoped {
+        nil()
+    } else if background {
+        invoke(spec.idle_def, [])
+    } else {
+        invoke(skel_def, [])
+    };
+
+    let (compute_def, preempted_def) = build_compute(env, nm, thread, stem, &spec.compute);
+    let enter = initial_compute(compute_def, spec.compute.track_elapsed);
+
+    let (computing, violation_def) = if scoped {
+        let violation_def = env.define(&format!("Violation_{stem}"), 0, nil());
+        nm.add_def(violation_def, DefMeaning::Violation(thread));
+        let d = spec.deadline_q.expect("scoped implies deadline");
+        (
+            scope(
+                enter,
+                TimeBound::Finite(Expr::c(d)),
+                Some((spec.compute.done, invoke(skel_def, []))),
+                Some(invoke(violation_def, [])),
+                None,
+            ),
+            Some(violation_def),
+        )
+    } else {
+        (enter, None)
+    };
+
+    // AwaitDispatch = {} : AwaitDispatch + (dispatch?, 1) . computing
+    env.set_body(
+        skel_def,
+        choice([
+            act([] as [(Res, Expr); 0], invoke(skel_def, [])),
+            evt_recv(spec.dispatch, 1, computing),
+        ]),
+    );
+
+    SkeletonDefs {
+        skel_def,
+        compute_def,
+        preempted_def,
+        violation_def,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PrioSpec;
+    use acsr::{par, prioritized_steps, restrict, steps, Label, Res, Symbol};
+
+    fn make(
+        stem: &str,
+        cmin: i64,
+        cmax: i64,
+        deadline: Option<i64>,
+        faithful: bool,
+        protocol: DispatchProtocol,
+        prio: &PrioSpec,
+    ) -> (Env, NameMap, SkeletonDefs, Symbol, Symbol) {
+        let mut env = Env::new();
+        let mut nm = NameMap::default();
+        let idle = env.declare("Idle", 0);
+        env.set_body(idle, act([] as [(Res, Expr); 0], invoke(idle, [])));
+        let dispatch = Symbol::new(&format!("dispatch_{stem}"));
+        let done = Symbol::new(&format!("done_{stem}"));
+        let spec = SkeletonSpec {
+            compute: ComputeSpec {
+                cpu: Res::new("cpu_skel"),
+                prio,
+                cmin_q: cmin,
+                cmax_q: cmax,
+                final_resources: vec![],
+                shared_resources: vec![],
+                sends: vec![],
+                anytime_sends: vec![],
+                done,
+                after_done: nil(),
+                track_elapsed: prio.needs_elapsed() || faithful,
+            },
+            dispatch_protocol: protocol,
+            dispatch,
+            deadline_q: deadline,
+            faithful_scope: faithful,
+            idle_def: idle,
+        };
+        let defs = build_skeleton(&mut env, &mut nm, CompId(0), stem, spec);
+        (env, nm, defs, dispatch, done)
+    }
+
+    #[test]
+    fn await_dispatch_idles_and_accepts_dispatch() {
+        let prio = PrioSpec::Static(2);
+        let (env, _nm, defs, dispatch, _) = make(
+            "s1",
+            1,
+            2,
+            Some(5),
+            true,
+            DispatchProtocol::Periodic,
+            &prio,
+        );
+        let p = invoke(defs.skel_def, []);
+        let s = steps(&env, &p);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().any(|(l, _)| l.is_timed()));
+        assert!(s
+            .iter()
+            .any(|(l, _)| matches!(l, Label::E { label, .. } if *label == dispatch)));
+    }
+
+    #[test]
+    fn faithful_skeleton_violates_at_deadline() {
+        // cmin = cmax = 3, deadline 2: can never finish ⇒ after the dispatch
+        // the thread deadlocks within 2 quanta.
+        let prio = PrioSpec::Static(2);
+        let (env, nm, defs, _dispatch, _) = make(
+            "s2",
+            3,
+            3,
+            Some(2),
+            true,
+            DispatchProtocol::Periodic,
+            &prio,
+        );
+        assert!(defs.violation_def.is_some());
+        assert_eq!(
+            nm.def(defs.violation_def.unwrap()),
+            Some(DefMeaning::Violation(CompId(0)))
+        );
+        // Drive: dispatch, then keep taking the (unique prioritized) compute
+        // step until stuck.
+        let p = invoke(defs.skel_def, []);
+        let s = steps(&env, &p);
+        let (_, after_dispatch) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { .. }))
+            .unwrap();
+        let mut cur = after_dispatch.clone();
+        let mut quanta = 0;
+        loop {
+            let succs = prioritized_steps(&env, &cur);
+            if succs.is_empty() {
+                break;
+            }
+            assert!(succs[0].0.is_timed());
+            cur = succs[0].1.clone();
+            quanta += 1;
+            assert!(quanta <= 2, "should deadlock by the deadline");
+        }
+        assert_eq!(quanta, 2);
+    }
+
+    #[test]
+    fn done_returns_to_await_dispatch() {
+        let prio = PrioSpec::Static(2);
+        let (env, _nm, defs, dispatch, done) = make(
+            "s3",
+            1,
+            1,
+            Some(3),
+            true,
+            DispatchProtocol::Periodic,
+            &prio,
+        );
+        // Pair the skeleton with a driver that dispatches then waits for done.
+        let driver = acsr::evt_send(
+            dispatch,
+            1,
+            choice([
+                act([] as [(Res, Expr); 0], nil()),
+                // after one quantum: accept done then stop
+            ]),
+        );
+        let _ = driver;
+        // Simpler: drive by hand. dispatch…
+        let p = invoke(defs.skel_def, []);
+        let s = steps(&env, &p);
+        let (_, in_scope) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { .. }))
+            .unwrap();
+        // one (final) compute quantum
+        let s = prioritized_steps(&env, in_scope);
+        let (_, after_final) = s.iter().find(|(l, _)| l.is_timed()).unwrap();
+        // done! exits the scope back to AwaitDispatch
+        let s = steps(&env, after_final);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(&s[0].0, Label::E { label, .. } if *label == done));
+        assert_eq!(s[0].1, invoke(defs.skel_def, []));
+    }
+
+    #[test]
+    fn compact_skeleton_has_no_scope_and_returns_via_chain() {
+        let prio = PrioSpec::Static(2);
+        let (env, _nm, defs, _dispatch, _done) = make(
+            "s4",
+            1,
+            1,
+            Some(3),
+            false,
+            DispatchProtocol::Periodic,
+            &prio,
+        );
+        assert!(defs.violation_def.is_none());
+        let p = invoke(defs.skel_def, []);
+        let s = steps(&env, &p);
+        let (_, computing) = s
+            .iter()
+            .find(|(l, _)| matches!(l, Label::E { .. }))
+            .unwrap();
+        let s = prioritized_steps(&env, computing);
+        let (_, after_final) = s.iter().find(|(l, _)| l.is_timed()).unwrap();
+        let s = steps(&env, after_final);
+        // done! leads straight back to AwaitDispatch.
+        assert_eq!(s[0].1, invoke(defs.skel_def, []));
+    }
+
+    #[test]
+    fn background_thread_halts_after_completion() {
+        let prio = PrioSpec::Static(1);
+        let (env, _nm, defs, dispatch, done) = make(
+            "s5",
+            2,
+            2,
+            None,
+            true, // requested faithful, but background never gets a scope
+            DispatchProtocol::Background,
+            &prio,
+        );
+        assert!(defs.violation_def.is_none());
+        // Compose with a background dispatcher surrogate: dispatch now, then
+        // idle forever, accepting done.
+        let mut env2 = env.clone();
+        let drv_idle = env2.declare("DrvIdle", 0);
+        env2.set_body(
+            drv_idle,
+            choice([
+                act([] as [(Res, Expr); 0], invoke(drv_idle, [])),
+                evt_recv(done, 1, invoke(drv_idle, [])),
+            ]),
+        );
+        let drv = acsr::evt_send(dispatch, 1, invoke(drv_idle, []));
+        let sys = restrict(par([invoke(defs.skel_def, []), drv]), [dispatch, done]);
+        // Explore: must be deadlock free (runs once, then idles forever).
+        let ex = versa::explore(&env2, &sys, &versa::Options::default());
+        assert!(ex.deadlock_free(), "background thread should halt cleanly");
+    }
+}

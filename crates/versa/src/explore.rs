@@ -1,0 +1,508 @@
+//! Breadth-first construction of the prioritized transition system.
+//!
+//! States are ground ACSR terms, interned into dense [`StateId`]s. The search
+//! is breadth-first so the first deadlock found yields a *shortest*
+//! counterexample — the most readable failing scenario to raise back to the
+//! AADL level.
+//!
+//! With [`Options::threads`] > 1 the expansion of each BFS level fans out over
+//! worker threads (successor computation — term manipulation and the Par3
+//! product — dominates the cost); interning the discovered states stays
+//! sequential and in frontier order, so exploration results are deterministic
+//! and identical to the sequential engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acsr::{prioritized_steps, Env, Label, P};
+use parking_lot::Mutex;
+
+use crate::lts::Lts;
+use crate::trace::Trace;
+
+/// Dense identifier of an interned state.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Exploration options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Abort after interning this many states (the exploration is then marked
+    /// [`Exploration::truncated`]).
+    pub max_states: usize,
+    /// Stop as soon as the first deadlock is interned (its trace is still
+    /// shortest: BFS order guarantees no shorter deadlock exists).
+    pub stop_at_first_deadlock: bool,
+    /// Record the full labelled transition relation (needed for [`Lts`]
+    /// export; costs memory proportional to the number of transitions).
+    pub collect_lts: bool,
+    /// Worker threads for frontier expansion; `0` or `1` means sequential.
+    pub threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_states: usize::MAX,
+            stop_at_first_deadlock: false,
+            collect_lts: false,
+            threads: 1,
+        }
+    }
+}
+
+impl Options {
+    /// Preset for schedulability verdicts: stop at the first deadlock.
+    pub fn verdict() -> Options {
+        Options {
+            stop_at_first_deadlock: true,
+            ..Options::default()
+        }
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Options {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the state budget.
+    pub fn with_max_states(mut self, max: usize) -> Options {
+        self.max_states = max;
+        self
+    }
+}
+
+/// Aggregate statistics of one exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Number of interned states.
+    pub states: usize,
+    /// Number of transitions traversed (post-prioritization).
+    pub transitions: usize,
+    /// Number of deadlocked states found.
+    pub deadlocks: usize,
+    /// Largest BFS frontier encountered.
+    pub peak_frontier: usize,
+    /// Number of BFS levels expanded (the depth reached).
+    pub levels: usize,
+    /// Wall-clock duration of the exploration.
+    pub duration: Duration,
+}
+
+/// The result of exploring a model.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    states: Vec<P>,
+    /// Predecessor of each state in BFS order (`None` for the initial state).
+    parents: Vec<Option<(StateId, Label)>>,
+    /// Deadlocked states (no outgoing prioritized transitions), in discovery
+    /// order.
+    pub deadlocks: Vec<StateId>,
+    /// The labelled transition relation, when requested.
+    pub lts: Option<Lts>,
+    /// Run statistics.
+    pub stats: Stats,
+    /// True when `max_states` stopped the search before exhausting the space.
+    pub truncated: bool,
+}
+
+impl Exploration {
+    /// The initial state (always id 0).
+    pub fn initial(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// Number of interned states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The term of a state.
+    pub fn state(&self, id: StateId) -> &P {
+        &self.states[id.index()]
+    }
+
+    /// True iff no deadlock was found (and the exploration completed).
+    pub fn deadlock_free(&self) -> bool {
+        self.deadlocks.is_empty() && !self.truncated
+    }
+
+    /// Reconstruct the (shortest) trace from the initial state to `target`.
+    pub fn trace_to(&self, target: StateId) -> Trace {
+        let mut rev: Vec<(StateId, Label)> = Vec::new();
+        let mut cur = target;
+        while let Some((parent, label)) = &self.parents[cur.index()] {
+            rev.push((cur, label.clone()));
+            cur = *parent;
+        }
+        rev.reverse();
+        Trace {
+            initial: StateId(0),
+            steps: rev
+                .into_iter()
+                .map(|(to, label)| (label, to))
+                .collect(),
+            states: self.states.clone(),
+        }
+    }
+
+    /// The trace to the first deadlock found, if any.
+    pub fn first_deadlock_trace(&self) -> Option<Trace> {
+        self.deadlocks.first().map(|&d| self.trace_to(d))
+    }
+
+    /// All states whose term satisfies `pred`, in BFS (shortest-distance)
+    /// order. Useful for reachability queries beyond deadlock detection —
+    /// e.g. "is any state with the queue at capacity reachable?".
+    pub fn find_states(&self, mut pred: impl FnMut(&P) -> bool) -> Vec<StateId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| pred(p))
+            .map(|(i, _)| StateId(i as u32))
+            .collect()
+    }
+
+    /// BFS depth of a state: the number of steps on its shortest trace.
+    pub fn depth_of(&self, id: StateId) -> usize {
+        let mut depth = 0;
+        let mut cur = id;
+        while let Some((parent, _)) = &self.parents[cur.index()] {
+            depth += 1;
+            cur = *parent;
+        }
+        depth
+    }
+}
+
+/// Explore the prioritized transition system of `initial` under `env`.
+pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
+    let start = Instant::now();
+    let mut interner: HashMap<P, StateId> = HashMap::new();
+    let mut states: Vec<P> = Vec::new();
+    let mut parents: Vec<Option<(StateId, Label)>> = Vec::new();
+    let mut deadlocks: Vec<StateId> = Vec::new();
+    let mut lts_transitions: Vec<Vec<(Label, StateId)>> = Vec::new();
+    let mut stats = Stats::default();
+    let mut truncated = false;
+
+    let intern = |p: P,
+                      parent: Option<(StateId, Label)>,
+                      interner: &mut HashMap<P, StateId>,
+                      states: &mut Vec<P>,
+                      parents: &mut Vec<Option<(StateId, Label)>>|
+     -> (StateId, bool) {
+        if let Some(&id) = interner.get(&p) {
+            return (id, false);
+        }
+        let id = StateId(u32::try_from(states.len()).expect("state id overflow"));
+        interner.insert(p.clone(), id);
+        states.push(p);
+        parents.push(parent);
+        (id, true)
+    };
+
+    let (root, _) = intern(
+        initial.clone(),
+        None,
+        &mut interner,
+        &mut states,
+        &mut parents,
+    );
+    let mut frontier: Vec<StateId> = vec![root];
+    let threads = opts.threads.max(1);
+
+    'bfs: while !frontier.is_empty() {
+        stats.levels += 1;
+        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+
+        // Expand the whole level: successor lists in frontier order. Spawning
+        // workers only pays off on wide frontiers; narrow levels (including
+        // the common startup ramp) run sequentially.
+        let expanded: Vec<Vec<(Label, P)>> = if threads > 1 && frontier.len() >= 4 * threads {
+            expand_parallel(env, &states, &frontier, threads)
+        } else {
+            frontier
+                .iter()
+                .map(|id| prioritized_steps(env, &states[id.index()]))
+                .collect()
+        };
+
+        let mut next: Vec<StateId> = Vec::new();
+        for (&id, succs) in frontier.iter().zip(&expanded) {
+            if succs.is_empty() {
+                deadlocks.push(id);
+                stats.deadlocks += 1;
+                if opts.stop_at_first_deadlock {
+                    break 'bfs;
+                }
+            }
+            if opts.collect_lts && lts_transitions.len() <= id.index() {
+                lts_transitions.resize(id.index() + 1, Vec::new());
+            }
+            for (label, succ) in succs {
+                stats.transitions += 1;
+                let (sid, fresh) = intern(
+                    succ.clone(),
+                    Some((id, label.clone())),
+                    &mut interner,
+                    &mut states,
+                    &mut parents,
+                );
+                if opts.collect_lts {
+                    lts_transitions[id.index()].push((label.clone(), sid));
+                }
+                if fresh {
+                    next.push(sid);
+                }
+            }
+            if states.len() >= opts.max_states {
+                truncated = true;
+                break 'bfs;
+            }
+        }
+        frontier = next;
+    }
+
+    stats.states = states.len();
+    stats.duration = start.elapsed();
+    let lts = opts.collect_lts.then(|| {
+        lts_transitions.resize(states.len(), Vec::new());
+        Lts {
+            initial: root,
+            transitions: lts_transitions,
+        }
+    });
+    Exploration {
+        states,
+        parents,
+        deadlocks,
+        lts,
+        stats,
+        truncated,
+    }
+}
+
+/// Expand one BFS level in parallel: chunk the frontier over `threads`
+/// workers; each computes the prioritized successors of its chunk. The output
+/// preserves frontier order, making the parallel engine's results identical to
+/// the sequential one.
+fn expand_parallel(
+    env: &Env,
+    states: &[P],
+    frontier: &[StateId],
+    threads: usize,
+) -> Vec<Vec<(Label, P)>> {
+    let chunk = frontier.len().div_ceil(threads);
+    type ChunkResult = Vec<Vec<(Label, P)>>;
+    let out: Mutex<Vec<(usize, ChunkResult)>> = Mutex::new(Vec::with_capacity(threads));
+    crossbeam::thread::scope(|s| {
+        for (ci, ids) in frontier.chunks(chunk).enumerate() {
+            let out = &out;
+            s.spawn(move |_| {
+                let local: Vec<Vec<(Label, P)>> = ids
+                    .iter()
+                    .map(|id| prioritized_steps(env, &states[id.index()]))
+                    .collect();
+                out.lock().push((ci, local));
+            });
+        }
+    })
+    .expect("worker thread panicked during frontier expansion");
+    let mut chunks = out.into_inner();
+    chunks.sort_unstable_by_key(|(ci, _)| *ci);
+    chunks.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// Convenience: explore and return whether the model is deadlock-free
+/// together with the exploration (used by the schedulability front end).
+pub fn deadlock_free(env: &Env, initial: &P, opts: &Options) -> (bool, Exploration) {
+    let ex = explore(env, initial, opts);
+    (ex.deadlock_free(), ex)
+}
+
+/// Keep `Arc` in the public signature out of rustdoc's way.
+#[doc(hidden)]
+pub type State = Arc<acsr::Proc>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::prelude::*;
+
+    fn cpu() -> Res {
+        Res::new("cpu")
+    }
+
+    /// P = {(cpu,1)} : P — a one-state loop.
+    fn looping(env: &mut Env) -> P {
+        let d = env.declare("Looper", 0);
+        env.set_body(d, act([(cpu(), 1)], invoke(d, [])));
+        invoke(d, [])
+    }
+
+    #[test]
+    fn loop_explores_to_fixpoint() {
+        let mut env = Env::new();
+        let p = looping(&mut env);
+        let ex = explore(&env, &p, &Options::default());
+        // Invoke state + its unfolding successor (the invocation again) — the
+        // residual of the prefix is the invocation, so there is exactly 1 state.
+        assert_eq!(ex.num_states(), 1);
+        assert!(ex.deadlock_free());
+        assert_eq!(ex.stats.transitions, 1);
+    }
+
+    #[test]
+    fn finite_process_deadlocks_at_the_end() {
+        let env = Env::new();
+        let p = act([(cpu(), 1)], act([(cpu(), 1)], nil()));
+        let ex = explore(&env, &p, &Options::default());
+        assert_eq!(ex.num_states(), 3);
+        assert_eq!(ex.deadlocks.len(), 1);
+        let t = ex.first_deadlock_trace().unwrap();
+        assert_eq!(t.steps.len(), 2);
+        assert!(t.steps.iter().all(|(l, _)| l.is_timed()));
+    }
+
+    #[test]
+    fn bfs_finds_shortest_deadlock() {
+        let env = Env::new();
+        // Choice between a 1-step path to NIL and a 3-step path to NIL.
+        let long = act([(cpu(), 1)], act([(cpu(), 2)], act([(cpu(), 3)], nil())));
+        let short = act([(Res::new("bus"), 1)], nil());
+        let p = choice([long, short]);
+        let ex = explore(&env, &p, &Options::default());
+        let t = ex.first_deadlock_trace().unwrap();
+        assert_eq!(t.steps.len(), 1);
+    }
+
+    #[test]
+    fn stop_at_first_deadlock_stops_early() {
+        let env = Env::new();
+        let p = choice([
+            act([(cpu(), 1)], nil()),
+            act([(Res::new("bus"), 1)], act([(cpu(), 1)], nil())),
+        ]);
+        let ex = explore(&env, &p, &Options::verdict());
+        assert_eq!(ex.deadlocks.len(), 1);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let mut env = Env::new();
+        // Counter that never repeats a state: C(n) = {(cpu,1)}:C(n+1).
+        let d = env.declare("Counter", 1);
+        env.set_body(
+            d,
+            act([(cpu(), 1)], invoke(d, [Expr::p(0).add(Expr::c(1))])),
+        );
+        let p = invoke(d, [Expr::c(0)]);
+        let ex = explore(&env, &p, &Options::default().with_max_states(100));
+        assert!(ex.truncated);
+        assert_eq!(ex.num_states(), 100);
+        assert!(!ex.deadlock_free());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut env = Env::new();
+        // Two counters modulo different bases in parallel: product space.
+        let c1 = env.declare("C1", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(6)),
+                    act([(cpu(), 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                ),
+                guard(
+                    BExpr::eq(Expr::p(0), Expr::c(6)),
+                    act([(cpu(), 1)], invoke(c1, [Expr::c(0)])),
+                ),
+            ]),
+        );
+        let c2 = env.declare("C2", 1);
+        env.set_body(
+            c2,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(4)),
+                    act([(Res::new("bus"), 1)], invoke(c2, [Expr::p(0).add(Expr::c(1))])),
+                ),
+                guard(
+                    BExpr::eq(Expr::p(0), Expr::c(4)),
+                    act([(Res::new("bus"), 1)], invoke(c2, [Expr::c(0)])),
+                ),
+            ]),
+        );
+        let p = par([invoke(c1, [Expr::c(0)]), invoke(c2, [Expr::c(0)])]);
+        let seq = explore(&env, &p, &Options::default());
+        let par4 = explore(&env, &p, &Options::default().with_threads(4));
+        assert_eq!(seq.num_states(), par4.num_states());
+        assert_eq!(seq.stats.transitions, par4.stats.transitions);
+        assert_eq!(seq.deadlocks, par4.deadlocks);
+        // State tables must be identical (determinism).
+        for i in 0..seq.num_states() {
+            assert_eq!(
+                seq.state(StateId(i as u32)),
+                par4.state(StateId(i as u32))
+            );
+        }
+        // lcm(7, 5) = 35 product states.
+        assert_eq!(seq.num_states(), 35);
+    }
+
+    #[test]
+    fn lts_collection_matches_transition_count() {
+        let env = Env::new();
+        let p = choice([
+            act([(cpu(), 1)], nil()),
+            evt_send(Symbol::new("go"), 1, nil()),
+        ]);
+        let opts = Options {
+            collect_lts: true,
+            ..Options::default()
+        };
+        let ex = explore(&env, &p, &opts);
+        let lts = ex.lts.as_ref().unwrap();
+        let total: usize = lts.transitions.iter().map(Vec::len).sum();
+        assert_eq!(total, ex.stats.transitions);
+        assert_eq!(lts.transitions.len(), ex.num_states());
+    }
+
+    #[test]
+    fn find_states_and_depth() {
+        let env = Env::new();
+        let p = act(
+            [(cpu(), 1)],
+            act([(cpu(), 2)], act([(cpu(), 3)], nil())),
+        );
+        let ex = explore(&env, &p, &Options::default());
+        let nils = ex.find_states(|st| matches!(&**st, acsr::Proc::Nil));
+        assert_eq!(nils.len(), 1);
+        assert_eq!(ex.depth_of(nils[0]), 3);
+        assert_eq!(ex.depth_of(ex.initial()), 0);
+        let all = ex.find_states(|_| true);
+        assert_eq!(all.len(), ex.num_states());
+    }
+
+    #[test]
+    fn stats_track_levels_and_frontier() {
+        let env = Env::new();
+        let p = act([(cpu(), 1)], act([(cpu(), 1)], nil()));
+        let ex = explore(&env, &p, &Options::default());
+        assert_eq!(ex.stats.levels, 3); // two expansions + the deadlocked leaf
+        assert!(ex.stats.peak_frontier >= 1);
+        assert_eq!(ex.stats.states, 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! # versa — state-space exploration for ACSR models
+//!
+//! A from-scratch reimplementation of the role the VERSA tool (Clarke, Lee,
+//! Xie 1995) plays in the paper *Schedulability Analysis of AADL Models*
+//! (Sokolsky, Lee, Clarke; IPDPS 2006, §5):
+//!
+//! > Since the schedulability problem is reduced in ACSR to the problem of
+//! > deadlock detection, VERSA can be used to perform schedulability analysis.
+//! > If VERSA finds a deadlock in the model, it reports a trace leading from
+//! > the start state to the deadlocked state.
+//!
+//! The explorer builds the *prioritized* transition system of a ground ACSR
+//! term (see [`acsr::prio`]) breadth-first, interning states so each is
+//! expanded exactly once, and records a parent pointer per state so that any
+//! deadlock can be turned into a shortest counterexample [`Trace`].
+//!
+//! Beyond the sequential engine, [`explore()`](crate::explore::explore) offers **level-synchronous
+//! parallel frontier expansion** (successor computation fans out over worker
+//! threads via `crossbeam`; interning stays sequential per level, so results —
+//! including traces — are bit-for-bit identical to the sequential engine).
+//! This addresses the paper's future-work note on "improving the state-space
+//! exploration efficiency of VERSA" (§7).
+//!
+//! ```
+//! use acsr::prelude::*;
+//! use versa::{explore, Options};
+//!
+//! // A one-shot process deadlocks after its only step.
+//! let env = Env::new();
+//! let p = act([(Res::new("cpu"), 1)], nil());
+//! let ex = explore(&env, &p, &Options::default());
+//! assert_eq!(ex.num_states(), 2);
+//! assert_eq!(ex.deadlocks.len(), 1);
+//! let trace = ex.first_deadlock_trace().unwrap();
+//! assert_eq!(trace.steps.len(), 1);
+//! ```
+
+pub mod explore;
+pub mod lts;
+pub mod trace;
+pub mod walk;
+
+pub use explore::{explore, Exploration, Options, Stats, StateId};
+pub use lts::Lts;
+pub use trace::Trace;
+pub use walk::{random_walk, Walk};

@@ -1,0 +1,138 @@
+//! Labelled transition system export.
+//!
+//! When [`Options::collect_lts`](crate::Options) is set, the explorer records
+//! the full prioritized transition relation. The [`Lts`] can be queried
+//! directly or rendered to Graphviz `dot` for inspection — handy when
+//! validating the translation of a single AADL thread against the figures of
+//! the paper.
+
+use acsr::{Env, Label};
+
+use crate::explore::StateId;
+
+/// The prioritized labelled transition system of an explored model.
+#[derive(Clone, Debug)]
+pub struct Lts {
+    /// The initial state.
+    pub initial: StateId,
+    /// Outgoing transitions, indexed by state.
+    pub transitions: Vec<Vec<(Label, StateId)>>,
+}
+
+impl Lts {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing transitions of `s`.
+    pub fn succs(&self, s: StateId) -> &[(Label, StateId)] {
+        &self.transitions[s.index()]
+    }
+
+    /// States with no outgoing transitions.
+    pub fn deadlocks(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_empty())
+            .map(|(i, _)| StateId(i as u32))
+    }
+
+    /// True if `target` is reachable from the initial state.
+    pub fn reachable(&self, target: StateId) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.initial];
+        seen[self.initial.index()] = true;
+        while let Some(s) = stack.pop() {
+            if s == target {
+                return true;
+            }
+            for (_, t) in self.succs(s) {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(*t);
+                }
+            }
+        }
+        false
+    }
+
+    /// Render to Graphviz `dot`. Deadlocked states are drawn as double
+    /// circles; labels use the environment's names.
+    pub fn to_dot(&self, env: &Env) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph lts {\n  rankdir=LR;\n  node [shape=circle];\n");
+        for dead in self.deadlocks() {
+            let _ = writeln!(out, "  s{} [shape=doublecircle];", dead.0);
+        }
+        let _ = writeln!(out, "  s{} [style=bold];", self.initial.0);
+        for (i, succs) in self.transitions.iter().enumerate() {
+            for (label, to) in succs {
+                let _ = writeln!(
+                    out,
+                    "  s{} -> s{} [label=\"{}\"];",
+                    i,
+                    to.0,
+                    env.display_label(label)
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Options};
+    use acsr::prelude::*;
+
+    fn build() -> (Env, Lts) {
+        let env = Env::new();
+        let p = choice([
+            act([(Res::new("cpu"), 1)], nil()),
+            act([(Res::new("bus"), 1)], act([(Res::new("cpu"), 1)], nil())),
+        ]);
+        let opts = Options {
+            collect_lts: true,
+            ..Options::default()
+        };
+        let ex = explore(&env, &p, &opts);
+        (env, ex.lts.unwrap())
+    }
+
+    #[test]
+    fn counts_and_reachability() {
+        let (_env, lts) = build();
+        assert_eq!(lts.num_states(), 3);
+        assert_eq!(lts.num_transitions(), 3);
+        for s in 0..lts.num_states() {
+            assert!(lts.reachable(StateId(s as u32)));
+        }
+    }
+
+    #[test]
+    fn deadlocks_enumerated() {
+        let (_env, lts) = build();
+        let deads: Vec<_> = lts.deadlocks().collect();
+        assert_eq!(deads.len(), 1);
+        assert!(lts.succs(deads[0]).is_empty());
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (env, lts) = build();
+        let dot = lts.to_dot(&env);
+        assert!(dot.starts_with("digraph lts {"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("(cpu,1)"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,150 @@
+//! Counterexample traces.
+//!
+//! A [`Trace`] is a path from the initial state to some state of interest —
+//! for schedulability analysis, a deadlocked state. The paper (§5) reports
+//! such traces as *failing scenarios*; the AADL translation layer
+//! (`aadl2acsr::diagnose`) re-interprets each step in terms of the original
+//! model. Here the trace is kept at the ACSR level: a sequence of labels with
+//! the full intermediate states available for inspection.
+
+use acsr::{Env, Label, P};
+
+use crate::explore::StateId;
+
+/// A path through the prioritized transition system.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The state the path starts from.
+    pub initial: StateId,
+    /// `(label, target-state)` pairs, in order.
+    pub steps: Vec<(Label, StateId)>,
+    /// The state table of the exploration that produced this trace (shared so
+    /// intermediate states can be inspected).
+    pub(crate) states: Vec<P>,
+}
+
+impl Trace {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty trace (initial state is the target).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of *timed* steps, i.e. the number of quanta that elapse along
+    /// the trace. For a deadline-violation counterexample this is the instant
+    /// (in quanta) at which the system deadlocks.
+    pub fn elapsed_quanta(&self) -> usize {
+        self.steps.iter().filter(|(l, _)| l.is_timed()).count()
+    }
+
+    /// The state reached after step `i` (0-based); `state_before(0)` is the
+    /// initial state.
+    pub fn state_after(&self, i: usize) -> &P {
+        &self.states[self.steps[i].1.index()]
+    }
+
+    /// The state the trace starts from.
+    pub fn initial_state(&self) -> &P {
+        &self.states[self.initial.index()]
+    }
+
+    /// The final state of the trace.
+    pub fn final_state(&self) -> &P {
+        match self.steps.last() {
+            Some((_, id)) => &self.states[id.index()],
+            None => self.initial_state(),
+        }
+    }
+
+    /// Iterate over `(label, state-after)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Label, &P)> {
+        self.steps
+            .iter()
+            .map(|(l, id)| (l, &self.states[id.index()]))
+    }
+
+    /// Render the trace with the environment's names, one step per line,
+    /// prefixed with the elapsed quantum count:
+    ///
+    /// ```text
+    /// t=0  (tau@dispatch_T1,3)
+    /// t=0  {(cpu1,2)} [T1 computes]
+    /// t=1  {(cpu1,2)} [T1 computes]
+    /// ```
+    pub fn render(&self, env: &Env) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut t = 0usize;
+        for (label, _) in &self.steps {
+            let _ = writeln!(out, "t={t:<4} {}", env.display_label(label));
+            if label.is_timed() {
+                t += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Options};
+    use acsr::prelude::*;
+
+    fn deadlocking_trace() -> (Env, Trace) {
+        let env = Env::new();
+        let done = Symbol::new("done");
+        // {(cpu,1)} : (done!,1) . {(cpu,1)} : NIL
+        let p = act(
+            [(Res::new("cpu"), 1)],
+            evt_send(done, 1, act([(Res::new("cpu"), 1)], nil())),
+        );
+        let ex = explore(&env, &p, &Options::default());
+        let t = ex.first_deadlock_trace().unwrap();
+        (env, t)
+    }
+
+    #[test]
+    fn trace_structure() {
+        let (_env, t) = deadlocking_trace();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.elapsed_quanta(), 2);
+        assert!(matches!(&*t.final_state().clone(), acsr::Proc::Nil));
+    }
+
+    #[test]
+    fn state_inspection_along_the_trace() {
+        let (env, t) = deadlocking_trace();
+        // After the first step, the head of the term is the event prefix.
+        let s1 = t.state_after(0);
+        let steps1 = acsr::steps(&env, s1);
+        assert!(matches!(steps1[0].0, Label::E { .. }));
+    }
+
+    #[test]
+    fn render_shows_quantum_counter() {
+        let (env, t) = deadlocking_trace();
+        let s = t.render(&env);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("t=0"));
+        assert!(lines[1].starts_with("t=1")); // event after first quantum
+        assert!(lines[2].starts_with("t=1"));
+        assert!(s.contains("(done!,1)"));
+    }
+
+    #[test]
+    fn empty_trace_for_initially_deadlocked() {
+        let env = Env::new();
+        let ex = explore(&env, &nil(), &Options::default());
+        let t = ex.first_deadlock_trace().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.elapsed_quanta(), 0);
+        assert!(matches!(&**t.final_state(), acsr::Proc::Nil));
+    }
+}

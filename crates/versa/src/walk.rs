@@ -1,0 +1,158 @@
+//! Random walks through the prioritized transition system.
+//!
+//! Exhaustive exploration is the point of the paper ("exploring the state
+//! space of a formal executable model offers exhaustive analysis of all
+//! possible behaviors", §6) — but a *random walk* is the formal-model
+//! equivalent of one simulation run, which makes it the perfect foil: the
+//! experiment `exhaustive_vs_simulation` uses walks to show that sampled runs
+//! can miss the interleaving that violates a deadline. Walks are also used by
+//! property tests (every state on a walk must be reachable by `explore`).
+//!
+//! The generator is a small self-contained xorshift so this crate needs no
+//! RNG dependency and walks are reproducible from a seed.
+
+use acsr::{prioritized_steps, Env, Label, P};
+
+/// A recorded random walk.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    /// The labels taken, in order.
+    pub labels: Vec<Label>,
+    /// The states visited, including the initial state (so
+    /// `states.len() == labels.len() + 1`).
+    pub states: Vec<P>,
+    /// True when the walk ended in a deadlocked state before taking
+    /// `max_steps` steps.
+    pub deadlocked: bool,
+}
+
+impl Walk {
+    /// Number of steps taken.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no step was taken.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The final state.
+    pub fn final_state(&self) -> &P {
+        self.states.last().expect("walk always has initial state")
+    }
+
+    /// Number of elapsed quanta.
+    pub fn elapsed_quanta(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_timed()).count()
+    }
+}
+
+/// Xorshift64* — tiny deterministic PRNG.
+#[derive(Clone, Debug)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Take up to `max_steps` uniformly random prioritized steps from `initial`.
+pub fn random_walk(env: &Env, initial: &P, max_steps: usize, seed: u64) -> Walk {
+    let mut rng = XorShift::new(seed);
+    let mut labels = Vec::new();
+    let mut states = vec![initial.clone()];
+    let mut deadlocked = false;
+    for _ in 0..max_steps {
+        let cur = states.last().expect("non-empty").clone();
+        let succs = prioritized_steps(env, &cur);
+        if succs.is_empty() {
+            deadlocked = true;
+            break;
+        }
+        let (label, next) = succs[rng.below(succs.len())].clone();
+        labels.push(label);
+        states.push(next);
+    }
+    Walk {
+        labels,
+        states,
+        deadlocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::prelude::*;
+
+    #[test]
+    fn walk_is_reproducible_from_seed() {
+        let mut env = Env::new();
+        let cpu = Res::new("cpu");
+        let d = env.declare("Coin", 0);
+        env.set_body(
+            d,
+            choice([
+                act([(cpu, 1)], invoke(d, [])),
+                act([(Res::new("bus"), 1)], invoke(d, [])),
+            ]),
+        );
+        let p = invoke(d, []);
+        let w1 = random_walk(&env, &p, 50, 42);
+        let w2 = random_walk(&env, &p, 50, 42);
+        assert_eq!(w1.labels, w2.labels);
+        let w3 = random_walk(&env, &p, 50, 43);
+        // Overwhelmingly likely to differ (2^50 paths).
+        assert_ne!(w1.labels, w3.labels);
+    }
+
+    #[test]
+    fn walk_stops_at_deadlock() {
+        let env = Env::new();
+        let p = act([(Res::new("cpu"), 1)], nil());
+        let w = random_walk(&env, &p, 100, 7);
+        assert!(w.deadlocked);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.elapsed_quanta(), 1);
+        assert_eq!(w.states.len(), 2);
+    }
+
+    #[test]
+    fn walk_respects_prioritization() {
+        let env = Env::new();
+        let cpu = Res::new("cpu");
+        // High-priority step always beats the idle alternative, so the walk
+        // can only ever take the cpu step.
+        let mut env2 = Env::new();
+        let d = env2.declare("W", 0);
+        env2.set_body(
+            d,
+            choice([
+                act([(cpu, 5)], invoke(d, [])),
+                act([] as [(Res, i32); 0], invoke(d, [])),
+            ]),
+        );
+        let _ = env;
+        let w = random_walk(&env2, &invoke(d, []), 30, 99);
+        assert_eq!(w.len(), 30);
+        assert!(w
+            .labels
+            .iter()
+            .all(|l| l.action().is_some_and(|a| a.prio_of(cpu) == 5)));
+    }
+}

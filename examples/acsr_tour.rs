@@ -1,0 +1,122 @@
+//! Experiments F2/F3 — a tour of ACSR with the paper's running example
+//! (Figs. 2 and 3): computation and communication steps, resource contention,
+//! idling, temporal scopes, parallel composition and preemption.
+//!
+//! ```sh
+//! cargo run --example acsr_tour
+//! ```
+
+use acsr::prelude::*;
+
+fn main() {
+    let cpu = Res::new("cpu");
+    let bus = Res::new("bus");
+    let done = Symbol::new("done");
+
+    // ------------------------------------------------------------- Fig. 2a
+    let mut env = Env::new();
+    let simple = env.declare("Simple", 0);
+    env.set_body(
+        simple,
+        act(
+            [(cpu, 1)],
+            act([(cpu, 1), (bus, 1)], evt_send(done, 1, invoke(simple, []))),
+        ),
+    );
+    println!("== Fig. 2a: Simple ==");
+    let p = invoke(simple, []);
+    walk_and_print(&env, &p, 4);
+
+    // A competitor holding the bus forever: Simple (without idling) deadlocks.
+    let hog = env.declare("BusHog", 0);
+    env.set_body(hog, act([(bus, 2)], invoke(hog, [])));
+    let sys = par([invoke(simple, []), invoke(hog, [])]);
+    let ex = versa::explore(&env, &sys, &versa::Options::default());
+    println!(
+        "\nSimple ∥ BusHog (no idling): deadlocks = {} after {} quantum",
+        ex.deadlocks.len(),
+        ex.first_deadlock_trace().map(|t| t.elapsed_quanta()).unwrap_or(0)
+    );
+
+    // ------------------------------------------------------------- Fig. 2b
+    let s0 = env.declare("SimpleIdle0", 0);
+    let s1 = env.declare("SimpleIdle1", 0);
+    env.set_body(
+        s0,
+        choice([
+            act([(cpu, 1)], invoke(s1, [])),
+            act([] as [(Res, i32); 0], invoke(s0, [])),
+        ]),
+    );
+    env.set_body(
+        s1,
+        choice([
+            act([(cpu, 1), (bus, 1)], evt_send(done, 1, invoke(s0, []))),
+            act([] as [(Res, i32); 0], invoke(s1, [])),
+        ]),
+    );
+    let sys = par([invoke(s0, []), invoke(hog, [])]);
+    let ex = versa::explore(&env, &sys, &versa::Options::default());
+    println!(
+        "Simple ∥ BusHog (with idling, Fig. 2b): deadlock-free = {} ({} states)",
+        ex.deadlock_free(),
+        ex.num_states()
+    );
+
+    // ------------------------------------------------------------- Fig. 3
+    println!("\n== Fig. 3: temporal scope with exception / timeout / interrupt ==");
+    let interrupt = Symbol::new("interrupt");
+    let scoped = scope(
+        invoke(s0, []),
+        TimeBound::Finite(Expr::c(6)),
+        Some((done, act([(Res::new("exception_handler"), 2)], nil()))),
+        Some(act([(Res::new("timeout_handler"), 2)], nil())),
+        Some(evt_recv(
+            interrupt,
+            1,
+            act([(Res::new("interrupt_handler"), 2)], nil()),
+        )),
+    );
+    // Driver: one shared quantum, one bus-preemption quantum, then interrupt.
+    let idle = env.declare("DriverIdle", 0);
+    env.set_body(idle, act([] as [(Res, i32); 0], invoke(idle, [])));
+    let driver = act(
+        [(bus, 2)],
+        act([(bus, 2)], evt_send(interrupt, 1, invoke(idle, []))),
+    );
+    let sys = restrict(par([scoped, driver]), [interrupt]);
+    walk_and_print(&env, &sys, 6);
+
+    // LTS export for inspection.
+    let opts = versa::Options {
+        collect_lts: true,
+        ..Default::default()
+    };
+    let ex = versa::explore(&env, &sys, &opts);
+    println!(
+        "\nfull prioritized LTS: {} states, {} transitions (dot output below)",
+        ex.num_states(),
+        ex.lts.as_ref().unwrap().num_transitions()
+    );
+    println!("{}", ex.lts.as_ref().unwrap().to_dot(&env));
+}
+
+/// Take up to `n` prioritized steps (first choice each time), printing them.
+fn walk_and_print(env: &Env, p: &P, n: usize) {
+    let mut cur = p.clone();
+    println!("  start: {}", env.display_proc(&cur));
+    for i in 0..n {
+        let steps = prioritized_steps(env, &cur);
+        if steps.is_empty() {
+            println!("  step {i}: DEADLOCK");
+            return;
+        }
+        let (label, next) = steps[0].clone();
+        println!(
+            "  step {i}: {}   [{} alternative(s)]",
+            env.display_label(&label),
+            steps.len()
+        );
+        cur = next;
+    }
+}

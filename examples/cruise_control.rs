@@ -1,0 +1,87 @@
+//! Experiment F1 — the cruise-control system of Fig. 1 of the paper.
+//!
+//! Reproduces the §4.1 account: the translation yields six thread processes,
+//! six dispatchers and no queues; the nominal system is schedulable on both
+//! processors; an overloaded variant of the `CruiseControlLaws` subsystem
+//! misses a deadline and the failing scenario is raised back to AADL terms.
+//!
+//! ```sh
+//! cargo run --release --example cruise_control
+//! ```
+
+use aadl::examples::{cruise_control_model, cruise_control_overloaded};
+use aadl::instance::instantiate;
+use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions};
+
+fn main() {
+    // ---------------------------------------------------------------- nominal
+    let model = cruise_control_model();
+    println!("== Fig. 1: cruise control ==");
+    println!(
+        "instance model: {} components ({} threads, {} processors, {} bus)",
+        model.num_components(),
+        model.threads().count(),
+        model.processors().count(),
+        model.buses().count()
+    );
+    for conn in &model.connections {
+        let src = model.component(conn.src.0);
+        let dst = model.component(conn.dst.0);
+        let bus = if conn.buses.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "  [bus: {}]",
+                conn.buses
+                    .iter()
+                    .map(|b| model.component(*b).name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        println!(
+            "  semantic connection {}: {} -> {}{bus}",
+            conn.name,
+            src.display_path(),
+            dst.display_path()
+        );
+    }
+
+    let tm = translate(&model, &TranslateOptions::default()).unwrap();
+    println!(
+        "\ntranslation (§4.1): {} thread processes, {} dispatchers, {} queues, quantum {} ms",
+        tm.inventory.threads,
+        tm.inventory.dispatchers,
+        tm.inventory.queues,
+        tm.quantum_ps / 1_000_000_000
+    );
+
+    let v = analyze(
+        &model,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    println!(
+        "nominal system: schedulable = {} ({} states, {} transitions, {:?})",
+        v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+    );
+
+    // -------------------------------------------------------------- overloaded
+    println!("\n== overloaded CruiseControlLaws (utilization 1.2) ==");
+    let pkg = cruise_control_overloaded();
+    let model = instantiate(&pkg, "CruiseControl.impl").unwrap();
+    let v = analyze(
+        &model,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "schedulable = {} ({} states explored before the first deadlock)",
+        v.schedulable, v.stats.states
+    );
+    if let Some(scenario) = &v.scenario {
+        println!("\n{}", scenario.render());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate the sample `.aadl` files under `examples/models/` from the
+//! canned library models (`cargo run --example gen_models`).
+fn main() {
+    for (pkg, file) in [
+        (aadl::examples::cruise_control(), "cruise_control.aadl"),
+        (aadl::examples::producer_handler(2, "Error"), "producer_handler.aadl"),
+        (aadl::examples::flight_control(), "flight_control.aadl"),
+    ] {
+        let path = format!("examples/models/{file}");
+        std::fs::write(&path, aadl::pretty::render_package(&pkg)).unwrap();
+        println!("wrote {path}");
+    }
+}

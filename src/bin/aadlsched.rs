@@ -1,0 +1,217 @@
+//! `aadlsched` — command-line schedulability analysis of AADL models,
+//! the CLI equivalent of the paper's OSATE plugin (§5):
+//!
+//! ```text
+//! aadlsched <model.aadl> <RootSystem.impl> [options]
+//!
+//! options:
+//!   --quantum <ms>    override the scheduling quantum
+//!   --compact         compact translation (drop redundant skeleton scopes)
+//!   --exhaustive      explore the full state space (default: stop at the
+//!                     first deadlock)
+//!   --threads <n>     parallel frontier expansion with n workers
+//!   --max-states <n>  state budget (verdict becomes "unknown" if exceeded)
+//!   --tree            print the instance tree with bindings and timing
+//!   --acsr            print the generated ACSR process definitions
+//!   --dot <file>      write the explored LTS as Graphviz dot
+//! ```
+//!
+//! Exit code: 0 schedulable, 1 not schedulable, 2 usage/translation error.
+
+use std::process::ExitCode;
+
+use aadl::instance::instantiate;
+use aadl::parser::parse_package;
+use aadl::properties::TimeVal;
+use aadl2acsr::{analyze_translated, translate, AnalysisOptions, TranslateOptions};
+
+struct Args {
+    file: String,
+    root: String,
+    quantum_ms: Option<i64>,
+    compact: bool,
+    exhaustive: bool,
+    threads: usize,
+    max_states: Option<usize>,
+    print_acsr: bool,
+    print_tree: bool,
+    dot: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: aadlsched <model.aadl> <RootSystem.impl> \
+         [--quantum <ms>] [--compact] [--exhaustive] [--threads <n>] \
+         [--max-states <n>] [--tree] [--acsr] [--dot <file>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut raw = std::env::args().skip(1);
+    let file = raw.next().ok_or("missing <model.aadl>")?;
+    let root = raw.next().ok_or("missing <RootSystem.impl>")?;
+    let mut args = Args {
+        file,
+        root,
+        quantum_ms: None,
+        compact: false,
+        exhaustive: false,
+        threads: 1,
+        max_states: None,
+        print_acsr: false,
+        print_tree: false,
+        dot: None,
+    };
+    while let Some(flag) = raw.next() {
+        match flag.as_str() {
+            "--quantum" => {
+                args.quantum_ms = Some(
+                    raw.next()
+                        .ok_or("--quantum needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--quantum: {e}"))?,
+                )
+            }
+            "--compact" => args.compact = true,
+            "--exhaustive" => args.exhaustive = true,
+            "--threads" => {
+                args.threads = raw
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-states" => {
+                args.max_states = Some(
+                    raw.next()
+                        .ok_or("--max-states needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--max-states: {e}"))?,
+                )
+            }
+            "--acsr" => args.print_acsr = true,
+            "--tree" => args.print_tree = true,
+            "--dot" => args.dot = Some(raw.next().ok_or("--dot needs a file")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let source = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let pkg = match parse_package(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: parse error: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let model = match instantiate(&pkg, &args.root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("instantiation error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "instance model: {} components, {} thread(s), {} processor(s), {} semantic connection(s)",
+        model.num_components(),
+        model.threads().count(),
+        model.processors().count(),
+        model.connections.len()
+    );
+    if args.print_tree {
+        println!("\n{}", model.render_tree());
+    }
+
+    let topts = TranslateOptions {
+        compact: args.compact,
+        quantum: args.quantum_ms.map(TimeVal::ms),
+        ..Default::default()
+    };
+    let tm = match translate(&model, &topts) {
+        Ok(tm) => tm,
+        Err(e) => {
+            eprintln!("translation error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "translation: {} thread processes, {} dispatchers, {} queues, quantum = {} µs",
+        tm.inventory.threads,
+        tm.inventory.dispatchers,
+        tm.inventory.queues,
+        tm.quantum_ps / 1_000_000
+    );
+    if args.print_acsr {
+        println!("\nACSR definitions:");
+        for (_, def) in tm.env.defs() {
+            if let Some(body) = &def.body {
+                println!("  {} = {}", def.name, tm.env.display_proc(body));
+            }
+        }
+        println!();
+    }
+
+    let mut aopts = if args.exhaustive {
+        AnalysisOptions::exhaustive()
+    } else {
+        AnalysisOptions::default()
+    };
+    aopts.explore.threads = args.threads;
+    if let Some(max) = args.max_states {
+        aopts.explore.max_states = max;
+    }
+    aopts.explore.collect_lts = args.dot.is_some();
+
+    let verdict = analyze_translated(&model, &tm, &aopts);
+    println!(
+        "exploration: {} states, {} transitions in {:?}",
+        verdict.stats.states, verdict.stats.transitions, verdict.stats.duration
+    );
+
+    if let Some(dot_file) = &args.dot {
+        // Re-run with LTS collection through versa directly for the export.
+        let mut opts = aopts.explore.clone();
+        opts.collect_lts = true;
+        opts.stop_at_first_deadlock = false;
+        let ex = versa::explore(&tm.env, &tm.initial, &opts);
+        if let Some(lts) = &ex.lts {
+            match std::fs::write(dot_file, lts.to_dot(&tm.env)) {
+                Ok(()) => println!("LTS written to {dot_file}"),
+                Err(e) => eprintln!("cannot write {dot_file}: {e}"),
+            }
+        }
+    }
+
+    if verdict.truncated {
+        println!("VERDICT: unknown (state budget exhausted)");
+        return ExitCode::from(2);
+    }
+    if verdict.schedulable {
+        println!("VERDICT: schedulable — every thread meets its deadline in every behaviour");
+        ExitCode::SUCCESS
+    } else {
+        println!("VERDICT: NOT schedulable");
+        if let Some(scenario) = &verdict.scenario {
+            println!("\n{}", scenario.render());
+        }
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,24 @@
+//! # aadl-sched — umbrella crate
+//!
+//! Re-exports the whole tool chain for schedulability analysis of AADL models
+//! via translation to the ACSR process algebra, reproducing Sokolsky, Lee &
+//! Clarke, *Schedulability Analysis of AADL Models* (IPDPS 2006).
+//!
+//! * [`aadl`] — the AADL front end: declarative model, textual parser,
+//!   instantiation, semantic connections, bindings, validation.
+//! * [`acsr`] — the ACSR real-time process algebra.
+//! * [`versa`] — state-space exploration and deadlock detection.
+//! * [`aadl2acsr`] — the paper's contribution: the semantics-preserving
+//!   AADL → ACSR translation, scheduling-policy encodings, schedulability
+//!   analysis and AADL-level diagnostics.
+//! * [`sched_baselines`] — classical schedulability tests and a Cheddar-style
+//!   discrete-time simulator used as comparison baselines.
+//!
+//! See the workspace `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-reproduction index.
+
+pub use aadl;
+pub use aadl2acsr;
+pub use acsr;
+pub use sched_baselines;
+pub use versa;

@@ -1,0 +1,160 @@
+//! Integration tests of the `aadlsched` command-line tool — the OSATE-plugin
+//! equivalent (§5): exit codes, verdicts, the instance tree and the raised
+//! scenario on stdout.
+
+use std::process::Command;
+
+fn aadlsched(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_aadlsched"))
+        .args(args)
+        .output()
+        .expect("aadlsched runs")
+}
+
+fn write_model(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("aadlsched_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const OK_MODEL: &str = r#"
+package Ok
+public
+  processor cpu_t
+    properties
+      Scheduling_Protocol => RMS;
+  end cpu_t;
+  thread T
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 10 ms;
+      Compute_Execution_Time => 2 ms .. 2 ms;
+      Compute_Deadline => 10 ms;
+  end T;
+  system Top
+  end Top;
+  system implementation Top.impl
+    subcomponents
+      cpu: processor cpu_t;
+      t: thread T;
+    properties
+      Actual_Processor_Binding => reference (cpu) applies to t;
+  end Top.impl;
+end Ok;
+"#;
+
+const BAD_MODEL: &str = r#"
+package Bad
+public
+  processor cpu_t
+    properties
+      Scheduling_Protocol => RMS;
+  end cpu_t;
+  thread T
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 10 ms;
+      Compute_Execution_Time => 8 ms .. 8 ms;
+      Compute_Deadline => 10 ms;
+  end T;
+  system Top
+  end Top;
+  system implementation Top.impl
+    subcomponents
+      cpu: processor cpu_t;
+      t1: thread T;
+      t2: thread T;
+    properties
+      Actual_Processor_Binding => reference (cpu) applies to t1, t2;
+  end Top.impl;
+end Bad;
+"#;
+
+#[test]
+fn schedulable_model_exits_zero() {
+    let path = write_model("ok.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--exhaustive"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VERDICT: schedulable"), "{stdout}");
+}
+
+#[test]
+fn unschedulable_model_exits_one_with_scenario() {
+    let path = write_model("bad.aadl", BAD_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VERDICT: NOT schedulable"), "{stdout}");
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stdout.contains("DEADLOCK"), "{stdout}");
+}
+
+#[test]
+fn tree_flag_prints_the_instance_tree() {
+    let path = write_model("ok_tree.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--tree"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("t : thread (T)"), "{stdout}");
+    assert!(stdout.contains("-> cpu"), "{stdout}");
+}
+
+#[test]
+fn acsr_flag_prints_definitions() {
+    let path = write_model("ok_acsr.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--acsr"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("AwaitDispatch_t"), "{stdout}");
+    assert!(stdout.contains("Dispatcher_t"), "{stdout}");
+    assert!(stdout.contains("Compute_t"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_exit_two() {
+    let path = write_model("broken.aadl", "package Broken public gadget X end");
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = aadlsched(&["/nonexistent/nope.aadl", "Top.impl"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flag_exits_two_with_usage() {
+    let path = write_model("ok_flag.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn quantum_override_is_applied() {
+    let path = write_model("ok_q.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--quantum", "1"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("quantum = 1000 µs"), "{stdout}");
+}
+
+#[test]
+fn dot_export_writes_a_file() {
+    let path = write_model("ok_dot.aadl", OK_MODEL);
+    let dot = std::env::temp_dir().join("aadlsched_cli_tests/ok.dot");
+    let _ = std::fs::remove_file(&dot);
+    let out = aadlsched(&[
+        path.to_str().unwrap(),
+        "Top.impl",
+        "--dot",
+        dot.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let contents = std::fs::read_to_string(&dot).unwrap();
+    assert!(contents.starts_with("digraph lts {"), "{contents}");
+}

@@ -1,0 +1,147 @@
+//! Experiment F1 — the cruise-control system of Fig. 1, end to end.
+//!
+//! Reproduces the paper's §4.1 account of the example: the translation yields
+//! six thread processes and six dispatchers with no queues; the analysis
+//! verdict is produced per the §5 pipeline; and the overloaded variant's
+//! failing scenario is raised back to AADL terms.
+
+use aadl::examples::{cruise_control, cruise_control_model, cruise_control_overloaded};
+use aadl::instance::instantiate;
+use aadl::properties::TimeVal;
+use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions, ViolationKind};
+
+#[test]
+fn translation_inventory_matches_section_4_1() {
+    let m = cruise_control_model();
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    assert_eq!(tm.inventory.threads, 6, "six ACSR thread processes");
+    assert_eq!(tm.inventory.dispatchers, 6, "six dispatcher processes");
+    assert_eq!(tm.inventory.queues, 0, "all connections are data connections");
+}
+
+#[test]
+fn nominal_system_is_schedulable_and_fully_explored() {
+    let m = cruise_control_model();
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable);
+    assert!(!v.truncated);
+    assert!(v.scenario.is_none());
+    // The composed state space is non-trivial but finite.
+    assert!(v.stats.states > 100, "states: {}", v.stats.states);
+}
+
+#[test]
+fn overloaded_ccl_processor_fails_with_a_raised_scenario() {
+    let pkg = cruise_control_overloaded();
+    let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    assert!(!v.schedulable);
+    let sc = v.scenario.unwrap();
+    assert!(sc.violations.iter().any(|vk| matches!(
+        vk,
+        ViolationKind::DeadlineMiss { thread } if thread.starts_with("ccl.")
+    )));
+    let text = sc.render();
+    assert!(text.contains("VIOLATION"));
+    assert!(text.contains("DEADLOCK"));
+}
+
+#[test]
+fn hci_processor_alone_is_unaffected_by_the_ccl_overload() {
+    // The overload is confined to the CCL processor: the HCI threads never
+    // appear as deadline-missing.
+    let pkg = cruise_control_overloaded();
+    let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    let sc = v.scenario.unwrap();
+    assert!(sc.violations.iter().all(|vk| match vk {
+        ViolationKind::DeadlineMiss { thread } => !thread.starts_with("hci."),
+        _ => true,
+    }));
+}
+
+#[test]
+fn verdicts_agree_across_schedulers_on_the_nominal_system() {
+    // The nominal system is comfortably schedulable under every policy
+    // encoding of §5.
+    for protocol in ["RMS", "DMS", "EDF"] {
+        let pkg = aadl::examples::cruise_control_scheduled(protocol);
+        let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(v.schedulable, "{protocol} should schedule the nominal system");
+    }
+}
+
+#[test]
+fn textual_model_analyzes_identically_to_the_built_one() {
+    // Render the package to AADL text, re-parse, re-instantiate, re-analyze:
+    // the whole front end round-trips.
+    let pkg = cruise_control();
+    let text = aadl::pretty::render_package(&pkg);
+    let reparsed = aadl::parser::parse_package(&text).unwrap();
+    let m1 = cruise_control_model();
+    let m2 = instantiate(&reparsed, "CruiseControl.impl").unwrap();
+    let v1 = analyze(
+        &m1,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    let v2 = analyze(
+        &m2,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert_eq!(v1.schedulable, v2.schedulable);
+    assert_eq!(v1.stats.states, v2.stats.states);
+}
+
+#[test]
+fn coarser_quantum_stays_schedulable_here_with_fewer_states() {
+    // Q1 companion: the 10 ms quantum rounds conservatively yet this system
+    // remains schedulable, at a fraction of the state count.
+    let m = cruise_control_model();
+    let fine = analyze(
+        &m,
+        &TranslateOptions::default(), // 5 ms GCD quantum
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    let coarse = analyze(
+        &m,
+        &TranslateOptions {
+            quantum: Some(TimeVal::ms(10)),
+            ..Default::default()
+        },
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(fine.schedulable && coarse.schedulable);
+    assert!(
+        coarse.stats.states < fine.stats.states,
+        "coarse {} vs fine {}",
+        coarse.stats.states,
+        fine.stats.states
+    );
+}

@@ -1,0 +1,125 @@
+//! Device stimulus generators: devices are legal ultimate sources of
+//! semantic connections (§2 of the paper). A device with a `Period` property
+//! gets a periodic generator; one without gets a *free* generator that may
+//! raise its event at any instant — making the exploration exhaustive over
+//! arrival patterns, the formal-methods counterpart of a sporadic
+//! environment assumption.
+
+use aadl::builder::PackageBuilder;
+use aadl::instance::{instantiate, InstanceModel};
+use aadl::model::Category;
+use aadl::properties::{names, PropertyValue, TimeVal};
+use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions, ViolationKind};
+
+fn device_model(device_period: Option<i64>, queue_size: i64, overflow: &str) -> InstanceModel {
+    let overflow = overflow.to_owned();
+    let pkg = PackageBuilder::new("Dev")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+        .device("Sensor", move |d| {
+            let d = d.out_event_port("ping");
+            match device_period {
+                Some(p) => d.prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(p))),
+                None => d,
+            }
+        })
+        .thread("Handler", move |t| {
+            t.in_event_port("ping_in")
+                .feature_prop(names::QUEUE_SIZE, PropertyValue::Int(queue_size))
+                .feature_prop(
+                    names::OVERFLOW_HANDLING_PROTOCOL,
+                    PropertyValue::Enum(overflow.clone()),
+                )
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(4)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(2)))
+        })
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("cpu", Category::Processor, "cpu_t")
+                .sub("sensor", Category::Device, "Sensor")
+                .sub("handler", Category::Thread, "Handler")
+                .connect("ping_conn", "sensor.ping", "handler.ping_in")
+                .bind_processor("handler", "cpu")
+                .prop(
+                    names::SCHEDULING_QUANTUM,
+                    PropertyValue::Time(TimeVal::ms(1)),
+                )
+        })
+        .build();
+    instantiate(&pkg, "Top.impl").unwrap()
+}
+
+#[test]
+fn periodic_device_generates_a_generator() {
+    let m = device_model(Some(8), 1, "DropNewest");
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    assert_eq!(tm.inventory.device_gens, 1);
+    assert_eq!(tm.inventory.queues, 1);
+}
+
+#[test]
+fn periodic_arrivals_slower_than_separation_are_clean() {
+    // Device every 8 ms, separation 4 ms: never queued past capacity, the
+    // handler (1 ms ≤ 2 ms deadline, alone on its cpu) always meets it.
+    let m = device_model(Some(8), 1, "Error");
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn free_device_explores_all_arrival_patterns() {
+    // No Period: the generator may fire at any instant. With a dropping
+    // queue the system absorbs any pattern…
+    let m = device_model(None, 1, "DropNewest");
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn free_device_can_overflow_an_error_queue() {
+    // …but under the Error protocol there exists an arrival pattern (a burst)
+    // that overflows any finite queue — found by the exhaustive exploration.
+    for size in [1, 3] {
+        let m = device_model(None, size, "Error");
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!v.schedulable, "size {size}");
+        let sc = v.scenario.unwrap();
+        assert!(sc
+            .violations
+            .iter()
+            .any(|vk| matches!(vk, ViolationKind::QueueOverflow { .. })));
+    }
+}
+
+#[test]
+fn burst_overflow_happens_instantly_with_queue_one() {
+    // Two immediate raises overflow a 1-slot queue before any time passes.
+    let m = device_model(None, 1, "Error");
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    let sc = v.scenario.unwrap();
+    assert_eq!(sc.at_quantum, 0, "scenario:\n{}", sc.render());
+}

@@ -1,0 +1,201 @@
+//! Experiment Q4 — what exhaustive exploration catches and simulation
+//! misses (§6 of the paper):
+//!
+//! > We believe that exploring the state space of a formal executable model
+//! > offers exhaustive analysis of all possible behaviors, which is very
+//! > important if there is much uncertainty in the model behavior.
+//!
+//! The witness is a **phase-collision anomaly**:
+//!
+//! * `producer` (cpu1): periodic, period 4 ms, execution time **1..3 ms**,
+//!   raises an event at completion;
+//! * `handler` (cpu2, low priority): sporadic (separation 2 ms), execution
+//!   1 ms, deadline **1 ms** — it must run in the very quantum after its
+//!   dispatch;
+//! * `monitor` (cpu2, high priority): periodic, period 6 ms, execution 1 ms —
+//!   it owns cpu2 during quanta `[6k, 6k+1)`.
+//!
+//! The handler is dispatched at the producer's completion instant
+//! `4k + c_k`. That instant collides with the monitor (`≡ 0 mod 6`) iff
+//! `c_k = 2` at a position `k ≡ 1 (mod 3)` — an *interior* point of the
+//! execution-time range. Consequently:
+//!
+//! * the all-WCET behaviour (`c = 3`) never collides — a WCET simulation run
+//!   reports success;
+//! * the all-BCET behaviour (`c = 1`) never collides either;
+//! * the exhaustive exploration of the range `[1, 3]` finds the collision
+//!   and names the handler in the raised scenario.
+
+use aadl::builder::PackageBuilder;
+use aadl::instance::{instantiate, InstanceModel};
+use aadl::model::Category;
+use aadl::properties::{names, PropertyValue, TimeVal};
+use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions, ViolationKind};
+
+/// Build the witness with the given producer execution range (ms).
+fn witness(bcet_ms: i64, wcet_ms: i64) -> InstanceModel {
+    let pkg = PackageBuilder::new("Anomaly")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "HPF"))
+        .thread("Producer", |t| {
+            t.out_event_port("evt")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(4)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(bcet_ms), TimeVal::ms(wcet_ms)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(4)))
+                .prop_int(names::PRIORITY, 5)
+        })
+        .thread("Handler", |t| {
+            t.in_event_port("trigger")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(2)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(1)))
+                .prop_int(names::PRIORITY, 2)
+        })
+        .thread("Monitor", |t| {
+            t.prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(6)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(6)))
+                .prop_int(names::PRIORITY, 9)
+        })
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("cpu1", Category::Processor, "cpu_t")
+                .sub("cpu2", Category::Processor, "cpu_t")
+                .sub("producer", Category::Thread, "Producer")
+                .sub("handler", Category::Thread, "Handler")
+                .sub("monitor", Category::Thread, "Monitor")
+                .connect("evt_conn", "producer.evt", "handler.trigger")
+                .bind_processor("producer", "cpu1")
+                .bind_processor("handler", "cpu2")
+                .bind_processor("monitor", "cpu2")
+                .prop(
+                    names::SCHEDULING_QUANTUM,
+                    PropertyValue::Time(TimeVal::ms(1)),
+                )
+        })
+        .build();
+    instantiate(&pkg, "Top.impl").unwrap()
+}
+
+#[test]
+fn exhaustive_exploration_finds_the_collision() {
+    let m = witness(1, 3);
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    assert!(!v.schedulable, "the interior execution time collides");
+    let sc = v.scenario.unwrap();
+    assert!(
+        sc.violations
+            .iter()
+            .any(|vk| matches!(vk, ViolationKind::DeadlineMiss { thread } if thread == "handler")),
+        "violations: {:?}",
+        sc.violations
+    );
+    // The shortest counterexample: producer completes at t = 6 (c₁ = 2),
+    // handler dispatched under the monitor's quantum, misses at t = 7.
+    assert_eq!(sc.at_quantum, 7, "scenario:\n{}", sc.render());
+}
+
+#[test]
+fn wcet_only_behaviour_is_clean() {
+    // The deterministic all-WCET model — the behaviour a WCET simulation run
+    // (or a WCET-only analysis) examines — has no failure anywhere in its
+    // state space. Dispatches land at 4k + 3 ≢ 0 (mod 6).
+    let m = witness(3, 3);
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn bcet_only_behaviour_is_clean() {
+    // Dispatches at 4k + 1 ≢ 0 (mod 6).
+    let m = witness(1, 1);
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn the_interior_point_is_the_culprit() {
+    // Pin the producer to exactly 2 ms: dispatch at 4k + 2 hits the monitor
+    // whenever k ≡ 1 (mod 3) — this *deterministic* behaviour always fails,
+    // yet neither corner-case simulation would ever execute it.
+    let m = witness(2, 2);
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    assert!(!v.schedulable);
+}
+
+#[test]
+fn some_random_walks_miss_what_exploration_always_finds() {
+    // Random walks over the *same* nondeterministic model are single
+    // simulation runs: each resolves the execution-time choice by coin flip.
+    // Over a short horizon some walks stumble on the collision and others
+    // don't — the §6 argument in one test.
+    let m = witness(1, 3);
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let mut found = 0;
+    let mut clean = 0;
+    for seed in 0..40 {
+        let w = versa::random_walk(&tm.env, &tm.initial, 30, seed);
+        if w.deadlocked {
+            found += 1;
+        } else {
+            clean += 1;
+        }
+    }
+    assert!(
+        clean > 0,
+        "at least one simulation run reports no failure ({found} of 40 found it)"
+    );
+    assert!(
+        found > 0,
+        "with 40 seeds, some run should stumble on the collision"
+    );
+}
+
+#[test]
+fn monitor_and_producer_always_meet_their_own_deadlines() {
+    // The failure is confined to the handler: no scenario blames the others.
+    let m = witness(1, 3);
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    let sc = v.scenario.unwrap();
+    for vk in &sc.violations {
+        if let ViolationKind::DeadlineMiss { thread } = vk {
+            assert_eq!(thread, "handler");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment Q6 — end-to-end latency observers (§5 of the paper).
+//!
+//! A two-hop data flow across the bus: `sensor` (cpu1) → `control` (cpu2) →
+//! `actuator` (cpu2). The observer measures from the completion of `sensor`
+//! to the completion of `actuator`; the model deadlocks iff the latency bound
+//! is below what the pipeline can achieve.
+
+use aadl::builder::PackageBuilder;
+use aadl::instance::{instantiate, InstanceModel};
+use aadl::model::Category;
+use aadl::properties::{names, PropertyValue, TimeVal};
+use aadl2acsr::{analyze, AnalysisOptions, LatencyObserver, TranslateOptions, ViolationKind};
+
+fn pipeline() -> InstanceModel {
+    let periodic = |period: i64, cmin: i64, cmax: i64| {
+        move |t: aadl::builder::TypeBuilder| {
+            t.prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(period)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(cmin), TimeVal::ms(cmax)),
+                )
+                .prop(
+                    names::COMPUTE_DEADLINE,
+                    PropertyValue::Time(TimeVal::ms(period)),
+                )
+        }
+    };
+    let pkg = PackageBuilder::new("Pipeline")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+        .bus("net")
+        .thread("Sensor", |t| periodic(8, 1, 2)(t.out_data_port("reading")))
+        .thread("Control", |t| {
+            periodic(8, 2, 2)(t.in_data_port("reading").out_data_port("cmd"))
+        })
+        .thread("Actuator", |t| periodic(8, 1, 1)(t.in_data_port("cmd")))
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("cpu1", Category::Processor, "cpu_t")
+                .sub("cpu2", Category::Processor, "cpu_t")
+                .sub("b", Category::Bus, "net")
+                .sub("sensor", Category::Thread, "Sensor")
+                .sub("control", Category::Thread, "Control")
+                .sub("actuator", Category::Thread, "Actuator")
+                .connect("c1", "sensor.reading", "control.reading")
+                .bind_bus("b")
+                .connect("c2", "control.cmd", "actuator.cmd")
+                .bind_processor("sensor", "cpu1")
+                .bind_processor("control", "cpu2")
+                .bind_processor("actuator", "cpu2")
+                .prop(
+                    names::SCHEDULING_QUANTUM,
+                    PropertyValue::Time(TimeVal::ms(1)),
+                )
+        })
+        .build();
+    instantiate(&pkg, "Top.impl").unwrap()
+}
+
+fn verdict_with_bound(bound_ms: i64) -> aadl2acsr::Verdict {
+    let m = pipeline();
+    let from = m.find("sensor").unwrap();
+    let to = m.find("actuator").unwrap();
+    analyze(
+        &m,
+        &TranslateOptions {
+            observers: vec![LatencyObserver {
+                from,
+                to,
+                bound: TimeVal::ms(bound_ms),
+            }],
+            ..Default::default()
+        },
+        &AnalysisOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pipeline_without_observer_is_schedulable() {
+    let m = pipeline();
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn generous_latency_bound_passes() {
+    // The worst behaviour is cross-frame: the actuator may complete *before*
+    // the sensor of the same frame (its data is one frame old), so the
+    // observed flow only ends at the next actuator completion — up to
+    // t = 8 + 3 with the observer started at t = 1, i.e. 10 ms.
+    let v = verdict_with_bound(10);
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn impossible_latency_bound_fails_with_a_latency_violation() {
+    // The actuator can complete at most ~1 quantum after the sensor (both
+    // dispatched together), but a 1 ms bound cannot cover the control hop in
+    // every behaviour.
+    let v = verdict_with_bound(1);
+    assert!(!v.schedulable);
+    let sc = v.scenario.unwrap();
+    assert!(
+        sc.violations
+            .iter()
+            .any(|vk| matches!(vk, ViolationKind::LatencyExceeded { observer: 0 })),
+        "violations: {:?}",
+        sc.violations
+    );
+}
+
+#[test]
+fn the_latency_frontier_is_monotone() {
+    // Increasing bounds flip the verdict exactly once.
+    let mut last = false;
+    let mut flips = 0;
+    for bound in 1..=12 {
+        let ok = verdict_with_bound(bound).schedulable;
+        if ok != last {
+            flips += 1;
+            last = ok;
+        }
+    }
+    assert!(last, "the largest bound passes");
+    assert_eq!(flips, 1, "single pass/fail frontier");
+}
+
+#[test]
+fn observer_inventory_is_reported() {
+    let m = pipeline();
+    let from = m.find("sensor").unwrap();
+    let to = m.find("actuator").unwrap();
+    let tm = aadl2acsr::translate(
+        &m,
+        &TranslateOptions {
+            observers: vec![LatencyObserver {
+                from,
+                to,
+                bound: TimeVal::ms(8),
+            }],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(tm.inventory.observers, 1);
+    assert_eq!(tm.inventory.threads, 3);
+    // 3 skeletons + 3 dispatchers + 1 observer (data connections ⇒ no queues).
+    assert_eq!(tm.names.roles.len(), 7);
+}

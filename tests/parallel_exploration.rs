@@ -1,0 +1,51 @@
+//! Experiment Q3 companion — the parallel frontier expansion must be
+//! bit-for-bit equivalent to the sequential engine on real translated
+//! models (the paper's §7 efficiency direction, implemented determinstically).
+
+use aadl::examples::{cruise_control_model, cruise_control_overloaded};
+use aadl::instance::instantiate;
+use aadl2acsr::{translate, TranslateOptions};
+use versa::{explore, Options};
+
+#[test]
+fn parallel_matches_sequential_on_cruise_control() {
+    let m = cruise_control_model();
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let seq = explore(&tm.env, &tm.initial, &Options::default());
+    let par = explore(&tm.env, &tm.initial, &Options::default().with_threads(4));
+    assert_eq!(seq.num_states(), par.num_states());
+    assert_eq!(seq.stats.transitions, par.stats.transitions);
+    assert_eq!(seq.deadlocks, par.deadlocks);
+}
+
+#[test]
+fn parallel_finds_the_same_shortest_counterexample() {
+    let pkg = cruise_control_overloaded();
+    let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let seq = explore(&tm.env, &tm.initial, &Options::verdict());
+    let par = explore(&tm.env, &tm.initial, &Options::verdict().with_threads(4));
+    let ts = seq.first_deadlock_trace().unwrap();
+    let tp = par.first_deadlock_trace().unwrap();
+    assert_eq!(ts.len(), tp.len());
+    assert_eq!(
+        ts.steps.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+        tp.steps.iter().map(|(l, _)| l).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_stats() {
+    let m = cruise_control_model();
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let baseline = explore(&tm.env, &tm.initial, &Options::default());
+    for threads in [2, 3, 8] {
+        let ex = explore(
+            &tm.env,
+            &tm.initial,
+            &Options::default().with_threads(threads),
+        );
+        assert_eq!(ex.num_states(), baseline.num_states(), "threads={threads}");
+        assert_eq!(ex.stats.levels, baseline.stats.levels, "threads={threads}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Experiment Q5 — queue overflow handling (§4.4 of the paper).
+//!
+//! A periodic producer (period 4 ms) feeds a sporadic handler whose minimum
+//! separation is 9 ms: events arrive faster than they can be consumed, so any
+//! finite queue eventually overflows. Under the `Error` protocol the queue
+//! process deadlocks the model and the diagnosis names the connection; under
+//! `DropNewest` the surplus events are quietly dropped and the model stays
+//! deadlock-free. Growing the queue postpones — but cannot prevent — the
+//! `Error` overflow.
+
+use aadl::builder::PackageBuilder;
+use aadl::instance::{instantiate, InstanceModel};
+use aadl::model::Category;
+use aadl::properties::{names, PropertyValue, TimeVal};
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions, ViolationKind};
+
+fn overrun_model(queue_size: i64, overflow: &str) -> InstanceModel {
+    let pkg = PackageBuilder::new("Overrun")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+        .thread("Producer", |t| {
+            t.out_event_port("evt")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(4)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(4)))
+        })
+        .thread("Handler", |t| {
+            t.in_event_port("trigger")
+                .feature_prop(names::QUEUE_SIZE, PropertyValue::Int(queue_size))
+                .feature_prop(
+                    names::OVERFLOW_HANDLING_PROTOCOL,
+                    PropertyValue::Enum(overflow.to_owned()),
+                )
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(9)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(3)))
+        })
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("cpu1", Category::Processor, "cpu_t")
+                .sub("cpu2", Category::Processor, "cpu_t")
+                .sub("producer", Category::Thread, "Producer")
+                .sub("handler", Category::Thread, "Handler")
+                .connect("evt_conn", "producer.evt", "handler.trigger")
+                .bind_processor("producer", "cpu1")
+                .bind_processor("handler", "cpu2")
+                .prop(
+                    names::SCHEDULING_QUANTUM,
+                    PropertyValue::Time(TimeVal::ms(1)),
+                )
+        })
+        .build();
+    instantiate(&pkg, "Top.impl").unwrap()
+}
+
+fn verdict(queue_size: i64, overflow: &str) -> aadl2acsr::Verdict {
+    analyze(
+        &overrun_model(queue_size, overflow),
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn error_protocol_deadlocks_and_names_the_connection() {
+    let v = verdict(1, "Error");
+    assert!(!v.schedulable);
+    let sc = v.scenario.unwrap();
+    assert!(
+        sc.violations
+            .iter()
+            .any(|vk| matches!(vk, ViolationKind::QueueOverflow { connection } if connection == "evt_conn")),
+        "violations: {:?}",
+        sc.violations
+    );
+    // Timeline mentions the queueing activity.
+    let text = sc.render();
+    assert!(text.contains("event queued on `evt_conn`"), "{text}");
+}
+
+#[test]
+fn drop_newest_never_deadlocks() {
+    let v = verdict(1, "DropNewest");
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn drop_oldest_behaves_like_drop_newest_in_the_counter_abstraction() {
+    // §4.4: the counter does not model event identities, so both drop
+    // protocols yield the same process.
+    let v = verdict(1, "DropOldest");
+    assert!(v.schedulable);
+}
+
+#[test]
+fn larger_queues_postpone_the_overflow() {
+    let t1 = verdict(1, "Error").scenario.unwrap().at_quantum;
+    let t2 = verdict(2, "Error").scenario.unwrap().at_quantum;
+    let t4 = verdict(4, "Error").scenario.unwrap().at_quantum;
+    assert!(t1 < t2, "size 1 overflows at {t1}, size 2 at {t2}");
+    assert!(t2 < t4, "size 2 overflows at {t2}, size 4 at {t4}");
+}
+
+#[test]
+fn sufficient_service_rate_never_overflows() {
+    // Slow the producer down below the handler's separation: stable queue.
+    let pkg = PackageBuilder::new("Stable")
+        .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+        .thread("Producer", |t| {
+            t.out_event_port("evt")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(10)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(10)))
+        })
+        .thread("Handler", |t| {
+            t.in_event_port("trigger")
+                .feature_prop(names::QUEUE_SIZE, PropertyValue::Int(1))
+                .feature_prop(
+                    names::OVERFLOW_HANDLING_PROTOCOL,
+                    PropertyValue::Enum("Error".into()),
+                )
+                .prop_enum(names::DISPATCH_PROTOCOL, "Sporadic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(9)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(1), TimeVal::ms(1)),
+                )
+                .prop(names::COMPUTE_DEADLINE, PropertyValue::Time(TimeVal::ms(3)))
+        })
+        .system("Top", |s| s)
+        .implementation("Top.impl", Category::System, |i| {
+            i.sub("cpu1", Category::Processor, "cpu_t")
+                .sub("cpu2", Category::Processor, "cpu_t")
+                .sub("producer", Category::Thread, "Producer")
+                .sub("handler", Category::Thread, "Handler")
+                .connect("evt_conn", "producer.evt", "handler.trigger")
+                .bind_processor("producer", "cpu1")
+                .bind_processor("handler", "cpu2")
+                .prop(
+                    names::SCHEDULING_QUANTUM,
+                    PropertyValue::Time(TimeVal::ms(1)),
+                )
+        })
+        .build();
+    let m = instantiate(&pkg, "Top.impl").unwrap();
+    let v = analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}

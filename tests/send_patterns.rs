@@ -1,0 +1,84 @@
+//! Experiment on the §4.4 event-send refinement:
+//!
+//! > Since many events can be raised during the execution of a thread, and
+//! > each such event can cause a dispatch of another thread, analysis results
+//! > can be very conservative. […] a common behavior of a periodic thread is
+//! > to send data at the end of its computation period. This is the default
+//! > treatment of data event connections in our translation.
+//!
+//! `SendPattern::AtCompletion` (the default) raises each event exactly once,
+//! at completion; `SendPattern::Anytime` adds the raise-at-any-time self-loop
+//! the paper describes for unrefined threads. The tests pin down the
+//! conservatism: under `Anytime`, a 1-slot `Error` queue can always be
+//! overflowed (two raises in a row), while the refined default only enqueues
+//! once per dispatch and stays clean.
+
+use aadl::examples::producer_handler;
+use aadl::instance::instantiate;
+use aadl2acsr::{analyze, AnalysisOptions, SendPattern, TranslateOptions, ViolationKind};
+
+fn verdict(overflow: &str, pattern: SendPattern) -> aadl2acsr::Verdict {
+    let pkg = producer_handler(1, overflow);
+    let m = instantiate(&pkg, "Top.impl").unwrap();
+    analyze(
+        &m,
+        &TranslateOptions {
+            send_pattern: pattern,
+            ..Default::default()
+        },
+        &AnalysisOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn at_completion_is_clean() {
+    // One event per 20 ms period, separation 20 ms: the queue never overflows
+    // and the handler always meets its deadline.
+    let v = verdict("Error", SendPattern::AtCompletion);
+    assert!(v.schedulable, "stats: {:?}", v.stats);
+}
+
+#[test]
+fn anytime_is_conservative_overflowing_the_error_queue() {
+    // The unrefined thread may raise the event at every instant while
+    // computing: two raises inside one separation window overflow the 1-slot
+    // queue — the "very conservative" outcome the paper warns about.
+    let v = verdict("Error", SendPattern::Anytime);
+    assert!(!v.schedulable);
+    let sc = v.scenario.unwrap();
+    assert!(sc
+        .violations
+        .iter()
+        .any(|vk| matches!(vk, ViolationKind::QueueOverflow { .. })));
+}
+
+#[test]
+fn anytime_with_dropping_queue_stays_live() {
+    // Dropping surplus events absorbs the conservatism: no deadlock, but the
+    // state space is larger than the refined default's.
+    let drop_any = verdict("DropNewest", SendPattern::Anytime);
+    assert!(drop_any.schedulable, "stats: {:?}", drop_any.stats);
+    let exhaustive_any = analyze(
+        &instantiate(&producer_handler(1, "DropNewest"), "Top.impl").unwrap(),
+        &TranslateOptions {
+            send_pattern: SendPattern::Anytime,
+            ..Default::default()
+        },
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    let exhaustive_default = analyze(
+        &instantiate(&producer_handler(1, "DropNewest"), "Top.impl").unwrap(),
+        &TranslateOptions::default(),
+        &AnalysisOptions::exhaustive(),
+    )
+    .unwrap();
+    assert!(exhaustive_any.schedulable && exhaustive_default.schedulable);
+    assert!(
+        exhaustive_any.stats.states >= exhaustive_default.stats.states,
+        "anytime {} vs default {}",
+        exhaustive_any.stats.states,
+        exhaustive_default.stats.states
+    );
+}
