@@ -1,8 +1,8 @@
 //! Unparser: render a declarative [`Package`] back to AADL text.
 //!
 //! The output re-parses to an equal model (round-trip property, tested here
-//! and in the crate's proptest suite), which keeps the parser, the builder and
-//! the printer honest with one another.
+//! and in the crate's `det_prop!` suite), which keeps the parser, the builder
+//! and the printer honest with one another.
 
 use std::fmt::Write as _;
 

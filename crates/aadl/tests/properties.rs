@@ -1,5 +1,9 @@
 //! Property-based tests of the AADL front end: parser ↔ printer round-trips
 //! over randomized declarative models, and property-system invariants.
+//!
+//! Randomized inputs come from the workspace's vendored [`det`] harness
+//! (`det_prop!` runs 64 seeded cases per property by default; failures print
+//! a `DET_PROP_SEED` that reproduces the exact case).
 
 use aadl::builder::PackageBuilder;
 use aadl::instance::instantiate;
@@ -7,113 +11,105 @@ use aadl::model::{Category, Package};
 use aadl::parser::parse_package;
 use aadl::pretty::render_package;
 use aadl::properties::{names, PropertyValue, TimeUnit, TimeVal};
-use proptest::prelude::*;
+use det::det_prop;
+use det::prop::{bools, ints};
+use det::DetRng;
 
-fn arb_time() -> impl Strategy<Value = TimeVal> {
-    (1i64..1000, 0usize..4).prop_map(|(v, u)| {
-        TimeVal::new(v, [TimeUnit::Us, TimeUnit::Ms, TimeUnit::Sec, TimeUnit::Min][u])
+fn arb_time(rng: &mut DetRng) -> TimeVal {
+    let v = rng.range_i64(1..1000);
+    let u = *rng.pick(&[TimeUnit::Us, TimeUnit::Ms, TimeUnit::Sec, TimeUnit::Min]);
+    TimeVal::new(v, u)
+}
+
+/// A randomized single-processor package with periodic threads and a chain of
+/// event connections between consecutive ones.
+fn arb_package(rng: &mut DetRng) -> Package {
+    let protocol = *rng.pick(&["RMS", "DMS", "EDF", "LLF", "HPF"]);
+    let n = rng.range_usize(1..5);
+    let threads: Vec<(i64, i64)> = (0..n)
+        .map(|_| (rng.range_i64(1..50), rng.range_i64(1..10)))
+        .collect();
+
+    let mut b = PackageBuilder::new("Gen").processor("cpu_t", |p| {
+        p.prop_enum(names::SCHEDULING_PROTOCOL, protocol)
+    });
+    for (i, (period, wcet)) in threads.iter().enumerate() {
+        let period = *period + *wcet; // ensure wcet ≤ period
+        let wcet = *wcet;
+        let name = format!("T{i}");
+        b = b.thread(&name, move |t| {
+            t.out_event_port("evt")
+                .in_event_port("inp")
+                .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
+                .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(period)))
+                .prop(
+                    names::COMPUTE_EXECUTION_TIME,
+                    PropertyValue::TimeRange(TimeVal::ms(wcet), TimeVal::ms(wcet)),
+                )
+                .prop(
+                    names::COMPUTE_DEADLINE,
+                    PropertyValue::Time(TimeVal::ms(period)),
+                )
+                .prop_int(names::PRIORITY, (i as i64) + 1)
+        });
+    }
+    b = b.system("Top", |s| s);
+    b.implementation("Top.impl", Category::System, |mut i| {
+        i = i.sub("cpu", Category::Processor, "cpu_t");
+        for t in 0..n {
+            let sub = format!("t{t}");
+            let ty = format!("T{t}");
+            i = i
+                .sub(&sub, Category::Thread, &ty)
+                .bind_processor(&sub, "cpu");
+        }
+        for t in 1..n {
+            i = i.connect(
+                &format!("c{t}"),
+                &format!("t{}.evt", t - 1),
+                &format!("t{t}.inp"),
+            );
+        }
+        i
     })
+    .build()
 }
 
-/// A randomized single-processor package with `n` periodic threads and a
-/// chain of event connections between consecutive sporadic ones.
-fn arb_package() -> impl Strategy<Value = Package> {
-    (
-        1usize..5,
-        proptest::collection::vec((1i64..50, 1i64..10, 0usize..3), 1..5),
-        0usize..5,
-    )
-        .prop_map(|(_n, threads, scheduling)| {
-            let protocol = ["RMS", "DMS", "EDF", "LLF", "HPF"][scheduling];
-            let mut b = PackageBuilder::new("Gen").processor("cpu_t", |p| {
-                p.prop_enum(names::SCHEDULING_PROTOCOL, protocol)
-            });
-            for (i, (period, wcet, _)) in threads.iter().enumerate() {
-                let period = *period + *wcet; // ensure wcet ≤ period
-                let wcet = *wcet;
-                let name = format!("T{i}");
-                b = b.thread(&name, move |t| {
-                    t.out_event_port("evt")
-                        .in_event_port("inp")
-                        .prop_enum(names::DISPATCH_PROTOCOL, "Periodic")
-                        .prop(names::PERIOD, PropertyValue::Time(TimeVal::ms(period)))
-                        .prop(
-                            names::COMPUTE_EXECUTION_TIME,
-                            PropertyValue::TimeRange(TimeVal::ms(wcet), TimeVal::ms(wcet)),
-                        )
-                        .prop(
-                            names::COMPUTE_DEADLINE,
-                            PropertyValue::Time(TimeVal::ms(period)),
-                        )
-                        .prop_int(names::PRIORITY, (i as i64) + 1)
-                });
-            }
-            b = b.system("Top", |s| s);
-            let n = threads.len();
-            b.implementation("Top.impl", Category::System, |mut i| {
-                i = i.sub("cpu", Category::Processor, "cpu_t");
-                for t in 0..n {
-                    let sub = format!("t{t}");
-                    let ty = format!("T{t}");
-                    i = i
-                        .sub(&sub, Category::Thread, &ty)
-                        .bind_processor(&sub, "cpu");
-                }
-                for t in 1..n {
-                    i = i.connect(
-                        &format!("c{t}"),
-                        &format!("t{}.evt", t - 1),
-                        &format!("t{t}.inp"),
-                    );
-                }
-                i
-            })
-            .build()
-        })
-}
-
-proptest! {
-    #[test]
-    fn parser_printer_round_trip(pkg in arb_package()) {
+det_prop! {
+    fn parser_printer_round_trip(pkg in arb_package) {
         let text = render_package(&pkg);
         let reparsed = parse_package(&text)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
-        prop_assert_eq!(pkg, reparsed);
+        assert_eq!(pkg, reparsed);
     }
 
-    #[test]
-    fn double_round_trip_is_stable(pkg in arb_package()) {
+    fn double_round_trip_is_stable(pkg in arb_package) {
         let text1 = render_package(&pkg);
         let pkg2 = parse_package(&text1).unwrap();
         let text2 = render_package(&pkg2);
-        prop_assert_eq!(text1, text2);
+        assert_eq!(text1, text2);
     }
 
-    #[test]
-    fn generated_packages_instantiate(pkg in arb_package()) {
+    fn generated_packages_instantiate(pkg in arb_package) {
         let m = instantiate(&pkg, "Top.impl").unwrap();
-        prop_assert!(m.threads().count() >= 1);
+        assert!(m.threads().count() >= 1);
         let cpu = m.find("cpu").unwrap();
-        prop_assert_eq!(m.threads_on(cpu).len(), m.threads().count());
+        assert_eq!(m.threads_on(cpu).len(), m.threads().count());
         // Semantic connections: exactly the declared chain (all thread-level,
         // single segment each).
-        prop_assert_eq!(m.connections.len(), m.threads().count() - 1);
+        assert_eq!(m.connections.len(), m.threads().count() - 1);
     }
 
-    #[test]
-    fn time_ordering_matches_picoseconds(a in arb_time(), b in arb_time()) {
-        prop_assert_eq!(a.cmp(&b), a.as_ps().cmp(&b.as_ps()));
+    fn time_ordering_matches_picoseconds(a in arb_time, b in arb_time) {
+        assert_eq!(a.cmp(&b), a.as_ps().cmp(&b.as_ps()));
     }
 
-    #[test]
-    fn property_names_are_case_insensitive(
-        upper in any::<bool>(), v in 1i64..100
-    ) {
+    fn property_names_are_case_insensitive(upper in bools(), v in ints(1..100)) {
         let mut m = aadl::properties::PropertyMap::new();
         let name = if upper { "QUEUE_SIZE" } else { "queue_size" };
         m.set(name, PropertyValue::Int(v));
-        prop_assert_eq!(m.queue_size(), v);
-        prop_assert!(m.contains("Queue_Size"));
+        assert_eq!(m.queue_size(), v);
+        assert!(m.contains("Queue_Size"));
     }
 }
 

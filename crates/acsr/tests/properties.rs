@@ -1,192 +1,210 @@
 //! Property-based tests of the ACSR semantic core.
+//!
+//! Randomized terms, labels, and actions come from the workspace's vendored
+//! [`det`] harness (`det_prop!` runs 64 seeded cases per property by default;
+//! failures print a `DET_PROP_SEED` that reproduces the exact case).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use acsr::prelude::*;
 use acsr::GAction;
-use proptest::prelude::*;
+use det::det_prop;
+use det::prop::uints;
+use det::DetRng;
 
 const RES_POOL: [&str; 4] = ["pr_cpu1", "pr_cpu2", "pr_bus", "pr_data"];
 
-fn arb_gaction() -> impl Strategy<Value = GAction> {
-    proptest::collection::btree_map(0usize..RES_POOL.len(), 0u32..5, 0..RES_POOL.len())
-        .prop_map(|m| {
-            let mut uses: Vec<(Res, u32)> = m
-                .into_iter()
-                .map(|(i, p)| (Res::new(RES_POOL[i]), p))
+fn arb_gaction(rng: &mut DetRng) -> GAction {
+    let size = rng.range_usize(0..RES_POOL.len());
+    let mut m = BTreeMap::new();
+    for _ in 0..size {
+        let i = rng.range_usize(0..RES_POOL.len());
+        let p = rng.range_u64(0..5) as u32;
+        m.insert(i, p);
+    }
+    let mut uses: Vec<(Res, u32)> = m
+        .into_iter()
+        .map(|(i, p)| (Res::new(RES_POOL[i]), p))
+        .collect();
+    uses.sort_unstable_by_key(|(r, _)| *r);
+    GAction {
+        uses: uses.into_boxed_slice(),
+        tags: Box::new([]),
+    }
+}
+
+fn arb_label(rng: &mut DetRng) -> Label {
+    match rng.range_u64(0..3) {
+        0 => Label::A(Arc::new(arb_gaction(rng))),
+        1 => Label::E {
+            label: Symbol::new(*rng.pick(&["pe_a", "pe_b", "pe_c"])),
+            dir: if rng.next_bool() { Dir::Send } else { Dir::Recv },
+            prio: rng.range_u64(0..5) as u32,
+        },
+        _ => Label::Tau {
+            prio: rng.range_u64(0..5) as u32,
+            via: None,
+        },
+    }
+}
+
+fn arb_leaf(rng: &mut DetRng) -> P {
+    match rng.range_u64(0..3) {
+        0 => nil(),
+        1 => {
+            let a = arb_gaction(rng);
+            let uses: Vec<(Res, Expr)> = a
+                .uses
+                .iter()
+                .map(|(r, p)| (*r, Expr::c(*p as i64)))
                 .collect();
-            uses.sort_unstable_by_key(|(r, _)| *r);
-            GAction {
-                uses: uses.into_boxed_slice(),
-                tags: Box::new([]),
-            }
-        })
-}
-
-fn arb_label() -> impl Strategy<Value = Label> {
-    prop_oneof![
-        arb_gaction().prop_map(|a| Label::A(Arc::new(a))),
-        (0usize..3, any::<bool>(), 0u32..5).prop_map(|(i, send, prio)| Label::E {
-            label: Symbol::new(["pe_a", "pe_b", "pe_c"][i]),
-            dir: if send { Dir::Send } else { Dir::Recv },
-            prio,
-        }),
-        (0u32..5).prop_map(|prio| Label::Tau { prio, via: None }),
-    ]
-}
-
-/// A small ground process over the resource pool, with bounded depth.
-fn arb_proc() -> impl Strategy<Value = P> {
-    let leaf = prop_oneof![
-        Just(nil()),
-        arb_gaction().prop_map(|a| {
-            let uses: Vec<(Res, Expr)> =
-                a.uses.iter().map(|(r, p)| (*r, Expr::c(*p as i64))).collect();
             act(uses, nil())
-        }),
-        (0usize..3, any::<bool>(), 0u32..4).prop_map(|(i, send, prio)| {
-            let sym = Symbol::new(["pp_x", "pp_y", "pp_z"][i]);
-            if send {
+        }
+        _ => {
+            let sym = Symbol::new(*rng.pick(&["pp_x", "pp_y", "pp_z"]));
+            let prio = rng.range_u64(0..4) as u32;
+            if rng.next_bool() {
                 evt_send(sym, prio, nil())
             } else {
                 evt_recv(sym, prio, nil())
             }
-        }),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(choice),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(par),
-            (inner.clone(), 0i64..4).prop_map(|(p, t)| scope(
-                p,
-                TimeBound::Finite(Expr::c(t)),
-                None,
-                Some(nil()),
-                None
-            )),
-            inner
-                .clone()
-                .prop_map(|p| restrict(p, [Symbol::new("pp_x")])),
-            inner.prop_map(|p| close(p, [Res::new("pr_data")])),
-        ]
-    })
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn preemption_is_irreflexive(l in arb_label()) {
-        prop_assert!(!preempts(&l, &l));
+fn arb_proc_depth(rng: &mut DetRng, depth: usize) -> P {
+    if depth == 0 {
+        return arb_leaf(rng);
+    }
+    match rng.range_u64(0..6) {
+        0 => arb_leaf(rng),
+        1 => {
+            let n = rng.range_usize(1..4);
+            choice((0..n).map(|_| arb_proc_depth(rng, depth - 1)).collect::<Vec<_>>())
+        }
+        2 => {
+            let n = rng.range_usize(1..3);
+            par((0..n).map(|_| arb_proc_depth(rng, depth - 1)).collect::<Vec<_>>())
+        }
+        3 => {
+            let p = arb_proc_depth(rng, depth - 1);
+            let t = rng.range_i64(0..4);
+            scope(p, TimeBound::Finite(Expr::c(t)), None, Some(nil()), None)
+        }
+        4 => restrict(arb_proc_depth(rng, depth - 1), [Symbol::new("pp_x")]),
+        _ => close(arb_proc_depth(rng, depth - 1), [Res::new("pr_data")]),
+    }
+}
+
+/// A small ground process over the resource pool, with bounded depth.
+fn arb_proc(rng: &mut DetRng) -> P {
+    arb_proc_depth(rng, 3)
+}
+
+det_prop! {
+    fn preemption_is_irreflexive(l in arb_label) {
+        assert!(!preempts(&l, &l));
     }
 
-    #[test]
-    fn preemption_is_antisymmetric(a in arb_label(), b in arb_label()) {
-        prop_assert!(!(preempts(&a, &b) && preempts(&b, &a)));
+    fn preemption_is_antisymmetric(a in arb_label, b in arb_label) {
+        assert!(!(preempts(&a, &b) && preempts(&b, &a)));
     }
 
-    #[test]
-    fn preemption_is_transitive(a in arb_label(), b in arb_label(), c in arb_label()) {
+    fn preemption_is_transitive(a in arb_label, b in arb_label, c in arb_label) {
         if preempts(&a, &b) && preempts(&b, &c) {
-            prop_assert!(preempts(&a, &c), "{a:?} ≺ {b:?} ≺ {c:?} but not {a:?} ≺ {c:?}");
+            assert!(preempts(&a, &c), "{a:?} ≺ {b:?} ≺ {c:?} but not {a:?} ≺ {c:?}");
         }
     }
 
-    #[test]
-    fn idling_is_preempted_by_any_positive_action(a in arb_gaction()) {
+    fn idling_is_preempted_by_any_positive_action(a in arb_gaction) {
         let idle = Label::A(Arc::new(GAction::idle()));
         let la = Label::A(Arc::new(a.clone()));
         let has_positive = a.uses.iter().any(|(_, p)| *p > 0);
-        prop_assert_eq!(preempts(&idle, &la), has_positive);
+        assert_eq!(preempts(&idle, &la), has_positive);
     }
 
-    #[test]
-    fn merge_is_commutative(a in arb_gaction(), b in arb_gaction()) {
+    fn merge_is_commutative(a in arb_gaction, b in arb_gaction) {
         let ab = a.merge(&b);
         let ba = b.merge(&a);
         match (ab, ba) {
-            (Some(x), Some(y)) => prop_assert_eq!(x.uses, y.uses),
+            (Some(x), Some(y)) => assert_eq!(x.uses, y.uses),
             (None, None) => {}
-            other => prop_assert!(false, "asymmetric merge: {other:?}"),
+            other => panic!("asymmetric merge: {other:?}"),
         }
     }
 
-    #[test]
     fn merge_is_associative_when_defined(
-        a in arb_gaction(), b in arb_gaction(), c in arb_gaction()
+        a in arb_gaction, b in arb_gaction, c in arb_gaction
     ) {
         let left = a.merge(&b).and_then(|ab| ab.merge(&c));
         let right = b.merge(&c).and_then(|bc| a.merge(&bc));
         match (left, right) {
-            (Some(x), Some(y)) => prop_assert_eq!(x.uses, y.uses),
+            (Some(x), Some(y)) => assert_eq!(x.uses, y.uses),
             (None, None) => {}
-            other => prop_assert!(false, "non-associative merge: {other:?}"),
+            other => panic!("non-associative merge: {other:?}"),
         }
     }
 
-    #[test]
-    fn prioritize_is_idempotent_and_contractive(p in arb_proc()) {
+    fn prioritize_is_idempotent_and_contractive(p in arb_proc) {
         let env = Env::new();
         let all = steps(&env, &p);
         let pri = prioritized_steps(&env, &p);
-        prop_assert!(pri.len() <= all.len());
+        assert!(pri.len() <= all.len());
         // Every prioritized step is an unprioritized step.
         for s in &pri {
-            prop_assert!(all.contains(s));
+            assert!(all.contains(s));
         }
         // Idempotence: filtering again changes nothing.
         let again = acsr::prio::prioritize(pri.clone());
-        prop_assert_eq!(again, pri);
+        assert_eq!(again, pri);
     }
 
-    #[test]
-    fn urgent_tau_excludes_timed_steps(p in arb_proc()) {
+    fn urgent_tau_excludes_timed_steps(p in arb_proc) {
         let env = Env::new();
         let pri = prioritized_steps(&env, &p);
         let has_urgent_tau = pri.iter().any(|(l, _)| matches!(l, Label::Tau { prio, .. } if *prio > 0));
         if has_urgent_tau {
-            prop_assert!(pri.iter().all(|(l, _)| !l.is_timed()));
+            assert!(pri.iter().all(|(l, _)| !l.is_timed()));
         }
     }
 
-    #[test]
-    fn steps_are_deterministic(p in arb_proc()) {
+    fn steps_are_deterministic(p in arb_proc) {
         let env = Env::new();
-        prop_assert_eq!(steps(&env, &p), steps(&env, &p));
+        assert_eq!(steps(&env, &p), steps(&env, &p));
     }
 
-    #[test]
-    fn par_timed_steps_use_disjointly_merged_resources(p in arb_proc(), q in arb_proc()) {
+    fn par_timed_steps_use_disjointly_merged_resources(p in arb_proc, q in arb_proc) {
         let env = Env::new();
         let composed = par([p.clone(), q.clone()]);
         for (l, _) in steps(&env, &composed) {
             if let Some(a) = l.action() {
                 // Sorted and duplicate-free by construction.
                 for w in a.uses.windows(2) {
-                    prop_assert!(w[0].0 < w[1].0);
+                    assert!(w[0].0 < w[1].0);
                 }
             }
         }
     }
 
-    #[test]
-    fn walk_states_are_reachable_by_exploration(p in arb_proc(), seed in 0u64..1000) {
+    fn walk_states_are_reachable_by_exploration(p in arb_proc, seed in uints(0..1000)) {
         let env = Env::new();
         let walk = versa::random_walk(&env, &p, 16, seed);
         let ex = versa::explore(&env, &p, &versa::Options::default());
         for st in &walk.states {
             let found = (0..ex.num_states())
                 .any(|i| ex.state(versa::StateId(i as u32)) == st);
-            prop_assert!(found, "walk visited a state exploration missed");
+            assert!(found, "walk visited a state exploration missed");
         }
     }
 
-    #[test]
-    fn subst_is_idempotent_on_ground_terms(p in arb_proc()) {
+    fn subst_is_idempotent_on_ground_terms(p in arb_proc) {
         // arb_proc generates ground terms; substituting with no arguments
         // must be the identity up to structural equality.
         let once = acsr::term::subst(&p, &[]).unwrap();
         let twice = acsr::term::subst(&once, &[]).unwrap();
-        prop_assert_eq!(&once, &twice);
-        prop_assert_eq!(steps(&Env::new(), &p), steps(&Env::new(), &once));
+        assert_eq!(&once, &twice);
+        assert_eq!(steps(&Env::new(), &p), steps(&Env::new(), &once));
     }
 }
 

@@ -14,8 +14,7 @@
 //! with `ExecModel::Wcet` and fixed priorities, a miss in the simulation must
 //! also be found by RTA and by the exhaustive analysis.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use det::DetRng;
 
 use crate::types::TaskSet;
 
@@ -92,7 +91,7 @@ struct Job {
 /// all behaviours of a synchronous set with fixed execution times).
 pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> SimOutcome {
     let mut rng = match exec {
-        ExecModel::Sampled { seed } => Some(StdRng::seed_from_u64(seed)),
+        ExecModel::Sampled { seed } => Some(DetRng::new(seed)),
         _ => None,
     };
     let static_prio: Vec<u64> = match policy {
@@ -122,7 +121,7 @@ pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> 
                     ExecModel::Sampled { .. } => rng
                         .as_mut()
                         .expect("sampled exec has rng")
-                        .gen_range(task.bcet..=task.wcet),
+                        .range_u64(task.bcet..=task.wcet),
                 };
                 jobs.push(Job {
                     task: i,

@@ -2,58 +2,63 @@
 //! closed-form tests, on both implicit- and constrained-deadline task sets.
 //! These mutual checks keep the §6 comparison baselines honest before they
 //! are ever compared against the exhaustive ACSR analysis.
+//!
+//! Randomized task sets come from the workspace's vendored [`det`] harness
+//! (`det_prop!` runs 64 seeded cases per property by default; failures print
+//! a `DET_PROP_SEED` that reproduces the exact case).
 
-use proptest::prelude::*;
+use det::det_prop;
+use det::prop::{uints, vec_of};
+use det::DetRng;
 use sched_baselines::edf_demand::edf_schedulable;
 use sched_baselines::rta::{dm_schedulable, response_times, rm_schedulable};
 use sched_baselines::simulator::{simulate, ExecModel, Policy};
 use sched_baselines::types::{Task, TaskSet};
 use sched_baselines::utilization::{hyperbolic_test, rm_utilization_test};
 
-fn arb_taskset() -> impl Strategy<Value = TaskSet> {
-    let task = (0usize..5, 1u64..6).prop_map(|(pi, c)| {
-        let period = [5u64, 6, 8, 10, 12][pi];
-        Task::new(0, period, c.min(period))
-    });
-    proptest::collection::vec(task, 1..4).prop_map(TaskSet::new)
+fn arb_taskset(rng: &mut DetRng) -> TaskSet {
+    let n = rng.range_usize(1..4);
+    let tasks = (0..n)
+        .map(|_| {
+            let period = *rng.pick(&[5u64, 6, 8, 10, 12]);
+            let c = rng.range_u64(1..6);
+            Task::new(0, period, c.min(period))
+        })
+        .collect();
+    TaskSet::new(tasks)
 }
 
-proptest! {
-    #[test]
-    fn rm_simulation_agrees_with_rta(ts in arb_taskset()) {
+det_prop! {
+    fn rm_simulation_agrees_with_rta(ts in arb_taskset) {
         let sim = simulate(&ts, Policy::Rm, ExecModel::Wcet, ts.hyperperiod());
-        prop_assert_eq!(sim.ok(), rm_schedulable(&ts), "{:?}", ts);
+        assert_eq!(sim.ok(), rm_schedulable(&ts), "{:?}", ts);
     }
 
-    #[test]
     fn dm_simulation_agrees_with_rta_on_constrained_deadlines(
-        ts in arb_taskset(), shrink in proptest::collection::vec(0u64..4, 3)
+        ts in arb_taskset, shrink in vec_of(uints(0..4), 3..4)
     ) {
         let mut ts = ts;
         for (t, s) in ts.tasks.iter_mut().zip(shrink) {
             t.deadline = (t.period - s.min(t.period - 1)).max(t.wcet);
         }
         let sim = simulate(&ts, Policy::Dm, ExecModel::Wcet, ts.hyperperiod());
-        prop_assert_eq!(sim.ok(), dm_schedulable(&ts), "{:?}", ts);
+        assert_eq!(sim.ok(), dm_schedulable(&ts), "{:?}", ts);
     }
 
-    #[test]
-    fn edf_simulation_agrees_with_demand_criterion(ts in arb_taskset()) {
+    fn edf_simulation_agrees_with_demand_criterion(ts in arb_taskset) {
         let sim = simulate(&ts, Policy::Edf, ExecModel::Wcet, ts.hyperperiod());
-        prop_assert_eq!(sim.ok(), edf_schedulable(&ts), "{:?}", ts);
+        assert_eq!(sim.ok(), edf_schedulable(&ts), "{:?}", ts);
     }
 
-    #[test]
-    fn utilization_bounds_are_sufficient(ts in arb_taskset()) {
+    fn utilization_bounds_are_sufficient(ts in arb_taskset) {
         // Liu–Layland and hyperbolic are sufficient conditions: passing
         // either implies exact RM schedulability.
         if rm_utilization_test(&ts) || hyperbolic_test(&ts) {
-            prop_assert!(rm_schedulable(&ts), "{:?}", ts);
+            assert!(rm_schedulable(&ts), "{:?}", ts);
         }
     }
 
-    #[test]
-    fn response_times_bound_simulated_completions(ts in arb_taskset()) {
+    fn response_times_bound_simulated_completions(ts in arb_taskset) {
         // The worst observed response in a synchronous WCET simulation equals
         // the RTA fixpoint for the *first* job of each task (critical
         // instant), so RTA must never under-estimate.
@@ -76,14 +81,13 @@ proptest! {
                     }
                 }
                 if let Some(done) = completion {
-                    prop_assert!(done <= r, "task {i}: simulated {done} > RTA {r} in {ts:?}");
+                    assert!(done <= r, "task {i}: simulated {done} > RTA {r} in {ts:?}");
                 }
             }
         }
     }
 
-    #[test]
-    fn bcet_runs_never_do_worse_than_wcet_on_one_processor(ts in arb_taskset()) {
+    fn bcet_runs_never_do_worse_than_wcet_on_one_processor(ts in arb_taskset) {
         // Fully preemptive fixed-priority uniprocessor scheduling has no
         // execution-time anomalies: if WCET misses nothing, BCET misses
         // nothing.
@@ -94,7 +98,7 @@ proptest! {
                 t.bcet = (t.wcet / 2).max(1);
             }
             let bcet = simulate(&ts2, Policy::Rm, ExecModel::Bcet, ts2.hyperperiod());
-            prop_assert!(bcet.ok(), "{:?}", ts2);
+            assert!(bcet.ok(), "{:?}", ts2);
         }
     }
 }

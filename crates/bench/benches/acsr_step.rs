@@ -2,7 +2,9 @@
 //! one-step derivation, prioritization, the Par3 product and substitution.
 
 use acsr::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use acsr::term::ActionT;
+use acsr::GAction;
+use bench::timing::Runner;
 
 /// `n` workers on one cpu, each offering compute/idle — the canonical
 /// scheduling hot spot of the translation.
@@ -24,27 +26,23 @@ fn workers(env: &mut Env, n: usize) -> P {
     par(comps)
 }
 
-fn bench_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("acsr_prioritized_steps");
+fn bench_steps(r: &mut Runner) {
     for n in [2usize, 4, 8] {
         let mut env = Env::new();
         let p = workers(&mut env, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| prioritized_steps(&env, &p));
+        r.bench_with_param("acsr_prioritized_steps", n, || {
+            prioritized_steps(&env, &p)
         });
     }
-    group.finish();
 }
 
-fn bench_unprioritized(c: &mut Criterion) {
+fn bench_unprioritized(r: &mut Runner) {
     let mut env = Env::new();
     let p = workers(&mut env, 6);
-    c.bench_function("acsr_unprioritized_steps_6", |b| {
-        b.iter(|| steps(&env, &p));
-    });
+    r.bench("acsr_unprioritized_steps_6", || steps(&env, &p));
 }
 
-fn bench_subst(c: &mut Criterion) {
+fn bench_subst(r: &mut Runner) {
     // A Fig. 5-shaped compute body with guards and parameter arithmetic.
     let cpu = Res::new("bench_cpu2");
     let mut env = Env::new();
@@ -64,12 +62,12 @@ fn bench_subst(c: &mut Criterion) {
         act([] as [(Res, i32); 0], invoke(d, [Expr::p(0), Expr::p(1).add(Expr::c(1))])),
     ]);
     env.set_body(d, body);
-    c.bench_function("acsr_instantiate_compute", |b| {
-        b.iter(|| env.instantiate(d, &[4, 7]).unwrap());
+    r.bench("acsr_instantiate_compute", || {
+        env.instantiate(d, &[4, 7]).unwrap()
     });
 }
 
-fn bench_merge(c: &mut Criterion) {
+fn bench_merge(r: &mut Runner) {
     let mk = |names: &[(&str, u32)]| {
         let t = ActionT {
             uses: names
@@ -81,13 +79,13 @@ fn bench_merge(c: &mut Criterion) {
     };
     let a = mk(&[("m_r1", 1), ("m_r3", 2), ("m_r5", 3)]);
     let b = mk(&[("m_r2", 1), ("m_r4", 2), ("m_r6", 3)]);
-    c.bench_function("gaction_merge_disjoint", |bch| {
-        bch.iter(|| a.merge(&b).unwrap());
-    });
+    r.bench("gaction_merge_disjoint", || a.merge(&b).unwrap());
 }
 
-use acsr::term::ActionT;
-use acsr::GAction;
-
-criterion_group!(benches, bench_steps, bench_unprioritized, bench_subst, bench_merge);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_steps(&mut r);
+    bench_unprioritized(&mut r);
+    bench_subst(&mut r);
+    bench_merge(&mut r);
+}

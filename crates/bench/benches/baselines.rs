@@ -1,7 +1,7 @@
 //! Baseline analysis microbenchmarks: RTA fixpoints, demand-bound
 //! checkpoints and simulator throughput as task sets grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::Runner;
 use sched_baselines::edf_demand::edf_schedulable;
 use sched_baselines::rta::response_times;
 use sched_baselines::simulator::{simulate, ExecModel, Policy};
@@ -17,43 +17,33 @@ fn set(n: usize) -> TaskSet {
     })
 }
 
-fn bench_rta(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rta_response_times");
+fn bench_rta(r: &mut Runner) {
     for n in [4usize, 8, 16, 32] {
         let ts = set(n);
         let order = ts.rm_order();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| response_times(&ts, &order));
-        });
+        r.bench_with_param("rta_response_times", n, || response_times(&ts, &order));
     }
-    group.finish();
 }
 
-fn bench_demand(c: &mut Criterion) {
-    let mut group = c.benchmark_group("edf_demand_criterion");
+fn bench_demand(r: &mut Runner) {
     for n in [4usize, 8, 16] {
         let ts = set(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| edf_schedulable(&ts));
-        });
+        r.bench_with_param("edf_demand_criterion", n, || edf_schedulable(&ts));
     }
-    group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator_hyperperiod");
+fn bench_simulator(r: &mut Runner) {
     for policy in [Policy::Rm, Policy::Edf, Policy::Llf] {
         let ts = set(8);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                b.iter(|| simulate(&ts, policy, ExecModel::Wcet, ts.hyperperiod()));
-            },
-        );
+        r.bench_with_param("simulator_hyperperiod", format!("{policy:?}"), move || {
+            simulate(&ts, policy, ExecModel::Wcet, ts.hyperperiod())
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_rta, bench_demand, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_rta(&mut r);
+    bench_demand(&mut r);
+    bench_simulator(&mut r);
+}

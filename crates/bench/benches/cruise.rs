@@ -7,88 +7,76 @@ use aadl::instance::instantiate;
 use aadl::parser::parse_package;
 use aadl::pretty::render_package;
 use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::Runner;
 
-fn bench_front_end(c: &mut Criterion) {
+fn bench_front_end(r: &mut Runner) {
     let text = render_package(&cruise_control());
-    c.bench_function("cruise_parse", |b| {
-        b.iter(|| parse_package(&text).unwrap());
-    });
+    r.bench("cruise_parse", || parse_package(&text).unwrap());
     let pkg = cruise_control();
-    c.bench_function("cruise_instantiate", |b| {
-        b.iter(|| instantiate(&pkg, "CruiseControl.impl").unwrap());
+    r.bench("cruise_instantiate", || {
+        instantiate(&pkg, "CruiseControl.impl").unwrap()
     });
 }
 
-fn bench_translate(c: &mut Criterion) {
+fn bench_translate(r: &mut Runner) {
     let m = cruise_control_model();
-    c.bench_function("cruise_translate", |b| {
-        b.iter(|| translate(&m, &TranslateOptions::default()).unwrap());
+    r.bench("cruise_translate", || {
+        translate(&m, &TranslateOptions::default()).unwrap()
     });
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cruise_analysis");
-    group.sample_size(10);
+fn bench_analysis(r: &mut Runner) {
     let nominal = cruise_control_model();
-    group.bench_function("nominal_exhaustive", |b| {
-        b.iter(|| {
-            let v = analyze(
-                &nominal,
-                &TranslateOptions::default(),
-                &AnalysisOptions::exhaustive(),
-            )
-            .unwrap();
-            assert!(v.schedulable);
-            v
-        });
+    r.bench("cruise_analysis/nominal_exhaustive", || {
+        let v = analyze(
+            &nominal,
+            &TranslateOptions::default(),
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        assert!(v.schedulable);
+        v
     });
     let overloaded = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
-    group.bench_function("overloaded_first_deadlock", |b| {
-        b.iter(|| {
-            let v = analyze(
-                &overloaded,
-                &TranslateOptions::default(),
-                &AnalysisOptions::default(),
-            )
-            .unwrap();
-            assert!(!v.schedulable);
-            v
-        });
+    r.bench("cruise_analysis/overloaded_first_deadlock", || {
+        let v = analyze(
+            &overloaded,
+            &TranslateOptions::default(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(!v.schedulable);
+        v
     });
     // Ablation: compact translation mode (§7's "more compact state spaces").
-    group.bench_function("nominal_compact_mode", |b| {
-        b.iter(|| {
-            analyze(
-                &nominal,
-                &TranslateOptions {
-                    compact: true,
-                    ..Default::default()
-                },
-                &AnalysisOptions::exhaustive(),
-            )
-            .unwrap()
-        });
+    r.bench("cruise_analysis/nominal_compact_mode", || {
+        analyze(
+            &nominal,
+            &TranslateOptions {
+                compact: true,
+                ..Default::default()
+            },
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap()
     });
-    group.finish();
 }
 
-fn bench_diagnosis(c: &mut Criterion) {
+fn bench_diagnosis(r: &mut Runner) {
     // Raising the failing scenario (trace → AADL timeline).
     let overloaded = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
     let tm = translate(&overloaded, &TranslateOptions::default()).unwrap();
     let ex = versa::explore(&tm.env, &tm.initial, &versa::Options::verdict());
     let trace = ex.first_deadlock_trace().unwrap();
-    c.bench_function("cruise_raise_scenario", |b| {
-        b.iter(|| aadl2acsr::diagnose::raise(&overloaded, &tm, &trace));
+    r.bench("cruise_raise_scenario", || {
+        aadl2acsr::diagnose::raise(&overloaded, &tm, &trace)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_front_end,
-    bench_translate,
-    bench_analysis,
-    bench_diagnosis
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_front_end(&mut r);
+    bench_translate(&mut r);
+    bench_analysis(&mut r);
+    bench_diagnosis(&mut r);
+}

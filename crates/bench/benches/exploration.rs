@@ -2,7 +2,7 @@
 //! per second on product spaces, and trace reconstruction cost.
 
 use acsr::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::Runner;
 use versa::{explore, Options};
 
 /// Independent modulo-counters: a pure product space of `lens.product()`
@@ -35,37 +35,31 @@ fn counters(env: &mut Env, lens: &[i64]) -> P {
     par(comps)
 }
 
-fn bench_product_spaces(c: &mut Criterion) {
-    let mut group = c.benchmark_group("explore_product_space");
-    group.sample_size(20);
-    for (label, lens) in [("7x5", vec![7i64, 5]), ("7x5x3", vec![7, 5, 3]), ("11x7x5", vec![11, 7, 5])] {
+fn bench_product_spaces(r: &mut Runner) {
+    for (label, lens) in [
+        ("7x5", vec![7i64, 5]),
+        ("7x5x3", vec![7, 5, 3]),
+        ("11x7x5", vec![11, 7, 5]),
+    ] {
         let mut env = Env::new();
         let p = counters(&mut env, &lens);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
-            b.iter(|| explore(&env, &p, &Options::default()));
+        r.bench_with_param("explore_product_space", label, || {
+            explore(&env, &p, &Options::default())
         });
     }
-    group.finish();
 }
 
-fn bench_parallel_workers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("explore_workers");
-    group.sample_size(10);
+fn bench_parallel_workers(r: &mut Runner) {
     let mut env = Env::new();
     let p = counters(&mut env, &[13, 11, 7]);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| explore(&env, &p, &Options::default().with_threads(threads)));
-            },
-        );
+        r.bench_with_param("explore_workers", threads, || {
+            explore(&env, &p, &Options::default().with_threads(threads))
+        });
     }
-    group.finish();
 }
 
-fn bench_deadlock_trace(c: &mut Criterion) {
+fn bench_deadlock_trace(r: &mut Runner) {
     // A long corridor to a deadlock: measures parent-pointer reconstruction.
     let mut env = Env::new();
     let d = env.declare("Corridor", 1);
@@ -85,15 +79,12 @@ fn bench_deadlock_trace(c: &mut Criterion) {
     let p = invoke(d, [Expr::c(0)]);
     let ex = explore(&env, &p, &Options::default());
     assert_eq!(ex.deadlocks.len(), 1);
-    c.bench_function("deadlock_trace_500", |b| {
-        b.iter(|| ex.first_deadlock_trace().unwrap());
-    });
+    r.bench("deadlock_trace_500", || ex.first_deadlock_trace().unwrap());
 }
 
-criterion_group!(
-    benches,
-    bench_product_spaces,
-    bench_parallel_workers,
-    bench_deadlock_trace
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_product_spaces(&mut r);
+    bench_parallel_workers(&mut r);
+    bench_deadlock_trace(&mut r);
+}

@@ -5,7 +5,7 @@
 
 use aadl::instance::instantiate;
 use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::Runner;
 use sched_baselines::edf_demand::edf_schedulable;
 use sched_baselines::rta::rm_schedulable;
 use sched_baselines::taskset::{taskset_to_package, uunifast, TaskSetSpec};
@@ -20,65 +20,52 @@ fn set() -> TaskSet {
     })
 }
 
-fn bench_acsr_per_policy(c: &mut Criterion) {
+fn bench_acsr_per_policy(r: &mut Runner) {
     let ts = set();
-    let mut group = c.benchmark_group("acsr_verdict_by_policy");
-    group.sample_size(10);
     for protocol in ["RMS", "DMS", "EDF", "LLF"] {
         let pkg = taskset_to_package(&ts, protocol);
         let m = instantiate(&pkg, "Top.impl").unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, _| {
-                b.iter(|| {
-                    analyze(
-                        &m,
-                        &TranslateOptions::default(),
-                        &AnalysisOptions::default(),
-                    )
-                    .unwrap()
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_baselines(c: &mut Criterion) {
-    let ts = set();
-    c.bench_function("baseline_rta", |b| {
-        b.iter(|| rm_schedulable(&ts));
-    });
-    c.bench_function("baseline_edf_demand", |b| {
-        b.iter(|| edf_schedulable(&ts));
-    });
-    c.bench_function("baseline_simulation_hyperperiod", |b| {
-        b.iter(|| {
-            sched_baselines::simulator::simulate(
-                &ts,
-                sched_baselines::simulator::Policy::Rm,
-                sched_baselines::simulator::ExecModel::Wcet,
-                ts.hyperperiod(),
+        r.bench_with_param("acsr_verdict_by_policy", protocol, || {
+            analyze(
+                &m,
+                &TranslateOptions::default(),
+                &AnalysisOptions::default(),
             )
+            .unwrap()
         });
+    }
+}
+
+fn bench_baselines(r: &mut Runner) {
+    let ts = set();
+    r.bench("baseline_rta", || rm_schedulable(&ts));
+    r.bench("baseline_edf_demand", || edf_schedulable(&ts));
+    r.bench("baseline_simulation_hyperperiod", || {
+        sched_baselines::simulator::simulate(
+            &ts,
+            sched_baselines::simulator::Policy::Rm,
+            sched_baselines::simulator::ExecModel::Wcet,
+            ts.hyperperiod(),
+        )
     });
 }
 
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("uunifast_generate", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            uunifast(&TaskSetSpec {
-                n: 5,
-                target_utilization: 0.8,
-                periods: vec![4, 5, 8, 10, 16, 20],
-                seed,
-            })
-        });
+fn bench_generation(r: &mut Runner) {
+    let mut seed = 0u64;
+    r.bench("uunifast_generate", move || {
+        seed += 1;
+        uunifast(&TaskSetSpec {
+            n: 5,
+            target_utilization: 0.8,
+            periods: vec![4, 5, 8, 10, 16, 20],
+            seed,
+        })
     });
 }
 
-criterion_group!(benches, bench_acsr_per_policy, bench_baselines, bench_generation);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_acsr_per_policy(&mut r);
+    bench_baselines(&mut r);
+    bench_generation(&mut r);
+}

@@ -5,52 +5,44 @@
 use aadl::examples::cruise_control_model;
 use aadl::properties::TimeVal;
 use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::Runner;
 
-fn bench_quantum_sweep(c: &mut Criterion) {
+fn bench_quantum_sweep(r: &mut Runner) {
     let m = cruise_control_model();
-    let mut group = c.benchmark_group("quantum_sweep_cruise");
-    group.sample_size(10);
     for q in [10i64, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| {
-                analyze(
-                    &m,
-                    &TranslateOptions {
-                        quantum: Some(TimeVal::ms(q)),
-                        ..Default::default()
-                    },
-                    &AnalysisOptions::exhaustive(),
-                )
-                .unwrap()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_quantum_fine(c: &mut Criterion) {
-    // The 1 ms quantum blows the space up by ~an order of magnitude; keep the
-    // sample count minimal and stop at the first deadlock (none exists, so
-    // this is a full sweep).
-    let m = cruise_control_model();
-    let mut group = c.benchmark_group("quantum_fine_cruise");
-    group.sample_size(10);
-    group.bench_function("1ms", |b| {
-        b.iter(|| {
+        r.bench_with_param("quantum_sweep_cruise", q, || {
             analyze(
                 &m,
                 &TranslateOptions {
-                    quantum: Some(TimeVal::ms(1)),
+                    quantum: Some(TimeVal::ms(q)),
                     ..Default::default()
                 },
-                &AnalysisOptions::default(),
+                &AnalysisOptions::exhaustive(),
             )
             .unwrap()
         });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(benches, bench_quantum_sweep, bench_quantum_fine);
-criterion_main!(benches);
+fn bench_quantum_fine(r: &mut Runner) {
+    // The 1 ms quantum blows the space up by ~an order of magnitude; stop at
+    // the first deadlock (none exists, so this is a full sweep).
+    let m = cruise_control_model();
+    r.bench("quantum_fine_cruise/1ms", || {
+        analyze(
+            &m,
+            &TranslateOptions {
+                quantum: Some(TimeVal::ms(1)),
+                ..Default::default()
+            },
+            &AnalysisOptions::default(),
+        )
+        .unwrap()
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+    bench_quantum_sweep(&mut r);
+    bench_quantum_fine(&mut r);
+}

@@ -3,48 +3,41 @@
 
 use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
 use bench::overrun_system;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::Runner;
 
-fn bench_queue_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queue_overflow_detection");
-    group.sample_size(10);
+fn bench_queue_sizes(r: &mut Runner) {
     for size in [1i64, 2, 4, 8] {
         let m = overrun_system(size, "Error");
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| {
-                let v = analyze(
-                    &m,
-                    &TranslateOptions::default(),
-                    &AnalysisOptions::default(),
-                )
-                .unwrap();
-                assert!(!v.schedulable);
-                v
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_drop_protocol(c: &mut Criterion) {
-    // DropNewest keeps the space finite without a deadlock: full sweep cost.
-    let m = overrun_system(1, "DropNewest");
-    let mut group = c.benchmark_group("queue_drop_protocol");
-    group.sample_size(10);
-    group.bench_function("drop_newest_full_sweep", |b| {
-        b.iter(|| {
+        r.bench_with_param("queue_overflow_detection", size, || {
             let v = analyze(
                 &m,
                 &TranslateOptions::default(),
-                &AnalysisOptions::exhaustive(),
+                &AnalysisOptions::default(),
             )
             .unwrap();
-            assert!(v.schedulable);
+            assert!(!v.schedulable);
             v
         });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(benches, bench_queue_sizes, bench_drop_protocol);
-criterion_main!(benches);
+fn bench_drop_protocol(r: &mut Runner) {
+    // DropNewest keeps the space finite without a deadlock: full sweep cost.
+    let m = overrun_system(1, "DropNewest");
+    r.bench("queue_drop_protocol/drop_newest_full_sweep", || {
+        let v = analyze(
+            &m,
+            &TranslateOptions::default(),
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        assert!(v.schedulable);
+        v
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+    bench_queue_sizes(&mut r);
+    bench_drop_protocol(&mut r);
+}

@@ -3,50 +3,39 @@
 
 use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions};
 use bench::harmonic_system;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::Runner;
 use versa::{explore, Options};
 
-fn bench_model_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_threads_in_model");
-    group.sample_size(10);
+fn bench_model_size(r: &mut Runner) {
     for n in [2usize, 3, 4, 5] {
         let m = harmonic_system(n, 4, 0.15);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                analyze(
-                    &m,
-                    &TranslateOptions::default(),
-                    &AnalysisOptions::default(),
-                )
-                .unwrap()
-            });
+        r.bench_with_param("scaling_threads_in_model", n, || {
+            analyze(
+                &m,
+                &TranslateOptions::default(),
+                &AnalysisOptions::default(),
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_engine_workers(c: &mut Criterion) {
+fn bench_engine_workers(r: &mut Runner) {
     let m = harmonic_system(5, 4, 0.15);
     let tm = translate(&m, &TranslateOptions::default()).unwrap();
-    let mut group = c.benchmark_group("scaling_engine_workers");
-    group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    explore(
-                        &tm.env,
-                        &tm.initial,
-                        &Options::default().with_threads(threads),
-                    )
-                });
-            },
-        );
+        r.bench_with_param("scaling_engine_workers", threads, || {
+            explore(
+                &tm.env,
+                &tm.initial,
+                &Options::default().with_threads(threads),
+            )
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_model_size, bench_engine_workers);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_model_size(&mut r);
+    bench_engine_workers(&mut r);
+}

@@ -1,8 +1,11 @@
 //! # bench — benchmark harness and workload generators
 //!
-//! Criterion benches, one per experiment of `EXPERIMENTS.md`, plus shared
-//! workload builders. The `harness` binary regenerates every quantitative
-//! table in one run (`cargo run --release -p bench --bin harness`).
+//! Wall-clock benches (see [`timing`]), one per experiment of
+//! `EXPERIMENTS.md`, plus shared workload builders. The `harness` binary
+//! regenerates every quantitative table in one run
+//! (`cargo run --release -p bench --bin harness`).
+
+pub mod timing;
 
 use aadl::builder::PackageBuilder;
 use aadl::instance::{instantiate, InstanceModel};

@@ -1,0 +1,204 @@
+//! A minimal std-only wall-clock benchmarking harness.
+//!
+//! Replaces the previous criterion dependency so that `cargo bench` works in
+//! the hermetic, registry-free build (see DESIGN.md, "Determinism & vendored
+//! utilities"). Each benchmark target is a plain `fn main()` compiled with
+//! `harness = false`; it constructs a [`Runner`] from the command line and
+//! registers closures with [`Runner::bench`] / [`Runner::bench_with_param`].
+//!
+//! Methodology: a short warm-up sizes the per-sample iteration count so one
+//! sample takes ≈5 ms, then a fixed number of samples is timed with
+//! [`std::time::Instant`] and the per-iteration minimum / median / mean are
+//! reported. The *minimum* is the headline number — it is the least noisy
+//! estimator of the true cost on a shared machine. No statistics beyond that:
+//! this harness is for tracking relative regressions, not publishing absolute
+//! numbers.
+//!
+//! A substring filter can be passed on the command line (criterion-style):
+//! `cargo bench -p bench --bench exploration -- product` runs only benchmarks
+//! whose name contains `product`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 10;
+/// Target wall-clock duration of one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Warm-up budget before iteration sizing.
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Benchmark name (including any `/param` suffix).
+    pub name: String,
+    /// Fastest sample, per iteration.
+    pub min: Duration,
+    /// Median sample, per iteration.
+    pub median: Duration,
+    /// Mean over all samples, per iteration.
+    pub mean: Duration,
+    /// Iterations per sample.
+    pub iters: u32,
+}
+
+/// Benchmark registry and runner for one `harness = false` target.
+pub struct Runner {
+    filter: Option<String>,
+    results: Vec<Stats>,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new(None)
+    }
+}
+
+impl Runner {
+    /// A runner with an optional substring filter.
+    pub fn new(filter: Option<String>) -> Runner {
+        Runner {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Build a runner from `std::env::args`, taking the first non-flag
+    /// argument as a substring filter (flags like `--bench`, which cargo
+    /// forwards, are ignored).
+    pub fn from_args() -> Runner {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Runner::new(filter)
+    }
+
+    /// Time `f` and print one result line. Skipped (silently) when a filter
+    /// is set and `name` does not contain it.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let stats = measure(name, &mut f);
+        println!(
+            "{:<48} min {:>12}  median {:>12}  mean {:>12}  ({} iters x {} samples)",
+            stats.name,
+            fmt_dur(stats.min),
+            fmt_dur(stats.median),
+            fmt_dur(stats.mean),
+            stats.iters,
+            SAMPLES,
+        );
+        self.results.push(stats);
+    }
+
+    /// Like [`Runner::bench`] with a criterion-style `group/param` name.
+    pub fn bench_with_param<T>(
+        &mut self,
+        group: &str,
+        param: impl std::fmt::Display,
+        f: impl FnMut() -> T,
+    ) {
+        self.bench(&format!("{group}/{param}"), f);
+    }
+
+    /// Results recorded so far (post-filter), in registration order.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+}
+
+fn measure<T>(name: &str, f: &mut impl FnMut() -> T) -> Stats {
+    // Warm up and estimate the cost of a single iteration.
+    let warm_start = Instant::now();
+    let mut one = Duration::MAX;
+    let mut warm_iters = 0u32;
+    while warm_iters < 3 || warm_start.elapsed() < WARMUP {
+        let t = Instant::now();
+        black_box(f());
+        one = one.min(t.elapsed().max(Duration::from_nanos(1)));
+        warm_iters += 1;
+    }
+    // Size a sample to ≈SAMPLE_TARGET.
+    let iters = (SAMPLE_TARGET.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u32;
+
+    let mut per_iter: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed() / iters
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let mean = per_iter.iter().sum::<Duration>() / SAMPLES as u32;
+    Stats {
+        name: name.to_string(),
+        min: per_iter[0],
+        median: per_iter[SAMPLES / 2],
+        mean,
+        iters,
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_results() {
+        let mut r = Runner::new(None);
+        let mut x = 0u64;
+        r.bench("noop_add", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(r.results().len(), 1);
+        let s = &r.results()[0];
+        assert_eq!(s.name, "noop_add");
+        assert!(s.min <= s.median && s.median <= s.mean * 2);
+        assert!(s.iters >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner::new(Some("explore".into()));
+        r.bench("parse_only", || 1 + 1);
+        assert!(r.results().is_empty());
+        r.bench("explore_fast", || 1 + 1);
+        assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn param_names_are_joined_with_slash() {
+        let mut r = Runner::new(None);
+        r.bench_with_param("group", 7, || 0);
+        assert_eq!(r.results()[0].name, "group/7");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_dur(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,35 @@
+//! # det — vendored deterministic test & PRNG utilities
+//!
+//! This workspace builds **hermetically**: `cargo build` and `cargo test`
+//! must succeed with an empty registry cache and no network. This crate
+//! vendors the two utilities the repo previously pulled from external
+//! crates:
+//!
+//! * [`DetRng`] — a seedable xorshift64\* PRNG covering the narrow API the
+//!   workspace used from `rand` (uniform integers in a range, `f64` in
+//!   `[0, 1)`, slice picks). The sequence produced for a given seed is
+//!   **frozen**: experiments and regression baselines depend on it, so
+//!   changing the algorithm or the seeding is an ISSUE-level decision.
+//! * [`prop`] and the [`det_prop!`] macro — a minimal property-test harness
+//!   replacing `proptest`: N seeded cases per property (64 by default),
+//!   shrink-by-halving for integer and vector inputs, and a reproducible
+//!   seed printed on failure (`DET_PROP_SEED=0x… cargo test -q <name>`
+//!   reruns exactly the failing input).
+//!
+//! See `DESIGN.md` § "Determinism & vendored utilities" for the stability
+//! guarantees and the rationale.
+//!
+//! ```
+//! use det::DetRng;
+//!
+//! let mut rng = DetRng::new(42);
+//! let a = rng.range_u64(0..100);
+//! assert!(a < 100);
+//! // Same seed ⇒ same sequence, on every platform, in every PR.
+//! assert_eq!(DetRng::new(7).next_u64(), DetRng::new(7).next_u64());
+//! ```
+
+pub mod prop;
+pub mod rng;
+
+pub use rng::DetRng;

@@ -1,0 +1,593 @@
+//! The minimal seeded property-test harness behind [`det_prop!`](crate::det_prop).
+//!
+//! ## Semantics
+//!
+//! Each property runs **64 cases** by default (override with the
+//! `DET_PROP_CASES` environment variable). Case `i` of property `name` is
+//! generated from a [`DetRng`] seeded with
+//! `splitmix64(fnv1a(name) ^ i·GOLDEN)` — fully deterministic, different per
+//! property and per case, identical on every machine and in every PR.
+//!
+//! On failure the harness **shrinks** the input: integer inputs halve toward
+//! the lower bound of their generating range, vector inputs halve in length
+//! (then shrink elementwise), and composite closures simply don't shrink.
+//! The smallest still-failing input is reported together with the case seed:
+//!
+//! ```text
+//! det_prop `merge_is_commutative`: case 17/64 failed (seed 0x1f2e3d4c5b6a7988)
+//! input: (GAction { .. }, GAction { .. })
+//! panic: assertion failed: ...
+//! reproduce: DET_PROP_SEED=0x1f2e3d4c5b6a7988 cargo test -q merge_is_commutative
+//! ```
+//!
+//! Setting `DET_PROP_SEED` makes the harness run exactly one case with that
+//! generator seed (no shrinking) — the printed panic is the raw assertion.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::rng::{splitmix64, DetRng};
+
+/// A value generator: anything that can draw a `Value` from a [`DetRng`] and
+/// (optionally) propose smaller variants of a failing value.
+///
+/// Plain closures `Fn(&mut DetRng) -> T` are generators (without shrinking),
+/// so arbitrary model builders compose directly with the combinators here.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{ints, Gen};
+/// use det::DetRng;
+///
+/// let gen = ints(0..100);
+/// let v = gen.generate(&mut DetRng::new(1));
+/// assert!((0..100).contains(&v));
+/// // Shrinking halves toward the range start.
+/// assert!(gen.shrink(&80).iter().all(|s| *s < 80));
+/// ```
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+    /// Draw one value.
+    fn generate(&self, rng: &mut DetRng) -> Self::Value;
+    /// Propose strictly "smaller" candidate values for shrinking. The
+    /// default is no shrinking.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+impl<T: Clone + Debug, F: Fn(&mut DetRng) -> T> Gen for F {
+    type Value = T;
+    fn generate(&self, rng: &mut DetRng) -> T {
+        self(rng)
+    }
+}
+
+/// Uniform `i64` in a half-open range, shrinking by halving toward the
+/// range start.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{ints, Gen};
+/// use det::DetRng;
+///
+/// let g = ints(-8..8);
+/// let mut rng = DetRng::new(2);
+/// assert!((-8..8).contains(&g.generate(&mut rng)));
+/// assert_eq!(g.shrink(&-8), Vec::<i64>::new()); // already minimal
+/// ```
+pub fn ints(range: Range<i64>) -> IntGen {
+    IntGen { range }
+}
+
+/// Generator returned by [`ints`].
+#[derive(Clone, Debug)]
+pub struct IntGen {
+    range: Range<i64>,
+}
+
+impl Gen for IntGen {
+    type Value = i64;
+    fn generate(&self, rng: &mut DetRng) -> i64 {
+        rng.range_i64(self.range.clone())
+    }
+    fn shrink(&self, v: &i64) -> Vec<i64> {
+        shrink_toward(*v, self.range.start)
+    }
+}
+
+/// Uniform `u64` in a half-open range, shrinking by halving toward the
+/// range start.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{uints, Gen};
+/// use det::DetRng;
+///
+/// let g = uints(1..5);
+/// assert!((1..5).contains(&g.generate(&mut DetRng::new(3))));
+/// assert_eq!(g.shrink(&4), vec![1, 3]); // halving ladder toward the range start
+/// ```
+pub fn uints(range: Range<u64>) -> UintGen {
+    UintGen { range }
+}
+
+/// Generator returned by [`uints`].
+#[derive(Clone, Debug)]
+pub struct UintGen {
+    range: Range<u64>,
+}
+
+impl Gen for UintGen {
+    type Value = u64;
+    fn generate(&self, rng: &mut DetRng) -> u64 {
+        rng.range_u64(self.range.clone())
+    }
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        shrink_toward(*v as i64, self.range.start as i64)
+            .into_iter()
+            .map(|x| x as u64)
+            .collect()
+    }
+}
+
+/// Uniform `usize` in a half-open range, shrinking by halving toward the
+/// range start. The go-to generator for pool indices.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{usizes, Gen};
+/// use det::DetRng;
+///
+/// let pool = ["a", "b", "c"];
+/// let g = usizes(0..pool.len());
+/// let i = g.generate(&mut DetRng::new(4));
+/// assert!(i < pool.len());
+/// ```
+pub fn usizes(range: Range<usize>) -> UsizeGen {
+    UsizeGen { range }
+}
+
+/// Generator returned by [`usizes`].
+#[derive(Clone, Debug)]
+pub struct UsizeGen {
+    range: Range<usize>,
+}
+
+impl Gen for UsizeGen {
+    type Value = usize;
+    fn generate(&self, rng: &mut DetRng) -> usize {
+        rng.range_usize(self.range.clone())
+    }
+    fn shrink(&self, v: &usize) -> Vec<usize> {
+        shrink_toward(*v as i64, self.range.start as i64)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect()
+    }
+}
+
+/// Uniform boolean, shrinking `true → false`.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{bools, Gen};
+///
+/// assert_eq!(bools().shrink(&true), vec![false]);
+/// assert_eq!(bools().shrink(&false), Vec::<bool>::new());
+/// ```
+pub fn bools() -> BoolGen {
+    BoolGen
+}
+
+/// Generator returned by [`bools`].
+#[derive(Clone, Debug)]
+pub struct BoolGen;
+
+impl Gen for BoolGen {
+    type Value = bool;
+    fn generate(&self, rng: &mut DetRng) -> bool {
+        rng.next_bool()
+    }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A vector of values from an element generator, with the length drawn from
+/// `len` — shrinking halves the vector (keeping either half) and then
+/// shrinks elements in place.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{uints, vec_of, Gen};
+/// use det::DetRng;
+///
+/// let g = vec_of(uints(0..10), 1..4);
+/// let v = g.generate(&mut DetRng::new(5));
+/// assert!((1..4).contains(&v.len()));
+/// // A 2-element vector shrinks to its halves first.
+/// let candidates = g.shrink(&vec![7, 9]);
+/// assert!(candidates.contains(&vec![7]));
+/// assert!(candidates.contains(&vec![9]));
+/// ```
+pub fn vec_of<G: Gen>(element: G, len: Range<usize>) -> VecGen<G> {
+    VecGen { element, len }
+}
+
+/// Generator returned by [`vec_of`].
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    element: G,
+    len: Range<usize>,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+    fn generate(&self, rng: &mut DetRng) -> Vec<G::Value> {
+        let n = rng.range_usize(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // Halve the length: keep the first half, then the second half.
+        if v.len() > min.max(1) {
+            let half = (v.len() + 1) / 2;
+            if half >= min {
+                out.push(v[..half].to_vec());
+                out.push(v[v.len() - half..].to_vec());
+            }
+        }
+        // Shrink each element in place.
+        for (i, e) in v.iter().enumerate() {
+            for smaller in self.element.shrink(e) {
+                let mut w = v.clone();
+                w[i] = smaller;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// Halving ladder from `v` toward `lo` (exclusive of `v` itself):
+/// `lo, lo + (v-lo)/2, …, v-1`, deduplicated and ordered smallest-first.
+fn shrink_toward(v: i64, lo: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let cand = v - delta;
+        if cand != lo {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    if *out.last().unwrap() != v - 1 && v - 1 != lo {
+        out.push(v - 1);
+    }
+    out.dedup();
+    out
+}
+
+macro_rules! tuple_gen {
+    ($($G:ident $idx:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+            fn generate(&self, rng: &mut DetRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = smaller;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A 0);
+tuple_gen!(A 0, B 1);
+tuple_gen!(A 0, B 1, C 2);
+tuple_gen!(A 0, B 1, C 2, D 3);
+
+/// The number of cases per property: 64, or the `DET_PROP_CASES`
+/// environment variable.
+///
+/// # Examples
+///
+/// ```
+/// assert!(det::prop::cases() >= 1);
+/// ```
+pub fn cases() -> u32 {
+    std::env::var("DET_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("DET_PROP_SEED").ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// FNV-1a over the property name: the per-property base seed. Stable across
+/// platforms and PRs by construction.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn case_seed(base: u64, case: u32) -> u64 {
+    splitmix64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+// Panics thrown while probing candidate inputs are expected; silence them so
+// `cargo test` output stays readable. The hook is installed once, chains to
+// the previous hook, and only mutes panics from threads that are inside a
+// det_prop probe (thread-local flag).
+thread_local! {
+    static PROBING: Cell<bool> = const { Cell::new(false) };
+}
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(|p| p.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `prop` on one value, capturing a panic as `Err(message)`.
+fn probe<V>(prop: &impl Fn(V), v: V) -> Result<(), String> {
+    install_quiet_hook();
+    PROBING.with(|p| p.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(v)));
+    PROBING.with(|p| p.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    })
+}
+
+/// Greedily walk the shrink lattice: take the first candidate that still
+/// fails, repeat until no candidate fails (or a safety cap is hit).
+fn shrink_to_minimal<G: Gen>(gen: &G, prop: &impl Fn(G::Value), start: G::Value) -> G::Value {
+    let mut current = start;
+    let mut budget = 1000usize;
+    'outer: while budget > 0 {
+        for cand in gen.shrink(&current) {
+            budget -= 1;
+            if probe(prop, cand.clone()).is_err() {
+                current = cand;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// The harness entry point — normally invoked through
+/// [`det_prop!`](crate::det_prop), which packs the per-argument generators
+/// into a tuple and the property body into a closure.
+///
+/// Runs `n` seeded cases of `prop` over values from `gen`; on failure,
+/// shrinks the input and panics with the case seed and a `DET_PROP_SEED`
+/// reproduction line.
+///
+/// # Examples
+///
+/// ```
+/// use det::prop::{check, uints};
+///
+/// // 64 cases, none fail:
+/// check("doctest_sum_commutes", det::prop::cases(), &(uints(0..9), uints(0..9)),
+///       |(a, b)| assert_eq!(a + b, b + a));
+/// ```
+///
+/// ```should_panic
+/// use det::prop::{check, uints};
+///
+/// // A false property panics with a reproducible seed.
+/// check("doctest_all_below_3", 64, &(uints(0..9),), |(a,)| assert!(a < 3));
+/// ```
+pub fn check<G: Gen>(name: &str, n: u32, gen: &G, prop: impl Fn(G::Value)) {
+    if let Some(seed) = env_seed() {
+        // Reproduction mode: exactly one case, panics propagate untouched.
+        let v = gen.generate(&mut DetRng::new(seed));
+        eprintln!("det_prop `{name}`: replaying seed {seed:#018x} with input {v:?}");
+        prop(v);
+        return;
+    }
+    let base = fnv1a(name);
+    for case in 0..n {
+        let seed = case_seed(base, case);
+        let v = gen.generate(&mut DetRng::new(seed));
+        if let Err(msg) = probe(&prop, v.clone()) {
+            let minimal = shrink_to_minimal(gen, &prop, v);
+            panic!(
+                "det_prop `{name}`: case {case}/{n} failed (seed {seed:#018x})\n\
+                 input (shrunk): {minimal:?}\n\
+                 panic: {msg}\n\
+                 reproduce: DET_PROP_SEED={seed:#018x} cargo test -q {name}"
+            );
+        }
+    }
+}
+
+/// Declare seeded property tests.
+///
+/// Each `fn name(arg in generator, …) { body }` becomes a `#[test]` running
+/// [`cases()`](crate::prop::cases) seeded cases; generators are any
+/// [`Gen`](crate::prop::Gen) (combinators from [`prop`](crate::prop) shrink,
+/// plain closures don't). Up to four arguments per property.
+///
+/// # Examples
+///
+/// ```
+/// use det::det_prop;
+/// use det::prop::{uints, vec_of};
+///
+/// det_prop! {
+///     fn reverse_is_involutive(v in vec_of(uints(0..100), 0..8)) {
+///         let mut w = v.clone();
+///         w.reverse();
+///         w.reverse();
+///         assert_eq!(v, w);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! det_prop {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let generators = ($($gen,)+);
+                $crate::prop::check(
+                    stringify!($name),
+                    $crate::prop::cases(),
+                    &generators,
+                    |($($arg,)+)| $body,
+                );
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("t_pass", 64, &(uints(0..100),), |(v,)| {
+            counter.set(counter.get() + 1);
+            assert!(v < 100);
+        });
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            check("t_fail", 64, &(uints(0..1000),), |(v,)| assert!(v < 5));
+        }));
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("DET_PROP_SEED=0x"), "{msg}");
+        assert!(msg.contains("reproduce:"), "{msg}");
+        // Shrinking must land on the boundary counterexample.
+        assert!(msg.contains("input (shrunk): (5,)"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_small_witness() {
+        // Property: no vector contains a value ≥ 50. Minimal counterexample
+        // is a 1-element vector [50].
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "t_vec",
+                64,
+                &(vec_of(uints(0..100), 0..6),),
+                |(v,)| assert!(v.iter().all(|&x| x < 50)),
+            );
+        }));
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("input (shrunk): ([50],)"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut vs = Vec::new();
+            check("t_det", 16, &(uints(0..1_000_000),), |(v,)| {
+                // Property bodies must be pure; we only record the input.
+                let _ = &v;
+            });
+            // Re-generate the same inputs directly.
+            let base = fnv1a("t_det");
+            for case in 0..16 {
+                let mut rng = DetRng::new(case_seed(base, case));
+                vs.push((uints(0..1_000_000),).generate(&mut rng));
+            }
+            vs
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn closures_are_generators_without_shrinking() {
+        let gen = |rng: &mut DetRng| (rng.range_u64(0..4), rng.next_bool());
+        let v = Gen::generate(&gen, &mut DetRng::new(1));
+        assert!(v.0 < 4);
+        assert!(Gen::shrink(&gen, &v).is_empty());
+    }
+
+    #[test]
+    fn shrink_toward_ladder_is_ordered_and_excludes_v() {
+        assert_eq!(shrink_toward(8, 0), vec![0, 4, 6, 7]);
+        assert_eq!(shrink_toward(1, 0), vec![0]);
+        assert_eq!(shrink_toward(0, 0), Vec::<i64>::new());
+    }
+
+    det_prop! {
+        fn macro_declares_real_tests(a in ints(-50..50), b in ints(-50..50)) {
+            assert_eq!(a + b, b + a);
+        }
+    }
+}

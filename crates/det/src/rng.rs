@@ -1,0 +1,306 @@
+//! The seedable deterministic PRNG.
+//!
+//! Algorithm: **xorshift64\*** (Vigna 2016) over a 64-bit state, seeded
+//! through one round of **SplitMix64** so that small consecutive seeds
+//! (0, 1, 2, …) still land in well-mixed regions of the state space. Both
+//! algorithms are public domain and fit in a dozen lines — this is not a
+//! cryptographic generator, it exists so that workload generation and
+//! property tests are reproducible without an external `rand` dependency.
+//!
+//! **Stability guarantee:** the sequence produced for a given seed is frozen
+//! across PRs. Seeded experiments (`EXPERIMENTS.md`) and the `det_prop!`
+//! failure seeds printed by past CI runs must stay replayable, so any change
+//! to the algorithm, the seeding scramble, or the range-mapping below is an
+//! ISSUE-level decision, not a refactor.
+
+/// One round of SplitMix64: the seed scrambler.
+///
+/// # Examples
+///
+/// ```
+/// // Consecutive inputs map to unrelated outputs.
+/// let a = det::rng::splitmix64(1);
+/// let b = det::rng::splitmix64(2);
+/// assert_ne!(a >> 32, b >> 32);
+/// ```
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xorshift64\* PRNG — the workspace's only randomness source.
+///
+/// # Examples
+///
+/// ```
+/// use det::DetRng;
+///
+/// let mut rng = DetRng::new(0xB0B);
+/// let roll = rng.range_u64(1..=6);
+/// assert!((1..=6).contains(&roll));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Create a generator from a seed. Every seed (including 0) is valid and
+    /// produces a distinct, frozen sequence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut a = DetRng::new(0);
+    /// let mut b = DetRng::new(0);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    pub fn new(seed: u64) -> DetRng {
+        // xorshift state must be non-zero; splitmix64 maps exactly one input
+        // to 0, so fall back to its image of a fixed constant.
+        let state = match splitmix64(seed) {
+            0 => splitmix64(0x0DD_B1A5E5_BAD5EED),
+            s => s,
+        };
+        DetRng { state }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(9);
+    /// assert_ne!(rng.next_u64(), rng.next_u64());
+    /// ```
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of entropy).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(1);
+    /// for _ in 0..100 {
+    ///     let x = rng.next_f64();
+    ///     assert!((0.0..1.0).contains(&x));
+    /// }
+    /// ```
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value below `n` (`n` must be positive). The modulo bias is
+    /// below 2⁻⁵⁰ for every `n` used in this workspace and is part of the
+    /// frozen sequence contract.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(3);
+    /// assert!(rng.below(10) < 10);
+    /// ```
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "DetRng::below(0)");
+        self.next_u64() % n
+    }
+
+    /// A uniform `u64` from a (half-open or inclusive) range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(4);
+    /// assert!(rng.range_u64(10..20) < 20);
+    /// assert!(rng.range_u64(10..=20) <= 20);
+    /// ```
+    pub fn range_u64(&mut self, range: impl std::ops::RangeBounds<u64>) -> u64 {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&v) => v,
+            std::ops::Bound::Excluded(&v) => v + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&v) => v,
+            std::ops::Bound::Excluded(&v) => v.checked_sub(1).expect("empty range"),
+            std::ops::Bound::Unbounded => u64::MAX,
+        };
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// A uniform `i64` from a range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(5);
+    /// let v = rng.range_i64(-5..5);
+    /// assert!((-5..5).contains(&v));
+    /// ```
+    pub fn range_i64(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(self.below(span) as i64)
+    }
+
+    /// A uniform `usize` from a range — the slice-index workhorse.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(6);
+    /// let xs = [10, 20, 30];
+    /// let i = rng.range_usize(0..xs.len());
+    /// assert!(i < xs.len());
+    /// ```
+    pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// A uniform boolean.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(8);
+    /// let heads = (0..1000).filter(|_| rng.next_bool()).count();
+    /// assert!((300..700).contains(&heads));
+    /// ```
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(10);
+    /// let protocols = ["RMS", "DMS", "EDF"];
+    /// assert!(protocols.contains(rng.pick(&protocols)));
+    /// ```
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.range_usize(0..slice.len())]
+    }
+
+    /// Split off an independent generator (seeded from this one's stream).
+    /// Useful for giving each parallel worker or sub-generator its own
+    /// stream without correlating them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det::DetRng;
+    ///
+    /// let mut rng = DetRng::new(11);
+    /// let mut child = rng.fork();
+    /// assert_ne!(child.next_u64(), rng.clone().next_u64());
+    /// ```
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_frozen() {
+        // Golden values: if these change, seeded experiments silently shift.
+        // Changing them is an ISSUE-level decision (see module docs).
+        let mut rng = DetRng::new(0);
+        assert_eq!(rng.next_u64(), 0x7BBC_B40D_5506_82D0);
+        assert_eq!(rng.next_u64(), 0xDE7F_E413_D00C_C9FD);
+        assert_eq!(rng.next_u64(), 0xB3C6_3835_3C66_8C91);
+        assert_eq!(rng.next_u64(), 0xE073_AFC0_9491_95FC);
+        assert_eq!(DetRng::new(42).next_u64(), 0x31B0_ECE7_C4F6_97A2);
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::new(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::new(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds() {
+        let mut rng = DetRng::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            match rng.range_u64(0..=3) {
+                0 => seen_lo = true,
+                3 => seen_hi = true,
+                _ => {}
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_varies() {
+        let mut rng = DetRng::new(4);
+        let xs: Vec<f64> = (0..100).map(|_| rng.next_f64()).collect();
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((0.3..0.7).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn negative_i64_ranges() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..100 {
+            let v = rng.range_i64(-10..-5);
+            assert!((-10..-5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut rng = DetRng::new(6);
+        let mut f1 = rng.fork();
+        let mut f2 = rng.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+}

@@ -12,27 +12,58 @@
 //! and identical to the sequential engine.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use acsr::{prioritized_steps, Env, Label, P};
-use parking_lot::Mutex;
 
 use crate::lts::Lts;
 use crate::trace::Trace;
 
 /// Dense identifier of an interned state.
+///
+/// Ids are assigned in BFS discovery order, so `StateId(0)` is always the
+/// initial state and lower ids are closer to it.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options, StateId};
+///
+/// let env = Env::new();
+/// let ex = explore(&env, &act([(Res::new("cpu"), 1)], nil()), &Options::default());
+/// assert_eq!(ex.initial(), StateId(0));
+/// assert_eq!(StateId(1).index(), 1);
+/// ```
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StateId(pub u32);
 
 impl StateId {
-    /// The raw index.
+    /// The raw index into the exploration's state table.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(versa::StateId(7).index(), 7);
+    /// ```
     pub fn index(self) -> usize {
         self.0 as usize
     }
 }
 
 /// Exploration options.
+///
+/// # Examples
+///
+/// ```
+/// use versa::Options;
+///
+/// let opts = Options::default().with_threads(4).with_max_states(10_000);
+/// assert_eq!(opts.threads, 4);
+/// assert_eq!(opts.max_states, 10_000);
+/// assert!(!opts.stop_at_first_deadlock);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Options {
     /// Abort after interning this many states (the exploration is then marked
@@ -61,6 +92,12 @@ impl Default for Options {
 
 impl Options {
     /// Preset for schedulability verdicts: stop at the first deadlock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(versa::Options::verdict().stop_at_first_deadlock);
+    /// ```
     pub fn verdict() -> Options {
         Options {
             stop_at_first_deadlock: true,
@@ -68,13 +105,25 @@ impl Options {
         }
     }
 
-    /// Set the worker-thread count.
+    /// Set the worker-thread count (`0` or `1` means sequential).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(versa::Options::default().with_threads(8).threads, 8);
+    /// ```
     pub fn with_threads(mut self, threads: usize) -> Options {
         self.threads = threads;
         self
     }
 
     /// Set the state budget.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(versa::Options::default().with_max_states(100).max_states, 100);
+    /// ```
     pub fn with_max_states(mut self, max: usize) -> Options {
         self.max_states = max;
         self
@@ -82,6 +131,19 @@ impl Options {
 }
 
 /// Aggregate statistics of one exploration run.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options};
+///
+/// // Two timed steps to NIL: 3 states, 2 transitions, 3 BFS levels.
+/// let env = Env::new();
+/// let p = act([(Res::new("cpu"), 1)], act([(Res::new("cpu"), 1)], nil()));
+/// let stats = explore(&env, &p, &Options::default()).stats;
+/// assert_eq!((stats.states, stats.transitions, stats.levels), (3, 2, 3));
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     /// Number of interned states.
@@ -99,6 +161,19 @@ pub struct Stats {
 }
 
 /// The result of exploring a model.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options};
+///
+/// let env = Env::new();
+/// let ex = explore(&env, &act([(Res::new("cpu"), 1)], nil()), &Options::default());
+/// assert_eq!(ex.num_states(), 2);
+/// assert!(!ex.deadlock_free()); // NIL has no steps
+/// assert!(!ex.truncated);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Exploration {
     states: Vec<P>,
@@ -117,26 +192,83 @@ pub struct Exploration {
 
 impl Exploration {
     /// The initial state (always id 0).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options, StateId};
+    ///
+    /// let ex = explore(&Env::new(), &nil(), &Options::default());
+    /// assert_eq!(ex.initial(), StateId(0));
+    /// ```
     pub fn initial(&self) -> StateId {
         StateId(0)
     }
 
     /// Number of interned states.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let ex = explore(&Env::new(), &nil(), &Options::default());
+    /// assert_eq!(ex.num_states(), 1);
+    /// ```
     pub fn num_states(&self) -> usize {
         self.states.len()
     }
 
     /// The term of a state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let ex = explore(&Env::new(), &nil(), &Options::default());
+    /// assert!(matches!(&**ex.state(ex.initial()), acsr::Proc::Nil));
+    /// ```
     pub fn state(&self, id: StateId) -> &P {
         &self.states[id.index()]
     }
 
     /// True iff no deadlock was found (and the exploration completed).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// // NIL deadlocks immediately; an idling loop never does.
+    /// assert!(!explore(&Env::new(), &nil(), &Options::default()).deadlock_free());
+    /// let mut env = Env::new();
+    /// let d = env.declare("Idle", 0);
+    /// env.set_body(d, act([] as [(Res, i32); 0], invoke(d, [])));
+    /// assert!(explore(&env, &invoke(d, []), &Options::default()).deadlock_free());
+    /// ```
     pub fn deadlock_free(&self) -> bool {
         self.deadlocks.is_empty() && !self.truncated
     }
 
     /// Reconstruct the (shortest) trace from the initial state to `target`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let ex = explore(&env, &p, &Options::default());
+    /// let dead = ex.deadlocks[0];
+    /// assert_eq!(ex.trace_to(dead).len(), 1);
+    /// ```
     pub fn trace_to(&self, target: StateId) -> Trace {
         let mut rev: Vec<(StateId, Label)> = Vec::new();
         let mut cur = target;
@@ -156,6 +288,17 @@ impl Exploration {
     }
 
     /// The trace to the first deadlock found, if any.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let ex = explore(&env, &act([(Res::new("cpu"), 1)], nil()), &Options::default());
+    /// assert_eq!(ex.first_deadlock_trace().unwrap().elapsed_quanta(), 1);
+    /// ```
     pub fn first_deadlock_trace(&self) -> Option<Trace> {
         self.deadlocks.first().map(|&d| self.trace_to(d))
     }
@@ -163,6 +306,18 @@ impl Exploration {
     /// All states whose term satisfies `pred`, in BFS (shortest-distance)
     /// order. Useful for reachability queries beyond deadlock detection —
     /// e.g. "is any state with the queue at capacity reachable?".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let ex = explore(&env, &act([(Res::new("cpu"), 1)], nil()), &Options::default());
+    /// let nils = ex.find_states(|p| matches!(&**p, acsr::Proc::Nil));
+    /// assert_eq!(nils.len(), 1);
+    /// ```
     pub fn find_states(&self, mut pred: impl FnMut(&P) -> bool) -> Vec<StateId> {
         self.states
             .iter()
@@ -173,6 +328,18 @@ impl Exploration {
     }
 
     /// BFS depth of a state: the number of steps on its shortest trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let ex = explore(&env, &act([(Res::new("cpu"), 1)], nil()), &Options::default());
+    /// assert_eq!(ex.depth_of(ex.initial()), 0);
+    /// assert_eq!(ex.depth_of(ex.deadlocks[0]), 1);
+    /// ```
     pub fn depth_of(&self, id: StateId) -> usize {
         let mut depth = 0;
         let mut cur = id;
@@ -185,6 +352,23 @@ impl Exploration {
 }
 
 /// Explore the prioritized transition system of `initial` under `env`.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options};
+///
+/// // A choice between a 1-step and a 2-step path to NIL: BFS finds the
+/// // shortest deadlock first.
+/// let env = Env::new();
+/// let p = choice([
+///     act([(Res::new("cpu"), 1)], nil()),
+///     act([(Res::new("bus"), 1)], act([(Res::new("cpu"), 1)], nil())),
+/// ]);
+/// let ex = explore(&env, &p, &Options::default());
+/// assert_eq!(ex.first_deadlock_trace().unwrap().len(), 1);
+/// ```
 pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
     let start = Instant::now();
     let mut interner: HashMap<P, StateId> = HashMap::new();
@@ -293,9 +477,10 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
 }
 
 /// Expand one BFS level in parallel: chunk the frontier over `threads`
-/// workers; each computes the prioritized successors of its chunk. The output
-/// preserves frontier order, making the parallel engine's results identical to
-/// the sequential one.
+/// scoped `std::thread` workers; each computes the prioritized successors of
+/// its chunk. The output preserves frontier order, making the parallel
+/// engine's results identical to the sequential one. A panicking worker
+/// propagates when the scope joins.
 fn expand_parallel(
     env: &Env,
     states: &[P],
@@ -305,26 +490,37 @@ fn expand_parallel(
     let chunk = frontier.len().div_ceil(threads);
     type ChunkResult = Vec<Vec<(Label, P)>>;
     let out: Mutex<Vec<(usize, ChunkResult)>> = Mutex::new(Vec::with_capacity(threads));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, ids) in frontier.chunks(chunk).enumerate() {
             let out = &out;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let local: Vec<Vec<(Label, P)>> = ids
                     .iter()
                     .map(|id| prioritized_steps(env, &states[id.index()]))
                     .collect();
-                out.lock().push((ci, local));
+                out.lock().expect("expansion lock poisoned").push((ci, local));
             });
         }
-    })
-    .expect("worker thread panicked during frontier expansion");
-    let mut chunks = out.into_inner();
+    });
+    let mut chunks = out.into_inner().expect("expansion lock poisoned");
     chunks.sort_unstable_by_key(|(ci, _)| *ci);
     chunks.into_iter().flat_map(|(_, v)| v).collect()
 }
 
 /// Convenience: explore and return whether the model is deadlock-free
 /// together with the exploration (used by the schedulability front end).
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options};
+///
+/// let env = Env::new();
+/// let (free, ex) = versa::explore::deadlock_free(&env, &nil(), &Options::default());
+/// assert!(!free);
+/// assert_eq!(ex.deadlocks.len(), 1);
+/// ```
 pub fn deadlock_free(env: &Env, initial: &P, opts: &Options) -> (bool, Exploration) {
     let ex = explore(env, initial, opts);
     (ex.deadlock_free(), ex)

@@ -15,8 +15,8 @@
 //! deadlock can be turned into a shortest counterexample [`Trace`].
 //!
 //! Beyond the sequential engine, [`explore()`](crate::explore::explore) offers **level-synchronous
-//! parallel frontier expansion** (successor computation fans out over worker
-//! threads via `crossbeam`; interning stays sequential per level, so results —
+//! parallel frontier expansion** (successor computation fans out over scoped
+//! `std::thread` workers; interning stays sequential per level, so results —
 //! including traces — are bit-for-bit identical to the sequential engine).
 //! This addresses the paper's future-work note on "improving the state-space
 //! exploration efficiency of VERSA" (§7).

@@ -11,6 +11,19 @@ use acsr::{Env, Label};
 use crate::explore::StateId;
 
 /// The prioritized labelled transition system of an explored model.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options};
+///
+/// let env = Env::new();
+/// let p = act([(Res::new("cpu"), 1)], nil());
+/// let opts = Options { collect_lts: true, ..Options::default() };
+/// let lts = explore(&env, &p, &opts).lts.unwrap();
+/// assert_eq!(lts.num_states(), 2);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Lts {
     /// The initial state.
@@ -21,21 +34,73 @@ pub struct Lts {
 
 impl Lts {
     /// Number of states.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let opts = Options { collect_lts: true, ..Options::default() };
+    /// let lts = explore(&Env::new(), &nil(), &opts).lts.unwrap();
+    /// assert_eq!(lts.num_states(), 1);
+    /// ```
     pub fn num_states(&self) -> usize {
         self.transitions.len()
     }
 
     /// Total number of transitions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let opts = Options { collect_lts: true, ..Options::default() };
+    /// let lts = explore(&env, &p, &opts).lts.unwrap();
+    /// assert_eq!(lts.num_transitions(), 1);
+    /// ```
     pub fn num_transitions(&self) -> usize {
         self.transitions.iter().map(Vec::len).sum()
     }
 
     /// Outgoing transitions of `s`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let opts = Options { collect_lts: true, ..Options::default() };
+    /// let ex = explore(&env, &p, &opts);
+    /// let initial = ex.initial();
+    /// let lts = ex.lts.unwrap();
+    /// assert_eq!(lts.succs(initial).len(), 1);
+    /// ```
     pub fn succs(&self, s: StateId) -> &[(Label, StateId)] {
         &self.transitions[s.index()]
     }
 
     /// States with no outgoing transitions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let opts = Options { collect_lts: true, ..Options::default() };
+    /// let lts = explore(&env, &p, &opts).lts.unwrap();
+    /// assert_eq!(lts.deadlocks().count(), 1);
+    /// ```
     pub fn deadlocks(&self) -> impl Iterator<Item = StateId> + '_ {
         self.transitions
             .iter()
@@ -45,6 +110,21 @@ impl Lts {
     }
 
     /// True if `target` is reachable from the initial state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let opts = Options { collect_lts: true, ..Options::default() };
+    /// let lts = explore(&env, &p, &opts).lts.unwrap();
+    /// // Every explored state is reachable by construction.
+    /// let dead = lts.deadlocks().next().unwrap();
+    /// assert!(lts.reachable(dead));
+    /// ```
     pub fn reachable(&self, target: StateId) -> bool {
         let mut seen = vec![false; self.num_states()];
         let mut stack = vec![self.initial];
@@ -65,6 +145,21 @@ impl Lts {
 
     /// Render to Graphviz `dot`. Deadlocked states are drawn as double
     /// circles; labels use the environment's names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let opts = Options { collect_lts: true, ..Options::default() };
+    /// let lts = explore(&env, &p, &opts).lts.unwrap();
+    /// let dot = lts.to_dot(&env);
+    /// assert!(dot.starts_with("digraph lts {"));
+    /// assert!(dot.contains("(cpu,1)"));
+    /// ```
     pub fn to_dot(&self, env: &Env) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph lts {\n  rankdir=LR;\n  node [shape=circle];\n");

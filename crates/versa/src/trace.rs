@@ -12,6 +12,19 @@ use acsr::{Env, Label, P};
 use crate::explore::StateId;
 
 /// A path through the prioritized transition system.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, Options};
+///
+/// let env = Env::new();
+/// let p = act([(Res::new("cpu"), 1)], nil());
+/// let ex = explore(&env, &p, &Options::default());
+/// let trace = ex.first_deadlock_trace().unwrap();
+/// assert_eq!(trace.steps.len(), 1);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Trace {
     /// The state the path starts from.
@@ -25,11 +38,36 @@ pub struct Trace {
 
 impl Trace {
     /// Number of steps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// assert_eq!(t.len(), 1);
+    /// ```
     pub fn len(&self) -> usize {
         self.steps.len()
     }
 
     /// True for the empty trace (initial state is the target).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// // NIL deadlocks immediately: the counterexample trace is empty.
+    /// let t = explore(&Env::new(), &nil(), &Options::default())
+    ///     .first_deadlock_trace()
+    ///     .unwrap();
+    /// assert!(t.is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
@@ -37,22 +75,70 @@ impl Trace {
     /// Number of *timed* steps, i.e. the number of quanta that elapse along
     /// the trace. For a deadline-violation counterexample this is the instant
     /// (in quanta) at which the system deadlocks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], act([(Res::new("cpu"), 1)], nil()));
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// assert_eq!(t.elapsed_quanta(), 2);
+    /// ```
     pub fn elapsed_quanta(&self) -> usize {
         self.steps.iter().filter(|(l, _)| l.is_timed()).count()
     }
 
     /// The state reached after step `i` (0-based); `state_before(0)` is the
     /// initial state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// assert!(matches!(&**t.state_after(0), acsr::Proc::Nil));
+    /// ```
     pub fn state_after(&self, i: usize) -> &P {
         &self.states[self.steps[i].1.index()]
     }
 
     /// The state the trace starts from.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// assert!(!matches!(&**t.initial_state(), acsr::Proc::Nil));
+    /// ```
     pub fn initial_state(&self) -> &P {
         &self.states[self.initial.index()]
     }
 
     /// The final state of the trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// assert!(matches!(&**t.final_state(), acsr::Proc::Nil));
+    /// ```
     pub fn final_state(&self) -> &P {
         match self.steps.last() {
             Some((_, id)) => &self.states[id.index()],
@@ -61,6 +147,20 @@ impl Trace {
     }
 
     /// Iterate over `(label, state-after)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// let (label, state) = t.iter().next().unwrap();
+    /// assert!(label.is_timed());
+    /// assert!(matches!(&**state, acsr::Proc::Nil));
+    /// ```
     pub fn iter(&self) -> impl Iterator<Item = (&Label, &P)> {
         self.steps
             .iter()
@@ -74,6 +174,18 @@ impl Trace {
     /// t=0  (tau@dispatch_T1,3)
     /// t=0  {(cpu1,2)} [T1 computes]
     /// t=1  {(cpu1,2)} [T1 computes]
+    /// ```
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], nil());
+    /// let t = explore(&env, &p, &Options::default()).first_deadlock_trace().unwrap();
+    /// assert!(t.render(&env).starts_with("t=0"));
     /// ```
     pub fn render(&self, env: &Env) -> String {
         use std::fmt::Write as _;

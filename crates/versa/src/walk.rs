@@ -8,12 +8,27 @@
 //! can miss the interleaving that violates a deadline. Walks are also used by
 //! property tests (every state on a walk must be reachable by `explore`).
 //!
-//! The generator is a small self-contained xorshift so this crate needs no
-//! RNG dependency and walks are reproducible from a seed.
+//! Steps are drawn from the workspace's vendored deterministic PRNG
+//! ([`det::DetRng`]), so walks are reproducible from a seed on every
+//! platform and in every PR.
 
 use acsr::{prioritized_steps, Env, Label, P};
+use det::DetRng;
 
 /// A recorded random walk.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::random_walk;
+///
+/// let env = Env::new();
+/// let p = act([(Res::new("cpu"), 1)], nil());
+/// let walk = random_walk(&env, &p, 10, 7);
+/// assert!(walk.deadlocked);
+/// assert_eq!(walk.states.len(), walk.labels.len() + 1);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Walk {
     /// The labels taken, in order.
@@ -28,52 +43,91 @@ pub struct Walk {
 
 impl Walk {
     /// Number of steps taken.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::random_walk;
+    ///
+    /// let env = Env::new();
+    /// let w = random_walk(&env, &act([(Res::new("cpu"), 1)], nil()), 10, 1);
+    /// assert_eq!(w.len(), 1);
+    /// ```
     pub fn len(&self) -> usize {
         self.labels.len()
     }
 
     /// True when no step was taken.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::random_walk;
+    ///
+    /// // NIL has no steps: the walk is empty and immediately deadlocked.
+    /// let w = random_walk(&Env::new(), &nil(), 10, 1);
+    /// assert!(w.is_empty() && w.deadlocked);
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
 
     /// The final state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::random_walk;
+    ///
+    /// let w = random_walk(&Env::new(), &act([(Res::new("cpu"), 1)], nil()), 10, 1);
+    /// assert!(matches!(&**w.final_state(), acsr::Proc::Nil));
+    /// ```
     pub fn final_state(&self) -> &P {
         self.states.last().expect("walk always has initial state")
     }
 
     /// Number of elapsed quanta.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::random_walk;
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], act([(Res::new("cpu"), 1)], nil()));
+    /// assert_eq!(random_walk(&env, &p, 10, 1).elapsed_quanta(), 2);
+    /// ```
     pub fn elapsed_quanta(&self) -> usize {
         self.labels.iter().filter(|l| l.is_timed()).count()
     }
 }
 
-/// Xorshift64* — tiny deterministic PRNG.
-#[derive(Clone, Debug)]
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> XorShift {
-        XorShift(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
-
 /// Take up to `max_steps` uniformly random prioritized steps from `initial`.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::random_walk;
+///
+/// let mut env = Env::new();
+/// let d = env.declare("Coin", 0);
+/// env.set_body(d, choice([
+///     act([(Res::new("cpu"), 1)], invoke(d, [])),
+///     act([(Res::new("bus"), 1)], invoke(d, [])),
+/// ]));
+/// let p = invoke(d, []);
+/// // Same seed, same walk — the generator is deterministic.
+/// let a = random_walk(&env, &p, 32, 42);
+/// let b = random_walk(&env, &p, 32, 42);
+/// assert_eq!(a.labels, b.labels);
+/// ```
 pub fn random_walk(env: &Env, initial: &P, max_steps: usize, seed: u64) -> Walk {
-    let mut rng = XorShift::new(seed);
+    let mut rng = DetRng::new(seed);
     let mut labels = Vec::new();
     let mut states = vec![initial.clone()];
     let mut deadlocked = false;
@@ -84,7 +138,7 @@ pub fn random_walk(env: &Env, initial: &P, max_steps: usize, seed: u64) -> Walk 
             deadlocked = true;
             break;
         }
-        let (label, next) = succs[rng.below(succs.len())].clone();
+        let (label, next) = succs[rng.range_usize(0..succs.len())].clone();
         labels.push(label);
         states.push(next);
     }
@@ -134,21 +188,19 @@ mod tests {
 
     #[test]
     fn walk_respects_prioritization() {
-        let env = Env::new();
         let cpu = Res::new("cpu");
         // High-priority step always beats the idle alternative, so the walk
         // can only ever take the cpu step.
-        let mut env2 = Env::new();
-        let d = env2.declare("W", 0);
-        env2.set_body(
+        let mut env = Env::new();
+        let d = env.declare("W", 0);
+        env.set_body(
             d,
             choice([
                 act([(cpu, 5)], invoke(d, [])),
                 act([] as [(Res, i32); 0], invoke(d, [])),
             ]),
         );
-        let _ = env;
-        let w = random_walk(&env2, &invoke(d, []), 30, 99);
+        let w = random_walk(&env, &invoke(d, []), 30, 99);
         assert_eq!(w.len(), 30);
         assert!(w
             .labels

@@ -2,7 +2,12 @@
 //! the CLI equivalent of the paper's OSATE plugin (§5):
 //!
 //! ```text
-//! aadlsched <model.aadl> <RootSystem.impl> [options]
+//! aadlsched <model.aadl> [RootSystem.impl] [options]
+//!
+//! When the root system implementation is omitted, the unique system
+//! implementation that no other implementation instantiates as a
+//! subcomponent is used (the top of the instantiation hierarchy). If the
+//! package has several such candidates, the root must be given explicitly.
 //!
 //! options:
 //!   --quantum <ms>    override the scheduling quantum
@@ -21,13 +26,14 @@
 use std::process::ExitCode;
 
 use aadl::instance::instantiate;
+use aadl::model::{Category, Package};
 use aadl::parser::parse_package;
 use aadl::properties::TimeVal;
 use aadl2acsr::{analyze_translated, translate, AnalysisOptions, TranslateOptions};
 
 struct Args {
     file: String,
-    root: String,
+    root: Option<String>,
     quantum_ms: Option<i64>,
     compact: bool,
     exhaustive: bool,
@@ -40,17 +46,22 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: aadlsched <model.aadl> <RootSystem.impl> \
+        "usage: aadlsched <model.aadl> [RootSystem.impl] \
          [--quantum <ms>] [--compact] [--exhaustive] [--threads <n>] \
-         [--max-states <n>] [--tree] [--acsr] [--dot <file>]"
+         [--max-states <n>] [--tree] [--acsr] [--dot <file>]\n\
+         (omit RootSystem.impl to analyze the package's top-level system \
+         implementation)"
     );
     ExitCode::from(2)
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut raw = std::env::args().skip(1);
+    let mut raw = std::env::args().skip(1).peekable();
     let file = raw.next().ok_or("missing <model.aadl>")?;
-    let root = raw.next().ok_or("missing <RootSystem.impl>")?;
+    let root = match raw.peek() {
+        Some(a) if !a.starts_with("--") => raw.next(),
+        _ => None,
+    };
     let mut args = Args {
         file,
         root,
@@ -99,6 +110,41 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The default analysis root: the unique system implementation that no other
+/// implementation in the package instantiates as a subcomponent (i.e. the top
+/// of the instantiation hierarchy).
+fn default_root(pkg: &Package) -> Result<String, String> {
+    let referenced: std::collections::HashSet<String> = pkg
+        .impls
+        .iter()
+        .flat_map(|i| i.subcomponents.iter())
+        .map(|s| s.classifier.to_ascii_lowercase())
+        .collect();
+    let candidates: Vec<&str> = pkg
+        .impls
+        .iter()
+        .filter(|i| i.category == Category::System)
+        .filter(|i| {
+            !referenced.contains(&i.name.to_ascii_lowercase())
+                && !referenced.contains(&i.type_name.to_ascii_lowercase())
+        })
+        .map(|i| i.name.as_str())
+        .collect();
+    match candidates.as_slice() {
+        [one] => Ok(one.to_string()),
+        [] => Err(
+            "no top-level system implementation found; pass <RootSystem.impl> explicitly"
+                .to_string(),
+        ),
+        many => Err(format!(
+            "ambiguous root — {} top-level system implementations ({}); \
+             pass <RootSystem.impl> explicitly",
+            many.len(),
+            many.join(", ")
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -122,7 +168,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let model = match instantiate(&pkg, &args.root) {
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => match default_root(&pkg) {
+            Ok(r) => {
+                println!("root system: {r} (auto-selected)");
+                r
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let model = match instantiate(&pkg, &root) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("instantiation error: {e}");

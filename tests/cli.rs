@@ -93,6 +93,40 @@ fn unschedulable_model_exits_one_with_scenario() {
 }
 
 #[test]
+fn omitted_root_auto_selects_the_top_level_system() {
+    // Works both with a trailing flag and with no extra arguments at all.
+    let path = write_model("ok_default_root.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "--exhaustive"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("root system: Top.impl (auto-selected)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("VERDICT: schedulable"), "{stdout}");
+
+    let out = aadlsched(&[path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn omitted_root_picks_the_unreferenced_impl_among_several() {
+    // The bundled cruise-control model declares three system implementations;
+    // only CruiseControl.impl is not instantiated by another one.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/models/cruise_control.aadl"
+    );
+    let out = aadlsched(&[path]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("root system: CruiseControl.impl (auto-selected)"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn tree_flag_prints_the_instance_tree() {
     let path = write_model("ok_tree.aadl", OK_MODEL);
     let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--tree"]);

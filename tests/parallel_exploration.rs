@@ -34,6 +34,40 @@ fn parallel_finds_the_same_shortest_counterexample() {
     );
 }
 
+/// Parse a bundled example model from disk and instantiate `root`.
+fn bundled_model(file: &str, root: &str) -> aadl::instance::InstanceModel {
+    let path = format!("{}/examples/models/{file}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let pkg = aadl::parser::parse_package(&source).unwrap();
+    instantiate(&pkg, root).unwrap()
+}
+
+#[test]
+fn parallel_matches_sequential_on_bundled_models_from_disk() {
+    // Regression for the std::thread::scope engine: identical reachable-state
+    // counts and deadlock verdicts on both bundled .aadl files, parsed from
+    // disk exactly as the CLI would.
+    for (file, root) in [
+        ("cruise_control.aadl", "CruiseControl.impl"),
+        ("flight_control.aadl", "Top.impl"),
+    ] {
+        let m = bundled_model(file, root);
+        let tm = translate(&m, &TranslateOptions::default()).unwrap();
+        let seq = explore(&tm.env, &tm.initial, &Options::default());
+        let par = explore(&tm.env, &tm.initial, &Options::default().with_threads(4));
+        assert_eq!(seq.num_states(), par.num_states(), "{file}: state counts");
+        assert_eq!(
+            seq.deadlocks, par.deadlocks,
+            "{file}: deadlock verdicts differ"
+        );
+        assert_eq!(
+            seq.deadlock_free(),
+            par.deadlock_free(),
+            "{file}: schedulability verdicts differ"
+        );
+    }
+}
+
 #[test]
 fn thread_count_does_not_change_stats() {
     let m = cruise_control_model();

@@ -2,23 +2,33 @@
 //! for synchronous periodic task sets with fixed execution times and
 //! constrained deadlines, the exhaustive ACSR analysis must agree with the
 //! exact classical analyses on *every* generated instance.
+//!
+//! Randomized task sets come from the workspace's vendored [`det`] harness
+//! (`det_prop!` runs 64 seeded cases per property by default; failures print
+//! a `DET_PROP_SEED` that reproduces the exact case).
 
 use aadl::instance::instantiate;
 use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
-use proptest::prelude::*;
+use det::det_prop;
+use det::prop::uints;
+use det::DetRng;
 use sched_baselines::edf_demand::edf_schedulable;
 use sched_baselines::rta::{dm_schedulable, rm_schedulable};
 use sched_baselines::taskset::taskset_to_package;
 use sched_baselines::types::{Task, TaskSet};
 
 /// Small bounded task sets: 2 tasks, periods from a tiny pool, so each
-/// exploration finishes in milliseconds and proptest can run dozens of cases.
-fn arb_taskset() -> impl Strategy<Value = TaskSet> {
-    let task = (0usize..4, 1u64..5).prop_map(|(pi, c)| {
-        let period = [4u64, 5, 6, 8][pi];
-        Task::new(0, period, c.min(period))
-    });
-    proptest::collection::vec(task, 2..=2).prop_map(TaskSet::new)
+/// exploration finishes in milliseconds and the harness can run dozens of
+/// cases.
+fn arb_taskset(rng: &mut DetRng) -> TaskSet {
+    let tasks = (0..2)
+        .map(|_| {
+            let period = *rng.pick(&[4u64, 5, 6, 8]);
+            let c = rng.range_u64(1..5);
+            Task::new(0, period, c.min(period))
+        })
+        .collect();
+    TaskSet::new(tasks)
 }
 
 fn acsr_verdict(ts: &TaskSet, protocol: &str) -> bool {
@@ -33,22 +43,17 @@ fn acsr_verdict(ts: &TaskSet, protocol: &str) -> bool {
     .schedulable
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn acsr_rms_agrees_with_exact_rta(ts in arb_taskset()) {
-        prop_assert_eq!(acsr_verdict(&ts, "RMS"), rm_schedulable(&ts), "{:?}", ts);
+det_prop! {
+    fn acsr_rms_agrees_with_exact_rta(ts in arb_taskset) {
+        assert_eq!(acsr_verdict(&ts, "RMS"), rm_schedulable(&ts), "{:?}", ts);
     }
 
-    #[test]
-    fn acsr_edf_agrees_with_processor_demand(ts in arb_taskset()) {
-        prop_assert_eq!(acsr_verdict(&ts, "EDF"), edf_schedulable(&ts), "{:?}", ts);
+    fn acsr_edf_agrees_with_processor_demand(ts in arb_taskset) {
+        assert_eq!(acsr_verdict(&ts, "EDF"), edf_schedulable(&ts), "{:?}", ts);
     }
 
-    #[test]
     fn acsr_dms_agrees_with_exact_rta_on_constrained_deadlines(
-        ts in arb_taskset(), d1 in 0u64..3, d2 in 0u64..3
+        ts in arb_taskset, d1 in uints(0..3), d2 in uints(0..3)
     ) {
         let mut ts = ts;
         // Shrink deadlines (still ≥ wcet) to make DM non-trivial.
@@ -56,15 +61,14 @@ proptest! {
         for (t, s) in ts.tasks.iter_mut().zip(shrink) {
             t.deadline = (t.period - s.min(t.period - 1)).max(t.wcet);
         }
-        prop_assert_eq!(acsr_verdict(&ts, "DMS"), dm_schedulable(&ts), "{:?}", ts);
+        assert_eq!(acsr_verdict(&ts, "DMS"), dm_schedulable(&ts), "{:?}", ts);
     }
 
-    #[test]
-    fn edf_dominates_rms_in_acsr_too(ts in arb_taskset()) {
+    fn edf_dominates_rms_in_acsr_too(ts in arb_taskset) {
         // EDF optimality: anything the ACSR RMS analysis accepts, the ACSR
         // EDF analysis must accept as well.
         if acsr_verdict(&ts, "RMS") {
-            prop_assert!(acsr_verdict(&ts, "EDF"), "{:?}", ts);
+            assert!(acsr_verdict(&ts, "EDF"), "{:?}", ts);
         }
     }
 }

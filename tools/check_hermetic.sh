@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Hermetic-build gate (see DESIGN.md, "Determinism & vendored utilities").
+#
+# Enforces the workspace invariant that every dependency is a `path`
+# dependency inside this repository — no crates.io registry, no git
+# dependencies, no network — and that the public API documentation builds
+# cleanly. Run from anywhere:
+#
+#   tools/check_hermetic.sh
+#
+# Exit code 0 = hermetic and documented; non-zero otherwise.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Every [dependencies]/[dev-dependencies]/[workspace.dependencies] entry in
+#    every Cargo.toml must be a path dependency (or a profile/package key).
+#    A registry dependency looks like `name = "1.2"` or
+#    `name = { version = ... }`; a git dependency has `git = ...`.
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    in_deps=0
+    lineno=0
+    while IFS= read -r line; do
+        lineno=$((lineno + 1))
+        # Strip comments and surrounding whitespace.
+        stripped="${line%%#*}"
+        stripped="$(printf '%s' "$stripped" | sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//')"
+        [ -z "$stripped" ] && continue
+        case "$stripped" in
+            \[*dependencies\]|\[workspace.dependencies\])
+                in_deps=1
+                continue
+                ;;
+            \[*\])
+                in_deps=0
+                continue
+                ;;
+        esac
+        [ "$in_deps" -eq 1 ] || continue
+        # `name.workspace = true` — inherited from the (audited) workspace table.
+        key="${stripped%%=*}"
+        key="$(printf '%s' "$key" | sed -e 's/[[:space:]]*$//')"
+        case "$key" in
+            *.workspace) continue ;;
+        esac
+        # Split `name = value` and classify the value.
+        value="${stripped#*=}"
+        value="$(printf '%s' "$value" | sed -e 's/^[[:space:]]*//')"
+        case "$value" in
+            \"*)
+                # `name = "1.2"` — a bare version string is a registry dep.
+                echo "HERMETIC VIOLATION: $manifest:$lineno: registry dependency: $stripped"
+                fail=1
+                ;;
+            *git*=*)
+                echo "HERMETIC VIOLATION: $manifest:$lineno: git dependency: $stripped"
+                fail=1
+                ;;
+            *version*=*)
+                echo "HERMETIC VIOLATION: $manifest:$lineno: registry (version) dependency: $stripped"
+                fail=1
+                ;;
+            *path*=*|*workspace*=*)
+                : # path or workspace-inherited (the workspace table is checked too)
+                ;;
+            *)
+                echo "HERMETIC VIOLATION: $manifest:$lineno: unrecognized dependency form: $stripped"
+                fail=1
+                ;;
+        esac
+    done < "$manifest"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_hermetic: dependency audit FAILED"
+    exit 1
+fi
+echo "check_hermetic: all Cargo.toml dependencies are path-only"
+
+# 2. The lockfile, if present, must not reference any registry source.
+if [ -f Cargo.lock ] && grep -q 'source = "registry' Cargo.lock; then
+    echo "HERMETIC VIOLATION: Cargo.lock references a registry source"
+    exit 1
+fi
+
+# 3. Public API docs must build without warnings (broken intra-doc links,
+#    missing docs on public items, etc. are errors).
+if ! RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace; then
+    echo "check_hermetic: cargo doc FAILED"
+    exit 1
+fi
+echo "check_hermetic: OK"
