@@ -22,6 +22,7 @@ fn main() {
     q2b_acceptance_by_utilization();
     q3_scaling();
     q5_queue_overflow();
+    q6_exploration_report();
 }
 
 fn header(title: &str) {
@@ -203,4 +204,66 @@ fn q5_queue_overflow() {
     let m = overrun_system(1, "DropNewest");
     let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::exhaustive()).unwrap();
     println!("DropNewest, size 1: schedulable={} ({} states)", v.schedulable, v.stats.states);
+}
+
+/// Instrumented exhaustive run of the cruise-control model, written as
+/// `BENCH_exploration.json` — the same `aadlsched-metrics` schema the CLI
+/// emits with `--metrics`, so the two are diffable with the same tooling.
+fn q6_exploration_report() {
+    header("Q6 — instrumented exploration report (BENCH_exploration.json)");
+    let rec = obs::Recorder::enabled();
+    let m = cruise_control_model();
+    let topts = TranslateOptions {
+        obs: rec.clone(),
+        ..Default::default()
+    };
+    let mut aopts = AnalysisOptions::exhaustive();
+    aopts.explore.obs = rec.clone();
+    let tm = translate(&m, &topts).unwrap();
+    let v = aadl2acsr::analyze_translated(&m, &tm, &aopts);
+
+    let run_id = obs::run_id(&[b"cruise_control", b"exhaustive;threads=1"]);
+    let mut report = obs::Report::new(&run_id, "bench-harness");
+    report.set(
+        "model",
+        obs::Json::obj([
+            ("name", obs::Json::from("cruise_control")),
+            ("threads", obs::Json::from(m.threads().count())),
+            ("processors", obs::Json::from(m.processors().count())),
+        ]),
+    );
+    report.set(
+        "translation",
+        obs::Json::obj([
+            ("threads", obs::Json::from(tm.inventory.threads)),
+            ("dispatchers", obs::Json::from(tm.inventory.dispatchers)),
+            ("queues", obs::Json::from(tm.inventory.queues)),
+            ("defs", obs::Json::from(tm.env.num_defs())),
+            ("quantum_ps", obs::Json::Int(tm.quantum_ps)),
+        ]),
+    );
+    report.set(
+        "exploration",
+        obs::Json::obj([
+            ("states", obs::Json::from(v.stats.states)),
+            ("transitions", obs::Json::from(v.stats.transitions)),
+            ("levels", obs::Json::from(v.stats.levels)),
+            ("peak_frontier", obs::Json::from(v.stats.peak_frontier)),
+            ("dedup_hits", obs::Json::from(v.stats.dedup_hits)),
+            ("deadlocks", obs::Json::from(v.stats.deadlocks)),
+        ]),
+    );
+    report.set(
+        "verdict",
+        obs::Json::obj([
+            ("schedulable", obs::Json::Bool(v.schedulable)),
+            ("truncated", obs::Json::Bool(v.truncated)),
+        ]),
+    );
+    report.attach_run(&rec.finish());
+    match std::fs::write("BENCH_exploration.json", report.to_json()) {
+        Ok(()) => println!("report written to BENCH_exploration.json (run_id {run_id})"),
+        Err(e) => println!("cannot write BENCH_exploration.json: {e}"),
+    }
+    println!("exploration: {}", v.stats);
 }

@@ -63,21 +63,42 @@ pub struct Verdict {
 }
 
 /// Analyze an already-translated model.
+///
+/// The recorder carried by [`versa::Options::obs`] instruments the whole
+/// phase: the exploration records its own spans, the trace raising gets a
+/// `diagnose.raise` span, and the outcome is emitted as a `verdict` event
+/// (`schedulable`, `truncated`, and — when a counterexample exists — the
+/// `deadlock_depth` in quanta).
 pub fn analyze_translated(
     model: &InstanceModel,
     tm: &TranslatedModel,
     opts: &AnalysisOptions,
 ) -> Verdict {
+    let rec = &opts.explore.obs;
     let ex = versa::explore(&tm.env, &tm.initial, &opts.explore);
-    let scenario = ex
-        .first_deadlock_trace()
-        .map(|trace| raise(model, tm, &trace));
-    Verdict {
+    let scenario = ex.first_deadlock_trace().map(|trace| {
+        let raise_span = rec.span("diagnose.raise");
+        let sc = raise(model, tm, &trace);
+        raise_span.set("trace_len", trace.len() as i64);
+        raise_span.set("at_quantum", sc.at_quantum as i64);
+        raise_span.end();
+        sc
+    });
+    let verdict = Verdict {
         schedulable: ex.deadlock_free(),
         truncated: ex.truncated,
         scenario,
         stats: ex.stats,
+    };
+    let mut fields = vec![
+        ("schedulable", obs::Json::Bool(verdict.schedulable)),
+        ("truncated", obs::Json::Bool(verdict.truncated)),
+    ];
+    if let Some(sc) = &verdict.scenario {
+        fields.push(("deadlock_depth", obs::Json::Int(sc.at_quantum as i64)));
     }
+    rec.event("verdict", fields);
+    verdict
 }
 
 /// Translate and analyze an instance model.
@@ -241,6 +262,41 @@ mod tests {
             faithful.stats.states
         );
         assert_eq!(compact.stats.deadlocks, faithful.stats.deadlocks);
+    }
+
+    #[test]
+    fn recorder_captures_the_whole_pipeline() {
+        let m = small_overloaded();
+        let rec = obs::Recorder::enabled();
+        let topts = TranslateOptions {
+            obs: rec.clone(),
+            ..Default::default()
+        };
+        let mut aopts = AnalysisOptions::default();
+        aopts.explore.obs = rec.clone();
+        let v = analyze(&m, &topts, &aopts).unwrap();
+        assert!(!v.schedulable);
+
+        let run = rec.finish();
+        let names: Vec<&str> = run.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["translate", "explore", "explore.level", "diagnose.raise"] {
+            assert!(names.contains(&expected), "missing span {expected}");
+        }
+        let verdicts: Vec<_> = run.events.iter().filter(|e| e.name == "verdict").collect();
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0]
+            .fields
+            .iter()
+            .any(|(k, val)| k == "schedulable" && *val == obs::Json::Bool(false)));
+        assert!(verdicts[0]
+            .fields
+            .iter()
+            .any(|(k, _)| k == "deadlock_depth"));
+        // Two threads → two skeleton-size observations.
+        assert!(run
+            .histograms
+            .iter()
+            .any(|(k, s)| k == "translate.skeleton_size" && s.count == 2));
     }
 
     #[test]

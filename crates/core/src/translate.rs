@@ -115,6 +115,8 @@ pub struct TranslateOptions {
     /// paper's translation is single-mode, §4). When false, moded models are
     /// rejected by validation.
     pub enable_modes: bool,
+    /// Observability recorder; defaults to disabled (no-op).
+    pub obs: obs::Recorder,
 }
 
 /// Counts of the generated processes — §4.1 reports this inventory for the
@@ -172,6 +174,10 @@ pub fn translate(
         Some(q) => return Err(TranslateError::Quantum(format!("quantum {q} must be positive"))),
         None => derive_quantum(model)?,
     };
+
+    // Opened only after the fallible validation/quantum phase, so rejected
+    // models never leave a half-recorded span behind.
+    let span = opts.obs.span("translate");
 
     let mut env = Env::new();
     let mut nm = NameMap::default();
@@ -488,6 +494,31 @@ pub fn translate(
     let initial = restrict(par(components), restricted);
     debug_assert!(env.check_complete().is_ok());
 
+    if opts.obs.is_enabled() {
+        let skel_sizes = opts.obs.histogram("translate.skeleton_size");
+        let disp_sizes = opts.obs.histogram("translate.dispatcher_size");
+        for t in &nm.threads {
+            skel_sizes.observe(def_size(&env, t.skel_def));
+            disp_sizes.observe(def_size(&env, t.disp_def));
+        }
+        let queue_sizes = opts.obs.histogram("translate.queue_size");
+        for q in &nm.conns {
+            queue_sizes.observe(def_size(&env, q.queue_def));
+        }
+        opts.obs
+            .histogram("translate.initial_term_size")
+            .observe(term_size(&initial));
+    }
+    span.set("threads", inventory.threads as i64);
+    span.set("dispatchers", inventory.dispatchers as i64);
+    span.set("queues", inventory.queues as i64);
+    span.set("device_gens", inventory.device_gens as i64);
+    span.set("observers", inventory.observers as i64);
+    span.set("mode_managers", inventory.mode_managers as i64);
+    span.set("defs", env.num_defs() as i64);
+    span.set("quantum_ps", quantum_ps);
+    span.end();
+
     Ok(TranslatedModel {
         env,
         initial,
@@ -495,6 +526,37 @@ pub fn translate(
         quantum_ps,
         inventory,
     })
+}
+
+/// Structural size (node count) of an ACSR term — the proxy for per-state
+/// memory and hashing cost that the observability report tracks per
+/// generated process.
+pub fn term_size(p: &acsr::Proc) -> u64 {
+    match p {
+        acsr::Proc::Nil | acsr::Proc::Invoke { .. } => 1,
+        acsr::Proc::Act { next, .. } | acsr::Proc::Evt { next, .. } => 1 + term_size(next),
+        acsr::Proc::Choice(v) | acsr::Proc::Par(v) => {
+            1 + v.iter().map(|c| term_size(c)).sum::<u64>()
+        }
+        acsr::Proc::Guard { then, .. } => 1 + term_size(then),
+        acsr::Proc::Scope {
+            body,
+            exception,
+            timeout,
+            interrupt,
+            ..
+        } => {
+            1 + term_size(body)
+                + exception.as_ref().map_or(0, |(_, h)| term_size(h))
+                + timeout.as_ref().map_or(0, |t| term_size(t))
+                + interrupt.as_ref().map_or(0, |i| term_size(i))
+        }
+        acsr::Proc::Restrict { body, .. } | acsr::Proc::Close { body, .. } => 1 + term_size(body),
+    }
+}
+
+fn def_size(env: &Env, def: acsr::DefId) -> u64 {
+    env.def(def).body.as_ref().map_or(0, |b| term_size(b))
 }
 
 impl fmt::Debug for TranslatedModel {

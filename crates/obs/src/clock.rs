@@ -1,0 +1,116 @@
+//! Time sources for the recorder.
+//!
+//! All timestamps in this crate are `u64` nanoseconds since an arbitrary,
+//! monotonically non-decreasing origin (the construction of the clock). Two
+//! implementations exist:
+//!
+//! * [`MonotonicClock`] — wraps [`std::time::Instant`]; the production clock.
+//! * [`FakeClock`] — advances by a fixed tick on every read, so any code path
+//!   that reads the clock a deterministic number of times produces
+//!   byte-identical timestamps run after run. This is what makes snapshot
+//!   tests of the JSON report stable (see `tests/snapshot.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-based, origin = construction time.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{Clock, MonotonicClock};
+///
+/// let c = MonotonicClock::new();
+/// let a = c.now_ns();
+/// assert!(c.now_ns() >= a);
+/// ```
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is *now*.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates at u64::MAX after ~584 years of uptime.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock: every read returns the current value and advances
+/// it by a fixed tick.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{Clock, FakeClock};
+///
+/// let c = FakeClock::new(1_000);
+/// assert_eq!(c.now_ns(), 0);
+/// assert_eq!(c.now_ns(), 1_000);
+/// assert_eq!(c.now_ns(), 2_000);
+/// ```
+#[derive(Debug)]
+pub struct FakeClock {
+    now: AtomicU64,
+    tick: u64,
+}
+
+impl FakeClock {
+    /// A fake clock starting at 0 that advances by `tick_ns` per read.
+    pub fn new(tick_ns: u64) -> FakeClock {
+        FakeClock {
+            now: AtomicU64::new(0),
+            tick: tick_ns,
+        }
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.tick, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_is_deterministic() {
+        let c = FakeClock::new(7);
+        let reads: Vec<u64> = (0..4).map(|_| c.now_ns()).collect();
+        assert_eq!(reads, vec![0, 7, 14, 21]);
+    }
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::new();
+        let mut prev = 0;
+        for _ in 0..100 {
+            let t = c.now_ns();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! A minimal, deterministic JSON value and writer.
+//!
+//! The hermetic build has no `serde`; this module is the whole JSON story.
+//! Objects are ordered `Vec<(String, Json)>` pairs — insertion order is
+//! preserved exactly, so a report built the same way renders byte-for-byte
+//! identically. Floats are deliberately absent from the value enum: every
+//! quantity the pipeline reports (counts, nanoseconds, ids) is integral, and
+//! integers render identically on every platform.
+
+use std::fmt::Write as _;
+
+/// A JSON value (no floats — see the module docs).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (durations, counts).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obs::Json;
+    ///
+    /// let o = Json::obj([("a", Json::from(1i64)), ("b", Json::from(true))]);
+    /// assert_eq!(o.to_compact(), r#"{"a":1,"b":true}"#);
+    /// ```
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Render without any whitespace (one line; for JSON-lines streams).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render indented with two spaces per level, trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                let (k, v) = &pairs[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                v.write(out, indent, depth + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj([
+            ("n", Json::Int(-3)),
+            ("u", Json::UInt(7)),
+            ("s", Json::from("hi")),
+            ("a", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+            ("e", Json::Obj(Vec::new())),
+        ]);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"n":-3,"u":7,"s":"hi","a":[null,false],"e":{}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::obj([("a", Json::Arr(vec![Json::UInt(1), Json::UInt(2)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Json::from("a\"b\\c\nd\u{0001}");
+        assert_eq!(v.to_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let v = Json::obj([("z", Json::UInt(1)), ("a", Json::UInt(2))]);
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+}

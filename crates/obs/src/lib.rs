@@ -1,0 +1,61 @@
+//! # obs — vendored tracing + metrics for the exploration pipeline
+//!
+//! The paper's value proposition is state-space exploration at scale (§7
+//! reports state counts and blow-up as the model grows), so this workspace
+//! treats run observability as first-class tool output, like the AADL
+//! verification tools around it. `obs` is the std-only (hermetic — no
+//! external dependencies, enforced by `tools/check_hermetic.sh`)
+//! observability layer the rest of the workspace instruments against:
+//!
+//! * **[`Recorder`]** — the central handle. Disabled by default: every
+//!   instrument it hands out is a no-op behind an `Option` branch, so
+//!   instrumented hot paths cost nothing observable when observability is
+//!   off (verified against the tier-1 benches; see EXPERIMENTS.md).
+//! * **Spans** ([`Span`]) — hierarchical, monotonically timed regions
+//!   (`translate`, `explore`, `explore.level`, `diagnose.raise`).
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — lock-free atomic
+//!   instruments, safe to update from exploration worker threads.
+//! * **Sinks** ([`SummarySink`], [`JsonLinesSink`], and the [`Report`]) —
+//!   pure renderings of a finished run: human summary, JSON-lines event
+//!   stream, and the schema-versioned end-of-run JSON report
+//!   (`BENCH_exploration.json`).
+//! * **Clocks** ([`MonotonicClock`], [`FakeClock`]) — production `Instant`
+//!   timing vs. a deterministic tick-per-read clock that makes snapshot
+//!   tests of the JSON report byte-stable.
+//!
+//! ## End-to-end
+//!
+//! ```
+//! use obs::{FakeClock, Json, Recorder, Report};
+//!
+//! let rec = Recorder::with_clock(Box::new(FakeClock::new(1_000)));
+//! let explore = rec.span("explore");
+//! let level = explore.child("explore.level");
+//! level.set("frontier", 1);
+//! level.end();
+//! rec.counter("explore.dedup_hits").add(3);
+//! explore.end();
+//!
+//! let mut report = Report::new(&obs::run_id(&[b"model", b"opts"]), "doctest");
+//! report.set("verdict", Json::obj([("schedulable", Json::Bool(true))]));
+//! report.attach_run(&rec.finish());
+//! let a = report.to_json();
+//! assert!(a.contains("\"explore.level\""));
+//! assert!(a.contains("\"explore.dedup_hits\": 3"));
+//! ```
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    EventRecord, Recorder, RunData, Span, SpanRecord, PROGRESS_FIRST_THRESHOLD,
+};
+pub use report::{run_id, Report, SCHEMA, SCHEMA_VERSION};
+pub use sink::{JsonLinesSink, Sink, SummarySink};

@@ -1,0 +1,243 @@
+//! Lock-free metric instruments: counters, gauges, and histograms.
+//!
+//! Instruments are cheap `Clone` handles. A *disabled* handle (the default)
+//! carries no allocation and every operation on it is a branch on a `None` —
+//! the zero-cost-when-disabled contract of the crate. An *enabled* handle
+//! shares an atomic cell registered in a [`Recorder`](crate::Recorder);
+//! updates are relaxed atomic operations, safe to hammer from exploration
+//! worker threads without locks.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing event count.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Recorder;
+///
+/// let rec = Recorder::enabled();
+/// let c = rec.counter("explore.dedup_hits");
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+///
+/// // Disabled recorders hand out no-op handles.
+/// let off = Recorder::disabled().counter("anything");
+/// off.inc();
+/// assert_eq!(off.get(), 0);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n` to the counter (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// The shared cell behind an enabled [`Gauge`].
+#[derive(Default, Debug)]
+pub struct GaugeCell {
+    pub(crate) value: AtomicI64,
+    pub(crate) peak: AtomicI64,
+}
+
+/// A point-in-time level that also tracks its peak (e.g. the live state-store
+/// size of an exploration).
+///
+/// # Examples
+///
+/// ```
+/// use obs::Recorder;
+///
+/// let rec = Recorder::enabled();
+/// let g = rec.gauge("explore.states");
+/// g.set(10);
+/// g.set(4);
+/// assert_eq!((g.get(), g.peak()), (4, 10));
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// Set the current level, updating the peak (no-op when disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.value.store(v, Ordering::Relaxed);
+            g.peak.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.value.load(Ordering::Relaxed))
+    }
+
+    /// Highest level ever set (0 when disabled).
+    pub fn peak(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.peak.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` counts observations
+/// `v` with `i` significant bits, i.e. `2^(i-1) <= v < 2^i` (bucket 0 is
+/// exactly `v == 0`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The shared cell behind an enabled [`Histogram`].
+#[derive(Debug)]
+pub struct HistogramCell {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> HistogramCell {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A power-of-two-bucketed distribution (chunk sizes, per-worker work, term
+/// sizes). Lock-free: one relaxed add per bucket/aggregate.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Recorder;
+///
+/// let rec = Recorder::enabled();
+/// let h = rec.histogram("explore.worker_chunk");
+/// h.observe(0);
+/// h.observe(5);
+/// h.observe(5);
+/// let snap = h.snapshot();
+/// assert_eq!((snap.count, snap.sum, snap.max), (3, 10, 5));
+/// // 5 has 3 significant bits -> bucket 3 (range 4..8).
+/// assert_eq!(snap.buckets, vec![(0, 1), (3, 2)]);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCell>>);
+
+/// An owned, point-in-time view of a histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl Histogram {
+    /// Record one observation (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            let bucket = (u64::BITS - v.leading_zeros()) as usize;
+            h.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+            h.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the current distribution (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::default(),
+            Some(h) => HistogramSnapshot {
+                count: h.count.load(Ordering::Relaxed),
+                sum: h.sum.load(Ordering::Relaxed),
+                max: h.max.load(Ordering::Relaxed),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then_some((i, n))
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instruments_are_inert() {
+        let c = Counter::default();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(5);
+        assert_eq!((g.get(), g.peak()), (0, 0));
+        let h = Histogram::default();
+        h.observe(9);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let h = Histogram(Some(Arc::new(HistogramCell::default())));
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // 0 -> b0; 1 -> b1; 2,3 -> b2; 4,7 -> b3; 8 -> b4; MAX -> b64.
+        assert_eq!(
+            snap.buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (64, 1)]
+        );
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let c = Counter(Some(Arc::new(AtomicU64::new(0))));
+        let c2 = c.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c2.get(), 4000);
+    }
+}

@@ -1,0 +1,266 @@
+//! The end-of-run JSON report (the `BENCH_exploration.json` schema).
+//!
+//! A [`Report`] is an ordered set of top-level JSON fields seeded with the
+//! schema identity (`schema`, `version`, `run_id`); the caller adds
+//! tool-specific sections (`model`, `translation`, `exploration`,
+//! `verdict`, …) and finally attaches the recorder's [`RunData`] (spans,
+//! counters, gauges, histograms, events). Reports are reproducible and
+//! diffable by construction: the run id hashes the *inputs* (model source +
+//! options), never the wall clock, and rendering is insertion-ordered with
+//! no floats.
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+use crate::recorder::{RunData, SpanRecord};
+
+/// The schema family name every report carries.
+pub const SCHEMA: &str = "aadlsched-metrics";
+
+/// Version of the report schema. Bump when a field changes meaning or moves;
+/// consumers reject reports whose version they do not know.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Deterministic run identifier: FNV-1a (64-bit) over the given byte slices,
+/// rendered as 16 lowercase hex digits. Feed it the model source and the
+/// canonical option string — *not* timestamps — so the same inputs always
+/// produce the same id and two reports are diffable.
+///
+/// # Examples
+///
+/// ```
+/// let a = obs::run_id(&[b"model source", b"--exhaustive"]);
+/// let b = obs::run_id(&[b"model source", b"--exhaustive"]);
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 16);
+/// assert_ne!(a, obs::run_id(&[b"model source", b"--threads 4"]));
+/// ```
+pub fn run_id(parts: &[&[u8]]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        // Hash each part's length too, so ["ab","c"] != ["a","bc"].
+        for b in (part.len() as u64).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        for &b in *part {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// A schema-versioned, machine-readable run report.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{Json, Report};
+///
+/// let mut r = Report::new("deadbeefdeadbeef", "aadlsched");
+/// r.set("model", Json::obj([("file", Json::from("m.aadl"))]));
+/// let text = r.to_json();
+/// assert!(text.starts_with("{\n  \"schema\": \"aadlsched-metrics\""));
+/// assert!(text.contains("\"version\": 1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Report {
+    fields: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// A report seeded with the schema identity and the producing tool.
+    pub fn new(run_id: &str, tool: &str) -> Report {
+        Report {
+            fields: vec![
+                ("schema".into(), Json::from(SCHEMA)),
+                ("version".into(), Json::UInt(SCHEMA_VERSION)),
+                ("run_id".into(), Json::from(run_id)),
+                ("tool".into(), Json::from(tool)),
+            ],
+        }
+    }
+
+    /// Set a top-level field (replacing an earlier value for the same key in
+    /// place, preserving its position).
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Attach a recorder's run data as the `spans`, `events`, `counters`,
+    /// `gauges` and `histograms` sections.
+    pub fn attach_run(&mut self, run: &RunData) {
+        self.set("duration_ns", Json::UInt(run.end_ns.saturating_sub(run.start_ns)));
+        self.set(
+            "spans",
+            Json::Arr(run.spans.iter().map(span_json).collect()),
+        );
+        self.set(
+            "events",
+            Json::Arr(
+                run.events
+                    .iter()
+                    .map(|e| {
+                        let mut pairs = vec![
+                            ("ts_ns".to_string(), Json::UInt(e.ts_ns)),
+                            ("name".to_string(), Json::from(e.name.as_str())),
+                        ];
+                        pairs.extend(e.fields.iter().cloned());
+                        Json::Obj(pairs)
+                    })
+                    .collect(),
+            ),
+        );
+        self.set(
+            "counters",
+            Json::Obj(
+                run.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        );
+        self.set(
+            "gauges",
+            Json::Obj(
+                run.gauges
+                    .iter()
+                    .map(|(k, value, peak)| {
+                        (
+                            k.clone(),
+                            Json::obj([
+                                ("value", Json::Int(*value)),
+                                ("peak", Json::Int(*peak)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+        self.set(
+            "histograms",
+            Json::Obj(
+                run.histograms
+                    .iter()
+                    .map(|(k, snap)| (k.clone(), histogram_json(snap)))
+                    .collect(),
+            ),
+        );
+    }
+
+    /// Render the report as pretty-printed JSON (two-space indent, trailing
+    /// newline) — the on-disk `BENCH_exploration.json` format.
+    pub fn to_json(&self) -> String {
+        Json::Obj(self.fields.clone()).to_pretty()
+    }
+}
+
+/// Render one span (shared by the report and the JSON-lines sink).
+pub(crate) fn span_json(s: &SpanRecord) -> Json {
+    let mut pairs = vec![
+        ("id".to_string(), Json::UInt(s.id)),
+        (
+            "parent".to_string(),
+            s.parent.map_or(Json::Null, Json::UInt),
+        ),
+        ("name".to_string(), Json::from(s.name.as_str())),
+        ("start_ns".to_string(), Json::UInt(s.start_ns)),
+        (
+            "duration_ns".to_string(),
+            s.end_ns
+                .map_or(Json::Null, |e| Json::UInt(e.saturating_sub(s.start_ns))),
+        ),
+    ];
+    if !s.fields.is_empty() {
+        pairs.push((
+            "fields".to_string(),
+            Json::Obj(
+                s.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+fn histogram_json(snap: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::UInt(snap.count)),
+        ("sum", Json::UInt(snap.sum)),
+        ("max", Json::UInt(snap.max)),
+        (
+            "buckets",
+            Json::Arr(
+                snap.buckets
+                    .iter()
+                    .map(|(i, n)| Json::Arr(vec![Json::UInt(*i as u64), Json::UInt(*n)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn run_id_is_input_determined() {
+        assert_eq!(run_id(&[b"x"]), run_id(&[b"x"]));
+        assert_ne!(run_id(&[b"x"]), run_id(&[b"y"]));
+        assert_ne!(run_id(&[b"ab", b"c"]), run_id(&[b"a", b"bc"]));
+    }
+
+    #[test]
+    fn report_carries_schema_identity_first() {
+        let r = Report::new("0000000000000000", "test");
+        let text = r.to_json();
+        let schema_pos = text.find("\"schema\"").unwrap();
+        let version_pos = text.find("\"version\"").unwrap();
+        assert!(schema_pos < version_pos);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut r = Report::new("0", "t");
+        r.set("a", Json::UInt(1));
+        r.set("b", Json::UInt(2));
+        r.set("a", Json::UInt(3));
+        let text = r.to_json();
+        assert!(text.find("\"a\": 3").unwrap() < text.find("\"b\": 2").unwrap());
+        assert!(!text.contains("\"a\": 1"));
+    }
+
+    #[test]
+    fn attach_run_renders_all_sections() {
+        let rec = Recorder::with_clock(Box::new(FakeClock::new(1)));
+        rec.counter("c").add(4);
+        rec.gauge("g").set(-2);
+        rec.histogram("h").observe(10);
+        let s = rec.span("stage");
+        s.set("f", 1);
+        s.end();
+        rec.event("done", [("ok", Json::Bool(true))]);
+        let mut r = Report::new("id", "t");
+        r.attach_run(&rec.finish());
+        let text = r.to_json();
+        for key in [
+            "\"spans\"",
+            "\"events\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"duration_ns\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        assert!(text.contains("\"c\": 4"));
+        assert!(text.contains("\"value\": -2"));
+    }
+}

@@ -12,7 +12,8 @@
 //! and identical to the sequential engine.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::fmt;
+use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use acsr::{prioritized_steps, Env, Label, P};
@@ -77,6 +78,12 @@ pub struct Options {
     pub collect_lts: bool,
     /// Worker threads for frontier expansion; `0` or `1` means sequential.
     pub threads: usize,
+    /// Observability recorder. Disabled by default — every instrument the
+    /// exploration touches is then an inert handle, so the instrumented hot
+    /// path costs nothing observable (see `crates/obs`). Enable it (and
+    /// optionally arm progress reporting) to get per-level spans, dedup and
+    /// lock-contention counters, and the peak state-store gauge.
+    pub obs: obs::Recorder,
 }
 
 impl Default for Options {
@@ -86,6 +93,7 @@ impl Default for Options {
             stop_at_first_deadlock: false,
             collect_lts: false,
             threads: 1,
+            obs: obs::Recorder::disabled(),
         }
     }
 }
@@ -128,6 +136,19 @@ impl Options {
         self.max_states = max;
         self
     }
+
+    /// Attach an observability recorder (see `crates/obs`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let opts = versa::Options::default().with_obs(obs::Recorder::enabled());
+    /// assert!(opts.obs.is_enabled());
+    /// ```
+    pub fn with_obs(mut self, obs: obs::Recorder) -> Options {
+        self.obs = obs;
+        self
+    }
 }
 
 /// Aggregate statistics of one exploration run.
@@ -156,8 +177,44 @@ pub struct Stats {
     pub peak_frontier: usize,
     /// Number of BFS levels expanded (the depth reached).
     pub levels: usize,
+    /// Transitions whose target state was already interned — cross- and
+    /// back-edges merged by the visited set. `transitions - dedup_hits` is
+    /// the number of *fresh* discoveries (≈ `states - 1`).
+    pub dedup_hits: usize,
     /// Wall-clock duration of the exploration.
     pub duration: Duration,
+}
+
+impl fmt::Display for Stats {
+    /// One-line summary of the run, suitable for tool output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use versa::{explore, Options};
+    ///
+    /// let env = Env::new();
+    /// let p = act([(Res::new("cpu"), 1)], act([(Res::new("cpu"), 1)], nil()));
+    /// let line = explore(&env, &p, &Options::default()).stats.to_string();
+    /// assert!(line.starts_with("3 states, 2 transitions"));
+    /// assert!(line.contains("3 levels"));
+    /// assert!(line.contains("0 dedup hits"));
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {} levels, peak frontier {}, \
+             {} dedup hits, {} deadlock(s) in {:?}",
+            self.states,
+            self.transitions,
+            self.levels,
+            self.peak_frontier,
+            self.dedup_hits,
+            self.deadlocks,
+            self.duration
+        )
+    }
 }
 
 /// The result of exploring a model.
@@ -371,6 +428,9 @@ impl Exploration {
 /// ```
 pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
     let start = Instant::now();
+    let run_span = opts.obs.span("explore");
+    let dedup_counter = opts.obs.counter("explore.dedup_hits");
+    let states_gauge = opts.obs.gauge("explore.states");
     let mut interner: HashMap<P, StateId> = HashMap::new();
     let mut states: Vec<P> = Vec::new();
     let mut parents: Vec<Option<(StateId, Label)>> = Vec::new();
@@ -405,15 +465,20 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
     let mut frontier: Vec<StateId> = vec![root];
     let threads = opts.threads.max(1);
 
-    'bfs: while !frontier.is_empty() {
+    while !frontier.is_empty() {
         stats.levels += 1;
         stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        let level_span = run_span.child("explore.level");
+        let mut level_discovered = 0usize;
+        let mut level_deduped = 0usize;
+        let mut level_transitions = 0usize;
+        let mut stop = false;
 
         // Expand the whole level: successor lists in frontier order. Spawning
         // workers only pays off on wide frontiers; narrow levels (including
         // the common startup ramp) run sequentially.
         let expanded: Vec<Vec<(Label, P)>> = if threads > 1 && frontier.len() >= 4 * threads {
-            expand_parallel(env, &states, &frontier, threads)
+            expand_parallel(env, &states, &frontier, threads, &opts.obs)
         } else {
             frontier
                 .iter()
@@ -427,7 +492,8 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
                 deadlocks.push(id);
                 stats.deadlocks += 1;
                 if opts.stop_at_first_deadlock {
-                    break 'bfs;
+                    stop = true;
+                    break;
                 }
             }
             if opts.collect_lts && lts_transitions.len() <= id.index() {
@@ -435,6 +501,7 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
             }
             for (label, succ) in succs {
                 stats.transitions += 1;
+                level_transitions += 1;
                 let (sid, fresh) = intern(
                     succ.clone(),
                     Some((id, label.clone())),
@@ -446,19 +513,49 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
                     lts_transitions[id.index()].push((label.clone(), sid));
                 }
                 if fresh {
+                    level_discovered += 1;
                     next.push(sid);
+                } else {
+                    stats.dedup_hits += 1;
+                    level_deduped += 1;
                 }
             }
             if states.len() >= opts.max_states {
                 truncated = true;
-                break 'bfs;
+                stop = true;
+                break;
             }
+        }
+
+        level_span.set("level", stats.levels as i64);
+        level_span.set("frontier", frontier.len() as i64);
+        level_span.set("discovered", level_discovered as i64);
+        level_span.set("deduped", level_deduped as i64);
+        level_span.set("transitions", level_transitions as i64);
+        level_span.set("states_total", states.len() as i64);
+        level_span.end();
+        dedup_counter.add(level_deduped as u64);
+        states_gauge.set(states.len() as i64);
+        opts.obs.progress(
+            states.len() as u64,
+            stats.levels as u64,
+            frontier.len() as u64,
+        );
+        if stop {
+            break;
         }
         frontier = next;
     }
 
     stats.states = states.len();
     stats.duration = start.elapsed();
+    run_span.set("states", stats.states as i64);
+    run_span.set("transitions", stats.transitions as i64);
+    run_span.set("levels", stats.levels as i64);
+    run_span.set("peak_frontier", stats.peak_frontier as i64);
+    run_span.set("deadlocks", stats.deadlocks as i64);
+    run_span.set("truncated", i64::from(truncated));
+    run_span.end();
     let lts = opts.collect_lts.then(|| {
         lts_transitions.resize(states.len(), Vec::new());
         Lts {
@@ -486,19 +583,37 @@ fn expand_parallel(
     states: &[P],
     frontier: &[StateId],
     threads: usize,
+    obs: &obs::Recorder,
 ) -> Vec<Vec<(Label, P)>> {
     let chunk = frontier.len().div_ceil(threads);
+    // The contention counter is a lock-wait proxy: each increment is one
+    // `try_lock` that would have blocked. Registered here (not in `explore`)
+    // so sequential runs never carry the inherently racy metric.
+    let contended = obs.counter("explore.lock_contention");
+    let chunk_hist = obs.histogram("explore.worker_chunk");
     type ChunkResult = Vec<Vec<(Label, P)>>;
     let out: Mutex<Vec<(usize, ChunkResult)>> = Mutex::new(Vec::with_capacity(threads));
     std::thread::scope(|s| {
         for (ci, ids) in frontier.chunks(chunk).enumerate() {
             let out = &out;
+            let contended = &contended;
+            let expanded = obs.counter(&format!("explore.worker.{ci}.expanded"));
+            chunk_hist.observe(ids.len() as u64);
             s.spawn(move || {
                 let local: Vec<Vec<(Label, P)>> = ids
                     .iter()
                     .map(|id| prioritized_steps(env, &states[id.index()]))
                     .collect();
-                out.lock().expect("expansion lock poisoned").push((ci, local));
+                expanded.add(local.len() as u64);
+                let mut guard = match out.try_lock() {
+                    Ok(guard) => guard,
+                    Err(TryLockError::WouldBlock) => {
+                        contended.inc();
+                        out.lock().expect("expansion lock poisoned")
+                    }
+                    Err(TryLockError::Poisoned(_)) => panic!("expansion lock poisoned"),
+                };
+                guard.push((ci, local));
             });
         }
     });
@@ -700,5 +815,82 @@ mod tests {
         assert_eq!(ex.stats.levels, 3); // two expansions + the deadlocked leaf
         assert!(ex.stats.peak_frontier >= 1);
         assert_eq!(ex.stats.states, 3);
+    }
+
+    #[test]
+    fn recorder_captures_per_level_spans() {
+        let env = Env::new();
+        let p = act([(cpu(), 1)], act([(cpu(), 1)], nil()));
+        let rec = obs::Recorder::with_clock(Box::new(obs::FakeClock::new(1)));
+        let ex = explore(&env, &p, &Options::default().with_obs(rec.clone()));
+        let run = rec.finish();
+        let roots: Vec<_> = run.spans.iter().filter(|s| s.name == "explore").collect();
+        assert_eq!(roots.len(), 1);
+        assert!(roots[0].fields.contains(&("states".to_string(), 3)));
+        let levels: Vec<_> = run
+            .spans
+            .iter()
+            .filter(|s| s.name == "explore.level")
+            .collect();
+        assert_eq!(levels.len(), ex.stats.levels);
+        for (i, lvl) in levels.iter().enumerate() {
+            assert_eq!(lvl.parent, Some(roots[0].id));
+            assert!(lvl.fields.contains(&("level".to_string(), i as i64 + 1)));
+        }
+        // Straight-line process: no state is ever rediscovered.
+        assert_eq!(run.counters, vec![("explore.dedup_hits".to_string(), 0)]);
+        assert_eq!(ex.stats.dedup_hits, 0);
+    }
+
+    #[test]
+    fn recorder_counts_dedup_hits() {
+        let mut env = Env::new();
+        let p = looping(&mut env);
+        let rec = obs::Recorder::enabled();
+        let ex = explore(&env, &p, &Options::default().with_obs(rec.clone()));
+        // The single transition loops back to the interned initial state.
+        assert_eq!(ex.stats.dedup_hits, 1);
+        let run = rec.finish();
+        assert!(run
+            .counters
+            .iter()
+            .any(|(k, v)| k == "explore.dedup_hits" && *v == 1));
+        assert!(run
+            .gauges
+            .iter()
+            .any(|(k, value, peak)| k == "explore.states" && *value == 1 && *peak == 1));
+    }
+
+    #[test]
+    fn parallel_with_obs_matches_sequential() {
+        let mut env = Env::new();
+        let c1 = env.declare("Cnt", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(30)),
+                    act([(cpu(), 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                ),
+                guard(
+                    BExpr::eq(Expr::p(0), Expr::c(30)),
+                    act([(cpu(), 1)], invoke(c1, [Expr::c(0)])),
+                ),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let seq = explore(&env, &p, &Options::default());
+        let rec = obs::Recorder::enabled();
+        let par4 = explore(
+            &env,
+            &p,
+            &Options::default().with_threads(4).with_obs(rec.clone()),
+        );
+        assert_eq!(seq.num_states(), par4.num_states());
+        assert_eq!(seq.stats.transitions, par4.stats.transitions);
+        assert_eq!(seq.stats.dedup_hits, par4.stats.dedup_hits);
+        for i in 0..seq.num_states() {
+            assert_eq!(seq.state(StateId(i as u32)), par4.state(StateId(i as u32)));
+        }
     }
 }

@@ -19,9 +19,17 @@
 //!   --tree            print the instance tree with bindings and timing
 //!   --acsr            print the generated ACSR process definitions
 //!   --dot <file>      write the explored LTS as Graphviz dot
+//!   --metrics <file>  write a schema-versioned JSON run report
+//!   --trace-events <file>  write the span/event stream as JSON lines
+//!   --progress        emit rate-limited exploration progress on stderr
 //! ```
 //!
-//! Exit code: 0 schedulable, 1 not schedulable, 2 usage/translation error.
+//! Exit codes: 0 schedulable, 1 not schedulable, 2 usage/input error,
+//! 3 unknown (state budget exhausted before a verdict).
+//!
+//! For byte-stable reports (tests, diffing), set `AADLSCHED_FAKE_CLOCK=<ns>`
+//! to replace the monotonic clock with a fake that advances by the given
+//! number of nanoseconds per reading.
 
 use std::process::ExitCode;
 
@@ -30,6 +38,7 @@ use aadl::model::{Category, Package};
 use aadl::parser::parse_package;
 use aadl::properties::TimeVal;
 use aadl2acsr::{analyze_translated, translate, AnalysisOptions, TranslateOptions};
+use obs::{Json, JsonLinesSink, Sink};
 
 struct Args {
     file: String,
@@ -42,13 +51,17 @@ struct Args {
     print_acsr: bool,
     print_tree: bool,
     dot: Option<String>,
+    metrics: Option<String>,
+    trace_events: Option<String>,
+    progress: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: aadlsched <model.aadl> [RootSystem.impl] \
          [--quantum <ms>] [--compact] [--exhaustive] [--threads <n>] \
-         [--max-states <n>] [--tree] [--acsr] [--dot <file>]\n\
+         [--max-states <n>] [--tree] [--acsr] [--dot <file>] \
+         [--metrics <file>] [--trace-events <file>] [--progress]\n\
          (omit RootSystem.impl to analyze the package's top-level system \
          implementation)"
     );
@@ -73,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
         print_acsr: false,
         print_tree: false,
         dot: None,
+        metrics: None,
+        trace_events: None,
+        progress: false,
     };
     while let Some(flag) = raw.next() {
         match flag.as_str() {
@@ -104,6 +120,13 @@ fn parse_args() -> Result<Args, String> {
             "--acsr" => args.print_acsr = true,
             "--tree" => args.print_tree = true,
             "--dot" => args.dot = Some(raw.next().ok_or("--dot needs a file")?),
+            "--metrics" => {
+                args.metrics = Some(raw.next().ok_or("--metrics needs a file")?)
+            }
+            "--trace-events" => {
+                args.trace_events = Some(raw.next().ok_or("--trace-events needs a file")?)
+            }
+            "--progress" => args.progress = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -145,12 +168,42 @@ fn default_root(pkg: &Package) -> Result<String, String> {
     }
 }
 
+/// Build the run recorder from the CLI flags: disabled (a no-op) unless any
+/// observability output was requested, a fake clock when
+/// `AADLSCHED_FAKE_CLOCK` asks for byte-stable reports.
+fn build_recorder(args: &Args) -> Result<obs::Recorder, String> {
+    if args.metrics.is_none() && args.trace_events.is_none() && !args.progress {
+        return Ok(obs::Recorder::disabled());
+    }
+    let rec = match std::env::var("AADLSCHED_FAKE_CLOCK") {
+        Ok(tick) => {
+            let tick: u64 = tick
+                .parse()
+                .map_err(|e| format!("AADLSCHED_FAKE_CLOCK must be a tick in ns: {e}"))?;
+            obs::Recorder::with_clock(Box::new(obs::FakeClock::new(tick)))
+        }
+        Err(_) => obs::Recorder::enabled(),
+    };
+    Ok(if args.progress {
+        rec.with_progress()
+    } else {
+        rec
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
+        }
+    };
+    let rec = match build_recorder(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
         }
     };
 
@@ -202,6 +255,7 @@ fn main() -> ExitCode {
     let topts = TranslateOptions {
         compact: args.compact,
         quantum: args.quantum_ms.map(TimeVal::ms),
+        obs: rec.clone(),
         ..Default::default()
     };
     let tm = match translate(&model, &topts) {
@@ -238,12 +292,10 @@ fn main() -> ExitCode {
         aopts.explore.max_states = max;
     }
     aopts.explore.collect_lts = args.dot.is_some();
+    aopts.explore.obs = rec.clone();
 
     let verdict = analyze_translated(&model, &tm, &aopts);
-    println!(
-        "exploration: {} states, {} transitions in {:?}",
-        verdict.stats.states, verdict.stats.transitions, verdict.stats.duration
-    );
+    println!("exploration: {}", verdict.stats);
 
     if let Some(dot_file) = &args.dot {
         // Re-run with LTS collection through versa directly for the export.
@@ -259,9 +311,83 @@ fn main() -> ExitCode {
         }
     }
 
+    if rec.is_enabled() {
+        let run = rec.finish();
+        if let Some(path) = &args.trace_events {
+            let mut buf = Vec::new();
+            if let Err(e) = JsonLinesSink.emit(&run, &mut buf) {
+                eprintln!("cannot render trace events: {e}");
+                return ExitCode::from(2);
+            }
+            if let Err(e) = std::fs::write(path, buf) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("trace events written to {path}");
+        }
+        if let Some(path) = &args.metrics {
+            // The run id hashes the *inputs* — model source + the canonical
+            // option string — never the wall clock, so identical invocations
+            // produce identical ids.
+            let canon_opts = format!(
+                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};max_states={:?}",
+                args.quantum_ms, args.compact, args.exhaustive, args.threads, args.max_states
+            );
+            let run_id = obs::run_id(&[source.as_bytes(), canon_opts.as_bytes()]);
+            let mut report = obs::Report::new(&run_id, "aadlsched");
+            report.set(
+                "model",
+                Json::obj([
+                    ("file", Json::from(args.file.as_str())),
+                    ("root", Json::from(root.as_str())),
+                    ("components", Json::from(model.num_components())),
+                    ("threads", Json::from(model.threads().count())),
+                    ("processors", Json::from(model.processors().count())),
+                    ("connections", Json::from(model.connections.len())),
+                ]),
+            );
+            report.set(
+                "translation",
+                Json::obj([
+                    ("threads", Json::from(tm.inventory.threads)),
+                    ("dispatchers", Json::from(tm.inventory.dispatchers)),
+                    ("queues", Json::from(tm.inventory.queues)),
+                    ("device_gens", Json::from(tm.inventory.device_gens)),
+                    ("observers", Json::from(tm.inventory.observers)),
+                    ("defs", Json::from(tm.env.num_defs())),
+                    ("quantum_ps", Json::Int(tm.quantum_ps)),
+                ]),
+            );
+            report.set(
+                "exploration",
+                Json::obj([
+                    ("states", Json::from(verdict.stats.states)),
+                    ("transitions", Json::from(verdict.stats.transitions)),
+                    ("levels", Json::from(verdict.stats.levels)),
+                    ("peak_frontier", Json::from(verdict.stats.peak_frontier)),
+                    ("dedup_hits", Json::from(verdict.stats.dedup_hits)),
+                    ("deadlocks", Json::from(verdict.stats.deadlocks)),
+                ]),
+            );
+            report.set(
+                "verdict",
+                Json::obj([
+                    ("schedulable", Json::Bool(verdict.schedulable)),
+                    ("truncated", Json::Bool(verdict.truncated)),
+                ]),
+            );
+            report.attach_run(&run);
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("metrics written to {path}");
+        }
+    }
+
     if verdict.truncated {
         println!("VERDICT: unknown (state budget exhausted)");
-        return ExitCode::from(2);
+        return ExitCode::from(3);
     }
     if verdict.schedulable {
         println!("VERDICT: schedulable — every thread meets its deadline in every behaviour");

@@ -178,6 +178,129 @@ fn quantum_override_is_applied() {
 }
 
 #[test]
+fn exit_codes_cover_all_outcomes() {
+    // 0 = schedulable, 1 = deadline miss, 2 = usage/input error,
+    // 3 = unknown (state budget exhausted).
+    let ok = write_model("codes_ok.aadl", OK_MODEL);
+    assert_eq!(
+        aadlsched(&[ok.to_str().unwrap(), "Top.impl"]).status.code(),
+        Some(0)
+    );
+    let bad = write_model("codes_bad.aadl", BAD_MODEL);
+    assert_eq!(
+        aadlsched(&[bad.to_str().unwrap(), "Top.impl"]).status.code(),
+        Some(1)
+    );
+    assert_eq!(aadlsched(&["/nonexistent/nope.aadl"]).status.code(), Some(2));
+    let out = aadlsched(&[ok.to_str().unwrap(), "Top.impl", "--max-states", "3"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VERDICT: unknown"));
+}
+
+#[test]
+fn metrics_flag_writes_a_schema_versioned_report() {
+    let path = write_model("metrics.aadl", OK_MODEL);
+    let report_path = std::env::temp_dir().join("aadlsched_cli_tests/metrics.json");
+    let _ = std::fs::remove_file(&report_path);
+    let out = aadlsched(&[
+        path.to_str().unwrap(),
+        "Top.impl",
+        "--exhaustive",
+        "--metrics",
+        report_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    for key in [
+        "\"schema\": \"aadlsched-metrics\"",
+        "\"version\": 1",
+        "\"run_id\"",
+        "\"tool\": \"aadlsched\"",
+        "\"model\"",
+        "\"translation\"",
+        "\"exploration\"",
+        "\"verdict\"",
+        "\"spans\"",
+        "\"name\": \"translate\"",
+        "\"name\": \"explore\"",
+        "\"name\": \"explore.level\"",
+        "\"counters\"",
+        "\"histograms\"",
+        "\"translate.skeleton_size\"",
+        "\"peak_frontier\"",
+    ] {
+        assert!(report.contains(key), "missing {key} in {report}");
+    }
+}
+
+#[test]
+fn metrics_report_is_reproducible_under_the_fake_clock() {
+    let path = write_model("metrics_det.aadl", OK_MODEL);
+    let run = |name: &str| {
+        let report_path = std::env::temp_dir().join(format!("aadlsched_cli_tests/{name}"));
+        let out = Command::new(env!("CARGO_BIN_EXE_aadlsched"))
+            .args([
+                path.to_str().unwrap(),
+                "Top.impl",
+                "--exhaustive",
+                "--metrics",
+                report_path.to_str().unwrap(),
+            ])
+            .env("AADLSCHED_FAKE_CLOCK", "1000")
+            .output()
+            .expect("aadlsched runs");
+        assert!(out.status.success(), "{out:?}");
+        std::fs::read_to_string(&report_path).unwrap()
+    };
+    let first = run("det1.json");
+    let second = run("det2.json");
+    assert_eq!(first, second, "fake-clock reports must be byte-identical");
+    // The run id hashes the inputs, not the clock — stable across runs.
+    assert!(first.contains("\"run_id\""));
+}
+
+#[test]
+fn trace_events_flag_writes_json_lines() {
+    let path = write_model("trace.aadl", OK_MODEL);
+    let trace_path = std::env::temp_dir().join("aadlsched_cli_tests/trace.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    let out = aadlsched(&[
+        path.to_str().unwrap(),
+        "Top.impl",
+        "--exhaustive",
+        "--trace-events",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stream = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(stream.lines().count() > 2, "{stream}");
+    for line in stream.lines() {
+        assert!(line.starts_with("{\"type\":\"span\"") || line.starts_with("{\"type\":\"event\""));
+    }
+    assert!(stream.contains("\"name\":\"verdict\""), "{stream}");
+}
+
+#[test]
+fn progress_flag_emits_deterministic_stderr_lines() {
+    // The cruise-control exhaustive exploration reaches 256 states; with
+    // doubling thresholds from 64 that is exactly the 64/128/256 crossings.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/models/cruise_control.aadl"
+    );
+    let out = aadlsched(&[path, "--exhaustive", "--progress"]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let lines: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("progress: "))
+        .collect();
+    assert_eq!(lines.len(), 3, "{stderr}");
+    assert!(lines[0].starts_with("progress: 64 states"), "{stderr}");
+    assert!(lines[2].starts_with("progress: 256 states"), "{stderr}");
+}
+
+#[test]
 fn dot_export_writes_a_file() {
     let path = write_model("ok_dot.aadl", OK_MODEL);
     let dot = std::env::temp_dir().join("aadlsched_cli_tests/ok.dot");

@@ -1,0 +1,49 @@
+//! Golden test of the diagnose timeline (§5): the raised counterexample for
+//! the bundled `examples/models/overloaded.aadl` model is a *shortest* trace
+//! (BFS), so its rendering is fully deterministic — any change to the
+//! exploration order, the trace raising, or the renderer must show up here
+//! as a deliberate diff.
+
+use aadl::instance::instantiate;
+use aadl::parser::parse_package;
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+
+/// Both 8 ms/10 ms threads contend for one RMS processor (U = 1.6); with the
+/// 2 ms derived quantum each needs 4 quanta before its 5-quantum deadline.
+/// The shortest failing scenario has t1 run three quanta, t2 two — neither
+/// completes, and both miss at quantum 5.
+const GOLDEN_TIMELINE: &str = "\
+VIOLATION: thread `t1` missed its deadline
+VIOLATION: thread `t2` missed its deadline
+failing scenario (5 quanta):
+  t=0    ! dispatch t1
+  t=0    ! dispatch t2
+  t=0    | t1 runs, t2 preempted
+  t=1    | t1 runs, t2 preempted
+  t=2    | t1 runs, t2 preempted
+  t=3    | t1 preempted, t2 runs
+  t=4    | t1 preempted, t2 runs
+  t=5    DEADLOCK
+";
+
+#[test]
+fn overloaded_model_raises_the_golden_timeline() {
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/models/overloaded.aadl"
+    ))
+    .unwrap();
+    let pkg = parse_package(&source).unwrap();
+    let model = instantiate(&pkg, "Top.impl").unwrap();
+    let verdict = analyze(
+        &model,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    assert!(!verdict.schedulable);
+    assert!(!verdict.truncated);
+    let scenario = verdict.scenario.expect("a failing scenario");
+    assert_eq!(scenario.at_quantum, 5);
+    assert_eq!(scenario.render(), GOLDEN_TIMELINE);
+}

@@ -79,6 +79,20 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "check_hermetic: all Cargo.toml dependencies are path-only"
 
+# 1b. The observability crate must stay entirely std-only: an EMPTY
+#     [dependencies] section. Instrumentation sits on the hot exploration
+#     path of every other crate, so it must never pull anything in —
+#     not even workspace-internal crates (which would invert the
+#     dependency direction and invite cycles).
+obs_deps="$(awk '/^\[dependencies\]/{flag=1; next} /^\[/{flag=0} flag' crates/obs/Cargo.toml \
+    | sed -e 's/#.*//' -e '/^[[:space:]]*$/d')"
+if [ -n "$obs_deps" ]; then
+    echo "HERMETIC VIOLATION: crates/obs must have zero dependencies, found:"
+    echo "$obs_deps"
+    exit 1
+fi
+echo "check_hermetic: crates/obs is dependency-free"
+
 # 2. The lockfile, if present, must not reference any registry source.
 if [ -f Cargo.lock ] && grep -q 'source = "registry' Cargo.lock; then
     echo "HERMETIC VIOLATION: Cargo.lock references a registry source"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local gate, in the order a reviewer would run it:
+#
+#   1. tier-1: release build + the whole test suite (ROADMAP.md)
+#   2. the hermetic-build audit (path-only deps, obs dependency-free,
+#      `cargo doc` with warnings denied — see tools/check_hermetic.sh)
+#
+# Run from anywhere:
+#
+#   tools/ci.sh
+#
+# Exit code 0 = everything green.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== hermetic audit =="
+tools/check_hermetic.sh
+
+echo "ci: OK"
