@@ -321,6 +321,7 @@ impl ImplBuilder {
             name: names::ACTUAL_PROCESSOR_BINDING.to_owned(),
             value: PropertyValue::Reference(ppath),
             applies_to: vec![tpath],
+            span: None,
         });
         self
     }
@@ -331,6 +332,7 @@ impl ImplBuilder {
             name: name.to_owned(),
             value,
             applies_to: vec![path.split('.').map(str::to_owned).collect()],
+            span: None,
         });
         self
     }

@@ -15,11 +15,14 @@
 //! positive, deadlines are positive, `HPF` processors have `Priority` on every
 //! bound thread, and processor-binding references resolve.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::instance::{CompId, InstanceModel};
+use crate::instance::{AccessInstance, CompId, InstanceModel};
 use crate::model::FeatureKind;
-use crate::properties::{names, DispatchProtocol, SchedulingProtocol};
+use crate::properties::{
+    names, ConcurrencyControlProtocol, DispatchProtocol, SchedulingProtocol, SrcSpan,
+};
 
 /// A validation finding (all findings are errors for the translation).
 #[derive(Clone, PartialEq, Debug)]
@@ -48,6 +51,8 @@ pub enum ValidationError {
         property: &'static str,
         /// Why it is rejected.
         reason: String,
+        /// Source position of the offending association (parsed models only).
+        span: Option<SrcSpan>,
     },
     /// A non-periodic thread has an unconnected in event / event data port
     /// (assumption 2).
@@ -83,6 +88,7 @@ impl fmt::Display for ValidationError {
                 component,
                 property,
                 reason,
+                ..
             } => write!(f, "`{component}`: bad {property}: {reason}"),
             ValidationError::UnconnectedEventPort { thread, port } => write!(
                 f,
@@ -92,6 +98,26 @@ impl fmt::Display for ValidationError {
                 f,
                 "`{component}` declares multiple modes; the translation handles single-mode models only"
             ),
+        }
+    }
+}
+
+impl ValidationError {
+    /// The name of the property this finding is about, when it is about one.
+    pub fn property(&self) -> Option<&'static str> {
+        match self {
+            ValidationError::MissingProperty { property, .. }
+            | ValidationError::BadProperty { property, .. } => Some(property),
+            _ => None,
+        }
+    }
+
+    /// The source position of the rejected property association, when the
+    /// model was parsed from text.
+    pub fn span(&self) -> Option<SrcSpan> {
+        match self {
+            ValidationError::BadProperty { span, .. } => *span,
+            _ => None,
         }
     }
 }
@@ -136,6 +162,7 @@ pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
                         component: path.clone(),
                         property: names::DISPATCH_PROTOCOL,
                         reason: format!("unrecognized value `{v}`"),
+                        span: t.properties.span_of(names::DISPATCH_PROTOCOL),
                     });
                     None
                 }
@@ -153,6 +180,7 @@ pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
                         component: path.clone(),
                         property: names::COMPUTE_EXECUTION_TIME,
                         reason: format!("range {lo} .. {hi} must be positive and ordered"),
+                        span: t.properties.span_of(names::COMPUTE_EXECUTION_TIME),
                     });
                 }
             }
@@ -169,6 +197,7 @@ pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
                     component: path.clone(),
                     property: names::COMPUTE_DEADLINE,
                     reason: format!("deadline {d} must be positive"),
+                    span: t.properties.span_of(names::COMPUTE_DEADLINE),
                 }),
                 Some(_) => {}
             }
@@ -224,6 +253,7 @@ pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
                     component: ppath.clone(),
                     property: names::SCHEDULING_PROTOCOL,
                     reason: format!("unrecognized value `{v}`"),
+                    span: proc.properties.span_of(names::SCHEDULING_PROTOCOL),
                 }),
                 Some(SchedulingProtocol::Hpf) => {
                     for tid in bound {
@@ -241,6 +271,11 @@ pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
         }
     }
 
+    // Shared-data concurrency control (§7 extension): protocol literals
+    // parse, critical sections are consistent with the accessors' timing,
+    // and ceilings are computable (all accessors bound, static policies).
+    check_concurrency_control(model, &mut errors);
+
     // Mode restriction (§4).
     for c in model.components() {
         if c.modes.len() > 1 {
@@ -251,6 +286,176 @@ pub fn validate(model: &InstanceModel) -> Vec<ValidationError> {
     }
 
     errors
+}
+
+fn check_concurrency_control(model: &InstanceModel, errors: &mut Vec<ValidationError>) {
+    let mut by_data: BTreeMap<CompId, Vec<&AccessInstance>> = BTreeMap::new();
+    for acc in &model.accesses {
+        by_data.entry(acc.data).or_default().push(acc);
+    }
+    // Threads with more than one protocol-managed access are rejected: the
+    // translation models one critical section per dispatch.
+    let mut managed_per_thread: BTreeMap<CompId, usize> = BTreeMap::new();
+
+    for (data, accs) in &by_data {
+        let d = model.component(*data);
+        let dpath = d.display_path().to_owned();
+
+        let protocol = match d.properties.get(names::CONCURRENCY_CONTROL_PROTOCOL) {
+            None => ConcurrencyControlProtocol::NoneSpecified,
+            Some(v) => match v.as_enum().and_then(ConcurrencyControlProtocol::parse) {
+                Some(p) => p,
+                None => {
+                    errors.push(ValidationError::BadProperty {
+                        component: dpath.clone(),
+                        property: names::CONCURRENCY_CONTROL_PROTOCOL,
+                        reason: format!(
+                            "unrecognized value `{v}` (expected None_Specified, \
+                             Priority_Inheritance or Priority_Ceiling)"
+                        ),
+                        span: d.properties.span_of(names::CONCURRENCY_CONTROL_PROTOCOL),
+                    });
+                    continue;
+                }
+            },
+        };
+
+        // The data-level critical-section time is the fallback for accesses
+        // that declare none of their own.
+        if d.properties
+            .get(names::CRITICAL_SECTION_EXECUTION_TIME)
+            .is_some()
+            && d.properties.critical_section_time().is_none()
+        {
+            errors.push(ValidationError::BadProperty {
+                component: dpath.clone(),
+                property: names::CRITICAL_SECTION_EXECUTION_TIME,
+                reason: "must be a time value".into(),
+                span: d.properties.span_of(names::CRITICAL_SECTION_EXECUTION_TIME),
+            });
+            continue;
+        }
+        let data_cs = d.properties.critical_section_time();
+
+        let mut any_cs = false;
+        let mut missing_cs: Vec<&str> = Vec::new();
+        for acc in accs {
+            let t = model.component(acc.thread);
+            let tpath = t.display_path().to_owned();
+            if acc
+                .properties
+                .get(names::CRITICAL_SECTION_EXECUTION_TIME)
+                .is_some()
+                && acc.properties.critical_section_time().is_none()
+            {
+                errors.push(ValidationError::BadProperty {
+                    component: format!("{tpath} (access `{}`)", acc.name),
+                    property: names::CRITICAL_SECTION_EXECUTION_TIME,
+                    reason: "must be a time value".into(),
+                    span: acc
+                        .properties
+                        .span_of(names::CRITICAL_SECTION_EXECUTION_TIME),
+                });
+                continue;
+            }
+            let Some(cs) = acc.properties.critical_section_time().or(data_cs) else {
+                missing_cs.push(t.display_path());
+                continue;
+            };
+            any_cs = true;
+            *managed_per_thread.entry(acc.thread).or_default() += 1;
+            // The critical section is the leading part of the compute phase:
+            // 0 < cs ≤ min execution time.
+            if let Some((lo, _)) = t.properties.compute_execution_time() {
+                if cs.as_ps() <= 0 || cs.as_ps() > lo.as_ps() {
+                    errors.push(ValidationError::BadProperty {
+                        component: format!("{tpath} (access `{}`)", acc.name),
+                        property: names::CRITICAL_SECTION_EXECUTION_TIME,
+                        reason: format!(
+                            "critical section {cs} must be positive and no longer than \
+                             the minimum execution time {lo}"
+                        ),
+                        span: acc
+                            .properties
+                            .span_of(names::CRITICAL_SECTION_EXECUTION_TIME),
+                    });
+                }
+            }
+        }
+
+        // Either every accessor runs a critical section or none does; a mix
+        // has no coherent protocol semantics.
+        if any_cs && !missing_cs.is_empty() {
+            errors.push(ValidationError::BadProperty {
+                component: dpath.clone(),
+                property: names::CRITICAL_SECTION_EXECUTION_TIME,
+                reason: format!(
+                    "accessor(s) {} declare no critical-section time while others do",
+                    missing_cs
+                        .iter()
+                        .map(|t| format!("`{t}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                span: d.properties.span_of(names::CONCURRENCY_CONTROL_PROTOCOL),
+            });
+        }
+
+        if protocol == ConcurrencyControlProtocol::NoneSpecified {
+            continue;
+        }
+
+        // PIP/PCP ask for elevation, which needs critical sections to exist…
+        if !any_cs {
+            errors.push(ValidationError::BadProperty {
+                component: dpath.clone(),
+                property: names::CONCURRENCY_CONTROL_PROTOCOL,
+                reason: format!(
+                    "{protocol} requires {} on the data component or its accesses",
+                    names::CRITICAL_SECTION_EXECUTION_TIME
+                ),
+                span: d.properties.span_of(names::CONCURRENCY_CONTROL_PROTOCOL),
+            });
+            continue;
+        }
+        // …and static priorities for every accessor: the ceiling (and the
+        // inherited priority) must be computable at translation time.
+        for acc in accs {
+            let t = model.component(acc.thread);
+            let Some(proc) = model.bound_processor(acc.thread) else {
+                // UnboundThread is already reported.
+                continue;
+            };
+            match model.component(proc).properties.scheduling_protocol() {
+                Some(p) if p.is_static() => {}
+                Some(p) => errors.push(ValidationError::BadProperty {
+                    component: dpath.clone(),
+                    property: names::CONCURRENCY_CONTROL_PROTOCOL,
+                    reason: format!(
+                        "{protocol} needs a static scheduling protocol for accessor \
+                         `{}`, but its processor runs {p}",
+                        t.display_path()
+                    ),
+                    span: d.properties.span_of(names::CONCURRENCY_CONTROL_PROTOCOL),
+                }),
+                None => {} // Missing/bad Scheduling_Protocol is already reported.
+            }
+        }
+    }
+
+    for (thread, n) in managed_per_thread {
+        if n > 1 {
+            errors.push(ValidationError::BadProperty {
+                component: model.component(thread).display_path().to_owned(),
+                property: names::CRITICAL_SECTION_EXECUTION_TIME,
+                reason: format!(
+                    "thread holds {n} protocol-managed data accesses; at most one \
+                     critical section per thread is supported"
+                ),
+                span: None,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +649,225 @@ mod tests {
             .iter()
             .any(|e| matches!(e, ValidationError::MultiMode { .. })));
         assert!(!m.is_single_mode());
+    }
+
+    /// Two RMS threads sharing `store` with 1 ms critical sections; `ccp`
+    /// and `cs` parameterize the protocol literal and whether the accesses
+    /// declare a critical-section time.
+    fn shared_pkg(ccp: Option<&str>, cs: bool, protocol: &str) -> crate::model::Package {
+        PackageBuilder::new("CC")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, protocol))
+            .component("store", Category::Data, |d| match ccp {
+                Some(lit) => d.prop_enum(names::CONCURRENCY_CONTROL_PROTOCOL, lit),
+                None => d,
+            })
+            .periodic_thread(
+                "T1",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .periodic_thread(
+                "T2",
+                TimeVal::ms(20),
+                (TimeVal::ms(4), TimeVal::ms(4)),
+                TimeVal::ms(20),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                let mut i = i
+                    .sub("cpu", Category::Processor, "cpu_t")
+                    .sub("shared", Category::Data, "store")
+                    .sub("t1", Category::Thread, "T1")
+                    .sub("t2", Category::Thread, "T2")
+                    .bind_processor("t1", "cpu")
+                    .bind_processor("t2", "cpu")
+                    .connect_data_access("a1", "shared", "t1");
+                if cs {
+                    i = i.conn_prop(
+                        names::CRITICAL_SECTION_EXECUTION_TIME,
+                        PropertyValue::Time(TimeVal::ms(1)),
+                    );
+                }
+                i = i.connect_data_access("a2", "shared", "t2");
+                if cs {
+                    i = i.conn_prop(
+                        names::CRITICAL_SECTION_EXECUTION_TIME,
+                        PropertyValue::Time(TimeVal::ms(1)),
+                    );
+                }
+                i
+            })
+            .build()
+    }
+
+    #[test]
+    fn priority_ceiling_model_validates() {
+        let m = instantiate(&shared_pkg(Some("Priority_Ceiling"), true, "RMS"), "Top.impl")
+            .unwrap();
+        assert_eq!(validate(&m), vec![]);
+        let m = instantiate(
+            &shared_pkg(Some("Priority_Inheritance"), true, "DMS"),
+            "Top.impl",
+        )
+        .unwrap();
+        assert_eq!(validate(&m), vec![]);
+    }
+
+    #[test]
+    fn unknown_protocol_literal_is_flagged() {
+        let m = instantiate(&shared_pkg(Some("Mutex"), true, "RMS"), "Top.impl").unwrap();
+        let errs = validate(&m);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::BadProperty { property, .. }
+                if *property == names::CONCURRENCY_CONTROL_PROTOCOL
+        )));
+        assert_eq!(errs[0].property(), Some(names::CONCURRENCY_CONTROL_PROTOCOL));
+    }
+
+    #[test]
+    fn ceiling_needs_a_static_scheduling_protocol() {
+        let m = instantiate(&shared_pkg(Some("Priority_Ceiling"), true, "EDF"), "Top.impl")
+            .unwrap();
+        assert!(validate(&m).iter().any(|e| matches!(
+            e,
+            ValidationError::BadProperty { reason, .. } if reason.contains("EDF")
+        )));
+        // No protocol: dynamic policies stay fine.
+        let m = instantiate(&shared_pkg(None, false, "EDF"), "Top.impl").unwrap();
+        assert_eq!(validate(&m), vec![]);
+    }
+
+    #[test]
+    fn protocol_without_critical_sections_is_flagged() {
+        let m = instantiate(&shared_pkg(Some("Priority_Ceiling"), false, "RMS"), "Top.impl")
+            .unwrap();
+        assert!(validate(&m).iter().any(|e| matches!(
+            e,
+            ValidationError::BadProperty { reason, .. }
+                if reason.contains("Critical_Section_Execution_Time")
+        )));
+    }
+
+    #[test]
+    fn critical_section_must_fit_the_execution_time() {
+        let pkg = PackageBuilder::new("CS")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .component("store", Category::Data, |d| d)
+            .periodic_thread(
+                "T",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("shared", Category::Data, "store")
+                    .sub("t", Category::Thread, "T")
+                    .bind_processor("t", "cpu")
+                    .connect_data_access("a", "shared", "t")
+                    .conn_prop(
+                        names::CRITICAL_SECTION_EXECUTION_TIME,
+                        PropertyValue::Time(TimeVal::ms(5)), // > cmin = 2
+                    )
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).iter().any(|e| matches!(
+            e,
+            ValidationError::BadProperty { property, reason, .. }
+                if *property == names::CRITICAL_SECTION_EXECUTION_TIME
+                    && reason.contains("minimum execution time")
+        )));
+    }
+
+    #[test]
+    fn partial_critical_section_coverage_is_flagged() {
+        // a1 declares a critical section, a2 does not.
+        let pkg = PackageBuilder::new("Mix")
+            .processor("cpu_t", |p| p.prop_enum(names::SCHEDULING_PROTOCOL, "RMS"))
+            .component("store", Category::Data, |d| d)
+            .periodic_thread(
+                "T1",
+                TimeVal::ms(10),
+                (TimeVal::ms(2), TimeVal::ms(2)),
+                TimeVal::ms(10),
+            )
+            .periodic_thread(
+                "T2",
+                TimeVal::ms(20),
+                (TimeVal::ms(4), TimeVal::ms(4)),
+                TimeVal::ms(20),
+            )
+            .system("Top", |s| s)
+            .implementation("Top.impl", Category::System, |i| {
+                i.sub("cpu", Category::Processor, "cpu_t")
+                    .sub("shared", Category::Data, "store")
+                    .sub("t1", Category::Thread, "T1")
+                    .sub("t2", Category::Thread, "T2")
+                    .bind_processor("t1", "cpu")
+                    .bind_processor("t2", "cpu")
+                    .connect_data_access("a1", "shared", "t1")
+                    .conn_prop(
+                        names::CRITICAL_SECTION_EXECUTION_TIME,
+                        PropertyValue::Time(TimeVal::ms(1)),
+                    )
+                    .connect_data_access("a2", "shared", "t2")
+            })
+            .build();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).iter().any(|e| matches!(
+            e,
+            ValidationError::BadProperty { reason, .. }
+                if reason.contains("declare no critical-section time")
+        )));
+    }
+
+    #[test]
+    fn bad_protocol_literal_carries_its_source_span() {
+        let src = r#"
+package Sp
+public
+  processor cpu_t
+    properties
+      Scheduling_Protocol => RMS;
+  end cpu_t;
+  data store
+    properties
+      Concurrency_Control_Protocol => Mutex;
+  end store;
+  thread T
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 10 ms;
+      Compute_Execution_Time => 2 ms .. 2 ms;
+      Compute_Deadline => 10 ms;
+  end T;
+  system Top
+  end Top;
+  system implementation Top.impl
+    subcomponents
+      cpu: processor cpu_t;
+      shared: data store;
+      t: thread T;
+    connections
+      a: data access shared -> t;
+    properties
+      Actual_Processor_Binding => reference (cpu) applies to t;
+  end Top.impl;
+end Sp;
+"#;
+        let pkg = crate::parser::parse_package(src).unwrap();
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let errs = validate(&m);
+        let bad = errs
+            .iter()
+            .find(|e| e.property() == Some(names::CONCURRENCY_CONTROL_PROTOCOL))
+            .expect("the unknown literal is flagged");
+        let span = bad.span().expect("parsed models carry spans");
+        assert_eq!(span.line, 10, "`Concurrency_Control_Protocol => Mutex;`");
     }
 
     #[test]

@@ -118,8 +118,10 @@ pub struct ConnectionInstance {
 }
 
 /// A resolved data access connection: the thread may use the shared data
-/// component (one scheduling quantum at a time, §4.1).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// component (one scheduling quantum at a time, §4.1), or — when a
+/// critical-section length is declared — under a concurrency-control
+/// protocol (the paper's §7 extension).
+#[derive(Clone, Debug, PartialEq)]
 pub struct AccessInstance {
     /// The accessing thread.
     pub thread: CompId,
@@ -127,6 +129,9 @@ pub struct AccessInstance {
     pub data: CompId,
     /// The syntactic connection's name.
     pub name: String,
+    /// Properties declared on the access connection (e.g.
+    /// `Critical_Section_Execution_Time`).
+    pub properties: PropertyMap,
 }
 
 /// The fully instantiated and bound model.
@@ -465,7 +470,9 @@ impl<'a> Builder<'a> {
     fn queue_assoc(&mut self, id: CompId, pa: &PropertyAssoc) {
         if pa.applies_to.is_empty() {
             let value = self.resolve_references(id, &pa.value);
-            self.components[id.index()].properties.set(&pa.name, value);
+            self.components[id.index()]
+                .properties
+                .set_spanned(&pa.name, value, pa.span);
         } else {
             self.scoped.push(ScopedAssoc {
                 declared_at: id,
@@ -522,7 +529,7 @@ impl<'a> Builder<'a> {
                 if let Some(target) = self.resolve_path(sa.declared_at, path) {
                     self.components[target.index()]
                         .properties
-                        .set(&sa.assoc.name, value.clone());
+                        .set_spanned(&sa.assoc.name, value.clone(), sa.assoc.span);
                     continue;
                 }
                 // Component-prefix + feature name?
@@ -787,10 +794,26 @@ impl<'a> Builder<'a> {
                             conn.dst
                         ),
                     })?;
+                let mut properties = PropertyMap::new();
+                for pa in &conn.properties {
+                    let value = self.resolve_references(comp.id, &pa.value);
+                    properties.set_spanned(&pa.name, value, pa.span);
+                }
+                // Connection-scoped `applies to` properties reach access
+                // connections the same way they reach port connections.
+                if let Some(extra) = self
+                    .conn_props
+                    .get(&(comp.id, conn.name.to_ascii_lowercase()))
+                {
+                    for (name, value) in extra {
+                        properties.set(name, value.clone());
+                    }
+                }
                 out.push(AccessInstance {
                     thread,
                     data,
                     name: conn.name.clone(),
+                    properties,
                 });
             }
         }

@@ -85,6 +85,6 @@ pub use model::{
 };
 pub use parser::{parse_package, ParseError};
 pub use properties::{
-    DispatchProtocol, OverflowHandlingProtocol, PropertyValue, SchedulingProtocol, TimeUnit,
-    TimeVal,
+    ConcurrencyControlProtocol, DispatchProtocol, OverflowHandlingProtocol, PropertyValue,
+    SchedulingProtocol, SrcSpan, TimeUnit, TimeVal,
 };

@@ -5,7 +5,7 @@
 //! constructs; [`instance`](crate::instance) turns it into the instance tree
 //! the translation consumes.
 
-use crate::properties::PropertyValue;
+use crate::properties::{PropertyValue, SrcSpan};
 
 /// AADL component categories (the subset the analysis handles; §2 of the
 /// paper lists processors, buses, memory, devices on the platform side and
@@ -282,7 +282,11 @@ pub struct ModeTransition {
 }
 
 /// A property association, optionally scoped with `applies to`.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// The source span, when the association was parsed from text, rides along
+/// for diagnostics but is excluded from equality: parsed and
+/// programmatically built models compare equal.
+#[derive(Clone, Debug)]
 pub struct PropertyAssoc {
     /// Property name.
     pub name: String,
@@ -291,6 +295,16 @@ pub struct PropertyAssoc {
     /// Target paths (each a dotted subcomponent path relative to the scope of
     /// the declaration); empty = applies to the declaring element itself.
     pub applies_to: Vec<Vec<String>>,
+    /// Source position of the association (parsed models only).
+    pub span: Option<SrcSpan>,
+}
+
+impl PartialEq for PropertyAssoc {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.value == other.value
+            && self.applies_to == other.applies_to
+    }
 }
 
 impl PropertyAssoc {
@@ -300,6 +314,7 @@ impl PropertyAssoc {
             name: name.to_owned(),
             value,
             applies_to: Vec::new(),
+            span: None,
         }
     }
 
@@ -309,6 +324,7 @@ impl PropertyAssoc {
             name: name.to_owned(),
             value,
             applies_to: vec![path.iter().map(|s| (*s).to_owned()).collect()],
+            span: None,
         }
     }
 }

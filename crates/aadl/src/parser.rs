@@ -39,7 +39,7 @@ use crate::model::{
     Category, ComponentImpl, ComponentType, ConnKind, Connection, Direction, EndpointRef, Feature,
     FeatureKind, Mode, ModeTransition, Package, PortKind, PropertyAssoc, Subcomponent,
 };
-use crate::properties::{PropertyValue, TimeUnit, TimeVal};
+use crate::properties::{PropertyValue, SrcSpan, TimeUnit, TimeVal};
 
 /// A parse error with source position.
 #[derive(Clone, PartialEq, Debug)]
@@ -505,6 +505,13 @@ impl Parser {
     }
 
     fn property(&mut self) -> Result<PropertyAssoc, ParseError> {
+        let span = {
+            let t = self.peek();
+            SrcSpan {
+                line: t.line,
+                col: t.col,
+            }
+        };
         let name = self.ident()?;
         self.expect_tok(Tok::FatArrow)?;
         let value = self.property_value()?;
@@ -522,6 +529,7 @@ impl Parser {
             name,
             value,
             applies_to,
+            span: Some(span),
         })
     }
 

@@ -43,6 +43,15 @@ pub mod names {
     /// Extension: the size of one scheduling quantum for the discrete-time
     /// abstraction of §4.1 (defaults to the GCD of all timing properties).
     pub const SCHEDULING_QUANTUM: &str = "Scheduling_Quantum";
+    /// Concurrency-control protocol of a shared `data` component:
+    /// `None_Specified`, `Priority_Inheritance`, `Priority_Ceiling` (§7 of
+    /// the paper names these as the extension point for shared data).
+    pub const CONCURRENCY_CONTROL_PROTOCOL: &str = "Concurrency_Control_Protocol";
+    /// Extension: the portion of a thread's compute time spent inside the
+    /// critical section of a shared data component. Placed on a data access
+    /// connection (per accessor) or on the data component (one length for
+    /// all accessors).
+    pub const CRITICAL_SECTION_EXECUTION_TIME: &str = "Critical_Section_Execution_Time";
 }
 
 /// AADL time units.
@@ -394,10 +403,84 @@ impl fmt::Display for OverflowHandlingProtocol {
     }
 }
 
+/// Concurrency-control protocol of a shared `data` component (§7 of the
+/// paper: the extension point for shared-data semantics). Governs how the
+/// holder of the data's critical section is prioritized while lower- and
+/// higher-priority accessors contend for it.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ConcurrencyControlProtocol {
+    /// No protocol: the holder keeps its own priority inside the critical
+    /// section, so classic priority inversion is possible.
+    #[default]
+    NoneSpecified,
+    /// Priority inheritance: the holder is elevated to the highest priority
+    /// among the accessors it is currently blocking.
+    PriorityInheritance,
+    /// Priority ceiling (immediate ceiling variant): the holder runs at the
+    /// precomputed ceiling — the maximum static priority over all accessors.
+    PriorityCeiling,
+}
+
+impl ConcurrencyControlProtocol {
+    /// Parse an enumeration literal (case-insensitive).
+    pub fn parse(s: &str) -> Option<ConcurrencyControlProtocol> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "none_specified" | "nonespecified" | "none" => {
+                ConcurrencyControlProtocol::NoneSpecified
+            }
+            "priority_inheritance" | "priorityinheritance" | "pip" => {
+                ConcurrencyControlProtocol::PriorityInheritance
+            }
+            "priority_ceiling" | "priorityceiling" | "pcp" => {
+                ConcurrencyControlProtocol::PriorityCeiling
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ConcurrencyControlProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConcurrencyControlProtocol::NoneSpecified => "None_Specified",
+            ConcurrencyControlProtocol::PriorityInheritance => "Priority_Inheritance",
+            ConcurrencyControlProtocol::PriorityCeiling => "Priority_Ceiling",
+        })
+    }
+}
+
+/// A source position (1-based line and column) of a property association in
+/// the `.aadl` text it was parsed from. Builder-constructed models carry no
+/// spans; equality of models deliberately ignores them.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SrcSpan {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A case-insensitive property name → value map with typed accessors.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Source spans, when known, are kept in a side table ([`PropertyMap::span_of`])
+/// that does not participate in equality: a parsed model and the same model
+/// rebuilt programmatically compare equal.
+#[derive(Clone, Debug, Default)]
 pub struct PropertyMap {
     entries: BTreeMap<String, PropertyValue>,
+    spans: BTreeMap<String, SrcSpan>,
+}
+
+impl PartialEq for PropertyMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl PropertyMap {
@@ -413,6 +496,26 @@ impl PropertyMap {
     /// Insert (or overwrite) a property.
     pub fn set(&mut self, name: &str, value: PropertyValue) {
         self.entries.insert(Self::key(name), value);
+    }
+
+    /// Insert (or overwrite) a property, recording the source span it came
+    /// from when one is known.
+    pub fn set_spanned(&mut self, name: &str, value: PropertyValue, span: Option<SrcSpan>) {
+        let key = Self::key(name);
+        match span {
+            Some(s) => {
+                self.spans.insert(key.clone(), s);
+            }
+            None => {
+                self.spans.remove(&key);
+            }
+        }
+        self.entries.insert(key, value);
+    }
+
+    /// The source span of a property, when it was parsed from text.
+    pub fn span_of(&self, name: &str) -> Option<SrcSpan> {
+        self.spans.get(&Self::key(name)).copied()
     }
 
     /// Look up a property.
@@ -496,6 +599,21 @@ impl PropertyMap {
         self.get(names::URGENCY)
             .and_then(PropertyValue::as_int)
             .unwrap_or(1)
+    }
+
+    /// Typed: the concurrency-control protocol of a shared data component
+    /// (defaults to [`ConcurrencyControlProtocol::NoneSpecified`]).
+    pub fn concurrency_control(&self) -> ConcurrencyControlProtocol {
+        self.get(names::CONCURRENCY_CONTROL_PROTOCOL)
+            .and_then(|v| v.as_enum())
+            .and_then(ConcurrencyControlProtocol::parse)
+            .unwrap_or_default()
+    }
+
+    /// Typed: the critical-section execution time (on a data access
+    /// connection or a data component).
+    pub fn critical_section_time(&self) -> Option<TimeVal> {
+        self.get(names::CRITICAL_SECTION_EXECUTION_TIME)?.as_time()
     }
 }
 
@@ -585,6 +703,57 @@ mod tests {
             OverflowHandlingProtocol::parse("error"),
             Some(OverflowHandlingProtocol::Error)
         );
+    }
+
+    #[test]
+    fn concurrency_control_parses_and_defaults() {
+        assert_eq!(
+            ConcurrencyControlProtocol::parse("Priority_Ceiling"),
+            Some(ConcurrencyControlProtocol::PriorityCeiling)
+        );
+        assert_eq!(
+            ConcurrencyControlProtocol::parse("priority_inheritance"),
+            Some(ConcurrencyControlProtocol::PriorityInheritance)
+        );
+        assert_eq!(
+            ConcurrencyControlProtocol::parse("None_Specified"),
+            Some(ConcurrencyControlProtocol::NoneSpecified)
+        );
+        assert_eq!(ConcurrencyControlProtocol::parse("mutex"), None);
+        let mut m = PropertyMap::new();
+        assert_eq!(
+            m.concurrency_control(),
+            ConcurrencyControlProtocol::NoneSpecified
+        );
+        m.set(
+            names::CONCURRENCY_CONTROL_PROTOCOL,
+            PropertyValue::Enum("Priority_Ceiling".into()),
+        );
+        assert_eq!(
+            m.concurrency_control(),
+            ConcurrencyControlProtocol::PriorityCeiling
+        );
+        m.set(
+            names::CRITICAL_SECTION_EXECUTION_TIME,
+            PropertyValue::Time(TimeVal::ms(2)),
+        );
+        assert_eq!(m.critical_section_time(), Some(TimeVal::ms(2)));
+    }
+
+    #[test]
+    fn spans_are_kept_aside_and_ignored_by_equality() {
+        let mut with_span = PropertyMap::new();
+        with_span.set_spanned(
+            names::PERIOD,
+            PropertyValue::Time(TimeVal::ms(10)),
+            Some(SrcSpan { line: 7, col: 3 }),
+        );
+        let mut without = PropertyMap::new();
+        without.set(names::PERIOD, PropertyValue::Time(TimeVal::ms(10)));
+        assert_eq!(with_span, without);
+        assert_eq!(with_span.span_of("period"), Some(SrcSpan { line: 7, col: 3 }));
+        assert_eq!(without.span_of(names::PERIOD), None);
+        assert_eq!(SrcSpan { line: 7, col: 3 }.to_string(), "7:3");
     }
 
     #[test]

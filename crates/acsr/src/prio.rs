@@ -55,11 +55,21 @@ pub fn preempts(a: &Label, b: &Label) -> bool {
 }
 
 /// The action preemption relation `A1 ≺ A2` of §3 (see module docs).
-/// Absent resources count as priority 0 accesses.
+/// Absent resources count as priority 0 accesses *on both sides*: a resource
+/// that `A1` claims at priority 0 never shields it from preemption. A
+/// zero-priority claim thus *reserves* the resource — the Par rule still
+/// forbids sharing it within a quantum — without asserting any scheduling
+/// priority. The concurrency-control translation depends on this: a
+/// lock-acquisition step claims the lock at 0 so that the race is arbitrated
+/// purely by processor priority, as a real scheduler would, while still
+/// excluding acquisition during any quantum the current holder retains the
+/// lock. For actions whose claims are all positive (everything else the
+/// translation emits) the relation is the paper's verbatim.
 fn action_preempts(a1: &GAction, a2: &GAction) -> bool {
-    // Every resource used in A1 must also be used in A2 with ≥ priority.
+    // Every resource used in A1 must also be used in A2 with ≥ priority
+    // (priority 0 when absent from A2).
     for (r, p1) in a1.uses.iter() {
-        if !a2.uses_resource(*r) || a2.prio_of(*r) < *p1 {
+        if a2.prio_of(*r) < *p1 {
             return false;
         }
     }

@@ -28,8 +28,11 @@ pub mod types;
 pub mod utilization;
 
 pub use edf_demand::edf_schedulable;
-pub use rta::{response_times, rta_schedulable};
-pub use simulator::{simulate, ExecModel, Policy, SimOutcome};
-pub use taskset::{taskset_to_package, uunifast, TaskSetSpec};
-pub use types::{Task, TaskSet};
+pub use rta::{
+    blocking_terms, response_times, response_times_blocking, rta_schedulable,
+    rta_schedulable_blocking,
+};
+pub use simulator::{simulate, simulate_locking, ExecModel, Policy, SimOutcome};
+pub use taskset::{taskset_to_package, taskset_to_package_locking, uunifast, TaskSetSpec};
+pub use types::{Cs, LockProtocol, Task, TaskSet};
 pub use utilization::{hyperbolic_test, liu_layland_bound, rm_utilization_test, utilization};

@@ -16,7 +16,7 @@
 
 use det::DetRng;
 
-use crate::types::TaskSet;
+use crate::types::{LockProtocol, TaskSet};
 
 /// Scheduling policy.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -84,12 +84,46 @@ struct Job {
     release: u64,
     abs_deadline: u64,
     remaining: u64,
+    executed: u64,
     missed: bool,
 }
 
 /// Simulate `ts` under `policy` for `horizon` quanta (one hyperperiod covers
-/// all behaviours of a synchronous set with fixed execution times).
+/// all behaviours of a synchronous set with fixed execution times). Any
+/// critical sections on the tasks behave as plain mutexes
+/// ([`LockProtocol::None`]); use [`simulate_locking`] to pick a protocol.
 pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> SimOutcome {
+    simulate_locking(ts, policy, exec, horizon, LockProtocol::None)
+}
+
+/// [`simulate`], with critical sections arbitrated by `protocol`.
+///
+/// A job's critical section is its *first* `len` quanta (the same convention
+/// as the ACSR translation): the lock is acquired by executing the first
+/// quantum — acquisition races are therefore settled by scheduling priority —
+/// and released when the `len`-th quantum completes. A job at its section
+/// entry whose lock is held by another job is *blocked*: it is not eligible
+/// to run, but its deadline clock keeps counting. Priority elevation applies
+/// from the second held quantum onward (the acquiring quantum itself runs at
+/// base priority, again matching the translation):
+///
+/// * [`LockProtocol::None`] — no elevation; a medium-priority job can
+///   preempt the holder while a high-priority job waits (priority
+///   inversion).
+/// * [`LockProtocol::Inheritance`] — the holder runs at the maximum
+///   priority of the jobs currently blocked on its resource.
+/// * [`LockProtocol::Ceiling`] — the holder runs at its resource's ceiling:
+///   the maximum *static* priority among tasks that use the resource.
+///
+/// Elevation is computed from the static priorities of `policy`, so locking
+/// protocols are only meaningful with the static policies (RM/DM/HPF).
+pub fn simulate_locking(
+    ts: &TaskSet,
+    policy: Policy,
+    exec: ExecModel,
+    horizon: u64,
+    protocol: LockProtocol,
+) -> SimOutcome {
     let mut rng = match exec {
         ExecModel::Sampled { seed } => Some(DetRng::new(seed)),
         _ => None,
@@ -104,6 +138,18 @@ pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> 
             .map(|t| t.priority.unwrap_or(0) as u64)
             .collect(),
         _ => vec![0; ts.tasks.len()],
+    };
+
+    // Static ceiling of each resource: the maximum static priority among the
+    // tasks that use it.
+    let ceiling_of = |res: usize| {
+        ts.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.cs.is_some_and(|c| c.resource == res))
+            .map(|(i, _)| static_prio[i])
+            .max()
+            .unwrap_or(0)
     };
 
     let mut jobs: Vec<Job> = Vec::new();
@@ -128,18 +174,36 @@ pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> 
                     release: t,
                     abs_deadline: t + task.deadline,
                     remaining: demand,
+                    executed: 0,
                     missed: false,
                 });
             }
         }
 
-        // Pick the highest-priority ready job.
+        // A job *holds* its lock after executing its first quantum and until
+        // its section's last quantum completes.
+        let holds = |j: &Job| {
+            ts.tasks[j.task]
+                .cs
+                .is_some_and(|c| j.executed > 0 && j.executed < c.len)
+        };
+        // A job at its section entry is blocked while another holds the lock.
+        let blocked = |j: &Job| {
+            ts.tasks[j.task].cs.is_some_and(|c| {
+                j.executed == 0
+                    && jobs.iter().any(|o| {
+                        holds(o) && ts.tasks[o.task].cs.is_some_and(|oc| oc.resource == c.resource)
+                    })
+            })
+        };
+
+        // Pick the highest-priority ready (non-blocked) job.
         let pick = jobs
             .iter()
             .enumerate()
-            .filter(|(_, j)| j.remaining > 0)
+            .filter(|(_, j)| j.remaining > 0 && !blocked(j))
             .max_by_key(|(idx, j)| {
-                let p = match policy {
+                let mut p = match policy {
                     Policy::Rm | Policy::Dm | Policy::Hpf => static_prio[j.task],
                     Policy::Edf => u64::MAX - j.abs_deadline,
                     Policy::Llf => {
@@ -147,6 +211,29 @@ pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> 
                         u64::MAX - slack
                     }
                 };
+                // Protocol elevation for lock holders.
+                if holds(j) {
+                    let res = ts.tasks[j.task].cs.expect("holder has a cs").resource;
+                    match protocol {
+                        LockProtocol::None => {}
+                        LockProtocol::Ceiling => p = p.max(ceiling_of(res)),
+                        LockProtocol::Inheritance => {
+                            let inherited = jobs
+                                .iter()
+                                .filter(|o| {
+                                    o.remaining > 0
+                                        && o.executed == 0
+                                        && ts.tasks[o.task]
+                                            .cs
+                                            .is_some_and(|oc| oc.resource == res)
+                                })
+                                .map(|o| static_prio[o.task])
+                                .max()
+                                .unwrap_or(0);
+                            p = p.max(inherited);
+                        }
+                    }
+                }
                 // Deterministic tie-break: earliest release, then lowest index.
                 (p, u64::MAX - j.release, usize::MAX - *idx)
             })
@@ -155,6 +242,7 @@ pub fn simulate(ts: &TaskSet, policy: Policy, exec: ExecModel, horizon: u64) -> 
         schedule.push(pick.map(|idx| jobs[idx].task));
         if let Some(idx) = pick {
             jobs[idx].remaining -= 1;
+            jobs[idx].executed += 1;
             if jobs[idx].remaining == 0 {
                 completed += 1;
             }
@@ -282,5 +370,77 @@ mod tests {
         let ts = TaskSet::new(vec![Task::new(0, 10, 3)]);
         let out = simulate(&ts, Policy::Rm, ExecModel::Wcet, 10);
         assert_eq!(out.schedule.iter().filter(|s| s.is_none()).count(), 7);
+    }
+
+    /// The bundled inversion example as an HPF task set: h (prio 9, 2 quanta,
+    /// 1 in cs), m (prio 5, 3 quanta), l (prio 3, 5 quanta, 4 in cs).
+    fn inversion_set() -> TaskSet {
+        let mut h = Task::new(0, 8, 2).with_deadline(3).with_cs(0, 1);
+        h.priority = Some(9);
+        let mut m = Task::new(0, 8, 3);
+        m.priority = Some(5);
+        let mut l = Task::new(0, 16, 5).with_cs(0, 4);
+        l.priority = Some(3);
+        TaskSet::new(vec![h, m, l])
+    }
+
+    #[test]
+    fn plain_mutexes_suffer_the_inversion() {
+        let ts = inversion_set();
+        let out = simulate_locking(&ts, Policy::Hpf, ExecModel::Wcet, 16, LockProtocol::None);
+        // h's second job blocks on the store at t=8 while m preempts the
+        // holder l; h misses its absolute deadline 11.
+        assert_eq!(out.misses.len(), 1);
+        assert_eq!(out.misses[0], Miss { task: 0, release: 8, deadline: 11 });
+        // m runs t=8..11 in place of the blocked h — the inversion itself.
+        assert_eq!(&out.schedule[8..11], &[Some(1), Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn ceiling_elevation_rescues_the_high_task() {
+        let ts = inversion_set();
+        let out = simulate_locking(&ts, Policy::Hpf, ExecModel::Wcet, 16, LockProtocol::Ceiling);
+        assert!(out.ok(), "misses: {:?}", out.misses);
+        // At t=8 the holder l runs at the store's ceiling (9), finishing its
+        // section instead of being preempted by m; h runs right after.
+        assert_eq!(&out.schedule[8..11], &[Some(2), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn inheritance_elevation_rescues_the_high_task() {
+        let ts = inversion_set();
+        let out =
+            simulate_locking(&ts, Policy::Hpf, ExecModel::Wcet, 16, LockProtocol::Inheritance);
+        assert!(out.ok(), "misses: {:?}", out.misses);
+        // Same schedule as the ceiling here: l inherits 9 from the blocked h.
+        assert_eq!(&out.schedule[8..11], &[Some(2), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn blocking_at_entry_counts_against_the_deadline() {
+        // A fast high-priority task a and a slow low-priority task b share a
+        // lock; b's job is one long critical section. a's second job arrives
+        // while b holds and is *blocked* — the lower-priority holder keeps
+        // the cpu despite a's higher priority (direct blocking, which no
+        // protocol removes) and a's deadline clock keeps running.
+        let mut a = Task::new(0, 2, 1).with_cs(0, 1);
+        a.priority = Some(9);
+        let mut b = Task::new(0, 8, 3).with_cs(0, 3);
+        b.priority = Some(1);
+        let ts = TaskSet::new(vec![a, b]);
+        let out = simulate_locking(&ts, Policy::Hpf, ExecModel::Wcet, 8, LockProtocol::None);
+        // b runs t=2,3 while the blocked a (priority 9!) waits and misses.
+        assert_eq!(&out.schedule[2..4], &[Some(1), Some(1)]);
+        assert_eq!(out.misses, vec![Miss { task: 0, release: 2, deadline: 4 }]);
+    }
+
+    #[test]
+    fn locking_simulation_without_sections_matches_the_plain_one() {
+        let ts = two_task_set();
+        let plain = simulate(&ts, Policy::Rm, ExecModel::Wcet, ts.hyperperiod());
+        let locked =
+            simulate_locking(&ts, Policy::Rm, ExecModel::Wcet, ts.hyperperiod(), LockProtocol::Ceiling);
+        assert_eq!(plain.schedule, locked.schedule);
+        assert_eq!(plain.misses, locked.misses);
     }
 }

@@ -12,7 +12,7 @@ use det::DetRng;
 
 use aadl::builder::PackageBuilder;
 use aadl::model::{Category, Package};
-use aadl::properties::{names, PropertyValue, TimeVal};
+use aadl::properties::{names, ConcurrencyControlProtocol, PropertyValue, TimeVal};
 
 use crate::types::{Task, TaskSet};
 
@@ -71,9 +71,35 @@ pub fn uunifast(spec: &TaskSetSpec) -> TaskSet {
 /// Convert a task set into a one-processor AADL package named `RandomSet`
 /// with threads `t0 … t(n-1)` (1 quantum = 1 ms), scheduled by `protocol`.
 pub fn taskset_to_package(ts: &TaskSet, protocol: &str) -> Package {
+    taskset_to_package_locking(ts, protocol, ConcurrencyControlProtocol::NoneSpecified)
+}
+
+/// [`taskset_to_package`], mapping the tasks' critical sections (see
+/// [`Cs`](crate::types::Cs)) onto shared AADL data components guarded by
+/// `ccp`: each distinct resource index `r` becomes a data subcomponent `r<r>`
+/// with `Concurrency_Control_Protocol => ccp`, and each task with a section
+/// gets a data access connection carrying its
+/// `Critical_Section_Execution_Time` (1 quantum = 1 ms). This closes the loop
+/// for the locking verdict-agreement property: the exact task set the
+/// blocking-aware baselines judge is the one the ACSR translation consumes.
+pub fn taskset_to_package_locking(
+    ts: &TaskSet,
+    protocol: &str,
+    ccp: ConcurrencyControlProtocol,
+) -> Package {
     let mut b = PackageBuilder::new("RandomSet").processor("cpu_t", |p| {
         p.prop_enum(names::SCHEDULING_PROTOCOL, protocol)
     });
+    // One data type per distinct resource index, protocol on the type.
+    let mut resources: Vec<usize> = ts.tasks.iter().filter_map(|t| t.cs).map(|c| c.resource).collect();
+    resources.sort_unstable();
+    resources.dedup();
+    for &r in &resources {
+        let ccp = ccp.to_string();
+        b = b.component(&format!("R{r}"), Category::Data, move |d| {
+            d.prop_enum(names::CONCURRENCY_CONTROL_PROTOCOL, &ccp)
+        });
+    }
     for t in &ts.tasks {
         let name = format!("T{}", t.id);
         let (bcet, wcet, deadline, period, prio) =
@@ -102,10 +128,27 @@ pub fn taskset_to_package(ts: &TaskSet, protocol: &str) -> Package {
     b = b.system("Top", |s| s);
     b.implementation("Top.impl", Category::System, |mut i| {
         i = i.sub("cpu", Category::Processor, "cpu_t");
+        for &r in &resources {
+            i = i.sub(&format!("r{r}"), Category::Data, &format!("R{r}"));
+        }
         for t in &ts.tasks {
             let sub = format!("t{}", t.id);
             let ty = format!("T{}", t.id);
             i = i.sub(&sub, Category::Thread, &ty).bind_processor(&sub, "cpu");
+        }
+        for t in &ts.tasks {
+            if let Some(cs) = t.cs {
+                i = i
+                    .connect_data_access(
+                        &format!("a{}", t.id),
+                        &format!("r{}", cs.resource),
+                        &format!("t{}", t.id),
+                    )
+                    .conn_prop(
+                        names::CRITICAL_SECTION_EXECUTION_TIME,
+                        PropertyValue::Time(TimeVal::ms(cs.len as i64)),
+                    );
+            }
         }
         // 1 quantum = 1 ms regardless of the GCD of the drawn values.
         i.prop(
@@ -177,6 +220,38 @@ mod tests {
         assert_eq!(
             t.properties.compute_execution_time(),
             Some((TimeVal::ms(2), TimeVal::ms(3)))
+        );
+    }
+
+    #[test]
+    fn locking_package_carries_sections_and_protocol() {
+        use aadl::properties::TimeVal;
+        let mut h = Task::new(0, 8, 2).with_cs(0, 1);
+        h.priority = Some(9);
+        let mut l = Task::new(0, 16, 5).with_cs(0, 4);
+        l.priority = Some(3);
+        let ts = TaskSet::new(vec![h, l]);
+        let pkg = taskset_to_package_locking(
+            &ts,
+            "HPF",
+            ConcurrencyControlProtocol::PriorityCeiling,
+        );
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        assert!(validate(&m).is_empty(), "{:?}", validate(&m));
+        let store = m.component(m.find("r0").unwrap());
+        assert_eq!(
+            store.properties.concurrency_control(),
+            ConcurrencyControlProtocol::PriorityCeiling
+        );
+        let accesses = &m.accesses;
+        assert_eq!(accesses.len(), 2);
+        assert_eq!(
+            accesses[0].properties.critical_section_time(),
+            Some(TimeVal::ms(1))
+        );
+        assert_eq!(
+            accesses[1].properties.critical_section_time(),
+            Some(TimeVal::ms(4))
         );
     }
 

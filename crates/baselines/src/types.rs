@@ -3,6 +3,36 @@
 //! Time is in integer quanta — the same discrete-time abstraction as the
 //! ACSR translation (§4.1 of the paper), so verdicts are directly comparable.
 
+/// A critical section on a shared resource, mirroring the AADL
+/// `Critical_Section_Execution_Time` extension: the *first* `len` quanta of
+/// every job execute while holding the lock on `resource`, matching the ACSR
+/// translation (a thread manages at most one critical section per dispatch).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Cs {
+    /// Index of the shared resource (lock) this task's section uses.
+    pub resource: usize,
+    /// Section length in quanta; must satisfy `1 ≤ len ≤ bcet` so the
+    /// section fits inside every job of the task.
+    pub len: u64,
+}
+
+/// Concurrency-control protocol for shared resources, matching the AADL
+/// `Concurrency_Control_Protocol` property values.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum LockProtocol {
+    /// Plain mutual exclusion, no priority elevation (`None_Specified`):
+    /// priority inversion is possible and blocking is unbounded.
+    #[default]
+    None,
+    /// Priority inheritance (`Priority_Inheritance`): a lock holder runs at
+    /// the maximum priority of the jobs it currently blocks.
+    Inheritance,
+    /// Immediate priority ceiling (`Priority_Ceiling`): a lock holder runs
+    /// at the static ceiling of its resource — the highest priority among
+    /// all tasks that ever use it.
+    Ceiling,
+}
+
 /// A periodic task (synchronous release at t = 0).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Task {
@@ -18,6 +48,8 @@ pub struct Task {
     pub deadline: u64,
     /// Explicit priority for HPF (higher = more important).
     pub priority: Option<u32>,
+    /// Optional critical section at the start of every job.
+    pub cs: Option<Cs>,
 }
 
 impl Task {
@@ -30,6 +62,7 @@ impl Task {
             wcet,
             deadline: period,
             priority: None,
+            cs: None,
         }
     }
 
@@ -43,6 +76,16 @@ impl Task {
     pub fn with_exec_range(mut self, bcet: u64, wcet: u64) -> Task {
         self.bcet = bcet;
         self.wcet = wcet;
+        self
+    }
+
+    /// Give the task a critical section of `len` quanta on `resource`
+    /// (clamped to `[1, bcet]` so it fits inside every job).
+    pub fn with_cs(mut self, resource: usize, len: u64) -> Task {
+        self.cs = Some(Cs {
+            resource,
+            len: len.clamp(1, self.bcet),
+        });
         self
     }
 

@@ -3,12 +3,18 @@
 //! ```sh
 //! cargo run --release -p bench --bin harness
 //! ```
+//!
+//! `--smoke` runs the cheap subset — the cruise-control inventory (F1), the
+//! concurrency-control verdicts (Q7) and the instrumented exploration report
+//! (Q6, which refreshes `BENCH_exploration.json`) — in well under a second,
+//! so CI can exercise the harness end-to-end without the full sweeps.
 
 use std::time::Instant;
 
 use aadl::examples::{cruise_control_model, cruise_control_overloaded};
 use aadl::instance::instantiate;
-use aadl::properties::TimeVal;
+use aadl::parser::parse_package;
+use aadl::properties::{ConcurrencyControlProtocol, TimeVal};
 use aadl2acsr::{analyze, translate, AnalysisOptions, TranslateOptions};
 use bench::{harmonic_system, overrun_system, wide_system};
 use sched_baselines::edf_demand::edf_schedulable;
@@ -16,13 +22,20 @@ use sched_baselines::rta::rm_schedulable;
 use sched_baselines::taskset::{taskset_to_package, uunifast, TaskSetSpec};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     f1_cruise_control();
-    q1_quantum_tradeoff();
-    q2_verdict_agreement();
-    q2b_acceptance_by_utilization();
-    q3_scaling();
-    q5_queue_overflow();
+    if !smoke {
+        q1_quantum_tradeoff();
+        q2_verdict_agreement();
+        q2b_acceptance_by_utilization();
+        q3_scaling();
+        q5_queue_overflow();
+    }
     q6_exploration_report();
+    q7_locking_protocols();
+    if smoke {
+        println!("\nharness: smoke mode (skipped Q1/Q2/Q2b/Q3/Q5 sweeps)");
+    }
 }
 
 fn header(title: &str) {
@@ -266,4 +279,43 @@ fn q6_exploration_report() {
         Err(e) => println!("cannot write BENCH_exploration.json: {e}"),
     }
     println!("exploration: {}", v.stats);
+}
+
+/// The three concurrency-control protocols on the bundled priority-inversion
+/// model (§7 extension): verdict, miss quantum and state count per protocol.
+fn q7_locking_protocols() {
+    header("Q7 — concurrency control on the inversion model (§7 ext.)");
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/models/inversion.aadl"
+    ))
+    .expect("bundled inversion model");
+    let pkg = parse_package(&source).unwrap();
+    let m = instantiate(&pkg, "Top.impl").unwrap();
+    println!("{:>22} {:>13} {:>14} {:>8}", "protocol", "schedulable", "miss quantum", "states");
+    for (name, protocol) in [
+        ("None_Specified", None),
+        ("Priority_Ceiling", Some(ConcurrencyControlProtocol::PriorityCeiling)),
+        ("Priority_Inheritance", Some(ConcurrencyControlProtocol::PriorityInheritance)),
+    ] {
+        let v = analyze(
+            &m,
+            &TranslateOptions {
+                protocol_override: protocol,
+                ..Default::default()
+            },
+            &AnalysisOptions::exhaustive(),
+        )
+        .unwrap();
+        println!(
+            "{:>22} {:>13} {:>14} {:>8}",
+            name,
+            v.schedulable,
+            v.scenario
+                .map(|s| s.at_quantum.to_string())
+                .unwrap_or_else(|| "-".into()),
+            v.stats.states
+        );
+    }
+    println!("(m preempts the lock-holding l while h blocks — unless the holder is elevated.)");
 }

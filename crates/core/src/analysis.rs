@@ -82,6 +82,15 @@ pub fn analyze_translated(
         raise_span.set("trace_len", trace.len() as i64);
         raise_span.set("at_quantum", sc.at_quantum as i64);
         raise_span.end();
+        let blocked = sc
+            .timeline
+            .iter()
+            .flat_map(|row| &row.activities)
+            .filter(|(_, a)| matches!(a, crate::diagnose::Activity::Blocked { .. }))
+            .count();
+        if blocked > 0 {
+            rec.counter("protocol.blocking_events").add(blocked as u64);
+        }
         sc
     });
     let verdict = Verdict {

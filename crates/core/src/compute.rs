@@ -69,10 +69,19 @@ pub struct ComputeSpec<'a> {
     pub after_done: P,
     /// Track the elapsed-time parameter `t`? Required for dynamic priorities.
     pub track_elapsed: bool,
+    /// Critical section on a shared data component (§7 extension): when set,
+    /// the dispatch *starts* inside the critical section —
+    /// [`build_compute`] returns the `CsEntry` state built by
+    /// [`protocol::build_cs`](crate::protocol::build_cs) in place of
+    /// `Compute`, and the lock resource is held across preemption.
+    pub critical_section: Option<crate::protocol::CsSpec>,
 }
 
 /// Declare and define `Compute_<stem>` / `Preempted_<stem>`, registering
-/// their provenance tags. Returns `(compute_def, preempted_def)`.
+/// their provenance tags. Returns `(compute_def, preempted_def)` — except
+/// when [`ComputeSpec::critical_section`] is set, in which case the first
+/// element is the `CsEntry_<stem>` state (same arity) that the skeleton must
+/// dispatch into instead.
 pub fn build_compute(
     env: &mut Env,
     nm: &mut NameMap,
@@ -166,6 +175,10 @@ pub fn build_compute(
 
     env.set_body(compute, body(preempted));
     env.set_body(preempted, body(preempted));
+    if spec.critical_section.is_some() {
+        let entry = crate::protocol::build_cs(env, nm, thread, stem, spec, compute);
+        return (entry, preempted);
+    }
     (compute, preempted)
 }
 
@@ -197,6 +210,7 @@ mod tests {
             done: Symbol::new("done_test"),
             after_done: nil(),
             track_elapsed: true,
+            critical_section: None,
         }
     }
 

@@ -76,6 +76,26 @@ pub enum Activity {
     Completing,
     /// Ready but preempted / blocked.
     Preempted,
+    /// Held the processor *inside* the critical section of a shared data
+    /// component (§7 extension).
+    CriticalSection {
+        /// Instance path of the data component whose lock is held.
+        data: String,
+    },
+    /// Preempted while holding a critical-section lock — the window in which
+    /// priority inversion plays out.
+    PreemptedHolding {
+        /// Instance path of the data component whose lock is held.
+        data: String,
+    },
+    /// Ready at a critical-section entry but unable to acquire the lock.
+    Blocked {
+        /// Instance path of the contended data component.
+        on: String,
+        /// Instance path of the thread currently holding the lock, when it is
+        /// visible in the same quantum.
+        by: Option<String>,
+    },
 }
 
 /// One quantum of the failing scenario.
@@ -125,6 +145,11 @@ fn describe_event(model: &InstanceModel, _tm: &TranslatedModel, m: EventMeaning)
         EventMeaning::Deactivate(t) => {
             format!("deactivate {}", model.component(t).display_path())
         }
+        EventMeaning::InheritReq(d, t) => format!(
+            "{} lends its priority to the holder of `{}`",
+            model.component(t).display_path(),
+            model.component(d).display_path()
+        ),
     }
     .to_string()
 }
@@ -197,16 +222,51 @@ pub fn raise(model: &InstanceModel, tm: &TranslatedModel, trace: &Trace) -> Fail
                     events: std::mem::take(&mut pending),
                     activities: Vec::new(),
                 };
-                for tag in action.tags.iter() {
-                    if let Some(m) = tm.names.tag(*tag) {
-                        let (t, a) = match m {
-                            TagMeaning::Computes(t) => (t, Activity::Computing),
-                            TagMeaning::FinalStep(t) => (t, Activity::Completing),
-                            TagMeaning::Preempted(t) => (t, Activity::Preempted),
-                        };
-                        row.activities
-                            .push((model.component(t).display_path().to_owned(), a));
-                    }
+                let raw: Vec<TagMeaning> = action
+                    .tags
+                    .iter()
+                    .filter_map(|tag| tm.names.tag(*tag))
+                    .collect();
+                // Who holds a given data component's lock this quantum —
+                // resolves `Blocked { by }` from the same row.
+                let holder_of = |data| {
+                    raw.iter().find_map(|m| match m {
+                        TagMeaning::InCriticalSection(t, d)
+                        | TagMeaning::HoldsPreempted(t, d)
+                            if *d == data =>
+                        {
+                            Some(model.component(*t).display_path().to_owned())
+                        }
+                        _ => None,
+                    })
+                };
+                for m in &raw {
+                    let (t, a) = match *m {
+                        TagMeaning::Computes(t) => (t, Activity::Computing),
+                        TagMeaning::FinalStep(t) => (t, Activity::Completing),
+                        TagMeaning::Preempted(t) => (t, Activity::Preempted),
+                        TagMeaning::InCriticalSection(t, d) => (
+                            t,
+                            Activity::CriticalSection {
+                                data: model.component(d).display_path().to_owned(),
+                            },
+                        ),
+                        TagMeaning::HoldsPreempted(t, d) => (
+                            t,
+                            Activity::PreemptedHolding {
+                                data: model.component(d).display_path().to_owned(),
+                            },
+                        ),
+                        TagMeaning::WaitingAtCs(t, d) => (
+                            t,
+                            Activity::Blocked {
+                                on: model.component(d).display_path().to_owned(),
+                                by: holder_of(d),
+                            },
+                        ),
+                    };
+                    row.activities
+                        .push((model.component(t).display_path().to_owned(), a));
                 }
                 timeline.push(row);
             }
@@ -264,6 +324,18 @@ impl FailingScenario {
                     Activity::Computing => format!("{p} runs"),
                     Activity::Completing => format!("{p} runs (final)"),
                     Activity::Preempted => format!("{p} preempted"),
+                    Activity::CriticalSection { data } => {
+                        format!("{p} runs (cs of `{data}`)")
+                    }
+                    Activity::PreemptedHolding { data } => {
+                        format!("{p} preempted holding `{data}`")
+                    }
+                    Activity::Blocked { on, by: Some(h) } => {
+                        format!("{p} blocked on `{on}` by `{h}`")
+                    }
+                    Activity::Blocked { on, by: None } => {
+                        format!("{p} blocked on `{on}`")
+                    }
                 })
                 .collect();
             if acts.is_empty() {

@@ -38,6 +38,7 @@
 //! | [`compute`] | Fig 5 | the `Compute`/`Preempted` process of a thread |
 //! | [`skeleton`] | Fig 4 | the thread skeleton automaton |
 //! | [`dispatcher`] | Fig 6 | periodic / aperiodic / sporadic / background dispatchers |
+//! | [`protocol`] | §7 ext. | concurrency-control protocols for shared data |
 //! | [`queue`] | §4.4 | connection queue counter processes |
 //! | [`mod@translate`] | Alg. 1 | whole-model orchestration |
 //! | [`analysis`] | §5 | schedulability verdicts via deadlock detection |
@@ -64,6 +65,7 @@ pub mod modes;
 pub mod names;
 pub mod observer;
 pub mod policy;
+pub mod protocol;
 pub mod quantum;
 pub mod queue;
 pub mod skeleton;
@@ -74,6 +76,7 @@ pub use diagnose::{FailingScenario, ViolationKind};
 pub use names::{ComponentRole, DefMeaning, EventMeaning, NameMap, TagMeaning};
 pub use observer::LatencyObserver;
 pub use policy::PrioSpec;
+pub use protocol::{CsMode, CsSpec};
 pub use quantum::{derive_quantum, thread_timing, ThreadTiming};
 pub use translate::{
     translate, Inventory, SendPattern, TranslateError, TranslateOptions, TranslatedModel,

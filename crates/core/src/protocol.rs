@@ -1,0 +1,407 @@
+//! Concurrency-control protocols for shared data components (§7 extension).
+//!
+//! The paper leaves access connections out of its translation because they
+//! "require encoding of concurrency control protocols" (§4). This module is
+//! that encoding: when an access connection (or its data component) declares
+//! a `Critical_Section_Execution_Time`, the accessing thread's dispatch
+//! begins with a *critical section* — its first `cs_q` quanta hold a lock
+//! resource for the data, **including across preemption**, so priority
+//! inversion becomes expressible and the `Concurrency_Control_Protocol`
+//! property selects the countermeasure:
+//!
+//! * **`None_Specified`** — the holder keeps its base priority. A
+//!   medium-priority thread can preempt the holder while a high-priority
+//!   accessor is blocked at the lock: the classic inversion
+//!   (`examples/models/inversion.aadl`).
+//! * **`Priority_Ceiling`** — immediate ceiling semantics: once inside the
+//!   critical section the holder's processor and lock claims run at the
+//!   *ceiling*, the maximum static priority over all accessors of the data,
+//!   so no thread that could ever contend for the lock (nor any thread below
+//!   the ceiling) preempts the holder.
+//! * **`Priority_Inheritance`** — the holder's claims carry a dynamic
+//!   priority parameter `h`. A blocked accessor sends a per-thread
+//!   inheritance event (an instantaneous τ after restriction) which the
+//!   holder receives — guarded on `h < π_blocked` — raising `h` to the
+//!   blocked accessor's priority until the critical section exits.
+//!
+//! The ACSR shape per accessing thread (parameters as in Fig. 5, plus `h`
+//! under inheritance):
+//!
+//! ```text
+//! CsEntry ──acquire {cpu@π, lock@0}──▶ CsRun(h=π) ──…──▶ Compute / done!
+//!    │ wait {}                            │ preempted {lock@h}
+//!    ▼ (+ inh! under PIP → CsSignaled)    ▼
+//! CsEntry                              CsHold(h) ── inh? / resume ──▶ …
+//! ```
+//!
+//! Mutual exclusion is structural: every state of a holder claims the lock
+//! resource in all of its timed steps, so a competing `CsEntry` acquire can
+//! never share a quantum with it (the Par rule requires disjoint resource
+//! sets). A blocked accessor's only timed step is the empty waiting action,
+//! which the diagnosis raises as a `Blocked(on, by)` timeline activity.
+//!
+//! The acquire step itself runs at the thread's *base* priority on the
+//! processor and claims the lock at priority zero — the lock is granted to
+//! whoever wins the processor, exactly as in a real scheduler — and
+//! elevation (ceiling or inheritance) applies from the first held quantum
+//! onward.
+
+use std::collections::{BTreeMap, HashMap};
+
+use aadl::instance::{CompId, InstanceModel};
+use aadl::properties::ConcurrencyControlProtocol;
+use acsr::{
+    act_tagged, choice, evt_recv, evt_send, guard, invoke, BExpr, DefId, Env, Expr, Res, Symbol,
+    P,
+};
+
+use crate::compute::ComputeSpec;
+use crate::names::{stem_of, EventMeaning, NameMap, TagMeaning};
+use crate::policy::PrioSpec;
+use crate::translate::TranslateError;
+
+/// How the holder of a critical section is prioritized while inside it.
+#[derive(Clone, Debug)]
+pub enum CsMode {
+    /// `None_Specified`: the holder keeps its base priority (inversion-prone).
+    None,
+    /// `Priority_Ceiling`: the holder runs at the precomputed ceiling — the
+    /// maximum static priority over all accessors of the data.
+    Ceiling(u32),
+    /// `Priority_Inheritance`: the holder runs at a dynamic priority `h`,
+    /// raised by inheritance events from blocked accessors.
+    Inherit {
+        /// The thread's own static priority — the initial value of `h`.
+        own: u32,
+        /// The event this thread sends when blocked at the lock.
+        self_event: Symbol,
+        /// `(event, priority)` of every *other* accessor of the same data:
+        /// the holder receives these, guarded on `h < priority`.
+        others: Vec<(Symbol, u32)>,
+    },
+}
+
+/// One thread's critical section on one shared data component.
+#[derive(Clone, Debug)]
+pub struct CsSpec {
+    /// The shared data component instance.
+    pub data: CompId,
+    /// The lock resource (`data_<stem>`).
+    pub resource: Res,
+    /// Critical-section length in quanta (`1 ≤ cs_q ≤ cmin_q`).
+    pub cs_q: i64,
+    /// The protocol governing the holder's priority.
+    pub mode: CsMode,
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// Resolve every critical-section-managed access connection of `model` into
+/// a per-thread [`CsSpec`], computing ceilings across *all* accessors (also
+/// across processors) and registering the priority-inheritance events in the
+/// name map. `protocol_override` replaces each data component's declared
+/// `Concurrency_Control_Protocol` (the `aadlsched --protocol` experiment
+/// hook). `prio_of` / `cmin_of` must cover every bound thread.
+pub fn resolve_protocols(
+    model: &InstanceModel,
+    nm: &mut NameMap,
+    protocol_override: Option<ConcurrencyControlProtocol>,
+    quantum_ps: i64,
+    prio_of: &HashMap<CompId, PrioSpec>,
+    cmin_of: &HashMap<CompId, i64>,
+) -> Result<HashMap<CompId, CsSpec>, TranslateError> {
+    // Managed accesses grouped by data component, in deterministic order.
+    let mut by_data: BTreeMap<CompId, Vec<(CompId, i64)>> = BTreeMap::new();
+    for acc in &model.accesses {
+        let data_cs = model.component(acc.data).properties.critical_section_time();
+        let Some(t) = acc.properties.critical_section_time().or(data_cs) else {
+            continue;
+        };
+        if t.as_ps() <= 0 {
+            // Validation already rejects this; skip defensively.
+            continue;
+        }
+        // Round up: a longer critical section is the conservative direction.
+        let cs_q = ceil_div(t.as_ps(), quantum_ps).max(1);
+        by_data.entry(acc.data).or_default().push((acc.thread, cs_q));
+    }
+
+    let mut out: HashMap<CompId, CsSpec> = HashMap::new();
+    for (data, accessors) in by_data {
+        let protocol = protocol_override
+            .unwrap_or_else(|| model.component(data).properties.concurrency_control());
+        let dpath = model.component(data).display_path().to_owned();
+        let dstem = stem_of(model, data);
+        let resource = Res::new(&format!("data_{dstem}"));
+        let static_prio = |tid: CompId| -> Result<u32, TranslateError> {
+            match prio_of.get(&tid) {
+                Some(PrioSpec::Static(p)) => Ok(*p),
+                _ => Err(TranslateError::Unsupported(format!(
+                    "{protocol} on `{dpath}` requires a static priority for accessor `{}` \
+                     (dynamic policies cannot be combined with this protocol)",
+                    model.component(tid).display_path()
+                ))),
+            }
+        };
+        for &(tid, cs_q) in &accessors {
+            let tpath = model.component(tid).display_path();
+            let Some(&cmin) = cmin_of.get(&tid) else {
+                return Err(TranslateError::Unsupported(format!(
+                    "accessor `{tpath}` of `{dpath}` is not bound to any processor"
+                )));
+            };
+            if cs_q > cmin {
+                return Err(TranslateError::Unsupported(format!(
+                    "critical section of `{tpath}` on `{dpath}` rounds to {cs_q} quanta but \
+                     its minimum execution time is {cmin} — use a finer Scheduling_Quantum"
+                )));
+            }
+            if out.contains_key(&tid) {
+                return Err(TranslateError::Unsupported(format!(
+                    "thread `{tpath}` manages more than one critical section"
+                )));
+            }
+            let mode = match protocol {
+                ConcurrencyControlProtocol::NoneSpecified => CsMode::None,
+                ConcurrencyControlProtocol::PriorityCeiling => {
+                    let mut ceiling = 0u32;
+                    for &(t2, _) in &accessors {
+                        ceiling = ceiling.max(static_prio(t2)?);
+                    }
+                    CsMode::Ceiling(ceiling)
+                }
+                ConcurrencyControlProtocol::PriorityInheritance => {
+                    let sym_of =
+                        |t2: CompId| Symbol::new(&format!("inh_{dstem}_{}", stem_of(model, t2)));
+                    let mut others = Vec::new();
+                    for &(t2, _) in &accessors {
+                        if t2 != tid {
+                            others.push((sym_of(t2), static_prio(t2)?));
+                        }
+                    }
+                    CsMode::Inherit {
+                        own: static_prio(tid)?,
+                        self_event: sym_of(tid),
+                        others,
+                    }
+                }
+            };
+            out.insert(
+                tid,
+                CsSpec {
+                    data,
+                    resource,
+                    cs_q,
+                    mode,
+                },
+            );
+        }
+        if protocol == ConcurrencyControlProtocol::PriorityInheritance {
+            for &(tid, _) in &accessors {
+                nm.add_event(
+                    Symbol::new(&format!("inh_{dstem}_{}", stem_of(model, tid))),
+                    EventMeaning::InheritReq(data, tid),
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Declare and define the critical-section states of a thread whose
+/// [`ComputeSpec::critical_section`] is set; `compute` is the thread's plain
+/// `Compute_<stem>` definition, entered when the critical section exits with
+/// execution still remaining. Returns the `CsEntry_<stem>` definition — the
+/// state the skeleton dispatches into instead of `Compute_<stem>`.
+pub fn build_cs(
+    env: &mut Env,
+    nm: &mut NameMap,
+    thread: CompId,
+    stem: &str,
+    spec: &ComputeSpec<'_>,
+    compute: DefId,
+) -> DefId {
+    let cs = spec
+        .critical_section
+        .as_ref()
+        .expect("build_cs requires a critical-section spec");
+    assert!(
+        cs.cs_q >= 1 && cs.cs_q <= spec.cmin_q,
+        "critical section must fit the minimum execution time (validated upstream)"
+    );
+    let base_arity: u8 = if spec.track_elapsed { 2 } else { 1 };
+    let inherit = matches!(cs.mode, CsMode::Inherit { .. });
+    let run_arity = if inherit { base_arity + 1 } else { base_arity };
+    let h = Expr::p(base_arity);
+
+    let entry = env.declare(&format!("CsEntry_{stem}"), base_arity);
+    let run = env.declare(&format!("CsRun_{stem}"), run_arity);
+    let hold = env.declare(&format!("CsHold_{stem}"), run_arity);
+    let signaled = if inherit {
+        Some(env.declare(&format!("CsSignaled_{stem}"), base_arity))
+    } else {
+        None
+    };
+
+    let tag_cs = env.tag(&format!("{stem} in cs"));
+    let tag_cs_final = env.tag(&format!("{stem} completes in cs"));
+    let tag_hold = env.tag(&format!("{stem} holds preempted"));
+    let tag_wait = env.tag(&format!("{stem} waits at cs"));
+    nm.add_tag(tag_cs, TagMeaning::InCriticalSection(thread, cs.data));
+    nm.add_tag(tag_cs_final, TagMeaning::FinalStep(thread));
+    nm.add_tag(tag_hold, TagMeaning::HoldsPreempted(thread, cs.data));
+    nm.add_tag(tag_wait, TagMeaning::WaitingAtCs(thread, cs.data));
+
+    let e = Expr::p(0);
+    let base_pi = spec.prio.expr();
+    // The holder's priority while inside the critical section.
+    let run_pi: Expr = match &cs.mode {
+        CsMode::None => base_pi.clone(),
+        CsMode::Ceiling(c) => Expr::c(*c as i64),
+        CsMode::Inherit { .. } => h.clone(),
+    };
+
+    // Arguments for the next state (as in Fig. 5: `e` advances only while
+    // executing, `t` advances every quantum).
+    let stepped = |e_inc: bool| -> Vec<Expr> {
+        let e_next = if e_inc {
+            Expr::p(0).add(Expr::c(1))
+        } else {
+            Expr::p(0)
+        };
+        if spec.track_elapsed {
+            vec![e_next, Expr::p(1).add(Expr::c(1))]
+        } else {
+            vec![e_next]
+        }
+    };
+    let same_base: Vec<Expr> = if spec.track_elapsed {
+        vec![Expr::p(0), Expr::p(1)]
+    } else {
+        vec![Expr::p(0)]
+    };
+
+    // {cpu, lock} ∪ legacy shared resources: the processor at `cpu_pi`,
+    // everything else at `res_pi`. Holding steps claim the lock at the
+    // holder's (elevated) priority; the *acquire* claims it at 0 — the lock
+    // is granted to whoever wins the processor, so a competitor's bare
+    // `{cpu@π'}` claim with π' > π must preempt the acquisition. Claiming the
+    // lock at a nonzero priority there would make the two actions
+    // incomparable (the competitor's action lacks the lock resource) and
+    // leak a spurious lower-priority-acquires-first branch into the
+    // exploration.
+    let cs_uses = |cpu_pi: &Expr, res_pi: &Expr| -> Vec<(Res, Expr)> {
+        let mut v = vec![(spec.cpu, cpu_pi.clone()), (cs.resource, res_pi.clone())];
+        for r in &spec.shared_resources {
+            v.push((*r, res_pi.clone()));
+        }
+        v
+    };
+
+    // The executing steps available from inside the critical section (and
+    // from the acquire at `CsEntry`): continue in the section, exit into the
+    // plain compute process, or — when the section length equals `cmin` —
+    // complete the whole dispatch. The `cs_q`-vs-`cmin`/`cmax` comparisons
+    // are static, so only the feasible branches are generated.
+    let advance = |cpu_pi: &Expr, res_pi: &Expr, h_next: Option<Expr>| -> Vec<P> {
+        let mut alts = Vec::new();
+        if cs.cs_q > 1 {
+            let mut args = stepped(true);
+            if let Some(hn) = &h_next {
+                args.push(hn.clone());
+            }
+            alts.push(guard(
+                BExpr::lt(e.clone().add(Expr::c(1)), Expr::c(cs.cs_q)),
+                act_tagged(cs_uses(cpu_pi, res_pi), tag_cs, invoke(run, args)),
+            ));
+        }
+        if cs.cs_q < spec.cmax_q {
+            // The exit quantum: still holds the lock, releases it afterwards.
+            alts.push(guard(
+                BExpr::ge(e.clone().add(Expr::c(1)), Expr::c(cs.cs_q)),
+                act_tagged(
+                    cs_uses(cpu_pi, res_pi),
+                    tag_cs,
+                    invoke(compute, stepped(true)),
+                ),
+            ));
+        }
+        if cs.cs_q == spec.cmin_q {
+            // The exit quantum may complete the dispatch (§4.2 final step).
+            let mut final_uses = cs_uses(cpu_pi, res_pi);
+            for r in &spec.final_resources {
+                final_uses.push((*r, cpu_pi.clone()));
+            }
+            let mut chain = evt_send(spec.done, 1, spec.after_done.clone());
+            for (label, prio) in spec.sends.iter().rev() {
+                chain = evt_send(*label, *prio, chain);
+            }
+            alts.push(guard(
+                BExpr::ge(e.clone().add(Expr::c(1)), Expr::c(cs.cs_q)),
+                act_tagged(final_uses, tag_cs_final, chain),
+            ));
+        }
+        alts
+    };
+
+    // CsRun / CsHold: executing inside the section vs. preempted holding the
+    // lock. Both keep the lock claimed in every timed step — that is what
+    // makes the blocking (and the inversion under `None`) real.
+    let holding_body = |self_def: DefId| -> P {
+        let h_next = inherit.then(|| h.clone());
+        let mut alts = advance(&run_pi, &run_pi, h_next);
+        let mut hold_args = stepped(false);
+        if inherit {
+            hold_args.push(h.clone());
+        }
+        alts.push(act_tagged(
+            vec![(cs.resource, run_pi.clone())],
+            tag_hold,
+            invoke(hold, hold_args),
+        ));
+        if let CsMode::Inherit { others, .. } = &cs.mode {
+            for (sym, pj) in others {
+                let mut args = same_base.clone();
+                args.push(Expr::c(*pj as i64));
+                alts.push(guard(
+                    BExpr::lt(h.clone(), Expr::c(*pj as i64)),
+                    evt_recv(*sym, 1, invoke(self_def, args)),
+                ));
+            }
+        }
+        choice(alts)
+    };
+    env.set_body(run, holding_body(run));
+    env.set_body(hold, holding_body(hold));
+
+    // CsEntry / CsSignaled: before the lock. The acquire runs at *base*
+    // priority; the empty waiting step doubles as "preempted or blocked".
+    // Under inheritance the entry state additionally offers its inheritance
+    // event once, moving to CsSignaled so the send cannot loop.
+    let entry_body = |self_def: DefId, with_send: bool| -> P {
+        let h0 = match &cs.mode {
+            CsMode::Inherit { own, .. } => Some(Expr::c(*own as i64)),
+            _ => None,
+        };
+        let mut alts = advance(&base_pi, &Expr::c(0), h0);
+        alts.push(act_tagged(
+            [] as [(Res, Expr); 0],
+            tag_wait,
+            invoke(self_def, stepped(false)),
+        ));
+        if with_send {
+            if let (CsMode::Inherit { self_event, .. }, Some(sig)) = (&cs.mode, signaled) {
+                alts.push(evt_send(*self_event, 1, invoke(sig, same_base.clone())));
+            }
+        }
+        choice(alts)
+    };
+    env.set_body(entry, entry_body(entry, true));
+    if let Some(sig) = signaled {
+        env.set_body(sig, entry_body(sig, false));
+    }
+
+    entry
+}

@@ -64,6 +64,17 @@ pub fn derive_quantum(model: &InstanceModel) -> Result<i64, TranslateError> {
             fold(lo);
             fold(hi);
         }
+        if let Some(cs) = c.properties.critical_section_time() {
+            fold(cs);
+        }
+    }
+    // Critical-section times on access connections (§7 extension) count too:
+    // a quantum that mis-rounds the section length would move the blocking
+    // window the analysis is meant to expose.
+    for acc in &model.accesses {
+        if let Some(cs) = acc.properties.critical_section_time() {
+            fold(cs);
+        }
     }
     if g <= 0 {
         return Err(TranslateError::Quantum(

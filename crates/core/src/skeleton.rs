@@ -158,6 +158,7 @@ mod tests {
                 done,
                 after_done: nil(),
                 track_elapsed: prio.needs_elapsed() || faithful,
+                critical_section: None,
             },
             dispatch_protocol: protocol,
             dispatch,

@@ -115,6 +115,14 @@ pub struct TranslateOptions {
     /// paper's translation is single-mode, §4). When false, moded models are
     /// rejected by validation.
     pub enable_modes: bool,
+    /// Replace the declared `Concurrency_Control_Protocol` of every
+    /// critical-section-managed data component (§7 extension) — the
+    /// `aadlsched --protocol` experiment hook for comparing verdicts under
+    /// `None_Specified` / `Priority_Inheritance` / `Priority_Ceiling` without
+    /// editing the model. Protocol-specific requirements (static priorities)
+    /// are then checked against the override and surface as
+    /// [`TranslateError::Unsupported`].
+    pub protocol_override: Option<aadl::ConcurrencyControlProtocol>,
     /// Observability recorder; defaults to disabled (no-op).
     pub obs: obs::Recorder,
 }
@@ -274,6 +282,18 @@ pub fn translate(
     // Per processor, per thread: skeleton + dispatcher (Algorithm 1).
     // ------------------------------------------------------------------
     let mut components: Vec<P> = Vec::new();
+
+    // First pass: per-processor scheduling plans (thread sets, timings,
+    // priorities). Computed up front because concurrency-control resolution
+    // needs the priorities of *all* accessors of a shared data component —
+    // ceilings cross processor boundaries.
+    struct ProcPlan {
+        threads: Vec<CompId>,
+        timings: Vec<crate::quantum::ThreadTiming>,
+        prios: Vec<crate::policy::PrioSpec>,
+        cpu: Res,
+    }
+    let mut plans: Vec<ProcPlan> = Vec::new();
     let processors: Vec<CompId> = model.processors().map(|p| p.id).collect();
     for &proc in &processors {
         let threads = model.threads_on(proc);
@@ -296,8 +316,44 @@ pub fn translate(
             .collect::<Result<Vec<_>, _>>()?;
         let prios = assign_priorities(model, protocol, &threads, &timings)?;
         let cpu = Res::new(&format!("cpu_{}", crate::names::stem_of(model, proc)));
+        plans.push(ProcPlan {
+            threads,
+            timings,
+            prios,
+            cpu,
+        });
+    }
 
-        for ((&tid, timing), prio) in threads.iter().zip(&timings).zip(&prios) {
+    // Concurrency-control resolution (§7 extension): one CsSpec per thread
+    // with a critical section on a shared data component.
+    let mut prio_of = HashMap::new();
+    let mut cmin_of = HashMap::new();
+    for plan in &plans {
+        for ((&tid, timing), prio) in plan.threads.iter().zip(&plan.timings).zip(&plan.prios) {
+            prio_of.insert(tid, prio.clone());
+            cmin_of.insert(tid, timing.cmin_q);
+        }
+    }
+    let mut cs_of = crate::protocol::resolve_protocols(
+        model,
+        &mut nm,
+        opts.protocol_override,
+        quantum_ps,
+        &prio_of,
+        &cmin_of,
+    )?;
+    let cs_threads = cs_of.len();
+    if opts.obs.is_enabled() {
+        let cs_quanta = opts.obs.histogram("protocol.cs_quanta");
+        for cs in cs_of.values() {
+            cs_quanta.observe(cs.cs_q as u64);
+        }
+    }
+
+    // Second pass: generate skeleton + dispatcher per thread (Algorithm 1).
+    for plan in &plans {
+        let cpu = plan.cpu;
+        for ((&tid, timing), prio) in plan.threads.iter().zip(&plan.timings).zip(&plan.prios) {
             let stem = crate::names::stem_of(model, tid);
             let dispatch = Symbol::new(&format!("dispatch_{stem}"));
             let done = Symbol::new(&format!("done_{stem}"));
@@ -316,9 +372,14 @@ pub fn translate(
             }
 
             // Shared data resources of the thread's access connections — the
-            // `R` set of Fig. 5.
+            // `R` set of Fig. 5. Data managed by this thread's critical
+            // section is excluded: the CS states claim its lock themselves.
+            let cs_spec = cs_of.remove(&tid);
             let mut shared_resources: Vec<Res> = Vec::new();
             for acc in model.accesses_of(tid) {
+                if cs_spec.as_ref().is_some_and(|c| c.data == acc.data) {
+                    continue;
+                }
                 let r = Res::new(&format!("data_{}", crate::names::stem_of(model, acc.data)));
                 if !shared_resources.contains(&r) {
                     shared_resources.push(r);
@@ -369,6 +430,7 @@ pub fn translate(
                         done,
                         after_done: acsr::nil(), // overwritten by build_skeleton
                         track_elapsed,
+                        critical_section: cs_spec,
                     },
                     dispatch_protocol: timing.dispatch,
                     dispatch,
@@ -515,6 +577,7 @@ pub fn translate(
     span.set("device_gens", inventory.device_gens as i64);
     span.set("observers", inventory.observers as i64);
     span.set("mode_managers", inventory.mode_managers as i64);
+    span.set("cs_threads", cs_threads as i64);
     span.set("defs", env.num_defs() as i64);
     span.set("quantum_ps", quantum_ps);
     span.end();

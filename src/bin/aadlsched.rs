@@ -11,6 +11,9 @@
 //!
 //! options:
 //!   --quantum <ms>    override the scheduling quantum
+//!   --protocol <p>    override the Concurrency_Control_Protocol of every
+//!                     shared data component (none | pip | pcp, or the full
+//!                     AADL literal) without editing the model
 //!   --compact         compact translation (drop redundant skeleton scopes)
 //!   --exhaustive      explore the full state space (default: stop at the
 //!                     first deadlock)
@@ -36,14 +39,17 @@ use std::process::ExitCode;
 use aadl::instance::instantiate;
 use aadl::model::{Category, Package};
 use aadl::parser::parse_package;
-use aadl::properties::TimeVal;
-use aadl2acsr::{analyze_translated, translate, AnalysisOptions, TranslateOptions};
+use aadl::properties::{ConcurrencyControlProtocol, TimeVal};
+use aadl2acsr::{
+    analyze_translated, translate, AnalysisOptions, TranslateError, TranslateOptions,
+};
 use obs::{Json, JsonLinesSink, Sink};
 
 struct Args {
     file: String,
     root: Option<String>,
     quantum_ms: Option<i64>,
+    protocol: Option<ConcurrencyControlProtocol>,
     compact: bool,
     exhaustive: bool,
     threads: usize,
@@ -59,7 +65,8 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: aadlsched <model.aadl> [RootSystem.impl] \
-         [--quantum <ms>] [--compact] [--exhaustive] [--threads <n>] \
+         [--quantum <ms>] [--protocol <none|pip|pcp>] [--compact] \
+         [--exhaustive] [--threads <n>] \
          [--max-states <n>] [--tree] [--acsr] [--dot <file>] \
          [--metrics <file>] [--trace-events <file>] [--progress]\n\
          (omit RootSystem.impl to analyze the package's top-level system \
@@ -79,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         file,
         root,
         quantum_ms: None,
+        protocol: None,
         compact: false,
         exhaustive: false,
         threads: 1,
@@ -99,6 +107,12 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--quantum: {e}"))?,
                 )
+            }
+            "--protocol" => {
+                let raw = raw.next().ok_or("--protocol needs a value")?;
+                args.protocol = Some(ConcurrencyControlProtocol::parse(&raw).ok_or_else(
+                    || format!("--protocol: unknown protocol `{raw}` (none | pip | pcp)"),
+                )?)
             }
             "--compact" => args.compact = true,
             "--exhaustive" => args.exhaustive = true,
@@ -252,14 +266,34 @@ fn main() -> ExitCode {
         println!("\n{}", model.render_tree());
     }
 
+    if let Some(p) = args.protocol {
+        println!("concurrency control: {p} (forced by --protocol)");
+    }
     let topts = TranslateOptions {
         compact: args.compact,
         quantum: args.quantum_ms.map(TimeVal::ms),
+        protocol_override: args.protocol,
         obs: rec.clone(),
         ..Default::default()
     };
     let tm = match translate(&model, &topts) {
         Ok(tm) => tm,
+        Err(TranslateError::Validation(errs)) => {
+            // Point the user at the exact property association the checker
+            // rejected, with its source position when the model came from
+            // text (builder-made models carry no spans).
+            eprintln!("translation error: the model violates the translation's assumptions (§4.1):");
+            for e in &errs {
+                match (e.property(), e.span()) {
+                    (Some(prop), Some(span)) => {
+                        eprintln!("  - {e}\n    (`{prop}` at {}:{span})", args.file)
+                    }
+                    (Some(prop), None) => eprintln!("  - {e}\n    (property `{prop}`)"),
+                    _ => eprintln!("  - {e}"),
+                }
+            }
+            return ExitCode::from(2);
+        }
         Err(e) => {
             eprintln!("translation error: {e}");
             return ExitCode::from(2);

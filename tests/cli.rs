@@ -72,6 +72,44 @@ public
 end Bad;
 "#;
 
+/// A critical section longer than the thread's best-case execution time —
+/// the well-formedness check rejects the `Critical_Section_Execution_Time`
+/// association on the connection (line 29 of this source).
+const BAD_CS_MODEL: &str = r#"package BadCs
+public
+  processor cpu_t
+    properties
+      Scheduling_Protocol => HPF;
+  end cpu_t;
+  data store
+    properties
+      Concurrency_Control_Protocol => Priority_Ceiling;
+  end store;
+  thread T
+    features
+      d: requires data access;
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 10 ms;
+      Compute_Execution_Time => 2 ms .. 2 ms;
+      Compute_Deadline => 10 ms;
+      Priority => 1;
+  end T;
+  system Top
+  end Top;
+  system implementation Top.impl
+    subcomponents
+      cpu: processor cpu_t;
+      s: data store;
+      t: thread T;
+    connections
+      a1: data access s -> t.d { Critical_Section_Execution_Time => 5 ms; };
+    properties
+      Actual_Processor_Binding => reference (cpu) applies to t;
+  end Top.impl;
+end BadCs;
+"#;
+
 #[test]
 fn schedulable_model_exits_zero() {
     let path = write_model("ok.aadl", OK_MODEL);
@@ -298,6 +336,47 @@ fn progress_flag_emits_deterministic_stderr_lines() {
     assert_eq!(lines.len(), 3, "{stderr}");
     assert!(lines[0].starts_with("progress: 64 states"), "{stderr}");
     assert!(lines[2].starts_with("progress: 256 states"), "{stderr}");
+}
+
+#[test]
+fn protocol_flag_switches_the_inversion_verdict() {
+    // The bundled inversion model misses under its declared None_Specified
+    // protocol; --protocol swaps in PCP or PIP without editing the model.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/models/inversion.aadl");
+    let none = aadlsched(&[path]);
+    assert_eq!(none.status.code(), Some(1), "{none:?}");
+    let stdout = String::from_utf8_lossy(&none.stdout);
+    assert!(stdout.contains("blocked on `shared`"), "{stdout}");
+
+    for flag in ["pcp", "pip", "Priority_Ceiling"] {
+        let out = aadlsched(&[path, "--protocol", flag]);
+        assert!(out.status.success(), "--protocol {flag}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("forced by --protocol"), "{stdout}");
+        assert!(stdout.contains("VERDICT: schedulable"), "{stdout}");
+    }
+}
+
+#[test]
+fn bad_protocol_value_exits_two_with_usage() {
+    let path = write_model("ok_proto.aadl", OK_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--protocol", "fifo"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown protocol `fifo`"), "{stderr}");
+}
+
+#[test]
+fn validation_failure_names_the_property_and_its_source_span() {
+    let path = write_model("bad_cs.aadl", BAD_CS_MODEL);
+    let out = aadlsched(&[path.to_str().unwrap(), "Top.impl"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("translation error"), "{stderr}");
+    // The offending property is named, and the message points into the
+    // source text: `<file>:29:<col>` — the connection property association.
+    assert!(stderr.contains("Critical_Section_Execution_Time"), "{stderr}");
+    assert!(stderr.contains("bad_cs.aadl:29:"), "{stderr}");
 }
 
 #[test]

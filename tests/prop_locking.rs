@@ -1,0 +1,120 @@
+//! Property-based verdict agreement for the concurrency-control subsystem:
+//! randomized HPF task sets with one shared resource, judged three ways —
+//! the blocking-aware response-time analysis, the locking simulator, and the
+//! exhaustive ACSR exploration of the translated AADL model.
+//!
+//! Two kinds of property:
+//!
+//! * **Exact agreement** with the simulator: for synchronous release, fixed
+//!   execution times and distinct priorities every scheduling and lock-
+//!   acquisition race is resolved deterministically on both sides, so the
+//!   one-run simulation and the exhaustive exploration see the *same*
+//!   behaviour and must return the same verdict, protocol by protocol.
+//! * **Implication** from the RTA: with blocking the critical-instant bound
+//!   is sufficient but not necessary (it charges every job the worst
+//!   lower-priority section, a pattern the synchronous release need not
+//!   produce), so the classical test may reject sets the exhaustive analysis
+//!   proves schedulable — but never the other way around.
+//!
+//! `det_prop!` runs 64 seeded cases per property; failures print a
+//! `DET_PROP_SEED` that reproduces the exact case.
+
+use aadl::instance::instantiate;
+use aadl::properties::ConcurrencyControlProtocol;
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+use det::det_prop;
+use det::DetRng;
+use sched_baselines::rta::rta_schedulable_blocking;
+use sched_baselines::simulator::{simulate_locking, ExecModel, Policy};
+use sched_baselines::taskset::taskset_to_package_locking;
+use sched_baselines::types::{LockProtocol, Task, TaskSet};
+
+/// Three HPF tasks with distinct priorities, fixed execution times and
+/// implicit deadlines; two of them share resource 0 with a critical section
+/// of `1..=wcet` quanta (so the section always fits inside a job, as the
+/// translation's well-formedness check requires).
+fn arb_locking_taskset(rng: &mut DetRng) -> TaskSet {
+    let orders: [[u32; 3]; 6] = [
+        [9, 5, 3],
+        [9, 3, 5],
+        [5, 9, 3],
+        [5, 3, 9],
+        [3, 9, 5],
+        [3, 5, 9],
+    ];
+    let prios = *rng.pick(&orders);
+    let pairs: [[usize; 2]; 3] = [[0, 1], [0, 2], [1, 2]];
+    let sharing = *rng.pick(&pairs);
+    let mut tasks: Vec<Task> = (0..3)
+        .map(|i| {
+            let period = *rng.pick(&[4u64, 5, 8, 10]);
+            let c = rng.range_u64(1..4).min(period);
+            let mut t = Task::new(0, period, c);
+            t.priority = Some(prios[i]);
+            t
+        })
+        .collect();
+    for &i in &sharing {
+        let len = rng.range_u64(1..=tasks[i].wcet);
+        tasks[i] = tasks[i].clone().with_cs(0, len);
+    }
+    TaskSet::new(tasks)
+}
+
+/// Priority order (highest first) for the RTA.
+fn hpf_order(ts: &TaskSet) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ts.tasks.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(ts.tasks[i].priority.unwrap_or(0)));
+    order
+}
+
+fn acsr_verdict(ts: &TaskSet, ccp: ConcurrencyControlProtocol) -> bool {
+    let pkg = taskset_to_package_locking(ts, "HPF", ccp);
+    let m = instantiate(&pkg, "Top.impl").unwrap();
+    analyze(
+        &m,
+        &TranslateOptions::default(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap()
+    .schedulable
+}
+
+fn sim_verdict(ts: &TaskSet, protocol: LockProtocol) -> bool {
+    simulate_locking(ts, Policy::Hpf, ExecModel::Wcet, ts.hyperperiod(), protocol).ok()
+}
+
+det_prop! {
+    fn acsr_pcp_agrees_with_the_locking_simulation(ts in arb_locking_taskset) {
+        assert_eq!(
+            acsr_verdict(&ts, ConcurrencyControlProtocol::PriorityCeiling),
+            sim_verdict(&ts, LockProtocol::Ceiling),
+            "{:?}", ts
+        );
+    }
+
+    fn acsr_pip_agrees_with_the_locking_simulation(ts in arb_locking_taskset) {
+        assert_eq!(
+            acsr_verdict(&ts, ConcurrencyControlProtocol::PriorityInheritance),
+            sim_verdict(&ts, LockProtocol::Inheritance),
+            "{:?}", ts
+        );
+    }
+
+    fn acsr_plain_mutex_agrees_with_the_locking_simulation(ts in arb_locking_taskset) {
+        assert_eq!(
+            acsr_verdict(&ts, ConcurrencyControlProtocol::NoneSpecified),
+            sim_verdict(&ts, LockProtocol::None),
+            "{:?}", ts
+        );
+    }
+
+    fn blocking_rta_is_sufficient_for_acsr_pcp(ts in arb_locking_taskset) {
+        if rta_schedulable_blocking(&ts, &hpf_order(&ts), LockProtocol::Ceiling) {
+            assert!(
+                acsr_verdict(&ts, ConcurrencyControlProtocol::PriorityCeiling),
+                "RTA certified an ACSR-unschedulable set: {:?}", ts
+            );
+        }
+    }
+}

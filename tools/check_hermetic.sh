@@ -19,8 +19,11 @@ fail=0
 #    every Cargo.toml must be a path dependency (or a profile/package key).
 #    A registry dependency looks like `name = "1.2"` or
 #    `name = { version = ... }`; a git dependency has `git = ...`.
+edges_file="$(mktemp)"
+trap 'rm -f "$edges_file"' EXIT
 for manifest in Cargo.toml crates/*/Cargo.toml; do
     in_deps=0
+    section=""
     lineno=0
     while IFS= read -r line; do
         lineno=$((lineno + 1))
@@ -31,6 +34,8 @@ for manifest in Cargo.toml crates/*/Cargo.toml; do
         case "$stripped" in
             \[*dependencies\]|\[workspace.dependencies\])
                 in_deps=1
+                section="${stripped#\[}"
+                section="${section%\]}"
                 continue
                 ;;
             \[*\])
@@ -39,9 +44,10 @@ for manifest in Cargo.toml crates/*/Cargo.toml; do
                 ;;
         esac
         [ "$in_deps" -eq 1 ] || continue
-        # `name.workspace = true` — inherited from the (audited) workspace table.
         key="${stripped%%=*}"
         key="$(printf '%s' "$key" | sed -e 's/[[:space:]]*$//')"
+        echo "$manifest $section ${key%.workspace}" >> "$edges_file"
+        # `name.workspace = true` — inherited from the (audited) workspace table.
         case "$key" in
             *.workspace) continue ;;
         esac
@@ -78,6 +84,60 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "check_hermetic: all Cargo.toml dependencies are path-only"
+
+# 1a. The dependency graph itself is pinned: every `[dependencies]` /
+#     `[dev-dependencies]` / `[workspace.dependencies]` entry in every
+#     manifest must appear in the baseline below. Adding a dependency —
+#     even a path-only, workspace-internal one — is a deliberate act that
+#     must update this list in the same change, so a PR can never grow the
+#     graph silently.
+baseline_file="$(mktemp)"
+sorted_edges_file="$(mktemp)"
+trap 'rm -f "$edges_file" "$baseline_file" "$sorted_edges_file"' EXIT
+cat > "$baseline_file" <<'EOF'
+Cargo.toml dependencies aadl
+Cargo.toml dependencies aadl2acsr
+Cargo.toml dependencies acsr
+Cargo.toml dependencies obs
+Cargo.toml dependencies sched-baselines
+Cargo.toml dependencies versa
+Cargo.toml dev-dependencies det
+Cargo.toml workspace.dependencies aadl
+Cargo.toml workspace.dependencies aadl2acsr
+Cargo.toml workspace.dependencies acsr
+Cargo.toml workspace.dependencies det
+Cargo.toml workspace.dependencies obs
+Cargo.toml workspace.dependencies sched-baselines
+Cargo.toml workspace.dependencies versa
+crates/aadl/Cargo.toml dev-dependencies det
+crates/acsr/Cargo.toml dev-dependencies det
+crates/acsr/Cargo.toml dev-dependencies versa
+crates/baselines/Cargo.toml dependencies aadl
+crates/baselines/Cargo.toml dependencies det
+crates/bench/Cargo.toml dependencies aadl
+crates/bench/Cargo.toml dependencies aadl2acsr
+crates/bench/Cargo.toml dependencies acsr
+crates/bench/Cargo.toml dependencies det
+crates/bench/Cargo.toml dependencies obs
+crates/bench/Cargo.toml dependencies sched-baselines
+crates/bench/Cargo.toml dependencies versa
+crates/core/Cargo.toml dependencies aadl
+crates/core/Cargo.toml dependencies acsr
+crates/core/Cargo.toml dependencies obs
+crates/core/Cargo.toml dependencies versa
+crates/versa/Cargo.toml dependencies acsr
+crates/versa/Cargo.toml dependencies det
+crates/versa/Cargo.toml dependencies obs
+EOF
+LC_ALL=C sort -o "$baseline_file" "$baseline_file"
+LC_ALL=C sort -u "$edges_file" > "$sorted_edges_file"
+if ! diff -u "$baseline_file" "$sorted_edges_file" > /dev/null; then
+    echo "HERMETIC VIOLATION: the dependency graph changed (manifest section name):"
+    diff -u "$baseline_file" "$sorted_edges_file" | grep '^[+-][^+-]' || true
+    echo "check_hermetic: update the baseline in tools/check_hermetic.sh if this is intentional"
+    exit 1
+fi
+echo "check_hermetic: dependency graph matches the pinned baseline"
 
 # 1b. The observability crate must stay entirely std-only: an EMPTY
 #     [dependencies] section. Instrumentation sits on the hot exploration

@@ -2,8 +2,14 @@
 # The full local gate, in the order a reviewer would run it:
 #
 #   1. tier-1: release build + the whole test suite (ROADMAP.md)
-#   2. the hermetic-build audit (path-only deps, obs dependency-free,
-#      `cargo doc` with warnings denied — see tools/check_hermetic.sh)
+#   2. the pinned-timeline gates: the golden diagnose trace and the
+#      concurrency-control inversion timeline, named explicitly so a drift
+#      in either renders as its own CI line, not a needle in the full suite
+#   3. the bench harness in smoke mode (cheap subset; also refreshes
+#      BENCH_exploration.json, which is committed)
+#   4. the hermetic-build audit (path-only deps, pinned dependency graph,
+#      obs dependency-free, `cargo doc` with warnings denied — see
+#      tools/check_hermetic.sh)
 #
 # Run from anywhere:
 #
@@ -19,6 +25,12 @@ cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo "== golden timelines: diagnose + inversion =="
+cargo test -q --test golden_diagnose --test inversion
+
+echo "== bench harness (smoke) =="
+cargo run --release -q -p bench --bin harness -- --smoke
 
 echo "== hermetic audit =="
 tools/check_hermetic.sh
