@@ -29,6 +29,7 @@
 //! | [`expr`]   | integer/boolean expressions over process parameters |
 //! | [`term`]   | the process term language (prefix, choice, parallel, scope, restriction, closure, recursion) |
 //! | [`mod@env`] | process definitions, parameterized recursion, provenance tags |
+//! | [`hashed`] | hash-cached terms ([`HashedP`]) for O(1) visited-set probes |
 //! | [`label`]  | ground transition labels |
 //! | [`step`]   | the unprioritized operational semantics |
 //! | [`prio`]   | the preemption relation and the prioritized transition relation |
@@ -60,6 +61,7 @@
 
 pub mod env;
 pub mod expr;
+pub mod hashed;
 pub mod label;
 pub mod pretty;
 pub mod prio;
@@ -69,6 +71,7 @@ pub mod term;
 
 pub use env::{DefId, Env, ProcDef, TagId};
 pub use expr::{BExpr, EvalError, Expr};
+pub use hashed::{structural_hash, HashedP};
 pub use label::{Dir, GAction, Label};
 pub use prio::{preempts, prioritized_steps};
 pub use step::steps;

@@ -5,13 +5,19 @@
 //! ```
 //!
 //! `--smoke` runs the cheap subset — the cruise-control inventory (F1), the
-//! concurrency-control verdicts (Q7) and the instrumented exploration report
-//! (Q6, which refreshes `BENCH_exploration.json`) — in well under a second,
-//! so CI can exercise the harness end-to-end without the full sweeps.
+//! parallel-scaling sweep (Q8, on a smaller model), the instrumented
+//! exploration report (Q6, which refreshes `BENCH_exploration.json`) and the
+//! concurrency-control verdicts (Q7) — in about a second, so CI can exercise
+//! the harness end-to-end without the full sweeps.
+//!
+//! `--threads <n>` sets the exploration worker count for every analysis the
+//! harness runs (the Q8 sweep ignores it — it sweeps its own grid). The
+//! engine is deterministic in the thread count, so CI runs the smoke subset
+//! at 1 and 4 workers and diffs the verdict lines.
 
 use std::time::Instant;
 
-use aadl::examples::{cruise_control_model, cruise_control_overloaded};
+use aadl::examples::{cruise_control_model, cruise_control_overloaded, flight_control_model};
 use aadl::instance::instantiate;
 use aadl::parser::parse_package;
 use aadl::properties::{ConcurrencyControlProtocol, TimeVal};
@@ -22,8 +28,14 @@ use sched_baselines::rta::rm_schedulable;
 use sched_baselines::taskset::{taskset_to_package, uunifast, TaskSetSpec};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    f1_cruise_control();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(1usize);
+    f1_cruise_control(threads);
     if !smoke {
         q1_quantum_tradeoff();
         q2_verdict_agreement();
@@ -31,8 +43,9 @@ fn main() {
         q3_scaling();
         q5_queue_overflow();
     }
-    q6_exploration_report();
-    q7_locking_protocols();
+    let scaling = q8_thread_scaling(smoke);
+    q6_exploration_report(threads, scaling);
+    q7_locking_protocols(threads);
     if smoke {
         println!("\nharness: smoke mode (skipped Q1/Q2/Q2b/Q3/Q5 sweeps)");
     }
@@ -44,7 +57,7 @@ fn header(title: &str) {
     println!("================================================================");
 }
 
-fn f1_cruise_control() {
+fn f1_cruise_control(threads: usize) {
     header("F1 — cruise control (Fig. 1): inventory and verdicts");
     let m = cruise_control_model();
     let tm = translate(&m, &TranslateOptions::default()).unwrap();
@@ -52,13 +65,17 @@ fn f1_cruise_control() {
         "inventory: {} thread processes, {} dispatchers, {} queues (paper §4.1: 6/6/0)",
         tm.inventory.threads, tm.inventory.dispatchers, tm.inventory.queues
     );
-    let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::exhaustive()).unwrap();
+    let mut exhaustive = AnalysisOptions::exhaustive();
+    exhaustive.explore.threads = threads;
+    let v = analyze(&m, &TranslateOptions::default(), &exhaustive).unwrap();
     println!(
         "nominal:    schedulable={} states={} transitions={} time={:?}",
         v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
     );
     let m = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
-    let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default()).unwrap();
+    let mut default = AnalysisOptions::default();
+    default.explore.threads = threads;
+    let v = analyze(&m, &TranslateOptions::default(), &default).unwrap();
     println!(
         "overloaded: schedulable={} first deadlock at quantum {} ({} states)",
         v.schedulable,
@@ -219,10 +236,148 @@ fn q5_queue_overflow() {
     println!("DropNewest, size 1: schedulable={} ({} states)", v.schedulable, v.stats.states);
 }
 
+/// Read back a counter from a finished run (0 when it was never registered).
+fn run_counter(run: &obs::RunData, name: &str) -> u64 {
+    run.counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// The parallel-scaling sweep behind `EXPERIMENTS.md` Q8 and the `scaling`
+/// section of `BENCH_exploration.json`. Two engines, A/B, on each model:
+///
+/// * **seed** — the pre-sharding architecture kept alive in
+///   [`bench::seedline`]: parallel expansion, single-`Mutex` output buffer,
+///   serial interner re-hashing deep terms on every probe;
+/// * **sharded** — the shipped expand-and-intern pipeline (hash-cached
+///   terms, sharded visited set), swept over workers, plus one row pinning
+///   the sharded engine to a *single* shard so the shard count's own effect
+///   is visible at 4 workers.
+///
+/// Every configuration runs three times and reports the best wall clock —
+/// min-of-N is the standard way to strip scheduler noise from short runs.
+fn q8_thread_scaling(smoke: bool) -> obs::Json {
+    header("Q8 — parallel scaling: engines × workers × visited-set shards");
+    let mut models: Vec<(String, aadl::instance::InstanceModel)> = vec![
+        ("cruise_control".into(), cruise_control_model()),
+        ("flight_control".into(), flight_control_model()),
+        (
+            "overloaded".into(),
+            instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap(),
+        ),
+    ];
+    let (cpus, spread) = if smoke { (5, 4) } else { (6, 4) };
+    models.push((format!("wide_system({cpus},{spread})"), wide_system(cpus, spread)));
+    let reps = 3u32;
+
+    let mut sections: Vec<obs::Json> = Vec::new();
+    for (name, m) in &models {
+        let tm = translate(m, &TranslateOptions::default()).unwrap();
+        println!("\n{name}:");
+        println!(
+            "{:>9} {:>8} {:>8} {:>8} {:>13} {:>9} {:>11}",
+            "engine", "workers", "shards", "states", "best time", "out-lock", "shard-lock"
+        );
+        let mut rows: Vec<obs::Json> = Vec::new();
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut best: Option<(std::time::Duration, bench::seedline::SeedStats)> = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let st = bench::seedline::explore_seedline(&tm.env, &tm.initial, threads);
+                let wall = t0.elapsed();
+                if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                    best = Some((wall, st));
+                }
+            }
+            let (wall, st) = best.unwrap();
+            println!(
+                "{:>9} {:>8} {:>8} {:>8} {:>13?} {:>9} {:>11}",
+                "seed", threads, "-", st.states, wall, st.lock_contention, "-"
+            );
+            rows.push(obs::Json::obj([
+                ("engine", obs::Json::from("seed")),
+                ("threads", obs::Json::from(threads)),
+                ("states", obs::Json::from(st.states)),
+                ("wall_ns", obs::Json::from(wall.as_nanos() as u64)),
+                ("lock_contention", obs::Json::from(st.lock_contention)),
+            ]));
+        }
+
+        for (threads, shards) in [(1usize, 0usize), (2, 0), (4, 1), (4, 0), (8, 0)] {
+            type Best = (std::time::Duration, usize, u64, u64);
+            let mut best: Option<Best> = None;
+            for _ in 0..reps {
+                let rec = obs::Recorder::enabled();
+                let opts = versa::Options::default()
+                    .with_threads(threads)
+                    .with_shards(shards)
+                    .with_obs(rec.clone());
+                let t0 = Instant::now();
+                let ex = versa::explore(&tm.env, &tm.initial, &opts);
+                let wall = t0.elapsed();
+                let run = rec.finish();
+                if best.as_ref().is_none_or(|(w, ..)| wall < *w) {
+                    best = Some((
+                        wall,
+                        ex.num_states(),
+                        run_counter(&run, "explore.lock_contention"),
+                        run_counter(&run, "explore.shard_contention"),
+                    ));
+                }
+            }
+            let (wall, states, out_lock, shard_lock) = best.unwrap();
+            let shards_actual = if shards == 0 {
+                threads.next_power_of_two()
+            } else {
+                shards
+            };
+            println!(
+                "{:>9} {:>8} {:>8} {:>8} {:>13?} {:>9} {:>11}",
+                "sharded",
+                threads,
+                if shards == 0 {
+                    format!("auto({shards_actual})")
+                } else {
+                    shards_actual.to_string()
+                },
+                states,
+                wall,
+                out_lock,
+                shard_lock
+            );
+            rows.push(obs::Json::obj([
+                ("engine", obs::Json::from("sharded")),
+                ("threads", obs::Json::from(threads)),
+                ("shards", obs::Json::from(shards_actual)),
+                ("states", obs::Json::from(states)),
+                ("wall_ns", obs::Json::from(wall.as_nanos() as u64)),
+                ("lock_contention", obs::Json::from(out_lock)),
+                ("shard_contention", obs::Json::from(shard_lock)),
+            ]));
+        }
+        sections.push(obs::Json::obj([
+            ("model", obs::Json::from(name.as_str())),
+            ("rows", obs::Json::Arr(rows)),
+        ]));
+    }
+    println!(
+        "\n(seed = pre-sharding engine: serial interner, no hash cache; \
+         out-lock / shard-lock = try_lock misses.)"
+    );
+    obs::Json::obj([
+        ("reps", obs::Json::from(reps as u64)),
+        ("policy", obs::Json::from("min_wall_of_reps")),
+        ("models", obs::Json::Arr(sections)),
+    ])
+}
+
 /// Instrumented exhaustive run of the cruise-control model, written as
 /// `BENCH_exploration.json` — the same `aadlsched-metrics` schema the CLI
 /// emits with `--metrics`, so the two are diffable with the same tooling.
-fn q6_exploration_report() {
+fn q6_exploration_report(threads: usize, scaling: obs::Json) {
     header("Q6 — instrumented exploration report (BENCH_exploration.json)");
     let rec = obs::Recorder::enabled();
     let m = cruise_control_model();
@@ -231,11 +386,13 @@ fn q6_exploration_report() {
         ..Default::default()
     };
     let mut aopts = AnalysisOptions::exhaustive();
+    aopts.explore.threads = threads;
     aopts.explore.obs = rec.clone();
     let tm = translate(&m, &topts).unwrap();
     let v = aadl2acsr::analyze_translated(&m, &tm, &aopts);
 
-    let run_id = obs::run_id(&[b"cruise_control", b"exhaustive;threads=1"]);
+    let canon = format!("exhaustive;threads={threads}");
+    let run_id = obs::run_id(&[b"cruise_control", canon.as_bytes()]);
     let mut report = obs::Report::new(&run_id, "bench-harness");
     report.set(
         "model",
@@ -273,6 +430,7 @@ fn q6_exploration_report() {
             ("truncated", obs::Json::Bool(v.truncated)),
         ]),
     );
+    report.set("scaling", scaling);
     report.attach_run(&rec.finish());
     match std::fs::write("BENCH_exploration.json", report.to_json()) {
         Ok(()) => println!("report written to BENCH_exploration.json (run_id {run_id})"),
@@ -283,7 +441,7 @@ fn q6_exploration_report() {
 
 /// The three concurrency-control protocols on the bundled priority-inversion
 /// model (§7 extension): verdict, miss quantum and state count per protocol.
-fn q7_locking_protocols() {
+fn q7_locking_protocols(threads: usize) {
     header("Q7 — concurrency control on the inversion model (§7 ext.)");
     let source = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -298,13 +456,15 @@ fn q7_locking_protocols() {
         ("Priority_Ceiling", Some(ConcurrencyControlProtocol::PriorityCeiling)),
         ("Priority_Inheritance", Some(ConcurrencyControlProtocol::PriorityInheritance)),
     ] {
+        let mut aopts = AnalysisOptions::exhaustive();
+        aopts.explore.threads = threads;
         let v = analyze(
             &m,
             &TranslateOptions {
                 protocol_override: protocol,
                 ..Default::default()
             },
-            &AnalysisOptions::exhaustive(),
+            &aopts,
         )
         .unwrap();
         println!(

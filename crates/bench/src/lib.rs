@@ -5,6 +5,7 @@
 //! regenerates every quantitative table in one run
 //! (`cargo run --release -p bench --bin harness`).
 
+pub mod seedline;
 pub mod timing;
 
 use aadl::builder::PackageBuilder;

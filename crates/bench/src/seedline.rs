@@ -1,0 +1,140 @@
+//! The *pre-sharding* exploration engine, preserved as a live benchmark
+//! baseline.
+//!
+//! `versa::explore` used to parallelize successor expansion per BFS level and
+//! then funnel every discovered term through a single-threaded interner — a
+//! plain `HashMap<P, StateId>` probed with std's SipHash, re-walking each
+//! deep term on every probe (and every key again whenever the map grew).
+//! That architecture has since been replaced by the expand-and-intern
+//! pipeline over a sharded, hash-cached visited set; this module keeps the
+//! old engine alive (states/transitions only — no traces, no LTS, no
+//! instrumentation beyond the output-buffer contention proxy) so the A/B
+//! comparison in `BENCH_exploration.json` measures the architecture we
+//! actually shipped away from, not a synthetic strawman.
+//!
+//! Do **not** use this for analysis — it exists to be measured against.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, TryLockError};
+
+use acsr::{prioritized_steps, Env, Label, P};
+
+/// What the baseline engine reports: enough to check it agrees with the real
+/// engine and to bench it, nothing more.
+#[derive(Clone, Debug, Default)]
+pub struct SeedStats {
+    /// Number of interned states.
+    pub states: usize,
+    /// Number of transitions traversed.
+    pub transitions: usize,
+    /// Number of deadlocked states found.
+    pub deadlocks: usize,
+    /// `try_lock` misses on the single output buffer.
+    pub lock_contention: u64,
+}
+
+/// Breadth-first exploration with parallel expansion and *serial* interning —
+/// the seed architecture. Deterministic in `threads` like the real engine
+/// (chunked expansion preserves frontier order).
+pub fn explore_seedline(env: &Env, initial: &P, threads: usize) -> SeedStats {
+    let threads = threads.max(1);
+    let contention = AtomicU64::new(0);
+    let mut interner: HashMap<P, u32> = HashMap::new();
+    let mut states: Vec<P> = vec![initial.clone()];
+    interner.insert(initial.clone(), 0);
+    let mut stats = SeedStats::default();
+    let mut frontier: Vec<u32> = vec![0];
+
+    while !frontier.is_empty() {
+        let expanded: Vec<Vec<(Label, P)>> = if threads > 1 && frontier.len() >= 4 * threads {
+            let chunk = frontier.len().div_ceil(threads);
+            type ChunkResult = Vec<Vec<(Label, P)>>;
+            let out: Mutex<Vec<(usize, ChunkResult)>> = Mutex::new(Vec::with_capacity(threads));
+            std::thread::scope(|s| {
+                for (ci, ids) in frontier.chunks(chunk).enumerate() {
+                    let out = &out;
+                    let contention = &contention;
+                    let states = &states[..];
+                    s.spawn(move || {
+                        let local: ChunkResult = ids
+                            .iter()
+                            .map(|&id| prioritized_steps(env, &states[id as usize]))
+                            .collect();
+                        let mut guard = match out.try_lock() {
+                            Ok(guard) => guard,
+                            Err(TryLockError::WouldBlock) => {
+                                contention.fetch_add(1, Ordering::Relaxed);
+                                out.lock().expect("seedline lock poisoned")
+                            }
+                            Err(TryLockError::Poisoned(_)) => panic!("seedline lock poisoned"),
+                        };
+                        guard.push((ci, local));
+                    });
+                }
+            });
+            let mut chunks = out.into_inner().expect("seedline lock poisoned");
+            chunks.sort_unstable_by_key(|(ci, _)| *ci);
+            chunks.into_iter().flat_map(|(_, v)| v).collect()
+        } else {
+            frontier
+                .iter()
+                .map(|&id| prioritized_steps(env, &states[id as usize]))
+                .collect()
+        };
+
+        let mut next: Vec<u32> = Vec::new();
+        for succs in expanded {
+            if succs.is_empty() {
+                stats.deadlocks += 1;
+            }
+            for (_label, p) in succs {
+                stats.transitions += 1;
+                if interner.contains_key(&p) {
+                    continue;
+                }
+                let id = states.len() as u32;
+                interner.insert(p.clone(), id);
+                states.push(p);
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+    stats.states = states.len();
+    stats.lock_contention = contention.into_inner();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::prelude::*;
+
+    #[test]
+    fn seedline_agrees_with_the_real_engine() {
+        let mut env = Env::new();
+        let d = env.declare("C", 1);
+        env.set_body(
+            d,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(12)),
+                    act(
+                        [(Res::new("cpu"), 1)],
+                        invoke(d, [Expr::p(0).add(Expr::c(1))]),
+                    ),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(12)), nil()),
+            ]),
+        );
+        let p = invoke(d, [Expr::c(0)]);
+        let real = versa::explore(&env, &p, &versa::Options::default());
+        for threads in [1, 4] {
+            let seed = explore_seedline(&env, &p, threads);
+            assert_eq!(seed.states, real.num_states());
+            assert_eq!(seed.transitions, real.stats.transitions);
+            assert_eq!(seed.deadlocks, real.deadlocks.len());
+        }
+    }
+}

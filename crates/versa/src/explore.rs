@@ -5,18 +5,26 @@
 //! counterexample — the most readable failing scenario to raise back to the
 //! AADL level.
 //!
-//! With [`Options::threads`] > 1 the expansion of each BFS level fans out over
-//! worker threads (successor computation — term manipulation and the Par3
-//! product — dominates the cost); interning the discovered states stays
-//! sequential and in frontier order, so exploration results are deterministic
-//! and identical to the sequential engine.
+//! With [`Options::threads`] > 1 each BFS level runs an *expand-and-intern
+//! pipeline*: worker threads compute prioritized successors **and** probe the
+//! visited set concurrently — the set is distributed over power-of-two
+//! [`Mutex`] shards keyed by bits of each term's cached structural digest
+//! (see [`acsr::hashed::HashedP`]), so workers dedup their own discoveries
+//! instead of funnelling every raw term through a single-threaded interner.
+//! Only the *id assignment* of genuinely new states happens on the
+//! coordinating thread, at a deterministic merge that walks the per-worker
+//! output buffers in frontier order. Ids therefore come out in exactly the
+//! order the sequential engine would produce, making parallel and sequential
+//! exploration results identical — state tables, deadlock sets, statistics
+//! and shortest-counterexample traces.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
-use acsr::{prioritized_steps, Env, Label, P};
+use acsr::{prioritized_steps, Env, HashedP, Label, P};
 
 use crate::lts::Lts;
 use crate::trace::Trace;
@@ -78,6 +86,11 @@ pub struct Options {
     pub collect_lts: bool,
     /// Worker threads for frontier expansion; `0` or `1` means sequential.
     pub threads: usize,
+    /// Visited-set shards (rounded up to a power of two). `0` means auto:
+    /// the next power of two ≥ `threads`. More shards reduce intern-time
+    /// lock contention between workers; the shard count never affects
+    /// exploration results, only concurrency.
+    pub shards: usize,
     /// Observability recorder. Disabled by default — every instrument the
     /// exploration touches is then an inert handle, so the instrumented hot
     /// path costs nothing observable (see `crates/obs`). Enable it (and
@@ -93,6 +106,7 @@ impl Default for Options {
             stop_at_first_deadlock: false,
             collect_lts: false,
             threads: 1,
+            shards: 0,
             obs: obs::Recorder::disabled(),
         }
     }
@@ -122,6 +136,19 @@ impl Options {
     /// ```
     pub fn with_threads(mut self, threads: usize) -> Options {
         self.threads = threads;
+        self
+    }
+
+    /// Set the visited-set shard count (`0` = auto, values round up to a
+    /// power of two).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(versa::Options::default().with_shards(6).shards, 6);
+    /// ```
+    pub fn with_shards(mut self, shards: usize) -> Options {
+        self.shards = shards;
         self
     }
 
@@ -427,11 +454,184 @@ impl Exploration {
 /// assert_eq!(ex.first_deadlock_trace().unwrap().len(), 1);
 /// ```
 pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
+    explore_with_id_limit(env, initial, opts, ID_LIMIT)
+}
+
+/// State ids are dense `u32`s; a run that would intern more states than this
+/// is truncated gracefully (never a panic — [`Exploration::truncated`] is
+/// set, which the CLI reports as verdict "unknown", exit code 3).
+const ID_LIMIT: usize = u32::MAX as usize;
+
+/// A visited-set entry.
+#[derive(Copy, Clone, Debug)]
+enum Slot {
+    /// Interned with its final id (a previous level, or already merged).
+    Final(StateId),
+    /// Claimed during the current level's expansion by `(worker, slot)`;
+    /// the id is assigned at the deterministic merge.
+    Pending { worker: u32, slot: u32 },
+}
+
+/// The concurrent visited set: `HashedP → Slot` distributed over
+/// power-of-two `Mutex` shards selected by the low bits of each term's
+/// cached structural digest. Workers intern concurrently, contending only
+/// when two digests land in the same shard at the same moment.
+struct Visited {
+    shards: Vec<Mutex<HashMap<HashedP, Slot>>>,
+    mask: u64,
+}
+
+impl Visited {
+    fn new(shards: usize) -> Visited {
+        let n = shards.max(1).next_power_of_two();
+        Visited {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<HashMap<HashedP, Slot>> {
+        &self.shards[(digest & self.mask) as usize]
+    }
+
+    /// The worker-side intern probe: an existing entry is returned; a vacant
+    /// one is claimed as [`Slot::Pending`] for `(worker, slot)` and `None`
+    /// comes back. `contended` is a lock-wait proxy: one tick per `try_lock`
+    /// that would have blocked.
+    fn probe_or_pend(
+        &self,
+        hp: &HashedP,
+        worker: u32,
+        slot: u32,
+        contended: &obs::Counter,
+    ) -> Option<Slot> {
+        let shard = self.shard(hp.digest());
+        let mut guard = match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                contended.inc();
+                shard.lock().expect("visited shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("visited shard poisoned"),
+        };
+        match guard.entry(hp.clone()) {
+            Entry::Occupied(e) => Some(*e.get()),
+            Entry::Vacant(v) => {
+                v.insert(Slot::Pending { worker, slot });
+                None
+            }
+        }
+    }
+
+    /// The merge-side finalization: overwrite a [`Slot::Pending`] claim with
+    /// its deterministically assigned id. O(1): the probe reuses the cached
+    /// digest and hits the `Arc` pointer-equality fast path of [`HashedP`].
+    fn finalize(&self, hp: &HashedP, id: StateId) {
+        let mut guard = self
+            .shard(hp.digest())
+            .lock()
+            .expect("visited shard poisoned");
+        *guard.get_mut(hp).expect("pending entry present") = Slot::Final(id);
+    }
+
+    /// Per-shard entry counts (for the occupancy histogram).
+    fn occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("visited shard poisoned").len())
+            .collect()
+    }
+}
+
+/// A probed successor, as recorded by an expansion worker.
+#[derive(Copy, Clone, Debug)]
+enum Target {
+    /// Already interned before this level started.
+    Known(StateId),
+    /// First discovered during this level; the term lives in the claiming
+    /// worker's `fresh` buffer and gets its id at the merge.
+    New { worker: u32, slot: u32 },
+}
+
+/// One worker's share of an expand-and-intern level: successor lists aligned
+/// with its chunk of the frontier, every target already probed against the
+/// visited set, plus the terms this worker claimed first.
+struct WorkerOut {
+    succs: Vec<Vec<(Label, Target)>>,
+    fresh: Vec<HashedP>,
+}
+
+/// Expand `ids` (a frontier chunk, in frontier order) and intern every
+/// successor against the sharded visited set. Runs on worker threads in
+/// parallel mode and inline (as worker 0) in sequential mode — one code
+/// path, so the engines cannot drift apart.
+fn expand_chunk(
+    env: &Env,
+    states: &[P],
+    ids: &[StateId],
+    visited: &Visited,
+    worker: u32,
+    shard_contended: &obs::Counter,
+) -> WorkerOut {
+    let mut fresh: Vec<HashedP> = Vec::new();
+    let succs = ids
+        .iter()
+        .map(|id| {
+            prioritized_steps(env, &states[id.index()])
+                .into_iter()
+                .map(|(label, p)| {
+                    let hp = HashedP::new(p);
+                    let slot = fresh.len() as u32;
+                    let target = match visited.probe_or_pend(&hp, worker, slot, shard_contended) {
+                        Some(Slot::Final(sid)) => Target::Known(sid),
+                        Some(Slot::Pending { worker, slot }) => Target::New { worker, slot },
+                        None => {
+                            fresh.push(hp);
+                            Target::New { worker, slot }
+                        }
+                    };
+                    (label, target)
+                })
+                .collect()
+        })
+        .collect();
+    WorkerOut { succs, fresh }
+}
+
+/// The engine behind [`explore`], with the id-space ceiling as a parameter
+/// so tests can exercise the graceful-truncation path without interning
+/// four billion states.
+fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize) -> Exploration {
     let start = Instant::now();
+    let id_limit = id_limit.max(1).min(ID_LIMIT);
     let run_span = opts.obs.span("explore");
     let dedup_counter = opts.obs.counter("explore.dedup_hits");
     let states_gauge = opts.obs.gauge("explore.states");
-    let mut interner: HashMap<P, StateId> = HashMap::new();
+    let threads = opts.threads.max(1);
+    let visited = Visited::new(if opts.shards == 0 { threads } else { opts.shards });
+
+    // Parallel-only instruments, registered once per run (not once per
+    // level): the contention counters are inherently racy, so sequential
+    // runs never carry them and stay byte-deterministic.
+    let inert = obs::Counter::default();
+    let (worker_expanded, out_contended, shard_contended, chunk_hist) = if threads > 1 {
+        (
+            (0..threads)
+                .map(|ci| opts.obs.counter(&format!("explore.worker.{ci}.expanded")))
+                .collect::<Vec<_>>(),
+            opts.obs.counter("explore.lock_contention"),
+            opts.obs.counter("explore.shard_contention"),
+            opts.obs.histogram("explore.worker_chunk"),
+        )
+    } else {
+        (
+            Vec::new(),
+            obs::Counter::default(),
+            obs::Counter::default(),
+            obs::Histogram::default(),
+        )
+    };
+
     let mut states: Vec<P> = Vec::new();
     let mut parents: Vec<Option<(StateId, Label)>> = Vec::new();
     let mut deadlocks: Vec<StateId> = Vec::new();
@@ -439,32 +639,17 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
     let mut stats = Stats::default();
     let mut truncated = false;
 
-    let intern = |p: P,
-                      parent: Option<(StateId, Label)>,
-                      interner: &mut HashMap<P, StateId>,
-                      states: &mut Vec<P>,
-                      parents: &mut Vec<Option<(StateId, Label)>>|
-     -> (StateId, bool) {
-        if let Some(&id) = interner.get(&p) {
-            return (id, false);
-        }
-        let id = StateId(u32::try_from(states.len()).expect("state id overflow"));
-        interner.insert(p.clone(), id);
-        states.push(p);
-        parents.push(parent);
-        (id, true)
-    };
+    let root = StateId(0);
+    let root_hp = HashedP::new(initial.clone());
+    visited
+        .shard(root_hp.digest())
+        .lock()
+        .expect("visited shard poisoned")
+        .insert(root_hp.clone(), Slot::Final(root));
+    states.push(root_hp.into_term());
+    parents.push(None);
 
-    let (root, _) = intern(
-        initial.clone(),
-        None,
-        &mut interner,
-        &mut states,
-        &mut parents,
-    );
     let mut frontier: Vec<StateId> = vec![root];
-    let threads = opts.threads.max(1);
-
     while !frontier.is_empty() {
         stats.levels += 1;
         stats.peak_frontier = stats.peak_frontier.max(frontier.len());
@@ -474,56 +659,112 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
         let mut level_transitions = 0usize;
         let mut stop = false;
 
-        // Expand the whole level: successor lists in frontier order. Spawning
-        // workers only pays off on wide frontiers; narrow levels (including
-        // the common startup ramp) run sequentially.
-        let expanded: Vec<Vec<(Label, P)>> = if threads > 1 && frontier.len() >= 4 * threads {
-            expand_parallel(env, &states, &frontier, threads, &opts.obs)
+        // Phase 1 — expand-and-intern. Workers compute prioritized
+        // successors and probe/claim the sharded visited set concurrently;
+        // only wide frontiers pay for spawning (narrow levels, including the
+        // startup ramp, run inline through the same chunk code).
+        let outs: Vec<WorkerOut> = if threads > 1 && frontier.len() >= 4 * threads {
+            let chunk = frontier.len().div_ceil(threads);
+            let collected: Mutex<Vec<(usize, WorkerOut)>> = Mutex::new(Vec::with_capacity(threads));
+            std::thread::scope(|s| {
+                for (ci, ids) in frontier.chunks(chunk).enumerate() {
+                    let collected = &collected;
+                    let visited = &visited;
+                    let states = &states[..];
+                    let out_contended = &out_contended;
+                    let shard_contended = &shard_contended;
+                    let expanded = worker_expanded[ci].clone();
+                    chunk_hist.observe(ids.len() as u64);
+                    s.spawn(move || {
+                        let out = expand_chunk(env, states, ids, visited, ci as u32, shard_contended);
+                        expanded.add(out.succs.len() as u64);
+                        let mut guard = match collected.try_lock() {
+                            Ok(guard) => guard,
+                            Err(TryLockError::WouldBlock) => {
+                                out_contended.inc();
+                                collected.lock().expect("expansion lock poisoned")
+                            }
+                            Err(TryLockError::Poisoned(_)) => panic!("expansion lock poisoned"),
+                        };
+                        guard.push((ci, out));
+                    });
+                }
+            });
+            let mut chunks = collected.into_inner().expect("expansion lock poisoned");
+            chunks.sort_unstable_by_key(|(ci, _)| *ci);
+            chunks.into_iter().map(|(_, out)| out).collect()
         } else {
-            frontier
-                .iter()
-                .map(|id| prioritized_steps(env, &states[id.index()]))
-                .collect()
+            vec![expand_chunk(env, &states, &frontier, &visited, 0, &inert)]
         };
 
+        // Phase 2 — deterministic merge, in frontier order across the chunk
+        // boundaries. Fresh states get their ids *here*, in exactly the
+        // order the sequential engine would assign them; which worker won
+        // the concurrent claim is invisible in the result.
+        let mut remap: Vec<Vec<Option<StateId>>> =
+            outs.iter().map(|out| vec![None; out.fresh.len()]).collect();
         let mut next: Vec<StateId> = Vec::new();
-        for (&id, succs) in frontier.iter().zip(&expanded) {
-            if succs.is_empty() {
-                deadlocks.push(id);
-                stats.deadlocks += 1;
-                if opts.stop_at_first_deadlock {
+        let mut fi = 0usize;
+        'level: for out in &outs {
+            for succs in &out.succs {
+                let id = frontier[fi];
+                fi += 1;
+                if succs.is_empty() {
+                    deadlocks.push(id);
+                    stats.deadlocks += 1;
+                    if opts.stop_at_first_deadlock {
+                        stop = true;
+                        break 'level;
+                    }
+                }
+                if opts.collect_lts && lts_transitions.len() <= id.index() {
+                    lts_transitions.resize(id.index() + 1, Vec::new());
+                }
+                for (label, target) in succs {
+                    stats.transitions += 1;
+                    level_transitions += 1;
+                    let (sid, fresh) = match *target {
+                        Target::Known(sid) => (sid, false),
+                        Target::New { worker, slot } => {
+                            let (w, sl) = (worker as usize, slot as usize);
+                            match remap[w][sl] {
+                                Some(sid) => (sid, false),
+                                None => {
+                                    if states.len() >= id_limit {
+                                        // Id space exhausted: stop interning
+                                        // and report a truncated (verdict
+                                        // "unknown") run instead of dying.
+                                        truncated = true;
+                                        stop = true;
+                                        break 'level;
+                                    }
+                                    let sid = StateId(states.len() as u32);
+                                    remap[w][sl] = Some(sid);
+                                    let hp = &outs[w].fresh[sl];
+                                    visited.finalize(hp, sid);
+                                    states.push(hp.term().clone());
+                                    parents.push(Some((id, label.clone())));
+                                    next.push(sid);
+                                    (sid, true)
+                                }
+                            }
+                        }
+                    };
+                    if opts.collect_lts {
+                        lts_transitions[id.index()].push((label.clone(), sid));
+                    }
+                    if fresh {
+                        level_discovered += 1;
+                    } else {
+                        stats.dedup_hits += 1;
+                        level_deduped += 1;
+                    }
+                }
+                if states.len() >= opts.max_states {
+                    truncated = true;
                     stop = true;
-                    break;
+                    break 'level;
                 }
-            }
-            if opts.collect_lts && lts_transitions.len() <= id.index() {
-                lts_transitions.resize(id.index() + 1, Vec::new());
-            }
-            for (label, succ) in succs {
-                stats.transitions += 1;
-                level_transitions += 1;
-                let (sid, fresh) = intern(
-                    succ.clone(),
-                    Some((id, label.clone())),
-                    &mut interner,
-                    &mut states,
-                    &mut parents,
-                );
-                if opts.collect_lts {
-                    lts_transitions[id.index()].push((label.clone(), sid));
-                }
-                if fresh {
-                    level_discovered += 1;
-                    next.push(sid);
-                } else {
-                    stats.dedup_hits += 1;
-                    level_deduped += 1;
-                }
-            }
-            if states.len() >= opts.max_states {
-                truncated = true;
-                stop = true;
-                break;
             }
         }
 
@@ -555,6 +796,13 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
     run_span.set("peak_frontier", stats.peak_frontier as i64);
     run_span.set("deadlocks", stats.deadlocks as i64);
     run_span.set("truncated", i64::from(truncated));
+    run_span.set("shards", visited.shards.len() as i64);
+    if opts.obs.is_enabled() {
+        let occupancy = opts.obs.histogram("explore.shard_occupancy");
+        for entries in visited.occupancy() {
+            occupancy.observe(entries as u64);
+        }
+    }
     run_span.end();
     let lts = opts.collect_lts.then(|| {
         lts_transitions.resize(states.len(), Vec::new());
@@ -571,55 +819,6 @@ pub fn explore(env: &Env, initial: &P, opts: &Options) -> Exploration {
         stats,
         truncated,
     }
-}
-
-/// Expand one BFS level in parallel: chunk the frontier over `threads`
-/// scoped `std::thread` workers; each computes the prioritized successors of
-/// its chunk. The output preserves frontier order, making the parallel
-/// engine's results identical to the sequential one. A panicking worker
-/// propagates when the scope joins.
-fn expand_parallel(
-    env: &Env,
-    states: &[P],
-    frontier: &[StateId],
-    threads: usize,
-    obs: &obs::Recorder,
-) -> Vec<Vec<(Label, P)>> {
-    let chunk = frontier.len().div_ceil(threads);
-    // The contention counter is a lock-wait proxy: each increment is one
-    // `try_lock` that would have blocked. Registered here (not in `explore`)
-    // so sequential runs never carry the inherently racy metric.
-    let contended = obs.counter("explore.lock_contention");
-    let chunk_hist = obs.histogram("explore.worker_chunk");
-    type ChunkResult = Vec<Vec<(Label, P)>>;
-    let out: Mutex<Vec<(usize, ChunkResult)>> = Mutex::new(Vec::with_capacity(threads));
-    std::thread::scope(|s| {
-        for (ci, ids) in frontier.chunks(chunk).enumerate() {
-            let out = &out;
-            let contended = &contended;
-            let expanded = obs.counter(&format!("explore.worker.{ci}.expanded"));
-            chunk_hist.observe(ids.len() as u64);
-            s.spawn(move || {
-                let local: Vec<Vec<(Label, P)>> = ids
-                    .iter()
-                    .map(|id| prioritized_steps(env, &states[id.index()]))
-                    .collect();
-                expanded.add(local.len() as u64);
-                let mut guard = match out.try_lock() {
-                    Ok(guard) => guard,
-                    Err(TryLockError::WouldBlock) => {
-                        contended.inc();
-                        out.lock().expect("expansion lock poisoned")
-                    }
-                    Err(TryLockError::Poisoned(_)) => panic!("expansion lock poisoned"),
-                };
-                guard.push((ci, local));
-            });
-        }
-    });
-    let mut chunks = out.into_inner().expect("expansion lock poisoned");
-    chunks.sort_unstable_by_key(|(ci, _)| *ci);
-    chunks.into_iter().flat_map(|(_, v)| v).collect()
 }
 
 /// Convenience: explore and return whether the model is deadlock-free
@@ -859,6 +1058,67 @@ mod tests {
             .gauges
             .iter()
             .any(|(k, value, peak)| k == "explore.states" && *value == 1 && *peak == 1));
+    }
+
+    #[test]
+    fn id_space_exhaustion_truncates_instead_of_panicking() {
+        let mut env = Env::new();
+        // Counter that never repeats a state: C(n) = {(cpu,1)}:C(n+1).
+        let d = env.declare("Counter", 1);
+        env.set_body(
+            d,
+            act([(cpu(), 1)], invoke(d, [Expr::p(0).add(Expr::c(1))])),
+        );
+        let p = invoke(d, [Expr::c(0)]);
+        // Shrink the id space to 3 (instead of u32::MAX) so the overflow
+        // path runs in a test-sized exploration.
+        let ex = explore_with_id_limit(&env, &p, &Options::default(), 3);
+        assert!(ex.truncated);
+        assert_eq!(ex.num_states(), 3);
+        assert!(!ex.deadlock_free()); // truncated ⇒ unknown, never "free"
+        assert!(ex.deadlocks.is_empty());
+        // The interned prefix is still a valid BFS prefix.
+        assert_eq!(ex.depth_of(StateId(2)), 2);
+    }
+
+    #[test]
+    fn shard_count_never_affects_results() {
+        let mut env = Env::new();
+        let c1 = env.declare("W", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(20)),
+                    choice([
+                        act([(cpu(), 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                        act([(Res::new("bus"), 1)], invoke(c1, [Expr::p(0).add(Expr::c(2))])),
+                    ]),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(20)), nil()),
+                guard(BExpr::eq(Expr::p(0), Expr::c(21)), nil()),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let base = explore(&env, &p, &Options::default());
+        for (threads, shards) in [(1, 1), (4, 1), (4, 16), (8, 2), (3, 5)] {
+            let ex = explore(
+                &env,
+                &p,
+                &Options::default().with_threads(threads).with_shards(shards),
+            );
+            assert_eq!(ex.num_states(), base.num_states());
+            assert_eq!(ex.deadlocks, base.deadlocks);
+            assert_eq!(ex.stats.dedup_hits, base.stats.dedup_hits);
+            assert_eq!(ex.stats.transitions, base.stats.transitions);
+            for i in 0..base.num_states() {
+                assert_eq!(ex.state(StateId(i as u32)), base.state(StateId(i as u32)));
+            }
+            assert_eq!(
+                ex.first_deadlock_trace().map(|t| t.len()),
+                base.first_deadlock_trace().map(|t| t.len())
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   --exhaustive      explore the full state space (default: stop at the
 //!                     first deadlock)
 //!   --threads <n>     parallel frontier expansion with n workers
+//!   --shards <n>      visited-set shards (default: auto = next power of two
+//!                     ≥ threads; never affects results, only contention)
 //!   --max-states <n>  state budget (verdict becomes "unknown" if exceeded)
 //!   --tree            print the instance tree with bindings and timing
 //!   --acsr            print the generated ACSR process definitions
@@ -53,6 +55,7 @@ struct Args {
     compact: bool,
     exhaustive: bool,
     threads: usize,
+    shards: usize,
     max_states: Option<usize>,
     print_acsr: bool,
     print_tree: bool,
@@ -66,7 +69,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: aadlsched <model.aadl> [RootSystem.impl] \
          [--quantum <ms>] [--protocol <none|pip|pcp>] [--compact] \
-         [--exhaustive] [--threads <n>] \
+         [--exhaustive] [--threads <n>] [--shards <n>] \
          [--max-states <n>] [--tree] [--acsr] [--dot <file>] \
          [--metrics <file>] [--trace-events <file>] [--progress]\n\
          (omit RootSystem.impl to analyze the package's top-level system \
@@ -90,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         compact: false,
         exhaustive: false,
         threads: 1,
+        shards: 0,
         max_states: None,
         print_acsr: false,
         print_tree: false,
@@ -122,6 +126,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--threads needs a value")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--shards" => {
+                args.shards = raw
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
             }
             "--max-states" => {
                 args.max_states = Some(
@@ -322,6 +333,7 @@ fn main() -> ExitCode {
         AnalysisOptions::default()
     };
     aopts.explore.threads = args.threads;
+    aopts.explore.shards = args.shards;
     if let Some(max) = args.max_states {
         aopts.explore.max_states = max;
     }
@@ -364,8 +376,9 @@ fn main() -> ExitCode {
             // option string — never the wall clock, so identical invocations
             // produce identical ids.
             let canon_opts = format!(
-                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};max_states={:?}",
-                args.quantum_ms, args.compact, args.exhaustive, args.threads, args.max_states
+                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?}",
+                args.quantum_ms, args.compact, args.exhaustive, args.threads, args.shards,
+                args.max_states
             );
             let run_id = obs::run_id(&[source.as_bytes(), canon_opts.as_bytes()]);
             let mut report = obs::Report::new(&run_id, "aadlsched");

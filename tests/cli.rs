@@ -236,6 +236,43 @@ fn exit_codes_cover_all_outcomes() {
 }
 
 #[test]
+fn shards_flag_never_changes_the_outcome() {
+    // The visited-set shard count is a concurrency knob: any value must
+    // yield the same verdict and the same exploration statistics line.
+    let bad = write_model("shards_bad.aadl", BAD_MODEL);
+    let path = bad.to_str().unwrap();
+    let base = aadlsched(&[path, "Top.impl", "--exhaustive"]);
+    assert_eq!(base.status.code(), Some(1));
+    let base_line = String::from_utf8_lossy(&base.stdout)
+        .lines()
+        .find(|l| l.starts_with("exploration:"))
+        .unwrap()
+        .split(" in ") // strip the wall-clock tail
+        .next()
+        .unwrap()
+        .to_string();
+    for extra in [
+        &["--threads", "4", "--shards", "1"][..],
+        &["--threads", "4", "--shards", "16"][..],
+        &["--threads", "8"][..], // auto shards
+    ] {
+        let mut args = vec![path, "Top.impl", "--exhaustive"];
+        args.extend_from_slice(extra);
+        let out = aadlsched(&args);
+        assert_eq!(out.status.code(), Some(1), "{extra:?}");
+        let line = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("exploration:"))
+            .unwrap()
+            .split(" in ")
+            .next()
+            .unwrap()
+            .to_string();
+        assert_eq!(line, base_line, "{extra:?}");
+    }
+}
+
+#[test]
 fn metrics_flag_writes_a_schema_versioned_report() {
     let path = write_model("metrics.aadl", OK_MODEL);
     let report_path = std::env::temp_dir().join("aadlsched_cli_tests/metrics.json");

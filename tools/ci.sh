@@ -5,7 +5,10 @@
 #   2. the pinned-timeline gates: the golden diagnose trace and the
 #      concurrency-control inversion timeline, named explicitly so a drift
 #      in either renders as its own CI line, not a needle in the full suite
-#   3. the bench harness in smoke mode (cheap subset; also refreshes
+#   3. the bench harness in smoke mode, twice — at 1 and at 4 exploration
+#      workers — with a diff over the verdict lines: the engine is
+#      deterministic in the thread count, so any difference is a regression
+#      in the parallel dedup path (the run also refreshes
 #      BENCH_exploration.json, which is committed)
 #   4. the hermetic-build audit (path-only deps, pinned dependency graph,
 #      obs dependency-free, `cargo doc` with warnings denied — see
@@ -29,8 +32,19 @@ cargo test -q
 echo "== golden timelines: diagnose + inversion =="
 cargo test -q --test golden_diagnose --test inversion
 
-echo "== bench harness (smoke) =="
-cargo run --release -q -p bench --bin harness -- --smoke
+echo "== bench harness (smoke) at 1 and 4 workers: verdicts must agree =="
+mkdir -p target/ci
+# Verdict lines only, wall-clock fields stripped: everything else must be
+# byte-identical between a sequential and a parallel run.
+extract_verdicts() {
+  grep -E "schedulable|VERDICT" | sed -E 's/ time=[^ ]*//'
+}
+cargo run --release -q -p bench --bin harness -- --smoke --threads 1 \
+  | extract_verdicts > target/ci/verdicts-t1.txt
+cargo run --release -q -p bench --bin harness -- --smoke --threads 4 \
+  | extract_verdicts > target/ci/verdicts-t4.txt
+diff -u target/ci/verdicts-t1.txt target/ci/verdicts-t4.txt
+echo "verdicts identical across worker counts"
 
 echo "== hermetic audit =="
 tools/check_hermetic.sh
