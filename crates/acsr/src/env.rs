@@ -61,6 +61,12 @@ pub struct Env {
     by_name: HashMap<Symbol, DefId>,
     tags: Vec<String>,
     tag_ids: HashMap<String, TagId>,
+    /// Bumped whenever the *transition semantics* of the environment can
+    /// change (a definition is declared or its body set). Successor caches
+    /// key on this so a mutated environment silently invalidates them. Tag
+    /// interning does **not** bump the epoch: tags only add display text,
+    /// they never alter which steps a term can take.
+    epoch: u64,
 }
 
 /// Errors raised when instantiating a definition.
@@ -130,12 +136,37 @@ impl Env {
             body: None,
         });
         self.by_name.insert(sym, id);
+        self.epoch += 1;
         id
     }
 
     /// Set (or replace) the body of a declared definition.
     pub fn set_body(&mut self, id: DefId, body: P) {
         self.defs[id.0 as usize].body = Some(body);
+        self.epoch += 1;
+    }
+
+    /// The environment's modification epoch: increases on every [`declare`]
+    /// / [`set_body`] (any change that can alter the transition relation).
+    /// Memoized successor caches key on it — see
+    /// [`StepSession`](crate::step::StepSession).
+    ///
+    /// [`declare`]: Env::declare
+    /// [`set_body`]: Env::set_body
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    ///
+    /// let mut env = Env::new();
+    /// let before = env.epoch();
+    /// let d = env.declare("P", 0);
+    /// env.set_body(d, nil());
+    /// assert!(env.epoch() > before);
+    /// ```
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Declare a definition and set its body in one step.

@@ -129,6 +129,27 @@ impl HashedP {
         }
     }
 
+    /// Wrap `term` with a *caller-supplied* digest instead of the structural
+    /// one — a **testing** hook for forcing digest collisions. Two `HashedP`s
+    /// built with the same forced digest but different structures must still
+    /// compare unequal (equality falls through to the deep comparison);
+    /// property tests pin exactly that.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use acsr::hashed::HashedP;
+    ///
+    /// let a = HashedP::with_digest(act([(Res::new("cpu"), 1)], nil()), 42);
+    /// let b = HashedP::with_digest(act([(Res::new("cpu"), 2)], nil()), 42);
+    /// assert_eq!(a.digest(), b.digest());
+    /// assert_ne!(a, b); // deep comparison still tells them apart
+    /// ```
+    pub fn with_digest(term: P, digest: u64) -> HashedP {
+        HashedP { hash: digest, term }
+    }
+
     /// The cached structural digest.
     pub fn digest(&self) -> u64 {
         self.hash

@@ -30,8 +30,9 @@
 //! | [`term`]   | the process term language (prefix, choice, parallel, scope, restriction, closure, recursion) |
 //! | [`mod@env`] | process definitions, parameterized recursion, provenance tags |
 //! | [`hashed`] | hash-cached terms ([`HashedP`]) for O(1) visited-set probes |
+//! | [`store`]  | the hash-consed term store ([`TermStore`]): one canonical `Arc` and one [`TermId`] per structure |
 //! | [`label`]  | ground transition labels |
-//! | [`step`]   | the unprioritized operational semantics |
+//! | [`step`]   | the unprioritized operational semantics, plain ([`steps`]) and interned + memoized ([`StepSession`]) |
 //! | [`prio`]   | the preemption relation and the prioritized transition relation |
 //! | [`pretty`] | display of terms and labels in VERSA-like notation |
 //!
@@ -66,6 +67,7 @@ pub mod label;
 pub mod pretty;
 pub mod prio;
 pub mod step;
+pub mod store;
 pub mod symbol;
 pub mod term;
 
@@ -73,8 +75,9 @@ pub use env::{DefId, Env, ProcDef, TagId};
 pub use expr::{BExpr, EvalError, Expr};
 pub use hashed::{structural_hash, HashedP};
 pub use label::{Dir, GAction, Label};
-pub use prio::{preempts, prioritized_steps};
-pub use step::steps;
+pub use prio::{preempts, prioritize, prioritized_steps};
+pub use step::{steps, MemoConfig, MemoStats, StepSession};
+pub use store::{Interned, TermId, TermStore};
 pub use symbol::{Res, Symbol};
 pub use term::{
     act, act_tagged, choice, close, evt_recv, evt_send, guard, invoke, nil, par, restrict, scope,

@@ -80,7 +80,14 @@ fn action_preempts(a1: &GAction, a2: &GAction) -> bool {
 
 /// Remove preempted transitions: keep a step iff no other available step's
 /// label preempts its label.
-pub fn prioritize(steps: Vec<(Label, P)>) -> Vec<(Label, P)> {
+///
+/// Generic in the successor representation `T` — the decision depends only on
+/// the labels, so the same preemption filter serves the plain [`P`]-successor
+/// path and the interned
+/// [`StepSession`](crate::step::StepSession) path (whose successors are
+/// [`Interned`](crate::store::Interned)), guaranteeing the two engines
+/// prioritize identically.
+pub fn prioritize<T>(steps: Vec<(Label, T)>) -> Vec<(Label, T)> {
     let keep: Vec<bool> = steps
         .iter()
         .map(|(l, _)| !steps.iter().any(|(l2, _)| preempts(l, l2)))

@@ -14,6 +14,10 @@
 //! harness runs (the Q8 sweep ignores it — it sweeps its own grid). The
 //! engine is deterministic in the thread count, so CI runs the smoke subset
 //! at 1 and 4 workers and diffs the verdict lines.
+//!
+//! `--no-memo` disables the successor memo for every analysis (the Q9 A/B
+//! sweeps its own memo grid). The memo is a pure cache, so CI also diffs the
+//! verdict lines of a `--no-memo` run against the default.
 
 use std::time::Instant;
 
@@ -35,7 +39,8 @@ fn main() {
         .find(|w| w[0] == "--threads")
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(1usize);
-    f1_cruise_control(threads);
+    let memo = !args.iter().any(|a| a == "--no-memo");
+    f1_cruise_control(threads, memo);
     if !smoke {
         q1_quantum_tradeoff();
         q2_verdict_agreement();
@@ -44,8 +49,9 @@ fn main() {
         q5_queue_overflow();
     }
     let scaling = q8_thread_scaling(smoke);
-    q6_exploration_report(threads, scaling);
-    q7_locking_protocols(threads);
+    let interning = q9_interning(smoke);
+    q6_exploration_report(threads, memo, scaling, interning);
+    q7_locking_protocols(threads, memo);
     if smoke {
         println!("\nharness: smoke mode (skipped Q1/Q2/Q2b/Q3/Q5 sweeps)");
     }
@@ -57,7 +63,7 @@ fn header(title: &str) {
     println!("================================================================");
 }
 
-fn f1_cruise_control(threads: usize) {
+fn f1_cruise_control(threads: usize, memo: bool) {
     header("F1 — cruise control (Fig. 1): inventory and verdicts");
     let m = cruise_control_model();
     let tm = translate(&m, &TranslateOptions::default()).unwrap();
@@ -67,6 +73,7 @@ fn f1_cruise_control(threads: usize) {
     );
     let mut exhaustive = AnalysisOptions::exhaustive();
     exhaustive.explore.threads = threads;
+    exhaustive.explore.memo = memo;
     let v = analyze(&m, &TranslateOptions::default(), &exhaustive).unwrap();
     println!(
         "nominal:    schedulable={} states={} transitions={} time={:?}",
@@ -75,6 +82,7 @@ fn f1_cruise_control(threads: usize) {
     let m = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
     let mut default = AnalysisOptions::default();
     default.explore.threads = threads;
+    default.explore.memo = memo;
     let v = analyze(&m, &TranslateOptions::default(), &default).unwrap();
     println!(
         "overloaded: schedulable={} first deadlock at quantum {} ({} states)",
@@ -374,10 +382,131 @@ fn q8_thread_scaling(smoke: bool) -> obs::Json {
     ])
 }
 
+/// The hash-consing A/B behind `EXPERIMENTS.md` Q9 and the `interning`
+/// section of `BENCH_exploration.json`. Four engines, all at **one** worker
+/// (the memo and the store are wins before any parallelism), on each model:
+///
+/// * **seed** — the pre-sharding [`bench::seedline`] engine (serial interner,
+///   deep re-hashing on every probe);
+/// * **hashed** — the pre-interning engine preserved as
+///   [`versa::explore_hashed`]: digest-cached keys, deep-compare fallback,
+///   successors re-derived on every expansion;
+/// * **interned** — the shipped engine with the successor memo disabled
+///   (isolates the term store's contribution);
+/// * **interned+memo** — the shipped default.
+///
+/// Same min-of-3-reps wall-clock policy as Q8. The interned rows carry the
+/// memo hit/miss/eviction counters and the store's unique-subterm count from
+/// [`versa::Stats`].
+fn q9_interning(smoke: bool) -> obs::Json {
+    header("Q9 — hash-consed store + successor memo: engine A/B at 1 worker");
+    let mut models: Vec<(String, aadl::instance::InstanceModel)> = vec![
+        ("cruise_control".into(), cruise_control_model()),
+        ("flight_control".into(), flight_control_model()),
+        (
+            "overloaded".into(),
+            instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap(),
+        ),
+    ];
+    let (cpus, spread) = if smoke { (5, 4) } else { (6, 4) };
+    models.push((format!("wide_system({cpus},{spread})"), wide_system(cpus, spread)));
+    let reps = 3u32;
+
+    let mut sections: Vec<obs::Json> = Vec::new();
+    for (name, m) in &models {
+        let tm = translate(m, &TranslateOptions::default()).unwrap();
+        println!("\n{name}:");
+        println!(
+            "{:>14} {:>8} {:>13} {:>10} {:>10} {:>7} {:>9}",
+            "engine", "states", "best time", "memo-hit", "memo-miss", "evict", "subterms"
+        );
+        let mut rows: Vec<obs::Json> = Vec::new();
+        let mut row = |engine: &str, states: usize, wall: std::time::Duration, stats: Option<&versa::Stats>| {
+            let (hits, misses, evictions, subterms) = stats
+                .map(|s| (s.memo_hits, s.memo_misses, s.memo_evictions, s.unique_subterms as u64))
+                .unwrap_or((0, 0, 0, 0));
+            let dash = |v: u64| if stats.is_some() { v.to_string() } else { "-".into() };
+            println!(
+                "{:>14} {:>8} {:>13?} {:>10} {:>10} {:>7} {:>9}",
+                engine, states, wall, dash(hits), dash(misses), dash(evictions), dash(subterms)
+            );
+            let mut fields = vec![
+                ("engine", obs::Json::from(engine)),
+                ("states", obs::Json::from(states)),
+                ("wall_ns", obs::Json::from(wall.as_nanos() as u64)),
+            ];
+            if stats.is_some() {
+                fields.push(("memo_hits", obs::Json::from(hits)));
+                fields.push(("memo_misses", obs::Json::from(misses)));
+                fields.push(("memo_evictions", obs::Json::from(evictions)));
+                fields.push(("unique_subterms", obs::Json::from(subterms)));
+            }
+            rows.push(obs::Json::obj(fields));
+        };
+
+        let mut best: Option<(std::time::Duration, usize)> = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let st = bench::seedline::explore_seedline(&tm.env, &tm.initial, 1);
+            let wall = t0.elapsed();
+            if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                best = Some((wall, st.states));
+            }
+        }
+        let (wall, states) = best.unwrap();
+        row("seed", states, wall, None);
+
+        let mut best: Option<(std::time::Duration, versa::Exploration)> = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let ex = versa::explore_hashed(&tm.env, &tm.initial, &versa::Options::default());
+            let wall = t0.elapsed();
+            if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                best = Some((wall, ex));
+            }
+        }
+        let (wall, ex) = best.unwrap();
+        row("hashed", ex.num_states(), wall, None);
+
+        for (engine, memo) in [("interned", false), ("interned+memo", true)] {
+            let mut best: Option<(std::time::Duration, versa::Exploration)> = None;
+            for _ in 0..reps {
+                // A fresh store per rep: reusing the translator's (or a prior
+                // rep's) store would hand later reps a pre-populated interner
+                // and flatter the steady state.
+                let opts = versa::Options::default().with_memo(memo);
+                let t0 = Instant::now();
+                let ex = versa::explore(&tm.env, &tm.initial, &opts);
+                let wall = t0.elapsed();
+                if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                    best = Some((wall, ex));
+                }
+            }
+            let (wall, ex) = best.unwrap();
+            row(engine, ex.num_states(), wall, Some(&ex.stats));
+        }
+
+        sections.push(obs::Json::obj([
+            ("model", obs::Json::from(name.as_str())),
+            ("rows", obs::Json::Arr(rows)),
+        ]));
+    }
+    println!(
+        "\n(seed = serial interner, deep re-hash per probe; hashed = digest keys, \
+         deep-compare fallback, no memo; interned = O(1) TermId keys; \
+         +memo = cached successor lists.)"
+    );
+    obs::Json::obj([
+        ("reps", obs::Json::from(reps as u64)),
+        ("policy", obs::Json::from("min_wall_of_reps")),
+        ("models", obs::Json::Arr(sections)),
+    ])
+}
+
 /// Instrumented exhaustive run of the cruise-control model, written as
 /// `BENCH_exploration.json` — the same `aadlsched-metrics` schema the CLI
 /// emits with `--metrics`, so the two are diffable with the same tooling.
-fn q6_exploration_report(threads: usize, scaling: obs::Json) {
+fn q6_exploration_report(threads: usize, memo: bool, scaling: obs::Json, interning: obs::Json) {
     header("Q6 — instrumented exploration report (BENCH_exploration.json)");
     let rec = obs::Recorder::enabled();
     let m = cruise_control_model();
@@ -387,11 +516,12 @@ fn q6_exploration_report(threads: usize, scaling: obs::Json) {
     };
     let mut aopts = AnalysisOptions::exhaustive();
     aopts.explore.threads = threads;
+    aopts.explore.memo = memo;
     aopts.explore.obs = rec.clone();
     let tm = translate(&m, &topts).unwrap();
     let v = aadl2acsr::analyze_translated(&m, &tm, &aopts);
 
-    let canon = format!("exhaustive;threads={threads}");
+    let canon = format!("exhaustive;threads={threads};memo={memo}");
     let run_id = obs::run_id(&[b"cruise_control", canon.as_bytes()]);
     let mut report = obs::Report::new(&run_id, "bench-harness");
     report.set(
@@ -421,6 +551,10 @@ fn q6_exploration_report(threads: usize, scaling: obs::Json) {
             ("peak_frontier", obs::Json::from(v.stats.peak_frontier)),
             ("dedup_hits", obs::Json::from(v.stats.dedup_hits)),
             ("deadlocks", obs::Json::from(v.stats.deadlocks)),
+            ("memo_hits", obs::Json::from(v.stats.memo_hits)),
+            ("memo_misses", obs::Json::from(v.stats.memo_misses)),
+            ("memo_evictions", obs::Json::from(v.stats.memo_evictions)),
+            ("unique_subterms", obs::Json::from(v.stats.unique_subterms)),
         ]),
     );
     report.set(
@@ -431,6 +565,7 @@ fn q6_exploration_report(threads: usize, scaling: obs::Json) {
         ]),
     );
     report.set("scaling", scaling);
+    report.set("interning", interning);
     report.attach_run(&rec.finish());
     match std::fs::write("BENCH_exploration.json", report.to_json()) {
         Ok(()) => println!("report written to BENCH_exploration.json (run_id {run_id})"),
@@ -441,7 +576,7 @@ fn q6_exploration_report(threads: usize, scaling: obs::Json) {
 
 /// The three concurrency-control protocols on the bundled priority-inversion
 /// model (§7 extension): verdict, miss quantum and state count per protocol.
-fn q7_locking_protocols(threads: usize) {
+fn q7_locking_protocols(threads: usize, memo: bool) {
     header("Q7 — concurrency control on the inversion model (§7 ext.)");
     let source = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -458,6 +593,7 @@ fn q7_locking_protocols(threads: usize) {
     ] {
         let mut aopts = AnalysisOptions::exhaustive();
         aopts.explore.threads = threads;
+        aopts.explore.memo = memo;
         let v = analyze(
             &m,
             &TranslateOptions {

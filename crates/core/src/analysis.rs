@@ -75,7 +75,11 @@ pub fn analyze_translated(
     opts: &AnalysisOptions,
 ) -> Verdict {
     let rec = &opts.explore.obs;
-    let ex = versa::explore(&tm.env, &tm.initial, &opts.explore);
+    // Share the translator's term store with the explorer: the initial term's
+    // subterms are already canonical, so re-interning them is pure reuse.
+    let mut eopts = opts.explore.clone();
+    eopts.store = Some(tm.store.clone());
+    let ex = versa::explore(&tm.env, &tm.initial, &eopts);
     let scenario = ex.first_deadlock_trace().map(|trace| {
         let raise_span = rec.span("diagnose.raise");
         let sc = raise(model, tm, &trace);

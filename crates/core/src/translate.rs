@@ -37,11 +37,12 @@ use aadl::instance::{CompId, InstanceModel};
 use aadl::model::Category;
 use aadl::properties::{DispatchProtocol, TimeVal};
 use acsr::{
-    act, choice, evt_send, invoke, par, restrict, scope, Env, Expr, Res, Symbol, TimeBound,
-    P,
+    act, choice, evt_send, invoke, par, restrict, scope, Env, Expr, Res, Symbol, TermStore,
+    TimeBound, P,
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::compute::ComputeSpec;
 use crate::dispatcher::{build_dispatcher, DispatcherKind};
@@ -149,8 +150,12 @@ pub struct Inventory {
 pub struct TranslatedModel {
     /// The ACSR definition environment.
     pub env: Env,
-    /// The composed, restricted initial term.
+    /// The composed, restricted initial term, canonicalized through `store`.
     pub initial: P,
+    /// The hash-consed term store seeded with the initial term. Analysis
+    /// passes it to the explorer so subterms shared between the initial term
+    /// and reachable states intern to the same [`acsr::TermId`]s.
+    pub store: Arc<TermStore>,
     /// The AADL ↔ ACSR name map for diagnostics.
     pub names: NameMap,
     /// The scheduling quantum in picoseconds.
@@ -556,6 +561,11 @@ pub fn translate(
     let initial = restrict(par(components), restricted);
     debug_assert!(env.check_complete().is_ok());
 
+    // Canonicalize the composed term so the explorer starts from a store
+    // already holding every subterm of the initial state.
+    let store = Arc::new(TermStore::new());
+    let initial = store.intern(&initial).into_term();
+
     if opts.obs.is_enabled() {
         let skel_sizes = opts.obs.histogram("translate.skeleton_size");
         let disp_sizes = opts.obs.histogram("translate.dispatcher_size");
@@ -585,6 +595,7 @@ pub fn translate(
     Ok(TranslatedModel {
         env,
         initial,
+        store,
         names: nm,
         quantum_ps,
         inventory,
@@ -628,6 +639,7 @@ impl fmt::Debug for TranslatedModel {
             .field("quantum_ps", &self.quantum_ps)
             .field("inventory", &self.inventory)
             .field("defs", &self.env.num_defs())
+            .field("unique_subterms", &self.store.len())
             .finish()
     }
 }

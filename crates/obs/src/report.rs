@@ -18,7 +18,11 @@ pub const SCHEMA: &str = "aadlsched-metrics";
 
 /// Version of the report schema. Bump when a field changes meaning or moves;
 /// consumers reject reports whose version they do not know.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v2 — the `exploration` section gained the hash-consing fields
+///   (`memo_hits`, `memo_misses`, `memo_evictions`, `unique_subterms`) and
+///   `BENCH_exploration.json` gained the `interning` A/B section.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Deterministic run identifier: FNV-1a (64-bit) over the given byte slices,
 /// rendered as 16 lowercase hex digits. Feed it the model source and the
@@ -59,7 +63,7 @@ pub fn run_id(parts: &[&[u8]]) -> String {
 /// r.set("model", Json::obj([("file", Json::from("m.aadl"))]));
 /// let text = r.to_json();
 /// assert!(text.starts_with("{\n  \"schema\": \"aadlsched-metrics\""));
-/// assert!(text.contains("\"version\": 1"));
+/// assert!(text.contains("\"version\": 2"));
 /// ```
 #[derive(Clone, Debug)]
 pub struct Report {

@@ -5,18 +5,25 @@
 //! counterexample — the most readable failing scenario to raise back to the
 //! AADL level.
 //!
+//! States live in a hash-consed [`TermStore`]: every term is interned to a
+//! [`TermId`] whose equality *is* structural equality, and successor lists
+//! are memoized per subterm by an [`StepSession`] (see [`acsr::store`] and
+//! [`acsr::step`]) — revisiting the skeleton states of a periodic task model
+//! costs a cache hit instead of a re-derivation.
+//!
 //! With [`Options::threads`] > 1 each BFS level runs an *expand-and-intern
 //! pipeline*: worker threads compute prioritized successors **and** probe the
 //! visited set concurrently — the set is distributed over power-of-two
-//! [`Mutex`] shards keyed by bits of each term's cached structural digest
-//! (see [`acsr::hashed::HashedP`]), so workers dedup their own discoveries
-//! instead of funnelling every raw term through a single-threaded interner.
+//! [`Mutex`] shards keyed by bits of each term's deterministic structural
+//! digest, so workers dedup their own discoveries instead of funnelling
+//! every raw term through a single-threaded interner.
 //! Only the *id assignment* of genuinely new states happens on the
 //! coordinating thread, at a deterministic merge that walks the per-worker
 //! output buffers in frontier order. Ids therefore come out in exactly the
 //! order the sequential engine would produce, making parallel and sequential
 //! exploration results identical — state tables, deadlock sets, statistics
-//! and shortest-counterexample traces.
+//! and shortest-counterexample traces. ([`TermId`] *values* may differ
+//! between racing runs; they never appear in results.)
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -24,7 +31,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
-use acsr::{prioritized_steps, Env, HashedP, Label, P};
+use acsr::{Env, Interned, Label, MemoConfig, StepSession, TermId, TermStore, P};
 
 use crate::lts::Lts;
 use crate::trace::Trace;
@@ -91,6 +98,17 @@ pub struct Options {
     /// lock contention between workers; the shard count never affects
     /// exploration results, only concurrency.
     pub shards: usize,
+    /// Memoize successor generation (see [`acsr::step::StepSession`]). On by
+    /// default; the `--no-memo` CLI flag clears it. The memo is a pure cache
+    /// — verdicts, state tables and traces are identical either way.
+    pub memo: bool,
+    /// Entry cap of the successor memo (FIFO eviction past it). The default
+    /// is [`MemoConfig::default`]'s capacity.
+    pub memo_capacity: usize,
+    /// Share a pre-populated term store (e.g. the one the AADL translation
+    /// interned the model through) instead of starting empty. `None` gives
+    /// the run a fresh private store.
+    pub store: Option<Arc<TermStore>>,
     /// Observability recorder. Disabled by default — every instrument the
     /// exploration touches is then an inert handle, so the instrumented hot
     /// path costs nothing observable (see `crates/obs`). Enable it (and
@@ -107,6 +125,9 @@ impl Default for Options {
             collect_lts: false,
             threads: 1,
             shards: 0,
+            memo: true,
+            memo_capacity: MemoConfig::default().capacity,
+            store: None,
             obs: obs::Recorder::disabled(),
         }
     }
@@ -164,6 +185,46 @@ impl Options {
         self
     }
 
+    /// Switch the successor memo on or off (`true` by default).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(!versa::Options::default().with_memo(false).memo);
+    /// ```
+    pub fn with_memo(mut self, memo: bool) -> Options {
+        self.memo = memo;
+        self
+    }
+
+    /// Set the successor-memo entry cap.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(versa::Options::default().with_memo_capacity(64).memo_capacity, 64);
+    /// ```
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Options {
+        self.memo_capacity = capacity;
+        self
+    }
+
+    /// Share an existing term store with the run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    ///
+    /// let store = Arc::new(acsr::TermStore::new());
+    /// let opts = versa::Options::default().with_store(store.clone());
+    /// assert!(opts.store.is_some());
+    /// ```
+    pub fn with_store(mut self, store: Arc<TermStore>) -> Options {
+        self.store = Some(store);
+        self
+    }
+
     /// Attach an observability recorder (see `crates/obs`).
     ///
     /// # Examples
@@ -208,6 +269,17 @@ pub struct Stats {
     /// back-edges merged by the visited set. `transitions - dedup_hits` is
     /// the number of *fresh* discoveries (≈ `states - 1`).
     pub dedup_hits: usize,
+    /// Successor lists served from the step memo (0 with the memo off; in
+    /// parallel runs the split between hits and misses can vary run to run —
+    /// the *results* never do).
+    pub memo_hits: u64,
+    /// Successor lists derived fresh by the step memo.
+    pub memo_misses: u64,
+    /// Memo entries dropped by the FIFO capacity bound.
+    pub memo_evictions: u64,
+    /// Structurally-unique subterms interned into the run's term store by the
+    /// end of the exploration.
+    pub unique_subterms: usize,
     /// Wall-clock duration of the exploration.
     pub duration: Duration,
 }
@@ -260,9 +332,9 @@ impl fmt::Display for Stats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Exploration {
-    states: Vec<P>,
+    pub(crate) states: Vec<P>,
     /// Predecessor of each state in BFS order (`None` for the initial state).
-    parents: Vec<Option<(StateId, Label)>>,
+    pub(crate) parents: Vec<Option<(StateId, Label)>>,
     /// Deadlocked states (no outgoing prioritized transitions), in discovery
     /// order.
     pub deadlocks: Vec<StateId>,
@@ -472,12 +544,15 @@ enum Slot {
     Pending { worker: u32, slot: u32 },
 }
 
-/// The concurrent visited set: `HashedP → Slot` distributed over
-/// power-of-two `Mutex` shards selected by the low bits of each term's
-/// cached structural digest. Workers intern concurrently, contending only
-/// when two digests land in the same shard at the same moment.
+/// The concurrent visited set: `TermId → Slot` distributed over power-of-two
+/// `Mutex` shards selected by the low bits of each term's *deterministic
+/// structural digest* (never the id — ids depend on interning races, the
+/// digest does not, so the shard a state lands in is reproducible run to
+/// run). Keys are plain `u32` ids: probing is an integer hash, with no deep
+/// comparison anywhere — structural equality was already decided by the term
+/// store.
 struct Visited {
-    shards: Vec<Mutex<HashMap<HashedP, Slot>>>,
+    shards: Vec<Mutex<HashMap<TermId, Slot>>>,
     mask: u64,
 }
 
@@ -490,7 +565,7 @@ impl Visited {
         }
     }
 
-    fn shard(&self, digest: u64) -> &Mutex<HashMap<HashedP, Slot>> {
+    fn shard(&self, digest: u64) -> &Mutex<HashMap<TermId, Slot>> {
         &self.shards[(digest & self.mask) as usize]
     }
 
@@ -500,12 +575,12 @@ impl Visited {
     /// that would have blocked.
     fn probe_or_pend(
         &self,
-        hp: &HashedP,
+        t: &Interned,
         worker: u32,
         slot: u32,
         contended: &obs::Counter,
     ) -> Option<Slot> {
-        let shard = self.shard(hp.digest());
+        let shard = self.shard(t.digest());
         let mut guard = match shard.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
@@ -514,7 +589,7 @@ impl Visited {
             }
             Err(TryLockError::Poisoned(_)) => panic!("visited shard poisoned"),
         };
-        match guard.entry(hp.clone()) {
+        match guard.entry(t.id()) {
             Entry::Occupied(e) => Some(*e.get()),
             Entry::Vacant(v) => {
                 v.insert(Slot::Pending { worker, slot });
@@ -524,14 +599,13 @@ impl Visited {
     }
 
     /// The merge-side finalization: overwrite a [`Slot::Pending`] claim with
-    /// its deterministically assigned id. O(1): the probe reuses the cached
-    /// digest and hits the `Arc` pointer-equality fast path of [`HashedP`].
-    fn finalize(&self, hp: &HashedP, id: StateId) {
+    /// its deterministically assigned id. O(1): an integer-keyed map probe.
+    fn finalize(&self, t: &Interned, id: StateId) {
         let mut guard = self
-            .shard(hp.digest())
+            .shard(t.digest())
             .lock()
             .expect("visited shard poisoned");
-        *guard.get_mut(hp).expect("pending entry present") = Slot::Final(id);
+        *guard.get_mut(&t.id()).expect("pending entry present") = Slot::Final(id);
     }
 
     /// Per-shard entry counts (for the occupancy histogram).
@@ -558,35 +632,37 @@ enum Target {
 /// visited set, plus the terms this worker claimed first.
 struct WorkerOut {
     succs: Vec<Vec<(Label, Target)>>,
-    fresh: Vec<HashedP>,
+    fresh: Vec<Interned>,
 }
 
 /// Expand `ids` (a frontier chunk, in frontier order) and intern every
-/// successor against the sharded visited set. Runs on worker threads in
-/// parallel mode and inline (as worker 0) in sequential mode — one code
-/// path, so the engines cannot drift apart.
+/// successor against the sharded visited set. Successors come back from the
+/// [`StepSession`] already interned (and, on a memo hit, without any
+/// derivation at all). Runs on worker threads in parallel mode and inline
+/// (as worker 0) in sequential mode — one code path, so the engines cannot
+/// drift apart.
 fn expand_chunk(
-    env: &Env,
-    states: &[P],
+    session: &StepSession<'_>,
+    states: &[Interned],
     ids: &[StateId],
     visited: &Visited,
     worker: u32,
     shard_contended: &obs::Counter,
 ) -> WorkerOut {
-    let mut fresh: Vec<HashedP> = Vec::new();
+    let mut fresh: Vec<Interned> = Vec::new();
     let succs = ids
         .iter()
         .map(|id| {
-            prioritized_steps(env, &states[id.index()])
+            session
+                .prioritized_steps(&states[id.index()])
                 .into_iter()
-                .map(|(label, p)| {
-                    let hp = HashedP::new(p);
+                .map(|(label, t)| {
                     let slot = fresh.len() as u32;
-                    let target = match visited.probe_or_pend(&hp, worker, slot, shard_contended) {
+                    let target = match visited.probe_or_pend(&t, worker, slot, shard_contended) {
                         Some(Slot::Final(sid)) => Target::Known(sid),
                         Some(Slot::Pending { worker, slot }) => Target::New { worker, slot },
                         None => {
-                            fresh.push(hp);
+                            fresh.push(t);
                             Target::New { worker, slot }
                         }
                     };
@@ -609,6 +685,16 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     let states_gauge = opts.obs.gauge("explore.states");
     let threads = opts.threads.max(1);
     let visited = Visited::new(if opts.shards == 0 { threads } else { opts.shards });
+    let store = opts
+        .store
+        .clone()
+        .unwrap_or_else(|| Arc::new(TermStore::new()));
+    let memo_config = if opts.memo {
+        MemoConfig::with_capacity(opts.memo_capacity)
+    } else {
+        MemoConfig::disabled()
+    };
+    let session = StepSession::new(env, store.clone(), memo_config);
 
     // Parallel-only instruments, registered once per run (not once per
     // level): the contention counters are inherently racy, so sequential
@@ -632,7 +718,7 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
         )
     };
 
-    let mut states: Vec<P> = Vec::new();
+    let mut states: Vec<Interned> = Vec::new();
     let mut parents: Vec<Option<(StateId, Label)>> = Vec::new();
     let mut deadlocks: Vec<StateId> = Vec::new();
     let mut lts_transitions: Vec<Vec<(Label, StateId)>> = Vec::new();
@@ -640,13 +726,13 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     let mut truncated = false;
 
     let root = StateId(0);
-    let root_hp = HashedP::new(initial.clone());
+    let root_t = session.intern(initial);
     visited
-        .shard(root_hp.digest())
+        .shard(root_t.digest())
         .lock()
         .expect("visited shard poisoned")
-        .insert(root_hp.clone(), Slot::Final(root));
-    states.push(root_hp.into_term());
+        .insert(root_t.id(), Slot::Final(root));
+    states.push(root_t);
     parents.push(None);
 
     let mut frontier: Vec<StateId> = vec![root];
@@ -671,12 +757,14 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
                     let collected = &collected;
                     let visited = &visited;
                     let states = &states[..];
+                    let session = &session;
                     let out_contended = &out_contended;
                     let shard_contended = &shard_contended;
                     let expanded = worker_expanded[ci].clone();
                     chunk_hist.observe(ids.len() as u64);
                     s.spawn(move || {
-                        let out = expand_chunk(env, states, ids, visited, ci as u32, shard_contended);
+                        let out =
+                            expand_chunk(session, states, ids, visited, ci as u32, shard_contended);
                         expanded.add(out.succs.len() as u64);
                         let mut guard = match collected.try_lock() {
                             Ok(guard) => guard,
@@ -694,7 +782,7 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
             chunks.sort_unstable_by_key(|(ci, _)| *ci);
             chunks.into_iter().map(|(_, out)| out).collect()
         } else {
-            vec![expand_chunk(env, &states, &frontier, &visited, 0, &inert)]
+            vec![expand_chunk(&session, &states, &frontier, &visited, 0, &inert)]
         };
 
         // Phase 2 — deterministic merge, in frontier order across the chunk
@@ -740,9 +828,9 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
                                     }
                                     let sid = StateId(states.len() as u32);
                                     remap[w][sl] = Some(sid);
-                                    let hp = &outs[w].fresh[sl];
-                                    visited.finalize(hp, sid);
-                                    states.push(hp.term().clone());
+                                    let t = &outs[w].fresh[sl];
+                                    visited.finalize(t, sid);
+                                    states.push(t.clone());
                                     parents.push(Some((id, label.clone())));
                                     next.push(sid);
                                     (sid, true)
@@ -789,6 +877,11 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     }
 
     stats.states = states.len();
+    let memo = session.memo_stats();
+    stats.memo_hits = memo.hits;
+    stats.memo_misses = memo.misses;
+    stats.memo_evictions = memo.evictions;
+    stats.unique_subterms = store.len();
     stats.duration = start.elapsed();
     run_span.set("states", stats.states as i64);
     run_span.set("transitions", stats.transitions as i64);
@@ -797,6 +890,14 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     run_span.set("deadlocks", stats.deadlocks as i64);
     run_span.set("truncated", i64::from(truncated));
     run_span.set("shards", visited.shards.len() as i64);
+    opts.obs.counter("step.memo_hits").add(stats.memo_hits);
+    opts.obs.counter("step.memo_misses").add(stats.memo_misses);
+    opts.obs
+        .counter("step.memo_evictions")
+        .add(stats.memo_evictions);
+    opts.obs
+        .gauge("term.unique_subterms")
+        .set(stats.unique_subterms as i64);
     if opts.obs.is_enabled() {
         let occupancy = opts.obs.histogram("explore.shard_occupancy");
         for entries in visited.occupancy() {
@@ -812,7 +913,7 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
         }
     });
     Exploration {
-        states,
+        states: states.into_iter().map(Interned::into_term).collect(),
         parents,
         deadlocks,
         lts,
@@ -1007,6 +1108,142 @@ mod tests {
     }
 
     #[test]
+    fn find_states_matches_manual_scan_and_preserves_bfs_order() {
+        let env = Env::new();
+        // A diamond: the initial choice reaches NIL via a 1-step and a 2-step
+        // path, so several states satisfy non-trivial predicates.
+        let p = choice([
+            act([(cpu(), 1)], nil()),
+            act([(Res::new("bus"), 1)], act([(cpu(), 2)], nil())),
+        ]);
+        let ex = explore(&env, &p, &Options::default());
+        // Ids come back sorted (BFS order) and match a manual filter.
+        let timed_roots = ex.find_states(|st| !matches!(&**st, acsr::Proc::Nil));
+        assert!(timed_roots.windows(2).all(|w| w[0] < w[1]));
+        for id in &timed_roots {
+            assert!(!matches!(&**ex.state(*id), acsr::Proc::Nil));
+        }
+        // The two partitions cover the state table exactly.
+        let nils = ex.find_states(|st| matches!(&**st, acsr::Proc::Nil));
+        assert_eq!(nils.len() + timed_roots.len(), ex.num_states());
+        // An unsatisfiable predicate finds nothing.
+        assert!(ex.find_states(|_| false).is_empty());
+    }
+
+    #[test]
+    fn depth_of_equals_shortest_trace_length_for_every_state() {
+        let mut env = Env::new();
+        let c1 = env.declare("D", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(5)),
+                    choice([
+                        act([(cpu(), 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                        act([(Res::new("bus"), 1)], invoke(c1, [Expr::p(0).add(Expr::c(2))])),
+                    ]),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(5)), nil()),
+                guard(BExpr::eq(Expr::p(0), Expr::c(6)), nil()),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let ex = explore(&env, &p, &Options::default());
+        assert_eq!(ex.depth_of(ex.initial()), 0);
+        for i in 0..ex.num_states() {
+            let id = StateId(i as u32);
+            // depth_of must agree with the reconstructed shortest trace.
+            assert_eq!(ex.depth_of(id), ex.trace_to(id).len());
+        }
+        // BFS invariant: ids are assigned in nondecreasing depth order.
+        let depths: Vec<usize> = (0..ex.num_states())
+            .map(|i| ex.depth_of(StateId(i as u32)))
+            .collect();
+        assert!(depths.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn memo_off_produces_identical_results() {
+        let mut env = Env::new();
+        let c1 = env.declare("C1", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(9)),
+                    act([(cpu(), 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(9)), invoke(c1, [Expr::c(0)])),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let with_memo = explore(&env, &p, &Options::default());
+        let without = explore(&env, &p, &Options::default().with_memo(false));
+        assert_eq!(with_memo.num_states(), without.num_states());
+        assert_eq!(with_memo.deadlocks, without.deadlocks);
+        assert_eq!(with_memo.stats.transitions, without.stats.transitions);
+        for i in 0..with_memo.num_states() {
+            assert_eq!(
+                with_memo.state(StateId(i as u32)),
+                without.state(StateId(i as u32))
+            );
+        }
+        // The memo was exercised on the looping structure; off means zero.
+        assert!(with_memo.stats.memo_hits > 0);
+        assert_eq!(without.stats.memo_hits, 0);
+        assert_eq!(without.stats.memo_misses, 0);
+        // Both engines interned the same term universe.
+        assert_eq!(with_memo.stats.unique_subterms, without.stats.unique_subterms);
+    }
+
+    #[test]
+    fn tiny_memo_capacity_evicts_without_changing_the_verdict() {
+        let mut env = Env::new();
+        let c1 = env.declare("C1", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(40)),
+                    act([(cpu(), 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(40)), nil()),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let base = explore(&env, &p, &Options::default());
+        let tiny = explore(&env, &p, &Options::default().with_memo_capacity(16));
+        assert!(tiny.stats.memo_evictions > 0, "41 states must overflow 16 slots");
+        assert_eq!(base.stats.memo_evictions, 0);
+        assert_eq!(base.num_states(), tiny.num_states());
+        assert_eq!(base.deadlocks, tiny.deadlocks);
+        assert_eq!(base.stats.transitions, tiny.stats.transitions);
+        assert_eq!(
+            base.first_deadlock_trace().map(|t| t.len()),
+            tiny.first_deadlock_trace().map(|t| t.len())
+        );
+        for i in 0..base.num_states() {
+            assert_eq!(base.state(StateId(i as u32)), tiny.state(StateId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn shared_store_is_reused_across_runs() {
+        let env = Env::new();
+        let p = act([(cpu(), 1)], act([(cpu(), 2)], nil()));
+        let store = Arc::new(acsr::TermStore::new());
+        let first = explore(&env, &p, &Options::default().with_store(store.clone()));
+        let after_first = store.len();
+        assert_eq!(first.stats.unique_subterms, after_first);
+        // A second run over the same model adds nothing new to the store.
+        let second = explore(&env, &p, &Options::default().with_store(store.clone()));
+        assert_eq!(store.len(), after_first);
+        assert_eq!(second.stats.unique_subterms, after_first);
+        assert_eq!(first.num_states(), second.num_states());
+    }
+
+    #[test]
     fn stats_track_levels_and_frontier() {
         let env = Env::new();
         let p = act([(cpu(), 1)], act([(cpu(), 1)], nil()));
@@ -1036,9 +1273,24 @@ mod tests {
             assert_eq!(lvl.parent, Some(roots[0].id));
             assert!(lvl.fields.contains(&("level".to_string(), i as i64 + 1)));
         }
-        // Straight-line process: no state is ever rediscovered.
-        assert_eq!(run.counters, vec![("explore.dedup_hits".to_string(), 0)]);
+        // Straight-line process: no state is ever rediscovered. Counters
+        // come back sorted by name.
+        assert_eq!(
+            run.counters,
+            vec![
+                ("explore.dedup_hits".to_string(), 0),
+                ("step.memo_evictions".to_string(), 0),
+                ("step.memo_hits".to_string(), ex.stats.memo_hits),
+                ("step.memo_misses".to_string(), ex.stats.memo_misses),
+            ]
+        );
         assert_eq!(ex.stats.dedup_hits, 0);
+        assert!(run
+            .gauges
+            .iter()
+            .any(|(k, value, _)| k == "term.unique_subterms"
+                && *value == ex.stats.unique_subterms as i64));
+        assert!(ex.stats.unique_subterms > 0);
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! The pre-interning exploration engine, preserved as a differential baseline.
+//!
+//! [`explore_hashed`] is the engine [`explore`](crate::explore::explore) used
+//! before the hash-consed term store landed: states are deduplicated through
+//! [`HashedP`] keys (cached structural digest, deep-compare fallback) and
+//! every expansion re-derives successors with the plain
+//! [`prioritized_steps`]. It is kept — deliberately unoptimized — for two
+//! jobs:
+//!
+//! * the property suite explores every random task set through both engines
+//!   and insists on **byte-identical** state tables, deadlock sets and
+//!   shortest traces (`tests/prop_interning.rs`);
+//! * the bench harness A/Bs the interned engine against it (EXPERIMENTS.md
+//!   Q9), alongside the even older `bench::seedline` engine.
+//!
+//! The algorithm is the same level-synchronous BFS with the sharded visited
+//! set and the deterministic frontier-order merge as the main engine — only
+//! the state representation differs. Observability is intentionally not
+//! wired up here (the `obs` field of [`Options`] is ignored): this engine
+//! exists to be compared against, not to be watched.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use acsr::{prioritized_steps, Env, HashedP, Label, P};
+
+use crate::explore::{Exploration, Options, StateId, Stats};
+use crate::lts::Lts;
+
+/// A visited-set entry (see the twin in `explore.rs`).
+#[derive(Copy, Clone, Debug)]
+enum Slot {
+    Final(StateId),
+    Pending { worker: u32, slot: u32 },
+}
+
+/// The sharded `HashedP → Slot` visited set of the pre-interning engine.
+struct Visited {
+    shards: Vec<Mutex<HashMap<HashedP, Slot>>>,
+    mask: u64,
+}
+
+impl Visited {
+    fn new(shards: usize) -> Visited {
+        let n = shards.max(1).next_power_of_two();
+        Visited {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<HashMap<HashedP, Slot>> {
+        &self.shards[(digest & self.mask) as usize]
+    }
+
+    fn probe_or_pend(&self, hp: &HashedP, worker: u32, slot: u32) -> Option<Slot> {
+        let mut guard = self
+            .shard(hp.digest())
+            .lock()
+            .expect("visited shard poisoned");
+        match guard.entry(hp.clone()) {
+            Entry::Occupied(e) => Some(*e.get()),
+            Entry::Vacant(v) => {
+                v.insert(Slot::Pending { worker, slot });
+                None
+            }
+        }
+    }
+
+    fn finalize(&self, hp: &HashedP, id: StateId) {
+        let mut guard = self
+            .shard(hp.digest())
+            .lock()
+            .expect("visited shard poisoned");
+        *guard.get_mut(hp).expect("pending entry present") = Slot::Final(id);
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Target {
+    Known(StateId),
+    New { worker: u32, slot: u32 },
+}
+
+struct WorkerOut {
+    succs: Vec<Vec<(Label, Target)>>,
+    fresh: Vec<HashedP>,
+}
+
+fn expand_chunk(
+    env: &Env,
+    states: &[P],
+    ids: &[StateId],
+    visited: &Visited,
+    worker: u32,
+) -> WorkerOut {
+    let mut fresh: Vec<HashedP> = Vec::new();
+    let succs = ids
+        .iter()
+        .map(|id| {
+            prioritized_steps(env, &states[id.index()])
+                .into_iter()
+                .map(|(label, p)| {
+                    let hp = HashedP::new(p);
+                    let slot = fresh.len() as u32;
+                    let target = match visited.probe_or_pend(&hp, worker, slot) {
+                        Some(Slot::Final(sid)) => Target::Known(sid),
+                        Some(Slot::Pending { worker, slot }) => Target::New { worker, slot },
+                        None => {
+                            fresh.push(hp);
+                            Target::New { worker, slot }
+                        }
+                    };
+                    (label, target)
+                })
+                .collect()
+        })
+        .collect();
+    WorkerOut { succs, fresh }
+}
+
+/// Explore with the preserved `HashedP` engine. Same BFS semantics and
+/// deterministic merge as [`explore`](crate::explore::explore); respects
+/// `max_states`, `stop_at_first_deadlock`, `collect_lts`, `threads` and
+/// `shards`, ignores `obs` and the memo settings (there is no memo here —
+/// that is the point).
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, hashed_engine::explore_hashed, Options};
+///
+/// let env = Env::new();
+/// let p = act([(Res::new("cpu"), 1)], act([(Res::new("cpu"), 1)], nil()));
+/// let old = explore_hashed(&env, &p, &Options::default());
+/// let new = explore(&env, &p, &Options::default());
+/// assert_eq!(old.num_states(), new.num_states());
+/// assert_eq!(old.deadlocks, new.deadlocks);
+/// ```
+pub fn explore_hashed(env: &Env, initial: &P, opts: &Options) -> Exploration {
+    let start = Instant::now();
+    let threads = opts.threads.max(1);
+    let visited = Visited::new(if opts.shards == 0 { threads } else { opts.shards });
+
+    let mut states: Vec<P> = Vec::new();
+    let mut parents: Vec<Option<(StateId, Label)>> = Vec::new();
+    let mut deadlocks: Vec<StateId> = Vec::new();
+    let mut lts_transitions: Vec<Vec<(Label, StateId)>> = Vec::new();
+    let mut stats = Stats::default();
+    let mut truncated = false;
+
+    let root = StateId(0);
+    let root_hp = HashedP::new(initial.clone());
+    visited
+        .shard(root_hp.digest())
+        .lock()
+        .expect("visited shard poisoned")
+        .insert(root_hp.clone(), Slot::Final(root));
+    states.push(root_hp.into_term());
+    parents.push(None);
+
+    let mut frontier: Vec<StateId> = vec![root];
+    while !frontier.is_empty() {
+        stats.levels += 1;
+        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        let mut stop = false;
+
+        let outs: Vec<WorkerOut> = if threads > 1 && frontier.len() >= 4 * threads {
+            let chunk = frontier.len().div_ceil(threads);
+            let collected: Mutex<Vec<(usize, WorkerOut)>> = Mutex::new(Vec::with_capacity(threads));
+            std::thread::scope(|s| {
+                for (ci, ids) in frontier.chunks(chunk).enumerate() {
+                    let collected = &collected;
+                    let visited = &visited;
+                    let states = &states[..];
+                    s.spawn(move || {
+                        let out = expand_chunk(env, states, ids, visited, ci as u32);
+                        collected
+                            .lock()
+                            .expect("expansion lock poisoned")
+                            .push((ci, out));
+                    });
+                }
+            });
+            let mut chunks = collected.into_inner().expect("expansion lock poisoned");
+            chunks.sort_unstable_by_key(|(ci, _)| *ci);
+            chunks.into_iter().map(|(_, out)| out).collect()
+        } else {
+            vec![expand_chunk(env, &states, &frontier, &visited, 0)]
+        };
+
+        let mut remap: Vec<Vec<Option<StateId>>> =
+            outs.iter().map(|out| vec![None; out.fresh.len()]).collect();
+        let mut next: Vec<StateId> = Vec::new();
+        let mut fi = 0usize;
+        'level: for out in &outs {
+            for succs in &out.succs {
+                let id = frontier[fi];
+                fi += 1;
+                if succs.is_empty() {
+                    deadlocks.push(id);
+                    stats.deadlocks += 1;
+                    if opts.stop_at_first_deadlock {
+                        stop = true;
+                        break 'level;
+                    }
+                }
+                if opts.collect_lts && lts_transitions.len() <= id.index() {
+                    lts_transitions.resize(id.index() + 1, Vec::new());
+                }
+                for (label, target) in succs {
+                    stats.transitions += 1;
+                    let (sid, fresh) = match *target {
+                        Target::Known(sid) => (sid, false),
+                        Target::New { worker, slot } => {
+                            let (w, sl) = (worker as usize, slot as usize);
+                            match remap[w][sl] {
+                                Some(sid) => (sid, false),
+                                None => {
+                                    let sid = StateId(states.len() as u32);
+                                    remap[w][sl] = Some(sid);
+                                    let hp = &outs[w].fresh[sl];
+                                    visited.finalize(hp, sid);
+                                    states.push(hp.term().clone());
+                                    parents.push(Some((id, label.clone())));
+                                    next.push(sid);
+                                    (sid, true)
+                                }
+                            }
+                        }
+                    };
+                    if opts.collect_lts {
+                        lts_transitions[id.index()].push((label.clone(), sid));
+                    }
+                    if !fresh {
+                        stats.dedup_hits += 1;
+                    }
+                }
+                if states.len() >= opts.max_states {
+                    truncated = true;
+                    stop = true;
+                    break 'level;
+                }
+            }
+        }
+
+        if stop {
+            break;
+        }
+        frontier = next;
+    }
+
+    stats.states = states.len();
+    stats.duration = start.elapsed();
+    let lts = opts.collect_lts.then(|| {
+        lts_transitions.resize(states.len(), Vec::new());
+        Lts {
+            initial: root,
+            transitions: lts_transitions,
+        }
+    });
+    Exploration {
+        states,
+        parents,
+        deadlocks,
+        lts,
+        stats,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use acsr::prelude::*;
+
+    #[test]
+    fn hashed_engine_matches_main_engine() {
+        let mut env = Env::new();
+        let cpu = Res::new("cpu");
+        let c1 = env.declare("C", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(12)),
+                    choice([
+                        act([(cpu, 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                        act([(Res::new("bus"), 1)], invoke(c1, [Expr::p(0).add(Expr::c(2))])),
+                    ]),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(12)), nil()),
+                guard(BExpr::eq(Expr::p(0), Expr::c(13)), nil()),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let old = explore_hashed(&env, &p, &Options::default());
+        let new = explore(&env, &p, &Options::default());
+        assert_eq!(old.num_states(), new.num_states());
+        assert_eq!(old.deadlocks, new.deadlocks);
+        assert_eq!(old.stats.transitions, new.stats.transitions);
+        assert_eq!(old.stats.dedup_hits, new.stats.dedup_hits);
+        for i in 0..old.num_states() {
+            assert_eq!(old.state(StateId(i as u32)), new.state(StateId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn hashed_engine_parallel_matches_its_sequential_self() {
+        let mut env = Env::new();
+        let cpu = Res::new("cpu");
+        let c1 = env.declare("C", 1);
+        env.set_body(
+            c1,
+            choice([
+                guard(
+                    BExpr::lt(Expr::p(0), Expr::c(20)),
+                    act([(cpu, 1)], invoke(c1, [Expr::p(0).add(Expr::c(1))])),
+                ),
+                guard(BExpr::eq(Expr::p(0), Expr::c(20)), invoke(c1, [Expr::c(0)])),
+            ]),
+        );
+        let p = invoke(c1, [Expr::c(0)]);
+        let seq = explore_hashed(&env, &p, &Options::default());
+        let par4 = explore_hashed(&env, &p, &Options::default().with_threads(4));
+        assert_eq!(seq.num_states(), par4.num_states());
+        assert_eq!(seq.deadlocks, par4.deadlocks);
+        for i in 0..seq.num_states() {
+            assert_eq!(seq.state(StateId(i as u32)), par4.state(StateId(i as u32)));
+        }
+    }
+}

@@ -12,7 +12,11 @@
 //! The explorer builds the *prioritized* transition system of a ground ACSR
 //! term (see [`acsr::prio`]) breadth-first, interning states so each is
 //! expanded exactly once, and records a parent pointer per state so that any
-//! deadlock can be turned into a shortest counterexample [`Trace`].
+//! deadlock can be turned into a shortest counterexample [`Trace`]. States
+//! are hash-consed through an [`acsr::TermStore`] and successors are
+//! memoized per subterm (see [`acsr::StepSession`]); the pre-interning
+//! engine survives as [`hashed_engine::explore_hashed`] for differential
+//! testing and benchmarking.
 //!
 //! Beyond the sequential engine, [`explore()`](crate::explore::explore) offers **level-synchronous
 //! parallel frontier expansion** (successor computation fans out over scoped
@@ -36,11 +40,13 @@
 //! ```
 
 pub mod explore;
+pub mod hashed_engine;
 pub mod lts;
 pub mod trace;
 pub mod walk;
 
 pub use explore::{explore, Exploration, Options, Stats, StateId};
+pub use hashed_engine::explore_hashed;
 pub use lts::Lts;
 pub use trace::Trace;
 pub use walk::{random_walk, Walk};

@@ -10,9 +10,14 @@
 //!
 //! Steps are drawn from the workspace's vendored deterministic PRNG
 //! ([`det::DetRng`]), so walks are reproducible from a seed on every
-//! platform and in every PR.
+//! platform and in every PR. Internally a walk steps through an interned,
+//! memoized [`StepSession`] — long walks that revisit states reuse cached
+//! successors — while the recorded [`Walk`] still carries plain terms, so
+//! callers and the property suite see exactly the pre-interning API.
 
-use acsr::{prioritized_steps, Env, Label, P};
+use std::sync::Arc;
+
+use acsr::{Env, Label, MemoConfig, StepSession, TermStore, P};
 use det::DetRng;
 
 /// A recorded random walk.
@@ -127,20 +132,22 @@ impl Walk {
 /// assert_eq!(a.labels, b.labels);
 /// ```
 pub fn random_walk(env: &Env, initial: &P, max_steps: usize, seed: u64) -> Walk {
+    let session = StepSession::new(env, Arc::new(TermStore::new()), MemoConfig::default());
     let mut rng = DetRng::new(seed);
     let mut labels = Vec::new();
     let mut states = vec![initial.clone()];
+    let mut cur = session.intern(initial);
     let mut deadlocked = false;
     for _ in 0..max_steps {
-        let cur = states.last().expect("non-empty").clone();
-        let succs = prioritized_steps(env, &cur);
+        let succs = session.prioritized_steps(&cur);
         if succs.is_empty() {
             deadlocked = true;
             break;
         }
         let (label, next) = succs[rng.range_usize(0..succs.len())].clone();
         labels.push(label);
-        states.push(next);
+        states.push(next.term().clone());
+        cur = next;
     }
     Walk {
         labels,

@@ -21,6 +21,8 @@
 //!   --shards <n>      visited-set shards (default: auto = next power of two
 //!                     ≥ threads; never affects results, only contention)
 //!   --max-states <n>  state budget (verdict becomes "unknown" if exceeded)
+//!   --no-memo         disable successor memoization (escape hatch; verdicts
+//!                     are identical either way, only the wall time changes)
 //!   --tree            print the instance tree with bindings and timing
 //!   --acsr            print the generated ACSR process definitions
 //!   --dot <file>      write the explored LTS as Graphviz dot
@@ -57,6 +59,7 @@ struct Args {
     threads: usize,
     shards: usize,
     max_states: Option<usize>,
+    no_memo: bool,
     print_acsr: bool,
     print_tree: bool,
     dot: Option<String>,
@@ -70,7 +73,7 @@ fn usage() -> ExitCode {
         "usage: aadlsched <model.aadl> [RootSystem.impl] \
          [--quantum <ms>] [--protocol <none|pip|pcp>] [--compact] \
          [--exhaustive] [--threads <n>] [--shards <n>] \
-         [--max-states <n>] [--tree] [--acsr] [--dot <file>] \
+         [--max-states <n>] [--no-memo] [--tree] [--acsr] [--dot <file>] \
          [--metrics <file>] [--trace-events <file>] [--progress]\n\
          (omit RootSystem.impl to analyze the package's top-level system \
          implementation)"
@@ -95,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         shards: 0,
         max_states: None,
+        no_memo: false,
         print_acsr: false,
         print_tree: false,
         dot: None,
@@ -142,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-states: {e}"))?,
                 )
             }
+            "--no-memo" => args.no_memo = true,
             "--acsr" => args.print_acsr = true,
             "--tree" => args.print_tree = true,
             "--dot" => args.dot = Some(raw.next().ok_or("--dot needs a file")?),
@@ -337,6 +342,7 @@ fn main() -> ExitCode {
     if let Some(max) = args.max_states {
         aopts.explore.max_states = max;
     }
+    aopts.explore.memo = !args.no_memo;
     aopts.explore.collect_lts = args.dot.is_some();
     aopts.explore.obs = rec.clone();
 
@@ -376,9 +382,9 @@ fn main() -> ExitCode {
             // option string — never the wall clock, so identical invocations
             // produce identical ids.
             let canon_opts = format!(
-                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?}",
+                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?};memo={}",
                 args.quantum_ms, args.compact, args.exhaustive, args.threads, args.shards,
-                args.max_states
+                args.max_states, !args.no_memo
             );
             let run_id = obs::run_id(&[source.as_bytes(), canon_opts.as_bytes()]);
             let mut report = obs::Report::new(&run_id, "aadlsched");
@@ -414,6 +420,10 @@ fn main() -> ExitCode {
                     ("peak_frontier", Json::from(verdict.stats.peak_frontier)),
                     ("dedup_hits", Json::from(verdict.stats.dedup_hits)),
                     ("deadlocks", Json::from(verdict.stats.deadlocks)),
+                    ("memo_hits", Json::from(verdict.stats.memo_hits)),
+                    ("memo_misses", Json::from(verdict.stats.memo_misses)),
+                    ("memo_evictions", Json::from(verdict.stats.memo_evictions)),
+                    ("unique_subterms", Json::from(verdict.stats.unique_subterms)),
                 ]),
             );
             report.set(

@@ -5,11 +5,13 @@
 #   2. the pinned-timeline gates: the golden diagnose trace and the
 #      concurrency-control inversion timeline, named explicitly so a drift
 #      in either renders as its own CI line, not a needle in the full suite
-#   3. the bench harness in smoke mode, twice — at 1 and at 4 exploration
-#      workers — with a diff over the verdict lines: the engine is
-#      deterministic in the thread count, so any difference is a regression
-#      in the parallel dedup path (the run also refreshes
-#      BENCH_exploration.json, which is committed)
+#   3. the bench harness in smoke mode, three times — with the successor
+#      memo disabled, then at 1 and at 4 exploration workers — with diffs
+#      over the verdict lines: the engine is deterministic in the thread
+#      count and the memo is a pure cache, so any difference is a
+#      regression in the parallel dedup path or the memoized step relation
+#      (the last run also refreshes BENCH_exploration.json, which is
+#      committed)
 #   4. the hermetic-build audit (path-only deps, pinned dependency graph,
 #      obs dependency-free, `cargo doc` with warnings denied — see
 #      tools/check_hermetic.sh)
@@ -32,19 +34,25 @@ cargo test -q
 echo "== golden timelines: diagnose + inversion =="
 cargo test -q --test golden_diagnose --test inversion
 
-echo "== bench harness (smoke) at 1 and 4 workers: verdicts must agree =="
+echo "== bench harness (smoke): verdicts must agree across workers and memo =="
 mkdir -p target/ci
 # Verdict lines only, wall-clock fields stripped: everything else must be
-# byte-identical between a sequential and a parallel run.
+# byte-identical between a sequential and a parallel run, and between a
+# memoized and an unmemoized run. The --no-memo run goes first so the
+# committed BENCH_exploration.json reflects the shipped default.
 extract_verdicts() {
   grep -E "schedulable|VERDICT" | sed -E 's/ time=[^ ]*//'
 }
+cargo run --release -q -p bench --bin harness -- --smoke --threads 1 --no-memo \
+  | extract_verdicts > target/ci/verdicts-nomemo.txt
 cargo run --release -q -p bench --bin harness -- --smoke --threads 1 \
   | extract_verdicts > target/ci/verdicts-t1.txt
 cargo run --release -q -p bench --bin harness -- --smoke --threads 4 \
   | extract_verdicts > target/ci/verdicts-t4.txt
 diff -u target/ci/verdicts-t1.txt target/ci/verdicts-t4.txt
 echo "verdicts identical across worker counts"
+diff -u target/ci/verdicts-t1.txt target/ci/verdicts-nomemo.txt
+echo "verdicts identical with the successor memo disabled"
 
 echo "== hermetic audit =="
 tools/check_hermetic.sh
