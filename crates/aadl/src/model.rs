@@ -395,6 +395,56 @@ impl Package {
             self.find_type(classifier).map(|t| (t, None))
         }
     }
+
+    /// The default analysis root: the unique system implementation that no
+    /// other implementation in the package instantiates as a subcomponent —
+    /// the top of the instantiation hierarchy. Errors (no candidate, or
+    /// several) ask the caller to name the root explicitly; both `aadlsched`
+    /// and `aadlschedd` surface them verbatim as input errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let pkg = aadl::parser::parse_package(
+    ///     "package p\npublic\n\
+    ///      system s\nend s;\n\
+    ///      system implementation s.impl\nend s.impl;\n\
+    ///      end p;",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(pkg.default_root().unwrap(), "s.impl");
+    /// ```
+    pub fn default_root(&self) -> Result<String, String> {
+        let referenced: std::collections::HashSet<String> = self
+            .impls
+            .iter()
+            .flat_map(|i| i.subcomponents.iter())
+            .map(|s| s.classifier.to_ascii_lowercase())
+            .collect();
+        let candidates: Vec<&str> = self
+            .impls
+            .iter()
+            .filter(|i| i.category == Category::System)
+            .filter(|i| {
+                !referenced.contains(&i.name.to_ascii_lowercase())
+                    && !referenced.contains(&i.type_name.to_ascii_lowercase())
+            })
+            .map(|i| i.name.as_str())
+            .collect();
+        match candidates.as_slice() {
+            [one] => Ok(one.to_string()),
+            [] => Err(
+                "no top-level system implementation found; pass <RootSystem.impl> explicitly"
+                    .to_string(),
+            ),
+            many => Err(format!(
+                "ambiguous root — {} top-level system implementations ({}); \
+                 pass <RootSystem.impl> explicitly",
+                many.len(),
+                many.join(", ")
+            )),
+        }
+    }
 }
 
 #[cfg(test)]

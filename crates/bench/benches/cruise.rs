@@ -34,7 +34,7 @@ fn bench_analysis(r: &mut Runner) {
             &AnalysisOptions::exhaustive(),
         )
         .unwrap();
-        assert!(v.schedulable);
+        assert!(v.schedulable());
         v
     });
     let overloaded = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
@@ -45,7 +45,7 @@ fn bench_analysis(r: &mut Runner) {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(!v.schedulable);
+        assert!(!v.schedulable());
         v
     });
     // Ablation: compact translation mode (§7's "more compact state spaces").

@@ -15,7 +15,7 @@ fn bench_queue_sizes(r: &mut Runner) {
                 &AnalysisOptions::default(),
             )
             .unwrap();
-            assert!(!v.schedulable);
+            assert!(!v.schedulable());
             v
         });
     }
@@ -31,7 +31,7 @@ fn bench_drop_protocol(r: &mut Runner) {
             &AnalysisOptions::exhaustive(),
         )
         .unwrap();
-        assert!(v.schedulable);
+        assert!(v.schedulable());
         v
     });
 }

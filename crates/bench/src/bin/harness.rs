@@ -77,7 +77,7 @@ fn f1_cruise_control(threads: usize, memo: bool) {
     let v = analyze(&m, &TranslateOptions::default(), &exhaustive).unwrap();
     println!(
         "nominal:    schedulable={} states={} transitions={} time={:?}",
-        v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+        v.schedulable(), v.stats().states, v.stats().transitions, v.stats().duration
     );
     let m = instantiate(&cruise_control_overloaded(), "CruiseControl.impl").unwrap();
     let mut default = AnalysisOptions::default();
@@ -86,9 +86,9 @@ fn f1_cruise_control(threads: usize, memo: bool) {
     let v = analyze(&m, &TranslateOptions::default(), &default).unwrap();
     println!(
         "overloaded: schedulable={} first deadlock at quantum {} ({} states)",
-        v.schedulable,
-        v.scenario.as_ref().map(|s| s.at_quantum).unwrap_or(0),
-        v.stats.states
+        v.schedulable(),
+        v.scenario().as_ref().map(|s| s.at_quantum).unwrap_or(0),
+        v.stats().states
     );
 }
 
@@ -108,7 +108,7 @@ fn q1_quantum_tradeoff() {
         .unwrap();
         println!(
             "{:>8}ms {:>13} {:>10} {:>13} {:>12?}",
-            q, v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+            q, v.schedulable(), v.stats().states, v.stats().transitions, v.stats().duration
         );
     }
 }
@@ -131,7 +131,7 @@ fn q2_verdict_agreement() {
             let m = instantiate(&pkg, "Top.impl").unwrap();
             analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default())
                 .unwrap()
-                .schedulable
+                .schedulable()
         };
         if rm_exact == rm_acsr {
             rm_agree += 1;
@@ -142,7 +142,7 @@ fn q2_verdict_agreement() {
             let m = instantiate(&pkg, "Top.impl").unwrap();
             analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default())
                 .unwrap()
-                .schedulable
+                .schedulable()
         };
         if edf_exact == edf_acsr {
             edf_agree += 1;
@@ -173,7 +173,7 @@ fn q2b_acceptance_by_utilization() {
                 let m = instantiate(&pkg, "Top.impl").unwrap();
                 if analyze(&m, &TranslateOptions::default(), &AnalysisOptions::default())
                     .unwrap()
-                    .schedulable
+                    .schedulable()
                 {
                     *counter += 1;
                 }
@@ -197,11 +197,11 @@ fn q3_scaling() {
         println!(
             "{:>8} {:>10} {:>13} {:>12?}",
             n,
-            v.stats.states,
-            v.stats.transitions,
+            v.stats().states,
+            v.stats().transitions,
             t0.elapsed()
         );
-        assert!(v.schedulable);
+        assert!(v.schedulable());
     }
     let m = harmonic_system(6, 4, 0.12);
     let tm = translate(&m, &TranslateOptions::default()).unwrap();
@@ -235,13 +235,13 @@ fn q5_queue_overflow() {
         println!(
             "{:>6} {:>12} {:>18}",
             size,
-            if v.schedulable { "clean" } else { "overflow" },
-            v.scenario.map(|s| s.at_quantum.to_string()).unwrap_or_else(|| "-".into())
+            if v.schedulable() { "clean" } else { "overflow" },
+            v.scenario().map(|s| s.at_quantum.to_string()).unwrap_or_else(|| "-".into())
         );
     }
     let m = overrun_system(1, "DropNewest");
     let v = analyze(&m, &TranslateOptions::default(), &AnalysisOptions::exhaustive()).unwrap();
-    println!("DropNewest, size 1: schedulable={} ({} states)", v.schedulable, v.stats.states);
+    println!("DropNewest, size 1: schedulable={} ({} states)", v.schedulable(), v.stats().states);
 }
 
 /// Read back a counter from a finished run (0 when it was never registered).
@@ -545,23 +545,23 @@ fn q6_exploration_report(threads: usize, memo: bool, scaling: obs::Json, interni
     report.set(
         "exploration",
         obs::Json::obj([
-            ("states", obs::Json::from(v.stats.states)),
-            ("transitions", obs::Json::from(v.stats.transitions)),
-            ("levels", obs::Json::from(v.stats.levels)),
-            ("peak_frontier", obs::Json::from(v.stats.peak_frontier)),
-            ("dedup_hits", obs::Json::from(v.stats.dedup_hits)),
-            ("deadlocks", obs::Json::from(v.stats.deadlocks)),
-            ("memo_hits", obs::Json::from(v.stats.memo_hits)),
-            ("memo_misses", obs::Json::from(v.stats.memo_misses)),
-            ("memo_evictions", obs::Json::from(v.stats.memo_evictions)),
-            ("unique_subterms", obs::Json::from(v.stats.unique_subterms)),
+            ("states", obs::Json::from(v.stats().states)),
+            ("transitions", obs::Json::from(v.stats().transitions)),
+            ("levels", obs::Json::from(v.stats().levels)),
+            ("peak_frontier", obs::Json::from(v.stats().peak_frontier)),
+            ("dedup_hits", obs::Json::from(v.stats().dedup_hits)),
+            ("deadlocks", obs::Json::from(v.stats().deadlocks)),
+            ("memo_hits", obs::Json::from(v.stats().memo_hits)),
+            ("memo_misses", obs::Json::from(v.stats().memo_misses)),
+            ("memo_evictions", obs::Json::from(v.stats().memo_evictions)),
+            ("unique_subterms", obs::Json::from(v.stats().unique_subterms)),
         ]),
     );
     report.set(
         "verdict",
         obs::Json::obj([
-            ("schedulable", obs::Json::Bool(v.schedulable)),
-            ("truncated", obs::Json::Bool(v.truncated)),
+            ("schedulable", obs::Json::Bool(v.schedulable())),
+            ("truncated", obs::Json::Bool(v.truncated())),
         ]),
     );
     report.set("scaling", scaling);
@@ -571,7 +571,7 @@ fn q6_exploration_report(threads: usize, memo: bool, scaling: obs::Json, interni
         Ok(()) => println!("report written to BENCH_exploration.json (run_id {run_id})"),
         Err(e) => println!("cannot write BENCH_exploration.json: {e}"),
     }
-    println!("exploration: {}", v.stats);
+    println!("exploration: {}", v.stats());
 }
 
 /// The three concurrency-control protocols on the bundled priority-inversion
@@ -606,11 +606,11 @@ fn q7_locking_protocols(threads: usize, memo: bool) {
         println!(
             "{:>22} {:>13} {:>14} {:>8}",
             name,
-            v.schedulable,
-            v.scenario
+            v.schedulable(),
+            v.scenario()
                 .map(|s| s.at_quantum.to_string())
                 .unwrap_or_else(|| "-".into()),
-            v.stats.states
+            v.stats().states
         );
     }
     println!("(m preempts the lock-holding l while h blocks — unless the holder is elevated.)");

@@ -172,7 +172,7 @@ mod tests {
                 &AnalysisOptions::default(),
             )
             .unwrap();
-            assert!(v.schedulable, "n = {n}");
+            assert!(v.schedulable(), "n = {n}");
         }
     }
 
@@ -185,7 +185,7 @@ mod tests {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(!v.schedulable);
+        assert!(!v.schedulable());
         let m = overrun_system(1, "DropNewest");
         let v = analyze(
             &m,
@@ -193,6 +193,6 @@ mod tests {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(v.schedulable);
+        assert!(v.schedulable());
     }
 }

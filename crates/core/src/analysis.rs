@@ -45,21 +45,177 @@ impl AnalysisOptions {
         self.explore.threads = threads;
         self
     }
+
+    /// Install a shared cancellation token (see [`versa::CancelToken`]); the
+    /// explorer polls it at every frontier state, so a long analysis can be
+    /// stopped from another thread (a request handler, a deadline watchdog).
+    pub fn with_cancel(mut self, cancel: versa::CancelToken) -> AnalysisOptions {
+        self.explore.cancel = cancel;
+        self
+    }
 }
 
-/// The outcome of a schedulability analysis.
+/// Exit code for usage/input errors (bad flags, parse errors, missing
+/// files) — the one exit the analysis itself never produces, kept alongside
+/// [`AnalysisOutcome::exit_code`] so the whole 0/1/2/3 contract lives in
+/// this module.
+pub const EXIT_INPUT_ERROR: u8 = 2;
+
+/// Why an analysis ended without a verdict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The exploration hit its `max_states` budget (or exhausted the id
+    /// space) before completing.
+    StateBudget,
+    /// The run's [`versa::CancelToken`] fired mid-exploration.
+    Cancelled,
+}
+
+/// The outcome of a schedulability analysis — the typed form of the tools'
+/// 0/1/2/3 exit-code contract.
+///
+/// Every process-level consumer (the `aadlsched` CLI, the `aadlschedd`
+/// daemon) derives its exit code from [`AnalysisOutcome::exit_code`] rather
+/// than re-implementing the mapping:
+///
+/// | variant | meaning | exit code |
+/// |---|---|---|
+/// | [`Schedulable`](AnalysisOutcome::Schedulable) | state space explored exhaustively, deadlock-free (§5) | 0 |
+/// | [`Unschedulable`](AnalysisOutcome::Unschedulable) | a deadlock was found and raised to an AADL-level scenario | 1 |
+/// | [`Unknown`](AnalysisOutcome::Unknown) | stopped early (budget or cancellation) with no deadlock found | 3 |
+///
+/// Exit 2 (usage/input error) has no variant — those failures happen before
+/// an analysis exists; see [`EXIT_INPUT_ERROR`].
+///
+/// A found deadlock is a *proof* of unschedulability even when the run was
+/// also truncated, so `Unschedulable` wins over `Unknown`.
+///
+/// # Examples
+///
+/// ```
+/// use aadl2acsr::{AnalysisOutcome, Interrupt};
+///
+/// let unknown = AnalysisOutcome::Unknown {
+///     reason: Interrupt::StateBudget,
+///     stats: versa::Stats::default(),
+/// };
+/// assert_eq!(unknown.exit_code(), 3);
+/// assert_eq!(unknown.verdict_str(), "unknown");
+/// assert_eq!(unknown.reason_str(), Some("state-budget"));
+/// assert!(!unknown.schedulable());
+/// assert!(unknown.truncated());
+///
+/// let ok = AnalysisOutcome::Schedulable { stats: versa::Stats::default() };
+/// assert_eq!(ok.exit_code(), 0);
+/// assert_eq!(ok.reason_str(), None);
+/// ```
 #[derive(Clone, Debug)]
-pub struct Verdict {
-    /// True iff the state space is deadlock-free — every thread meets its
-    /// deadline in *every* behaviour (§5).
-    pub schedulable: bool,
-    /// True when the exploration hit its state budget before completing; a
-    /// `schedulable = false` verdict is then *unknown* rather than proven.
-    pub truncated: bool,
-    /// The failing scenario, raised to the AADL level, when one exists.
-    pub scenario: Option<FailingScenario>,
-    /// Exploration statistics.
-    pub stats: versa::Stats,
+pub enum AnalysisOutcome {
+    /// The state space is deadlock-free — every thread meets its deadline in
+    /// *every* behaviour (§5).
+    Schedulable {
+        /// Exploration statistics.
+        stats: versa::Stats,
+    },
+    /// A deadlock was found; `scenario` is the counterexample raised to the
+    /// AADL level (timeline, violated constraints).
+    Unschedulable {
+        /// The failing scenario, raised to the AADL level.
+        scenario: FailingScenario,
+        /// Exploration statistics.
+        stats: versa::Stats,
+    },
+    /// The exploration stopped before a verdict: no deadlock found so far,
+    /// but the space was not exhausted.
+    Unknown {
+        /// Why the run stopped early.
+        reason: Interrupt,
+        /// Exploration statistics.
+        stats: versa::Stats,
+    },
+}
+
+impl AnalysisOutcome {
+    /// True iff the model was *proven* schedulable (exhaustive, deadlock-free).
+    pub fn schedulable(&self) -> bool {
+        matches!(self, AnalysisOutcome::Schedulable { .. })
+    }
+
+    /// True when the exploration hit its state budget before completing.
+    pub fn truncated(&self) -> bool {
+        matches!(
+            self,
+            AnalysisOutcome::Unknown {
+                reason: Interrupt::StateBudget,
+                ..
+            }
+        )
+    }
+
+    /// True when the run was stopped by its cancellation token.
+    pub fn cancelled(&self) -> bool {
+        matches!(
+            self,
+            AnalysisOutcome::Unknown {
+                reason: Interrupt::Cancelled,
+                ..
+            }
+        )
+    }
+
+    /// The failing scenario, when one was found.
+    pub fn scenario(&self) -> Option<&FailingScenario> {
+        match self {
+            AnalysisOutcome::Unschedulable { scenario, .. } => Some(scenario),
+            _ => None,
+        }
+    }
+
+    /// Exploration statistics, whatever the outcome.
+    pub fn stats(&self) -> &versa::Stats {
+        match self {
+            AnalysisOutcome::Schedulable { stats }
+            | AnalysisOutcome::Unschedulable { stats, .. }
+            | AnalysisOutcome::Unknown { stats, .. } => stats,
+        }
+    }
+
+    /// The process exit code for this outcome: 0 schedulable, 1 not
+    /// schedulable, 3 unknown. (2 is reserved for input errors, which
+    /// never produce an outcome; see [`EXIT_INPUT_ERROR`].)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            AnalysisOutcome::Schedulable { .. } => 0,
+            AnalysisOutcome::Unschedulable { .. } => 1,
+            AnalysisOutcome::Unknown { .. } => 3,
+        }
+    }
+
+    /// The verdict as the stable lowercase word used in reports and on the
+    /// wire: `"schedulable"`, `"unschedulable"` or `"unknown"`.
+    pub fn verdict_str(&self) -> &'static str {
+        match self {
+            AnalysisOutcome::Schedulable { .. } => "schedulable",
+            AnalysisOutcome::Unschedulable { .. } => "unschedulable",
+            AnalysisOutcome::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// For [`Unknown`](AnalysisOutcome::Unknown) outcomes, the stable reason
+    /// string (`"state-budget"` or `"cancelled"`); `None` otherwise.
+    pub fn reason_str(&self) -> Option<&'static str> {
+        match self {
+            AnalysisOutcome::Unknown {
+                reason: Interrupt::StateBudget,
+                ..
+            } => Some("state-budget"),
+            AnalysisOutcome::Unknown {
+                reason: Interrupt::Cancelled,
+                ..
+            } => Some("cancelled"),
+            _ => None,
+        }
+    }
 }
 
 /// Analyze an already-translated model.
@@ -73,7 +229,7 @@ pub fn analyze_translated(
     model: &InstanceModel,
     tm: &TranslatedModel,
     opts: &AnalysisOptions,
-) -> Verdict {
+) -> AnalysisOutcome {
     let rec = &opts.explore.obs;
     // Share the translator's term store with the explorer: the initial term's
     // subterms are already canonical, so re-interning them is pure reuse.
@@ -97,21 +253,33 @@ pub fn analyze_translated(
         }
         sc
     });
-    let verdict = Verdict {
-        schedulable: ex.deadlock_free(),
-        truncated: ex.truncated,
-        scenario,
-        stats: ex.stats,
+    // A found deadlock is a proof of unschedulability even when the run was
+    // also truncated or cancelled; interruption only matters when no
+    // counterexample exists.
+    let outcome = match scenario {
+        Some(scenario) => AnalysisOutcome::Unschedulable {
+            scenario,
+            stats: ex.stats,
+        },
+        None if ex.cancelled => AnalysisOutcome::Unknown {
+            reason: Interrupt::Cancelled,
+            stats: ex.stats,
+        },
+        None if ex.truncated => AnalysisOutcome::Unknown {
+            reason: Interrupt::StateBudget,
+            stats: ex.stats,
+        },
+        None => AnalysisOutcome::Schedulable { stats: ex.stats },
     };
     let mut fields = vec![
-        ("schedulable", obs::Json::Bool(verdict.schedulable)),
-        ("truncated", obs::Json::Bool(verdict.truncated)),
+        ("schedulable", obs::Json::Bool(outcome.schedulable())),
+        ("truncated", obs::Json::Bool(ex.truncated)),
     ];
-    if let Some(sc) = &verdict.scenario {
+    if let Some(sc) = outcome.scenario() {
         fields.push(("deadlock_depth", obs::Json::Int(sc.at_quantum as i64)));
     }
     rec.event("verdict", fields);
-    verdict
+    outcome
 }
 
 /// Translate and analyze an instance model.
@@ -119,7 +287,7 @@ pub fn analyze(
     model: &InstanceModel,
     topts: &TranslateOptions,
     aopts: &AnalysisOptions,
-) -> Result<Verdict, TranslateError> {
+) -> Result<AnalysisOutcome, TranslateError> {
     let tm = translate(model, topts)?;
     Ok(analyze_translated(model, &tm, aopts))
 }
@@ -199,10 +367,10 @@ mod tests {
             &AnalysisOptions::exhaustive(),
         )
         .unwrap();
-        assert!(v.schedulable, "stats: {:?}", v.stats);
-        assert!(v.scenario.is_none());
-        assert!(!v.truncated);
-        assert!(v.stats.states > 1);
+        assert!(v.schedulable(), "stats: {:?}", v.stats());
+        assert!(v.scenario().is_none());
+        assert!(!v.truncated());
+        assert!(v.stats().states > 1);
     }
 
     #[test]
@@ -214,8 +382,8 @@ mod tests {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(!v.schedulable);
-        let sc = v.scenario.expect("scenario");
+        assert!(!v.schedulable());
+        let sc = v.scenario().expect("scenario");
         // T2 (period 15) is the RMS victim.
         assert!(sc
             .violations
@@ -241,7 +409,7 @@ mod tests {
                 &AnalysisOptions::default(),
             )
             .unwrap();
-            assert_eq!(faithful.schedulable, compact.schedulable);
+            assert_eq!(faithful.schedulable(), compact.schedulable());
         }
     }
 
@@ -269,12 +437,12 @@ mod tests {
         )
         .unwrap();
         assert!(
-            compact.stats.states <= faithful.stats.states,
+            compact.stats().states <= faithful.stats().states,
             "compact {} vs faithful {}",
-            compact.stats.states,
-            faithful.stats.states
+            compact.stats().states,
+            faithful.stats().states
         );
-        assert_eq!(compact.stats.deadlocks, faithful.stats.deadlocks);
+        assert_eq!(compact.stats().deadlocks, faithful.stats().deadlocks);
     }
 
     #[test]
@@ -288,7 +456,7 @@ mod tests {
         let mut aopts = AnalysisOptions::default();
         aopts.explore.obs = rec.clone();
         let v = analyze(&m, &topts, &aopts).unwrap();
-        assert!(!v.schedulable);
+        assert!(!v.schedulable());
 
         let run = rec.finish();
         let names: Vec<&str> = run.spans.iter().map(|s| s.name.as_str()).collect();
@@ -313,6 +481,51 @@ mod tests {
     }
 
     #[test]
+    fn state_budget_exhaustion_is_a_typed_unknown_with_exit_3() {
+        // The exhaustive space of the OK model is far larger than 3 states,
+        // so the budget trips and the outcome must be Unknown(StateBudget) —
+        // the typed form of the CLI's old exit-3 path.
+        let m = small_ok();
+        let mut aopts = AnalysisOptions::exhaustive();
+        aopts.explore.max_states = 3;
+        let v = analyze(&m, &TranslateOptions::default(), &aopts).unwrap();
+        assert!(matches!(
+            v,
+            AnalysisOutcome::Unknown {
+                reason: Interrupt::StateBudget,
+                ..
+            }
+        ));
+        assert!(!v.schedulable());
+        assert!(v.truncated());
+        assert!(!v.cancelled());
+        assert_eq!(v.exit_code(), 3);
+        assert_eq!(v.verdict_str(), "unknown");
+        assert_eq!(v.reason_str(), Some("state-budget"));
+        assert!(v.scenario().is_none());
+    }
+
+    #[test]
+    fn cancelled_analysis_is_a_typed_unknown() {
+        let m = small_ok();
+        let token = versa::CancelToken::new();
+        token.cancel();
+        let aopts = AnalysisOptions::exhaustive().with_cancel(token);
+        let v = analyze(&m, &TranslateOptions::default(), &aopts).unwrap();
+        assert!(matches!(
+            v,
+            AnalysisOutcome::Unknown {
+                reason: Interrupt::Cancelled,
+                ..
+            }
+        ));
+        assert!(v.cancelled());
+        assert!(!v.truncated());
+        assert_eq!(v.exit_code(), 3);
+        assert_eq!(v.reason_str(), Some("cancelled"));
+    }
+
+    #[test]
     fn cruise_control_nominal_is_schedulable() {
         let m = cruise_control_model();
         let v = analyze(
@@ -321,7 +534,7 @@ mod tests {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(v.schedulable, "stats: {:?}", v.stats);
+        assert!(v.schedulable(), "stats: {:?}", v.stats());
     }
 
     #[test]
@@ -334,7 +547,7 @@ mod tests {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(!v.schedulable);
+        assert!(!v.schedulable());
     }
 
     #[test]
@@ -349,7 +562,7 @@ mod tests {
         .unwrap();
         // Producer (5/20) + handler (5/20, dispatched at most once per 20 ms):
         // comfortably schedulable.
-        assert!(v.schedulable, "stats: {:?}", v.stats);
+        assert!(v.schedulable(), "stats: {:?}", v.stats());
     }
 
     #[test]
@@ -397,13 +610,13 @@ mod tests {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(!rms.schedulable, "RMS cannot schedule U = 1.0 here");
+        assert!(!rms.schedulable(), "RMS cannot schedule U = 1.0 here");
         let edf = analyze(
             &build("EDF"),
             &TranslateOptions::default(),
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(edf.schedulable, "EDF schedules U = 1.0; stats: {:?}", edf.stats);
+        assert!(edf.schedulable(), "EDF schedules U = 1.0; stats: {:?}", edf.stats());
     }
 }

@@ -421,7 +421,7 @@ mod tests {
     use aadl::instance::instantiate;
     use aadl::properties::TimeVal;
 
-    fn overloaded_verdict() -> (InstanceModel, crate::analysis::Verdict) {
+    fn overloaded_verdict() -> (InstanceModel, crate::analysis::AnalysisOutcome) {
         let pkg = cruise_control_overloaded();
         let m = instantiate(&pkg, "CruiseControl.impl").unwrap();
         let v = analyze(
@@ -439,8 +439,8 @@ mod tests {
     #[test]
     fn overloaded_cruise_control_names_the_missing_thread() {
         let (_m, v) = overloaded_verdict();
-        assert!(!v.schedulable);
-        let sc = v.scenario.expect("failing scenario produced");
+        assert!(!v.schedulable());
+        let sc = v.scenario().expect("failing scenario produced");
         // Cruise2 has the larger period: under RMS it is the one preempted
         // past its deadline by the overloaded Cruise1.
         assert!(
@@ -456,7 +456,7 @@ mod tests {
     #[test]
     fn timeline_shows_dispatches_and_activity() {
         let (_m, v) = overloaded_verdict();
-        let sc = v.scenario.unwrap();
+        let sc = v.scenario().unwrap();
         assert!(!sc.timeline.is_empty());
         // The first row carries the initial dispatch events of all 6 threads.
         assert!(sc.timeline[0]
@@ -486,7 +486,7 @@ mod tests {
     #[test]
     fn render_produces_a_timeline() {
         let (_m, v) = overloaded_verdict();
-        let sc = v.scenario.unwrap();
+        let sc = v.scenario().unwrap();
         let text = sc.render();
         assert!(text.contains("VIOLATION: thread `ccl.cruise2` missed its deadline"));
         assert!(text.contains("DEADLOCK"));
@@ -497,7 +497,7 @@ mod tests {
     #[test]
     fn deadlock_happens_at_the_deadline_quantum() {
         let (_m, v) = overloaded_verdict();
-        let sc = v.scenario.unwrap();
+        let sc = v.scenario().unwrap();
         // Cruise2: deadline 100 ms = 20 quanta — BFS finds a shortest
         // counterexample, which cannot be later than the first deadline miss
         // on the CCL processor (cruise1's deadline is 10 quanta).

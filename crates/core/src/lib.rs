@@ -52,9 +52,10 @@
 //! use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
 //!
 //! let model = cruise_control_model();
-//! let verdict = analyze(&model, &TranslateOptions::default(),
+//! let outcome = analyze(&model, &TranslateOptions::default(),
 //!                       &AnalysisOptions::default()).unwrap();
-//! assert!(verdict.schedulable);
+//! assert!(outcome.schedulable());
+//! assert_eq!(outcome.exit_code(), 0);
 //! ```
 
 pub mod analysis;
@@ -71,7 +72,9 @@ pub mod queue;
 pub mod skeleton;
 pub mod translate;
 
-pub use analysis::{analyze, analyze_translated, AnalysisOptions, Verdict};
+pub use analysis::{
+    analyze, analyze_translated, AnalysisOptions, AnalysisOutcome, Interrupt, EXIT_INPUT_ERROR,
+};
 pub use diagnose::{FailingScenario, ViolationKind};
 pub use names::{ComponentRole, DefMeaning, EventMeaning, NameMap, TagMeaning};
 pub use observer::LatencyObserver;

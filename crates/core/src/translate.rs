@@ -124,6 +124,10 @@ pub struct TranslateOptions {
     /// are then checked against the override and surface as
     /// [`TranslateError::Unsupported`].
     pub protocol_override: Option<aadl::ConcurrencyControlProtocol>,
+    /// Canonicalize the composed term through this shared, long-lived store
+    /// (e.g. the daemon's warm store, reused across requests so structurally
+    /// identical subterms intern once) instead of a fresh private one.
+    pub store: Option<Arc<TermStore>>,
     /// Observability recorder; defaults to disabled (no-op).
     pub obs: obs::Recorder,
 }
@@ -563,7 +567,10 @@ pub fn translate(
 
     // Canonicalize the composed term so the explorer starts from a store
     // already holding every subterm of the initial state.
-    let store = Arc::new(TermStore::new());
+    let store = opts
+        .store
+        .clone()
+        .unwrap_or_else(|| Arc::new(TermStore::new()));
     let initial = store.intern(&initial).into_term();
 
     if opts.obs.is_enabled() {

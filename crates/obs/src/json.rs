@@ -1,12 +1,16 @@
-//! A minimal, deterministic JSON value and writer.
+//! A minimal, deterministic JSON value, writer and reader.
 //!
 //! The hermetic build has no `serde`; this module is the whole JSON story.
 //! Objects are ordered `Vec<(String, Json)>` pairs — insertion order is
 //! preserved exactly, so a report built the same way renders byte-for-byte
 //! identically. Floats are deliberately absent from the value enum: every
 //! quantity the pipeline reports (counts, nanoseconds, ids) is integral, and
-//! integers render identically on every platform.
+//! integers render identically on every platform. The reader ([`Json::parse`])
+//! accepts exactly the values the writer can produce — in particular a float
+//! literal is a parse *error*, not a lossy conversion, which keeps the
+//! `aadlschedd` wire protocol round-trippable byte for byte.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value (no floats — see the module docs).
@@ -89,6 +93,89 @@ impl Json {
         out
     }
 
+    /// Parse a JSON text into a [`Json`] value.
+    ///
+    /// Accepts the subset this module can render: `null`, booleans, integers
+    /// (`i64` when negative, `u64` otherwise), strings with the standard
+    /// escapes (including `\uXXXX` and surrogate pairs), arrays and objects.
+    /// Duplicate object keys are kept in order (last lookup wins through
+    /// [`Json::get`]). Floats, `NaN`, leading zeros and trailing garbage are
+    /// errors — the wire protocol is integral by design.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obs::Json;
+    ///
+    /// let v = Json::parse(r#"{"type":"analyze","n":3,"ok":true}"#).unwrap();
+    /// assert_eq!(v.get("type").and_then(Json::as_str), Some("analyze"));
+    /// assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+    /// assert!(Json::parse("1.5").is_err()); // floats are rejected
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(text, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (last occurrence wins). `None` for non-objects
+    /// and missing keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obs::Json;
+    ///
+    /// let v = Json::parse(r#"{"a":1}"#).unwrap();
+    /// assert!(v.get("a").is_some());
+    /// assert!(v.get("b").is_none());
+    /// ```
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -165,6 +252,226 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A JSON parse failure: byte offset plus a static description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+fn err(at: usize, message: &'static str) -> JsonParseError {
+    JsonParseError { at, message }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8, message: &'static str) -> Result<(), JsonParseError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, message))
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, b"null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'"') => parse_string(text, bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(text, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':', "expected `:` after object key")?;
+                let value = parse_value(text, bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &'static [u8],
+    value: Json,
+) -> Result<Json, JsonParseError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal (expected null/true/false)"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+    let start = *pos;
+    let negative = bytes.get(*pos) == Some(&b'-');
+    if negative {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(err(*pos, "expected a digit"));
+    }
+    if bytes[digits_start] == b'0' && *pos - digits_start > 1 {
+        return Err(err(start, "leading zeros are not allowed"));
+    }
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E')) {
+        return Err(err(*pos, "floats are not supported (integral protocol)"));
+    }
+    // SAFETY of the ASCII slice: everything consumed is `-` or a digit.
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    if negative {
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| err(start, "integer out of i64 range"))
+    } else {
+        text.parse::<u64>()
+            .map(Json::UInt)
+            .map_err(|_| err(start, "integer out of u64 range"))
+    }
+}
+
+fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    expect_byte(bytes, pos, b'"', "expected `\"`")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = parse_hex4(bytes, pos)?;
+                        let c = if (0xd800..0xdc00).contains(&hi) {
+                            // High surrogate: require the paired `\uXXXX` low
+                            // surrogate and combine.
+                            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u')
+                            {
+                                return Err(err(*pos, "unpaired surrogate escape"));
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(bytes, pos)?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err(err(*pos, "invalid low surrogate"));
+                            }
+                            let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                            char::from_u32(code).ok_or(err(*pos, "invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(hi).ok_or(err(*pos, "invalid \\u escape"))?
+                        };
+                        out.push(c);
+                        continue; // pos already advanced past the hex digits
+                    }
+                    _ => return Err(err(*pos, "unknown escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err(err(*pos, "raw control character in string")),
+            Some(_) => {
+                // Consume one full UTF-8 scalar from the source text.
+                let rest = &text[*pos..];
+                let c = rest.chars().next().expect("in-bounds char");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonParseError> {
+    if bytes.len() < *pos + 4 {
+        return Err(err(*pos, "truncated \\u escape"));
+    }
+    let mut value = 0u32;
+    for _ in 0..4 {
+        let d = match bytes[*pos] {
+            b @ b'0'..=b'9' => u32::from(b - b'0'),
+            b @ b'a'..=b'f' => u32::from(b - b'a') + 10,
+            b @ b'A'..=b'F' => u32::from(b - b'A') + 10,
+            _ => return Err(err(*pos, "invalid hex digit in \\u escape")),
+        };
+        value = value * 16 + d;
+        *pos += 1;
+    }
+    Ok(value)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +507,73 @@ mod tests {
     fn insertion_order_is_preserved() {
         let v = Json::obj([("z", Json::UInt(1)), ("a", Json::UInt(2))]);
         assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let v = Json::obj([
+            ("n", Json::Int(-3)),
+            ("u", Json::UInt(u64::MAX)),
+            ("s", Json::from("a\"b\\c\nd\u{0001}é")),
+            ("a", Json::Arr(vec![Json::Null, Json::Bool(false), Json::Bool(true)])),
+            ("e", Json::Obj(Vec::new())),
+            ("ea", Json::Arr(Vec::new())),
+        ]);
+        assert_eq!(Json::parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_scalars_and_sign_conventions() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        // Non-negative integers come back as UInt, negative as Int.
+        assert_eq!(Json::parse("7").unwrap(), Json::UInt(7));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::from("A"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::from("\u{1f600}")
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err()); // unpaired
+    }
+
+    #[test]
+    fn parse_rejects_floats_and_garbage() {
+        for bad in [
+            "1.5", "1e3", "-0.1", "01", "nul", "truth", "\"unterminated",
+            "{\"a\":1,}", "[1,]", "{\"a\" 1}", "1 2", "{\"a\":}", "",
+            "\"ctrl\u{0001}\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = Json::parse(r#"{"a":1,"b":"x","c":true,"a":2}"#).unwrap();
+        // Duplicate keys: last wins through get.
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("a").and_then(Json::as_i64), Some(2));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(Json::as_bool), Some(true));
+        assert!(v.get("d").is_none());
+        assert!(Json::Null.get("a").is_none());
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::UInt(u64::MAX).as_i64(), None);
     }
 }

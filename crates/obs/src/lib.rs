@@ -52,7 +52,7 @@ pub mod report;
 pub mod sink;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use recorder::{
     EventRecord, Recorder, RunData, Span, SpanRecord, PROGRESS_FIRST_THRESHOLD,

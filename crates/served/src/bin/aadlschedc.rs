@@ -1,0 +1,180 @@
+//! `aadlschedc` — a thin line-protocol client for `aadlschedd`.
+//!
+//! ```text
+//! aadlschedc --addr <host:port> <command>
+//!
+//! commands:
+//!   analyze <model.aadl> [--root <r>] [--quantum <ms>] [--protocol <p>]
+//!           [--compact] [--exhaustive] [--threads <n>] [--max-states <n>]
+//!           [--no-memo] [--timeout-ms <n>]
+//!       read the model, send it inline, wait for the result; the process
+//!       exit code mirrors the wire `code` (0 schedulable, 1 not, 2 input
+//!       error, 3 unknown)
+//!   raw <json>     send one raw request line, print responses until the
+//!                  terminal one (result / error / status / ...)
+//!   status [job]   daemon summary, or one job's state
+//!   cancel <job>   cancel a queued or running job
+//!   metrics        fetch the fleet counters and gauges
+//!   shutdown       ask the daemon to drain and exit
+//! ```
+//!
+//! Every response line is printed verbatim — the client never re-renders
+//! JSON, so transcripts stay byte-identical to what the daemon sent.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use obs::Json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: aadlschedc --addr <host:port> \
+         (analyze <model.aadl> [opts] | raw <json> | status [job] | \
+         cancel <job> | metrics | shutdown)"
+    );
+    ExitCode::from(2)
+}
+
+/// Every response terminates the exchange except `accepted`, which is
+/// always followed by a `result` for the same request.
+fn is_terminal(v: &Json) -> bool {
+    !matches!(v.get("type").and_then(Json::as_str), Some("accepted"))
+}
+
+fn exchange(addr: &str, line: &str) -> Result<u8, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut code: u8 = 0;
+    for resp in reader.lines() {
+        let resp = resp.map_err(|e| format!("recv: {e}"))?;
+        println!("{resp}");
+        let v = Json::parse(&resp).map_err(|e| format!("bad response JSON: {e}"))?;
+        if let Some(c) = v.get("code").and_then(Json::as_u64) {
+            code = c as u8;
+        }
+        if is_terminal(&v) {
+            return Ok(code);
+        }
+    }
+    Err("connection closed before a terminal response".into())
+}
+
+fn analyze_request(mut raw: std::env::Args) -> Result<String, String> {
+    let file = raw.next().ok_or("analyze needs <model.aadl>")?;
+    let model = std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let mut opts: Vec<(String, Json)> = Vec::new();
+    while let Some(flag) = raw.next() {
+        let mut val = |what: &str| raw.next().ok_or(format!("{what} needs a value"));
+        match flag.as_str() {
+            "--root" => opts.push(("root".into(), Json::from(val("--root")?))),
+            "--quantum" => opts.push((
+                "quantum_ms".into(),
+                Json::Int(
+                    val("--quantum")?
+                        .parse()
+                        .map_err(|e| format!("--quantum: {e}"))?,
+                ),
+            )),
+            "--protocol" => opts.push(("protocol".into(), Json::from(val("--protocol")?))),
+            "--compact" => opts.push(("compact".into(), Json::Bool(true))),
+            "--exhaustive" => opts.push(("exhaustive".into(), Json::Bool(true))),
+            "--threads" => opts.push((
+                "threads".into(),
+                Json::UInt(
+                    val("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                ),
+            )),
+            "--max-states" => opts.push((
+                "max_states".into(),
+                Json::UInt(
+                    val("--max-states")?
+                        .parse()
+                        .map_err(|e| format!("--max-states: {e}"))?,
+                ),
+            )),
+            "--no-memo" => opts.push(("memo".into(), Json::Bool(false))),
+            "--timeout-ms" => opts.push((
+                "timeout_ms".into(),
+                Json::UInt(
+                    val("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                ),
+            )),
+            other => return Err(format!("unknown analyze flag `{other}`")),
+        }
+    }
+    let mut pairs = vec![
+        ("type", Json::from("analyze")),
+        ("id", Json::from("c1")),
+        ("model", Json::from(model)),
+    ];
+    if !opts.is_empty() {
+        pairs.push(("options", Json::Obj(opts)));
+    }
+    Ok(Json::obj(pairs).to_compact())
+}
+
+fn main() -> ExitCode {
+    let mut raw = std::env::args();
+    raw.next();
+    let addr = match (raw.next().as_deref(), raw.next()) {
+        (Some("--addr"), Some(addr)) => addr,
+        _ => return usage(),
+    };
+    let Some(cmd) = raw.next() else {
+        return usage();
+    };
+    let built = match cmd.as_str() {
+        "analyze" => analyze_request(raw),
+        "raw" => match raw.next() {
+            Some(line) => Ok(line),
+            None => Err("raw needs a JSON line".into()),
+        },
+        "status" => {
+            let mut pairs = vec![("type", Json::from("status")), ("id", Json::from("c1"))];
+            if let Some(job) = raw.next() {
+                pairs.push(("job", Json::from(job)));
+            }
+            Ok(Json::obj(pairs).to_compact())
+        }
+        "cancel" => match raw.next() {
+            Some(job) => Ok(Json::obj([
+                ("type", Json::from("cancel")),
+                ("id", Json::from("c1")),
+                ("job", Json::from(job)),
+            ])
+            .to_compact()),
+            None => Err("cancel needs a job digest".into()),
+        },
+        "metrics" => Ok(
+            Json::obj([("type", Json::from("metrics")), ("id", Json::from("c1"))]).to_compact(),
+        ),
+        "shutdown" => Ok(
+            Json::obj([("type", Json::from("shutdown")), ("id", Json::from("c1"))]).to_compact(),
+        ),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    let line = match built {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match exchange(&addr, &line) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

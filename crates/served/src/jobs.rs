@@ -1,0 +1,345 @@
+//! The job table: every analysis the daemon knows about, keyed by its
+//! digest, plus the bounded result cache.
+//!
+//! The table is the meeting point of the three daemon layers: connection
+//! threads *submit* (and attach themselves as waiters), the worker pool
+//! *takes* payloads and *completes* them, and the deadline reaper *cancels*
+//! what has overrun. All transitions happen under one mutex; the analysis
+//! itself never runs under it.
+//!
+//! Coalescing falls out of the keying: a second `analyze` with the same
+//! digest finds the live entry and becomes another waiter instead of another
+//! exploration. A digest resubmitted after completion is a result-cache hit
+//! while the entry survives (bounded FIFO eviction; input errors are never
+//! cached).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use versa::CancelToken;
+
+use crate::wire::{AnalyzeOptions, JobResult};
+
+/// What a worker needs to run a job.
+#[derive(Clone, Debug)]
+pub struct JobPayload {
+    /// The AADL source text (already read from disk for `file` requests).
+    pub source: String,
+    /// The request options.
+    pub options: AnalyzeOptions,
+}
+
+/// Lifecycle of a job.
+enum State {
+    Queued(JobPayload),
+    Running,
+    Done(Arc<JobResult>),
+}
+
+struct Entry<W> {
+    state: State,
+    cancel: CancelToken,
+    /// Wall-clock deadline (clock ns) after which the reaper cancels the
+    /// job; `None` = no timeout.
+    deadline_ns: Option<u64>,
+    /// Set when the cancellation came from the deadline, so the result says
+    /// `timeout` rather than `cancelled`.
+    timed_out: bool,
+    waiters: Vec<W>,
+}
+
+/// Outcome of a submission.
+pub enum Submit {
+    /// Fresh job — the caller must enqueue the digest for the worker pool.
+    New,
+    /// An identical job is queued or running; the waiter was attached to it.
+    Coalesced,
+    /// An identical job already completed and its result is still cached.
+    Cached(Arc<JobResult>),
+}
+
+/// The shared job table. `W` is the waiter handle a completion is fanned
+/// out to (the server uses a connection writer + request id; tests use
+/// plain values).
+pub struct JobTable<W> {
+    inner: Mutex<Tables<W>>,
+}
+
+struct Tables<W> {
+    jobs: HashMap<String, Entry<W>>,
+    /// Completion order of cached results, oldest first, for FIFO eviction.
+    cache_order: VecDeque<String>,
+    cache_capacity: usize,
+}
+
+impl<W> JobTable<W> {
+    /// A table caching at most `cache_capacity` completed results
+    /// (`0` disables the result cache entirely).
+    pub fn new(cache_capacity: usize) -> JobTable<W> {
+        JobTable {
+            inner: Mutex::new(Tables {
+                jobs: HashMap::new(),
+                cache_order: VecDeque::new(),
+                cache_capacity,
+            }),
+        }
+    }
+
+    /// Submit a job: attach `waiter` to the live entry when one exists,
+    /// otherwise create a queued entry. The caller enqueues the digest only
+    /// for [`Submit::New`]; on [`Submit::Cached`] the waiter is *not*
+    /// attached (the caller already has the result).
+    pub fn submit(
+        &self,
+        digest: &str,
+        payload: JobPayload,
+        waiter: W,
+        deadline_ns: Option<u64>,
+    ) -> Submit {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        match t.jobs.get_mut(digest) {
+            Some(entry) => match &entry.state {
+                State::Done(result) => Submit::Cached(result.clone()),
+                State::Queued(_) | State::Running => {
+                    entry.waiters.push(waiter);
+                    Submit::Coalesced
+                }
+            },
+            None => {
+                t.jobs.insert(
+                    digest.to_string(),
+                    Entry {
+                        state: State::Queued(payload),
+                        cancel: CancelToken::new(),
+                        deadline_ns,
+                        timed_out: false,
+                        waiters: vec![waiter],
+                    },
+                );
+                Submit::New
+            }
+        }
+    }
+
+    /// Remove a freshly submitted job again (the request queue was full),
+    /// returning its waiters so they can be told.
+    pub fn abort(&self, digest: &str) -> Vec<W> {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        t.jobs
+            .remove(digest)
+            .map(|e| e.waiters)
+            .unwrap_or_default()
+    }
+
+    /// Worker entry point: move the job to `Running` and hand out what it
+    /// needs. `None` when the entry vanished (aborted).
+    pub fn take_running(&self, digest: &str) -> Option<(JobPayload, CancelToken, Option<u64>)> {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        let entry = t.jobs.get_mut(digest)?;
+        match std::mem::replace(&mut entry.state, State::Running) {
+            State::Queued(payload) => {
+                Some((payload, entry.cancel.clone(), entry.deadline_ns))
+            }
+            other => {
+                entry.state = other;
+                None
+            }
+        }
+    }
+
+    /// Complete a job, returning the waiters to fan the result out to.
+    /// Cacheable results (`cache` true and capacity > 0) stay in the table
+    /// until FIFO eviction; everything else is dropped immediately, so the
+    /// next identical request runs fresh.
+    pub fn complete(&self, digest: &str, result: JobResult, cache: bool) -> Vec<W> {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        let cache = cache && t.cache_capacity > 0;
+        let Some(entry) = t.jobs.get_mut(digest) else {
+            return Vec::new();
+        };
+        let waiters = std::mem::take(&mut entry.waiters);
+        if cache {
+            entry.state = State::Done(Arc::new(result));
+            t.cache_order.push_back(digest.to_string());
+            while t.cache_order.len() > t.cache_capacity {
+                if let Some(old) = t.cache_order.pop_front() {
+                    t.jobs.remove(&old);
+                }
+            }
+        } else {
+            t.jobs.remove(digest);
+        }
+        waiters
+    }
+
+    /// Cancel a job. Returns the state it was observed in: `"queued"`,
+    /// `"running"`, `"done"` or `"unknown"`. Queued and running jobs get
+    /// their token fired; the worker turns that into a `cancelled` result
+    /// delivered to every waiter.
+    pub fn cancel(&self, digest: &str) -> &'static str {
+        let t = self.inner.lock().expect("job table poisoned");
+        match t.jobs.get(digest) {
+            None => "unknown",
+            Some(entry) => match &entry.state {
+                State::Done(_) => "done",
+                State::Queued(_) => {
+                    entry.cancel.cancel();
+                    "queued"
+                }
+                State::Running => {
+                    entry.cancel.cancel();
+                    "running"
+                }
+            },
+        }
+    }
+
+    /// True when the job's cancellation came from its deadline.
+    pub fn timed_out(&self, digest: &str) -> bool {
+        let t = self.inner.lock().expect("job table poisoned");
+        t.jobs.get(digest).map(|e| e.timed_out).unwrap_or(false)
+    }
+
+    /// Fire the token of every running job whose deadline has passed,
+    /// marking it timed out. `now_ns` is only called when at least one
+    /// running job carries a deadline, so idle fake-clock runs stay
+    /// deterministic (no spurious clock reads). Returns the number of jobs
+    /// newly timed out.
+    pub fn reap(&self, now_ns: impl FnOnce() -> u64) -> usize {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        let armed = t.jobs.values().any(|e| {
+            matches!(e.state, State::Queued(_) | State::Running)
+                && e.deadline_ns.is_some()
+                && !e.cancel.is_cancelled()
+        });
+        if !armed {
+            return 0;
+        }
+        let now = now_ns();
+        let mut reaped = 0;
+        for entry in t.jobs.values_mut() {
+            if matches!(entry.state, State::Queued(_) | State::Running)
+                && entry.deadline_ns.is_some_and(|d| now >= d)
+                && !entry.cancel.is_cancelled()
+            {
+                entry.cancel.cancel();
+                entry.timed_out = true;
+                reaped += 1;
+            }
+        }
+        reaped
+    }
+
+    /// Mark a job timed out directly (the worker does this when the
+    /// deadline had already passed before the analysis started — the
+    /// deterministic `timeout_ms: 0` path).
+    pub fn mark_timed_out(&self, digest: &str) {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        if let Some(entry) = t.jobs.get_mut(digest) {
+            entry.timed_out = true;
+            entry.cancel.cancel();
+        }
+    }
+
+    /// Status of one job: `("queued" | "running" | "done", result-if-done)`.
+    pub fn status(&self, digest: &str) -> Option<(&'static str, Option<Arc<JobResult>>)> {
+        let t = self.inner.lock().expect("job table poisoned");
+        t.jobs.get(digest).map(|e| match &e.state {
+            State::Queued(_) => ("queued", None),
+            State::Running => ("running", None),
+            State::Done(r) => ("done", Some(r.clone())),
+        })
+    }
+
+    /// Number of jobs currently running.
+    pub fn running_count(&self) -> usize {
+        let t = self.inner.lock().expect("job table poisoned");
+        t.jobs
+            .values()
+            .filter(|e| matches!(e.state, State::Running))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> JobPayload {
+        JobPayload {
+            source: "package P end P;".into(),
+            options: AnalyzeOptions::default(),
+        }
+    }
+
+    fn done(code: u8) -> JobResult {
+        JobResult {
+            code,
+            verdict: "schedulable".into(),
+            reason: None,
+            stats: None,
+            violations: Vec::new(),
+            at_quantum: None,
+        }
+    }
+
+    #[test]
+    fn coalesce_then_cache_then_evict() {
+        let table: JobTable<u32> = JobTable::new(1);
+        assert!(matches!(table.submit("d1", payload(), 1, None), Submit::New));
+        assert!(matches!(
+            table.submit("d1", payload(), 2, None),
+            Submit::Coalesced
+        ));
+        let (_p, _tok, _dl) = table.take_running("d1").unwrap();
+        assert!(matches!(
+            table.submit("d1", payload(), 3, None),
+            Submit::Coalesced
+        ));
+        let mut waiters = table.complete("d1", done(0), true);
+        waiters.sort_unstable();
+        assert_eq!(waiters, vec![1, 2, 3]);
+        // Now cached.
+        assert!(matches!(
+            table.submit("d1", payload(), 4, None),
+            Submit::Cached(_)
+        ));
+        // A second completed digest evicts the first (capacity 1).
+        assert!(matches!(table.submit("d2", payload(), 5, None), Submit::New));
+        table.take_running("d2").unwrap();
+        table.complete("d2", done(0), true);
+        assert!(matches!(table.submit("d1", payload(), 6, None), Submit::New));
+    }
+
+    #[test]
+    fn input_errors_are_not_cached() {
+        let table: JobTable<u32> = JobTable::new(8);
+        table.submit("d", payload(), 1, None);
+        table.take_running("d").unwrap();
+        table.complete("d", done(2), false);
+        assert!(matches!(table.submit("d", payload(), 2, None), Submit::New));
+    }
+
+    #[test]
+    fn cancel_states_and_reaper() {
+        let table: JobTable<u32> = JobTable::new(8);
+        assert_eq!(table.cancel("missing"), "unknown");
+        table.submit("d", payload(), 1, Some(1_000));
+        assert_eq!(table.cancel("d"), "queued");
+        let (_p, token, _dl) = table.take_running("d").unwrap();
+        assert!(token.is_cancelled());
+        // Reaper: a running job past its deadline gets marked timed out.
+        let t2: JobTable<u32> = JobTable::new(8);
+        t2.submit("x", payload(), 1, Some(500));
+        let (_p, tok, dl) = t2.take_running("x").unwrap();
+        assert_eq!(dl, Some(500));
+        assert_eq!(t2.reap(|| 499), 0);
+        assert!(!tok.is_cancelled());
+        assert_eq!(t2.reap(|| 500), 1);
+        assert!(tok.is_cancelled());
+        assert!(t2.timed_out("x"));
+        // Idle table: the reaper never needs the clock.
+        let idle: JobTable<u32> = JobTable::new(8);
+        assert_eq!(idle.reap(|| panic!("clock read on idle table")), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! `served` — analysis-as-a-service for AADL schedulability.
+//!
+//! The paper's workflow (§5) is interactive: a designer iterates on a model
+//! and re-checks schedulability after every edit. A cold `aadlsched` process
+//! re-interns the whole term universe on each run; this crate keeps the
+//! analysis engine resident instead. `aadlschedd` is a long-running TCP
+//! daemon speaking a line-delimited JSON protocol (`PROTOCOL.md`), with:
+//!
+//! * a **warm term store** shared across requests, so repeat analyses of
+//!   structurally similar models skip re-interning;
+//! * **duplicate coalescing** — identical (model, options) requests join the
+//!   in-flight exploration instead of duplicating it — and a bounded
+//!   **result cache** behind the same digest;
+//! * per-request **state budgets**, **wall-clock timeouts** (via the
+//!   cooperative [`versa::CancelToken`]) and bounded retries;
+//! * per-client **rate limiting** and a bounded request queue that rejects
+//!   under overload instead of buffering without bound;
+//! * **graceful drain** on shutdown and fleet metrics through the
+//!   schema-versioned `obs` report sink.
+//!
+//! The layering is listener → [`queue::BoundedQueue`] → [`jobs::JobTable`]
+//! → worker pool; see `DESIGN.md` §14. The wire protocol lives in [`wire`],
+//! the daemon loop in [`server`]; `aadlschedc` is a thin stdin-free client
+//! used by the CI smoke stage and the experiments.
+
+pub mod jobs;
+pub mod limiter;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use server::{run, Config, Daemon};

@@ -1,0 +1,121 @@
+//! A bounded MPMC request queue: `Mutex<VecDeque>` + `Condvar`, std-only.
+//!
+//! The listener pushes job digests with [`BoundedQueue::try_push`] — which
+//! *rejects* when the queue is full instead of blocking, so a traffic burst
+//! degrades into fast `error` responses rather than unbounded memory — and
+//! the worker pool blocks on [`BoundedQueue::pop`]. Closing the queue lets
+//! workers drain what was already accepted and then exit: the graceful-drain
+//! half of shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-producer/multi-consumer FIFO.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue without blocking. Returns the item back when the queue is
+    /// full or closed, so the caller can turn it into a rejection response.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.items.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is empty and open. Returns `None`
+    /// once the queue is closed *and* drained — the worker's exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: no further pushes succeed; blocked and future `pop`s
+    /// drain the remaining items and then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_fifo_order() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err("b"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(42).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+}

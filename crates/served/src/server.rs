@@ -1,0 +1,638 @@
+//! The daemon itself: listener → bounded queue → worker pool, plus the
+//! deadline reaper and the graceful-drain shutdown path.
+//!
+//! Layering (see DESIGN.md §14):
+//!
+//! * **Connection threads** (one per client) parse requests, apply the
+//!   per-peer rate limit, and submit jobs. They never analyze anything.
+//! * **The bounded queue** carries job *digests* only; the payload lives in
+//!   the job table. A full queue rejects instead of blocking.
+//! * **Workers** pop digests, run the translate→explore→diagnose pipeline
+//!   with the daemon's warm term store and the job's cancellation token,
+//!   and fan the result out to every waiter.
+//! * **The reaper** fires cancellation tokens of jobs past their wall-clock
+//!   deadline.
+//!
+//! Response ordering: a connection thread holds its write lock across a
+//! whole request dispatch, so the `accepted` acknowledgement always reaches
+//! the client before the worker's `result` for the same request — the
+//! fan-out blocks on the same lock. The lock order is write-mutex then
+//! job-table on the connection side, and job-table alone followed by
+//! write-mutex on the fan-out side, so the two never deadlock.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use aadl::instance::instantiate;
+use aadl::parser::parse_package;
+use aadl::properties::{ConcurrencyControlProtocol, TimeVal};
+use aadl2acsr::{
+    analyze_translated, translate, AnalysisOptions, TranslateError, TranslateOptions,
+};
+use acsr::TermStore;
+use obs::Json;
+
+use crate::jobs::{JobPayload, JobTable, Submit};
+use crate::limiter::RateLimiter;
+use crate::queue::BoundedQueue;
+use crate::wire::{self, AnalyzeOptions, JobResult, ModelSource, Request};
+
+/// Daemon configuration (the `aadlschedd` flags).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Listen address; port `0` binds an ephemeral port (announced on
+    /// stdout as `aadlschedd listening on <addr>`).
+    pub addr: String,
+    /// Worker threads running analyses (minimum 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue rejects new jobs.
+    pub queue_capacity: usize,
+    /// Per-peer rate limit in requests per second (`0` = unlimited; also
+    /// the byte-deterministic mode — no clock reads on the request path).
+    pub rate_limit: u64,
+    /// Rate-limit burst capacity.
+    pub burst: u64,
+    /// Default per-request wall-clock timeout in ms (`None` = no timeout).
+    pub default_timeout_ms: Option<u64>,
+    /// Daemon-wide state budget every request is clamped to.
+    pub max_states: usize,
+    /// Completed results kept for cache hits (FIFO eviction).
+    pub cache_capacity: usize,
+    /// Bounded retries when the analysis pipeline fails transiently.
+    pub retries: u32,
+    /// Keep verdicts in the result cache (`false` = always recompute).
+    pub result_cache: bool,
+    /// Write the end-of-life fleet metrics report to this path on shutdown.
+    pub metrics_path: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            rate_limit: 0,
+            burst: 8,
+            default_timeout_ms: None,
+            max_states: usize::MAX,
+            cache_capacity: 128,
+            retries: 1,
+            result_cache: true,
+            metrics_path: None,
+        }
+    }
+}
+
+impl Config {
+    /// The configuration as JSON, embedded in the shutdown metrics report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("addr", Json::from(self.addr.as_str())),
+            ("workers", Json::from(self.workers)),
+            ("queue_capacity", Json::from(self.queue_capacity)),
+            ("rate_limit", Json::from(self.rate_limit)),
+            ("burst", Json::from(self.burst)),
+            (
+                "default_timeout_ms",
+                self.default_timeout_ms.map(Json::from).unwrap_or(Json::Null),
+            ),
+            (
+                "max_states",
+                if self.max_states == usize::MAX {
+                    Json::Null
+                } else {
+                    Json::from(self.max_states)
+                },
+            ),
+            ("cache_capacity", Json::from(self.cache_capacity)),
+            ("retries", Json::from(u64::from(self.retries))),
+            ("result_cache", Json::Bool(self.result_cache)),
+        ])
+    }
+}
+
+/// A waiter: the connection's serialized writer plus the request id the
+/// result must echo.
+type Waiter = (Arc<Mutex<TcpStream>>, String);
+
+/// Fleet-level instruments, registered once so the `metrics` response can
+/// render them in a fixed order.
+struct Instruments {
+    requests: obs::Counter,
+    analyze: obs::Counter,
+    results: obs::Counter,
+    coalesced: obs::Counter,
+    cache_hits: obs::Counter,
+    rejected_rate_limit: obs::Counter,
+    rejected_queue_full: obs::Counter,
+    timeouts: obs::Counter,
+    cancelled: obs::Counter,
+    retries: obs::Counter,
+    errors: obs::Counter,
+    queue_depth: obs::Gauge,
+    jobs_running: obs::Gauge,
+    connections: obs::Gauge,
+    request_wall: obs::Histogram,
+}
+
+impl Instruments {
+    fn new(rec: &obs::Recorder) -> Instruments {
+        Instruments {
+            requests: rec.counter("served.requests"),
+            analyze: rec.counter("served.analyze"),
+            results: rec.counter("served.results"),
+            coalesced: rec.counter("served.coalesced"),
+            cache_hits: rec.counter("served.cache_hits"),
+            rejected_rate_limit: rec.counter("served.rejected_rate_limit"),
+            rejected_queue_full: rec.counter("served.rejected_queue_full"),
+            timeouts: rec.counter("served.timeouts"),
+            cancelled: rec.counter("served.cancelled"),
+            retries: rec.counter("served.retries"),
+            errors: rec.counter("served.errors"),
+            queue_depth: rec.gauge("served.queue_depth"),
+            jobs_running: rec.gauge("served.jobs_running"),
+            connections: rec.gauge("served.connections"),
+            request_wall: rec.histogram("served.request_wall"),
+        }
+    }
+}
+
+/// Shared daemon state: the job table, the request queue, the limiter, the
+/// warm term store, and the fleet instruments.
+pub struct Daemon {
+    cfg: Config,
+    jobs: JobTable<Waiter>,
+    queue: BoundedQueue<String>,
+    limiter: RateLimiter,
+    rec: obs::Recorder,
+    clock: Arc<dyn obs::Clock>,
+    /// The warm term store: shared across every request of the daemon's
+    /// lifetime, so structurally identical subterms (and whole models)
+    /// intern once, and repeat requests skip the re-hashing a cold CLI
+    /// process pays on every start.
+    store: Arc<TermStore>,
+    draining: AtomicBool,
+    m: Instruments,
+}
+
+impl Daemon {
+    fn update_gauges(&self) {
+        self.m.queue_depth.set(self.queue.len() as i64);
+        self.m.jobs_running.set(self.jobs.running_count() as i64);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// Build the daemon clock honoring `AADLSCHED_FAKE_CLOCK` (a tick in ns per
+/// reading — the same contract as the CLI). Two independent instances:
+/// one `Arc` for deadlines/limiter, one boxed for the recorder.
+fn build_clock() -> Result<(Arc<dyn obs::Clock>, Box<dyn obs::Clock>), String> {
+    match std::env::var("AADLSCHED_FAKE_CLOCK") {
+        Ok(tick) => {
+            let tick: u64 = tick
+                .parse()
+                .map_err(|e| format!("AADLSCHED_FAKE_CLOCK must be a tick in ns: {e}"))?;
+            Ok((
+                Arc::new(obs::FakeClock::new(tick)),
+                Box::new(obs::FakeClock::new(tick)),
+            ))
+        }
+        Err(_) => Ok((
+            Arc::new(obs::MonotonicClock::new()),
+            Box::new(obs::MonotonicClock::new()),
+        )),
+    }
+}
+
+/// Run the daemon until a `shutdown` request drains it. Prints
+/// `aadlschedd listening on <addr>` once the socket is bound — the line
+/// clients and the smoke test parse for the ephemeral port.
+pub fn run(cfg: Config) -> Result<(), String> {
+    let (clock, rec_clock) = build_clock()?;
+    let rec = obs::Recorder::with_clock(rec_clock);
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    println!("aadlschedd listening on {local}");
+    // The line above is the readiness signal; make sure it leaves the
+    // process even when stdout is a pipe.
+    std::io::stdout().flush().ok();
+
+    let daemon = Arc::new(Daemon {
+        limiter: RateLimiter::new(cfg.rate_limit, cfg.burst, clock.clone()),
+        jobs: JobTable::new(if cfg.result_cache {
+            cfg.cache_capacity
+        } else {
+            0
+        }),
+        queue: BoundedQueue::new(cfg.queue_capacity),
+        m: Instruments::new(&rec),
+        rec,
+        clock,
+        store: Arc::new(TermStore::new()),
+        draining: AtomicBool::new(false),
+        cfg,
+    });
+
+    let workers: Vec<_> = (0..daemon.cfg.workers.max(1))
+        .map(|wi| {
+            let d = daemon.clone();
+            std::thread::Builder::new()
+                .name(format!("aadlschedd-worker-{wi}"))
+                .spawn(move || {
+                    while let Some(digest) = d.queue.pop() {
+                        d.update_gauges();
+                        run_job(&d, &digest);
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let reaper = {
+        let d = daemon.clone();
+        std::thread::Builder::new()
+            .name("aadlschedd-reaper".into())
+            .spawn(move || loop {
+                if d.draining() && d.queue.is_empty() && d.jobs.running_count() == 0 {
+                    break;
+                }
+                // The worker that observes the fired token counts the
+                // timeout; the reaper only fires it.
+                d.jobs.reap(|| d.clock.now_ns());
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            })
+            .expect("spawn reaper")
+    };
+
+    // Track live client sockets so drain can unblock their readers.
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    for stream in listener.incoming() {
+        if daemon.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are small back-to-back lines (`accepted` then `result`);
+        // without nodelay, Nagle + delayed ACK adds ~40 ms per exchange.
+        stream.set_nodelay(true).ok();
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().expect("conns poisoned").push(clone);
+        }
+        let d = daemon.clone();
+        let local = local.to_string();
+        std::thread::Builder::new()
+            .name("aadlschedd-conn".into())
+            .spawn(move || handle_conn(d, stream, &local))
+            .expect("spawn conn");
+    }
+
+    // Drain: workers finish what was queued, every result is fanned out,
+    // then readers are unblocked and the metrics report is written.
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    reaper.join().expect("reaper panicked");
+    for c in conns.lock().expect("conns poisoned").iter() {
+        c.shutdown(std::net::Shutdown::Both).ok();
+    }
+    if let Some(path) = &daemon.cfg.metrics_path {
+        let report = metrics_report(&daemon);
+        std::fs::write(path, report).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The end-of-life fleet report through the schema-versioned report sink.
+fn metrics_report(d: &Daemon) -> String {
+    let run_id = obs::run_id(&[b"aadlschedd", d.cfg.addr.as_bytes()]);
+    let mut report = obs::Report::new(&run_id, "aadlschedd");
+    report.set("config", d.cfg.to_json());
+    report.attach_run(&d.rec.finish());
+    report.to_json()
+}
+
+fn write_line(writer: &Arc<Mutex<TcpStream>>, v: Json) {
+    let mut guard = writer.lock().expect("writer poisoned");
+    let mut line = v.to_compact();
+    line.push('\n');
+    guard.write_all(line.as_bytes()).ok();
+}
+
+fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    d.m.connections.set(d.m.connections.get() + 1);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        d.m.requests.inc();
+        if !d.limiter.allow(&peer) {
+            d.m.rejected_rate_limit.inc();
+            write_line(&writer, wire::error_response(None, "rate limit exceeded"));
+            continue;
+        }
+        let req = match wire::parse_request(&line) {
+            Ok(req) => req,
+            Err(message) => {
+                d.m.errors.inc();
+                // Echo the id when the malformed request still carried one.
+                let id = Json::parse(&line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Json::as_str).map(String::from));
+                write_line(&writer, wire::error_response(id.as_deref(), &message));
+                continue;
+            }
+        };
+        match req {
+            Request::Analyze {
+                id,
+                source,
+                options,
+            } => handle_analyze(&d, &writer, &id, source, options),
+            Request::Status { id, job } => {
+                let resp = match job {
+                    Some(job) => match d.jobs.status(&job) {
+                        Some((state, result)) => {
+                            wire::status_job(&id, &job, state, result.as_deref())
+                        }
+                        None => wire::status_job(&id, &job, "unknown", None),
+                    },
+                    None => wire::status_summary(
+                        &id,
+                        d.queue.len(),
+                        d.jobs.running_count(),
+                        d.draining(),
+                    ),
+                };
+                write_line(&writer, resp);
+            }
+            Request::Cancel { id, job } => {
+                let was = d.jobs.cancel(&job);
+                if was == "queued" || was == "running" {
+                    d.m.cancelled.inc();
+                }
+                write_line(&writer, wire::cancelled_response(&id, &job, was));
+            }
+            Request::Metrics { id } => write_line(&writer, metrics_response(&d, &id)),
+            Request::Shutdown { id } => {
+                write_line(&writer, wire::shutting_down(&id));
+                d.draining.store(true, Ordering::Release);
+                d.queue.close();
+                // Wake the accept loop so it observes the drain flag.
+                TcpStream::connect(local_addr).ok();
+                break;
+            }
+        }
+    }
+    d.m.connections.set(d.m.connections.get() - 1);
+}
+
+fn handle_analyze(
+    d: &Arc<Daemon>,
+    writer: &Arc<Mutex<TcpStream>>,
+    id: &str,
+    source: ModelSource,
+    options: AnalyzeOptions,
+) {
+    d.m.analyze.inc();
+    if d.draining() {
+        d.m.errors.inc();
+        write_line(writer, wire::error_response(Some(id), "shutting down"));
+        return;
+    }
+    let source = match source {
+        ModelSource::Inline(text) => text,
+        ModelSource::File(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                d.m.errors.inc();
+                write_line(
+                    writer,
+                    wire::error_response(Some(id), &format!("cannot read `{path}`: {e}")),
+                );
+                return;
+            }
+        },
+    };
+    let digest = wire::job_digest(&source, &options);
+    let timeout_ms = options.timeout_ms.or(d.cfg.default_timeout_ms);
+    let deadline_ns = timeout_ms.map(|ms| d.clock.now_ns().saturating_add(ms * 1_000_000));
+    // Hold the write lock across the whole dispatch: the fan-out cannot
+    // deliver our own result before we have written `accepted`.
+    let mut guard = writer.lock().expect("writer poisoned");
+    let payload = JobPayload { source, options };
+    let waiter = (writer.clone(), id.to_string());
+    let mut lines: Vec<Json> = Vec::new();
+    match d.jobs.submit(&digest, payload, waiter, deadline_ns) {
+        Submit::Cached(result) => {
+            d.m.cache_hits.inc();
+            lines.push(wire::accepted(id, &digest, false));
+            lines.push(wire::result_response(id, &digest, &result, true));
+        }
+        Submit::Coalesced => {
+            d.m.coalesced.inc();
+            lines.push(wire::accepted(id, &digest, true));
+        }
+        Submit::New => match d.queue.try_push(digest.clone()) {
+            Ok(()) => {
+                d.update_gauges();
+                lines.push(wire::accepted(id, &digest, false));
+            }
+            Err(_) => {
+                d.m.rejected_queue_full.inc();
+                d.jobs.abort(&digest);
+                lines.push(wire::error_response(Some(id), "queue full, retry later"));
+            }
+        },
+    }
+    for v in lines {
+        let mut line = v.to_compact();
+        line.push('\n');
+        guard.write_all(line.as_bytes()).ok();
+    }
+}
+
+/// Execute one job end to end: deadline and cancellation checks, the
+/// translate→explore→diagnose pipeline with bounded retries on panics, and
+/// the fan-out of the result to every waiter.
+fn run_job(d: &Arc<Daemon>, digest: &str) {
+    let Some((payload, cancel, deadline_ns)) = d.jobs.take_running(digest) else {
+        return;
+    };
+    d.update_gauges();
+    let span = d.rec.span("served.request");
+    let started = d.clock.now_ns();
+    let result = if cancel.is_cancelled() {
+        // Cancelled (or reaped) while still queued.
+        if d.jobs.timed_out(digest) {
+            d.m.timeouts.inc();
+            JobResult::unknown("timeout")
+        } else {
+            JobResult::unknown("cancelled")
+        }
+    } else if deadline_ns.is_some_and(|dl| started >= dl) {
+        // Deterministic immediate timeout (`timeout_ms: 0`), or a job that
+        // sat in the queue past its whole deadline.
+        d.jobs.mark_timed_out(digest);
+        d.m.timeouts.inc();
+        JobResult::unknown("timeout")
+    } else {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                analyze_source(d, &payload, &cancel)
+            })) {
+                Ok(mut result) => {
+                    // The explorer reports `cancelled`; the daemon knows
+                    // whether the token was fired by a deadline.
+                    if result.reason.as_deref() == Some("cancelled")
+                        && d.jobs.timed_out(digest)
+                    {
+                        result.reason = Some("timeout".into());
+                        d.m.timeouts.inc();
+                    }
+                    break result;
+                }
+                Err(_) if attempts <= d.cfg.retries => {
+                    // Transient failure (a panic in the pipeline): bounded
+                    // retry, then give up with an error result.
+                    d.m.retries.inc();
+                    continue;
+                }
+                Err(_) => {
+                    d.m.errors.inc();
+                    break JobResult::input_error("analysis panicked; giving up after retries");
+                }
+            }
+        }
+    };
+    d.m.request_wall
+        .observe(d.clock.now_ns().saturating_sub(started));
+    span.set("code", i64::from(result.code));
+    span.end();
+    d.m.results.inc();
+    // Verdicts cache; input errors and interruptions do not (a retry might
+    // succeed under a fresh deadline or budget).
+    let cacheable = d.cfg.result_cache && matches!(result.code, 0 | 1);
+    let waiters = d.jobs.complete(digest, result.clone(), cacheable);
+    d.update_gauges();
+    for (writer, id) in waiters {
+        write_line(&writer, wire::result_response(&id, digest, &result, false));
+    }
+}
+
+/// The translate→explore→diagnose pipeline for one request, sharing the
+/// daemon's warm store and recorder — the same stages as the `aadlsched`
+/// CLI, returning the wire-level result instead of exiting.
+fn analyze_source(d: &Arc<Daemon>, payload: &JobPayload, cancel: &versa::CancelToken) -> JobResult {
+    let o = &payload.options;
+    let pkg = match parse_package(&payload.source) {
+        Ok(pkg) => pkg,
+        Err(e) => return JobResult::input_error(format!("parse error: {e}")),
+    };
+    let root = match &o.root {
+        Some(root) => root.clone(),
+        None => match pkg.default_root() {
+            Ok(root) => root,
+            Err(e) => return JobResult::input_error(e),
+        },
+    };
+    let model = match instantiate(&pkg, &root) {
+        Ok(m) => m,
+        Err(e) => return JobResult::input_error(format!("instantiation error: {e}")),
+    };
+    let protocol = match &o.protocol {
+        None => None,
+        Some(p) => match ConcurrencyControlProtocol::parse(p) {
+            Some(p) => Some(p),
+            None => {
+                return JobResult::input_error(format!("unknown protocol `{p}` (none | pip | pcp)"))
+            }
+        },
+    };
+    let topts = TranslateOptions {
+        compact: o.compact,
+        quantum: o.quantum_ms.map(TimeVal::ms),
+        protocol_override: protocol,
+        store: Some(d.store.clone()),
+        obs: d.rec.clone(),
+        ..Default::default()
+    };
+    let tm = match translate(&model, &topts) {
+        Ok(tm) => tm,
+        Err(TranslateError::Validation(errs)) => {
+            let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+            return JobResult::input_error(format!("translation error: {}", msgs.join("; ")));
+        }
+        Err(e) => return JobResult::input_error(format!("translation error: {e}")),
+    };
+    let mut aopts = if o.exhaustive {
+        AnalysisOptions::exhaustive()
+    } else {
+        AnalysisOptions::default()
+    };
+    aopts.explore.threads = o.threads.max(1);
+    aopts.explore.memo = o.memo;
+    aopts.explore.max_states = o.max_states.unwrap_or(usize::MAX).min(d.cfg.max_states);
+    aopts.explore.cancel = cancel.clone();
+    aopts.explore.obs = d.rec.clone();
+    let outcome = analyze_translated(&model, &tm, &aopts);
+    JobResult::from_outcome(&outcome)
+}
+
+/// The `metrics` response: every fleet counter and gauge in a fixed order.
+fn metrics_response(d: &Daemon, id: &str) -> Json {
+    let m = &d.m;
+    Json::obj([
+        ("type", Json::from("metrics")),
+        ("id", Json::from(id)),
+        (
+            "counters",
+            Json::obj([
+                ("served.requests", Json::from(m.requests.get())),
+                ("served.analyze", Json::from(m.analyze.get())),
+                ("served.results", Json::from(m.results.get())),
+                ("served.coalesced", Json::from(m.coalesced.get())),
+                ("served.cache_hits", Json::from(m.cache_hits.get())),
+                (
+                    "served.rejected_rate_limit",
+                    Json::from(m.rejected_rate_limit.get()),
+                ),
+                (
+                    "served.rejected_queue_full",
+                    Json::from(m.rejected_queue_full.get()),
+                ),
+                ("served.timeouts", Json::from(m.timeouts.get())),
+                ("served.cancelled", Json::from(m.cancelled.get())),
+                ("served.retries", Json::from(m.retries.get())),
+                ("served.errors", Json::from(m.errors.get())),
+            ]),
+        ),
+        (
+            "gauges",
+            Json::obj([
+                ("served.queue_depth", Json::Int(m.queue_depth.get())),
+                ("served.jobs_running", Json::Int(m.jobs_running.get())),
+                ("served.connections", Json::Int(m.connections.get())),
+            ]),
+        ),
+    ])
+}

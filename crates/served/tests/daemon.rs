@@ -1,0 +1,350 @@
+//! End-to-end tests of `aadlschedd`: a real daemon process on an ephemeral
+//! port, driven by raw line-protocol clients — concurrent connections,
+//! duplicate coalescing, cancellation, deterministic timeouts, cache hits,
+//! fleet metrics, and byte-stable responses under the fake clock.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+/// A model whose exhaustive state space takes seconds to explore (three
+/// rate-monotonic threads with wide execution-time ranges → heavy
+/// branching): the deterministic "slow job" that keeps the single worker
+/// busy while coalescing and cancellation are exercised. It is always
+/// cancelled, so the tests never pay the full exploration.
+const SLOW_MODEL: &str = r#"package Slow
+public
+  processor cpu
+    properties
+      Scheduling_Protocol => RMS;
+  end cpu;
+  thread A
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 200 ms;
+      Compute_Execution_Time => 1 ms .. 60 ms;
+      Compute_Deadline => 200 ms;
+  end A;
+  thread B
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 100 ms;
+      Compute_Execution_Time => 1 ms .. 30 ms;
+      Compute_Deadline => 100 ms;
+  end B;
+  thread C
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 50 ms;
+      Compute_Execution_Time => 1 ms .. 20 ms;
+      Compute_Deadline => 50 ms;
+  end C;
+  process proc
+  end proc;
+  process implementation proc.impl
+    subcomponents
+      a: thread A;
+      b: thread B;
+      c: thread C;
+  end proc.impl;
+  system top
+  end top;
+  system implementation top.impl
+    subcomponents
+      p: process proc.impl;
+      cpu0: processor cpu;
+    properties
+      Actual_Processor_Binding => reference (cpu0) applies to p.a;
+      Actual_Processor_Binding => reference (cpu0) applies to p.b;
+      Actual_Processor_Binding => reference (cpu0) applies to p.c;
+  end top.impl;
+end Slow;
+"#;
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn model_path(name: &str) -> String {
+    repo_root()
+        .join("examples/models")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(args: &[&str], fake_clock: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_aadlschedd"));
+        cmd.args(args)
+            .current_dir(repo_root())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        match fake_clock {
+            Some(tick) => cmd.env("AADLSCHED_FAKE_CLOCK", tick),
+            None => cmd.env_remove("AADLSCHED_FAKE_CLOCK"),
+        };
+        let mut child = cmd.spawn().expect("spawn aadlschedd");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("readiness line");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in readiness line")
+            .to_string();
+        assert!(
+            line.starts_with("aadlschedd listening on "),
+            "unexpected readiness line: {line:?}"
+        );
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Conn {
+            writer: stream,
+            reader,
+        }
+    }
+
+    /// Graceful shutdown; asserts the daemon process exits 0.
+    fn shutdown(mut self) {
+        let mut conn = self.connect();
+        conn.send(r#"{"type":"shutdown","id":"bye"}"#);
+        assert_eq!(
+            conn.recv(),
+            r#"{"type":"shutting-down","id":"bye"}"#,
+            "shutdown acknowledgement"
+        );
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(status.success(), "daemon exit status: {status:?}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        assert!(!line.is_empty(), "connection closed while expecting a line");
+        line.trim_end().to_string()
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str) -> String {
+    // Tiny field extractor for test assertions; the values we need are
+    // strings/bools/ints without nested quotes.
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle).unwrap_or_else(|| {
+        panic!("no field `{key}` in {line}");
+    }) + needle.len();
+    let rest = &line[at..];
+    if let Some(s) = rest.strip_prefix('"') {
+        s[..s.find('"').unwrap()].to_string()
+    } else {
+        rest[..rest.find([',', '}']).unwrap()].to_string()
+    }
+}
+
+fn analyze_file(id: &str, name: &str) -> String {
+    format!(
+        r#"{{"type":"analyze","id":"{id}","file":"{}"}}"#,
+        model_path(name)
+    )
+}
+
+#[test]
+fn verdicts_match_the_cli_contract_and_duplicates_hit_the_cache() {
+    let daemon = Daemon::start(&["--workers", "2"], None);
+    let mut conn = daemon.connect();
+    // The four bundled models and their CLI exit codes.
+    let expected = [
+        ("cruise_control.aadl", "schedulable", "0"),
+        ("flight_control.aadl", "schedulable", "0"),
+        ("inversion.aadl", "unschedulable", "1"),
+        ("overloaded.aadl", "unschedulable", "1"),
+    ];
+    let mut first_result = String::new();
+    for (i, (model, verdict, code)) in expected.iter().enumerate() {
+        let id = format!("m{i}");
+        conn.send(&analyze_file(&id, model));
+        let accepted = conn.recv();
+        assert_eq!(field(&accepted, "type"), "accepted");
+        assert_eq!(field(&accepted, "coalesced"), "false");
+        let result = conn.recv();
+        assert_eq!(field(&result, "id"), id);
+        assert_eq!(field(&result, "verdict"), *verdict, "{model}: {result}");
+        assert_eq!(field(&result, "code"), *code, "{model}: {result}");
+        assert_eq!(field(&result, "cached"), "false");
+        if i == 0 {
+            first_result = result;
+        }
+    }
+    // The identical request again: a result-cache hit, byte-identical to
+    // the first result apart from the cached flag.
+    conn.send(&analyze_file("m0", "cruise_control.aadl"));
+    let accepted = conn.recv();
+    assert_eq!(field(&accepted, "coalesced"), "false");
+    let cached = conn.recv();
+    assert_eq!(field(&cached, "cached"), "true");
+    assert_eq!(
+        cached.replace("\"cached\":true", "\"cached\":false"),
+        first_result,
+        "cached result must be byte-identical apart from the cached flag"
+    );
+    // The warm-store/dedup hit is visible in the fleet metrics.
+    conn.send(r#"{"type":"metrics","id":"m"}"#);
+    let metrics = conn.recv();
+    assert_eq!(field(&metrics, "served.cache_hits"), "1", "{metrics}");
+    assert_eq!(field(&metrics, "served.results"), "4", "{metrics}");
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_clients_coalesce_cancel_and_time_out() {
+    // One worker, so job order is deterministic: the slow job occupies the
+    // worker while everything else queues behind it.
+    let daemon = Daemon::start(&["--workers", "1"], None);
+    let mut a = daemon.connect();
+    let mut b = daemon.connect();
+
+    // Client A: the slow job (inline), then a fast one queued behind it.
+    let slow_req = obs::Json::obj([
+        ("type", obs::Json::from("analyze")),
+        ("id", obs::Json::from("a-slow")),
+        ("model", obs::Json::from(SLOW_MODEL)),
+        (
+            "options",
+            obs::Json::obj([("exhaustive", obs::Json::Bool(true))]),
+        ),
+    ])
+    .to_compact();
+    a.send(&slow_req);
+    let slow_acc = a.recv();
+    assert_eq!(field(&slow_acc, "coalesced"), "false");
+    let slow_job = field(&slow_acc, "job");
+
+    a.send(&analyze_file("a-inv", "inversion.aadl"));
+    let inv_acc = a.recv();
+    assert_eq!(field(&inv_acc, "coalesced"), "false");
+    let inv_job = field(&inv_acc, "job");
+
+    // Client B: the identical inversion request must coalesce — the worker
+    // is pinned on the slow job, so the duplicate finds the queued entry.
+    b.send(&analyze_file("b-inv", "inversion.aadl"));
+    let dup_acc = b.recv();
+    assert_eq!(field(&dup_acc, "coalesced"), "true", "{dup_acc}");
+    assert_eq!(field(&dup_acc, "job"), inv_job);
+
+    // Client B cancels the slow job (observed queued or running, depending
+    // on whether the worker has popped it yet).
+    b.send(&format!(
+        r#"{{"type":"cancel","id":"b-cancel","job":"{slow_job}"}}"#
+    ));
+    let cancelled = b.recv();
+    assert_eq!(field(&cancelled, "type"), "cancelled");
+    let was = field(&cancelled, "was");
+    assert!(was == "running" || was == "queued", "was: {was}");
+
+    // Client A now receives the slow job's cancelled result, then the
+    // inversion verdict; client B receives the same verdict under its id.
+    let slow_res = a.recv();
+    assert_eq!(field(&slow_res, "id"), "a-slow");
+    assert_eq!(field(&slow_res, "verdict"), "unknown");
+    assert_eq!(field(&slow_res, "reason"), "cancelled");
+    assert_eq!(field(&slow_res, "code"), "3");
+    let a_inv = a.recv();
+    assert_eq!(field(&a_inv, "id"), "a-inv");
+    assert_eq!(field(&a_inv, "verdict"), "unschedulable");
+    let b_inv = b.recv();
+    assert_eq!(field(&b_inv, "id"), "b-inv");
+    assert_eq!(field(&b_inv, "verdict"), "unschedulable");
+    assert_eq!(field(&b_inv, "job"), inv_job);
+
+    // Deterministic timeout: `timeout_ms: 0` expires before the worker
+    // starts, so the result is a typed unknown without any clock races.
+    b.send(
+        r#"{"type":"analyze","id":"b-slow2","model":"package P end P;","options":{"timeout_ms":0}}"#,
+    );
+    let t_acc = b.recv();
+    assert_eq!(field(&t_acc, "type"), "accepted");
+    let t_res = b.recv();
+    assert_eq!(field(&t_res, "verdict"), "unknown");
+    assert_eq!(field(&t_res, "reason"), "timeout");
+    assert_eq!(field(&t_res, "code"), "3");
+
+    // Malformed requests are protocol errors; the id is echoed when one
+    // can still be extracted.
+    b.send("this is not json");
+    let err = b.recv();
+    assert_eq!(field(&err, "type"), "error");
+    assert_eq!(field(&err, "code"), "2");
+    b.send(r#"{"type":"explode","id":"b-bad"}"#);
+    let err = b.recv();
+    assert_eq!(field(&err, "id"), "b-bad");
+
+    // Fleet metrics saw all of it.
+    b.send(r#"{"type":"metrics","id":"b-m"}"#);
+    let metrics = b.recv();
+    assert_eq!(field(&metrics, "served.coalesced"), "1", "{metrics}");
+    assert_eq!(field(&metrics, "served.cancelled"), "1", "{metrics}");
+    assert_eq!(field(&metrics, "served.timeouts"), "1", "{metrics}");
+    assert_eq!(field(&metrics, "served.errors"), "2", "{metrics}");
+    daemon.shutdown();
+}
+
+#[test]
+fn responses_are_byte_stable_under_the_fake_clock() {
+    let transcript = |run: usize| {
+        let daemon = Daemon::start(&["--workers", "1"], Some("1000"));
+        let mut conn = daemon.connect();
+        let mut lines = Vec::new();
+        conn.send(&analyze_file("r1", "overloaded.aadl"));
+        lines.push(conn.recv());
+        lines.push(conn.recv());
+        conn.send(
+            r#"{"type":"analyze","id":"r2","model":"package P end P;","options":{"timeout_ms":0}}"#,
+        );
+        lines.push(conn.recv());
+        lines.push(conn.recv());
+        daemon.shutdown();
+        (run, lines)
+    };
+    let (_, first) = transcript(1);
+    let (_, second) = transcript(2);
+    assert_eq!(first, second, "two fake-clock runs must render the same bytes");
+    assert_eq!(field(&first[1], "verdict"), "unschedulable");
+    assert_eq!(field(&first[1], "at_quantum"), "5");
+    assert_eq!(field(&first[3], "reason"), "timeout");
+}

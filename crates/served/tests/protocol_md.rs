@@ -1,0 +1,97 @@
+//! Keeps `PROTOCOL.md` honest: every ```transcript fenced block in the
+//! specification is replayed against a freshly started daemon — each `> `
+//! line is sent, each `< ` line is byte-compared against the actual
+//! response. A drifting response renderer (or a hand-edited example) fails
+//! this test.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Extract every ```transcript fenced block as a list of
+/// (direction, line) pairs.
+fn transcript_blocks(md: &str) -> Vec<Vec<(char, String)>> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Vec<(char, String)>> = None;
+    for line in md.lines() {
+        match (&mut current, line.trim_end()) {
+            (None, "```transcript") => current = Some(Vec::new()),
+            (Some(block), "```") => {
+                blocks.push(std::mem::take(block));
+                current = None;
+            }
+            (Some(block), l) => {
+                if let Some(rest) = l.strip_prefix("> ") {
+                    block.push(('>', rest.to_string()));
+                } else if let Some(rest) = l.strip_prefix("< ") {
+                    block.push(('<', rest.to_string()));
+                } else if !l.is_empty() {
+                    panic!("transcript line must start with `> ` or `< `: {l:?}");
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```transcript block");
+    blocks
+}
+
+#[test]
+fn protocol_md_transcripts_replay_byte_exactly() {
+    let md = std::fs::read_to_string(repo_root().join("PROTOCOL.md")).expect("read PROTOCOL.md");
+    let blocks = transcript_blocks(&md);
+    assert!(
+        !blocks.is_empty(),
+        "PROTOCOL.md must contain at least one ```transcript block"
+    );
+    for (bi, block) in blocks.iter().enumerate() {
+        // A fresh daemon per block, exactly as the spec describes: one
+        // worker, fake clock, repo root as working directory.
+        let mut child = Command::new(env!("CARGO_BIN_EXE_aadlschedd"))
+            .args(["--workers", "1"])
+            .env("AADLSCHED_FAKE_CLOCK", "1000")
+            .current_dir(repo_root())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn aadlschedd");
+        let mut ready = String::new();
+        BufReader::new(child.stdout.take().unwrap())
+            .read_line(&mut ready)
+            .expect("readiness line");
+        let addr = ready.trim().rsplit(' ').next().unwrap().to_string();
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for (i, (dir, line)) in block.iter().enumerate() {
+            match dir {
+                '>' => {
+                    writer
+                        .write_all(format!("{line}\n").as_bytes())
+                        .expect("send");
+                }
+                '<' => {
+                    let mut actual = String::new();
+                    reader.read_line(&mut actual).expect("recv");
+                    assert_eq!(
+                        actual.trim_end(),
+                        line,
+                        "transcript block {bi}, line {i}: response drifted \
+                         from PROTOCOL.md"
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Transcripts end with a shutdown exchange, so the daemon exits 0.
+        let status = child.wait().expect("wait");
+        assert!(status.success(), "daemon exit after block {bi}: {status:?}");
+    }
+}

@@ -28,6 +28,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
@@ -65,6 +66,66 @@ impl StateId {
     /// ```
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// A cooperative cancellation token for in-flight explorations.
+///
+/// Cloning shares the token: hand one clone to [`Options::cancel`] and keep
+/// another on the controlling thread (a request handler, a deadline watchdog,
+/// a signal handler). [`CancelToken::cancel`] is sticky — there is no reset —
+/// and the explorer polls it at every frontier state, so even a single
+/// enormous BFS level reacts promptly. A cancelled run comes back with
+/// [`Exploration::cancelled`] set and is never reported schedulable.
+///
+/// # Examples
+///
+/// ```
+/// use acsr::prelude::*;
+/// use versa::{explore, CancelToken, Options};
+///
+/// let token = CancelToken::new();
+/// token.cancel();
+/// let env = Env::new();
+/// let p = act([(Res::new("cpu"), 1)], nil());
+/// let ex = explore(&env, &p, &Options::default().with_cancel(token.clone()));
+/// assert!(ex.cancelled);
+/// assert!(!ex.deadlock_free()); // cancelled ⇒ no verdict, never "free"
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = versa::CancelToken::new();
+    /// assert!(!t.is_cancelled());
+    /// ```
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent and irreversible; all clones of the
+    /// token observe it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = versa::CancelToken::new();
+    /// let watcher = t.clone();
+    /// t.cancel();
+    /// assert!(watcher.is_cancelled());
+    /// ```
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -109,6 +170,11 @@ pub struct Options {
     /// interned the model through) instead of starting empty. `None` gives
     /// the run a fresh private store.
     pub store: Option<Arc<TermStore>>,
+    /// Cooperative cancellation token, polled at every frontier state. The
+    /// default token is private to this `Options` value and never cancelled;
+    /// install a shared clone (see [`Options::with_cancel`]) to stop the run
+    /// from another thread.
+    pub cancel: CancelToken,
     /// Observability recorder. Disabled by default — every instrument the
     /// exploration touches is then an inert handle, so the instrumented hot
     /// path costs nothing observable (see `crates/obs`). Enable it (and
@@ -128,6 +194,7 @@ impl Default for Options {
             memo: true,
             memo_capacity: MemoConfig::default().capacity,
             store: None,
+            cancel: CancelToken::new(),
             obs: obs::Recorder::disabled(),
         }
     }
@@ -222,6 +289,23 @@ impl Options {
     /// ```
     pub fn with_store(mut self, store: Arc<TermStore>) -> Options {
         self.store = Some(store);
+        self
+    }
+
+    /// Install a shared cancellation token (see [`CancelToken`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use versa::{CancelToken, Options};
+    ///
+    /// let token = CancelToken::new();
+    /// let opts = Options::default().with_cancel(token.clone());
+    /// token.cancel();
+    /// assert!(opts.cancel.is_cancelled());
+    /// ```
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Options {
+        self.cancel = cancel;
         self
     }
 
@@ -344,6 +428,11 @@ pub struct Exploration {
     pub stats: Stats,
     /// True when `max_states` stopped the search before exhausting the space.
     pub truncated: bool,
+    /// True when the run was stopped by its [`CancelToken`] before
+    /// exhausting the space. A cancelled exploration is partial: whatever
+    /// states were interned before the token fired are present, but no
+    /// verdict can be drawn from their absence of deadlocks.
+    pub cancelled: bool,
 }
 
 impl Exploration {
@@ -408,7 +497,7 @@ impl Exploration {
     /// assert!(explore(&env, &invoke(d, []), &Options::default()).deadlock_free());
     /// ```
     pub fn deadlock_free(&self) -> bool {
-        self.deadlocks.is_empty() && !self.truncated
+        self.deadlocks.is_empty() && !self.truncated && !self.cancelled
     }
 
     /// Reconstruct the (shortest) trace from the initial state to `target`.
@@ -648,11 +737,18 @@ fn expand_chunk(
     visited: &Visited,
     worker: u32,
     shard_contended: &obs::Counter,
+    cancel: &CancelToken,
 ) -> WorkerOut {
     let mut fresh: Vec<Interned> = Vec::new();
-    let succs = ids
-        .iter()
-        .map(|id| {
+    let mut succs = Vec::with_capacity(ids.len());
+    for id in ids {
+        // Cooperative cancellation point: a fired token abandons the rest of
+        // the chunk. The partial output is safe because the caller discards
+        // the whole level (no merge) when the token is observed set.
+        if cancel.is_cancelled() {
+            break;
+        }
+        succs.push(
             session
                 .prioritized_steps(&states[id.index()])
                 .into_iter()
@@ -668,9 +764,9 @@ fn expand_chunk(
                     };
                     (label, target)
                 })
-                .collect()
-        })
-        .collect();
+                .collect(),
+        );
+    }
     WorkerOut { succs, fresh }
 }
 
@@ -724,6 +820,7 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     let mut lts_transitions: Vec<Vec<(Label, StateId)>> = Vec::new();
     let mut stats = Stats::default();
     let mut truncated = false;
+    let mut cancelled = false;
 
     let root = StateId(0);
     let root_t = session.intern(initial);
@@ -737,6 +834,10 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
 
     let mut frontier: Vec<StateId> = vec![root];
     while !frontier.is_empty() {
+        if opts.cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         stats.levels += 1;
         stats.peak_frontier = stats.peak_frontier.max(frontier.len());
         let level_span = run_span.child("explore.level");
@@ -762,9 +863,17 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
                     let shard_contended = &shard_contended;
                     let expanded = worker_expanded[ci].clone();
                     chunk_hist.observe(ids.len() as u64);
+                    let cancel = &opts.cancel;
                     s.spawn(move || {
-                        let out =
-                            expand_chunk(session, states, ids, visited, ci as u32, shard_contended);
+                        let out = expand_chunk(
+                            session,
+                            states,
+                            ids,
+                            visited,
+                            ci as u32,
+                            shard_contended,
+                            cancel,
+                        );
                         expanded.add(out.succs.len() as u64);
                         let mut guard = match collected.try_lock() {
                             Ok(guard) => guard,
@@ -782,8 +891,25 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
             chunks.sort_unstable_by_key(|(ci, _)| *ci);
             chunks.into_iter().map(|(_, out)| out).collect()
         } else {
-            vec![expand_chunk(&session, &states, &frontier, &visited, 0, &inert)]
+            vec![expand_chunk(
+                &session,
+                &states,
+                &frontier,
+                &visited,
+                0,
+                &inert,
+                &opts.cancel,
+            )]
         };
+
+        // A token that fired mid-expansion leaves partial worker output
+        // (chunks cut short, pending visited-set claims never finalized);
+        // discard the level wholesale rather than merge an inconsistent view.
+        if opts.cancel.is_cancelled() {
+            cancelled = true;
+            level_span.end();
+            break;
+        }
 
         // Phase 2 — deterministic merge, in frontier order across the chunk
         // boundaries. Fresh states get their ids *here*, in exactly the
@@ -889,6 +1015,12 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     run_span.set("peak_frontier", stats.peak_frontier as i64);
     run_span.set("deadlocks", stats.deadlocks as i64);
     run_span.set("truncated", i64::from(truncated));
+    if cancelled {
+        // Only stamped when set, so uncancelled runs (the entire pre-daemon
+        // corpus, including the golden timelines) keep their byte-identical
+        // reports.
+        run_span.set("cancelled", 1);
+    }
     run_span.set("shards", visited.shards.len() as i64);
     opts.obs.counter("step.memo_hits").add(stats.memo_hits);
     opts.obs.counter("step.memo_misses").add(stats.memo_misses);
@@ -919,6 +1051,7 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
         lts,
         stats,
         truncated,
+        cancelled,
     }
 }
 
@@ -1404,5 +1537,41 @@ mod tests {
         for i in 0..seq.num_states() {
             assert_eq!(seq.state(StateId(i as u32)), par4.state(StateId(i as u32)));
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_expanding_anything() {
+        let mut env = Env::new();
+        let c1 = env.declare("Spin", 0);
+        env.set_body(c1, act([(cpu(), 1)], invoke(c1, [])));
+        let token = CancelToken::new();
+        token.cancel();
+        let ex = explore(
+            &env,
+            &invoke(c1, []),
+            &Options::default().with_cancel(token),
+        );
+        assert!(ex.cancelled);
+        assert!(!ex.truncated);
+        // Only the initial state was interned; no level ever ran.
+        assert_eq!(ex.num_states(), 1);
+        assert_eq!(ex.stats.levels, 0);
+        assert!(!ex.deadlock_free());
+    }
+
+    #[test]
+    fn cancelled_runs_are_never_deadlock_free_even_without_deadlocks() {
+        // The same deadlock-free idler that deadlock_free()'s doctest uses:
+        // uncancelled it is "free", cancelled it must not be.
+        let mut env = Env::new();
+        let d = env.declare("Idle", 0);
+        env.set_body(d, act([] as [(Res, i32); 0], invoke(d, [])));
+        let p = invoke(d, []);
+        assert!(explore(&env, &p, &Options::default()).deadlock_free());
+        let token = CancelToken::new();
+        token.cancel();
+        let ex = explore(&env, &p, &Options::default().with_cancel(token));
+        assert!(ex.deadlocks.is_empty());
+        assert!(!ex.deadlock_free());
     }
 }

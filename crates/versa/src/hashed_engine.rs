@@ -269,6 +269,9 @@ pub fn explore_hashed(env: &Env, initial: &P, opts: &Options) -> Exploration {
         lts,
         stats,
         truncated,
+        // The legacy engine predates cooperative cancellation and ignores
+        // `Options::cancel`; it exists only for differential testing.
+        cancelled: false,
     }
 }
 

@@ -45,7 +45,7 @@ pub mod lts;
 pub mod trace;
 pub mod walk;
 
-pub use explore::{explore, Exploration, Options, Stats, StateId};
+pub use explore::{explore, CancelToken, Exploration, Options, Stats, StateId};
 pub use hashed_engine::explore_hashed;
 pub use lts::Lts;
 pub use trace::Trace;

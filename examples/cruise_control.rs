@@ -64,7 +64,7 @@ fn main() {
     .unwrap();
     println!(
         "nominal system: schedulable = {} ({} states, {} transitions, {:?})",
-        v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+        v.schedulable(), v.stats().states, v.stats().transitions, v.stats().duration
     );
 
     // -------------------------------------------------------------- overloaded
@@ -79,9 +79,9 @@ fn main() {
     .unwrap();
     println!(
         "schedulable = {} ({} states explored before the first deadlock)",
-        v.schedulable, v.stats.states
+        v.schedulable(), v.stats().states
     );
-    if let Some(scenario) = &v.scenario {
+    if let Some(scenario) = &v.scenario() {
         println!("\n{}", scenario.render());
     }
 }

@@ -87,7 +87,7 @@ fn main() {
         .unwrap();
         println!(
             "{label:>14}: schedulable = {:<5} ({} states)",
-            v.schedulable, v.stats.states
+            v.schedulable(), v.stats().states
         );
     }
 
@@ -115,9 +115,9 @@ fn main() {
     .unwrap();
     println!(
         "exhaustive exploration: schedulable = {} — found after {} states\n",
-        v.schedulable, v.stats.states
+        v.schedulable(), v.stats().states
     );
-    if let Some(sc) = &v.scenario {
+    if let Some(sc) = &v.scenario() {
         println!("{}", sc.render());
     }
 }

@@ -80,7 +80,7 @@ fn main() {
         .unwrap();
         println!(
             "{:>6}ms {:>13} {:>10} {:>12?}",
-            bound, v.schedulable, v.stats.states, v.stats.duration
+            bound, v.schedulable(), v.stats().states, v.stats().duration
         );
     }
     println!("\nThe frontier marks the worst-case end-to-end latency the pipeline can");

@@ -100,9 +100,9 @@ fn main() {
         let v = analyze(&m, &opts, &AnalysisOptions::default()).unwrap();
         println!(
             "{label}: schedulable = {} ({} states, {:?})",
-            v.schedulable, v.stats.states, v.stats.duration
+            v.schedulable(), v.stats().states, v.stats().duration
         );
-        if let Some(sc) = &v.scenario {
+        if let Some(sc) = &v.scenario() {
             println!("\n{}", sc.render());
         }
     }

@@ -68,7 +68,7 @@ fn main() {
         .unwrap();
         println!(
             "{:>8}ms {:>13} {:>10} {:>13} {:>12?}",
-            q, v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+            q, v.schedulable(), v.stats().states, v.stats().transitions, v.stats().duration
         );
     }
     println!(
@@ -117,7 +117,7 @@ fn main() {
         .unwrap();
         println!(
             "{:>8}ms {:>13} {:>10} {:>13} {:>12?}",
-            q, v.schedulable, v.stats.states, v.stats.transitions, v.stats.duration
+            q, v.schedulable(), v.stats().states, v.stats().transitions, v.stats().duration
         );
     }
 }

@@ -71,13 +71,13 @@ fn main() {
 
     println!(
         "explored {} states / {} transitions in {:?}",
-        verdict.stats.states, verdict.stats.transitions, verdict.stats.duration
+        verdict.stats().states, verdict.stats().transitions, verdict.stats().duration
     );
-    if verdict.schedulable {
+    if verdict.schedulable() {
         println!("VERDICT: schedulable — every thread meets its deadline in every behaviour");
     } else {
         println!("VERDICT: NOT schedulable");
-        if let Some(scenario) = &verdict.scenario {
+        if let Some(scenario) = &verdict.scenario() {
             println!("{}", scenario.render());
         }
     }

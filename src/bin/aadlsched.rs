@@ -41,11 +41,11 @@
 use std::process::ExitCode;
 
 use aadl::instance::instantiate;
-use aadl::model::{Category, Package};
 use aadl::parser::parse_package;
 use aadl::properties::{ConcurrencyControlProtocol, TimeVal};
 use aadl2acsr::{
     analyze_translated, translate, AnalysisOptions, TranslateError, TranslateOptions,
+    EXIT_INPUT_ERROR,
 };
 use obs::{Json, JsonLinesSink, Sink};
 
@@ -78,7 +78,7 @@ fn usage() -> ExitCode {
          (omit RootSystem.impl to analyze the package's top-level system \
          implementation)"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_INPUT_ERROR)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -163,41 +163,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// The default analysis root: the unique system implementation that no other
-/// implementation in the package instantiates as a subcomponent (i.e. the top
-/// of the instantiation hierarchy).
-fn default_root(pkg: &Package) -> Result<String, String> {
-    let referenced: std::collections::HashSet<String> = pkg
-        .impls
-        .iter()
-        .flat_map(|i| i.subcomponents.iter())
-        .map(|s| s.classifier.to_ascii_lowercase())
-        .collect();
-    let candidates: Vec<&str> = pkg
-        .impls
-        .iter()
-        .filter(|i| i.category == Category::System)
-        .filter(|i| {
-            !referenced.contains(&i.name.to_ascii_lowercase())
-                && !referenced.contains(&i.type_name.to_ascii_lowercase())
-        })
-        .map(|i| i.name.as_str())
-        .collect();
-    match candidates.as_slice() {
-        [one] => Ok(one.to_string()),
-        [] => Err(
-            "no top-level system implementation found; pass <RootSystem.impl> explicitly"
-                .to_string(),
-        ),
-        many => Err(format!(
-            "ambiguous root — {} top-level system implementations ({}); \
-             pass <RootSystem.impl> explicitly",
-            many.len(),
-            many.join(", ")
-        )),
-    }
-}
-
 /// Build the run recorder from the CLI flags: disabled (a no-op) unless any
 /// observability output was requested, a fake clock when
 /// `AADLSCHED_FAKE_CLOCK` asks for byte-stable reports.
@@ -233,7 +198,7 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT_ERROR);
         }
     };
 
@@ -241,26 +206,26 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read `{}`: {e}", args.file);
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT_ERROR);
         }
     };
     let pkg = match parse_package(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{}: parse error: {e}", args.file);
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT_ERROR);
         }
     };
     let root = match &args.root {
         Some(r) => r.clone(),
-        None => match default_root(&pkg) {
+        None => match pkg.default_root() {
             Ok(r) => {
                 println!("root system: {r} (auto-selected)");
                 r
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_INPUT_ERROR);
             }
         },
     };
@@ -268,7 +233,7 @@ fn main() -> ExitCode {
         Ok(m) => m,
         Err(e) => {
             eprintln!("instantiation error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT_ERROR);
         }
     };
     println!(
@@ -308,11 +273,11 @@ fn main() -> ExitCode {
                     _ => eprintln!("  - {e}"),
                 }
             }
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT_ERROR);
         }
         Err(e) => {
             eprintln!("translation error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT_ERROR);
         }
     };
     println!(
@@ -347,7 +312,7 @@ fn main() -> ExitCode {
     aopts.explore.obs = rec.clone();
 
     let verdict = analyze_translated(&model, &tm, &aopts);
-    println!("exploration: {}", verdict.stats);
+    println!("exploration: {}", verdict.stats());
 
     if let Some(dot_file) = &args.dot {
         // Re-run with LTS collection through versa directly for the export.
@@ -369,11 +334,11 @@ fn main() -> ExitCode {
             let mut buf = Vec::new();
             if let Err(e) = JsonLinesSink.emit(&run, &mut buf) {
                 eprintln!("cannot render trace events: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_INPUT_ERROR);
             }
             if let Err(e) = std::fs::write(path, buf) {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_INPUT_ERROR);
             }
             println!("trace events written to {path}");
         }
@@ -414,46 +379,48 @@ fn main() -> ExitCode {
             report.set(
                 "exploration",
                 Json::obj([
-                    ("states", Json::from(verdict.stats.states)),
-                    ("transitions", Json::from(verdict.stats.transitions)),
-                    ("levels", Json::from(verdict.stats.levels)),
-                    ("peak_frontier", Json::from(verdict.stats.peak_frontier)),
-                    ("dedup_hits", Json::from(verdict.stats.dedup_hits)),
-                    ("deadlocks", Json::from(verdict.stats.deadlocks)),
-                    ("memo_hits", Json::from(verdict.stats.memo_hits)),
-                    ("memo_misses", Json::from(verdict.stats.memo_misses)),
-                    ("memo_evictions", Json::from(verdict.stats.memo_evictions)),
-                    ("unique_subterms", Json::from(verdict.stats.unique_subterms)),
+                    ("states", Json::from(verdict.stats().states)),
+                    ("transitions", Json::from(verdict.stats().transitions)),
+                    ("levels", Json::from(verdict.stats().levels)),
+                    ("peak_frontier", Json::from(verdict.stats().peak_frontier)),
+                    ("dedup_hits", Json::from(verdict.stats().dedup_hits)),
+                    ("deadlocks", Json::from(verdict.stats().deadlocks)),
+                    ("memo_hits", Json::from(verdict.stats().memo_hits)),
+                    ("memo_misses", Json::from(verdict.stats().memo_misses)),
+                    ("memo_evictions", Json::from(verdict.stats().memo_evictions)),
+                    ("unique_subterms", Json::from(verdict.stats().unique_subterms)),
                 ]),
             );
             report.set(
                 "verdict",
                 Json::obj([
-                    ("schedulable", Json::Bool(verdict.schedulable)),
-                    ("truncated", Json::Bool(verdict.truncated)),
+                    ("schedulable", Json::Bool(verdict.schedulable())),
+                    ("truncated", Json::Bool(verdict.truncated())),
                 ]),
             );
             report.attach_run(&run);
             if let Err(e) = std::fs::write(path, report.to_json()) {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_INPUT_ERROR);
             }
             println!("metrics written to {path}");
         }
     }
 
-    if verdict.truncated {
-        println!("VERDICT: unknown (state budget exhausted)");
-        return ExitCode::from(3);
-    }
-    if verdict.schedulable {
-        println!("VERDICT: schedulable — every thread meets its deadline in every behaviour");
-        ExitCode::SUCCESS
-    } else {
-        println!("VERDICT: NOT schedulable");
-        if let Some(scenario) = &verdict.scenario {
-            println!("\n{}", scenario.render());
+    // The exit code derives from the typed outcome in exactly one place
+    // (AnalysisOutcome::exit_code); the CLI only chooses the human wording.
+    match verdict.reason_str() {
+        Some("cancelled") => println!("VERDICT: unknown (cancelled)"),
+        Some(_) => println!("VERDICT: unknown (state budget exhausted)"),
+        None if verdict.schedulable() => {
+            println!("VERDICT: schedulable — every thread meets its deadline in every behaviour")
         }
-        ExitCode::from(1)
+        None => {
+            println!("VERDICT: NOT schedulable");
+            if let Some(scenario) = verdict.scenario() {
+                println!("\n{}", scenario.render());
+            }
+        }
     }
+    ExitCode::from(verdict.exit_code())
 }

@@ -28,11 +28,11 @@ fn nominal_system_is_schedulable_and_fully_explored() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable);
-    assert!(!v.truncated);
-    assert!(v.scenario.is_none());
+    assert!(v.schedulable());
+    assert!(!v.truncated());
+    assert!(v.scenario().is_none());
     // The composed state space is non-trivial but finite.
-    assert!(v.stats.states > 100, "states: {}", v.stats.states);
+    assert!(v.stats().states > 100, "states: {}", v.stats().states);
 }
 
 #[test]
@@ -45,8 +45,8 @@ fn overloaded_ccl_processor_fails_with_a_raised_scenario() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(!v.schedulable);
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable());
+    let sc = v.scenario().unwrap();
     assert!(sc.violations.iter().any(|vk| matches!(
         vk,
         ViolationKind::DeadlineMiss { thread } if thread.starts_with("ccl.")
@@ -68,7 +68,7 @@ fn hci_processor_alone_is_unaffected_by_the_ccl_overload() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    let sc = v.scenario.unwrap();
+    let sc = v.scenario().unwrap();
     assert!(sc.violations.iter().all(|vk| match vk {
         ViolationKind::DeadlineMiss { thread } => !thread.starts_with("hci."),
         _ => true,
@@ -88,7 +88,7 @@ fn verdicts_agree_across_schedulers_on_the_nominal_system() {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(v.schedulable, "{protocol} should schedule the nominal system");
+        assert!(v.schedulable(), "{protocol} should schedule the nominal system");
     }
 }
 
@@ -113,8 +113,8 @@ fn textual_model_analyzes_identically_to_the_built_one() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert_eq!(v1.schedulable, v2.schedulable);
-    assert_eq!(v1.stats.states, v2.stats.states);
+    assert_eq!(v1.schedulable(), v2.schedulable());
+    assert_eq!(v1.stats().states, v2.stats().states);
 }
 
 #[test]
@@ -137,11 +137,11 @@ fn coarser_quantum_stays_schedulable_here_with_fewer_states() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(fine.schedulable && coarse.schedulable);
+    assert!(fine.schedulable() && coarse.schedulable());
     assert!(
-        coarse.stats.states < fine.stats.states,
+        coarse.stats().states < fine.stats().states,
         "coarse {} vs fine {}",
-        coarse.stats.states,
-        fine.stats.states
+        coarse.stats().states,
+        fine.stats().states
     );
 }

@@ -72,7 +72,7 @@ fn periodic_arrivals_slower_than_separation_are_clean() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -86,7 +86,7 @@ fn free_device_explores_all_arrival_patterns() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -101,8 +101,8 @@ fn free_device_can_overflow_an_error_queue() {
             &AnalysisOptions::default(),
         )
         .unwrap();
-        assert!(!v.schedulable, "size {size}");
-        let sc = v.scenario.unwrap();
+        assert!(!v.schedulable(), "size {size}");
+        let sc = v.scenario().unwrap();
         assert!(sc
             .violations
             .iter()
@@ -120,6 +120,6 @@ fn burst_overflow_happens_instantly_with_queue_one() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    let sc = v.scenario.unwrap();
+    let sc = v.scenario().unwrap();
     assert_eq!(sc.at_quantum, 0, "scenario:\n{}", sc.render());
 }

@@ -97,8 +97,8 @@ fn exhaustive_exploration_finds_the_collision() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(!v.schedulable, "the interior execution time collides");
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable(), "the interior execution time collides");
+    let sc = v.scenario().unwrap();
     assert!(
         sc.violations
             .iter()
@@ -123,7 +123,7 @@ fn wcet_only_behaviour_is_clean() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -136,7 +136,7 @@ fn bcet_only_behaviour_is_clean() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -151,7 +151,7 @@ fn the_interior_point_is_the_culprit() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(!v.schedulable);
+    assert!(!v.schedulable());
 }
 
 #[test]
@@ -192,7 +192,7 @@ fn monitor_and_producer_always_meet_their_own_deadlines() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    let sc = v.scenario.unwrap();
+    let sc = v.scenario().unwrap();
     for vk in &sc.violations {
         if let ViolationKind::DeadlineMiss { thread } = vk {
             assert_eq!(thread, "handler");

@@ -30,8 +30,8 @@ fn the_system_is_schedulable_end_to_end() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
-    assert!(!v.truncated);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
+    assert!(!v.truncated());
 }
 
 #[test]
@@ -43,10 +43,10 @@ fn exhaustive_sweep_is_finite_and_clean() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
     // A real product space, but bounded.
-    assert!(v.stats.states > 50, "states: {}", v.stats.states);
-    assert!(v.stats.states < 2_000_000, "states: {}", v.stats.states);
+    assert!(v.stats().states > 50, "states: {}", v.stats().states);
+    assert!(v.stats().states < 2_000_000, "states: {}", v.stats().states);
 }
 
 #[test]
@@ -61,7 +61,7 @@ fn compact_mode_agrees() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(compact.schedulable);
+    assert!(compact.schedulable());
 }
 
 #[test]
@@ -102,8 +102,8 @@ fn overloading_the_control_processor_is_caught() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(!v.schedulable);
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable());
+    let sc = v.scenario().unwrap();
     assert!(sc.violations.iter().any(|vk| matches!(
         vk,
         aadl2acsr::ViolationKind::DeadlineMiss { thread }

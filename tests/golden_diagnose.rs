@@ -41,9 +41,9 @@ fn overloaded_model_raises_the_golden_timeline() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(!verdict.schedulable);
-    assert!(!verdict.truncated);
-    let scenario = verdict.scenario.expect("a failing scenario");
+    assert!(!verdict.schedulable());
+    assert!(!verdict.truncated());
+    let scenario = verdict.scenario().expect("a failing scenario");
     assert_eq!(scenario.at_quantum, 5);
     assert_eq!(scenario.render(), GOLDEN_TIMELINE);
 }

@@ -9,7 +9,7 @@ use aadl::instance::{instantiate, InstanceModel};
 use aadl::parser::parse_package;
 use aadl::properties::ConcurrencyControlProtocol;
 use aadl2acsr::diagnose::Activity;
-use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions, Verdict};
+use aadl2acsr::{analyze, AnalysisOptions, AnalysisOutcome, TranslateOptions};
 
 fn inversion_model() -> InstanceModel {
     let source = std::fs::read_to_string(concat!(
@@ -21,7 +21,7 @@ fn inversion_model() -> InstanceModel {
     instantiate(&pkg, "Top.impl").unwrap()
 }
 
-fn analyze_with(protocol: Option<ConcurrencyControlProtocol>) -> Verdict {
+fn analyze_with(protocol: Option<ConcurrencyControlProtocol>) -> AnalysisOutcome {
     analyze(
         &inversion_model(),
         &TranslateOptions {
@@ -68,9 +68,9 @@ failing scenario (11 quanta):
 #[test]
 fn none_specified_suffers_the_inversion() {
     let v = analyze_with(None);
-    assert!(!v.truncated);
-    assert!(!v.schedulable, "inversion must break the deadline");
-    let sc = v.scenario.expect("a failing scenario");
+    assert!(!v.truncated());
+    assert!(!v.schedulable(), "inversion must break the deadline");
+    let sc = v.scenario().expect("a failing scenario");
     assert_eq!(sc.at_quantum, 11);
     assert_eq!(sc.render(), GOLDEN_TIMELINE);
 }
@@ -78,29 +78,29 @@ fn none_specified_suffers_the_inversion() {
 #[test]
 fn priority_ceiling_rescues_the_high_thread() {
     let v = analyze_with(Some(ConcurrencyControlProtocol::PriorityCeiling));
-    assert!(!v.truncated);
+    assert!(!v.truncated());
     assert!(
-        v.schedulable,
+        v.schedulable(),
         "PCP bounds blocking to one critical section: {:?}",
-        v.scenario.map(|s| s.render())
+        v.scenario().map(|s| s.render())
     );
 }
 
 #[test]
 fn priority_inheritance_rescues_the_high_thread() {
     let v = analyze_with(Some(ConcurrencyControlProtocol::PriorityInheritance));
-    assert!(!v.truncated);
+    assert!(!v.truncated());
     assert!(
-        v.schedulable,
+        v.schedulable(),
         "PIP elevates the holder while h is blocked: {:?}",
-        v.scenario.map(|s| s.render())
+        v.scenario().map(|s| s.render())
     );
 }
 
 #[test]
 fn blocked_activity_names_the_holder() {
     let v = analyze_with(None);
-    let sc = v.scenario.expect("a failing scenario");
+    let sc = v.scenario().expect("a failing scenario");
     assert!(
         sc.timeline.iter().any(|row| row.activities.iter().any(
             |(p, a)| p == "h"

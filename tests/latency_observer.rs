@@ -57,7 +57,7 @@ fn pipeline() -> InstanceModel {
     instantiate(&pkg, "Top.impl").unwrap()
 }
 
-fn verdict_with_bound(bound_ms: i64) -> aadl2acsr::Verdict {
+fn verdict_with_bound(bound_ms: i64) -> aadl2acsr::AnalysisOutcome {
     let m = pipeline();
     let from = m.find("sensor").unwrap();
     let to = m.find("actuator").unwrap();
@@ -85,7 +85,7 @@ fn pipeline_without_observer_is_schedulable() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -95,7 +95,7 @@ fn generous_latency_bound_passes() {
     // observed flow only ends at the next actuator completion — up to
     // t = 8 + 3 with the observer started at t = 1, i.e. 10 ms.
     let v = verdict_with_bound(10);
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -104,8 +104,8 @@ fn impossible_latency_bound_fails_with_a_latency_violation() {
     // dispatched together), but a 1 ms bound cannot cover the control hop in
     // every behaviour.
     let v = verdict_with_bound(1);
-    assert!(!v.schedulable);
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable());
+    let sc = v.scenario().unwrap();
     assert!(
         sc.violations
             .iter()
@@ -121,7 +121,7 @@ fn the_latency_frontier_is_monotone() {
     let mut last = false;
     let mut flips = 0;
     for bound in 1..=12 {
-        let ok = verdict_with_bound(bound).schedulable;
+        let ok = verdict_with_bound(bound).schedulable();
         if ok != last {
             flips += 1;
             last = ok;

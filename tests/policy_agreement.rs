@@ -26,7 +26,7 @@ fn acsr_verdict(ts: &TaskSet, protocol: &str) -> bool {
         &AnalysisOptions::default(),
     )
     .unwrap()
-    .schedulable
+    .schedulable()
 }
 
 fn random_sets(count: u64, target_u: f64) -> Vec<TaskSet> {

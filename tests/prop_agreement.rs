@@ -40,7 +40,7 @@ fn acsr_verdict(ts: &TaskSet, protocol: &str) -> bool {
         &AnalysisOptions::default(),
     )
     .unwrap()
-    .schedulable
+    .schedulable()
 }
 
 det_prop! {

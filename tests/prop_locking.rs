@@ -77,7 +77,7 @@ fn acsr_verdict(ts: &TaskSet, ccp: ConcurrencyControlProtocol) -> bool {
         &AnalysisOptions::default(),
     )
     .unwrap()
-    .schedulable
+    .schedulable()
 }
 
 fn sim_verdict(ts: &TaskSet, protocol: LockProtocol) -> bool {

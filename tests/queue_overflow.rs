@@ -60,7 +60,7 @@ fn overrun_model(queue_size: i64, overflow: &str) -> InstanceModel {
     instantiate(&pkg, "Top.impl").unwrap()
 }
 
-fn verdict(queue_size: i64, overflow: &str) -> aadl2acsr::Verdict {
+fn verdict(queue_size: i64, overflow: &str) -> aadl2acsr::AnalysisOutcome {
     analyze(
         &overrun_model(queue_size, overflow),
         &TranslateOptions::default(),
@@ -72,8 +72,8 @@ fn verdict(queue_size: i64, overflow: &str) -> aadl2acsr::Verdict {
 #[test]
 fn error_protocol_deadlocks_and_names_the_connection() {
     let v = verdict(1, "Error");
-    assert!(!v.schedulable);
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable());
+    let sc = v.scenario().unwrap();
     assert!(
         sc.violations
             .iter()
@@ -89,7 +89,7 @@ fn error_protocol_deadlocks_and_names_the_connection() {
 #[test]
 fn drop_newest_never_deadlocks() {
     let v = verdict(1, "DropNewest");
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -97,14 +97,14 @@ fn drop_oldest_behaves_like_drop_newest_in_the_counter_abstraction() {
     // §4.4: the counter does not model event identities, so both drop
     // protocols yield the same process.
     let v = verdict(1, "DropOldest");
-    assert!(v.schedulable);
+    assert!(v.schedulable());
 }
 
 #[test]
 fn larger_queues_postpone_the_overflow() {
-    let t1 = verdict(1, "Error").scenario.unwrap().at_quantum;
-    let t2 = verdict(2, "Error").scenario.unwrap().at_quantum;
-    let t4 = verdict(4, "Error").scenario.unwrap().at_quantum;
+    let t1 = verdict(1, "Error").scenario().unwrap().at_quantum;
+    let t2 = verdict(2, "Error").scenario().unwrap().at_quantum;
+    let t4 = verdict(4, "Error").scenario().unwrap().at_quantum;
     assert!(t1 < t2, "size 1 overflows at {t1}, size 2 at {t2}");
     assert!(t2 < t4, "size 2 overflows at {t2}, size 4 at {t4}");
 }
@@ -161,5 +161,5 @@ fn sufficient_service_rate_never_overflows() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }

@@ -17,7 +17,7 @@ use aadl::examples::producer_handler;
 use aadl::instance::instantiate;
 use aadl2acsr::{analyze, AnalysisOptions, SendPattern, TranslateOptions, ViolationKind};
 
-fn verdict(overflow: &str, pattern: SendPattern) -> aadl2acsr::Verdict {
+fn verdict(overflow: &str, pattern: SendPattern) -> aadl2acsr::AnalysisOutcome {
     let pkg = producer_handler(1, overflow);
     let m = instantiate(&pkg, "Top.impl").unwrap();
     analyze(
@@ -36,7 +36,7 @@ fn at_completion_is_clean() {
     // One event per 20 ms period, separation 20 ms: the queue never overflows
     // and the handler always meets its deadline.
     let v = verdict("Error", SendPattern::AtCompletion);
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -45,8 +45,8 @@ fn anytime_is_conservative_overflowing_the_error_queue() {
     // computing: two raises inside one separation window overflow the 1-slot
     // queue — the "very conservative" outcome the paper warns about.
     let v = verdict("Error", SendPattern::Anytime);
-    assert!(!v.schedulable);
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable());
+    let sc = v.scenario().unwrap();
     assert!(sc
         .violations
         .iter()
@@ -58,7 +58,7 @@ fn anytime_with_dropping_queue_stays_live() {
     // Dropping surplus events absorbs the conservatism: no deadlock, but the
     // state space is larger than the refined default's.
     let drop_any = verdict("DropNewest", SendPattern::Anytime);
-    assert!(drop_any.schedulable, "stats: {:?}", drop_any.stats);
+    assert!(drop_any.schedulable(), "stats: {:?}", drop_any.stats());
     let exhaustive_any = analyze(
         &instantiate(&producer_handler(1, "DropNewest"), "Top.impl").unwrap(),
         &TranslateOptions {
@@ -74,11 +74,11 @@ fn anytime_with_dropping_queue_stays_live() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(exhaustive_any.schedulable && exhaustive_default.schedulable);
+    assert!(exhaustive_any.schedulable() && exhaustive_default.schedulable());
     assert!(
-        exhaustive_any.stats.states >= exhaustive_default.stats.states,
+        exhaustive_any.stats().states >= exhaustive_default.stats().states,
         "anytime {} vs default {}",
-        exhaustive_any.stats.states,
-        exhaustive_default.stats.states
+        exhaustive_any.stats().states,
+        exhaustive_default.stats().states
     );
 }

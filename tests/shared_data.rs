@@ -90,7 +90,7 @@ fn without_sharing_the_tight_deadline_holds() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "each thread alone on its processor");
+    assert!(v.schedulable(), "each thread alone on its processor");
 }
 
 #[test]
@@ -104,8 +104,8 @@ fn remote_blocking_breaks_the_tight_deadline() {
         &AnalysisOptions::default(),
     )
     .unwrap();
-    assert!(!v.schedulable);
-    let sc = v.scenario.unwrap();
+    assert!(!v.schedulable());
+    let sc = v.scenario().unwrap();
     assert!(sc.violations.iter().any(|vk| matches!(
         vk,
         ViolationKind::DeadlineMiss { thread } if thread == "t_low"
@@ -133,7 +133,7 @@ fn a_relaxed_deadline_absorbs_the_blocking() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -178,7 +178,7 @@ fn same_processor_sharers_do_not_deadlock() {
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable, "stats: {:?}", v.stats);
+    assert!(v.schedulable(), "stats: {:?}", v.stats());
 }
 
 #[test]
@@ -227,5 +227,5 @@ end Acc;
         &AnalysisOptions::exhaustive(),
     )
     .unwrap();
-    assert!(v.schedulable);
+    assert!(v.schedulable());
 }

@@ -122,6 +122,11 @@ crates/bench/Cargo.toml dependencies obs
 crates/bench/Cargo.toml dependencies sched-baselines
 crates/bench/Cargo.toml dependencies versa
 crates/core/Cargo.toml dependencies aadl
+crates/served/Cargo.toml dependencies aadl
+crates/served/Cargo.toml dependencies aadl2acsr
+crates/served/Cargo.toml dependencies acsr
+crates/served/Cargo.toml dependencies obs
+crates/served/Cargo.toml dependencies versa
 crates/core/Cargo.toml dependencies acsr
 crates/core/Cargo.toml dependencies obs
 crates/core/Cargo.toml dependencies versa

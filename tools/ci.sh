@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The full local gate, in the order a reviewer would run it:
 #
-#   1. tier-1: release build + the whole test suite (ROADMAP.md)
+#   1. tier-1: release build + the root test suite (ROADMAP.md), then the
+#      member crates' own suites (`--workspace --exclude aadl-sched`)
 #   2. the pinned-timeline gates: the golden diagnose trace and the
 #      concurrency-control inversion timeline, named explicitly so a drift
 #      in either renders as its own CI line, not a needle in the full suite
@@ -12,7 +13,12 @@
 #      regression in the parallel dedup path or the memoized step relation
 #      (the last run also refreshes BENCH_exploration.json, which is
 #      committed)
-#   4. the hermetic-build audit (path-only deps, pinned dependency graph,
+#   4. the daemon smoke: start `aadlschedd`, analyze all four bundled
+#      models through `aadlschedc` and diff the exit codes against the
+#      `aadlsched` CLI (the two front ends must agree verdict-for-verdict),
+#      check that a duplicate request is served from the result cache, then
+#      drain gracefully (daemon must exit 0 and write the fleet report)
+#   5. the hermetic-build audit (path-only deps, pinned dependency graph,
 #      obs dependency-free, `cargo doc` with warnings denied — see
 #      tools/check_hermetic.sh)
 #
@@ -30,6 +36,13 @@ cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo "== workspace crates: cargo test -q --workspace --exclude aadl-sched =="
+# The root manifest is a package, so plain `cargo test` covers only the
+# root crate; this line runs every member crate's own suites (acsr
+# interning props, versa, obs, the served daemon + PROTOCOL.md replay
+# tests, ...) without repeating the root tests.
+cargo test -q --workspace --exclude aadl-sched
 
 echo "== golden timelines: diagnose + inversion =="
 cargo test -q --test golden_diagnose --test inversion
@@ -53,6 +66,64 @@ diff -u target/ci/verdicts-t1.txt target/ci/verdicts-t4.txt
 echo "verdicts identical across worker counts"
 diff -u target/ci/verdicts-t1.txt target/ci/verdicts-nomemo.txt
 echo "verdicts identical with the successor memo disabled"
+
+echo "== daemon smoke: aadlschedd verdicts must match the CLI =="
+# Stage 1 built the workspace binaries; run them directly so the smoke
+# stage measures the daemon, not cargo.
+cargo build --release -q -p served
+daemon_log=target/ci/aadlschedd.log
+target/release/aadlschedd --addr 127.0.0.1:0 --metrics target/ci/fleet.json \
+  > "$daemon_log" &
+daemon_pid=$!
+# Readiness line: "aadlschedd listening on 127.0.0.1:<port>".
+addr=""
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^aadlschedd listening on //p' "$daemon_log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "daemon smoke: aadlschedd did not print its readiness line"
+  exit 1
+fi
+for model in cruise_control flight_control inversion overloaded; do
+  cli_code=0
+  target/release/aadlsched "examples/models/$model.aadl" --exhaustive \
+    > /dev/null || cli_code=$?
+  daemon_code=0
+  target/release/aadlschedc --addr "$addr" \
+    analyze "examples/models/$model.aadl" --exhaustive \
+    > /dev/null || daemon_code=$?
+  if [ "$cli_code" -ne "$daemon_code" ]; then
+    echo "daemon smoke: $model: CLI exit $cli_code != daemon exit $daemon_code"
+    exit 1
+  fi
+  echo "daemon smoke: $model: verdicts agree (exit $cli_code)"
+done
+# The four analyses above populated the result cache; a duplicate request
+# must be answered from it, and the fleet counter must show the hit.
+if ! target/release/aadlschedc --addr "$addr" \
+    analyze examples/models/cruise_control.aadl --exhaustive \
+    | grep -q '"cached":true'; then
+  echo "daemon smoke: duplicate request was not served from the result cache"
+  exit 1
+fi
+hits="$(target/release/aadlschedc --addr "$addr" metrics \
+  | grep -o '"served.cache_hits":[0-9]*' | cut -d: -f2)"
+if [ "${hits:-0}" -lt 1 ]; then
+  echo "daemon smoke: served.cache_hits is ${hits:-absent}, expected >= 1"
+  exit 1
+fi
+target/release/aadlschedc --addr "$addr" shutdown > /dev/null
+if ! wait "$daemon_pid"; then
+  echo "daemon smoke: aadlschedd did not exit 0 on graceful drain"
+  exit 1
+fi
+if [ ! -s target/ci/fleet.json ]; then
+  echo "daemon smoke: fleet metrics report was not written"
+  exit 1
+fi
+echo "daemon smoke: cache hit observed, graceful drain, fleet report written"
 
 echo "== hermetic audit =="
 tools/check_hermetic.sh
