@@ -115,7 +115,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, JsonParseError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(text, bytes, &mut pos)?;
+        let value = parse_value(text, bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(err(pos, "trailing characters after the JSON value"));
@@ -269,6 +269,13 @@ impl fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Maximum container nesting the reader accepts. The parser is recursive
+/// descent, so unbounded nesting would let a short hostile input (e.g. a
+/// line of `[` characters over the daemon's TCP socket) overflow the
+/// thread's stack — an uncatchable process abort. Nothing the writer
+/// produces comes anywhere near this deep.
+const MAX_PARSE_DEPTH: usize = 128;
+
 fn err(at: usize, message: &'static str) -> JsonParseError {
     JsonParseError { at, message }
 }
@@ -288,7 +295,15 @@ fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8, message: &'static str) -> R
     }
 }
 
-fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+fn parse_value(
+    text: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+    depth: usize,
+) -> Result<Json, JsonParseError> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(err(*pos, "nesting too deep"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -305,7 +320,7 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonPa
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(text, bytes, pos)?);
+                items.push(parse_value(text, bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -330,7 +345,7 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, JsonPa
                 let key = parse_string(text, bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect_byte(bytes, pos, b':', "expected `:` after object key")?;
-                let value = parse_value(text, bytes, pos)?;
+                let value = parse_value(text, bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -489,6 +504,23 @@ mod tests {
             v.to_compact(),
             r#"{"n":-3,"u":7,"s":"hi","a":[null,false],"e":{}}"#
         );
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // Within the limit: parses fine.
+        let depth = MAX_PARSE_DEPTH;
+        let ok = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the limit: a parse error, not a crash.
+        let over = format!("{}0{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert_eq!(Json::parse(&over).unwrap_err().message, "nesting too deep");
+        // A hostile flood of opens (the remote-DoS shape) errors cleanly
+        // long before the recursion could touch the stack guard.
+        let flood = "[".repeat(200_000);
+        assert_eq!(Json::parse(&flood).unwrap_err().message, "nesting too deep");
+        let objs = "{\"k\":".repeat(200_000);
+        assert_eq!(Json::parse(&objs).unwrap_err().message, "nesting too deep");
     }
 
     #[test]

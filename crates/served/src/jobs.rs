@@ -312,6 +312,25 @@ mod tests {
     }
 
     #[test]
+    fn abort_returns_every_attached_waiter() {
+        // A duplicate can coalesce between `submit` and the queue push; if
+        // the push then fails, abort must hand back *all* waiters so the
+        // server can tell each one the job died.
+        let table: JobTable<u32> = JobTable::new(8);
+        assert!(matches!(table.submit("d", payload(), 1, None), Submit::New));
+        assert!(matches!(
+            table.submit("d", payload(), 2, None),
+            Submit::Coalesced
+        ));
+        let mut waiters = table.abort("d");
+        waiters.sort_unstable();
+        assert_eq!(waiters, vec![1, 2]);
+        // The entry is gone: the digest submits fresh again.
+        assert!(matches!(table.submit("d", payload(), 3, None), Submit::New));
+        assert!(table.abort("missing").is_empty());
+    }
+
+    #[test]
     fn input_errors_are_not_cached() {
         let table: JobTable<u32> = JobTable::new(8);
         table.submit("d", payload(), 1, None);

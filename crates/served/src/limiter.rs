@@ -51,10 +51,25 @@ impl RateLimiter {
             last_ns: now,
         });
         let elapsed_ns = now.saturating_sub(bucket.last_ns);
-        bucket.last_ns = now;
-        // rate tokens/s = rate millitokens/ms = rate*elapsed_ns/1e6.
-        let refill_m = (elapsed_ns / 1_000) * self.rate_per_sec / 1_000;
-        bucket.level_m = (bucket.level_m + refill_m).min(self.burst * 1000);
+        // rate tokens/s = rate millitokens/ms = rate*elapsed_ns/1e6. Only
+        // advance `last_ns` by the time actually converted into millitokens:
+        // resetting it to `now` on every call would forfeit any elapsed time
+        // that truncates to zero, so a peer polling faster than one refill
+        // quantum would stay starved forever despite real time passing.
+        let cap_m = self.burst * 1000;
+        let refill_raw = u128::from(elapsed_ns) * u128::from(self.rate_per_sec) / 1_000_000;
+        if refill_raw >= u128::from(cap_m) {
+            // Enough elapsed time to fill the bucket outright; the surplus
+            // is discarded (standard bucket overflow), so `now` is exact.
+            bucket.level_m = cap_m;
+            bucket.last_ns = now;
+        } else if refill_raw > 0 {
+            let refill_m = refill_raw as u64;
+            let consumed_ns = (u128::from(refill_m) * 1_000_000 / u128::from(self.rate_per_sec))
+                .min(u128::from(elapsed_ns)) as u64;
+            bucket.last_ns = bucket.last_ns.saturating_add(consumed_ns);
+            bucket.level_m = (bucket.level_m + refill_m).min(cap_m);
+        }
         if bucket.level_m >= 1000 {
             bucket.level_m -= 1000;
             true
@@ -97,5 +112,44 @@ mod tests {
         assert!(fast.allow("a"));
         assert!(fast.allow("a"));
         assert!(fast.allow("a"), "refilled by the 2 s tick between reads");
+    }
+
+    #[test]
+    fn sub_quantum_polling_still_accrues() {
+        // 1 token/s, burst 1, and a clock advancing 600 µs per read — every
+        // single refill truncates to zero millitokens. A limiter that resets
+        // `last_ns` on each call would starve this peer forever; keeping the
+        // remainder means ~1 s of polling (~1667 calls) earns the token back.
+        let lim = RateLimiter::new(1, 1, Arc::new(obs::FakeClock::new(600_000)));
+        assert!(lim.allow("a"), "burst token");
+        let recovered = (0..2_000).filter(|_| lim.allow("a")).count();
+        assert!(
+            recovered >= 1,
+            "accrued refill must survive sub-quantum polling"
+        );
+        assert!(recovered <= 2, "but no faster than the configured rate");
+    }
+
+    #[test]
+    fn long_idle_grants_one_burst_not_one_per_call() {
+        // A clock that replays a fixed script of instants.
+        struct ScriptClock(std::sync::Mutex<std::vec::IntoIter<u64>>);
+        impl Clock for ScriptClock {
+            fn now_ns(&self) -> u64 {
+                self.0.lock().unwrap().next().expect("script exhausted")
+            }
+        }
+        // 1 token/s, burst 1. A huge idle gap fills the bucket to its cap
+        // exactly once; the catch-up must not leave `last_ns` lagging so far
+        // behind that rapid follow-up calls each re-grant a full burst.
+        let idle_end = 10_000_000_000_000u64;
+        let clock = ScriptClock(std::sync::Mutex::new(
+            vec![0, idle_end, idle_end + 1_000, idle_end + 2_000].into_iter(),
+        ));
+        let lim = RateLimiter::new(1, 1, Arc::new(clock));
+        assert!(lim.allow("a"), "initial burst");
+        assert!(lim.allow("a"), "refilled to cap by the idle gap");
+        assert!(!lim.allow("a"), "1 µs later: no token yet");
+        assert!(!lim.allow("a"), "2 µs later: still none");
     }
 }

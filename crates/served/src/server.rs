@@ -20,7 +20,7 @@
 //! job-table on the connection side, and job-table alone followed by
 //! write-mutex on the fan-out side, so the two never deadlock.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -273,8 +273,14 @@ pub fn run(cfg: Config) -> Result<(), String> {
             .expect("spawn reaper")
     };
 
-    // Track live client sockets so drain can unblock their readers.
-    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    // Track live client sockets so drain can unblock their readers. Keyed
+    // by a connection id so each handler thread can drop its own entry on
+    // exit — retaining every clone for the daemon's lifetime would keep one
+    // fd per past connection alive (CLOSE_WAIT) until the fd limit kills
+    // `accept`.
+    let conns: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
+        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let mut next_conn_id: u64 = 0;
     for stream in listener.incoming() {
         if daemon.draining() {
             break;
@@ -283,14 +289,23 @@ pub fn run(cfg: Config) -> Result<(), String> {
         // Responses are small back-to-back lines (`accepted` then `result`);
         // without nodelay, Nagle + delayed ACK adds ~40 ms per exchange.
         stream.set_nodelay(true).ok();
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
         if let Ok(clone) = stream.try_clone() {
-            conns.lock().expect("conns poisoned").push(clone);
+            conns.lock().expect("conns poisoned").insert(conn_id, clone);
         }
         let d = daemon.clone();
         let local = local.to_string();
+        let conns_for_thread = conns.clone();
         std::thread::Builder::new()
             .name("aadlschedd-conn".into())
-            .spawn(move || handle_conn(d, stream, &local))
+            .spawn(move || {
+                handle_conn(d, stream, &local);
+                conns_for_thread
+                    .lock()
+                    .expect("conns poisoned")
+                    .remove(&conn_id);
+            })
             .expect("spawn conn");
     }
 
@@ -300,7 +315,7 @@ pub fn run(cfg: Config) -> Result<(), String> {
         w.join().expect("worker panicked");
     }
     reaper.join().expect("reaper panicked");
-    for c in conns.lock().expect("conns poisoned").iter() {
+    for c in conns.lock().expect("conns poisoned").values() {
         c.shutdown(std::net::Shutdown::Both).ok();
     }
     if let Some(path) = &daemon.cfg.metrics_path {
@@ -317,6 +332,35 @@ fn metrics_report(d: &Daemon) -> String {
     report.set("config", d.cfg.to_json());
     report.attach_run(&d.rec.finish());
     report.to_json()
+}
+
+/// Largest request line the daemon will buffer, excluding the newline.
+/// Inline model sources fit comfortably; anything bigger is a hostile or
+/// broken client streaming bytes without a newline, which must not be able
+/// to grow daemon memory without bound.
+const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Read one newline-terminated request line, buffering at most
+/// [`MAX_REQUEST_LINE_BYTES`]. `Ok(None)` ends the connection (EOF, an I/O
+/// error, or invalid UTF-8 — the same cases `BufRead::lines` treated as
+/// terminal); `Err(())` means the cap was hit before a newline arrived.
+fn read_request_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ()> {
+    let mut buf = Vec::new();
+    let mut limited = reader.by_ref().take(MAX_REQUEST_LINE_BYTES as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) | Err(_) => Ok(None),
+        Ok(_) => {
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+            } else if buf.len() > MAX_REQUEST_LINE_BYTES {
+                return Err(());
+            }
+            Ok(String::from_utf8(buf).ok())
+        }
+    }
 }
 
 fn write_line(writer: &Arc<Mutex<TcpStream>>, v: Json) {
@@ -336,9 +380,19 @@ fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
     };
     let writer = Arc::new(Mutex::new(write_half));
     d.m.connections.set(d.m.connections.get() + 1);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_request_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(()) => {
+                // Oversized line: tell the client why, then hang up — the
+                // rest of its stream is the tail of the same giant line.
+                d.m.errors.inc();
+                write_line(&writer, wire::error_response(None, "request line too long"));
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -457,7 +511,25 @@ fn handle_analyze(
             }
             Err(_) => {
                 d.m.rejected_queue_full.inc();
-                d.jobs.abort(&digest);
+                // A concurrent identical request may have coalesced onto the
+                // entry between our `submit` and `try_push`; it was already
+                // sent `accepted`, so every waiter abort() hands back must
+                // be told the job died or its client hangs forever.
+                for (w, wid) in d.jobs.abort(&digest) {
+                    if Arc::ptr_eq(&w, writer) {
+                        // Same connection as ours: its writer lock is the
+                        // one we already hold, so queue the line instead of
+                        // deadlocking in `write_line`.
+                        if wid != id {
+                            lines.push(wire::error_response(
+                                Some(&wid),
+                                "queue full, retry later",
+                            ));
+                        }
+                    } else {
+                        write_line(&w, wire::error_response(Some(&wid), "queue full, retry later"));
+                    }
+                }
                 lines.push(wire::error_response(Some(id), "queue full, retry later"));
             }
         },

@@ -325,6 +325,42 @@ fn concurrent_clients_coalesce_cancel_and_time_out() {
 }
 
 #[test]
+fn hostile_input_is_rejected_not_fatal() {
+    let daemon = Daemon::start(&["--workers", "1"], None);
+
+    // Deeply nested JSON: the recursive-descent parser must answer with a
+    // protocol error instead of blowing the connection thread's stack — a
+    // stack overflow aborts the whole daemon process.
+    let mut a = daemon.connect();
+    a.send(&"[".repeat(100_000));
+    let err = a.recv();
+    assert_eq!(field(&err, "type"), "error");
+    assert_eq!(field(&err, "code"), "2");
+
+    // A giant line with no newline: rejected at the framing cap with a
+    // protocol error, then the daemon hangs up — it must not buffer an
+    // endless stream into memory. (Exactly cap+1 bytes, so the daemon's
+    // close is a clean FIN and the error response is reliably readable.)
+    let mut b = daemon.connect();
+    b.writer
+        .write_all(&vec![b'x'; 4 * 1024 * 1024 + 1])
+        .expect("send oversized blob");
+    let err = b.recv();
+    assert_eq!(field(&err, "type"), "error");
+    assert!(err.contains("request line too long"), "{err}");
+    let mut end = String::new();
+    b.reader.read_line(&mut end).expect("read after error");
+    assert!(end.is_empty(), "daemon must close the oversized connection");
+
+    // The daemon is still fully alive for well-behaved clients.
+    let mut c = daemon.connect();
+    c.send(&analyze_file("ok", "cruise_control.aadl"));
+    assert_eq!(field(&c.recv(), "type"), "accepted");
+    assert_eq!(field(&c.recv(), "verdict"), "schedulable");
+    daemon.shutdown();
+}
+
+#[test]
 fn responses_are_byte_stable_under_the_fake_clock() {
     let transcript = |run: usize| {
         let daemon = Daemon::start(&["--workers", "1"], Some("1000"));
