@@ -128,7 +128,10 @@ pub struct TranslateOptions {
     /// (e.g. the daemon's warm store, reused across requests so structurally
     /// identical subterms intern once) instead of a fresh private one.
     pub store: Option<Arc<TermStore>>,
-    /// Observability recorder; defaults to disabled (no-op).
+    /// Observability recorder; defaults to disabled (no-op). May be a
+    /// request-scoped clone ([`obs::Recorder::scoped`]) — the `translate`
+    /// span then parents under the caller's anchor span and carries the
+    /// request tag.
     pub obs: obs::Recorder,
 }
 
@@ -770,6 +773,32 @@ mod tests {
             .threads
             .iter()
             .all(|t| t.violation_def.is_none()));
+    }
+
+    #[test]
+    fn scoped_recorder_tags_the_translate_span() {
+        // Under a request-scoped recorder (`obs::Recorder::scoped`) the
+        // `translate` span parents under the serving layer's anchor and
+        // carries the request tag alongside its inventory fields.
+        let m = cruise_control_model();
+        let rec = obs::Recorder::with_clock(Box::new(obs::FakeClock::new(1)));
+        let anchor = rec.span("served.exec");
+        let scoped = rec.scoped(&anchor, 9);
+        translate(
+            &m,
+            &TranslateOptions {
+                obs: scoped,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        anchor.end();
+        let run = rec.finish();
+        let anchor_id = run.spans.iter().find(|s| s.name == "served.exec").unwrap().id;
+        let span = run.spans.iter().find(|s| s.name == "translate").unwrap();
+        assert_eq!(span.parent, Some(anchor_id));
+        assert!(span.fields.contains(&("req".to_string(), 9)));
+        assert!(span.fields.contains(&("threads".to_string(), 6)));
     }
 
     #[test]

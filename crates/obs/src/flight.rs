@@ -1,0 +1,234 @@
+//! The flight recorder: a fixed-size, lock-light ring buffer of the last N
+//! structured request events.
+//!
+//! Tracing every request to disk is too expensive for a serving daemon, but
+//! the *interesting* requests — the one that timed out, the ones right
+//! before a panic, the burst that filled the queue — must leave evidence.
+//! The flight recorder keeps a bounded window of recent
+//! [`FlightEvent`]s in memory; the daemon dumps it to stderr when something
+//! goes wrong (panic-retry, timeout, queue-full), serves it on demand via
+//! the `flight` wire command, and drains it into the fleet report on
+//! graceful shutdown.
+//!
+//! Concurrency: one atomic fetch-add claims a slot, then one uncontended
+//! per-slot mutex stores the event — writers only collide on a slot after a
+//! full lap of the ring. [`FlightRecorder::snapshot`] locks each slot
+//! briefly and orders by sequence number, so readers never stall writers
+//! for more than one slot at a time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// One recorded request, as kept in the ring and rendered by the `flight`
+/// wire command and the fleet report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number, assigned by [`FlightRecorder::record`]
+    /// (whatever the caller sets is overwritten).
+    pub seq: u64,
+    /// The daemon-wide request sequence number (the `req` span field).
+    pub req: u64,
+    /// The client's correlation id.
+    pub id: String,
+    /// The job digest.
+    pub job: String,
+    /// Terminal outcome: a verdict (`schedulable`, `unschedulable`), an
+    /// interruption (`timeout`, `cancelled`, `state-budget`), or a serving
+    /// disposition (`cache-hit`, `queue-full`, `rejected`, `error`).
+    pub outcome: String,
+    /// The wire `code` delivered for the request.
+    pub code: u8,
+    /// Per-stage durations in ns, in stage order (`parse`, `dispatch`,
+    /// `queue_wait` / `coalesce_wait`, `exec`, `serialize`).
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl FlightEvent {
+    /// Render one event with a fixed field order (the wire and report
+    /// contract).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::UInt(self.seq)),
+            ("req", Json::UInt(self.req)),
+            ("id", Json::from(self.id.as_str())),
+            ("job", Json::from(self.job.as_str())),
+            ("outcome", Json::from(self.outcome.as_str())),
+            ("code", Json::UInt(u64::from(self.code))),
+            (
+                "stages",
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The bounded ring of recent [`FlightEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{FlightEvent, FlightRecorder};
+///
+/// let ring = FlightRecorder::new(2);
+/// for i in 0..3u64 {
+///     ring.record(FlightEvent {
+///         seq: 0,
+///         req: i,
+///         id: format!("r{i}"),
+///         job: "0000000000000000".into(),
+///         outcome: "schedulable".into(),
+///         code: 0,
+///         stages: vec![("exec", 10)],
+///     });
+/// }
+/// // Capacity 2: the first event fell out of the window.
+/// let window = ring.snapshot();
+/// assert_eq!(window.len(), 2);
+/// assert_eq!((window[0].seq, window[0].req), (1, 1));
+/// assert_eq!((window[1].seq, window[1].req), (2, 2));
+/// ```
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<FlightEvent>>>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// The window size.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (recorded − capacity ≤ retained).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Record one event, overwriting the oldest slot once the ring is full.
+    /// Returns the assigned sequence number.
+    pub fn record(&self, mut event: FlightEvent) -> u64 {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.lock().expect("flight slot poisoned") = Some(event);
+        seq
+    }
+
+    /// The current window, oldest first. Concurrent recording may leave
+    /// holes; ordering is by sequence number, never by slot position.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("flight slot poisoned").clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The window as JSON: `{"capacity": N, "recorded": M, "events": [...]}`
+    /// — the body of the `flight` wire response and the `flight` section of
+    /// the fleet report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity", Json::UInt(self.capacity() as u64)),
+            ("recorded", Json::UInt(self.recorded())),
+            (
+                "events",
+                Json::Arr(self.snapshot().iter().map(FlightEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(req: u64, outcome: &str) -> FlightEvent {
+        FlightEvent {
+            seq: 0,
+            req,
+            id: format!("r{req}"),
+            job: "aabbccdd00112233".into(),
+            outcome: outcome.into(),
+            code: 0,
+            stages: vec![("parse", 1), ("exec", 2)],
+        }
+    }
+
+    #[test]
+    fn empty_ring_snapshots_empty() {
+        let ring = FlightRecorder::new(4);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.recorded(), 0);
+        assert_eq!(
+            ring.to_json().to_compact(),
+            r#"{"capacity":4,"recorded":0,"events":[]}"#
+        );
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_newest_window() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10 {
+            assert_eq!(ring.record(event(i, "schedulable")), i);
+        }
+        let window = ring.snapshot();
+        assert_eq!(window.len(), 4);
+        assert_eq!(
+            window.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn event_json_has_a_fixed_field_order() {
+        let mut e = event(3, "timeout");
+        e.seq = 5;
+        e.code = 3;
+        assert_eq!(
+            e.to_json().to_compact(),
+            r#"{"seq":5,"req":3,"id":"r3","job":"aabbccdd00112233","outcome":"timeout","code":3,"stages":{"parse":1,"exec":2}}"#
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_lossless_in_count() {
+        let ring = std::sync::Arc::new(FlightRecorder::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(event(t * 100 + i, "schedulable"));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 400);
+        let window = ring.snapshot();
+        assert_eq!(window.len(), 8);
+        // Slot overwrites can race (a slow writer may land after a later
+        // lap), so the exact window contents are not asserted — only that
+        // it is full, ordered, and duplicate-free.
+        let seqs: Vec<u64> = window.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        assert!(seqs.iter().all(|&s| s < 400));
+    }
+}

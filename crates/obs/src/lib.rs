@@ -45,6 +45,7 @@
 //! ```
 
 pub mod clock;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
@@ -52,10 +53,11 @@ pub mod report;
 pub mod sink;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use json::{Json, JsonParseError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use recorder::{
     EventRecord, Recorder, RunData, Span, SpanRecord, PROGRESS_FIRST_THRESHOLD,
 };
-pub use report::{run_id, Report, SCHEMA, SCHEMA_VERSION};
+pub use report::{histogram_json, run_id, Report, SCHEMA, SCHEMA_VERSION};
 pub use sink::{JsonLinesSink, Sink, SummarySink};

@@ -156,6 +156,56 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(usize, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the power-of-two
+    /// buckets by **bucket-midpoint estimation**:
+    ///
+    /// 1. The target rank is the smallest `r` with `r >= ceil(q * count)`,
+    ///    clamped to `1 ..= count`.
+    /// 2. Walk the buckets in ascending order until the cumulative count
+    ///    reaches the rank; the estimate is that bucket's midpoint — `0` for
+    ///    bucket 0 (exactly the value 0), `1` for bucket 1, and
+    ///    `3 * 2^(i-2)` for bucket `i >= 2` (the midpoint of the covered
+    ///    range `2^(i-1) .. 2^i`).
+    /// 3. The estimate is clamped to the observed maximum, so a saturated
+    ///    top bucket (every observation in the highest non-empty bucket)
+    ///    never reports a value larger than anything actually observed.
+    ///
+    /// The estimate is exact when every observation in the selected bucket
+    /// equals its midpoint and is otherwise off by at most a factor of two —
+    /// the inherent resolution of power-of-two buckets. Returns `0` for an
+    /// empty histogram. Monotone in `q` by construction (a larger `q` never
+    /// selects an earlier bucket), which the serving layer's
+    /// p50 ≤ p90 ≤ p99 CI assertion relies on.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(bucket, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_midpoint(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Midpoint of bucket `i`: the representative value quantile estimation
+/// reports for an observation that landed there.
+fn bucket_midpoint(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        // Bucket i covers 2^(i-1) .. 2^i; the midpoint is 3 * 2^(i-2).
+        // For i = 64 this is 3 * 2^62, which still fits in a u64.
+        _ => 3u64 << (i - 2),
+    }
+}
+
 impl Histogram {
     /// Record one observation (no-op when disabled).
     #[inline]
@@ -222,6 +272,60 @@ mod tests {
         );
         assert_eq!(snap.count, 8);
         assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_an_empty_histogram_is_zero() {
+        let snap = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_of_a_single_observation_is_clamped_to_it() {
+        let h = Histogram(Some(Arc::new(HistogramCell::default())));
+        h.observe(5);
+        let snap = h.snapshot();
+        // 5 lands in bucket 3 (range 4..8, midpoint 6); the estimate is
+        // clamped to the observed max, so every quantile reports 5 exactly.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_handles_the_saturated_top_bucket() {
+        // Every observation in the highest bucket (64, values >= 2^63):
+        // the midpoint 3 * 2^62 must not overflow, and must stay <= max.
+        let h = Histogram(Some(Arc::new(HistogramCell::default())));
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        h.observe(1u64 << 63);
+        let snap = h.snapshot();
+        let mid = 3u64 << 62;
+        for q in [0.5, 0.9, 0.99] {
+            let est = snap.quantile(q);
+            assert_eq!(est, mid, "q={q}");
+            assert!(est <= snap.max);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram(Some(Arc::new(HistogramCell::default())));
+        for v in [0u64, 1, 3, 9, 17, 300, 5_000, 70_000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let (p50, p90, p99) = (
+            snap.quantile(0.5),
+            snap.quantile(0.9),
+            snap.quantile(0.99),
+        );
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // A mid-distribution estimate is within the selected bucket's range.
+        assert!(p50 >= 8 && p50 <= 32, "{p50}");
     }
 
     #[test]

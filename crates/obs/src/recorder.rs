@@ -57,6 +57,9 @@ pub struct RunData {
     pub start_ns: u64,
     /// Clock reading when [`Recorder::finish`] was called.
     pub end_ns: u64,
+    /// Spans discarded because the span log hit its cap (see
+    /// [`Recorder::with_span_cap`]); `0` when uncapped.
+    pub spans_dropped: u64,
     /// `(name, value)` for every counter, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// `(name, current, peak)` for every gauge, sorted by name.
@@ -86,6 +89,20 @@ struct Inner {
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<Vec<EventRecord>>,
     progress: Option<Mutex<ProgressState>>,
+    /// Hard cap on the span log; spans opened past it are silently dropped
+    /// (counted in `spans_dropped`) so a long-lived process cannot grow the
+    /// log without bound. Metrics are fixed-size and keep recording.
+    span_cap: usize,
+    spans_dropped: std::sync::atomic::AtomicU64,
+}
+
+/// A request scope a recorder handle can carry (see [`Recorder::scoped`]):
+/// spans opened through the scoped handle default-parent under the scope's
+/// anchor span and are tagged with the request sequence number.
+#[derive(Clone)]
+struct Scope {
+    parent: u64,
+    req: i64,
 }
 
 /// Handle to the observability store; clone freely (it is an `Arc` or
@@ -93,6 +110,7 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    scope: Option<Scope>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -112,7 +130,10 @@ pub const PROGRESS_FIRST_THRESHOLD: u64 = 64;
 impl Recorder {
     /// The no-op recorder: every instrument it hands out is inert.
     pub fn disabled() -> Recorder {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            scope: None,
+        }
     }
 
     /// An enabled recorder on the production monotonic clock.
@@ -134,8 +155,29 @@ impl Recorder {
                 spans: Mutex::new(Vec::new()),
                 events: Mutex::new(Vec::new()),
                 progress: None,
+                span_cap: usize::MAX,
+                spans_dropped: std::sync::atomic::AtomicU64::new(0),
             })),
+            scope: None,
         }
+    }
+
+    /// Cap the span log at `cap` entries. Spans opened past the cap are
+    /// dropped (their handles are inert) and counted in
+    /// [`RunData::spans_dropped`]; counters, gauges and histograms — all
+    /// fixed-size — keep recording. Long-lived processes (the serving
+    /// daemon) use this so per-request tracing cannot grow memory without
+    /// bound. Call before handing out clones, like
+    /// [`Recorder::with_progress`].
+    pub fn with_span_cap(mut self, cap: usize) -> Recorder {
+        if let Some(inner) = self.inner.take() {
+            let inner = Arc::try_unwrap(inner).unwrap_or_else(rebuild_inner);
+            self.inner = Some(Arc::new(Inner {
+                span_cap: cap,
+                ..inner
+            }));
+        }
+        self
     }
 
     /// Turn on rate-limited progress reporting (stderr lines emitted by
@@ -146,16 +188,7 @@ impl Recorder {
         if let Some(inner) = self.inner.take() {
             // The recorder was just built and has a single owner; rebuild the
             // Inner with progress armed.
-            let inner = Arc::try_unwrap(inner).unwrap_or_else(|arc| Inner {
-                clock: Box::new(MonotonicClock::new()),
-                start_ns: arc.start_ns,
-                counters: Mutex::new(arc.counters.lock().unwrap().clone()),
-                gauges: Mutex::new(arc.gauges.lock().unwrap().clone()),
-                histograms: Mutex::new(arc.histograms.lock().unwrap().clone()),
-                spans: Mutex::new(arc.spans.lock().unwrap().clone()),
-                events: Mutex::new(arc.events.lock().unwrap().clone()),
-                progress: None,
-            });
+            let inner = Arc::try_unwrap(inner).unwrap_or_else(rebuild_inner);
             self.inner = Some(Arc::new(Inner {
                 progress: Some(Mutex::new(ProgressState {
                     next: PROGRESS_FIRST_THRESHOLD,
@@ -209,28 +242,87 @@ impl Recorder {
     }
 
     /// Open a root span. Close it with [`Span::end`]; fields with
-    /// [`Span::set`].
+    /// [`Span::set`]. Under a scoped handle (see [`Recorder::scoped`]) the
+    /// span parents under the scope's anchor instead of being a root.
     pub fn span(&self, name: &str) -> Span {
-        self.open_span(name, None)
+        self.open_span(name, None, None)
     }
 
-    fn open_span(&self, name: &str, parent: Option<u64>) -> Span {
+    /// Open a span with an explicit start timestamp instead of reading the
+    /// clock — for callers that already stamped the moment of interest
+    /// (e.g. the serving layer stamps request receipt once and builds the
+    /// whole stage tree from stored stamps, keeping the number of clock
+    /// reads per request fixed and fake-clock runs byte-stable).
+    pub fn span_at(&self, name: &str, start_ns: u64) -> Span {
+        self.open_span(name, None, Some(start_ns))
+    }
+
+    /// Read the recorder's clock (`0` when disabled). This is the clock the
+    /// span log is stamped with; pair with [`Recorder::span_at`] /
+    /// [`Span::end_at`].
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// The clock reading when the recorder was created (`0` when disabled).
+    pub fn start_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.start_ns)
+    }
+
+    /// A clone of this handle whose root spans parent under `anchor` and
+    /// carry a `req` field — the request-scoping hook of the serving layer:
+    /// hand the engine a scoped clone and every span the engine opens
+    /// (`translate`, `explore`, `explore.level`, `diagnose.raise`, …) lands
+    /// in that request's span tree, tagged with its request sequence
+    /// number, without the engine knowing anything about requests. Returns
+    /// an unscoped clone when the anchor span is inert (disabled recorder
+    /// or a span dropped by the cap).
+    pub fn scoped(&self, anchor: &Span, req: i64) -> Recorder {
+        let mut rec = self.clone();
+        rec.scope = anchor.id.map(|parent| Scope { parent, req });
+        rec
+    }
+
+    /// Rebuild a [`Span`] handle from a span id previously obtained with
+    /// [`Span::id`]. The id must come from this recorder; handing back an
+    /// id from another recorder attaches children to an unrelated span.
+    pub fn span_handle(&self, id: u64) -> Span {
+        Span {
+            rec: self.clone(),
+            id: self.inner.is_some().then_some(id),
+        }
+    }
+
+    fn open_span(&self, name: &str, parent: Option<u64>, start: Option<u64>) -> Span {
         match &self.inner {
             None => Span {
                 rec: Recorder::disabled(),
                 id: None,
             },
             Some(inner) => {
-                let start_ns = inner.clock.now_ns();
+                let parent = parent.or(self.scope.as_ref().map(|s| s.parent));
+                let start_ns = start.unwrap_or_else(|| inner.clock.now_ns());
                 let mut spans = inner.spans.lock().expect("span log");
+                if spans.len() >= inner.span_cap {
+                    drop(spans);
+                    inner.spans_dropped.fetch_add(1, Ordering::Relaxed);
+                    return Span {
+                        rec: Recorder::disabled(),
+                        id: None,
+                    };
+                }
                 let id = spans.len() as u64;
+                let fields = match &self.scope {
+                    Some(s) => vec![("req".to_string(), s.req)],
+                    None => Vec::new(),
+                };
                 spans.push(SpanRecord {
                     id,
                     parent,
                     name: name.to_string(),
                     start_ns,
                     end_ns: None,
-                    fields: Vec::new(),
+                    fields,
                 });
                 Span {
                     rec: self.clone(),
@@ -277,6 +369,52 @@ impl Recorder {
         }
     }
 
+    /// Snapshot the metric registries only — counters, gauges and
+    /// histograms in name order — without reading the clock or touching the
+    /// span/event logs. This is what the daemon's `stats` wire command
+    /// renders: because no clock is read and nothing is mutated, two
+    /// consecutive snapshots with no traffic in between are byte-identical
+    /// even under the real clock.
+    pub fn metrics_data(&self) -> RunData {
+        match &self.inner {
+            None => RunData::default(),
+            Some(inner) => RunData {
+                start_ns: inner.start_ns,
+                end_ns: inner.start_ns,
+                spans_dropped: inner.spans_dropped.load(Ordering::Relaxed),
+                counters: inner
+                    .counters
+                    .lock()
+                    .expect("counter registry")
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                    .collect(),
+                gauges: inner
+                    .gauges
+                    .lock()
+                    .expect("gauge registry")
+                    .iter()
+                    .map(|(k, g)| {
+                        (
+                            k.clone(),
+                            g.value.load(Ordering::Relaxed),
+                            g.peak.load(Ordering::Relaxed),
+                        )
+                    })
+                    .collect(),
+                histograms: inner
+                    .histograms
+                    .lock()
+                    .expect("histogram registry")
+                    .iter()
+                    .map(|(k, h)| (k.clone(), Histogram(Some(Arc::clone(h))).snapshot()))
+                    .collect(),
+                spans: Vec::new(),
+                events: Vec::new(),
+            },
+        }
+    }
+
     /// Close out the run: read the final clock and snapshot everything in
     /// deterministic order.
     pub fn finish(&self) -> RunData {
@@ -285,6 +423,7 @@ impl Recorder {
             Some(inner) => RunData {
                 start_ns: inner.start_ns,
                 end_ns: inner.clock.now_ns(),
+                spans_dropped: inner.spans_dropped.load(Ordering::Relaxed),
                 counters: inner
                     .counters
                     .lock()
@@ -319,6 +458,26 @@ impl Recorder {
     }
 }
 
+/// Rebuild an [`Inner`] whose `Arc` still has other owners (the
+/// `with_*` builders are meant to run before clones are handed out, but
+/// must stay correct if they do not).
+fn rebuild_inner(arc: Arc<Inner>) -> Inner {
+    Inner {
+        clock: Box::new(MonotonicClock::new()),
+        start_ns: arc.start_ns,
+        counters: Mutex::new(arc.counters.lock().unwrap().clone()),
+        gauges: Mutex::new(arc.gauges.lock().unwrap().clone()),
+        histograms: Mutex::new(arc.histograms.lock().unwrap().clone()),
+        spans: Mutex::new(arc.spans.lock().unwrap().clone()),
+        events: Mutex::new(arc.events.lock().unwrap().clone()),
+        progress: None,
+        span_cap: arc.span_cap,
+        spans_dropped: std::sync::atomic::AtomicU64::new(
+            arc.spans_dropped.load(Ordering::Relaxed),
+        ),
+    }
+}
+
 /// An open span; hierarchical via [`Span::child`]. Spans are closed
 /// explicitly with [`Span::end`] (dropping an open span leaves `end_ns`
 /// empty, which the sinks render as an unclosed span rather than guessing a
@@ -337,8 +496,27 @@ impl Span {
                 rec: Recorder::disabled(),
                 id: None,
             },
-            Some(id) => self.rec.open_span(name, Some(id)),
+            Some(id) => self.rec.open_span(name, Some(id), None),
         }
+    }
+
+    /// Open a child span with an explicit start timestamp (no clock read);
+    /// see [`Recorder::span_at`].
+    pub fn child_at(&self, name: &str, start_ns: u64) -> Span {
+        match self.id {
+            None => Span {
+                rec: Recorder::disabled(),
+                id: None,
+            },
+            Some(id) => self.rec.open_span(name, Some(id), Some(start_ns)),
+        }
+    }
+
+    /// This span's id in the recorder's span log (`None` for an inert
+    /// handle). Feed it to [`Recorder::span_handle`] to rebuild a handle in
+    /// another thread.
+    pub fn id(&self) -> Option<u64> {
+        self.id
     }
 
     /// Attach an integer field (last write wins per key at render time; keys
@@ -361,6 +539,15 @@ impl Span {
             let end = inner.clock.now_ns();
             let mut spans = inner.spans.lock().expect("span log");
             spans[id as usize].end_ns = Some(end);
+        }
+    }
+
+    /// Close the span at an explicit end timestamp (no clock read); see
+    /// [`Recorder::span_at`].
+    pub fn end_at(self, end_ns: u64) {
+        if let (Some(id), Some(inner)) = (self.id, &self.rec.inner) {
+            let mut spans = inner.spans.lock().expect("span log");
+            spans[id as usize].end_ns = Some(end_ns);
         }
     }
 }
@@ -443,6 +630,89 @@ mod tests {
         for states in [1u64, 63, 64, 65, 127, 128, 1024, 1_000_000] {
             rec.progress(states, 1, 1);
         }
+    }
+
+    #[test]
+    fn scoped_recorder_parents_and_tags_root_spans() {
+        let rec = Recorder::with_clock(Box::new(FakeClock::new(10)));
+        let anchor = rec.span("served.exec");
+        let scoped = rec.scoped(&anchor, 7);
+        // A "root" span opened through the scoped handle parents under the
+        // anchor and carries the request tag — and so do its children,
+        // because `child` goes through the same scoped handle.
+        let engine = scoped.span("explore");
+        let level = engine.child("explore.level");
+        level.end();
+        engine.end();
+        anchor.end();
+        let run = rec.finish();
+        assert_eq!(run.spans[1].name, "explore");
+        assert_eq!(run.spans[1].parent, Some(0));
+        assert_eq!(run.spans[1].fields, vec![("req".to_string(), 7)]);
+        assert_eq!(run.spans[2].parent, Some(1));
+        assert_eq!(run.spans[2].fields, vec![("req".to_string(), 7)]);
+        // Scoping an inert anchor yields an unscoped handle.
+        let unscoped = Recorder::disabled();
+        let inert = unscoped.span("x");
+        let s = rec.scoped(&inert, 1);
+        let root = s.span("y");
+        assert_eq!(run.spans.len(), 3); // snapshot above unaffected
+        root.end();
+        let run2 = rec.finish();
+        assert_eq!(run2.spans[3].parent, None);
+        assert!(run2.spans[3].fields.is_empty());
+    }
+
+    #[test]
+    fn explicit_timestamps_skip_the_clock() {
+        let rec = Recorder::with_clock(Box::new(FakeClock::new(1_000)));
+        // Clock reads: creation only (start=0) — every stamp is explicit.
+        let root = rec.span_at("served.request", 42);
+        let root_id = root.id().unwrap();
+        let child = root.child_at("served.parse", 43);
+        child.end_at(44);
+        root.end_at(50);
+        let handle = rec.span_handle(root_id);
+        let late = handle.child_at("served.serialize", 45);
+        late.end_at(49);
+        let run = rec.finish();
+        assert_eq!(run.spans[0].start_ns, 42);
+        assert_eq!(run.spans[0].end_ns, Some(50));
+        assert_eq!(run.spans[1].start_ns, 43);
+        assert_eq!(run.spans[2].parent, Some(0));
+        // finish() was the first clock read after creation.
+        assert_eq!(run.end_ns, 1_000);
+    }
+
+    #[test]
+    fn span_cap_drops_spans_but_keeps_metrics() {
+        let rec = Recorder::with_clock(Box::new(FakeClock::new(1))).with_span_cap(2);
+        let a = rec.span("a");
+        let b = rec.span("b");
+        let c = rec.span("c"); // dropped
+        c.set("ignored", 1);
+        c.end();
+        rec.counter("still.counting").inc();
+        a.end();
+        b.end();
+        let run = rec.finish();
+        assert_eq!(run.spans.len(), 2);
+        assert_eq!(run.spans_dropped, 1);
+        assert_eq!(run.counters[0], ("still.counting".to_string(), 1));
+    }
+
+    #[test]
+    fn metrics_data_reads_no_clock() {
+        let rec = Recorder::with_clock(Box::new(FakeClock::new(1_000)));
+        rec.counter("c").add(2);
+        rec.histogram("h").observe(9);
+        let a = rec.metrics_data();
+        let b = rec.metrics_data();
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.histograms, b.histograms);
+        assert!(a.spans.is_empty() && a.events.is_empty());
+        // The next real clock read proves metrics_data consumed none.
+        assert_eq!(rec.now_ns(), 1_000);
     }
 
     #[test]

@@ -22,7 +22,13 @@ pub const SCHEMA: &str = "aadlsched-metrics";
 /// * v2 — the `exploration` section gained the hash-consing fields
 ///   (`memo_hits`, `memo_misses`, `memo_evictions`, `unique_subterms`) and
 ///   `BENCH_exploration.json` gained the `interning` A/B section.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * v3 — every histogram gained `p50`/`p90`/`p99` quantile estimates
+///   (bucket-midpoint estimation over the power-of-two buckets, see
+///   [`HistogramSnapshot::quantile`]); reports may carry a top-level
+///   `spans_dropped` count when the span log was capped, and the daemon's
+///   fleet report gained a `flight` section (the drained flight-recorder
+///   window).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Deterministic run identifier: FNV-1a (64-bit) over the given byte slices,
 /// rendered as 16 lowercase hex digits. Feed it the model source and the
@@ -63,7 +69,7 @@ pub fn run_id(parts: &[&[u8]]) -> String {
 /// r.set("model", Json::obj([("file", Json::from("m.aadl"))]));
 /// let text = r.to_json();
 /// assert!(text.starts_with("{\n  \"schema\": \"aadlsched-metrics\""));
-/// assert!(text.contains("\"version\": 2"));
+/// assert!(text.contains("\"version\": 3"));
 /// ```
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -97,6 +103,9 @@ impl Report {
     /// `gauges` and `histograms` sections.
     pub fn attach_run(&mut self, run: &RunData) {
         self.set("duration_ns", Json::UInt(run.end_ns.saturating_sub(run.start_ns)));
+        if run.spans_dropped > 0 {
+            self.set("spans_dropped", Json::UInt(run.spans_dropped));
+        }
         self.set(
             "spans",
             Json::Arr(run.spans.iter().map(span_json).collect()),
@@ -191,11 +200,19 @@ pub(crate) fn span_json(s: &SpanRecord) -> Json {
     Json::Obj(pairs)
 }
 
-fn histogram_json(snap: &HistogramSnapshot) -> Json {
+/// Render one histogram with its quantile estimates — the shared shape of
+/// the report's `histograms` section and the daemon's `stats` response.
+/// Quantiles are integers (bucket-midpoint estimates clamped to the
+/// observed maximum; see [`HistogramSnapshot::quantile`]) because the JSON
+/// dialect has no floats.
+pub fn histogram_json(snap: &HistogramSnapshot) -> Json {
     Json::obj([
         ("count", Json::UInt(snap.count)),
         ("sum", Json::UInt(snap.sum)),
         ("max", Json::UInt(snap.max)),
+        ("p50", Json::UInt(snap.quantile(0.5))),
+        ("p90", Json::UInt(snap.quantile(0.9))),
+        ("p99", Json::UInt(snap.quantile(0.99))),
         (
             "buckets",
             Json::Arr(

@@ -36,7 +36,7 @@ fn record() -> Recorder {
 
 const EXPECTED_REPORT: &str = r#"{
   "schema": "aadlsched-metrics",
-  "version": 2,
+  "version": 3,
   "run_id": "e0721772aeb595b6",
   "tool": "snapshot-test",
   "duration_ns": 10000,
@@ -106,6 +106,9 @@ const EXPECTED_REPORT: &str = r#"{
       "count": 1,
       "sum": 40,
       "max": 40,
+      "p50": 40,
+      "p90": 40,
+      "p99": 40,
       "buckets": [
         [
           6,

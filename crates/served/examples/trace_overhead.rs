@@ -1,0 +1,33 @@
+//! Q11 helper: in-process A/B of the engine with an enabled vs disabled
+//! recorder, isolating the engine-side tracing cost from socket noise.
+//! Run from the repo root: `cargo run --release -p served --example trace_overhead`
+
+use std::time::Instant;
+
+fn main() {
+    let src = std::fs::read_to_string("examples/models/cruise_control.aadl").expect("model");
+    let pkg = aadl::parser::parse_package(&src).expect("parse");
+    let root = pkg.default_root().expect("root");
+    let model = aadl::instance::instantiate(&pkg, &root).expect("instantiate");
+    for label in ["disabled", "enabled", "nospans", "disabled", "enabled", "nospans"] {
+        let mut best = u128::MAX;
+        for _ in 0..50 {
+            let rec = match label {
+                "enabled" => obs::Recorder::enabled(),
+                "nospans" => obs::Recorder::enabled().with_span_cap(0),
+                _ => obs::Recorder::disabled(),
+            };
+            let t0 = Instant::now();
+            let topts = aadl2acsr::TranslateOptions {
+                obs: rec.clone(),
+                ..Default::default()
+            };
+            let tm = aadl2acsr::translate(&model, &topts).expect("translate");
+            let mut aopts = aadl2acsr::AnalysisOptions::exhaustive();
+            aopts.explore.obs = rec.clone();
+            let _v = aadl2acsr::analyze_translated(&model, &tm, &aopts);
+            best = best.min(t0.elapsed().as_nanos());
+        }
+        println!("{label}: {} us", best / 1000);
+    }
+}

@@ -15,6 +15,12 @@
 //!   --retries <n>             retries on transient analysis failures
 //!   --no-result-cache         always recompute, never serve cached verdicts
 //!   --metrics <file>          write the fleet metrics report on shutdown
+//!   --no-trace                disable request-scoped tracing, the flight
+//!                             recorder and per-stage histograms (the
+//!                             engine then runs on a disabled recorder)
+//!   --flight-capacity <n>     flight-recorder window size (default 64)
+//!   --span-cap <n>            span-log cap; excess spans are dropped and
+//!                             counted (default 65536)
 //! ```
 //!
 //! On startup the daemon prints `aadlschedd listening on <addr>` — parse
@@ -33,7 +39,8 @@ fn usage() -> ExitCode {
         "usage: aadlschedd [--addr <host:port>] [--workers <n>] \
          [--queue-capacity <n>] [--rate-limit <n>] [--burst <n>] \
          [--default-timeout-ms <n>] [--max-states <n>] [--cache-capacity <n>] \
-         [--retries <n>] [--no-result-cache] [--metrics <file>]"
+         [--retries <n>] [--no-result-cache] [--metrics <file>] \
+         [--no-trace] [--flight-capacity <n>] [--span-cap <n>]"
     );
     ExitCode::from(2)
 }
@@ -89,6 +96,17 @@ fn parse_args() -> Result<Config, String> {
             }
             "--no-result-cache" => cfg.result_cache = false,
             "--metrics" => cfg.metrics_path = Some(val("--metrics")?),
+            "--no-trace" => cfg.trace = false,
+            "--flight-capacity" => {
+                cfg.flight_capacity = val("--flight-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--flight-capacity: {e}"))?
+            }
+            "--span-cap" => {
+                cfg.span_cap = val("--span-cap")?
+                    .parse()
+                    .map_err(|e| format!("--span-cap: {e}"))?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }

@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use versa::CancelToken;
 
+use crate::trace::JobMeta;
 use crate::wire::{AnalyzeOptions, JobResult};
 
 /// What a worker needs to run a job.
@@ -27,6 +28,9 @@ pub struct JobPayload {
     pub source: String,
     /// The request options.
     pub options: AnalyzeOptions,
+    /// The owning request's trace anchor (`None` with `--no-trace`), so the
+    /// worker can hang the `served.exec` span under the right span tree.
+    pub trace: Option<JobMeta>,
 }
 
 /// Lifecycle of a job.
@@ -259,6 +263,16 @@ impl<W> JobTable<W> {
             .filter(|e| matches!(e.state, State::Running))
             .count()
     }
+
+    /// Number of completed results currently held in the cache (the `health`
+    /// response's `cache_entries`).
+    pub fn cached_count(&self) -> usize {
+        let t = self.inner.lock().expect("job table poisoned");
+        t.jobs
+            .values()
+            .filter(|e| matches!(e.state, State::Done(_)))
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +283,7 @@ mod tests {
         JobPayload {
             source: "package P end P;".into(),
             options: AnalyzeOptions::default(),
+            trace: None,
         }
     }
 
@@ -300,6 +315,7 @@ mod tests {
         waiters.sort_unstable();
         assert_eq!(waiters, vec![1, 2, 3]);
         // Now cached.
+        assert_eq!(table.cached_count(), 1);
         assert!(matches!(
             table.submit("d1", payload(), 4, None),
             Submit::Cached(_)
@@ -308,6 +324,7 @@ mod tests {
         assert!(matches!(table.submit("d2", payload(), 5, None), Submit::New));
         table.take_running("d2").unwrap();
         table.complete("d2", done(0), true);
+        assert_eq!(table.cached_count(), 1);
         assert!(matches!(table.submit("d1", payload(), 6, None), Submit::New));
     }
 

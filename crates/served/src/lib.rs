@@ -15,6 +15,13 @@
 //!   cooperative [`versa::CancelToken`]) and bounded retries;
 //! * per-client **rate limiting** and a bounded request queue that rejects
 //!   under overload instead of buffering without bound;
+//! * **request-scoped tracing** ([`trace`], DESIGN.md §15): every request
+//!   becomes one `served.request` span tree with per-stage durations, and
+//!   the engine's own spans nest under its `served.exec` via a scoped
+//!   recorder;
+//! * **live introspection** (`stats`, `health`) and a bounded **flight
+//!   recorder** (`flight`) holding the last N request events, dumped on
+//!   panic-retry / timeout / queue-full and drained into the fleet report;
 //! * **graceful drain** on shutdown and fleet metrics through the
 //!   schema-versioned `obs` report sink.
 //!
@@ -27,6 +34,7 @@ pub mod jobs;
 pub mod limiter;
 pub mod queue;
 pub mod server;
+pub mod trace;
 pub mod wire;
 
 pub use server::{run, Config, Daemon};

@@ -19,11 +19,21 @@
 //! fan-out blocks on the same lock. The lock order is write-mutex then
 //! job-table on the connection side, and job-table alone followed by
 //! write-mutex on the fan-out side, so the two never deadlock.
+//!
+//! Observability (DESIGN.md §15): every parsed work request gets a request
+//! sequence number and — unless `--no-trace` — a [`crate::trace::ReqTrace`]
+//! that becomes one `served.request` span tree (stage children `parse`,
+//! `dispatch`, `queue_wait`/`coalesce_wait`, `exec`, `serialize`; engine
+//! spans nest under `exec` via a scoped recorder) plus one entry in the
+//! [`obs::FlightRecorder`]. All trace stamps read the *recorder* clock;
+//! the deadline/limiter clock is a separate instance, so reaper polling
+//! never perturbs trace timestamps. The `stats`/`health`/`flight` wire
+//! commands serve live introspection without counting as requests.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use aadl::instance::instantiate;
@@ -38,6 +48,7 @@ use obs::Json;
 use crate::jobs::{JobPayload, JobTable, Submit};
 use crate::limiter::RateLimiter;
 use crate::queue::BoundedQueue;
+use crate::trace::{outcome_str, JobMeta, ReqTrace};
 use crate::wire::{self, AnalyzeOptions, JobResult, ModelSource, Request};
 
 /// Daemon configuration (the `aadlschedd` flags).
@@ -67,6 +78,16 @@ pub struct Config {
     pub result_cache: bool,
     /// Write the end-of-life fleet metrics report to this path on shutdown.
     pub metrics_path: Option<String>,
+    /// Request-scoped tracing: span trees, stage histograms and the flight
+    /// recorder (`false` = `--no-trace`, the zero-overhead A/B lever of
+    /// EXPERIMENTS.md Q11 — the engine then runs on a disabled recorder).
+    pub trace: bool,
+    /// Flight-recorder window: the last N request events kept in memory.
+    pub flight_capacity: usize,
+    /// Span-log cap; spans past it are dropped (counted in the report's
+    /// `spans_dropped`) so a long-lived daemon cannot grow memory without
+    /// bound. Metrics keep recording regardless.
+    pub span_cap: usize,
 }
 
 impl Default for Config {
@@ -83,6 +104,9 @@ impl Default for Config {
             retries: 1,
             result_cache: true,
             metrics_path: None,
+            trace: true,
+            flight_capacity: 64,
+            span_cap: 65_536,
         }
     }
 }
@@ -111,13 +135,16 @@ impl Config {
             ("cache_capacity", Json::from(self.cache_capacity)),
             ("retries", Json::from(u64::from(self.retries))),
             ("result_cache", Json::Bool(self.result_cache)),
+            ("trace", Json::Bool(self.trace)),
+            ("flight_capacity", Json::from(self.flight_capacity)),
+            ("span_cap", Json::from(self.span_cap)),
         ])
     }
 }
 
-/// A waiter: the connection's serialized writer plus the request id the
-/// result must echo.
-type Waiter = (Arc<Mutex<TcpStream>>, String);
+/// A waiter: the connection's serialized writer, the request id the result
+/// must echo, and the request's trace state (`None` with `--no-trace`).
+type Waiter = (Arc<Mutex<TcpStream>>, String, Option<ReqTrace>);
 
 /// Fleet-level instruments, registered once so the `metrics` response can
 /// render them in a fixed order.
@@ -137,6 +164,12 @@ struct Instruments {
     jobs_running: obs::Gauge,
     connections: obs::Gauge,
     request_wall: obs::Histogram,
+    // Per-stage latency distributions (recorder clock, trace mode only).
+    queue_wait: obs::Histogram,
+    exec: obs::Histogram,
+    serialize: obs::Histogram,
+    coalesce_wait: obs::Histogram,
+    cache_hit_wall: obs::Histogram,
 }
 
 impl Instruments {
@@ -157,6 +190,11 @@ impl Instruments {
             jobs_running: rec.gauge("served.jobs_running"),
             connections: rec.gauge("served.connections"),
             request_wall: rec.histogram("served.request_wall"),
+            queue_wait: rec.histogram("served.queue_wait"),
+            exec: rec.histogram("served.exec"),
+            serialize: rec.histogram("served.serialize"),
+            coalesce_wait: rec.histogram("served.coalesce_wait"),
+            cache_hit_wall: rec.histogram("served.cache_hit_wall"),
         }
     }
 }
@@ -177,6 +215,16 @@ pub struct Daemon {
     store: Arc<TermStore>,
     draining: AtomicBool,
     m: Instruments,
+    /// The flight recorder: last N request events, dumped on trouble and
+    /// drained into the fleet report (DESIGN.md §15).
+    flight: obs::FlightRecorder,
+    /// Request sequence numbers (the `req` span field), starting at 1.
+    req_seq: AtomicU64,
+    /// The daemon's run id: hashes the configured address plus — under the
+    /// real clock only — the daemon start time, so two daemon *processes*
+    /// are distinguishable in collected reports while fake-clock replays
+    /// stay byte-stable.
+    run_id: String,
 }
 
 impl Daemon {
@@ -187,6 +235,16 @@ impl Daemon {
 
     fn draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Dump the flight window to stderr — called on panic-retry, timeout
+    /// and queue-full, so the evidence survives even if the daemon dies
+    /// before a `flight` command or the shutdown report.
+    fn dump_flight(&self, why: &str) {
+        eprintln!(
+            "aadlschedd flight recorder ({why}): {}",
+            self.flight.to_json().to_compact()
+        );
     }
 }
 
@@ -216,7 +274,24 @@ fn build_clock() -> Result<(Arc<dyn obs::Clock>, Box<dyn obs::Clock>), String> {
 /// clients and the smoke test parse for the ephemeral port.
 pub fn run(cfg: Config) -> Result<(), String> {
     let (clock, rec_clock) = build_clock()?;
-    let rec = obs::Recorder::with_clock(rec_clock);
+    let rec = obs::Recorder::with_clock(rec_clock).with_span_cap(cfg.span_cap);
+    // Fold the daemon start time into the run id under the real clock so
+    // two runs of the same configuration yield distinguishable reports;
+    // under AADLSCHED_FAKE_CLOCK the salt is fixed so replays stay
+    // byte-identical.
+    let start_salt: u64 = if std::env::var("AADLSCHED_FAKE_CLOCK").is_ok() {
+        0
+    } else {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    };
+    let run_id = obs::run_id(&[
+        b"aadlschedd",
+        cfg.addr.as_bytes(),
+        &start_salt.to_le_bytes(),
+    ]);
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let local = listener
         .local_addr()
@@ -239,6 +314,9 @@ pub fn run(cfg: Config) -> Result<(), String> {
         clock,
         store: Arc::new(TermStore::new()),
         draining: AtomicBool::new(false),
+        flight: obs::FlightRecorder::new(cfg.flight_capacity),
+        req_seq: AtomicU64::new(0),
+        run_id,
         cfg,
     });
 
@@ -325,11 +403,12 @@ pub fn run(cfg: Config) -> Result<(), String> {
     Ok(())
 }
 
-/// The end-of-life fleet report through the schema-versioned report sink.
+/// The end-of-life fleet report through the schema-versioned report sink,
+/// with the drained flight-recorder window as its `flight` section.
 fn metrics_report(d: &Daemon) -> String {
-    let run_id = obs::run_id(&[b"aadlschedd", d.cfg.addr.as_bytes()]);
-    let mut report = obs::Report::new(&run_id, "aadlschedd");
+    let mut report = obs::Report::new(&d.run_id, "aadlschedd");
     report.set("config", d.cfg.to_json());
+    report.set("flight", d.flight.to_json());
     report.attach_run(&d.rec.finish());
     report.to_json()
 }
@@ -364,10 +443,16 @@ fn read_request_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>
 }
 
 fn write_line(writer: &Arc<Mutex<TcpStream>>, v: Json) {
-    let mut guard = writer.lock().expect("writer poisoned");
-    let mut line = v.to_compact();
+    write_raw(writer, v.to_compact());
+}
+
+fn write_raw(writer: &Arc<Mutex<TcpStream>>, mut line: String) {
     line.push('\n');
-    guard.write_all(line.as_bytes()).ok();
+    writer
+        .lock()
+        .expect("writer poisoned")
+        .write_all(line.as_bytes())
+        .ok();
 }
 
 fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
@@ -396,8 +481,12 @@ fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
         if line.trim().is_empty() {
             continue;
         }
-        d.m.requests.inc();
+        // The `parse` stage starts here: receipt stamp on the recorder
+        // clock, covering the rate-limit check and request parsing.
+        let recv_ns = if d.cfg.trace { d.rec.now_ns() } else { 0 };
         if !d.limiter.allow(&peer) {
+            // Rate-limited lines count only in `served.rejected_rate_limit`;
+            // they never became requests.
             d.m.rejected_rate_limit.inc();
             write_line(&writer, wire::error_response(None, "rate limit exceeded"));
             continue;
@@ -405,6 +494,9 @@ fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
         let req = match wire::parse_request(&line) {
             Ok(req) => req,
             Err(message) => {
+                // Malformed lines still count as requests — the client paid
+                // a round-trip and got an `error` response.
+                d.m.requests.inc();
                 d.m.errors.inc();
                 // Echo the id when the malformed request still carried one.
                 let id = Json::parse(&line)
@@ -414,12 +506,25 @@ fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
                 continue;
             }
         };
+        // Introspection (`stats`/`health`/`flight`) is excluded from
+        // `served.requests`, so polling the instruments never perturbs
+        // them — the byte-identity guarantee of consecutive `stats`.
+        if !req.is_introspection() {
+            d.m.requests.inc();
+        }
         match req {
             Request::Analyze {
                 id,
                 source,
                 options,
-            } => handle_analyze(&d, &writer, &id, source, options),
+            } => {
+                let ctx = d.cfg.trace.then(|| {
+                    let parsed_ns = d.rec.now_ns();
+                    let req_no = d.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    (req_no, recv_ns, parsed_ns)
+                });
+                handle_analyze(&d, &writer, &id, source, options, ctx)
+            }
             Request::Status { id, job } => {
                 let resp = match job {
                     Some(job) => match d.jobs.status(&job) {
@@ -445,6 +550,9 @@ fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
                 write_line(&writer, wire::cancelled_response(&id, &job, was));
             }
             Request::Metrics { id } => write_line(&writer, metrics_response(&d, &id)),
+            Request::Stats { id } => write_line(&writer, stats_response(&d, &id)),
+            Request::Health { id } => write_line(&writer, health_response(&d, &id)),
+            Request::Flight { id } => write_line(&writer, flight_response(&d, &id)),
             Request::Shutdown { id } => {
                 write_line(&writer, wire::shutting_down(&id));
                 d.draining.store(true, Ordering::Release);
@@ -458,17 +566,74 @@ fn handle_conn(d: Arc<Daemon>, stream: TcpStream, local_addr: &str) {
     d.m.connections.set(d.m.connections.get() - 1);
 }
 
+/// Retroactively record one stage as a child span of the root (explicit
+/// timestamps, no clock reads — see `obs::Span::child_at`).
+fn stage_span(d: &Daemon, root: Option<u64>, name: &'static str, start_ns: u64, end_ns: u64) {
+    if let Some(rid) = root {
+        d.rec.span_handle(rid).child_at(name, start_ns).end_at(end_ns);
+    }
+}
+
+/// Finish one request's trace: close the root span (with `code` and
+/// `slack_ns` fields) and record the flight event. `Σ stages + slack_ns`
+/// equals the root span's duration exactly, by construction.
+fn finish_trace(
+    d: &Daemon,
+    wt: &ReqTrace,
+    id: &str,
+    job: &str,
+    outcome: &str,
+    code: u8,
+    end_ns: u64,
+) {
+    if let Some(rid) = wt.root {
+        let root = d.rec.span_handle(rid);
+        root.set("code", i64::from(code));
+        root.set("slack_ns", wt.slack_ns(end_ns) as i64);
+        root.end_at(end_ns);
+    }
+    d.flight.record(obs::FlightEvent {
+        seq: 0,
+        req: wt.req,
+        id: id.to_string(),
+        job: job.to_string(),
+        outcome: outcome.to_string(),
+        code,
+        stages: wt.stages.clone(),
+    });
+}
+
 fn handle_analyze(
     d: &Arc<Daemon>,
     writer: &Arc<Mutex<TcpStream>>,
     id: &str,
     source: ModelSource,
     options: AnalyzeOptions,
+    ctx: Option<(u64, u64, u64)>,
 ) {
     d.m.analyze.inc();
+    // Open the root span first, so even rejected requests leave a tree.
+    let mut trace = ctx.map(|(req, recv_ns, parsed_ns)| {
+        let root = d.rec.span_at("served.request", recv_ns);
+        root.set("req", req as i64);
+        let root_id = root.id();
+        stage_span(d, root_id, "served.parse", recv_ns, parsed_ns);
+        let mut t = ReqTrace {
+            req,
+            root: root_id,
+            recv_ns,
+            dispatched_ns: parsed_ns,
+            stages: Vec::new(),
+        };
+        t.stage("parse", parsed_ns.saturating_sub(recv_ns));
+        t
+    });
     if d.draining() {
         d.m.errors.inc();
         write_line(writer, wire::error_response(Some(id), "shutting down"));
+        if let Some(wt) = &trace {
+            finish_trace(d, wt, id, "", "rejected", 2, d.rec.now_ns());
+        }
         return;
     }
     let source = match source {
@@ -481,6 +646,9 @@ fn handle_analyze(
                     writer,
                     wire::error_response(Some(id), &format!("cannot read `{path}`: {e}")),
                 );
+                if let Some(wt) = &trace {
+                    finish_trace(d, wt, id, "", "rejected", 2, d.rec.now_ns());
+                }
                 return;
             }
         },
@@ -488,26 +656,51 @@ fn handle_analyze(
     let digest = wire::job_digest(&source, &options);
     let timeout_ms = options.timeout_ms.or(d.cfg.default_timeout_ms);
     let deadline_ns = timeout_ms.map(|ms| d.clock.now_ns().saturating_add(ms * 1_000_000));
+    // The `dispatch` stage ends here: the job is about to be submitted.
+    // The few instructions between this stamp and the queue push land in
+    // `queue_wait`, which keeps the trace fully built before the waiter —
+    // and its clone of the trace — enters the job table.
+    if let Some(wt) = &mut trace {
+        let dispatched_ns = d.rec.now_ns();
+        stage_span(d, wt.root, "served.dispatch", wt.dispatched_ns, dispatched_ns);
+        wt.stage("dispatch", dispatched_ns.saturating_sub(wt.dispatched_ns));
+        wt.dispatched_ns = dispatched_ns;
+    }
     // Hold the write lock across the whole dispatch: the fan-out cannot
     // deliver our own result before we have written `accepted`.
     let mut guard = writer.lock().expect("writer poisoned");
-    let payload = JobPayload { source, options };
-    let waiter = (writer.clone(), id.to_string());
+    let payload = JobPayload {
+        source,
+        options,
+        trace: trace.as_ref().map(|t| JobMeta {
+            req: t.req,
+            root: t.root,
+        }),
+    };
+    let waiter = (writer.clone(), id.to_string(), trace.clone());
     let mut lines: Vec<Json> = Vec::new();
+    let mut cached: Option<Arc<JobResult>> = None;
     match d.jobs.submit(&digest, payload, waiter, deadline_ns) {
         Submit::Cached(result) => {
             d.m.cache_hits.inc();
             lines.push(wire::accepted(id, &digest, false));
             lines.push(wire::result_response(id, &digest, &result, true));
+            // The waiter (and its trace clone) was dropped by `submit`; the
+            // local trace finishes below, around the serialize stage.
+            cached = Some(result);
         }
         Submit::Coalesced => {
             d.m.coalesced.inc();
             lines.push(wire::accepted(id, &digest, true));
+            // The waiter's trace clone is now canonical; the fan-out
+            // finishes it.
+            trace = None;
         }
         Submit::New => match d.queue.try_push(digest.clone()) {
             Ok(()) => {
                 d.update_gauges();
                 lines.push(wire::accepted(id, &digest, false));
+                trace = None;
             }
             Err(_) => {
                 d.m.rejected_queue_full.inc();
@@ -515,7 +708,10 @@ fn handle_analyze(
                 // entry between our `submit` and `try_push`; it was already
                 // sent `accepted`, so every waiter abort() hands back must
                 // be told the job died or its client hangs forever.
-                for (w, wid) in d.jobs.abort(&digest) {
+                for (w, wid, wtrace) in d.jobs.abort(&digest) {
+                    if let Some(wt) = &wtrace {
+                        finish_trace(d, wt, &wid, &digest, "queue-full", 2, d.rec.now_ns());
+                    }
                     if Arc::ptr_eq(&w, writer) {
                         // Same connection as ours: its writer lock is the
                         // one we already hold, so queue the line instead of
@@ -531,13 +727,30 @@ fn handle_analyze(
                     }
                 }
                 lines.push(wire::error_response(Some(id), "queue full, retry later"));
+                // Our own trace came back through `abort` and is finished;
+                // drop the local copy.
+                trace = None;
+                if d.cfg.trace {
+                    d.dump_flight("queue full");
+                }
             }
         },
     }
+    // Cache hits are terminal here: time the serialize stage around the
+    // writes and finish the trace on this thread.
+    let serialize_start = trace.as_ref().map(|_| d.rec.now_ns());
     for v in lines {
         let mut line = v.to_compact();
         line.push('\n');
         guard.write_all(line.as_bytes()).ok();
+    }
+    if let (Some(mut wt), Some(result), Some(t0)) = (trace, cached, serialize_start) {
+        let t1 = d.rec.now_ns();
+        stage_span(d, wt.root, "served.serialize", t0, t1);
+        wt.stage("serialize", t1.saturating_sub(t0));
+        d.m.serialize.observe(t1.saturating_sub(t0));
+        d.m.cache_hit_wall.observe(t1.saturating_sub(wt.recv_ns));
+        finish_trace(d, &wt, id, &digest, "cache-hit", result.code, t1);
     }
 }
 
@@ -549,8 +762,13 @@ fn run_job(d: &Arc<Daemon>, digest: &str) {
         return;
     };
     d.update_gauges();
-    let span = d.rec.span("served.request");
+    let meta = payload.trace;
+    // Recorder-clock claim stamp: the end of the owner's `queue_wait`.
+    let claim_ns = meta.map(|_| d.rec.now_ns());
     let started = d.clock.now_ns();
+    let mut exec_span: Option<u64> = None;
+    let mut executed = false;
+    let mut panicked = false;
     let result = if cancel.is_cancelled() {
         // Cancelled (or reaped) while still queued.
         if d.jobs.timed_out(digest) {
@@ -566,11 +784,30 @@ fn run_job(d: &Arc<Daemon>, digest: &str) {
         d.m.timeouts.inc();
         JobResult::unknown("timeout")
     } else {
+        executed = true;
+        // The `served.exec` span anchors the engine's own spans: a scoped
+        // recorder parents everything the pipeline opens (`translate`,
+        // `explore`, …) under it and tags it with the owner's `req`. With
+        // `--no-trace` the engine runs on a disabled recorder — the
+        // allocation-free zero-sink path measured by EXPERIMENTS.md Q11.
+        let engine_rec = match (meta, claim_ns) {
+            (Some(m), Some(tc)) => match m.root {
+                Some(rid) => {
+                    let exec = d.rec.span_handle(rid).child_at("served.exec", tc);
+                    exec_span = exec.id();
+                    exec.set("req", m.req as i64);
+                    d.rec.scoped(&exec, m.req as i64)
+                }
+                // Root dropped by the span cap: engine metrics still record.
+                None => d.rec.clone(),
+            },
+            _ => obs::Recorder::disabled(),
+        };
         let mut attempts = 0;
         loop {
             attempts += 1;
             match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                analyze_source(d, &payload, &cancel)
+                analyze_source(d, &payload, &cancel, &engine_rec)
             })) {
                 Ok(mut result) => {
                     // The explorer reports `cancelled`; the daemon knows
@@ -585,36 +822,92 @@ fn run_job(d: &Arc<Daemon>, digest: &str) {
                 }
                 Err(_) if attempts <= d.cfg.retries => {
                     // Transient failure (a panic in the pipeline): bounded
-                    // retry, then give up with an error result.
+                    // retry, then give up with an error result. The flight
+                    // window at this moment is the evidence trail — dump it
+                    // before state moves on.
                     d.m.retries.inc();
+                    if meta.is_some() {
+                        d.dump_flight("panic retry");
+                    }
                     continue;
                 }
                 Err(_) => {
                     d.m.errors.inc();
+                    panicked = true;
                     break JobResult::input_error("analysis panicked; giving up after retries");
                 }
             }
         }
     };
+    let done_ns = claim_ns.map(|_| d.rec.now_ns());
+    if let (Some(eid), Some(td)) = (exec_span, done_ns) {
+        d.rec.span_handle(eid).end_at(td);
+    }
+    if let (true, Some(tc), Some(td)) = (executed, claim_ns, done_ns) {
+        d.m.exec.observe(td.saturating_sub(tc));
+    }
     d.m.request_wall
         .observe(d.clock.now_ns().saturating_sub(started));
-    span.set("code", i64::from(result.code));
-    span.end();
     d.m.results.inc();
     // Verdicts cache; input errors and interruptions do not (a retry might
     // succeed under a fresh deadline or budget).
     let cacheable = d.cfg.result_cache && matches!(result.code, 0 | 1);
     let waiters = d.jobs.complete(digest, result.clone(), cacheable);
     d.update_gauges();
-    for (writer, id) in waiters {
-        write_line(&writer, wire::result_response(&id, digest, &result, false));
+    let outcome = outcome_str(&result);
+    for (writer, id, wtrace) in waiters {
+        let Some(mut wt) = wtrace else {
+            write_line(&writer, wire::result_response(&id, digest, &result, false));
+            continue;
+        };
+        let (tc, td) = (claim_ns.unwrap_or(0), done_ns.unwrap_or(0));
+        if meta.is_some_and(|m| m.req == wt.req) {
+            // The owner waited for a worker, then for the analysis.
+            stage_span(d, wt.root, "served.queue_wait", wt.dispatched_ns, tc);
+            wt.stage("queue_wait", tc.saturating_sub(wt.dispatched_ns));
+            d.m.queue_wait.observe(tc.saturating_sub(wt.dispatched_ns));
+            if executed {
+                // The exec span is already in the tree (opened live above).
+                wt.stage("exec", td.saturating_sub(tc));
+            }
+        } else {
+            // A coalesced waiter waited for someone else's execution.
+            stage_span(d, wt.root, "served.coalesce_wait", wt.dispatched_ns, td);
+            wt.stage("coalesce_wait", td.saturating_sub(wt.dispatched_ns));
+            d.m.coalesce_wait
+                .observe(td.saturating_sub(wt.dispatched_ns));
+        }
+        // The serialize stage times the response *rendering*; the socket
+        // write happens after the trace is fully committed (span ended,
+        // histograms observed, flight event recorded), so a client that
+        // reacts to the result line — e.g. with an immediate `stats` or
+        // `flight` — is guaranteed to observe the completed trace. That
+        // ordering is what keeps the PROTOCOL.md transcripts replayable.
+        let t0 = d.rec.now_ns();
+        let line = wire::result_response(&id, digest, &result, false).to_compact();
+        let t1 = d.rec.now_ns();
+        stage_span(d, wt.root, "served.serialize", t0, t1);
+        wt.stage("serialize", t1.saturating_sub(t0));
+        d.m.serialize.observe(t1.saturating_sub(t0));
+        finish_trace(d, &wt, &id, digest, &outcome, result.code, t1);
+        write_raw(&writer, line);
+    }
+    if meta.is_some() && (outcome == "timeout" || panicked) {
+        d.dump_flight(if panicked { "analysis panicked" } else { "timeout" });
     }
 }
 
 /// The translate→explore→diagnose pipeline for one request, sharing the
-/// daemon's warm store and recorder — the same stages as the `aadlsched`
-/// CLI, returning the wire-level result instead of exiting.
-fn analyze_source(d: &Arc<Daemon>, payload: &JobPayload, cancel: &versa::CancelToken) -> JobResult {
+/// daemon's warm store — the same stages as the `aadlsched` CLI, returning
+/// the wire-level result instead of exiting. `rec` is the request-scoped
+/// recorder (engine spans parent under the request's `served.exec`), or a
+/// disabled one with `--no-trace`.
+fn analyze_source(
+    d: &Arc<Daemon>,
+    payload: &JobPayload,
+    cancel: &versa::CancelToken,
+    rec: &obs::Recorder,
+) -> JobResult {
     let o = &payload.options;
     let pkg = match parse_package(&payload.source) {
         Ok(pkg) => pkg,
@@ -645,7 +938,7 @@ fn analyze_source(d: &Arc<Daemon>, payload: &JobPayload, cancel: &versa::CancelT
         quantum: o.quantum_ms.map(TimeVal::ms),
         protocol_override: protocol,
         store: Some(d.store.clone()),
-        obs: d.rec.clone(),
+        obs: rec.clone(),
         ..Default::default()
     };
     let tm = match translate(&model, &topts) {
@@ -665,7 +958,7 @@ fn analyze_source(d: &Arc<Daemon>, payload: &JobPayload, cancel: &versa::CancelT
     aopts.explore.memo = o.memo;
     aopts.explore.max_states = o.max_states.unwrap_or(usize::MAX).min(d.cfg.max_states);
     aopts.explore.cancel = cancel.clone();
-    aopts.explore.obs = d.rec.clone();
+    aopts.explore.obs = rec.clone();
     let outcome = analyze_translated(&model, &tm, &aopts);
     JobResult::from_outcome(&outcome)
 }
@@ -707,4 +1000,94 @@ fn metrics_response(d: &Daemon, id: &str) -> Json {
             ]),
         ),
     ])
+}
+
+/// The `stats` response: every counter, gauge and histogram the recorder
+/// knows (fleet *and* engine instruments), in name order, with p50/p90/p99
+/// quantile estimates per histogram. Reads no clock and mutates nothing, so
+/// two consecutive snapshots with no traffic in between are byte-identical
+/// — even under the real clock.
+fn stats_response(d: &Daemon, id: &str) -> Json {
+    let run = d.rec.metrics_data();
+    Json::obj([
+        ("type", Json::from("stats")),
+        ("id", Json::from(id)),
+        ("schema", Json::from(obs::SCHEMA)),
+        ("version", Json::UInt(obs::SCHEMA_VERSION)),
+        ("run_id", Json::from(d.run_id.as_str())),
+        (
+            "counters",
+            Json::Obj(
+                run.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                run.gauges
+                    .iter()
+                    .map(|(k, value, peak)| {
+                        (
+                            k.clone(),
+                            Json::obj([
+                                ("value", Json::Int(*value)),
+                                ("peak", Json::Int(*peak)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                run.histograms
+                    .iter()
+                    .map(|(k, snap)| (k.clone(), obs::histogram_json(snap)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `health` response: liveness at a glance. The single clock read (for
+/// `uptime_ns`) is on the recorder clock.
+fn health_response(d: &Daemon, id: &str) -> Json {
+    Json::obj([
+        ("type", Json::from("health")),
+        ("id", Json::from(id)),
+        (
+            "uptime_ns",
+            Json::UInt(d.rec.now_ns().saturating_sub(d.rec.start_ns())),
+        ),
+        ("queue_depth", Json::from(d.queue.len())),
+        ("workers", Json::from(d.cfg.workers.max(1))),
+        ("jobs_running", Json::from(d.jobs.running_count())),
+        ("connections", Json::Int(d.m.connections.get())),
+        ("cache_entries", Json::from(d.jobs.cached_count())),
+        (
+            "cache_capacity",
+            Json::from(if d.cfg.result_cache {
+                d.cfg.cache_capacity
+            } else {
+                0
+            }),
+        ),
+        ("draining", Json::Bool(d.draining())),
+    ])
+}
+
+/// The `flight` response: the ring-buffer window, oldest event first.
+fn flight_response(d: &Daemon, id: &str) -> Json {
+    let mut pairs = vec![
+        ("type".to_string(), Json::from("flight")),
+        ("id".to_string(), Json::from(id)),
+    ];
+    if let Json::Obj(fields) = d.flight.to_json() {
+        pairs.extend(fields);
+    }
+    Json::Obj(pairs)
 }

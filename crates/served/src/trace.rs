@@ -1,0 +1,129 @@
+//! Request-scoped tracing: the per-request bookkeeping that turns one wire
+//! request into one coherent span tree and one flight-recorder event.
+//!
+//! The daemon assigns every parsed work request a **request sequence
+//! number** (`req`, starting at 1) and stamps its lifecycle on the
+//! *recorder* clock only (see DESIGN.md §15 — the deadline clock is a
+//! separate instance, so reaper polling never perturbs trace stamps). The
+//! stage boundaries, in order:
+//!
+//! | stage           | from → to                                           |
+//! |-----------------|-----------------------------------------------------|
+//! | `parse`         | line received → request parsed (incl. rate limit)   |
+//! | `dispatch`      | parsed → job submitted (file read, digest, deadline)|
+//! | `queue_wait`    | dispatched → worker claim (owner request only)      |
+//! | `coalesce_wait` | dispatched → result ready (coalesced requests)      |
+//! | `exec`          | worker claim → analysis done (owner only)           |
+//! | `serialize`     | result rendering + socket write, per waiter         |
+//!
+//! A [`ReqTrace`] rides in the job table as part of the waiter, so whoever
+//! delivers the terminal response — the connection thread on a cache hit,
+//! the worker fan-out otherwise — finishes the same trace: closes the root
+//! `served.request` span (with `code` and `slack_ns` fields) and records a
+//! [`obs::FlightEvent`]. `slack_ns` is the wall-clock latency not covered
+//! by any stage (fan-out queuing, lock waits), so per request
+//! `Σ stages + slack_ns == root span duration` holds exactly.
+
+use crate::wire::JobResult;
+
+/// The trace state of one in-flight request, carried in its waiter entry.
+#[derive(Clone, Debug)]
+pub struct ReqTrace {
+    /// Daemon-wide request sequence number (the `req` span field).
+    pub req: u64,
+    /// Span id of the root `served.request` span (`None` when the span log
+    /// cap dropped it — stages and the flight event still record).
+    pub root: Option<u64>,
+    /// Recorder-clock stamp when the request line was received.
+    pub recv_ns: u64,
+    /// Recorder-clock stamp when dispatch finished (job submitted); the
+    /// start of `queue_wait` / `coalesce_wait`.
+    pub dispatched_ns: u64,
+    /// `(stage name, duration ns)` in stage order — the flight event's
+    /// `stages` object and the input to the slack computation.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl ReqTrace {
+    /// Append one completed stage.
+    pub fn stage(&mut self, name: &'static str, duration_ns: u64) {
+        self.stages.push((name, duration_ns));
+    }
+
+    /// Total time covered by recorded stages.
+    pub fn stage_total_ns(&self) -> u64 {
+        self.stages.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Wall-clock latency not covered by any stage, given the trace's end
+    /// stamp — the `slack_ns` root-span field.
+    pub fn slack_ns(&self, end_ns: u64) -> u64 {
+        end_ns
+            .saturating_sub(self.recv_ns)
+            .saturating_sub(self.stage_total_ns())
+    }
+}
+
+/// What a worker needs to attach the execution to the owning request's span
+/// tree: carried inside the [`JobPayload`](crate::jobs::JobPayload), because
+/// the worker claims the job before the waiter list is available.
+#[derive(Clone, Copy, Debug)]
+pub struct JobMeta {
+    /// The owning (first-submitting) request's sequence number.
+    pub req: u64,
+    /// The owner's root span id.
+    pub root: Option<u64>,
+}
+
+/// The flight-recorder outcome label of a delivered result: the verdict for
+/// decided analyses, the interruption reason for `unknown`, `error`
+/// otherwise. Serving dispositions that never reach a worker use their own
+/// labels (`cache-hit`, `queue-full`, `rejected`) at the call site.
+pub fn outcome_str(r: &JobResult) -> String {
+    match r.code {
+        0 => "schedulable".into(),
+        1 => "unschedulable".into(),
+        3 => r.reason.clone().unwrap_or_else(|| "unknown".into()),
+        _ => "error".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_accumulate_and_slack_is_the_uncovered_remainder() {
+        let mut t = ReqTrace {
+            req: 3,
+            root: Some(0),
+            recv_ns: 100,
+            dispatched_ns: 130,
+            stages: Vec::new(),
+        };
+        t.stage("parse", 10);
+        t.stage("dispatch", 20);
+        t.stage("queue_wait", 5);
+        t.stage("exec", 40);
+        t.stage("serialize", 15);
+        assert_eq!(t.stage_total_ns(), 90);
+        // Request ran 100..=200: 100 ns wall, 90 covered, 10 slack.
+        assert_eq!(t.slack_ns(200), 10);
+        // Stages never make slack negative.
+        assert_eq!(t.slack_ns(150), 0);
+    }
+
+    #[test]
+    fn outcomes_map_codes_and_reasons() {
+        let mut r = JobResult::unknown("timeout");
+        assert_eq!(outcome_str(&r), "timeout");
+        r.reason = None;
+        assert_eq!(outcome_str(&r), "unknown");
+        assert_eq!(outcome_str(&JobResult::input_error("boom")), "error");
+        let mut ok = JobResult::unknown("x");
+        ok.code = 0;
+        assert_eq!(outcome_str(&ok), "schedulable");
+        ok.code = 1;
+        assert_eq!(outcome_str(&ok), "unschedulable");
+    }
+}

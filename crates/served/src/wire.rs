@@ -117,6 +117,25 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Live introspection: every counter, gauge and histogram (with
+    /// p50/p90/p99 quantile estimates) as one JSON snapshot. Reads no clock
+    /// and counts in no counter, so two consecutive `stats` with no traffic
+    /// in between are byte-identical.
+    Stats {
+        /// Correlation id.
+        id: String,
+    },
+    /// Live introspection: uptime, queue depth, worker occupancy, cache
+    /// occupancy, drain state.
+    Health {
+        /// Correlation id.
+        id: String,
+    },
+    /// Dump the flight recorder: the last N structured request events.
+    Flight {
+        /// Correlation id.
+        id: String,
+    },
     /// Graceful drain: finish queued work, then exit.
     Shutdown {
         /// Correlation id.
@@ -132,8 +151,21 @@ impl Request {
             | Request::Status { id, .. }
             | Request::Cancel { id, .. }
             | Request::Metrics { id }
+            | Request::Stats { id }
+            | Request::Health { id }
+            | Request::Flight { id }
             | Request::Shutdown { id } => id,
         }
+    }
+
+    /// Whether this is a read-only introspection request (`stats`, `health`,
+    /// `flight`). Introspection is excluded from `served.requests` so
+    /// polling the daemon's own instruments never perturbs them.
+    pub fn is_introspection(&self) -> bool {
+        matches!(
+            self,
+            Request::Stats { .. } | Request::Health { .. } | Request::Flight { .. }
+        )
     }
 }
 
@@ -190,6 +222,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .to_string(),
         }),
         "metrics" => Ok(Request::Metrics { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "health" => Ok(Request::Health { id }),
+        "flight" => Ok(Request::Flight { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(format!("unknown request type `{other}`")),
     }
@@ -445,6 +480,22 @@ mod tests {
         c.timeout_ms = Some(1);
         assert_ne!(job_digest("src", &a), job_digest("src", &c));
         assert_ne!(job_digest("src", &a), job_digest("other", &a));
+    }
+
+    #[test]
+    fn introspection_requests_parse_and_classify() {
+        for (line, intro) in [
+            (r#"{"type":"stats","id":"s1"}"#, true),
+            (r#"{"type":"health","id":"h1"}"#, true),
+            (r#"{"type":"flight","id":"f1"}"#, true),
+            (r#"{"type":"metrics","id":"m1"}"#, false),
+            (r#"{"type":"status","id":"q1"}"#, false),
+        ] {
+            let req = parse_request(line).unwrap();
+            assert_eq!(req.is_introspection(), intro, "{line}");
+        }
+        // Introspection still requires an id, like every request.
+        assert!(parse_request(r#"{"type":"stats"}"#).is_err());
     }
 
     #[test]

@@ -384,3 +384,288 @@ fn responses_are_byte_stable_under_the_fake_clock() {
     assert_eq!(field(&first[1], "at_quantum"), "5");
     assert_eq!(field(&first[3], "reason"), "timeout");
 }
+
+/// Send one introspection request and return the response line.
+fn introspect(conn: &mut Conn, kind: &str, id: &str) -> String {
+    conn.send(&format!(r#"{{"type":"{kind}","id":"{id}"}}"#));
+    conn.recv()
+}
+
+fn parse_json(line: &str) -> obs::Json {
+    obs::Json::parse(line).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"))
+}
+
+fn uint_at<'a>(v: &obs::Json, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("no `{key}` in {}", v.to_compact()));
+    }
+    cur.as_u64()
+        .unwrap_or_else(|| panic!("`{path:?}` is not a uint in {}", v.to_compact()))
+}
+
+#[test]
+fn introspection_is_live_and_stats_snapshots_are_byte_identical() {
+    let daemon = Daemon::start(&["--workers", "1"], Some("1000"));
+    let mut conn = daemon.connect();
+
+    // Health before any traffic.
+    let health = parse_json(&introspect(&mut conn, "health", "h0"));
+    assert_eq!(uint_at(&health, &["queue_depth"]), 0);
+    assert_eq!(uint_at(&health, &["workers"]), 1);
+    assert_eq!(uint_at(&health, &["jobs_running"]), 0);
+    assert_eq!(uint_at(&health, &["cache_entries"]), 0);
+    assert_eq!(health.get("draining"), Some(&obs::Json::Bool(false)));
+
+    // Two consecutive snapshots with no traffic in between: byte-identical.
+    // Introspection is excluded from `served.requests`, reads no clock and
+    // mutates nothing, so polling the instruments never perturbs them.
+    let quiet_a = introspect(&mut conn, "stats", "s");
+    let quiet_b = introspect(&mut conn, "stats", "s");
+    assert_eq!(quiet_a, quiet_b, "stats must not perturb itself");
+    assert_eq!(
+        uint_at(&parse_json(&quiet_a), &["counters", "served.requests"]),
+        0,
+        "introspection must not count as a request"
+    );
+
+    // Four real analyses through the single worker.
+    for (i, model) in [
+        "cruise_control.aadl",
+        "flight_control.aadl",
+        "inversion.aadl",
+        "overloaded.aadl",
+    ]
+    .iter()
+    .enumerate()
+    {
+        conn.send(&analyze_file(&format!("m{i}"), model));
+        assert_eq!(field(&conn.recv(), "type"), "accepted");
+        assert_eq!(field(&conn.recv(), "type"), "result");
+    }
+    // The worker observes the serialize stage just *after* writing the
+    // result line, so poll until its bookkeeping for the 4th request has
+    // landed before asserting on the snapshot.
+    let mut snap = String::new();
+    for _ in 0..200 {
+        snap = introspect(&mut conn, "stats", "s");
+        if uint_at(&parse_json(&snap), &["histograms", "served.serialize", "count"]) >= 4 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let stats = parse_json(&snap);
+    assert_eq!(uint_at(&stats, &["counters", "served.requests"]), 4);
+    assert_eq!(uint_at(&stats, &["counters", "served.results"]), 4);
+    // Per-stage histograms are present and non-empty after the smoke run.
+    for stage in [
+        "served.queue_wait",
+        "served.exec",
+        "served.serialize",
+        "served.request_wall",
+    ] {
+        assert_eq!(
+            uint_at(&stats, &["histograms", stage, "count"]),
+            4,
+            "{stage} in {snap}"
+        );
+    }
+    // Quantile estimates are monotone on every histogram in the snapshot.
+    match stats.get("histograms") {
+        Some(obs::Json::Obj(hists)) => {
+            assert!(!hists.is_empty());
+            for (name, h) in hists {
+                let (p50, p90, p99, max) = (
+                    uint_at(h, &["p50"]),
+                    uint_at(h, &["p90"]),
+                    uint_at(h, &["p99"]),
+                    uint_at(h, &["max"]),
+                );
+                assert!(
+                    p50 <= p90 && p90 <= p99 && p99 <= max,
+                    "{name}: p50={p50} p90={p90} p99={p99} max={max}"
+                );
+            }
+        }
+        other => panic!("histograms section missing: {other:?}"),
+    }
+    // Byte-identity again, now with warm instruments.
+    assert_eq!(snap, introspect(&mut conn, "stats", "s"));
+
+    // Health reflects the populated result cache.
+    let health = parse_json(&introspect(&mut conn, "health", "h1"));
+    assert_eq!(uint_at(&health, &["cache_entries"]), 4);
+    daemon.shutdown();
+}
+
+#[test]
+fn timed_out_requests_land_in_the_flight_recorder() {
+    let daemon = Daemon::start(&["--workers", "1"], Some("1000"));
+    let mut conn = daemon.connect();
+    conn.send(
+        r#"{"type":"analyze","id":"t1","model":"package P end P;","options":{"timeout_ms":0}}"#,
+    );
+    assert_eq!(field(&conn.recv(), "type"), "accepted");
+    let res = conn.recv();
+    assert_eq!(field(&res, "reason"), "timeout");
+    // The flight event is recorded just after the result line is written;
+    // poll until it lands.
+    let mut line = String::new();
+    for _ in 0..200 {
+        line = introspect(&mut conn, "flight", "f");
+        if uint_at(&parse_json(&line), &["recorded"]) >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let flight = parse_json(&line);
+    assert_eq!(field(&line, "type"), "flight");
+    assert!(uint_at(&flight, &["capacity"]) >= 1);
+    let events = match flight.get("events") {
+        Some(obs::Json::Arr(events)) => events,
+        other => panic!("no events array: {other:?}"),
+    };
+    assert_eq!(events.len(), 1, "{line}");
+    let ev = &events[0];
+    assert_eq!(ev.get("id"), Some(&obs::Json::from("t1")));
+    assert_eq!(ev.get("outcome"), Some(&obs::Json::from("timeout")));
+    assert_eq!(uint_at(ev, &["code"]), 3);
+    assert_eq!(uint_at(ev, &["req"]), 1);
+    // The job timed out before execution: stage timings cover the queue
+    // wait and the serialize window but there is no exec stage.
+    for stage in ["parse", "dispatch", "queue_wait", "serialize"] {
+        assert!(
+            ev.get("stages").and_then(|s| s.get(stage)).is_some(),
+            "missing stage `{stage}` in {line}"
+        );
+    }
+    assert!(ev.get("stages").and_then(|s| s.get("exec")).is_none());
+    daemon.shutdown();
+}
+
+#[test]
+fn span_tree_stages_account_for_the_root_duration_exactly() {
+    let metrics = std::env::temp_dir().join(format!("aadlschedd-trace-{}.json", std::process::id()));
+    let metrics_str = metrics.to_str().unwrap().to_string();
+    let daemon = Daemon::start(&["--workers", "1", "--metrics", &metrics_str], Some("1000"));
+    let mut conn = daemon.connect();
+    conn.send(&analyze_file("r1", "cruise_control.aadl"));
+    assert_eq!(field(&conn.recv(), "type"), "accepted");
+    assert_eq!(field(&conn.recv(), "verdict"), "schedulable");
+    daemon.shutdown(); // joins the workers, then writes the report
+    let report = parse_json(&std::fs::read_to_string(&metrics).expect("fleet report"));
+    std::fs::remove_file(&metrics).ok();
+
+    let spans = match report.get("spans") {
+        Some(obs::Json::Arr(spans)) => spans,
+        other => panic!("no spans in report: {other:?}"),
+    };
+    let by_name = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name") == Some(&obs::Json::from(name)))
+            .unwrap_or_else(|| panic!("no span `{name}`"))
+    };
+    // One request → one `served.request` root whose per-stage children plus
+    // the recorded slack account for its duration *exactly* (the stamps all
+    // come from one clock and the slack is derived, not measured).
+    let root = by_name("served.request");
+    assert!(root.get("parent") == Some(&obs::Json::Null));
+    assert_eq!(uint_at(root, &["fields", "req"]), 1);
+    assert_eq!(uint_at(root, &["fields", "code"]), 0);
+    let root_id = uint_at(root, &["id"]);
+    let stage_sum: u64 = spans
+        .iter()
+        .filter(|s| {
+            s.get("parent") == Some(&obs::Json::UInt(root_id))
+                && matches!(
+                    s.get("name").and_then(obs::Json::as_str),
+                    Some(
+                        "served.parse"
+                            | "served.dispatch"
+                            | "served.queue_wait"
+                            | "served.exec"
+                            | "served.serialize"
+                    )
+                )
+        })
+        .map(|s| uint_at(s, &["duration_ns"]))
+        .sum();
+    assert!(stage_sum > 0);
+    assert_eq!(
+        stage_sum + uint_at(root, &["fields", "slack_ns"]),
+        uint_at(root, &["duration_ns"]),
+        "stages + slack must equal the root duration: {}",
+        report.to_compact()
+    );
+    // The engine's own spans nest under `served.exec` and carry the tag.
+    let exec_id = uint_at(by_name("served.exec"), &["id"]);
+    for engine in ["translate", "explore"] {
+        let s = by_name(engine);
+        assert_eq!(uint_at(s, &["parent"]), exec_id, "{engine}");
+        assert_eq!(uint_at(s, &["fields", "req"]), 1, "{engine}");
+    }
+    // The flight window drained into the shutdown report.
+    assert_eq!(uint_at(&report, &["flight", "recorded"]), 1);
+    let ev = match report.get("flight").and_then(|f| f.get("events")) {
+        Some(obs::Json::Arr(events)) => &events[0],
+        other => panic!("no flight events: {other:?}"),
+    };
+    assert_eq!(ev.get("outcome"), Some(&obs::Json::from("schedulable")));
+}
+
+#[test]
+fn run_ids_replay_under_the_fake_clock_and_differ_under_the_real_clock() {
+    let run_id = |fake: Option<&str>| {
+        let daemon = Daemon::start(&["--workers", "1"], fake);
+        let mut conn = daemon.connect();
+        let id = field(&introspect(&mut conn, "stats", "s"), "run_id");
+        daemon.shutdown();
+        id
+    };
+    // Fixed salt under the fake clock: replays yield the same run id.
+    assert_eq!(run_id(Some("1000")), run_id(Some("1000")));
+    // Under the real clock the daemon start time is folded in, so two
+    // daemon processes are distinguishable in archived reports.
+    assert_ne!(run_id(None), run_id(None));
+}
+
+#[test]
+fn aadlschedc_covers_the_introspection_commands() {
+    let daemon = Daemon::start(&["--workers", "1"], Some("1000"));
+    let client = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_aadlschedc"))
+            .arg("--addr")
+            .arg(&daemon.addr)
+            .args(args)
+            .output()
+            .expect("run aadlschedc");
+        (
+            out.status.code().expect("exit code"),
+            String::from_utf8(out.stdout).expect("utf8 stdout"),
+        )
+    };
+    let (code, out) = client(&["stats"]);
+    assert_eq!(code, 0);
+    assert_eq!(field(out.trim(), "type"), "stats");
+    let (code, out) = client(&["health"]);
+    assert_eq!(code, 0);
+    assert_eq!(field(out.trim(), "type"), "health");
+    let (code, out) = client(&["flight"]);
+    assert_eq!(code, 0);
+    assert_eq!(field(out.trim(), "type"), "flight");
+    // `--summary` renders one human-readable line instead of raw JSON.
+    let (code, out) = client(&["health", "--summary"]);
+    assert_eq!(code, 0);
+    assert!(out.starts_with("health: up "), "{out}");
+    assert_eq!(out.lines().count(), 1);
+    let (code, out) = client(&["stats", "--summary"]);
+    assert_eq!(code, 0);
+    assert!(out.starts_with("stats: "), "{out}");
+    // Usage errors keep the protocol-error exit code.
+    let (code, _) = client(&["stats", "--bogus"]);
+    assert_eq!(code, 2);
+    daemon.shutdown();
+}

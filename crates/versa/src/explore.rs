@@ -309,7 +309,10 @@ impl Options {
         self
     }
 
-    /// Attach an observability recorder (see `crates/obs`).
+    /// Attach an observability recorder (see `crates/obs`). The serving
+    /// layer passes a request-scoped clone ([`obs::Recorder::scoped`]) so
+    /// the `explore` span tree lands under that request's anchor span,
+    /// tagged with its request sequence number.
     ///
     /// # Examples
     ///
@@ -1424,6 +1427,38 @@ mod tests {
             .any(|(k, value, _)| k == "term.unique_subterms"
                 && *value == ex.stats.unique_subterms as i64));
         assert!(ex.stats.unique_subterms > 0);
+    }
+
+    #[test]
+    fn scoped_recorder_nests_engine_spans_under_the_request_anchor() {
+        // The serving layer hands `explore` a scoped recorder clone
+        // (`obs::Recorder::scoped`): every engine span must then parent
+        // under the request's `served.exec` anchor and carry the `req`
+        // tag, without the engine knowing anything about requests.
+        let env = Env::new();
+        let p = act([(cpu(), 1)], act([(cpu(), 1)], nil()));
+        let rec = obs::Recorder::with_clock(Box::new(obs::FakeClock::new(1)));
+        let anchor = rec.span("served.exec");
+        let scoped = rec.scoped(&anchor, 42);
+        explore(&env, &p, &Options::default().with_obs(scoped));
+        anchor.end();
+        let run = rec.finish();
+        let anchor_id = run.spans.iter().find(|s| s.name == "served.exec").unwrap().id;
+        let root = run.spans.iter().find(|s| s.name == "explore").unwrap();
+        assert_eq!(root.parent, Some(anchor_id));
+        assert!(root.fields.contains(&("req".to_string(), 42)));
+        // Engine children keep nesting under the engine root (not the
+        // anchor) and inherit the request tag.
+        let levels: Vec<_> = run
+            .spans
+            .iter()
+            .filter(|s| s.name == "explore.level")
+            .collect();
+        assert!(!levels.is_empty());
+        for lvl in levels {
+            assert_eq!(lvl.parent, Some(root.id));
+            assert!(lvl.fields.contains(&("req".to_string(), 42)));
+        }
     }
 
     #[test]

@@ -16,8 +16,10 @@
 #   4. the daemon smoke: start `aadlschedd`, analyze all four bundled
 #      models through `aadlschedc` and diff the exit codes against the
 #      `aadlsched` CLI (the two front ends must agree verdict-for-verdict),
-#      check that a duplicate request is served from the result cache, then
-#      drain gracefully (daemon must exit 0 and write the fleet report)
+#      check that a duplicate request is served from the result cache,
+#      assert the live `stats` snapshot parses with monotone request_wall
+#      quantiles, then drain gracefully (daemon must exit 0 and write a
+#      fleet report carrying the flight-recorder window)
 #   5. the hermetic-build audit (path-only deps, pinned dependency graph,
 #      obs dependency-free, `cargo doc` with warnings denied — see
 #      tools/check_hermetic.sh)
@@ -114,6 +116,24 @@ if [ "${hits:-0}" -lt 1 ]; then
   echo "daemon smoke: served.cache_hits is ${hits:-absent}, expected >= 1"
   exit 1
 fi
+# Live introspection: `stats` must answer with exit 0 and parseable
+# request_wall quantile estimates, and those estimates must be monotone
+# (p50 <= p90 <= p99 — the HistogramSnapshot::quantile contract).
+stats_line="$(target/release/aadlschedc --addr "$addr" stats)"
+wall="$(printf '%s' "$stats_line" | grep -o '"served.request_wall":{[^}]*')"
+p50="$(printf '%s' "$wall" | grep -o '"p50":[0-9]*' | cut -d: -f2)"
+p90="$(printf '%s' "$wall" | grep -o '"p90":[0-9]*' | cut -d: -f2)"
+p99="$(printf '%s' "$wall" | grep -o '"p99":[0-9]*' | cut -d: -f2)"
+if [ -z "${p50:-}" ] || [ -z "${p90:-}" ] || [ -z "${p99:-}" ]; then
+  echo "daemon smoke: stats did not carry request_wall p50/p90/p99"
+  exit 1
+fi
+if [ "$p50" -gt "$p90" ] || [ "$p90" -gt "$p99" ]; then
+  echo "daemon smoke: request_wall quantiles not monotone: $p50/$p90/$p99"
+  exit 1
+fi
+echo "daemon smoke: stats quantiles monotone (p50=$p50 p90=$p90 p99=$p99 ns)"
+target/release/aadlschedc --addr "$addr" health --summary > /dev/null
 target/release/aadlschedc --addr "$addr" shutdown > /dev/null
 if ! wait "$daemon_pid"; then
   echo "daemon smoke: aadlschedd did not exit 0 on graceful drain"
@@ -123,7 +143,14 @@ if [ ! -s target/ci/fleet.json ]; then
   echo "daemon smoke: fleet metrics report was not written"
   exit 1
 fi
-echo "daemon smoke: cache hit observed, graceful drain, fleet report written"
+# The drain must carry the flight-recorder window into the fleet report:
+# the five analyze requests above each left an event with an outcome.
+if ! grep -q '"flight"' target/ci/fleet.json \
+    || ! grep -q '"outcome"' target/ci/fleet.json; then
+  echo "daemon smoke: flight recorder window missing from the fleet report"
+  exit 1
+fi
+echo "daemon smoke: cache hit observed, graceful drain, fleet report carries the flight window"
 
 echo "== hermetic audit =="
 tools/check_hermetic.sh
