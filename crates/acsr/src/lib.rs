@@ -66,6 +66,7 @@ pub mod hashed;
 pub mod label;
 pub mod pretty;
 pub mod prio;
+pub mod stable;
 pub mod step;
 pub mod store;
 pub mod symbol;
@@ -76,6 +77,7 @@ pub use expr::{BExpr, EvalError, Expr};
 pub use hashed::{structural_hash, HashedP};
 pub use label::{Dir, GAction, Label};
 pub use prio::{preempts, prioritize, prioritized_steps};
+pub use stable::{env_fingerprint, stable_digest};
 pub use step::{steps, MemoConfig, MemoStats, StepSession};
 pub use store::{Interned, TermId, TermStore};
 pub use symbol::{Res, Symbol};

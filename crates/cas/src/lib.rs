@@ -1,0 +1,422 @@
+//! `cas` — a std-only, file-backed, content-addressed store for analysis
+//! artifacts.
+//!
+//! The store maps a 64-bit content key (rendered as 16 hex digits) to an
+//! opaque payload. Keys are derived by the caller from everything the
+//! artifact depends on — model digest, environment fingerprint, canonical
+//! option strings — via [`key`], so two runs that would compute the same
+//! artifact derive the same key, and any input change derives a fresh one.
+//! Invalidation is therefore structural: nothing is ever updated in place,
+//! a changed input simply misses.
+//!
+//! # On-disk layout
+//!
+//! One flat directory, one file per entry, named `<16 hex digits>.cas`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"AADLCAS\0"
+//! 8       4     entry format version, u32 little-endian (ENTRY_VERSION)
+//! 12      8     payload length, u64 little-endian
+//! 20      n     payload bytes (opaque to the store)
+//! 20+n    8     FNV-1a checksum of the payload, u64 little-endian
+//! ```
+//!
+//! # Robustness contract
+//!
+//! * [`CasStore::get`] never panics on store content: a missing file is a
+//!   [`Lookup::Miss`]; a truncated, bit-flipped, over-long, alien-magic or
+//!   alien-version file is a [`Lookup::Invalid`] (callers count it and then
+//!   treat it exactly like a miss — recompute and overwrite).
+//! * [`CasStore::put`] writes a private temp file and publishes it with
+//!   `rename(2)`, which is atomic on POSIX: a concurrent reader sees either
+//!   the old complete entry or the new complete entry, never a torn one.
+//!   Concurrent writers race benignly — last rename wins, and both wrote
+//!   the same bytes for the same key anyway.
+//! * A crash mid-`put` leaves at most a stale temp file (ignored by `get`,
+//!   swept by the next `open`) or, on power loss before the data reached
+//!   the disk, a short/empty published file — which the length and
+//!   checksum fields turn into an `Invalid`, i.e. a recompute, never a
+//!   wrong artifact.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes opening every entry file.
+pub const MAGIC: [u8; 8] = *b"AADLCAS\0";
+
+/// On-disk entry format version. Bump on any layout change; readers treat
+/// every other version as [`Lookup::Invalid`].
+pub const ENTRY_VERSION: u32 = 1;
+
+/// Bytes of framing around the payload: magic + version + length + checksum.
+const OVERHEAD: usize = 8 + 4 + 8 + 8;
+
+/// Whether a store accepts writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Normal operation: `get` and `put`.
+    ReadWrite,
+    /// `put` is a silent no-op (returns `Ok(false)`); nothing on disk is
+    /// created or modified, including the store directory itself.
+    ReadOnly,
+}
+
+/// Result of a [`CasStore::get`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The entry exists, framed correctly, and its checksum matches.
+    Hit(Vec<u8>),
+    /// No entry file for this key.
+    Miss,
+    /// An entry file exists but is truncated, corrupt, or carries an alien
+    /// magic/version. Callers must treat this as a miss (recompute); the
+    /// distinct variant exists so they can also count it.
+    Invalid,
+}
+
+/// A file-backed content-addressed artifact store.
+///
+/// Cheap to share behind an `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct CasStore {
+    dir: PathBuf,
+    read_only: bool,
+    /// Distinguishes temp files written by concurrent threads of one process.
+    tmp_seq: AtomicU64,
+}
+
+impl CasStore {
+    /// Open (and in [`Mode::ReadWrite`], create) the store directory.
+    ///
+    /// Read-write opens also sweep temp files abandoned by a crashed
+    /// writer. Read-only opens of a nonexistent directory succeed and
+    /// behave as an empty store.
+    pub fn open(dir: impl Into<PathBuf>, mode: Mode) -> io::Result<CasStore> {
+        let dir = dir.into();
+        let read_only = matches!(mode, Mode::ReadOnly);
+        if !read_only {
+            fs::create_dir_all(&dir)?;
+            // Sweep temp files from crashed writers. Races with a live
+            // writer are harmless: its rename already has its own handle.
+            if let Ok(entries) = fs::read_dir(&dir) {
+                for e in entries.flatten() {
+                    if e.file_name().to_string_lossy().starts_with(".tmp-") {
+                        let _ = fs::remove_file(e.path());
+                    }
+                }
+            }
+        }
+        Ok(CasStore {
+            dir,
+            read_only,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store reads from and writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when the store was opened [`Mode::ReadOnly`].
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Look up the payload stored under `key`.
+    ///
+    /// Never panics on store content; see the module docs for the
+    /// miss/invalid contract.
+    pub fn get(&self, key: &str) -> Lookup {
+        if !valid_key(key) {
+            return Lookup::Miss;
+        }
+        let bytes = match fs::read(self.entry_path(key)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            // Unreadable (permissions, I/O error): not provably absent,
+            // but definitely not servable. Count as invalid, recompute.
+            Err(_) => return Lookup::Invalid,
+        };
+        decode_entry(&bytes)
+    }
+
+    /// Store `payload` under `key`, overwriting any previous entry.
+    ///
+    /// Returns `Ok(true)` if the entry was published, `Ok(false)` in
+    /// read-only mode. The write is atomic: temp file + rename.
+    pub fn put(&self, key: &str, payload: &[u8]) -> io::Result<bool> {
+        if self.read_only {
+            return Ok(false);
+        }
+        if !valid_key(key) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cas: malformed key {key:?}"),
+            ));
+        }
+        let mut buf = Vec::with_capacity(OVERHEAD + payload.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
+
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{key}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        let publish = || -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+            drop(f);
+            fs::rename(&tmp, self.entry_path(key))
+        };
+        let res = publish();
+        if res.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        res.map(|()| true)
+    }
+
+    /// Number of well-formed-looking entry files currently in the store
+    /// directory (by name only; contents are not validated).
+    pub fn len(&self) -> usize {
+        match fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .flatten()
+                .filter(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .strip_suffix(".cas")
+                        .is_some_and(valid_key)
+                })
+                .count(),
+            Err(_) => 0,
+        }
+    }
+
+    /// True when [`len`](CasStore::len) is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.cas"))
+    }
+}
+
+/// Keys are exactly 16 lowercase hex digits — what [`key`] produces. The
+/// check doubles as path-traversal hygiene for the filename.
+fn valid_key(key: &str) -> bool {
+    key.len() == 16
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+fn decode_entry(bytes: &[u8]) -> Lookup {
+    if bytes.len() < OVERHEAD || bytes[..8] != MAGIC {
+        return Lookup::Invalid;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != ENTRY_VERSION {
+        return Lookup::Invalid;
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    // Reject lengths that don't match the file size exactly: a torn or
+    // appended-to file must not round-trip.
+    let Ok(len) = usize::try_from(len) else {
+        return Lookup::Invalid;
+    };
+    if bytes.len() != OVERHEAD + len {
+        return Lookup::Invalid;
+    }
+    let payload = &bytes[20..20 + len];
+    let stored_sum = u64::from_le_bytes(bytes[20 + len..].try_into().expect("8 bytes"));
+    if fnv1a(payload) != stored_sum {
+        return Lookup::Invalid;
+    }
+    Lookup::Hit(payload.to_vec())
+}
+
+/// Derive a store key from an ordered list of input parts.
+///
+/// Each part is hashed with its length so `["ab", "c"]` and `["a", "bc"]`
+/// derive different keys. The result is the 16-hex-digit rendering of a
+/// 64-bit FNV-1a digest — stable across processes, platforms, and runs.
+pub fn key(parts: &[&[u8]]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        for b in (part.len() as u64).to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        for &b in *part {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// 64-bit FNV-1a over a byte slice (the entry checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cas-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_hit() {
+        let dir = scratch("roundtrip");
+        let store = CasStore::open(&dir, Mode::ReadWrite).unwrap();
+        let k = key(&[b"model", b"opts"]);
+        assert_eq!(store.get(&k), Lookup::Miss);
+        assert!(store.put(&k, b"payload bytes").unwrap());
+        assert_eq!(store.get(&k), Lookup::Hit(b"payload bytes".to_vec()));
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let dir = scratch("empty");
+        let store = CasStore::open(&dir, Mode::ReadWrite).unwrap();
+        let k = key(&[b"empty"]);
+        store.put(&k, b"").unwrap();
+        assert_eq!(store.get(&k), Lookup::Hit(Vec::new()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn readonly_never_writes() {
+        let dir = scratch("readonly");
+        let store = CasStore::open(&dir, Mode::ReadOnly).unwrap();
+        let k = key(&[b"x"]);
+        assert!(!store.put(&k, b"data").unwrap());
+        assert!(!dir.exists(), "read-only open must not create the directory");
+        assert_eq!(store.get(&k), Lookup::Miss);
+    }
+
+    #[test]
+    fn version_mismatch_is_invalid() {
+        let dir = scratch("version");
+        let store = CasStore::open(&dir, Mode::ReadWrite).unwrap();
+        let k = key(&[b"versioned"]);
+        store.put(&k, b"payload").unwrap();
+        // Rewrite the version field to a future version.
+        let path = dir.join(format!("{k}.cas"));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(ENTRY_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get(&k), Lookup::Invalid);
+        // A fresh put repairs the entry.
+        store.put(&k, b"payload").unwrap();
+        assert_eq!(store.get(&k), Lookup::Hit(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_invalid_never_panics() {
+        let dir = scratch("corrupt");
+        let store = CasStore::open(&dir, Mode::ReadWrite).unwrap();
+        let k = key(&[b"victim"]);
+        store.put(&k, b"some artifact payload").unwrap();
+        let path = dir.join(format!("{k}.cas"));
+        let good = fs::read(&path).unwrap();
+
+        // Truncations at every length.
+        for cut in 0..good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert_eq!(store.get(&k), Lookup::Invalid, "truncated at {cut}");
+        }
+        // Single-bit flips at every position.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert_eq!(store.get(&k), Lookup::Invalid, "bit flip at byte {i}");
+        }
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.extend_from_slice(b"garbage");
+        fs::write(&path, &long).unwrap();
+        assert_eq!(store.get(&k), Lookup::Invalid);
+        // Pure garbage.
+        fs::write(&path, b"not an entry at all").unwrap();
+        assert_eq!(store.get(&k), Lookup::Invalid);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_temp_files() {
+        let dir = scratch("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(".tmp-1-0-deadbeefdeadbeef"), b"abandoned").unwrap();
+        let store = CasStore::open(&dir, Mode::ReadWrite).unwrap();
+        assert!(store.is_empty());
+        assert!(!dir.join(".tmp-1-0-deadbeefdeadbeef").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_last_wins_no_torn_reads() {
+        let dir = scratch("concurrent");
+        let store = std::sync::Arc::new(CasStore::open(&dir, Mode::ReadWrite).unwrap());
+        let k = key(&[b"contended"]);
+        let payload = vec![0xabu8; 4096];
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = store.clone();
+            let k = k.clone();
+            let payload = payload.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    store.put(&k, &payload).unwrap();
+                    match store.get(&k) {
+                        Lookup::Hit(p) => assert_eq!(p, payload),
+                        other => panic!("torn read: {other:?}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_is_length_prefixed_and_stable() {
+        assert_ne!(key(&[b"ab", b"c"]), key(&[b"a", b"bc"]));
+        assert_eq!(key(&[b"ab", b"c"]), key(&[b"ab", b"c"]));
+        let k = key(&[b"pinned"]);
+        assert!(valid_key(&k), "{k}");
+    }
+
+    #[test]
+    fn malformed_keys_rejected() {
+        let dir = scratch("badkey");
+        let store = CasStore::open(&dir, Mode::ReadWrite).unwrap();
+        assert_eq!(store.get("../../etc/passwd"), Lookup::Miss);
+        assert_eq!(store.get("UPPERCASEISNOTOK"), Lookup::Miss);
+        assert!(store.put("short", b"x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -235,6 +235,11 @@ pub fn analyze_translated(
     // subterms are already canonical, so re-interning them is pure reuse.
     let mut eopts = opts.explore.clone();
     eopts.store = Some(tm.store.clone());
+    // Persistent-store keys must commit to the translation options, not just
+    // the exploration options: `--protocol pcp` and `--protocol none` can
+    // generate different terms from the same source, and even option sets
+    // that happen to collide structurally are kept apart by this context.
+    eopts.cas_context = tm.options_canon.clone();
     let ex = versa::explore(&tm.env, &tm.initial, &eopts);
     let scenario = ex.first_deadlock_trace().map(|trace| {
         let raise_span = rec.span("diagnose.raise");

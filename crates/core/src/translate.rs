@@ -135,6 +135,40 @@ pub struct TranslateOptions {
     pub obs: obs::Recorder,
 }
 
+impl TranslateOptions {
+    /// Canonical fingerprint of every option that changes the *generated
+    /// model* (the term and environment), in a fixed field order. Two option
+    /// values with equal fingerprints translate any given instance model to
+    /// semantically identical ACSR; anything that could change a verdict
+    /// changes the string. The `store` and `obs` handles are deliberately
+    /// excluded — they change where subterms intern and what gets recorded,
+    /// never what is generated.
+    ///
+    /// The analysis layer mixes this string into `cas` store keys (see
+    /// `versa::Options::cas_context`), which is why stability of the format
+    /// matters: reordering or renaming fields orphans every artifact
+    /// deposited under the old rendering.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "compact={};quantum_ps={};send={:?};modes={};protocol={:?};observers=[",
+            self.compact,
+            self.quantum.map_or(-1, |q| q.as_ps()),
+            self.send_pattern,
+            self.enable_modes,
+            self.protocol_override,
+        );
+        for (i, o) in self.observers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}->{}@{}", o.from.index(), o.to.index(), o.bound.as_ps());
+        }
+        s.push(']');
+        s
+    }
+}
+
 /// Counts of the generated processes — §4.1 reports this inventory for the
 /// cruise-control example (6 threads, 6 dispatchers, no queues).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -169,6 +203,10 @@ pub struct TranslatedModel {
     pub quantum_ps: i64,
     /// Process inventory.
     pub inventory: Inventory,
+    /// [`TranslateOptions::canonical`] of the options this model was
+    /// generated under — the context string the analysis layer mixes into
+    /// persistent `cas` store keys.
+    pub options_canon: String,
 }
 
 /// Translate a validated, fully bound instance model into ACSR.
@@ -609,6 +647,7 @@ pub fn translate(
         names: nm,
         quantum_ps,
         inventory,
+        options_canon: opts.canonical(),
     })
 }
 

@@ -28,7 +28,13 @@ pub const SCHEMA: &str = "aadlsched-metrics";
 ///   `spans_dropped` count when the span log was capped, and the daemon's
 ///   fleet report gained a `flight` section (the drained flight-recorder
 ///   window).
-pub const SCHEMA_VERSION: u64 = 3;
+/// * v4 — the cross-run artifact store: runs configured with `--store`
+///   record `cas.hits` / `cas.misses` / `cas.writes` / `cas.invalidations`
+///   counters, the daemon's fleet-report `config` section gained `store`
+///   and `store_readonly`, and `BENCH_exploration.json` gained the `cas`
+///   warm-vs-cold section. Store-less runs emit none of these, so their
+///   reports are shaped exactly as in v3.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Deterministic run identifier: FNV-1a (64-bit) over the given byte slices,
 /// rendered as 16 lowercase hex digits. Feed it the model source and the
@@ -69,7 +75,7 @@ pub fn run_id(parts: &[&[u8]]) -> String {
 /// r.set("model", Json::obj([("file", Json::from("m.aadl"))]));
 /// let text = r.to_json();
 /// assert!(text.starts_with("{\n  \"schema\": \"aadlsched-metrics\""));
-/// assert!(text.contains("\"version\": 3"));
+/// assert!(text.contains("\"version\": 4"));
 /// ```
 #[derive(Clone, Debug)]
 pub struct Report {

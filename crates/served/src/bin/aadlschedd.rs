@@ -21,6 +21,11 @@
 //!   --flight-capacity <n>     flight-recorder window size (default 64)
 //!   --span-cap <n>            span-log cap; excess spans are dropped and
 //!                             counted (default 65536)
+//!   --store <dir>             cross-run artifact store: explorations
+//!                             consult/deposit verdict artifacts there, the
+//!                             result cache is boot-warmed from it, and a
+//!                             graceful drain persists the cache back;
+//!                             readonly:<dir> serves hits without writing
 //! ```
 //!
 //! On startup the daemon prints `aadlschedd listening on <addr>` — parse
@@ -40,7 +45,8 @@ fn usage() -> ExitCode {
          [--queue-capacity <n>] [--rate-limit <n>] [--burst <n>] \
          [--default-timeout-ms <n>] [--max-states <n>] [--cache-capacity <n>] \
          [--retries <n>] [--no-result-cache] [--metrics <file>] \
-         [--no-trace] [--flight-capacity <n>] [--span-cap <n>]"
+         [--no-trace] [--flight-capacity <n>] [--span-cap <n>] \
+         [--store <dir|readonly:dir>]"
     );
     ExitCode::from(2)
 }
@@ -106,6 +112,17 @@ fn parse_args() -> Result<Config, String> {
                 cfg.span_cap = val("--span-cap")?
                     .parse()
                     .map_err(|e| format!("--span-cap: {e}"))?
+            }
+            "--store" => {
+                let spec = val("--store")?;
+                match spec.strip_prefix("readonly:") {
+                    Some(dir) if !dir.is_empty() => {
+                        cfg.store = Some(dir.to_string());
+                        cfg.store_readonly = true;
+                    }
+                    Some(_) => return Err("--store readonly: needs a directory".into()),
+                    None => cfg.store = Some(spec),
+                }
             }
             other => return Err(format!("unknown flag `{other}`")),
         }

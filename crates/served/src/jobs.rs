@@ -264,6 +264,47 @@ impl<W> JobTable<W> {
             .count()
     }
 
+    /// Pre-populate the result cache with an already-completed result (the
+    /// daemon's boot-warm from the artifact store). FIFO eviction applies
+    /// exactly as for live completions. Returns `false` when the cache is
+    /// disabled or the digest is already present.
+    pub fn warm(&self, digest: String, result: JobResult) -> bool {
+        let mut t = self.inner.lock().expect("job table poisoned");
+        if t.cache_capacity == 0 || t.jobs.contains_key(&digest) {
+            return false;
+        }
+        t.jobs.insert(
+            digest.clone(),
+            Entry {
+                state: State::Done(Arc::new(result)),
+                cancel: CancelToken::new(),
+                deadline_ns: None,
+                timed_out: false,
+                waiters: Vec::new(),
+            },
+        );
+        t.cache_order.push_back(digest);
+        while t.cache_order.len() > t.cache_capacity {
+            if let Some(old) = t.cache_order.pop_front() {
+                t.jobs.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Snapshot of the cached results in completion order (oldest first),
+    /// for the drain-time persist into the artifact store.
+    pub fn cached_entries(&self) -> Vec<(String, Arc<JobResult>)> {
+        let t = self.inner.lock().expect("job table poisoned");
+        t.cache_order
+            .iter()
+            .filter_map(|d| match t.jobs.get(d).map(|e| &e.state) {
+                Some(State::Done(r)) => Some((d.clone(), r.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Number of completed results currently held in the cache (the `health`
     /// response's `cache_entries`).
     pub fn cached_count(&self) -> usize {

@@ -11,6 +11,10 @@
 //! * **duplicate coalescing** — identical (model, options) requests join the
 //!   in-flight exploration instead of duplicating it — and a bounded
 //!   **result cache** behind the same digest;
+//! * an optional **cross-run artifact store** (`--store`, the [`cas`]
+//!   crate): explorations consult and deposit verdict artifacts on disk,
+//!   and the result cache survives restarts — persisted on graceful drain
+//!   ([`persist`]), boot-warmed before the first connection;
 //! * per-request **state budgets**, **wall-clock timeouts** (via the
 //!   cooperative [`versa::CancelToken`]) and bounded retries;
 //! * per-client **rate limiting** and a bounded request queue that rejects
@@ -32,6 +36,7 @@
 
 pub mod jobs;
 pub mod limiter;
+pub mod persist;
 pub mod queue;
 pub mod server;
 pub mod trace;

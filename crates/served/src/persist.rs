@@ -1,0 +1,247 @@
+//! Drain-time persistence of the result cache.
+//!
+//! On graceful shutdown the daemon snapshots every cached verdict into the
+//! cross-run artifact store under one fixed key; the next daemon boot-warms
+//! its cache from that snapshot before accepting connections. The snapshot
+//! key folds in the daemon-wide state budget: cached verdicts were produced
+//! under that clamp, so a daemon restarted with a different `--max-states`
+//! must start cold rather than serve results computed under another budget.
+//!
+//! The byte format mirrors the cas entry discipline: a leading format
+//! version, length-prefixed strings, `Option` as a one-byte tag, and strict
+//! decoding — any framing problem (truncation, trailing bytes, an alien
+//! version, a non-cacheable exit code) makes the whole snapshot a miss.
+//! A cold boot is always safe; a wrong verdict never is.
+
+use std::sync::Arc;
+
+use crate::wire::JobResult;
+
+/// Snapshot format version. Bump on any layout change; old snapshots then
+/// decode to `None` and the daemon boots cold.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// The fixed store key of the result-cache snapshot for a daemon running
+/// under the given state budget.
+pub fn snapshot_key(max_states: usize) -> String {
+    cas::key(&[
+        b"served.result-cache.v1",
+        &(max_states as u64).to_le_bytes(),
+    ])
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Serialize the cached results (digest → verdict) into snapshot bytes.
+pub fn encode_snapshot(entries: &[(String, Arc<JobResult>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (digest, r) in entries {
+        put_str(&mut out, digest);
+        out.push(r.code);
+        put_str(&mut out, &r.verdict);
+        put_opt_str(&mut out, &r.reason);
+        match &r.stats {
+            None => out.push(0),
+            Some(stats) => {
+                out.push(1);
+                out.extend_from_slice(&stats.to_bytes());
+            }
+        }
+        out.extend_from_slice(&(r.violations.len() as u32).to_le_bytes());
+        for v in &r.violations {
+            put_str(&mut out, v);
+        }
+        match r.at_quantum {
+            None => out.push(0),
+            Some(q) => {
+                out.push(1);
+                out.extend_from_slice(&q.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Strict bounds-checked reader over snapshot bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        // A length that cannot fit in what remains is framing garbage.
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+}
+
+/// Decode a snapshot. `None` on any framing problem or on entries that could
+/// never legitimately be cached (only exit codes 0 and 1 are).
+pub fn decode_snapshot(bytes: &[u8]) -> Option<Vec<(String, JobResult)>> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.u32()? != SNAPSHOT_VERSION {
+        return None;
+    }
+    let count = r.u32()? as usize;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let digest = r.str()?;
+        let code = r.u8()?;
+        if !matches!(code, 0 | 1) {
+            return None;
+        }
+        let verdict = r.str()?;
+        let reason = r.opt_str()?;
+        let stats = match r.u8()? {
+            0 => None,
+            1 => Some(versa::Stats::from_bytes(r.take(88)?)?),
+            _ => return None,
+        };
+        let nviol = r.u32()? as usize;
+        let mut violations = Vec::new();
+        for _ in 0..nviol {
+            violations.push(r.str()?);
+        }
+        let at_quantum = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return None,
+        };
+        entries.push((
+            digest,
+            JobResult {
+                code,
+                verdict,
+                reason,
+                stats,
+                violations,
+                at_quantum,
+            },
+        ));
+    }
+    if r.pos != bytes.len() {
+        return None;
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, Arc<JobResult>)> {
+        let mut stats = versa::Stats::default();
+        stats.states = 42;
+        stats.transitions = 99;
+        vec![
+            (
+                "aaaa1111bbbb2222".into(),
+                Arc::new(JobResult {
+                    code: 0,
+                    verdict: "schedulable".into(),
+                    reason: None,
+                    stats: Some(stats),
+                    violations: Vec::new(),
+                    at_quantum: None,
+                }),
+            ),
+            (
+                "cccc3333dddd4444".into(),
+                Arc::new(JobResult {
+                    code: 1,
+                    verdict: "unschedulable".into(),
+                    reason: None,
+                    stats: None,
+                    violations: vec!["thread t1 missed its deadline".into()],
+                    at_quantum: Some(5000),
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let entries = sample();
+        let bytes = encode_snapshot(&entries);
+        let back = decode_snapshot(&bytes).expect("decodes");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "aaaa1111bbbb2222");
+        assert_eq!(back[0].1.code, 0);
+        assert_eq!(back[0].1.stats.as_ref().unwrap().states, 42);
+        assert_eq!(back[1].1.violations.len(), 1);
+        assert_eq!(back[1].1.at_quantum, Some(5000));
+    }
+
+    #[test]
+    fn snapshot_rejects_framing_problems() {
+        let bytes = encode_snapshot(&sample());
+        // Alien version.
+        let mut alien = bytes.clone();
+        alien[0] ^= 0xff;
+        assert!(decode_snapshot(&alien).is_none());
+        // Every truncation.
+        for n in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..n]).is_none(), "truncated at {n}");
+        }
+        // Trailing bytes.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_snapshot(&long).is_none());
+        // A non-cacheable code.
+        let mut entries = sample();
+        Arc::make_mut(&mut entries[0].1).code = 2;
+        assert!(decode_snapshot(&encode_snapshot(&entries)).is_none());
+    }
+
+    #[test]
+    fn snapshot_keys_separate_budgets() {
+        assert_ne!(snapshot_key(usize::MAX), snapshot_key(10_000));
+        assert_eq!(snapshot_key(500), snapshot_key(500));
+    }
+}

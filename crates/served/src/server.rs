@@ -47,6 +47,7 @@ use obs::Json;
 
 use crate::jobs::{JobPayload, JobTable, Submit};
 use crate::limiter::RateLimiter;
+use crate::persist;
 use crate::queue::BoundedQueue;
 use crate::trace::{outcome_str, JobMeta, ReqTrace};
 use crate::wire::{self, AnalyzeOptions, JobResult, ModelSource, Request};
@@ -88,6 +89,14 @@ pub struct Config {
     /// `spans_dropped`) so a long-lived daemon cannot grow memory without
     /// bound. Metrics keep recording regardless.
     pub span_cap: usize,
+    /// Cross-run artifact store directory (`--store`). When set, every
+    /// exploration consults/deposits artifacts there, the result cache is
+    /// boot-warmed from the store, and a graceful drain persists it back.
+    pub store: Option<String>,
+    /// Open the artifact store read-only (`--store readonly:<dir>`): hits
+    /// are served but nothing is ever written, including the drain-time
+    /// result-cache snapshot.
+    pub store_readonly: bool,
 }
 
 impl Default for Config {
@@ -107,6 +116,8 @@ impl Default for Config {
             trace: true,
             flight_capacity: 64,
             span_cap: 65_536,
+            store: None,
+            store_readonly: false,
         }
     }
 }
@@ -138,6 +149,14 @@ impl Config {
             ("trace", Json::Bool(self.trace)),
             ("flight_capacity", Json::from(self.flight_capacity)),
             ("span_cap", Json::from(self.span_cap)),
+            (
+                "store",
+                self.store
+                    .as_deref()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
+            ("store_readonly", Json::Bool(self.store_readonly)),
         ])
     }
 }
@@ -213,6 +232,10 @@ pub struct Daemon {
     /// intern once, and repeat requests skip the re-hashing a cold CLI
     /// process pays on every start.
     store: Arc<TermStore>,
+    /// The cross-run artifact store (`--store`), consulted and fed by every
+    /// exploration and by the boot-warm/drain-persist of the result cache.
+    /// `None` = caching stays in-process only.
+    cas: Option<Arc<cas::CasStore>>,
     draining: AtomicBool,
     m: Instruments,
     /// The flight recorder: last N request events, dumped on trouble and
@@ -301,6 +324,26 @@ pub fn run(cfg: Config) -> Result<(), String> {
     // process even when stdout is a pipe.
     std::io::stdout().flush().ok();
 
+    let artifacts = match &cfg.store {
+        None => None,
+        Some(dir) => {
+            let mode = if cfg.store_readonly {
+                cas::Mode::ReadOnly
+            } else {
+                cas::Mode::ReadWrite
+            };
+            let store = cas::CasStore::open(dir, mode)
+                .map_err(|e| format!("cannot open artifact store {dir}: {e}"))?;
+            // Register the cas counters up front so `stats`/`metrics`
+            // responses are shaped the same before and after the first
+            // store-touching request.
+            for name in ["cas.hits", "cas.misses", "cas.writes", "cas.invalidations"] {
+                rec.counter(name);
+            }
+            Some(Arc::new(store))
+        }
+    };
+
     let daemon = Arc::new(Daemon {
         limiter: RateLimiter::new(cfg.rate_limit, cfg.burst, clock.clone()),
         jobs: JobTable::new(if cfg.result_cache {
@@ -313,12 +356,45 @@ pub fn run(cfg: Config) -> Result<(), String> {
         rec,
         clock,
         store: Arc::new(TermStore::new()),
+        cas: artifacts,
         draining: AtomicBool::new(false),
         flight: obs::FlightRecorder::new(cfg.flight_capacity),
         req_seq: AtomicU64::new(0),
         run_id,
         cfg,
     });
+
+    // Boot-warm: re-seed the in-process result cache from the snapshot a
+    // previous daemon persisted on drain. A missing snapshot is the normal
+    // first boot; a corrupt or alien-version one counts an invalidation and
+    // the daemon starts cold — never a wrong verdict.
+    if let Some(store) = &daemon.cas {
+        if daemon.cfg.result_cache {
+            match store.get(&persist::snapshot_key(daemon.cfg.max_states)) {
+                cas::Lookup::Hit(bytes) => match persist::decode_snapshot(&bytes) {
+                    Some(entries) => {
+                        let mut warmed = 0usize;
+                        for (digest, result) in entries {
+                            if daemon.jobs.warm(digest, result) {
+                                warmed += 1;
+                            }
+                        }
+                        daemon.rec.counter("cas.hits").inc();
+                        // Informational only, and the readiness line may be
+                        // the last one a supervisor reads — never panic on a
+                        // closed stdout pipe.
+                        let _ = writeln!(
+                            std::io::stdout(),
+                            "aadlschedd store: warmed {warmed} cached verdict(s)"
+                        );
+                    }
+                    None => daemon.rec.counter("cas.invalidations").inc(),
+                },
+                cas::Lookup::Miss => daemon.rec.counter("cas.misses").inc(),
+                cas::Lookup::Invalid => daemon.rec.counter("cas.invalidations").inc(),
+            }
+        }
+    }
 
     let workers: Vec<_> = (0..daemon.cfg.workers.max(1))
         .map(|wi| {
@@ -393,6 +469,19 @@ pub fn run(cfg: Config) -> Result<(), String> {
         w.join().expect("worker panicked");
     }
     reaper.join().expect("reaper panicked");
+    // Drain-persist: snapshot the result cache into the artifact store so
+    // the next daemon boots warm. Read-only stores skip it (and the store
+    // itself refuses writes anyway).
+    if let Some(store) = &daemon.cas {
+        if daemon.cfg.result_cache && !store.read_only() {
+            let entries = daemon.jobs.cached_entries();
+            let payload = persist::encode_snapshot(&entries);
+            if let Ok(true) = store.put(&persist::snapshot_key(daemon.cfg.max_states), &payload)
+            {
+                daemon.rec.counter("cas.writes").inc();
+            }
+        }
+    }
     for c in conns.lock().expect("conns poisoned").values() {
         c.shutdown(std::net::Shutdown::Both).ok();
     }
@@ -959,38 +1048,53 @@ fn analyze_source(
     aopts.explore.max_states = o.max_states.unwrap_or(usize::MAX).min(d.cfg.max_states);
     aopts.explore.cancel = cancel.clone();
     aopts.explore.obs = rec.clone();
+    aopts.explore.cas = d.cas.clone();
     let outcome = analyze_translated(&model, &tm, &aopts);
     JobResult::from_outcome(&outcome)
 }
 
 /// The `metrics` response: every fleet counter and gauge in a fixed order.
+/// The `cas.*` counters appear only when an artifact store is configured,
+/// so store-less daemons keep their historical response shape.
 fn metrics_response(d: &Daemon, id: &str) -> Json {
     let m = &d.m;
+    let mut counters = vec![
+        ("served.requests".to_string(), Json::from(m.requests.get())),
+        ("served.analyze".to_string(), Json::from(m.analyze.get())),
+        ("served.results".to_string(), Json::from(m.results.get())),
+        (
+            "served.coalesced".to_string(),
+            Json::from(m.coalesced.get()),
+        ),
+        (
+            "served.cache_hits".to_string(),
+            Json::from(m.cache_hits.get()),
+        ),
+        (
+            "served.rejected_rate_limit".to_string(),
+            Json::from(m.rejected_rate_limit.get()),
+        ),
+        (
+            "served.rejected_queue_full".to_string(),
+            Json::from(m.rejected_queue_full.get()),
+        ),
+        ("served.timeouts".to_string(), Json::from(m.timeouts.get())),
+        (
+            "served.cancelled".to_string(),
+            Json::from(m.cancelled.get()),
+        ),
+        ("served.retries".to_string(), Json::from(m.retries.get())),
+        ("served.errors".to_string(), Json::from(m.errors.get())),
+    ];
+    if d.cas.is_some() {
+        for name in ["cas.hits", "cas.misses", "cas.writes", "cas.invalidations"] {
+            counters.push((name.to_string(), Json::from(d.rec.counter(name).get())));
+        }
+    }
     Json::obj([
         ("type", Json::from("metrics")),
         ("id", Json::from(id)),
-        (
-            "counters",
-            Json::obj([
-                ("served.requests", Json::from(m.requests.get())),
-                ("served.analyze", Json::from(m.analyze.get())),
-                ("served.results", Json::from(m.results.get())),
-                ("served.coalesced", Json::from(m.coalesced.get())),
-                ("served.cache_hits", Json::from(m.cache_hits.get())),
-                (
-                    "served.rejected_rate_limit",
-                    Json::from(m.rejected_rate_limit.get()),
-                ),
-                (
-                    "served.rejected_queue_full",
-                    Json::from(m.rejected_queue_full.get()),
-                ),
-                ("served.timeouts", Json::from(m.timeouts.get())),
-                ("served.cancelled", Json::from(m.cancelled.get())),
-                ("served.retries", Json::from(m.retries.get())),
-                ("served.errors", Json::from(m.errors.get())),
-            ]),
-        ),
+        ("counters", Json::Obj(counters)),
         (
             "gauges",
             Json::obj([

@@ -669,3 +669,72 @@ fn aadlschedc_covers_the_introspection_commands() {
     assert_eq!(code, 2);
     daemon.shutdown();
 }
+
+#[test]
+fn artifact_store_boot_warms_the_cache_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("aadlschedd-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap().to_string();
+
+    // First life: one verdict computed cold, then a graceful drain
+    // persists the result cache into the store.
+    let d1 = Daemon::start(&["--workers", "1", "--store", &store], None);
+    let mut c = d1.connect();
+    c.send(&analyze_file("a", "cruise_control.aadl"));
+    c.recv();
+    let cold = c.recv();
+    assert_eq!(field(&cold, "verdict"), "schedulable");
+    assert_eq!(field(&cold, "cached"), "false");
+    d1.shutdown();
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() >= 2,
+        "drain must leave the exploration artifact and the cache snapshot"
+    );
+
+    // Second life: the boot-warm makes the identical request a cache hit
+    // before any analysis has run in this process.
+    let d2 = Daemon::start(&["--workers", "1", "--store", &store], None);
+    let mut c = d2.connect();
+    c.send(&analyze_file("a", "cruise_control.aadl"));
+    c.recv();
+    let warm = c.recv();
+    assert_eq!(field(&warm, "verdict"), "schedulable");
+    assert_eq!(field(&warm, "cached"), "true");
+    // With a store configured, `metrics` grows the cas section.
+    c.send(r#"{"type":"metrics","id":"m"}"#);
+    let metrics = c.recv();
+    assert!(metrics.contains("\"cas.hits\":"), "{metrics}");
+    d2.shutdown();
+
+    // Third life, read-only: hits are still served but the store gains
+    // nothing — not even the drain-time snapshot.
+    let entries_before = std::fs::read_dir(&dir).unwrap().count();
+    let ro = format!("readonly:{store}");
+    let d3 = Daemon::start(&["--workers", "1", "--store", &ro], None);
+    let mut c = d3.connect();
+    c.send(&analyze_file("a", "cruise_control.aadl"));
+    c.recv();
+    let ro_hit = c.recv();
+    assert_eq!(field(&ro_hit, "cached"), "true");
+    d3.shutdown();
+    let entries_after = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(
+        entries_before, entries_after,
+        "a read-only store must not gain entries"
+    );
+
+    // A corrupt snapshot degrades to a cold boot, never a crash: garbage
+    // every entry, then boot again and expect a fresh (uncached) verdict.
+    for e in std::fs::read_dir(&dir).unwrap().flatten() {
+        std::fs::write(e.path(), b"garbage, not a cas entry").unwrap();
+    }
+    let d4 = Daemon::start(&["--workers", "1", "--store", &store], None);
+    let mut c = d4.connect();
+    c.send(&analyze_file("a", "cruise_control.aadl"));
+    c.recv();
+    let fresh = c.recv();
+    assert_eq!(field(&fresh, "verdict"), "schedulable");
+    assert_eq!(field(&fresh, "cached"), "false");
+    d4.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -181,6 +181,18 @@ pub struct Options {
     /// optionally arm progress reporting) to get per-level spans, dedup and
     /// lock-contention counters, and the peak state-store gauge.
     pub obs: obs::Recorder,
+    /// Persistent cross-run artifact store (see `crates/cas` and the
+    /// `cache` module). `None` (the default) disables consulting and
+    /// depositing entirely — the engine then behaves byte-identically to
+    /// pre-store builds. With a store, a run whose
+    /// `(model, environment, context, options)` key was deposited by an
+    /// earlier run replays the recorded verdict instead of exploring.
+    pub cas: Option<Arc<cas::CasStore>>,
+    /// Caller context mixed into the store key — the canonical fingerprint
+    /// of whatever produced `initial` (for the AADL pipeline, the canonical
+    /// translation options). Two calls that differ only in this string
+    /// never share artifacts.
+    pub cas_context: String,
 }
 
 impl Default for Options {
@@ -196,6 +208,8 @@ impl Default for Options {
             store: None,
             cancel: CancelToken::new(),
             obs: obs::Recorder::disabled(),
+            cas: None,
+            cas_context: String::new(),
         }
     }
 }
@@ -324,6 +338,37 @@ impl Options {
         self.obs = obs;
         self
     }
+
+    /// Attach a persistent cross-run artifact store (see `crates/cas`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    ///
+    /// let dir = std::env::temp_dir().join("versa-doc-cas");
+    /// let store = Arc::new(cas::CasStore::open(&dir, cas::Mode::ReadWrite).unwrap());
+    /// let opts = versa::Options::default().with_cas(store);
+    /// assert!(opts.cas.is_some());
+    /// ```
+    pub fn with_cas(mut self, store: Arc<cas::CasStore>) -> Options {
+        self.cas = Some(store);
+        self
+    }
+
+    /// Set the caller-context string mixed into store keys (see
+    /// [`Options::cas_context`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let opts = versa::Options::default().with_cas_context("protocol=pcp");
+    /// assert_eq!(opts.cas_context, "protocol=pcp");
+    /// ```
+    pub fn with_cas_context(mut self, context: impl Into<String>) -> Options {
+        self.cas_context = context.into();
+        self
+    }
 }
 
 /// Aggregate statistics of one exploration run.
@@ -400,6 +445,72 @@ impl fmt::Display for Stats {
             self.deadlocks,
             self.duration
         )
+    }
+}
+
+impl Stats {
+    /// Serialize as 11 little-endian `u64`s (the ten counts in declaration
+    /// order, then the duration in nanoseconds) — the fixed-width form the
+    /// `cas` artifact payload and the daemon's drain-persist snapshot embed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let stats = versa::Stats { states: 7, ..Default::default() };
+    /// let bytes = stats.to_bytes();
+    /// assert_eq!(versa::Stats::from_bytes(&bytes).unwrap().states, 7);
+    /// ```
+    pub fn to_bytes(&self) -> [u8; 88] {
+        let words: [u64; 11] = [
+            self.states as u64,
+            self.transitions as u64,
+            self.deadlocks as u64,
+            self.peak_frontier as u64,
+            self.levels as u64,
+            self.dedup_hits as u64,
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_evictions,
+            self.unique_subterms as u64,
+            u64::try_from(self.duration.as_nanos()).unwrap_or(u64::MAX),
+        ];
+        let mut out = [0u8; 88];
+        for (chunk, w) in out.chunks_exact_mut(8).zip(words) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Stats::to_bytes`]. `None` unless `bytes` is exactly 88
+    /// bytes (or a count overflows `usize` on this platform).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(versa::Stats::from_bytes(&[0u8; 17]).is_none());
+    /// assert!(versa::Stats::from_bytes(&[0u8; 88]).is_some());
+    /// ```
+    pub fn from_bytes(bytes: &[u8]) -> Option<Stats> {
+        if bytes.len() != 88 {
+            return None;
+        }
+        let mut words = [0u64; 11];
+        for (chunk, w) in bytes.chunks_exact(8).zip(words.iter_mut()) {
+            *w = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        Some(Stats {
+            states: usize::try_from(words[0]).ok()?,
+            transitions: usize::try_from(words[1]).ok()?,
+            deadlocks: usize::try_from(words[2]).ok()?,
+            peak_frontier: usize::try_from(words[3]).ok()?,
+            levels: usize::try_from(words[4]).ok()?,
+            dedup_hits: usize::try_from(words[5]).ok()?,
+            memo_hits: words[6],
+            memo_misses: words[7],
+            memo_evictions: words[8],
+            unique_subterms: usize::try_from(words[9]).ok()?,
+            duration: Duration::from_nanos(words[10]),
+        })
     }
 }
 
@@ -779,6 +890,31 @@ fn expand_chunk(
 fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize) -> Exploration {
     let start = Instant::now();
     let id_limit = id_limit.max(1).min(ID_LIMIT);
+
+    // Cross-run artifact store: consult before exploring. A hit replays the
+    // recorded verdict (and trace skeleton) instead of searching; anything
+    // short of a byte-perfect, semantics-matching artifact counts an
+    // invalidation and falls through to the full exploration below, which
+    // then overwrites the entry.
+    let cas_key = crate::cache::key_for(env, initial, opts, id_limit);
+    if let (Some(key), Some(artifacts)) = (&cas_key, &opts.cas) {
+        match artifacts.get(key) {
+            cas::Lookup::Hit(payload) => {
+                let replayed = crate::cache::decode(&payload)
+                    .and_then(|a| crate::cache::replay(env, initial, &a, opts, start));
+                match replayed {
+                    Some(ex) => {
+                        opts.obs.counter("cas.hits").inc();
+                        return ex;
+                    }
+                    None => opts.obs.counter("cas.invalidations").inc(),
+                }
+            }
+            cas::Lookup::Miss => opts.obs.counter("cas.misses").inc(),
+            cas::Lookup::Invalid => opts.obs.counter("cas.invalidations").inc(),
+        }
+    }
+
     let run_span = opts.obs.span("explore");
     let dedup_counter = opts.obs.counter("explore.dedup_hits");
     let states_gauge = opts.obs.gauge("explore.states");
@@ -1040,6 +1176,23 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
         }
     }
     run_span.end();
+
+    // Deposit the finished run for the next process. Cancelled runs are
+    // partial (no verdict) and deposit nothing; a failed encode or write
+    // degrades to "no cache", never to an error.
+    if let (Some(key), Some(artifacts)) = (&cas_key, &opts.cas) {
+        if !cancelled {
+            let payload = crate::cache::encode(
+                env, &session, &states, &parents, &deadlocks, &stats, truncated,
+            );
+            if let Some(payload) = payload {
+                if matches!(artifacts.put(key, &payload), Ok(true)) {
+                    opts.obs.counter("cas.writes").inc();
+                }
+            }
+        }
+    }
+
     let lts = opts.collect_lts.then(|| {
         lts_transitions.resize(states.len(), Vec::new());
         Lts {

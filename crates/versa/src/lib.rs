@@ -39,6 +39,7 @@
 //! assert_eq!(trace.steps.len(), 1);
 //! ```
 
+mod cache;
 pub mod explore;
 pub mod hashed_engine;
 pub mod lts;

@@ -1,0 +1,150 @@
+//! Round-trip tests for the cross-run artifact store: a deposited
+//! exploration must replay with the same verdict, stats, and trace as the
+//! cold run that produced it, and key derivation must separate contexts.
+
+use std::sync::Arc;
+
+use acsr::prelude::*;
+use versa::{explore, Options};
+
+fn store_in(name: &str) -> (std::path::PathBuf, Arc<cas::CasStore>) {
+    let dir = std::env::temp_dir().join(format!("versa-cas-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(cas::CasStore::open(&dir, cas::Mode::ReadWrite).unwrap());
+    (dir, store)
+}
+
+/// Two timed steps, then NIL: deadlocks at depth 2.
+fn deadlocking(env: &Env) -> P {
+    let _ = env;
+    act(
+        [(Res::new("cpu"), 1)],
+        act([(Res::new("cpu"), 2), (Res::new("bus"), 1)], nil()),
+    )
+}
+
+/// An idling loop: deadlock-free, 1 state.
+fn schedulable(env: &mut Env) -> P {
+    let d = env.declare("Idle", 0);
+    env.set_body(d, act([] as [(Res, i32); 0], invoke(d, [])));
+    invoke(d, [])
+}
+
+#[test]
+fn deadlock_artifact_replays_verdict_and_trace() {
+    let (dir, store) = store_in("deadlock");
+    let env = Env::new();
+    let p = deadlocking(&env);
+    let opts = Options::default().with_cas(store.clone());
+
+    let cold = explore(&env, &p, &opts);
+    assert_eq!(cold.deadlocks.len(), 1);
+    assert_eq!(store.len(), 1, "cold run must deposit exactly one artifact");
+
+    let warm = explore(&env, &p, &opts);
+    assert_eq!(warm.deadlocks.len(), 1);
+    assert!(!warm.deadlock_free());
+    // Stats are served verbatim (duration excepted).
+    assert_eq!(warm.stats.states, cold.stats.states);
+    assert_eq!(warm.stats.transitions, cold.stats.transitions);
+    assert_eq!(warm.stats.levels, cold.stats.levels);
+    assert_eq!(warm.stats.deadlocks, cold.stats.deadlocks);
+    // The replayed trace renders identically to the cold one.
+    let cold_trace = cold.first_deadlock_trace().unwrap();
+    let warm_trace = warm.first_deadlock_trace().unwrap();
+    assert_eq!(cold_trace.len(), warm_trace.len());
+    let cold_labels: Vec<String> = cold_trace.steps.iter().map(|(l, _)| format!("{l:?}")).collect();
+    let warm_labels: Vec<String> = warm_trace.steps.iter().map(|(l, _)| format!("{l:?}")).collect();
+    assert_eq!(cold_labels, warm_labels);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schedulable_artifact_replays_without_exploring() {
+    let (dir, store) = store_in("schedulable");
+    let mut env = Env::new();
+    let p = schedulable(&mut env);
+    let rec = obs::Recorder::enabled();
+    let opts = Options::default().with_cas(store.clone()).with_obs(rec.clone());
+
+    let cold = explore(&env, &p, &opts);
+    assert!(cold.deadlock_free());
+    assert_eq!(rec.counter("cas.misses").get(), 1);
+    assert_eq!(rec.counter("cas.writes").get(), 1);
+
+    let warm = explore(&env, &p, &opts);
+    assert!(warm.deadlock_free());
+    assert_eq!(warm.stats.states, cold.stats.states);
+    assert_eq!(rec.counter("cas.hits").get(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn context_and_options_separate_artifacts() {
+    let (dir, store) = store_in("contexts");
+    let env = Env::new();
+    let p = deadlocking(&env);
+
+    let a = Options::default().with_cas(store.clone()).with_cas_context("quantum=1");
+    let b = Options::default().with_cas(store.clone()).with_cas_context("quantum=2");
+    explore(&env, &p, &a);
+    explore(&env, &p, &b);
+    assert_eq!(store.len(), 2, "different contexts must not share a key");
+
+    let c = Options::default().with_cas(store.clone()).with_max_states(1);
+    let ex = explore(&env, &p, &c);
+    assert!(ex.truncated);
+    assert_eq!(store.len(), 3, "different budgets must not share a key");
+    // The truncated artifact replays as truncated.
+    let ex2 = explore(&env, &p, &c);
+    assert!(ex2.truncated);
+    assert!(!ex2.deadlock_free());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lts_collection_bypasses_the_store() {
+    let (dir, store) = store_in("lts");
+    let env = Env::new();
+    let p = deadlocking(&env);
+    let mut opts = Options::default().with_cas(store.clone());
+    opts.collect_lts = true;
+    let ex = explore(&env, &p, &opts);
+    assert!(ex.lts.is_some());
+    assert!(store.is_empty(), "LTS runs carry no artifact");
+    // And a later LTS run must not consult a verdict-only artifact.
+    opts.collect_lts = false;
+    explore(&env, &p, &opts);
+    opts.collect_lts = true;
+    let ex = explore(&env, &p, &opts);
+    assert!(ex.lts.is_some(), "LTS request must never be served from cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entry_recomputes_with_identical_verdict() {
+    let (dir, store) = store_in("corrupt");
+    let env = Env::new();
+    let p = deadlocking(&env);
+    let rec = obs::Recorder::enabled();
+    let opts = Options::default().with_cas(store.clone()).with_obs(rec.clone());
+    let cold = explore(&env, &p, &opts);
+
+    // Garbage-fill the single entry on disk.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().ends_with(".cas"))
+        .unwrap()
+        .path();
+    std::fs::write(&entry, b"zzzz not a cas entry").unwrap();
+
+    let again = explore(&env, &p, &opts);
+    assert_eq!(rec.counter("cas.invalidations").get(), 1);
+    assert_eq!(again.deadlocks.len(), cold.deadlocks.len());
+    assert_eq!(again.stats.states, cold.stats.states);
+    // The recompute healed the entry: next run hits.
+    explore(&env, &p, &opts);
+    assert_eq!(rec.counter("cas.hits").get(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

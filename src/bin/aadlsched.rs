@@ -23,6 +23,10 @@
 //!   --max-states <n>  state budget (verdict becomes "unknown" if exceeded)
 //!   --no-memo         disable successor memoization (escape hatch; verdicts
 //!                     are identical either way, only the wall time changes)
+//!   --store <s>       persistent cross-run artifact store: a directory to
+//!                     consult before exploring and deposit verdicts into
+//!                     after, `readonly:<dir>` to consult without writing,
+//!                     or `off` (the default — no store is touched)
 //!   --tree            print the instance tree with bindings and timing
 //!   --acsr            print the generated ACSR process definitions
 //!   --dot <file>      write the explored LTS as Graphviz dot
@@ -60,6 +64,7 @@ struct Args {
     shards: usize,
     max_states: Option<usize>,
     no_memo: bool,
+    store: Option<String>,
     print_acsr: bool,
     print_tree: bool,
     dot: Option<String>,
@@ -73,7 +78,8 @@ fn usage() -> ExitCode {
         "usage: aadlsched <model.aadl> [RootSystem.impl] \
          [--quantum <ms>] [--protocol <none|pip|pcp>] [--compact] \
          [--exhaustive] [--threads <n>] [--shards <n>] \
-         [--max-states <n>] [--no-memo] [--tree] [--acsr] [--dot <file>] \
+         [--max-states <n>] [--no-memo] [--store <dir|readonly:dir|off>] \
+         [--tree] [--acsr] [--dot <file>] \
          [--metrics <file>] [--trace-events <file>] [--progress]\n\
          (omit RootSystem.impl to analyze the package's top-level system \
          implementation)"
@@ -99,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 0,
         max_states: None,
         no_memo: false,
+        store: None,
         print_acsr: false,
         print_tree: false,
         dot: None,
@@ -147,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--no-memo" => args.no_memo = true,
+            "--store" => {
+                args.store = Some(raw.next().ok_or("--store needs <dir|readonly:dir|off>")?)
+            }
             "--acsr" => args.print_acsr = true,
             "--tree" => args.print_tree = true,
             "--dot" => args.dot = Some(raw.next().ok_or("--dot needs a file")?),
@@ -310,6 +320,31 @@ fn main() -> ExitCode {
     aopts.explore.memo = !args.no_memo;
     aopts.explore.collect_lts = args.dot.is_some();
     aopts.explore.obs = rec.clone();
+    // The persistent artifact store. Off by default, so every store-less
+    // invocation (including the fake-clock snapshot tests) is byte-identical
+    // to pre-store builds.
+    match args.store.as_deref() {
+        None | Some("off") => {}
+        Some(spec) => {
+            let (dir, mode) = match spec.strip_prefix("readonly:") {
+                Some(dir) => (dir, cas::Mode::ReadOnly),
+                None => (spec, cas::Mode::ReadWrite),
+            };
+            match cas::CasStore::open(dir, mode) {
+                Ok(store) => {
+                    println!(
+                        "artifact store: {dir} ({})",
+                        if store.read_only() { "read-only" } else { "read-write" }
+                    );
+                    aopts.explore.cas = Some(std::sync::Arc::new(store));
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open artifact store `{dir}`: {e}");
+                    return ExitCode::from(EXIT_INPUT_ERROR);
+                }
+            }
+        }
+    }
 
     let verdict = analyze_translated(&model, &tm, &aopts);
     println!("exploration: {}", verdict.stats());

@@ -288,7 +288,7 @@ fn metrics_flag_writes_a_schema_versioned_report() {
     let report = std::fs::read_to_string(&report_path).unwrap();
     for key in [
         "\"schema\": \"aadlsched-metrics\"",
-        "\"version\": 3",
+        "\"version\": 4",
         "\"run_id\"",
         "\"tool\": \"aadlsched\"",
         "\"model\"",

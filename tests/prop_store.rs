@@ -1,0 +1,146 @@
+//! Store-corruption properties: no on-disk artifact state — truncated,
+//! bit-flipped, garbage-filled or version-skewed — may panic an analysis or
+//! change its verdict. Corruption must degrade to miss-and-recompute, and a
+//! read-write store must heal the damaged entry on the recompute
+//! (`det_prop!` runs 64 seeded cases per property; failures print a
+//! `DET_PROP_SEED` that reproduces the exact case).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aadl::instance::instantiate;
+use aadl2acsr::{analyze, AnalysisOptions, TranslateOptions};
+use det::det_prop;
+use det::prop::uints;
+use det::DetRng;
+use sched_baselines::taskset::taskset_to_package;
+use sched_baselines::types::{Task, TaskSet};
+
+/// Small bounded task sets: 2 tasks, tiny period pool, so each exploration
+/// finishes in milliseconds and the harness can run dozens of cases.
+fn arb_taskset(rng: &mut DetRng) -> TaskSet {
+    let tasks = (0..2)
+        .map(|_| {
+            let period = *rng.pick(&[4u64, 5, 6, 8]);
+            let c = rng.range_u64(1..5);
+            Task::new(0, period, c.min(period))
+        })
+        .collect();
+    TaskSet::new(tasks)
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh store directory per case, so seeded cases never share state.
+fn fresh_store() -> (std::path::PathBuf, Arc<cas::CasStore>) {
+    let dir = std::env::temp_dir().join(format!(
+        "prop-store-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(cas::CasStore::open(&dir, cas::Mode::ReadWrite).unwrap());
+    (dir, store)
+}
+
+/// Everything a cached replay must reproduce exactly.
+fn verdict(
+    ts: &TaskSet,
+    store: &Arc<cas::CasStore>,
+    rec: &obs::Recorder,
+) -> (bool, usize, usize, usize) {
+    let pkg = taskset_to_package(ts, "RMS");
+    let m = instantiate(&pkg, "Top.impl").unwrap();
+    let mut aopts = AnalysisOptions::default();
+    aopts.explore.cas = Some(store.clone());
+    aopts.explore.obs = rec.clone();
+    let v = analyze(&m, &TranslateOptions::default(), &aopts).unwrap();
+    (
+        v.schedulable(),
+        v.stats().states,
+        v.stats().transitions,
+        v.stats().deadlocks,
+    )
+}
+
+/// The store's entry files.
+fn entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut v: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cas"))
+        .collect();
+    v.sort();
+    v
+}
+
+det_prop! {
+    fn corrupted_entries_never_change_the_verdict(
+        ts in arb_taskset, mode in uints(0..3), at in uints(0..1_000_000)
+    ) {
+        let (dir, store) = fresh_store();
+        let rec = obs::Recorder::enabled();
+        let cold = verdict(&ts, &store, &rec);
+        let files = entries(&dir);
+        assert!(!files.is_empty(), "cold run must deposit an artifact");
+        for path in &files {
+            let mut bytes = std::fs::read(path).unwrap();
+            match mode {
+                // Truncate at a random point (possibly to empty).
+                0 => bytes.truncate((at as usize) % bytes.len()),
+                // Flip one random bit.
+                1 => {
+                    let i = (at as usize) % bytes.len();
+                    bytes[i] ^= 1 << (at % 8);
+                }
+                // Replace with garbage of a random small length.
+                _ => {
+                    bytes = (0..(at % 64))
+                        .map(|i| (at.wrapping_mul(31).wrapping_add(i)) as u8)
+                        .collect();
+                }
+            }
+            std::fs::write(path, &bytes).unwrap();
+        }
+        // The corrupted store must yield the exact cold-run verdict...
+        let again = verdict(&ts, &store, &rec);
+        assert_eq!(cold, again, "corruption changed the analysis: {ts:?}");
+        // ...and the recompute heals the entry, so a third run replays it.
+        let healed = verdict(&ts, &store, &rec);
+        assert_eq!(cold, healed, "healed replay diverged: {ts:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// An entry whose version header is from a different (newer or older) cas
+/// release must invalidate cleanly: counted as `cas.invalidations`, verdict
+/// recomputed identically, entry healed to the current version.
+#[test]
+fn version_header_mismatch_invalidates_cleanly() {
+    let ts = TaskSet::new(vec![Task::new(0, 5, 2), Task::new(0, 8, 3)]);
+    let (dir, store) = fresh_store();
+    let rec = obs::Recorder::enabled();
+    let cold = verdict(&ts, &store, &rec);
+    // The entry layout is magic(8) + version(u32 LE) + …: skew the version.
+    for path in entries(&dir) {
+        let mut bytes = std::fs::read(&path).unwrap();
+        let v = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        assert_eq!(v, cas::ENTRY_VERSION);
+        bytes[8..12].copy_from_slice(&(v + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let invalidations_before = rec.counter("cas.invalidations").get();
+    let again = verdict(&ts, &store, &rec);
+    assert_eq!(cold, again, "version skew changed the analysis");
+    assert!(
+        rec.counter("cas.invalidations").get() > invalidations_before,
+        "a version mismatch must be counted as an invalidation"
+    );
+    // Healed: the next run is a hit on a current-version entry.
+    let hits_before = rec.counter("cas.hits").get();
+    let healed = verdict(&ts, &store, &rec);
+    assert_eq!(cold, healed);
+    assert!(rec.counter("cas.hits").get() > hits_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -98,6 +98,7 @@ cat > "$baseline_file" <<'EOF'
 Cargo.toml dependencies aadl
 Cargo.toml dependencies aadl2acsr
 Cargo.toml dependencies acsr
+Cargo.toml dependencies cas
 Cargo.toml dependencies obs
 Cargo.toml dependencies sched-baselines
 Cargo.toml dependencies versa
@@ -105,6 +106,7 @@ Cargo.toml dev-dependencies det
 Cargo.toml workspace.dependencies aadl
 Cargo.toml workspace.dependencies aadl2acsr
 Cargo.toml workspace.dependencies acsr
+Cargo.toml workspace.dependencies cas
 Cargo.toml workspace.dependencies det
 Cargo.toml workspace.dependencies obs
 Cargo.toml workspace.dependencies sched-baselines
@@ -117,6 +119,7 @@ crates/baselines/Cargo.toml dependencies det
 crates/bench/Cargo.toml dependencies aadl
 crates/bench/Cargo.toml dependencies aadl2acsr
 crates/bench/Cargo.toml dependencies acsr
+crates/bench/Cargo.toml dependencies cas
 crates/bench/Cargo.toml dependencies det
 crates/bench/Cargo.toml dependencies obs
 crates/bench/Cargo.toml dependencies sched-baselines
@@ -125,12 +128,14 @@ crates/core/Cargo.toml dependencies aadl
 crates/served/Cargo.toml dependencies aadl
 crates/served/Cargo.toml dependencies aadl2acsr
 crates/served/Cargo.toml dependencies acsr
+crates/served/Cargo.toml dependencies cas
 crates/served/Cargo.toml dependencies obs
 crates/served/Cargo.toml dependencies versa
 crates/core/Cargo.toml dependencies acsr
 crates/core/Cargo.toml dependencies obs
 crates/core/Cargo.toml dependencies versa
 crates/versa/Cargo.toml dependencies acsr
+crates/versa/Cargo.toml dependencies cas
 crates/versa/Cargo.toml dependencies det
 crates/versa/Cargo.toml dependencies obs
 EOF

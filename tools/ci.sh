@@ -6,21 +6,26 @@
 #   2. the pinned-timeline gates: the golden diagnose trace and the
 #      concurrency-control inversion timeline, named explicitly so a drift
 #      in either renders as its own CI line, not a needle in the full suite
-#   3. the bench harness in smoke mode, three times — with the successor
+#   3. the artifact-store A/B: the smoke harness twice against one fresh
+#      `--store` directory — verdict lines must be byte-identical cold vs
+#      warm, and the second run must demonstrably serve its Q12 cold pass
+#      from the store the first run deposited (cas.hits >= 1)
+#   4. the bench harness in smoke mode, three times — with the successor
 #      memo disabled, then at 1 and at 4 exploration workers — with diffs
 #      over the verdict lines: the engine is deterministic in the thread
 #      count and the memo is a pure cache, so any difference is a
 #      regression in the parallel dedup path or the memoized step relation
 #      (the last run also refreshes BENCH_exploration.json, which is
-#      committed)
-#   4. the daemon smoke: start `aadlschedd`, analyze all four bundled
+#      committed — deliberately after the store stage, so the committed
+#      report's `cas` section reflects a fresh cold/warm A/B)
+#   5. the daemon smoke: start `aadlschedd`, analyze all four bundled
 #      models through `aadlschedc` and diff the exit codes against the
 #      `aadlsched` CLI (the two front ends must agree verdict-for-verdict),
 #      check that a duplicate request is served from the result cache,
 #      assert the live `stats` snapshot parses with monotone request_wall
 #      quantiles, then drain gracefully (daemon must exit 0 and write a
 #      fleet report carrying the flight-recorder window)
-#   5. the hermetic-build audit (path-only deps, pinned dependency graph,
+#   6. the hermetic-build audit (path-only deps, pinned dependency graph,
 #      obs dependency-free, `cargo doc` with warnings denied — see
 #      tools/check_hermetic.sh)
 #
@@ -49,15 +54,39 @@ cargo test -q --workspace --exclude aadl-sched
 echo "== golden timelines: diagnose + inversion =="
 cargo test -q --test golden_diagnose --test inversion
 
-echo "== bench harness (smoke): verdicts must agree across workers and memo =="
 mkdir -p target/ci
 # Verdict lines only, wall-clock fields stripped: everything else must be
-# byte-identical between a sequential and a parallel run, and between a
-# memoized and an unmemoized run. The --no-memo run goes first so the
-# committed BENCH_exploration.json reflects the shipped default.
+# byte-identical between runs that are allowed to differ only in timing.
 extract_verdicts() {
   grep -E "schedulable|VERDICT" | sed -E 's/ time=[^ ]*//'
 }
+
+echo "== artifact store: cold vs warm verdicts must be byte-identical =="
+rm -rf target/ci/cas
+cargo run --release -q -p bench --bin harness -- --smoke --store target/ci/cas \
+  | extract_verdicts > target/ci/verdicts-cold.txt
+cargo run --release -q -p bench --bin harness -- --smoke --store target/ci/cas \
+  > target/ci/harness-warm.txt
+extract_verdicts < target/ci/harness-warm.txt > target/ci/verdicts-warm.txt
+diff -u target/ci/verdicts-cold.txt target/ci/verdicts-warm.txt
+echo "artifact store: verdicts identical cold vs warm"
+# The second run must have served its Q12 cold pass from the store the
+# first run deposited: its cold-pass counter line reports hits, and the
+# refreshed BENCH report carries the cas section.
+cold_hits="$(sed -n 's/^cold pass: hits=\([0-9]*\).*/\1/p' target/ci/harness-warm.txt)"
+if [ "${cold_hits:-0}" -lt 1 ]; then
+  echo "artifact store: second run did not hit the store (cold-pass hits=${cold_hits:-absent})"
+  exit 1
+fi
+if ! grep -q '"cas"' BENCH_exploration.json; then
+  echo "artifact store: BENCH_exploration.json lost its cas section"
+  exit 1
+fi
+echo "artifact store: second run served $cold_hits artifact(s) from the store"
+
+echo "== bench harness (smoke): verdicts must agree across workers and memo =="
+# The --no-memo run goes first so the committed BENCH_exploration.json
+# reflects the shipped default (the final --threads 4 run).
 cargo run --release -q -p bench --bin harness -- --smoke --threads 1 --no-memo \
   | extract_verdicts > target/ci/verdicts-nomemo.txt
 cargo run --release -q -p bench --bin harness -- --smoke --threads 1 \
