@@ -34,6 +34,7 @@
 //! | [`label`]  | ground transition labels |
 //! | [`step`]   | the unprioritized operational semantics, plain ([`steps`]) and interned + memoized ([`StepSession`]) |
 //! | [`prio`]   | the preemption relation and the prioritized transition relation |
+//! | [`zone`]   | delay zones: forced-run detection and bulk time advance over interned terms |
 //! | [`pretty`] | display of terms and labels in VERSA-like notation |
 //!
 //! ## Example — the first steps of the `Simple` process of Fig. 2 of the paper
@@ -71,6 +72,7 @@ pub mod step;
 pub mod store;
 pub mod symbol;
 pub mod term;
+pub mod zone;
 
 pub use env::{DefId, Env, ProcDef, TagId};
 pub use expr::{BExpr, EvalError, Expr};
@@ -85,6 +87,7 @@ pub use term::{
     act, act_tagged, choice, close, evt_recv, evt_send, guard, invoke, nil, par, restrict, scope,
     tau, ActionT, EvKind, EventT, Proc, TimeBound, P,
 };
+pub use zone::{delay_bound, forced_run, step_delay, ForcedRun};
 
 /// Commonly used items, for glob import in tests and downstream crates.
 pub mod prelude {

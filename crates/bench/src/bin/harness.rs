@@ -7,8 +7,12 @@
 //! `--smoke` runs the cheap subset — the cruise-control inventory (F1), the
 //! parallel-scaling sweep (Q8, on a smaller model), the instrumented
 //! exploration report (Q6, which refreshes `BENCH_exploration.json`) and the
-//! concurrency-control verdicts (Q7) — in about a second, so CI can exercise
-//! the harness end-to-end without the full sweeps.
+//! concurrency-control verdicts (Q7) — so CI can exercise the harness
+//! end-to-end without the full sweeps. The store A/B (Q12) and the
+//! delay-zone A/B (Q13) run in every mode: both feed committed sections of
+//! `BENCH_exploration.json`, which must not depend on how the harness was
+//! invoked. Q13 dominates the smoke wall clock (best-of-3 exhaustive runs
+//! of the long-hyperperiod model, around a minute).
 //!
 //! `--threads <n>` sets the exploration worker count for every analysis the
 //! harness runs (the Q8 sweep ignores it — it sweeps its own grid). The
@@ -62,7 +66,8 @@ fn main() {
     let scaling = q8_thread_scaling(smoke);
     let interning = q9_interning(smoke);
     let cas_section = q12_store_warm_sweep(store_dir.as_deref());
-    q6_exploration_report(threads, memo, scaling, interning, cas_section);
+    let zones_section = q13_zones(threads, memo);
+    q6_exploration_report(threads, memo, scaling, interning, cas_section, zones_section);
     q7_locking_protocols(threads, memo);
     if smoke {
         println!("\nharness: smoke mode (skipped Q1/Q2/Q2b/Q3/Q5 sweeps)");
@@ -626,12 +631,116 @@ fn q12_store_warm_sweep(store_dir: Option<&str>) -> obs::Json {
     ])
 }
 
+/// The delay-zone A/B behind `EXPERIMENTS.md` Q13 and the `zones` section of
+/// `BENCH_exploration.json`: the bundled co-prime long-hyperperiod model
+/// (`longperiod.aadl`, hyperperiod 17·19·23·29 = 215441 quanta), explored
+/// concretely and with `--zones`, best-of-3 wall clocks. The verdicts must
+/// match and zone mode must materialize at least 10× fewer states — the
+/// harness aborts otherwise, so the committed report can never carry a
+/// regressed ratio. The state counts are deterministic; only the wall
+/// clocks are subject to noise (hence min-of-reps, same policy as Q8/Q9).
+fn q13_zones(threads: usize, memo: bool) -> obs::Json {
+    header("Q13 — delay zones vs concrete quantum stepping (longperiod model)");
+    let path = model_file("longperiod.aadl");
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let pkg = parse_package(&source).expect("parse longperiod.aadl");
+    let m = instantiate(&pkg, "Top.impl").expect("longperiod instantiates");
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let reps = 3u32;
+
+    type Best = (std::time::Duration, versa::Exploration, [u64; 3]);
+    let run_mode = |zones: bool| -> Best {
+        let mut best: Option<Best> = None;
+        for _ in 0..reps {
+            let rec = obs::Recorder::enabled();
+            let opts = versa::Options::default()
+                .with_threads(threads)
+                .with_memo(memo)
+                .with_zones(zones)
+                .with_obs(rec.clone());
+            let t0 = Instant::now();
+            let ex = versa::explore(&tm.env, &tm.initial, &opts);
+            let wall = t0.elapsed();
+            let run = rec.finish();
+            let counters = [
+                run_counter(&run, "zone.delay_steps"),
+                run_counter(&run, "zone.quanta_collapsed"),
+                run_counter(&run, "zone.singleton_steps"),
+            ];
+            if best.as_ref().is_none_or(|(w, ..)| wall < *w) {
+                best = Some((wall, ex, counters));
+            }
+        }
+        best.unwrap()
+    };
+
+    let (cw, cex, _) = run_mode(false);
+    let (zw, zex, [delay_steps, quanta_collapsed, singleton_steps]) = run_mode(true);
+    println!(
+        "concrete: schedulable={} states={} transitions={} time={cw:?}",
+        cex.deadlocks.is_empty(),
+        cex.num_states(),
+        cex.stats.transitions
+    );
+    println!(
+        "zones:    schedulable={} states={} transitions={} time={zw:?}",
+        zex.deadlocks.is_empty(),
+        zex.num_states(),
+        zex.stats.transitions
+    );
+    println!(
+        "collapse: delay_steps={delay_steps} quanta_collapsed={quanta_collapsed} \
+         singleton_steps={singleton_steps} ({:.1}x fewer states)",
+        cex.num_states() as f64 / zex.num_states() as f64
+    );
+    assert_eq!(
+        cex.deadlocks.is_empty(),
+        zex.deadlocks.is_empty(),
+        "zone mode changed the longperiod verdict"
+    );
+    assert!(
+        zex.num_states() * 10 <= cex.num_states(),
+        "zone mode below the 10x state bar: {} vs {}",
+        zex.num_states(),
+        cex.num_states()
+    );
+    let mode = |wall: std::time::Duration, ex: &versa::Exploration| {
+        obs::Json::obj([
+            ("schedulable", obs::Json::Bool(ex.deadlocks.is_empty())),
+            ("states", obs::Json::from(ex.num_states())),
+            ("transitions", obs::Json::from(ex.stats.transitions)),
+            ("wall_ns", obs::Json::from(wall.as_nanos() as u64)),
+        ])
+    };
+    obs::Json::obj([
+        ("model", obs::Json::from("longperiod")),
+        ("hyperperiod_quanta", obs::Json::from(215441u64)),
+        ("reps", obs::Json::from(reps as u64)),
+        ("policy", obs::Json::from("min_wall_of_reps")),
+        ("concrete", mode(cw, &cex)),
+        (
+            "zones",
+            obs::Json::obj([
+                ("schedulable", obs::Json::Bool(zex.deadlocks.is_empty())),
+                ("states", obs::Json::from(zex.num_states())),
+                ("transitions", obs::Json::from(zex.stats.transitions)),
+                ("wall_ns", obs::Json::from(zw.as_nanos() as u64)),
+                ("delay_steps", obs::Json::from(delay_steps)),
+                ("quanta_collapsed", obs::Json::from(quanta_collapsed)),
+                ("singleton_steps", obs::Json::from(singleton_steps)),
+            ]),
+        ),
+    ])
+}
+
 fn q6_exploration_report(
     threads: usize,
     memo: bool,
     scaling: obs::Json,
     interning: obs::Json,
     cas_section: obs::Json,
+    zones_section: obs::Json,
 ) {
     header("Q6 — instrumented exploration report (BENCH_exploration.json)");
     let rec = obs::Recorder::enabled();
@@ -693,6 +802,7 @@ fn q6_exploration_report(
     report.set("scaling", scaling);
     report.set("interning", interning);
     report.set("cas", cas_section);
+    report.set("zones", zones_section);
     report.attach_run(&rec.finish());
     match std::fs::write("BENCH_exploration.json", report.to_json()) {
         Ok(()) => println!("report written to BENCH_exploration.json (run_id {run_id})"),

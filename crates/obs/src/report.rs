@@ -34,7 +34,13 @@ pub const SCHEMA: &str = "aadlsched-metrics";
 ///   and `store_readonly`, and `BENCH_exploration.json` gained the `cas`
 ///   warm-vs-cold section. Store-less runs emit none of these, so their
 ///   reports are shaped exactly as in v3.
-pub const SCHEMA_VERSION: u64 = 4;
+/// * v5 — delay-zone exploration: zone-mode runs record `zone.delay_steps`
+///   / `zone.quanta_collapsed` / `zone.singleton_steps` counters, the
+///   `explore` span gained a `zones` field, the daemon's fleet-report
+///   `config` section gained `zones`, and `BENCH_exploration.json` gained
+///   the `zones` A/B section. Concrete-mode runs emit none of these, so
+///   their reports are shaped exactly as in v4.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Deterministic run identifier: FNV-1a (64-bit) over the given byte slices,
 /// rendered as 16 lowercase hex digits. Feed it the model source and the
@@ -75,7 +81,7 @@ pub fn run_id(parts: &[&[u8]]) -> String {
 /// r.set("model", Json::obj([("file", Json::from("m.aadl"))]));
 /// let text = r.to_json();
 /// assert!(text.starts_with("{\n  \"schema\": \"aadlsched-metrics\""));
-/// assert!(text.contains("\"version\": 4"));
+/// assert!(text.contains("\"version\": 5"));
 /// ```
 #[derive(Clone, Debug)]
 pub struct Report {

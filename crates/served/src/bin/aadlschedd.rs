@@ -26,6 +26,10 @@
 //!                             result cache is boot-warmed from it, and a
 //!                             graceful drain persists the cache back;
 //!                             readonly:<dir> serves hits without writing
+//!   --zones                   delay-zone exploration by default: collapse
+//!                             forced runs of quanta into bulk steps
+//!                             (identical verdicts and traces; job digests
+//!                             diverge from concrete-mode requests)
 //! ```
 //!
 //! On startup the daemon prints `aadlschedd listening on <addr>` — parse
@@ -46,7 +50,7 @@ fn usage() -> ExitCode {
          [--default-timeout-ms <n>] [--max-states <n>] [--cache-capacity <n>] \
          [--retries <n>] [--no-result-cache] [--metrics <file>] \
          [--no-trace] [--flight-capacity <n>] [--span-cap <n>] \
-         [--store <dir|readonly:dir>]"
+         [--store <dir|readonly:dir>] [--zones]"
     );
     ExitCode::from(2)
 }
@@ -124,6 +128,7 @@ fn parse_args() -> Result<Config, String> {
                     None => cfg.store = Some(spec),
                 }
             }
+            "--zones" => cfg.zones = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }

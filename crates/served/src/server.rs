@@ -97,6 +97,12 @@ pub struct Config {
     /// are served but nothing is ever written, including the drain-time
     /// result-cache snapshot.
     pub store_readonly: bool,
+    /// Delay-zone exploration as the daemon default (`--zones`): every
+    /// analysis collapses forced runs of quanta into bulk steps. Applied
+    /// *before* the job digest is computed, so a zone daemon and a
+    /// concrete daemon never share coalesced jobs or cached results for
+    /// the same request line.
+    pub zones: bool,
 }
 
 impl Default for Config {
@@ -118,6 +124,7 @@ impl Default for Config {
             span_cap: 65_536,
             store: None,
             store_readonly: false,
+            zones: false,
         }
     }
 }
@@ -157,6 +164,7 @@ impl Config {
                     .unwrap_or(Json::Null),
             ),
             ("store_readonly", Json::Bool(self.store_readonly)),
+            ("zones", Json::Bool(self.zones)),
         ])
     }
 }
@@ -697,10 +705,16 @@ fn handle_analyze(
     writer: &Arc<Mutex<TcpStream>>,
     id: &str,
     source: ModelSource,
-    options: AnalyzeOptions,
+    mut options: AnalyzeOptions,
     ctx: Option<(u64, u64, u64)>,
 ) {
     d.m.analyze.inc();
+    // The daemon-wide `--zones` default folds into the request *before* the
+    // digest is computed, so zone-mode results are keyed apart from
+    // concrete ones even when the request line itself never mentions zones.
+    if d.cfg.zones {
+        options.zones = true;
+    }
     // Open the root span first, so even rejected requests leave a tree.
     let mut trace = ctx.map(|(req, recv_ns, parsed_ns)| {
         let root = d.rec.span_at("served.request", recv_ns);
@@ -1045,6 +1059,7 @@ fn analyze_source(
     };
     aopts.explore.threads = o.threads.max(1);
     aopts.explore.memo = o.memo;
+    aopts.explore.zones = o.zones;
     aopts.explore.max_states = o.max_states.unwrap_or(usize::MAX).min(d.cfg.max_states);
     aopts.explore.cancel = cancel.clone();
     aopts.explore.obs = rec.clone();

@@ -46,6 +46,12 @@ pub struct AnalyzeOptions {
     /// default). `0` times out immediately — useful for testing the timeout
     /// path deterministically.
     pub timeout_ms: Option<u64>,
+    /// Delay-zone exploration (`--zones` on the CLI): collapse forced runs
+    /// of quanta into single bulk steps. Verdicts and traces are identical
+    /// to the concrete engine; only the exploration strategy changes — but
+    /// the flag still participates in the job digest, so zone and concrete
+    /// requests never coalesce or share a cached result.
+    pub zones: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -60,6 +66,7 @@ impl Default for AnalyzeOptions {
             max_states: None,
             memo: true,
             timeout_ms: None,
+            zones: false,
         }
     }
 }
@@ -72,7 +79,7 @@ impl AnalyzeOptions {
     pub fn canonical(&self) -> String {
         format!(
             "root={:?};quantum_ms={:?};protocol={:?};compact={};exhaustive={};threads={};\
-             max_states={:?};memo={};timeout_ms={:?}",
+             max_states={:?};memo={};timeout_ms={:?};zones={}",
             self.root,
             self.quantum_ms,
             self.protocol,
@@ -82,6 +89,7 @@ impl AnalyzeOptions {
             self.max_states,
             self.memo,
             self.timeout_ms,
+            self.zones,
         )
     }
 }
@@ -256,6 +264,7 @@ fn parse_options(v: Option<&Json>) -> Result<AnalyzeOptions, String> {
             "timeout_ms" => {
                 o.timeout_ms = Some(val.as_u64().ok_or("options.timeout_ms must be an integer")?)
             }
+            "zones" => o.zones = bool_field(val, "options.zones")?,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -479,6 +488,12 @@ mod tests {
         let mut c = AnalyzeOptions::default();
         c.timeout_ms = Some(1);
         assert_ne!(job_digest("src", &a), job_digest("src", &c));
+        // Zone mode yields identical verdicts, but its digest still
+        // diverges: cached zone results must never answer concrete
+        // requests (and vice versa), so the A/B lever stays honest.
+        let mut z = AnalyzeOptions::default();
+        z.zones = true;
+        assert_ne!(job_digest("src", &a), job_digest("src", &z));
         assert_ne!(job_digest("src", &a), job_digest("other", &a));
     }
 

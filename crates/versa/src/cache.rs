@@ -21,7 +21,9 @@
 //!   translation-options fingerprint, so a `--protocol pcp` artifact can
 //!   never answer a `--protocol none` query),
 //! * the exploration options that change results: `max_states`,
-//!   `stop_at_first_deadlock`, and the id ceiling.
+//!   `stop_at_first_deadlock`, the id ceiling, and the `zones` engine flag
+//!   (zone-mode stats describe the zone graph, so the two engines must
+//!   never answer each other's queries even though their verdicts agree).
 //!
 //! Changing any input changes the key; invalidation is purely structural
 //! (stale artifacts are simply never addressed again).
@@ -80,6 +82,7 @@ pub(crate) fn key_for(env: &Env, initial: &P, opts: &Options, id_limit: usize) -
         &(opts.max_states.min(u64::MAX as usize) as u64).to_le_bytes(),
         &[opts.stop_at_first_deadlock as u8],
         &(id_limit.min(u64::MAX as usize) as u64).to_le_bytes(),
+        &[opts.zones as u8],
     ]))
 }
 
@@ -273,6 +276,7 @@ pub(crate) fn replay(
     Some(Exploration {
         states: states.into_iter().map(Interned::into_term).collect(),
         parents,
+        zone_edges: Vec::new(),
         deadlocks,
         lts: None,
         stats,
@@ -284,6 +288,82 @@ pub(crate) fn replay(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Key-context completeness audit: every `Options` field that can change
+    /// the explored state space (or how its artifact must be interpreted)
+    /// must be serialized into the store key, or a stale artifact would
+    /// silently answer a query it doesn't match. Flipping each such field —
+    /// and the term, environment and id ceiling — must produce a distinct
+    /// key; fields that are pure performance knobs (threads, shards, memo)
+    /// must NOT change the key, so warm sweeps still hit across them.
+    #[test]
+    fn key_commits_to_every_space_changing_option_and_nothing_else() {
+        use acsr::prelude::*;
+
+        let dir = std::env::temp_dir().join(format!("versa-key-audit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            std::sync::Arc::new(cas::CasStore::open(&dir, cas::Mode::ReadWrite).unwrap());
+        let env = Env::new();
+        let p = act([(Res::new("cpu"), 1)], nil());
+        let base = Options::default().with_cas(store.clone());
+        let key = |opts: &Options, id_limit: usize| key_for(&env, &p, opts, id_limit);
+        let base_key = key(&base, 1000).expect("cacheable");
+
+        // Space-changing inputs: each flip must move the key.
+        let mut distinct = vec![base_key.clone()];
+        distinct.push(key(&base.clone().with_max_states(7), 1000).unwrap());
+        distinct.push({
+            let mut o = base.clone();
+            o.stop_at_first_deadlock = true;
+            key(&o, 1000).unwrap()
+        });
+        distinct.push(key(&base.clone().with_zones(true), 1000).unwrap());
+        distinct.push(key(&base.clone().with_cas_context("protocol=pcp"), 1000).unwrap());
+        distinct.push(key(&base, 999).unwrap()); // id ceiling
+        distinct.push(key_for(&env, &nil(), &base, 1000).unwrap()); // the term
+        let mut env2 = Env::new();
+        env2.declare("Extra", 0);
+        distinct.push(key_for(&env2, &p, &base, 1000).unwrap()); // the environment
+        for i in 0..distinct.len() {
+            for j in i + 1..distinct.len() {
+                assert_ne!(distinct[i], distinct[j], "inputs {i} and {j} collided");
+            }
+        }
+
+        // Performance knobs: none may move the key.
+        assert_eq!(key(&base.clone().with_threads(8), 1000).unwrap(), base_key);
+        assert_eq!(key(&base.clone().with_shards(32), 1000).unwrap(), base_key);
+        assert_eq!(key(&base.clone().with_memo(false), 1000).unwrap(), base_key);
+        assert_eq!(
+            key(&base.clone().with_memo_capacity(3), 1000).unwrap(),
+            base_key
+        );
+        assert_eq!(
+            key(
+                &base
+                    .clone()
+                    .with_store(std::sync::Arc::new(acsr::TermStore::new())),
+                1000
+            )
+            .unwrap(),
+            base_key
+        );
+        assert_eq!(
+            key(&base.clone().with_obs(obs::Recorder::enabled()), 1000).unwrap(),
+            base_key
+        );
+
+        // Non-cacheable configurations yield no key at all.
+        assert!(key(&Options::default(), 1000).is_none()); // no store
+        let mut lts = base.clone();
+        lts.collect_lts = true;
+        assert!(key(&lts, 1000).is_none());
+        let cancelled = crate::explore::CancelToken::new();
+        cancelled.cancel();
+        assert!(key(&base.clone().with_cancel(cancelled), 1000).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn decode_rejects_framing_problems() {

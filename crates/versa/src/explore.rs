@@ -193,6 +193,16 @@ pub struct Options {
     /// translation options). Two calls that differ only in this string
     /// never share artifacts.
     pub cas_context: String,
+    /// Delay-abstracted (zone-based) exploration: collapse maximal forced
+    /// runs — chains of states with exactly one prioritized successor —
+    /// into single weighted delay steps (see the `zones` module and
+    /// [`acsr::zone`]). Off by default. Verdicts, shortest counterexample
+    /// traces and deadlock counts are identical to the concrete engine;
+    /// explored-state counts on long-hyperperiod periodic models drop by
+    /// orders of magnitude. Ignored (the concrete engine runs) when
+    /// [`Options::collect_lts`] is also set — the zone graph is not the
+    /// concrete transition relation, so an LTS export must not come from it.
+    pub zones: bool,
 }
 
 impl Default for Options {
@@ -210,6 +220,7 @@ impl Default for Options {
             obs: obs::Recorder::disabled(),
             cas: None,
             cas_context: String::new(),
+            zones: false,
         }
     }
 }
@@ -367,6 +378,20 @@ impl Options {
     /// ```
     pub fn with_cas_context(mut self, context: impl Into<String>) -> Options {
         self.cas_context = context.into();
+        self
+    }
+
+    /// Switch delay-abstracted (zone-based) exploration on or off (see
+    /// [`Options::zones`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(versa::Options::default().with_zones(true).zones);
+    /// assert!(!versa::Options::default().zones);
+    /// ```
+    pub fn with_zones(mut self, zones: bool) -> Options {
+        self.zones = zones;
         self
     }
 }
@@ -533,6 +558,12 @@ pub struct Exploration {
     pub(crate) states: Vec<P>,
     /// Predecessor of each state in BFS order (`None` for the initial state).
     pub(crate) parents: Vec<Option<(StateId, Label)>>,
+    /// Zone mode only: the per-quantum `(label, state)` timeline of the
+    /// delay edge into each state, parallel to `parents` (`None` for unit
+    /// edges; the last entry's state equals the materialized target). The
+    /// concrete engine leaves this empty, making every trace query below
+    /// behave exactly as before.
+    pub(crate) zone_edges: Vec<Option<Vec<(Label, P)>>>,
     /// Deadlocked states (no outgoing prioritized transitions), in discovery
     /// order.
     pub deadlocks: Vec<StateId>,
@@ -629,20 +660,40 @@ impl Exploration {
     /// assert_eq!(ex.trace_to(dead).len(), 1);
     /// ```
     pub fn trace_to(&self, target: StateId) -> Trace {
-        let mut rev: Vec<(StateId, Label)> = Vec::new();
+        let mut path: Vec<StateId> = Vec::new();
         let mut cur = target;
-        while let Some((parent, label)) = &self.parents[cur.index()] {
-            rev.push((cur, label.clone()));
+        while self.parents[cur.index()].is_some() {
+            path.push(cur);
+            let (parent, _) = self.parents[cur.index()].as_ref().expect("just checked");
             cur = *parent;
         }
-        rev.reverse();
+        path.reverse();
+        // Zone mode: delay edges re-expand to their per-quantum timelines,
+        // with interior states appended to the trace's own state table (they
+        // were deliberately never materialized in `self.states`). Concrete
+        // mode has no zone edges and this is the plain parent walk.
+        let mut states = self.states.clone();
+        let mut steps: Vec<(Label, StateId)> = Vec::with_capacity(path.len());
+        for to in path {
+            match self.zone_edges.get(to.index()).and_then(|e| e.as_ref()) {
+                Some(edge) => {
+                    let (last, interior) = edge.split_last().expect("edges are non-empty");
+                    for (label, p) in interior {
+                        states.push(p.clone());
+                        steps.push((label.clone(), StateId((states.len() - 1) as u32)));
+                    }
+                    steps.push((last.0.clone(), to));
+                }
+                None => {
+                    let (_, label) = self.parents[to.index()].as_ref().expect("on path");
+                    steps.push((label.clone(), to));
+                }
+            }
+        }
         Trace {
             initial: StateId(0),
-            steps: rev
-                .into_iter()
-                .map(|(to, label)| (label, to))
-                .collect(),
-            states: self.states.clone(),
+            steps,
+            states,
         }
     }
 
@@ -703,7 +754,13 @@ impl Exploration {
         let mut depth = 0;
         let mut cur = id;
         while let Some((parent, _)) = &self.parents[cur.index()] {
-            depth += 1;
+            // A zone-mode delay edge counts its full per-quantum length, so
+            // depths agree with the concrete engine's step counts.
+            depth += self
+                .zone_edges
+                .get(cur.index())
+                .and_then(|e| e.as_ref())
+                .map_or(1, Vec::len);
             cur = *parent;
         }
         depth
@@ -888,6 +945,12 @@ fn expand_chunk(
 /// so tests can exercise the graceful-truncation path without interning
 /// four billion states.
 fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize) -> Exploration {
+    // Delay-abstracted mode: hand the whole search to the zone engine. An
+    // LTS request forces the concrete engine regardless — the zone graph's
+    // delay edges are not the concrete transition relation.
+    if opts.zones && !opts.collect_lts {
+        return crate::zones::explore_zones(env, initial, opts, id_limit.max(1).min(ID_LIMIT));
+    }
     let start = Instant::now();
     let id_limit = id_limit.max(1).min(ID_LIMIT);
 
@@ -1203,6 +1266,7 @@ fn explore_with_id_limit(env: &Env, initial: &P, opts: &Options, id_limit: usize
     Exploration {
         states: states.into_iter().map(Interned::into_term).collect(),
         parents,
+        zone_edges: Vec::new(),
         deadlocks,
         lts,
         stats,

@@ -265,6 +265,7 @@ pub fn explore_hashed(env: &Env, initial: &P, opts: &Options) -> Exploration {
     Exploration {
         states,
         parents,
+        zone_edges: Vec::new(),
         deadlocks,
         lts,
         stats,

@@ -45,6 +45,7 @@ pub mod hashed_engine;
 pub mod lts;
 pub mod trace;
 pub mod walk;
+mod zones;
 
 pub use explore::{explore, CancelToken, Exploration, Options, Stats, StateId};
 pub use hashed_engine::explore_hashed;

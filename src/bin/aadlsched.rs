@@ -23,6 +23,11 @@
 //!   --max-states <n>  state budget (verdict becomes "unknown" if exceeded)
 //!   --no-memo         disable successor memoization (escape hatch; verdicts
 //!                     are identical either way, only the wall time changes)
+//!   --zones           delay-zone exploration: collapse forced runs of
+//!                     quanta into single bulk steps (identical verdicts
+//!                     and traces, far fewer materialized states on models
+//!                     with long uncontended stretches; ignored with --dot,
+//!                     which needs the concrete per-quantum LTS)
 //!   --store <s>       persistent cross-run artifact store: a directory to
 //!                     consult before exploring and deposit verdicts into
 //!                     after, `readonly:<dir>` to consult without writing,
@@ -64,6 +69,7 @@ struct Args {
     shards: usize,
     max_states: Option<usize>,
     no_memo: bool,
+    zones: bool,
     store: Option<String>,
     print_acsr: bool,
     print_tree: bool,
@@ -78,7 +84,8 @@ fn usage() -> ExitCode {
         "usage: aadlsched <model.aadl> [RootSystem.impl] \
          [--quantum <ms>] [--protocol <none|pip|pcp>] [--compact] \
          [--exhaustive] [--threads <n>] [--shards <n>] \
-         [--max-states <n>] [--no-memo] [--store <dir|readonly:dir|off>] \
+         [--max-states <n>] [--no-memo] [--zones] \
+         [--store <dir|readonly:dir|off>] \
          [--tree] [--acsr] [--dot <file>] \
          [--metrics <file>] [--trace-events <file>] [--progress]\n\
          (omit RootSystem.impl to analyze the package's top-level system \
@@ -105,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 0,
         max_states: None,
         no_memo: false,
+        zones: false,
         store: None,
         print_acsr: false,
         print_tree: false,
@@ -154,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--no-memo" => args.no_memo = true,
+            "--zones" => args.zones = true,
             "--store" => {
                 args.store = Some(raw.next().ok_or("--store needs <dir|readonly:dir|off>")?)
             }
@@ -318,6 +327,7 @@ fn main() -> ExitCode {
         aopts.explore.max_states = max;
     }
     aopts.explore.memo = !args.no_memo;
+    aopts.explore.zones = args.zones;
     aopts.explore.collect_lts = args.dot.is_some();
     aopts.explore.obs = rec.clone();
     // The persistent artifact store. Off by default, so every store-less
@@ -382,9 +392,9 @@ fn main() -> ExitCode {
             // option string — never the wall clock, so identical invocations
             // produce identical ids.
             let canon_opts = format!(
-                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?};memo={}",
+                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?};memo={};zones={}",
                 args.quantum_ms, args.compact, args.exhaustive, args.threads, args.shards,
-                args.max_states, !args.no_memo
+                args.max_states, !args.no_memo, args.zones
             );
             let run_id = obs::run_id(&[source.as_bytes(), canon_opts.as_bytes()]);
             let mut report = obs::Report::new(&run_id, "aadlsched");

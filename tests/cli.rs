@@ -288,7 +288,7 @@ fn metrics_flag_writes_a_schema_versioned_report() {
     let report = std::fs::read_to_string(&report_path).unwrap();
     for key in [
         "\"schema\": \"aadlsched-metrics\"",
-        "\"version\": 4",
+        "\"version\": 5",
         "\"run_id\"",
         "\"tool\": \"aadlsched\"",
         "\"model\"",
@@ -414,6 +414,31 @@ fn validation_failure_names_the_property_and_its_source_span() {
     // source text: `<file>:29:<col>` — the connection property association.
     assert!(stderr.contains("Critical_Section_Execution_Time"), "{stderr}");
     assert!(stderr.contains("bad_cs.aadl:29:"), "{stderr}");
+}
+
+#[test]
+fn zones_flag_matches_concrete_on_the_longperiod_model() {
+    // The bundled long-hyperperiod model (co-prime periods 17/19/23/29 ms,
+    // hyperperiod 215441 quanta) is the zone-mode showcase: both engines
+    // agree on the verdict, and the pinned state counts document the >10×
+    // compression EXPERIMENTS.md Q13 measures. The counts are exact —
+    // both engines are deterministic — so any drift in either engine
+    // (or in the translation) shows up here.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/models/longperiod.aadl"
+    );
+    let concrete = aadlsched(&[path, "--exhaustive"]);
+    assert!(concrete.status.success(), "{concrete:?}");
+    let stdout = String::from_utf8_lossy(&concrete.stdout);
+    assert!(stdout.contains("VERDICT: schedulable"), "{stdout}");
+    assert!(stdout.contains("exploration: 306015 states"), "{stdout}");
+
+    let zones = aadlsched(&[path, "--exhaustive", "--zones"]);
+    assert!(zones.status.success(), "{zones:?}");
+    let stdout = String::from_utf8_lossy(&zones.stdout);
+    assert!(stdout.contains("VERDICT: schedulable"), "{stdout}");
+    assert!(stdout.contains("exploration: 25094 states"), "{stdout}");
 }
 
 #[test]

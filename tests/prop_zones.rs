@@ -1,0 +1,353 @@
+//! Property-based equivalence of delay-zone exploration and the concrete
+//! per-quantum engine: collapsing forced runs is a *traversal* change and
+//! must be invisible in every analysis result. For every generated task set
+//! the zone explorer ([`versa::explore`] with [`Options::with_zones`]) must
+//! agree with the concrete engine on the verdict, the number of deadlocked
+//! states (exhaustive mode), and the length of the shortest counterexample
+//! trace — zone traces re-expand to the per-quantum timeline, so their step
+//! counts are directly comparable. The *state table* is deliberately not
+//! compared: zone exploration materializes only zone endpoints, so a smaller
+//! table is the whole point (asserted as `zoned ≤ concrete`).
+//!
+//! Also here, because they share the generators:
+//!
+//! * the `acsr::stable` digest property for the zone primitives —
+//!   [`acsr::step_delay`]`(d)` must reach exactly the term that `d` unit
+//!   steps of the *bare* (un-interned, un-memoized) step relation reach;
+//! * forced-boundary unit tests — a delay zone ends exactly at the next
+//!   release instant, and no release (hence no preemption) can occur
+//!   strictly inside one.
+//!
+//! `det_prop!` runs 64 seeded cases per property; failures print a
+//! `DET_PROP_SEED` that reproduces the exact case.
+
+use std::sync::Arc;
+
+use aadl::instance::instantiate;
+use aadl::properties::ConcurrencyControlProtocol;
+use aadl2acsr::{translate, TranslateOptions};
+use acsr::{delay_bound, stable_digest, step_delay, MemoConfig, StepSession, TermStore};
+use det::det_prop;
+use det::DetRng;
+use sched_baselines::taskset::{
+    taskset_to_package, taskset_to_package_locking, uunifast, TaskSetSpec,
+};
+use sched_baselines::types::{Task, TaskSet};
+use versa::{explore, Exploration, Options};
+
+/// Bounded random specs: 2–4 tasks over a small period pool so the
+/// exhaustive exploration stays test-sized, utilizations spanning clearly
+/// schedulable to clearly overloaded (the overloaded ones deadlock,
+/// exercising the counterexample-length comparison).
+fn arb_spec(rng: &mut DetRng) -> TaskSetSpec {
+    TaskSetSpec {
+        n: rng.range_usize(2..5),
+        target_utilization: *rng.pick(&[0.4, 0.6, 0.8, 1.0]),
+        periods: vec![4, 5, 8, 10],
+        seed: rng.next_u64(),
+    }
+}
+
+/// Three HPF tasks with distinct priorities and one shared resource, as in
+/// `prop_locking.rs` — lock acquire/release steps are instantaneous, so
+/// these models exercise the zone boundary against the concurrency-control
+/// subsystem, not just dispatches.
+fn arb_locking_taskset(rng: &mut DetRng) -> TaskSet {
+    let orders: [[u32; 3]; 6] = [
+        [9, 5, 3],
+        [9, 3, 5],
+        [5, 9, 3],
+        [5, 3, 9],
+        [3, 9, 5],
+        [3, 5, 9],
+    ];
+    let prios = *rng.pick(&orders);
+    let pairs: [[usize; 2]; 3] = [[0, 1], [0, 2], [1, 2]];
+    let sharing = *rng.pick(&pairs);
+    let mut tasks: Vec<Task> = (0..3)
+        .map(|i| {
+            let period = *rng.pick(&[4u64, 5, 8, 10]);
+            let c = rng.range_u64(1..4).min(period);
+            let mut t = Task::new(0, period, c);
+            t.priority = Some(prios[i]);
+            t
+        })
+        .collect();
+    for &i in &sharing {
+        let len = rng.range_u64(1..=tasks[i].wcet);
+        tasks[i] = tasks[i].clone().with_cs(0, len);
+    }
+    TaskSet::new(tasks)
+}
+
+/// What zone exploration must preserve. `exhaustive` selects whether both
+/// runs enumerated every deadlock (then the counts must match exactly) or
+/// stopped at the first one (then only presence and trace length compare).
+fn assert_equivalent(concrete: &Exploration, zoned: &Exploration, exhaustive: bool, ctx: &str) {
+    assert_eq!(
+        concrete.deadlocks.is_empty(),
+        zoned.deadlocks.is_empty(),
+        "verdict: {ctx}"
+    );
+    if exhaustive {
+        // Deadlocked states have out-degree zero, so they are always zone
+        // endpoints and both engines materialize exactly the same set of
+        // deadlocked terms.
+        assert_eq!(
+            concrete.deadlocks.len(),
+            zoned.deadlocks.len(),
+            "deadlock count: {ctx}"
+        );
+    }
+    assert!(
+        zoned.num_states() <= concrete.num_states(),
+        "zone mode materialized more states ({} > {}): {ctx}",
+        zoned.num_states(),
+        concrete.num_states()
+    );
+    match (
+        concrete.first_deadlock_trace(),
+        zoned.first_deadlock_trace(),
+    ) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            // Zone traces are re-expanded to the per-quantum timeline, and
+            // the zone explorer orders its frontier by concrete depth, so
+            // the shortest counterexamples have identical length (ties may
+            // pick different, equally short paths).
+            assert_eq!(
+                a.steps.len(),
+                b.steps.len(),
+                "shortest-counterexample length: {ctx}"
+            );
+        }
+        (a, b) => panic!(
+            "trace presence differs (concrete: {}, zoned: {}): {ctx}",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+det_prop! {
+    fn zones_match_concrete_on_random_task_sets(spec in arb_spec) {
+        let ts = uunifast(&spec);
+        let pkg = taskset_to_package(&ts, "RMS");
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let tm = translate(&m, &TranslateOptions::default()).unwrap();
+        let concrete = explore(&tm.env, &tm.initial, &Options::default());
+        for threads in [1usize, 4] {
+            let zoned = explore(
+                &tm.env,
+                &tm.initial,
+                &Options::default().with_zones(true).with_threads(threads),
+            );
+            let ctx = format!("threads={threads} {ts:?}");
+            assert_equivalent(&concrete, &zoned, true, &ctx);
+        }
+    }
+
+    fn zones_match_concrete_in_verdict_mode(spec in arb_spec) {
+        // stop_at_first_deadlock: the zone explorer must surface the same
+        // first (shortest) counterexample the concrete engine finds.
+        let ts = uunifast(&spec);
+        let pkg = taskset_to_package(&ts, "RMS");
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let tm = translate(&m, &TranslateOptions::default()).unwrap();
+        let concrete = explore(&tm.env, &tm.initial, &Options::verdict());
+        for threads in [1usize, 4] {
+            let zoned = explore(
+                &tm.env,
+                &tm.initial,
+                &Options::verdict().with_zones(true).with_threads(threads),
+            );
+            let ctx = format!("verdict threads={threads} {ts:?}");
+            assert_equivalent(&concrete, &zoned, false, &ctx);
+        }
+    }
+
+    fn zones_match_concrete_under_locking_protocols(ts in arb_locking_taskset) {
+        // Lock acquires, releases and priority adjustments are forced
+        // instantaneous steps inside `forced_run` chains — the protocols
+        // must not perturb any verdict or counterexample length.
+        for ccp in [
+            ConcurrencyControlProtocol::NoneSpecified,
+            ConcurrencyControlProtocol::PriorityInheritance,
+            ConcurrencyControlProtocol::PriorityCeiling,
+        ] {
+            let pkg = taskset_to_package_locking(&ts, "HPF", ccp);
+            let m = instantiate(&pkg, "Top.impl").unwrap();
+            let tm = translate(&m, &TranslateOptions::default()).unwrap();
+            let concrete = explore(&tm.env, &tm.initial, &Options::default());
+            for threads in [1usize, 4] {
+                let zoned = explore(
+                    &tm.env,
+                    &tm.initial,
+                    &Options::default().with_zones(true).with_threads(threads),
+                );
+                let ctx = format!("ccp={ccp:?} threads={threads} {ts:?}");
+                assert_equivalent(&concrete, &zoned, true, &ctx);
+            }
+        }
+    }
+
+    fn bulk_delay_is_d_unit_steps(spec in arb_spec) {
+        // The `acsr::stable` digest property: wherever `delay_bound` finds a
+        // zone of width d along a concrete walk, `step_delay(d)` must land
+        // on exactly the term that d unit steps of the *bare* step relation
+        // (no interner, no memo) reach — same stable digest, same interned
+        // identity — and d must be maximal: one more quantum is refused.
+        let ts = uunifast(&spec);
+        let pkg = taskset_to_package(&ts, "RMS");
+        let m = instantiate(&pkg, "Top.impl").unwrap();
+        let tm = translate(&m, &TranslateOptions::default()).unwrap();
+        let session = StepSession::new(
+            &tm.env,
+            Arc::new(TermStore::new()),
+            MemoConfig::default(),
+        );
+        const CAP: u64 = 32;
+        let mut p = tm.initial.clone();
+        let mut zones_checked = 0u32;
+        for _ in 0..400 {
+            let t = session.intern(&p);
+            let d = delay_bound(&session, &t, CAP);
+            if d > 0 {
+                let mut q = p.clone();
+                for k in 0..d {
+                    let succs = acsr::prioritized_steps(&tm.env, &q);
+                    assert_eq!(
+                        succs.len(),
+                        1,
+                        "state {k} quanta into a width-{d} zone is not forced: {ts:?}"
+                    );
+                    assert!(
+                        succs[0].0.is_timed(),
+                        "non-timed step {k} quanta into a width-{d} zone: {ts:?}"
+                    );
+                    q = succs[0].1.clone();
+                }
+                let bulk = step_delay(&session, &t, d)
+                    .expect("delay_bound promised d forced timed quanta");
+                assert_eq!(
+                    stable_digest(&tm.env, &q),
+                    stable_digest(&tm.env, bulk.term()),
+                    "step_delay({d}) digest differs from {d} unit steps: {ts:?}"
+                );
+                assert_eq!(
+                    bulk.id(),
+                    session.intern(&q).id(),
+                    "step_delay({d}) interned a different term: {ts:?}"
+                );
+                if d < CAP {
+                    assert!(
+                        step_delay(&session, &t, d + 1).is_none(),
+                        "delay_bound said {d} but step_delay({}) succeeded: {ts:?}",
+                        d + 1
+                    );
+                }
+                zones_checked += 1;
+            }
+            let mut succs = acsr::prioritized_steps(&tm.env, &p);
+            if succs.is_empty() {
+                break;
+            }
+            p = succs.swap_remove(0).1;
+        }
+        assert!(zones_checked > 0, "walk never entered a delay zone: {ts:?}");
+    }
+}
+
+/// Walk a model's deterministic prioritized-step sequence, jumping through
+/// delay zones via [`step_delay`], until a term repeats (the model is
+/// periodic). Returns `(zones, singleton_timed)` where `zones` is each
+/// zone's `(entry_time, width)` in quanta since the walk began.
+fn walk_zones(ts: &TaskSet) -> (Vec<(u64, u64)>, u64) {
+    let pkg = taskset_to_package(ts, "RMS");
+    let m = instantiate(&pkg, "Top.impl").unwrap();
+    let tm = translate(&m, &TranslateOptions::default()).unwrap();
+    let session = StepSession::new(&tm.env, Arc::new(TermStore::new()), MemoConfig::default());
+    let mut t = session.intern(&tm.initial);
+    let mut seen = std::collections::HashSet::new();
+    let mut now = 0u64;
+    let mut zones = Vec::new();
+    let mut singleton_timed = 0u64;
+    while seen.insert(t.id()) {
+        let d = delay_bound(&session, &t, u64::MAX);
+        if d > 0 {
+            assert!(
+                step_delay(&session, &t, d + 1).is_none(),
+                "zone at t={now} is not maximal"
+            );
+            zones.push((now, d));
+            now += d;
+            t = step_delay(&session, &t, d).unwrap();
+            continue;
+        }
+        let mut succs = acsr::prioritized_steps(&tm.env, t.term());
+        if succs.is_empty() {
+            break;
+        }
+        // At a simultaneous-release instant the dispatch τs interleave;
+        // any one path through the diamond serves the boundary check.
+        let (label, target) = succs.swap_remove(0);
+        if label.is_timed() {
+            singleton_timed += 1;
+            now += 1;
+        }
+        t = session.intern(&target);
+    }
+    (zones, singleton_timed)
+}
+
+/// A zone ends exactly at the release boundary: one task with period 5 and
+/// wcet 1 spends all five timed quanta of its period in forced runs, so the
+/// zone widths collected over a cycle sum to a whole number of periods —
+/// nothing is lost at the boundary, nothing leaks past it.
+#[test]
+fn delay_zones_cover_whole_periods_of_an_idle_task() {
+    let ts = TaskSet::new(vec![Task::new(0, 5, 1)]);
+    let (zones, singleton_timed) = walk_zones(&ts);
+    assert!(!zones.is_empty(), "single-task model produced no zones");
+    assert_eq!(singleton_timed, 0, "every timed quantum should be forced");
+    let total: u64 = zones.iter().map(|&(_, d)| d).sum();
+    assert!(total > 0 && total % 5 == 0, "zones cover {total} quanta");
+    // The period's timeline is dispatch-τ, one compute quantum, completion-τ,
+    // four idle quanta, release-τ — so the zones alternate between the lone
+    // compute quantum (ended by the instantaneous completion) and the idle
+    // stretch, which runs up to *exactly* the release boundary: a width of 5
+    // would swallow the dispatch, a width of 3 would leave a forced quantum
+    // on the floor.
+    for &(entry, d) in &zones {
+        match entry % 5 {
+            0 => assert_eq!(d, 1, "compute zone at t={entry} has width {d}"),
+            1 => {
+                assert_eq!(d, 4, "idle zone at t={entry} has width {d}");
+                assert_eq!((entry + d) % 5, 0, "idle zone misses the release");
+            }
+            _ => panic!("unexpected zone entry at t={entry} (width {d})"),
+        }
+    }
+}
+
+/// Preemption mid-zone is impossible by construction: with T1 = (period 4,
+/// wcet 2) and T2 = (period 8, wcet 3), T1's release at t = 4 preempts T2
+/// mid-job. No release instant (multiple of 4 or 8) may fall strictly
+/// inside any zone — a release is an instantaneous prioritized alternative,
+/// which ends the forced run *at* that instant, never past it.
+#[test]
+fn releases_never_fall_strictly_inside_a_zone() {
+    let ts = TaskSet::new(vec![Task::new(0, 4, 2), Task::new(0, 8, 3)]);
+    let (zones, _) = walk_zones(&ts);
+    assert!(!zones.is_empty(), "preemption model produced no zones");
+    for &(entry, d) in &zones {
+        for period in [4u64, 8] {
+            let r = (entry / period + 1) * period;
+            assert!(
+                r >= entry + d,
+                "release at t={r} falls strictly inside zone [{entry}, {})",
+                entry + d
+            );
+        }
+    }
+}

@@ -18,14 +18,20 @@
 #      (the last run also refreshes BENCH_exploration.json, which is
 #      committed — deliberately after the store stage, so the committed
 #      report's `cas` section reflects a fresh cold/warm A/B)
-#   5. the daemon smoke: start `aadlschedd`, analyze all four bundled
+#   5. the zone smoke: every bundled model analyzed with `--exhaustive`
+#      and with `--exhaustive --zones` — exit codes and verdict lines
+#      must be byte-identical (delay-zone exploration is a traversal
+#      change, never a verdict change), and the long-hyperperiod model
+#      must demonstrably collapse quanta (`zone.quanta_collapsed` >= 1
+#      in its `--metrics` report)
+#   6. the daemon smoke: start `aadlschedd`, analyze all four bundled
 #      models through `aadlschedc` and diff the exit codes against the
 #      `aadlsched` CLI (the two front ends must agree verdict-for-verdict),
 #      check that a duplicate request is served from the result cache,
 #      assert the live `stats` snapshot parses with monotone request_wall
 #      quantiles, then drain gracefully (daemon must exit 0 and write a
 #      fleet report carrying the flight-recorder window)
-#   6. the hermetic-build audit (path-only deps, pinned dependency graph,
+#   7. the hermetic-build audit (path-only deps, pinned dependency graph,
 #      obs dependency-free, `cargo doc` with warnings denied — see
 #      tools/check_hermetic.sh)
 #
@@ -97,6 +103,41 @@ diff -u target/ci/verdicts-t1.txt target/ci/verdicts-t4.txt
 echo "verdicts identical across worker counts"
 diff -u target/ci/verdicts-t1.txt target/ci/verdicts-nomemo.txt
 echo "verdicts identical with the successor memo disabled"
+
+echo "== zone smoke: --zones verdicts must match the concrete engine =="
+# Every bundled model, both engines: exit codes and verdict lines must be
+# byte-identical (state counts intentionally differ — zone mode
+# materializes fewer, which the longperiod run below proves is actually
+# happening via the zone.quanta_collapsed counter).
+for model in cruise_control flight_control inversion overloaded longperiod; do
+  zone_flags="--exhaustive --zones"
+  if [ "$model" = longperiod ]; then
+    zone_flags="$zone_flags --metrics target/ci/zones-metrics.json"
+  fi
+  concrete_code=0
+  target/release/aadlsched "examples/models/$model.aadl" --exhaustive \
+    > target/ci/zone-concrete.txt || concrete_code=$?
+  zones_code=0
+  target/release/aadlsched "examples/models/$model.aadl" $zone_flags \
+    > target/ci/zone-zoned.txt || zones_code=$?
+  if [ "$concrete_code" -ne "$zones_code" ]; then
+    echo "zone smoke: $model: concrete exit $concrete_code != zones exit $zones_code"
+    exit 1
+  fi
+  if ! diff -u <(extract_verdicts < target/ci/zone-concrete.txt) \
+               <(extract_verdicts < target/ci/zone-zoned.txt); then
+    echo "zone smoke: $model: verdict lines differ between engines"
+    exit 1
+  fi
+  echo "zone smoke: $model: verdicts agree (exit $concrete_code)"
+done
+collapsed="$(grep -o '"zone.quanta_collapsed": [0-9]*' target/ci/zones-metrics.json \
+  | grep -o '[0-9]*$')"
+if [ "${collapsed:-0}" -lt 1 ]; then
+  echo "zone smoke: longperiod collapsed no quanta (zone.quanta_collapsed=${collapsed:-absent})"
+  exit 1
+fi
+echo "zone smoke: longperiod collapsed $collapsed quanta into delay steps"
 
 echo "== daemon smoke: aadlschedd verdicts must match the CLI =="
 # Stage 1 built the workspace binaries; run them directly so the smoke
