@@ -61,12 +61,15 @@
 //! assert_eq!(steps.len(), 1); // only the first computation step is offered
 //! ```
 
+pub mod advance;
 pub mod env;
 pub mod expr;
 pub mod hashed;
+pub mod skeleton;
 pub mod label;
 pub mod pretty;
 pub mod prio;
+pub mod runner;
 pub mod stable;
 pub mod step;
 pub mod store;
@@ -74,11 +77,13 @@ pub mod symbol;
 pub mod term;
 pub mod zone;
 
+pub use advance::{Advance, AdvanceCache, AdvanceStats};
 pub use env::{DefId, Env, ProcDef, TagId};
 pub use expr::{BExpr, EvalError, Expr};
 pub use hashed::{structural_hash, HashedP};
 pub use label::{Dir, GAction, Label};
 pub use prio::{preempts, prioritize, prioritized_steps};
+pub use runner::{forced_run_closed, RunEnd, RunOutcome, RunSeg};
 pub use stable::{env_fingerprint, stable_digest};
 pub use step::{steps, MemoConfig, MemoStats, StepSession};
 pub use store::{Interned, TermId, TermStore};

@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use crate::env::TagId;
 use crate::expr::BExpr;
 use crate::hashed::Fnv1a;
+use crate::skeleton::{self, Factored};
 use crate::symbol::{Res, Symbol};
 use crate::term::{ActionT, EventT, Proc, TimeBound, P};
 
@@ -177,6 +178,9 @@ pub struct TermStore {
     /// ever inserted, and the entry shards keep every canonical `Arc` alive,
     /// so an address can never be recycled while it is a key.
     ptr_shards: Vec<Mutex<HashMap<usize, (TermId, u64)>>>,
+    /// `TermId::raw` → factored shape, memoized on first demand. Shapes live
+    /// with the store so their lifetime matches the ids that key them.
+    shape_shards: Vec<Mutex<HashMap<u32, Arc<Factored>>>>,
     count: AtomicUsize,
     digest_mask: u64,
 }
@@ -215,9 +219,55 @@ impl TermStore {
         TermStore {
             entry_shards: (0..SHARDS).map(|_| Mutex::new(EntryShard::default())).collect(),
             ptr_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shape_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             count: AtomicUsize::new(0),
             digest_mask: mask,
         }
+    }
+
+    /// The factored shape of `t` ([`skeleton::factor`]), memoized per
+    /// [`TermId`]. The closed-form delay advance factors every state it
+    /// touches; states revisited across zone edges hit the memo.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use acsr::prelude::*;
+    /// use acsr::store::TermStore;
+    ///
+    /// let store = TermStore::new();
+    /// let t = store.intern(&act([(Res::new("cpu"), 1)], nil()));
+    /// let f = store.shape_of(&t);
+    /// assert_eq!(f.values, vec![1]); // one chain hole of length 1
+    /// assert!(std::sync::Arc::ptr_eq(&f, &store.shape_of(&t))); // memoized
+    /// ```
+    pub fn shape_of(&self, t: &Interned) -> Arc<Factored> {
+        let raw = t.id().raw();
+        let shard = &self.shape_shards[(raw as usize) & (SHARDS - 1)];
+        if let Some(f) = shard
+            .lock()
+            .expect("term store shape shard poisoned")
+            .get(&raw)
+        {
+            return f.clone();
+        }
+        let f = Arc::new(skeleton::factor(t.term()));
+        self.note_shape(t, f.clone());
+        f
+    }
+
+    /// Record a shape already known for `t` (because `t` was produced by
+    /// [`skeleton::rebuild`] from a factored template), sparing the factor
+    /// walk on the next [`TermStore::shape_of`]. A racing insert wins
+    /// harmlessly: both sides computed the same factorization.
+    pub fn note_shape(&self, t: &Interned, f: Arc<Factored>) {
+        let raw = t.id().raw();
+        let shard = &self.shape_shards[(raw as usize) & (SHARDS - 1)];
+        shard
+            .lock()
+            .expect("term store shape shard poisoned")
+            .entry(raw)
+            .or_insert(f);
     }
 
     /// Number of structurally-unique subterms interned so far.

@@ -8,11 +8,12 @@
 //! parallel-scaling sweep (Q8, on a smaller model), the instrumented
 //! exploration report (Q6, which refreshes `BENCH_exploration.json`) and the
 //! concurrency-control verdicts (Q7) — so CI can exercise the harness
-//! end-to-end without the full sweeps. The store A/B (Q12) and the
-//! delay-zone A/B (Q13) run in every mode: both feed committed sections of
-//! `BENCH_exploration.json`, which must not depend on how the harness was
-//! invoked. Q13 dominates the smoke wall clock (best-of-3 exhaustive runs
-//! of the long-hyperperiod model, around a minute).
+//! end-to-end without the full sweeps. The store A/B (Q12), the delay-zone
+//! A/B (Q13) and the advance-engine A/B (Q14) run in every mode: all three
+//! feed committed sections of `BENCH_exploration.json`, which must not
+//! depend on how the harness was invoked. Q13 and Q14 dominate the smoke
+//! wall clock (both run best-of-3 exhaustive explorations of the
+//! long-hyperperiod model, a couple of minutes together).
 //!
 //! `--threads <n>` sets the exploration worker count for every analysis the
 //! harness runs (the Q8 sweep ignores it — it sweeps its own grid). The
@@ -67,7 +68,16 @@ fn main() {
     let interning = q9_interning(smoke);
     let cas_section = q12_store_warm_sweep(store_dir.as_deref());
     let zones_section = q13_zones(threads, memo);
-    q6_exploration_report(threads, memo, scaling, interning, cas_section, zones_section);
+    let zone_advance_section = q14_zone_advance(threads, memo);
+    q6_exploration_report(
+        threads,
+        memo,
+        scaling,
+        interning,
+        cas_section,
+        zones_section,
+        zone_advance_section,
+    );
     q7_locking_protocols(threads, memo);
     if smoke {
         println!("\nharness: smoke mode (skipped Q1/Q2/Q2b/Q3/Q5 sweeps)");
@@ -734,6 +744,134 @@ fn q13_zones(threads: usize, memo: bool) -> obs::Json {
     ])
 }
 
+/// The closed-form advance A/B behind `EXPERIMENTS.md` Q14 and the
+/// `zone_advance` section of `BENCH_exploration.json`: every bundled
+/// `.aadl` model explored three ways — concrete quantum stepping, replay
+/// zones (the PR 9 path: zone *states* collapse, but every quantum is
+/// still re-derived) and closed-form zones (spans and unit macros served
+/// arithmetically) — best-of-3 wall clocks each. The verdicts and deadlock
+/// counts must agree across all three engines on every model, the
+/// closed-form run must report at least one `zone.closed_form_advances`,
+/// and closed-form must not be slower than replay on `longperiod.aadl`
+/// (the long-hyperperiod model the closed-form path targets) — the
+/// harness aborts otherwise, so the committed report can never carry a
+/// regressed ratio. State counts are deterministic; only wall clocks are
+/// noisy (min-of-reps, same policy as Q8/Q9/Q13).
+fn q14_zone_advance(threads: usize, memo: bool) -> obs::Json {
+    header("Q14 — closed-form vs replay vs concrete (all bundled models)");
+    let models = [
+        "cruise_control",
+        "flight_control",
+        "inversion",
+        "longperiod",
+        "overloaded",
+        "producer_handler",
+    ];
+    let reps = 3u32;
+    println!(
+        "{:>17} {:>12} {:>13} {:>12} {:>12} {:>8}",
+        "model", "schedulable", "concrete", "replay", "closed", "ratio"
+    );
+    let mut rows = Vec::new();
+    for name in models {
+        let path = model_file(&format!("{name}.aadl"));
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let pkg = parse_package(&source).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+        let root = pkg.default_root().unwrap_or_else(|e| panic!("root {name}: {e}"));
+        let m = instantiate(&pkg, &root).unwrap_or_else(|e| panic!("instantiate {name}: {e}"));
+        let tm = translate(&m, &TranslateOptions::default()).unwrap();
+
+        type Best = (std::time::Duration, versa::Exploration, u64);
+        let run_once = |zones: Option<versa::ZoneAdvance>, best: &mut Option<Best>| {
+            let rec = obs::Recorder::enabled();
+            let mut opts = versa::Options::default()
+                .with_threads(threads)
+                .with_memo(memo)
+                .with_obs(rec.clone());
+            if let Some(advance) = zones {
+                opts = opts.with_zones(true).with_zone_advance(advance);
+            }
+            let t0 = Instant::now();
+            let ex = versa::explore(&tm.env, &tm.initial, &opts);
+            let wall = t0.elapsed();
+            let run = rec.finish();
+            let closed_advances = run_counter(&run, "zone.closed_form_advances");
+            if best.as_ref().is_none_or(|(w, ..)| wall < *w) {
+                *best = Some((wall, ex, closed_advances));
+            }
+        };
+
+        // Interleave the reps (closed, replay, concrete, repeat) so every
+        // engine samples the same allocator and cache conditions — a
+        // sequential block per engine lets heap state drift between the
+        // A and the B, which skews the ratio by tens of percent.
+        let (mut closed, mut replay, mut concrete) = (None, None, None);
+        for _ in 0..reps {
+            run_once(Some(versa::ZoneAdvance::Closed), &mut closed);
+            run_once(Some(versa::ZoneAdvance::Replay), &mut replay);
+            run_once(None, &mut concrete);
+        }
+        let (cw, cex, _) = concrete.unwrap();
+        let (rw, rex, _) = replay.unwrap();
+        let (zw, zex, closed_advances) = closed.unwrap();
+        let schedulable = cex.deadlocks.is_empty();
+        let ratio = rw.as_secs_f64() / zw.as_secs_f64().max(1e-9);
+        println!(
+            "{:>17} {:>12} {:>13?} {:>12?} {:>12?} {:>7.2}x",
+            name, schedulable, cw, rw, zw, ratio
+        );
+        for (engine, ex) in [("replay", &rex), ("closed", &zex)] {
+            assert_eq!(
+                schedulable,
+                ex.deadlocks.is_empty(),
+                "{engine} zones changed the {name} verdict"
+            );
+            assert_eq!(
+                cex.deadlocks.len(),
+                ex.deadlocks.len(),
+                "{engine} zones changed the {name} deadlock count"
+            );
+        }
+        if name == "longperiod" {
+            assert!(
+                closed_advances >= 1,
+                "closed-form path never fired on longperiod"
+            );
+            assert!(
+                zw <= rw,
+                "closed-form advance slower than replay on longperiod: {zw:?} vs {rw:?}"
+            );
+        }
+        let engine = |wall: std::time::Duration, ex: &versa::Exploration| {
+            obs::Json::obj([
+                ("schedulable", obs::Json::Bool(ex.deadlocks.is_empty())),
+                ("states", obs::Json::from(ex.num_states())),
+                ("wall_ns", obs::Json::from(wall.as_nanos() as u64)),
+            ])
+        };
+        rows.push(obs::Json::obj([
+            ("model", obs::Json::from(name)),
+            ("concrete", engine(cw, &cex)),
+            ("replay", engine(rw, &rex)),
+            (
+                "closed",
+                obs::Json::obj([
+                    ("schedulable", obs::Json::Bool(zex.deadlocks.is_empty())),
+                    ("states", obs::Json::from(zex.num_states())),
+                    ("wall_ns", obs::Json::from(zw.as_nanos() as u64)),
+                    ("closed_form_advances", obs::Json::from(closed_advances)),
+                ]),
+            ),
+        ]));
+    }
+    obs::Json::obj([
+        ("reps", obs::Json::from(reps as u64)),
+        ("policy", obs::Json::from("min_wall_of_reps")),
+        ("models", obs::Json::Arr(rows)),
+    ])
+}
+
 fn q6_exploration_report(
     threads: usize,
     memo: bool,
@@ -741,6 +879,7 @@ fn q6_exploration_report(
     interning: obs::Json,
     cas_section: obs::Json,
     zones_section: obs::Json,
+    zone_advance_section: obs::Json,
 ) {
     header("Q6 — instrumented exploration report (BENCH_exploration.json)");
     let rec = obs::Recorder::enabled();
@@ -803,6 +942,7 @@ fn q6_exploration_report(
     report.set("interning", interning);
     report.set("cas", cas_section);
     report.set("zones", zones_section);
+    report.set("zone_advance", zone_advance_section);
     report.attach_run(&rec.finish());
     match std::fs::write("BENCH_exploration.json", report.to_json()) {
         Ok(()) => println!("report written to BENCH_exploration.json (run_id {run_id})"),

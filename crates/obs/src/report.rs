@@ -40,7 +40,16 @@ pub const SCHEMA: &str = "aadlsched-metrics";
 ///   `config` section gained `zones`, and `BENCH_exploration.json` gained
 ///   the `zones` A/B section. Concrete-mode runs emit none of these, so
 ///   their reports are shaped exactly as in v4.
-pub const SCHEMA_VERSION: u64 = 5;
+/// * v6 — closed-form delay advance: zone-mode runs under the default
+///   `closed` strategy record `zone.closed_form_advances` /
+///   `zone.replay_fallbacks` / `zone.shapes_derived` counters and a
+///   `zone.shape_cache` gauge, the CLI's canonical option string (hashed
+///   into the run id) gained `zone_cap` and `zone_advance`, the daemon's
+///   fleet-report `config` section gained the same two fields, and
+///   `BENCH_exploration.json` gained the `zone_advance` closed-vs-replay
+///   section. Replay-mode and concrete-mode runs emit none of the new
+///   instruments.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Deterministic run identifier: FNV-1a (64-bit) over the given byte slices,
 /// rendered as 16 lowercase hex digits. Feed it the model source and the
@@ -81,7 +90,7 @@ pub fn run_id(parts: &[&[u8]]) -> String {
 /// r.set("model", Json::obj([("file", Json::from("m.aadl"))]));
 /// let text = r.to_json();
 /// assert!(text.starts_with("{\n  \"schema\": \"aadlsched-metrics\""));
-/// assert!(text.contains("\"version\": 5"));
+/// assert!(text.contains("\"version\": 6"));
 /// ```
 #[derive(Clone, Debug)]
 pub struct Report {

@@ -103,6 +103,13 @@ pub struct Config {
     /// concrete daemon never share coalesced jobs or cached results for
     /// the same request line.
     pub zones: bool,
+    /// Daemon-default per-edge zone step cap (`--zone-cap`; `None` = engine
+    /// default). Folded into requests before the job digest, like `zones`.
+    pub zone_cap: Option<u64>,
+    /// Daemon-default zone advance strategy (`--zone-advance`, `"closed"`
+    /// or `"replay"`; `None` = engine default, closed). Folded into
+    /// requests before the job digest, like `zones`.
+    pub zone_advance: Option<String>,
 }
 
 impl Default for Config {
@@ -125,6 +132,8 @@ impl Default for Config {
             store: None,
             store_readonly: false,
             zones: false,
+            zone_cap: None,
+            zone_advance: None,
         }
     }
 }
@@ -165,6 +174,17 @@ impl Config {
             ),
             ("store_readonly", Json::Bool(self.store_readonly)),
             ("zones", Json::Bool(self.zones)),
+            (
+                "zone_cap",
+                self.zone_cap.map(Json::UInt).unwrap_or(Json::Null),
+            ),
+            (
+                "zone_advance",
+                self.zone_advance
+                    .as_deref()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
         ])
     }
 }
@@ -715,6 +735,12 @@ fn handle_analyze(
     if d.cfg.zones {
         options.zones = true;
     }
+    if options.zone_cap.is_none() {
+        options.zone_cap = d.cfg.zone_cap;
+    }
+    if options.zone_advance.is_none() {
+        options.zone_advance = d.cfg.zone_advance.clone();
+    }
     // Open the root span first, so even rejected requests leave a tree.
     let mut trace = ctx.map(|(req, recv_ns, parsed_ns)| {
         let root = d.rec.span_at("served.request", recv_ns);
@@ -1060,6 +1086,12 @@ fn analyze_source(
     aopts.explore.threads = o.threads.max(1);
     aopts.explore.memo = o.memo;
     aopts.explore.zones = o.zones;
+    if let Some(cap) = o.zone_cap {
+        aopts.explore.zone_cap = cap as usize;
+    }
+    if o.zone_advance.as_deref() == Some("replay") {
+        aopts.explore.zone_advance = versa::ZoneAdvance::Replay;
+    }
     aopts.explore.max_states = o.max_states.unwrap_or(usize::MAX).min(d.cfg.max_states);
     aopts.explore.cancel = cancel.clone();
     aopts.explore.obs = rec.clone();

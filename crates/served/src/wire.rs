@@ -52,6 +52,16 @@ pub struct AnalyzeOptions {
     /// the flag still participates in the job digest, so zone and concrete
     /// requests never coalesce or share a cached result.
     pub zones: bool,
+    /// Per-edge step cap in zone mode (`--zone-cap` on the CLI; `None` = the
+    /// engine default, 4096). Never changes verdicts, only the granularity
+    /// of delay edges — but it participates in the job digest like every
+    /// other option.
+    pub zone_cap: Option<u64>,
+    /// Zone advance strategy (`--zone-advance` on the CLI): `"closed"` (the
+    /// default) advances forced runs through cached per-shape delay
+    /// derivatives, `"replay"` re-derives every quantum. Verdicts and traces
+    /// are identical; the switch exists for honest A/B timing.
+    pub zone_advance: Option<String>,
 }
 
 impl Default for AnalyzeOptions {
@@ -67,6 +77,8 @@ impl Default for AnalyzeOptions {
             memo: true,
             timeout_ms: None,
             zones: false,
+            zone_cap: None,
+            zone_advance: None,
         }
     }
 }
@@ -79,7 +91,7 @@ impl AnalyzeOptions {
     pub fn canonical(&self) -> String {
         format!(
             "root={:?};quantum_ms={:?};protocol={:?};compact={};exhaustive={};threads={};\
-             max_states={:?};memo={};timeout_ms={:?};zones={}",
+             max_states={:?};memo={};timeout_ms={:?};zones={};zone_cap={:?};zone_advance={:?}",
             self.root,
             self.quantum_ms,
             self.protocol,
@@ -90,6 +102,8 @@ impl AnalyzeOptions {
             self.memo,
             self.timeout_ms,
             self.zones,
+            self.zone_cap,
+            self.zone_advance,
         )
     }
 }
@@ -265,6 +279,22 @@ fn parse_options(v: Option<&Json>) -> Result<AnalyzeOptions, String> {
                 o.timeout_ms = Some(val.as_u64().ok_or("options.timeout_ms must be an integer")?)
             }
             "zones" => o.zones = bool_field(val, "options.zones")?,
+            "zone_cap" => {
+                let cap = val.as_u64().ok_or("options.zone_cap must be an integer")?;
+                if cap == 0 {
+                    return Err("options.zone_cap must be at least 1".into());
+                }
+                o.zone_cap = Some(cap);
+            }
+            "zone_advance" => {
+                let mode = str_field(val, "options.zone_advance")?;
+                if mode != "closed" && mode != "replay" {
+                    return Err(format!(
+                        "options.zone_advance must be \"closed\" or \"replay\", got `{mode}`"
+                    ));
+                }
+                o.zone_advance = Some(mode);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -494,6 +524,14 @@ mod tests {
         let mut z = AnalyzeOptions::default();
         z.zones = true;
         assert_ne!(job_digest("src", &a), job_digest("src", &z));
+        // The zone knobs participate too: a capped or replay-mode zone run
+        // must never share a closed-mode result.
+        let mut zc = z.clone();
+        zc.zone_cap = Some(64);
+        assert_ne!(job_digest("src", &z), job_digest("src", &zc));
+        let mut za = z.clone();
+        za.zone_advance = Some("replay".into());
+        assert_ne!(job_digest("src", &z), job_digest("src", &za));
         assert_ne!(job_digest("src", &a), job_digest("other", &a));
     }
 

@@ -74,16 +74,34 @@ pub(crate) fn key_for(env: &Env, initial: &P, opts: &Options, id_limit: usize) -
     }
     let term = acsr::stable_digest(env, initial);
     let fp = acsr::env_fingerprint(env);
-    Some(cas::key(&[
+    // Zone-only knobs join the key only in zone mode, so every concrete-mode
+    // key stays byte-identical to what earlier releases derived.
+    let term_bytes = term.to_le_bytes();
+    let fp_bytes = fp.to_le_bytes();
+    let max_states = (opts.max_states.min(u64::MAX as usize) as u64).to_le_bytes();
+    let first = [opts.stop_at_first_deadlock as u8];
+    let ids = (id_limit.min(u64::MAX as usize) as u64).to_le_bytes();
+    let zones = [opts.zones as u8];
+    let zone_cap = (opts.zone_cap.min(u64::MAX as usize) as u64).to_le_bytes();
+    let zone_advance = [match opts.zone_advance {
+        crate::explore::ZoneAdvance::Closed => 0u8,
+        crate::explore::ZoneAdvance::Replay => 1u8,
+    }];
+    let mut parts: Vec<&[u8]> = vec![
         b"versa.exploration.v1",
-        &term.to_le_bytes(),
-        &fp.to_le_bytes(),
+        &term_bytes,
+        &fp_bytes,
         opts.cas_context.as_bytes(),
-        &(opts.max_states.min(u64::MAX as usize) as u64).to_le_bytes(),
-        &[opts.stop_at_first_deadlock as u8],
-        &(id_limit.min(u64::MAX as usize) as u64).to_le_bytes(),
-        &[opts.zones as u8],
-    ]))
+        &max_states,
+        &first,
+        &ids,
+        &zones,
+    ];
+    if opts.zones {
+        parts.push(&zone_cap);
+        parts.push(&zone_advance);
+    }
+    Some(cas::key(&parts))
 }
 
 /// A decoded artifact.
@@ -319,6 +337,17 @@ mod tests {
             key(&o, 1000).unwrap()
         });
         distinct.push(key(&base.clone().with_zones(true), 1000).unwrap());
+        distinct.push(key(&base.clone().with_zones(true).with_zone_cap(7), 1000).unwrap());
+        distinct.push(
+            key(
+                &base
+                    .clone()
+                    .with_zones(true)
+                    .with_zone_advance(crate::explore::ZoneAdvance::Replay),
+                1000,
+            )
+            .unwrap(),
+        );
         distinct.push(key(&base.clone().with_cas_context("protocol=pcp"), 1000).unwrap());
         distinct.push(key(&base, 999).unwrap()); // id ceiling
         distinct.push(key_for(&env, &nil(), &base, 1000).unwrap()); // the term
@@ -331,7 +360,20 @@ mod tests {
             }
         }
 
-        // Performance knobs: none may move the key.
+        // Performance knobs: none may move the key. Zone-only knobs are
+        // inert while the zones flag is off, keeping historical
+        // concrete-mode keys addressable.
+        assert_eq!(key(&base.clone().with_zone_cap(7), 1000).unwrap(), base_key);
+        assert_eq!(
+            key(
+                &base
+                    .clone()
+                    .with_zone_advance(crate::explore::ZoneAdvance::Replay),
+                1000
+            )
+            .unwrap(),
+            base_key
+        );
         assert_eq!(key(&base.clone().with_threads(8), 1000).unwrap(), base_key);
         assert_eq!(key(&base.clone().with_shards(32), 1000).unwrap(), base_key);
         assert_eq!(key(&base.clone().with_memo(false), 1000).unwrap(), base_key);

@@ -203,6 +203,43 @@ pub struct Options {
     /// [`Options::collect_lts`] is also set — the zone graph is not the
     /// concrete transition relation, so an LTS export must not come from it.
     pub zones: bool,
+    /// Zone mode only: per-quantum steps a single delay edge may span.
+    /// Longer forced runs become several chained edges — the cap bounds the
+    /// work between two cancellation polls and the size of any one edge's
+    /// stored timeline, and doubles as the cycle horizon for closed idle
+    /// loops. Any value changes only edge granularity, never verdicts,
+    /// deadlock sets or trace timelines. `0` is treated as `1`.
+    pub zone_cap: usize,
+    /// Zone mode only: how delay edges advance time (see [`ZoneAdvance`]).
+    pub zone_advance: ZoneAdvance,
+}
+
+/// How the zone engine advances time along a forced run.
+///
+/// Both strategies produce identical verdicts, deadlock sets and
+/// counterexample timelines; they differ only in how much per-quantum work
+/// the advance costs (and, for pathological cyclic runs, in edge
+/// granularity). `--zone-advance` exposes the choice for honest A/B
+/// measurement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ZoneAdvance {
+    /// Closed-form: factor states into shape × time vector, cache per-shape
+    /// delay derivatives, and advance verified spans as vector arithmetic
+    /// (see [`acsr::advance`]). Falls back to replay for non-linear or
+    /// not-yet-learned shapes. The default.
+    Closed,
+    /// Replay every quantum through the memoized step relation
+    /// ([`acsr::zone::forced_run`] — the PR 9 behaviour).
+    Replay,
+}
+
+impl std::fmt::Display for ZoneAdvance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ZoneAdvance::Closed => "closed",
+            ZoneAdvance::Replay => "replay",
+        })
+    }
 }
 
 impl Default for Options {
@@ -221,6 +258,8 @@ impl Default for Options {
             cas: None,
             cas_context: String::new(),
             zones: false,
+            zone_cap: 4096,
+            zone_advance: ZoneAdvance::Closed,
         }
     }
 }
@@ -394,6 +433,33 @@ impl Options {
         self.zones = zones;
         self
     }
+
+    /// Set the zone-mode edge cap (see [`Options::zone_cap`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(versa::Options::default().with_zone_cap(64).zone_cap, 64);
+    /// ```
+    pub fn with_zone_cap(mut self, cap: usize) -> Options {
+        self.zone_cap = cap;
+        self
+    }
+
+    /// Set the zone-mode advance strategy (see [`ZoneAdvance`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use versa::{Options, ZoneAdvance};
+    /// let o = Options::default().with_zone_advance(ZoneAdvance::Replay);
+    /// assert_eq!(o.zone_advance, ZoneAdvance::Replay);
+    /// ```
+    pub fn with_zone_advance(mut self, advance: ZoneAdvance) -> Options {
+        self.zone_advance = advance;
+        self
+    }
+
 }
 
 /// Aggregate statistics of one exploration run.
@@ -553,17 +619,70 @@ impl Stats {
 /// assert!(!ex.deadlock_free()); // NIL has no steps
 /// assert!(!ex.truncated);
 /// ```
+/// The endpoint of a [`ZoneSeg`]: a materialized term, or a virtual
+/// `(template, vector)` pair rebuilt syntactically on demand (interior
+/// segment ends of closed-form runs are never interned by the engine).
+#[derive(Clone, Debug)]
+pub(crate) enum ZoneEnd {
+    Real(P),
+    Virt { template: P, values: Arc<Vec<i64>> },
+}
+
+impl ZoneEnd {
+    /// The endpoint as a term, rebuilding if virtual. Virtual ends were
+    /// produced by the closed-form engine inside a verified run, so the
+    /// rebuild is exactly the state a unit replay would have reached.
+    pub(crate) fn materialize(&self) -> P {
+        match self {
+            ZoneEnd::Real(p) => p.clone(),
+            ZoneEnd::Virt { template, values } => acsr::skeleton::rebuild(template, values)
+                .expect("virtual zone state must rebuild within its shape"),
+        }
+    }
+}
+
+/// One segment of a zone-mode delay edge (see [`Exploration::zone_edges`]).
+#[derive(Clone, Debug)]
+pub(crate) enum ZoneSeg {
+    /// A concretely replayed step.
+    Unit(Label, P),
+    /// A verified closed-form span: `len` forced timed steps, all labelled
+    /// `label`; the `k`-th interior state is the segment's source state
+    /// rebuilt at `vector + k·delta` (see [`acsr::skeleton`]).
+    Span {
+        label: Label,
+        delta: Arc<Vec<i64>>,
+        len: u64,
+        end: ZoneEnd,
+    },
+    /// A macro-served forced step (a release-boundary exit or cascade step
+    /// advanced in the vector domain; see [`acsr::runner`]).
+    Jump { label: Label, end: ZoneEnd },
+}
+
+impl ZoneSeg {
+    /// Concrete steps this segment stands for.
+    pub(crate) fn weight(&self) -> u64 {
+        match self {
+            ZoneSeg::Unit(..) | ZoneSeg::Jump { .. } => 1,
+            ZoneSeg::Span { len, .. } => *len,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 pub struct Exploration {
     pub(crate) states: Vec<P>,
     /// Predecessor of each state in BFS order (`None` for the initial state).
     pub(crate) parents: Vec<Option<(StateId, Label)>>,
-    /// Zone mode only: the per-quantum `(label, state)` timeline of the
-    /// delay edge into each state, parallel to `parents` (`None` for unit
-    /// edges; the last entry's state equals the materialized target). The
-    /// concrete engine leaves this empty, making every trace query below
-    /// behave exactly as before.
-    pub(crate) zone_edges: Vec<Option<Vec<(Label, P)>>>,
+    /// Zone mode only: the segments of the delay edge into each state,
+    /// parallel to `parents` (`None` for unit edges; the last segment's
+    /// target equals the materialized target). Replayed quanta are stored as
+    /// [`ZoneSeg::Unit`] steps; closed-form spans keep only their derivative
+    /// and length ([`ZoneSeg::Span`]) and re-materialize interior states
+    /// syntactically on demand. The concrete engine leaves this empty,
+    /// making every trace query below behave exactly as before.
+    pub(crate) zone_edges: Vec<Option<Vec<ZoneSeg>>>,
     /// Deadlocked states (no outgoing prioritized transitions), in discovery
     /// order.
     pub deadlocks: Vec<StateId>,
@@ -677,12 +796,67 @@ impl Exploration {
         for to in path {
             match self.zone_edges.get(to.index()).and_then(|e| e.as_ref()) {
                 Some(edge) => {
-                    let (last, interior) = edge.split_last().expect("edges are non-empty");
-                    for (label, p) in interior {
-                        states.push(p.clone());
-                        steps.push((label.clone(), StateId((states.len() - 1) as u32)));
+                    let (parent, _) = self.parents[to.index()].as_ref().expect("on path");
+                    let mut cur: P = states[parent.index()].clone();
+                    let n = edge.len();
+                    for (i, seg) in edge.iter().enumerate() {
+                        let seg_last = i + 1 == n;
+                        match seg {
+                            ZoneSeg::Unit(label, p) => {
+                                if seg_last {
+                                    steps.push((label.clone(), to));
+                                } else {
+                                    states.push(p.clone());
+                                    steps.push((label.clone(), StateId((states.len() - 1) as u32)));
+                                    cur = p.clone();
+                                }
+                            }
+                            ZoneSeg::Span {
+                                label,
+                                delta,
+                                len,
+                                end,
+                            } => {
+                                // Interior states of a closed-form span are
+                                // rebuilt syntactically from the segment's
+                                // source: the span was verified against the
+                                // step relation when it was recorded, so the
+                                // rebuilds are exactly the states a unit
+                                // replay would have produced.
+                                let f = acsr::skeleton::factor(&cur);
+                                for k in 1..*len {
+                                    let v: Vec<i64> = f
+                                        .values
+                                        .iter()
+                                        .zip(delta.iter())
+                                        .map(|(a, d)| a + d * k as i64)
+                                        .collect();
+                                    let p = acsr::skeleton::rebuild(&cur, &v)
+                                        .expect("span vectors stay within the shape");
+                                    states.push(p.clone());
+                                    steps.push((label.clone(), StateId((states.len() - 1) as u32)));
+                                }
+                                if seg_last {
+                                    steps.push((label.clone(), to));
+                                } else {
+                                    let t = end.materialize();
+                                    states.push(t.clone());
+                                    steps.push((label.clone(), StateId((states.len() - 1) as u32)));
+                                    cur = t;
+                                }
+                            }
+                            ZoneSeg::Jump { label, end } => {
+                                if seg_last {
+                                    steps.push((label.clone(), to));
+                                } else {
+                                    let t = end.materialize();
+                                    states.push(t.clone());
+                                    steps.push((label.clone(), StateId((states.len() - 1) as u32)));
+                                    cur = t;
+                                }
+                            }
+                        }
                     }
-                    steps.push((last.0.clone(), to));
                 }
                 None => {
                     let (_, label) = self.parents[to.index()].as_ref().expect("on path");
@@ -760,7 +934,9 @@ impl Exploration {
                 .zone_edges
                 .get(cur.index())
                 .and_then(|e| e.as_ref())
-                .map_or(1, Vec::len);
+                .map_or(1, |segs| {
+                    segs.iter().map(|s| s.weight() as usize).sum()
+                });
             cur = *parent;
         }
         depth

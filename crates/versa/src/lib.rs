@@ -47,7 +47,7 @@ pub mod trace;
 pub mod walk;
 mod zones;
 
-pub use explore::{explore, CancelToken, Exploration, Options, Stats, StateId};
+pub use explore::{explore, CancelToken, Exploration, Options, Stats, StateId, ZoneAdvance};
 pub use hashed_engine::explore_hashed;
 pub use lts::Lts;
 pub use trace::Trace;

@@ -5,13 +5,33 @@
 //! scales with the hyperperiod — the source paper's own scalability wall
 //! (§7). This module is the alternative frontier strategy behind
 //! [`Options::zones`]: whenever a state has exactly one prioritized
-//! successor, [`acsr::forced_run`] follows the whole *forced* chain — up to
-//! the next branch, deadlock, cycle or the edge cap — and the chain becomes
-//! a single weighted *delay edge* of the zone graph. Only branch points,
-//! deadlocks and run endpoints are materialized as states; everything
-//! strictly inside a run has out-degree exactly one, so it can neither
-//! deadlock nor offer behaviour the endpoint doesn't already dominate
-//! (DESIGN.md §17 spells the argument out).
+//! successor, the whole *forced* chain — up to the next branch, deadlock,
+//! cycle or the edge cap — becomes a single weighted *delay edge* of the
+//! zone graph. Only branch points, deadlocks and run endpoints are
+//! materialized as states; everything strictly inside a run has out-degree
+//! exactly one, so it can neither deadlock nor offer behaviour the endpoint
+//! doesn't already dominate (DESIGN.md §17 spells the argument out).
+//!
+//! # Two ways to walk a forced run
+//!
+//! [`Options::zone_advance`] selects how the chain is followed:
+//!
+//! * **`Replay`** — every quantum is re-derived through the memoized step
+//!   relation ([`acsr::forced_run`]). This collapses *states* but still pays
+//!   per-quantum *work*: the wall-clock win is only the fraction the
+//!   frontier machinery cost.
+//! * **`Closed`** (the default) — forced intervals are advanced through the
+//!   per-shape derivative cache of [`acsr::advance`]: each state is factored
+//!   into a structural *shape* plus a numeric *time vector*, the first visit
+//!   to a shape derives (and verifies) how the vector moves per quantum, and
+//!   every later visit jumps straight to the end of the interval in
+//!   O(#parameters) — no per-quantum re-derivation at all (DESIGN.md §18).
+//!   Non-linear shapes and unlearned boundaries fall back to concrete
+//!   replay, so the mode is a pure optimisation.
+//!
+//! A delay edge therefore stores a list of *segments*: concretely replayed
+//! unit steps, and closed-form spans that keep only their derivative and
+//! length and re-materialize interior states syntactically on demand.
 //!
 //! # Shortest traces under weighted edges
 //!
@@ -23,36 +43,39 @@
 //! unexpanded, and stale queue entries are skipped on pop. Buckets are
 //! processed in depth order, so the first deadlock expanded has minimal
 //! concrete depth — exactly the concrete engine's shortest-counterexample
-//! guarantee, which `tests/prop_zones.rs` pins over random task fleets.
+//! guarantee, which `tests/prop_zones.rs` and `tests/prop_advance.rs` pin
+//! over random task fleets.
 //!
-//! # Identical results, fewer states
+//! # Identical results, fewer states, less work
 //!
 //! Verdicts, shortest-trace lengths and (for exhaustive runs) deadlock
-//! counts are identical to the concrete engine: every zone edge *is* a
-//! concrete step sequence, re-derived per quantum through the same memoized
-//! step relation, and every deadlock state is necessarily materialized (a
-//! deadlock has out-degree 0, an interior state out-degree 1). Each edge
-//! keeps its per-quantum `(label, state)` timeline, so
-//! [`Exploration::trace_to`] re-expands delay steps into the same concrete
-//! timeline `diagnose` would get from the concrete engine. [`Stats`]
-//! describes the zone graph (materialized states, delay edges, buckets);
-//! the compression itself is reported through the `zone.delay_steps` /
-//! `zone.quanta_collapsed` / `zone.singleton_steps` counters.
+//! counts are identical to the concrete engine in *both* advance modes:
+//! every zone edge *is* a concrete step sequence (closed-form spans are
+//! verified against the step relation when their derivative is learned, and
+//! re-checked at the span ends on every use), and every deadlock state is
+//! necessarily materialized (a deadlock has out-degree 0, an interior state
+//! out-degree 1). [`Exploration::trace_to`] re-expands delay edges into the
+//! same concrete timeline `diagnose` would get from the concrete engine.
+//! [`Stats`] describes the zone graph (materialized states, delay edges,
+//! buckets); the compression is reported through the `zone.delay_steps` /
+//! `zone.quanta_collapsed` / `zone.singleton_steps` counters, and the
+//! closed-form cache through `zone.closed_form_advances` /
+//! `zone.replay_fallbacks` / `zone.shapes_derived` and the
+//! `zone.shape_cache` gauge.
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, TryLockError};
 use std::time::Instant;
 
-use acsr::{zone, Env, Interned, Label, MemoConfig, StepSession, TermId, TermStore, P};
+use acsr::{
+    forced_run_closed, skeleton, zone, AdvanceCache, Env, Interned, Label, MemoConfig, RunEnd,
+    RunOutcome, RunSeg, StepSession, TermId, TermStore, P,
+};
 
-use crate::explore::{CancelToken, Exploration, Options, StateId, Stats};
-
-/// Per-quantum steps a single delay edge may span. Longer forced runs simply
-/// become several chained edges — the cap bounds the work between two
-/// cancellation polls and the size of any one edge's stored timeline, and
-/// doubles as the cycle horizon for closed idle loops.
-const ZONE_EDGE_CAP: usize = 4096;
+use crate::explore::{
+    CancelToken, Exploration, Options, StateId, Stats, ZoneAdvance, ZoneEnd, ZoneSeg,
+};
 
 /// The pure, per-state result a worker computes during bucket expansion.
 /// Workers never touch the visited set or the queue; the deterministic
@@ -61,15 +84,43 @@ const ZONE_EDGE_CAP: usize = 4096;
 enum Expansion {
     /// No prioritized successors.
     Deadlock,
-    /// Exactly one prioritized successor: the maximal forced chain.
-    Forced(zone::ForcedRun),
+    /// Exactly one prioritized successor: the maximal forced chain,
+    /// `steps` concrete steps across the segments. The final segment's end
+    /// is always materialized (it becomes the edge's target state).
+    Forced { segs: Vec<RunSeg>, steps: u64 },
     /// Two or more prioritized successors: ordinary weight-1 edges.
     Branch(Vec<(Label, Interned)>),
 }
 
-fn expand_state(session: &StepSession<'_>, t: &Interned) -> Expansion {
-    match zone::forced_run(session, t, ZONE_EDGE_CAP) {
-        Some(run) => Expansion::Forced(run),
+fn expand_state(
+    session: &StepSession<'_>,
+    cache: Option<&AdvanceCache>,
+    t: &Interned,
+    cap: u64,
+) -> Expansion {
+    // Closed mode: the vector-domain runner ([`acsr::runner`]) walks the
+    // whole chain as (shape, vector) pairs — spans and learned unit macros
+    // advance arithmetically, everything else derives concretely — and
+    // materializes only the run endpoint.
+    if let Some(cache) = cache {
+        return match forced_run_closed(session, cache, t, cap) {
+            RunOutcome::Deadlock => Expansion::Deadlock,
+            RunOutcome::Branch(succs) => Expansion::Branch(succs),
+            RunOutcome::Run { segs, steps } => Expansion::Forced { segs, steps },
+        };
+    }
+    match zone::forced_run(session, t, cap as usize) {
+        Some(run) => {
+            let steps = run.steps.len() as u64;
+            Expansion::Forced {
+                segs: run
+                    .steps
+                    .into_iter()
+                    .map(|(l, t)| RunSeg::Unit(l, t))
+                    .collect(),
+                steps,
+            }
+        }
         // Not forced: re-derive the successor list (a memo hit right after
         // the probe inside `forced_run`) to distinguish deadlock from branch.
         None => {
@@ -83,11 +134,26 @@ fn expand_state(session: &StepSession<'_>, t: &Interned) -> Expansion {
     }
 }
 
+/// Convert an engine-side segment end into the term-level representation
+/// stored on the final [`Exploration`] (virtual ends stay virtual — they
+/// rebuild on demand during trace reconstruction).
+fn zone_end(end: RunEnd) -> ZoneEnd {
+    match end {
+        RunEnd::Real(t) => ZoneEnd::Real(t.into_term()),
+        RunEnd::Virt { template, values } => ZoneEnd::Virt {
+            template: template.into_term(),
+            values,
+        },
+    }
+}
+
 /// One worker's chunk of a bucket, expanded in frontier order.
 fn expand_chunk(
     session: &StepSession<'_>,
+    cache: Option<&AdvanceCache>,
     states: &[Interned],
     ids: &[StateId],
+    cap: u64,
     cancel: &CancelToken,
 ) -> Vec<Expansion> {
     let mut out = Vec::with_capacity(ids.len());
@@ -95,7 +161,7 @@ fn expand_chunk(
         if cancel.is_cancelled() {
             break;
         }
-        out.push(expand_state(session, &states[id.index()]));
+        out.push(expand_state(session, cache, &states[id.index()], cap));
     }
     out
 }
@@ -108,9 +174,9 @@ struct ZoneGraph {
     /// Expanded states are settled: their depth is final.
     expanded: Vec<bool>,
     parents: Vec<Option<(StateId, Label)>>,
-    /// Per-quantum timeline of the delay edge into each state (`None` for
-    /// unit edges — exactly the concrete engine's representation).
-    edges: Vec<Option<Vec<(Label, Interned)>>>,
+    /// Segments of the delay edge into each state (`None` for unit edges —
+    /// exactly the concrete engine's representation).
+    edges: Vec<Option<Vec<RunSeg>>>,
     visited: HashMap<TermId, StateId>,
 }
 
@@ -133,21 +199,27 @@ impl ZoneGraph {
         }
     }
 
-    /// Record one delay edge (`steps.len() == 1` is an ordinary unit edge)
-    /// out of `from`, relaxing the target's depth Dijkstra-style.
+    /// Record one delay edge (total weight 1 is an ordinary unit edge) out
+    /// of `from`, relaxing the target's depth Dijkstra-style.
     fn record_edge(
         &mut self,
         from: StateId,
-        steps: Vec<(Label, Interned)>,
+        segs: Vec<RunSeg>,
         queue: &mut BTreeMap<u64, Vec<StateId>>,
         stats: &mut Stats,
         id_limit: usize,
         max_states: usize,
     ) -> EdgeOutcome {
-        let (last_label, target) = steps.last().expect("edges are non-empty").clone();
-        let weight = steps.len() as u64;
+        let last = segs.last().expect("edges are non-empty");
+        let last_label = last.label().clone();
+        let target = last
+            .end()
+            .interned()
+            .cloned()
+            .expect("the final segment of an edge is always materialized");
+        let weight: u64 = segs.iter().map(RunSeg::weight).sum();
         let depth = self.depths[from.index()] + weight;
-        let timeline = if steps.len() >= 2 { Some(steps) } else { None };
+        let timeline = if weight >= 2 { Some(segs) } else { None };
         stats.transitions += 1;
         match self.visited.entry(target.id()) {
             Entry::Occupied(e) => {
@@ -193,10 +265,16 @@ pub(crate) fn explore_zones(
 ) -> Exploration {
     let start = Instant::now();
     let id_limit = id_limit.max(1);
+    // Per-edge step cap: bounds the work between two cancellation polls and
+    // the size of any one edge's stored timeline, and doubles as the cycle
+    // horizon for closed idle loops. Longer forced runs simply become
+    // several chained edges, so the value never changes verdicts.
+    let cap = opts.zone_cap.max(1) as u64;
 
     // Cross-run artifact store, exactly as in the concrete engine — the key
-    // commits to the zones flag, so the two modes can never answer each
-    // other's queries even though replayed artifacts would agree.
+    // commits to the zones flag (and, in zone mode, the cap and advance
+    // strategy), so distinct configurations can never answer each other's
+    // queries even though replayed artifacts would agree.
     let cas_key = crate::cache::key_for(env, initial, opts, id_limit);
     if let (Some(key), Some(artifacts)) = (&cas_key, &opts.cas) {
         match artifacts.get(key) {
@@ -231,6 +309,8 @@ pub(crate) fn explore_zones(
         MemoConfig::disabled()
     };
     let session = StepSession::new(env, store.clone(), memo_config);
+    let advance_cache: Option<AdvanceCache> =
+        (opts.zone_advance == ZoneAdvance::Closed).then(AdvanceCache::new);
 
     let mut stats = Stats::default();
     let mut deadlocks: Vec<StateId> = Vec::new();
@@ -266,8 +346,10 @@ pub(crate) fn explore_zones(
         let level_span = run_span.child("explore.level");
 
         // Phase 1 — expansion. Per-state work is pure (successor lists and
-        // forced runs from the shared memoized session), so wide buckets fan
-        // out over scoped workers without any result-order dependence.
+        // forced runs from the shared memoized session; the advance cache
+        // converges to the same derivatives under any interleaving), so wide
+        // buckets fan out over scoped workers without any result-order
+        // dependence.
         let expansions: Vec<Expansion> = if threads > 1 && frontier.len() >= 4 * threads {
             let chunk = frontier.len().div_ceil(threads);
             let collected: Mutex<Vec<(usize, Vec<Expansion>)>> =
@@ -277,9 +359,10 @@ pub(crate) fn explore_zones(
                     let collected = &collected;
                     let states = &g.states[..];
                     let session = &session;
+                    let cache = advance_cache.as_ref();
                     let cancel = &opts.cancel;
                     s.spawn(move || {
-                        let out = expand_chunk(session, states, ids, cancel);
+                        let out = expand_chunk(session, cache, states, ids, cap, cancel);
                         let mut guard = match collected.try_lock() {
                             Ok(guard) => guard,
                             Err(TryLockError::WouldBlock) => {
@@ -295,7 +378,14 @@ pub(crate) fn explore_zones(
             chunks.sort_unstable_by_key(|(ci, _)| *ci);
             chunks.into_iter().flat_map(|(_, out)| out).collect()
         } else {
-            expand_chunk(&session, &g.states, &frontier, &opts.cancel)
+            expand_chunk(
+                &session,
+                advance_cache.as_ref(),
+                &g.states,
+                &frontier,
+                cap,
+                &opts.cancel,
+            )
         };
 
         // A token that fired mid-expansion leaves chunks cut short; discard
@@ -322,16 +412,16 @@ pub(crate) fn explore_zones(
                         break 'search;
                     }
                 }
-                Expansion::Forced(run) => {
-                    if run.len() >= 2 {
+                Expansion::Forced { segs, steps } => {
+                    if steps >= 2 {
                         delay_steps += 1;
-                        quanta_collapsed += (run.len() - 1) as u64;
+                        quanta_collapsed += steps - 1;
                     } else {
                         singleton_steps += 1;
                     }
                     if let EdgeOutcome::Truncated = g.record_edge(
                         *id,
-                        run.steps,
+                        segs,
                         &mut queue,
                         &mut stats,
                         id_limit,
@@ -347,7 +437,7 @@ pub(crate) fn explore_zones(
                     for (label, target) in succs {
                         if let EdgeOutcome::Truncated = g.record_edge(
                             *id,
-                            vec![(label, target)],
+                            vec![RunSeg::Unit(label, target)],
                             &mut queue,
                             &mut stats,
                             id_limit,
@@ -395,6 +485,17 @@ pub(crate) fn explore_zones(
     opts.obs.counter("zone.delay_steps").add(delay_steps);
     opts.obs.counter("zone.quanta_collapsed").add(quanta_collapsed);
     opts.obs.counter("zone.singleton_steps").add(singleton_steps);
+    if let Some(cache) = &advance_cache {
+        let a = cache.stats();
+        opts.obs
+            .counter("zone.closed_form_advances")
+            .add(a.closed_form_advances);
+        opts.obs
+            .counter("zone.replay_fallbacks")
+            .add(a.replay_fallbacks);
+        opts.obs.counter("zone.shapes_derived").add(a.shapes_derived);
+        opts.obs.gauge("zone.shape_cache").set(a.shape_cache as i64);
+    }
     opts.obs.counter("step.memo_hits").add(stats.memo_hits);
     opts.obs.counter("step.memo_misses").add(stats.memo_misses);
     opts.obs
@@ -409,7 +510,8 @@ pub(crate) fn explore_zones(
     // concrete engine and records a *per-quantum* deadlock skeleton, so the
     // first-deadlock zone path is re-expanded into its concrete chain here
     // (`cache::encode` indexes each step in prioritized-successor order —
-    // a notion that only exists quantum by quantum).
+    // a notion that only exists quantum by quantum). Closed-form spans are
+    // materialized syntactically, the same way `trace_to` does it.
     if let (Some(key), Some(artifacts)) = (&cas_key, &opts.cas) {
         if !cancelled {
             let (chain_states, chain_parents, chain_deadlocks) = match deadlocks.first() {
@@ -426,11 +528,46 @@ pub(crate) fn explore_zones(
                     let mut cp: Vec<Option<(StateId, Label)>> = vec![None];
                     for to in path {
                         match &g.edges[to.index()] {
-                            Some(edge) => {
-                                for (label, t) in edge {
-                                    let prev = StateId((cs.len() - 1) as u32);
-                                    cp.push(Some((prev, label.clone())));
-                                    cs.push(t.clone());
+                            Some(segs) => {
+                                for seg in segs {
+                                    match seg {
+                                        RunSeg::Unit(label, t) => {
+                                            let prev = StateId((cs.len() - 1) as u32);
+                                            cp.push(Some((prev, label.clone())));
+                                            cs.push(t.clone());
+                                        }
+                                        RunSeg::Span {
+                                            label,
+                                            delta,
+                                            len,
+                                            end,
+                                        } => {
+                                            let source =
+                                                cs.last().expect("chain starts rooted").clone();
+                                            let f = skeleton::factor(source.term());
+                                            for k in 1..*len {
+                                                let v: Vec<i64> = f
+                                                    .values
+                                                    .iter()
+                                                    .zip(delta.iter())
+                                                    .map(|(a, d)| a + d * k as i64)
+                                                    .collect();
+                                                let p = skeleton::rebuild(source.term(), &v)
+                                                    .expect("span vectors stay within the shape");
+                                                let prev = StateId((cs.len() - 1) as u32);
+                                                cp.push(Some((prev, label.clone())));
+                                                cs.push(session.intern(&p));
+                                            }
+                                            let prev = StateId((cs.len() - 1) as u32);
+                                            cp.push(Some((prev, label.clone())));
+                                            cs.push(end.materialize(&session));
+                                        }
+                                        RunSeg::Jump { label, end } => {
+                                            let prev = StateId((cs.len() - 1) as u32);
+                                            cp.push(Some((prev, label.clone())));
+                                            cs.push(end.materialize(&session));
+                                        }
+                                    }
                                 }
                             }
                             None => {
@@ -473,10 +610,26 @@ pub(crate) fn explore_zones(
             .edges
             .into_iter()
             .map(|e| {
-                e.map(|steps| {
-                    steps
-                        .into_iter()
-                        .map(|(l, t)| (l, t.into_term()))
+                e.map(|segs| {
+                    segs.into_iter()
+                        .map(|s| match s {
+                            RunSeg::Unit(l, t) => ZoneSeg::Unit(l, t.into_term()),
+                            RunSeg::Span {
+                                label,
+                                delta,
+                                len,
+                                end,
+                            } => ZoneSeg::Span {
+                                label,
+                                delta,
+                                len,
+                                end: zone_end(end),
+                            },
+                            RunSeg::Jump { label, end } => ZoneSeg::Jump {
+                                label,
+                                end: zone_end(end),
+                            },
+                        })
                         .collect()
                 })
             })
@@ -491,7 +644,7 @@ pub(crate) fn explore_zones(
 
 #[cfg(test)]
 mod tests {
-    use crate::explore::{explore, Options, StateId};
+    use crate::explore::{explore, Options, StateId, ZoneAdvance};
     use acsr::prelude::*;
 
     fn cpu() -> Res {
@@ -509,17 +662,23 @@ mod tests {
 
     fn assert_agree(env: &Env, p: &P, opts: &Options) {
         let concrete = explore(env, p, opts);
-        let zoned = explore(env, p, &opts.clone().with_zones(true));
-        assert_eq!(concrete.deadlock_free(), zoned.deadlock_free());
-        assert_eq!(concrete.deadlocks.len(), zoned.deadlocks.len());
-        assert_eq!(
-            concrete.first_deadlock_trace().map(|t| t.len()),
-            zoned.first_deadlock_trace().map(|t| t.len())
-        );
-        assert_eq!(
-            concrete.first_deadlock_trace().map(|t| t.elapsed_quanta()),
-            zoned.first_deadlock_trace().map(|t| t.elapsed_quanta())
-        );
+        for advance in [ZoneAdvance::Closed, ZoneAdvance::Replay] {
+            let zoned = explore(
+                env,
+                p,
+                &opts.clone().with_zones(true).with_zone_advance(advance),
+            );
+            assert_eq!(concrete.deadlock_free(), zoned.deadlock_free());
+            assert_eq!(concrete.deadlocks.len(), zoned.deadlocks.len());
+            assert_eq!(
+                concrete.first_deadlock_trace().map(|t| t.len()),
+                zoned.first_deadlock_trace().map(|t| t.len())
+            );
+            assert_eq!(
+                concrete.first_deadlock_trace().map(|t| t.elapsed_quanta()),
+                zoned.first_deadlock_trace().map(|t| t.elapsed_quanta())
+            );
+        }
     }
 
     #[test]
@@ -541,6 +700,124 @@ mod tests {
         let concrete_trace = concrete.first_deadlock_trace().unwrap();
         for i in 0..t.len() {
             assert_eq!(t.state_after(i), concrete_trace.state_after(i));
+        }
+    }
+
+    #[test]
+    fn closed_and_replay_modes_agree_step_for_step() {
+        // A branch into two instances of the *same* shape at different time
+        // vectors: the second chain is advanced closed-form off the first
+        // chain's learned derivative, so this exercises the span path end to
+        // end — including trace materialization from (delta, len) alone.
+        let env = Env::new();
+        let p = choice([
+            act([(Res::new("bus"), 1)], chain(30)),
+            act([(cpu(), 1)], chain(20)),
+        ]);
+        let concrete = explore(&env, &p, &Options::default());
+        let closed = explore(&env, &p, &Options::default().with_zones(true));
+        let replay = explore(
+            &env,
+            &p,
+            &Options::default()
+                .with_zones(true)
+                .with_zone_advance(ZoneAdvance::Replay),
+        );
+        assert_eq!(closed.num_states(), replay.num_states());
+        assert_eq!(closed.deadlocks.len(), replay.deadlocks.len());
+        for i in 0..closed.num_states() {
+            assert_eq!(
+                closed.state(StateId(i as u32)),
+                replay.state(StateId(i as u32))
+            );
+        }
+        let tc = closed.first_deadlock_trace().unwrap();
+        let tr = replay.first_deadlock_trace().unwrap();
+        let tk = concrete.first_deadlock_trace().unwrap();
+        assert_eq!(tc.len(), tr.len());
+        assert_eq!(tc.len(), tk.len());
+        for i in 0..tc.len() {
+            assert_eq!(tc.state_after(i), tr.state_after(i));
+            assert_eq!(tc.state_after(i), tk.state_after(i));
+        }
+    }
+
+    #[test]
+    fn closed_mode_emits_the_advance_cache_counters() {
+        let env = Env::new();
+        // Same shape twice at different vectors: one derivation, then a
+        // closed-form advance; the chain end is always a replay fallback.
+        let p = choice([
+            act([(Res::new("bus"), 1)], chain(30)),
+            act([(cpu(), 1)], chain(20)),
+        ]);
+        let rec = obs::Recorder::enabled();
+        let _ = explore(
+            &env,
+            &p,
+            &Options::default().with_zones(true).with_obs(rec.clone()),
+        );
+        let run = rec.finish();
+        let counter = |name: &str| {
+            run.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(counter("zone.closed_form_advances") >= 1);
+        assert!(counter("zone.replay_fallbacks") >= 1);
+        assert!(counter("zone.shapes_derived") >= 1);
+        let gauge = run
+            .gauges
+            .iter()
+            .find(|(k, _, _)| k == "zone.shape_cache")
+            .map(|(_, v, _)| *v)
+            .unwrap_or(0);
+        assert!(gauge >= 1);
+
+        // Replay mode reports none of them.
+        let rec2 = obs::Recorder::enabled();
+        let _ = explore(
+            &env,
+            &p,
+            &Options::default()
+                .with_zones(true)
+                .with_zone_advance(ZoneAdvance::Replay)
+                .with_obs(rec2.clone()),
+        );
+        let run2 = rec2.finish();
+        assert!(!run2
+            .counters
+            .iter()
+            .any(|(k, _)| k == "zone.closed_form_advances"));
+    }
+
+    #[test]
+    fn zone_cap_changes_never_change_verdicts() {
+        let env = Env::new();
+        let p = choice([
+            chain(3),
+            act([(Res::new("bus"), 1)], chain(7)),
+        ]);
+        let baseline = explore(&env, &p, &Options::default().with_zones(true));
+        for cap in [1usize, 2, 3, 7] {
+            for advance in [ZoneAdvance::Closed, ZoneAdvance::Replay] {
+                let capped = explore(
+                    &env,
+                    &p,
+                    &Options::default()
+                        .with_zones(true)
+                        .with_zone_cap(cap)
+                        .with_zone_advance(advance),
+                );
+                assert_eq!(capped.deadlock_free(), baseline.deadlock_free());
+                assert_eq!(capped.deadlocks.len(), baseline.deadlocks.len());
+                assert_eq!(
+                    capped.first_deadlock_trace().map(|t| t.len()),
+                    baseline.first_deadlock_trace().map(|t| t.len())
+                );
+            }
         }
     }
 
@@ -731,6 +1008,20 @@ mod tests {
             warm.first_deadlock_trace().map(|t| t.len())
         );
         assert_eq!(cold.stats.states, warm.stats.states);
+        // The two advance strategies never answer each other's queries: the
+        // key commits to the strategy, so a replay-mode run over the same
+        // model must MISS even with a closed-mode artifact deposited.
+        let rec4 = obs::Recorder::enabled();
+        let _ = explore(
+            &env,
+            &p,
+            &zopts
+                .clone()
+                .with_zone_advance(crate::explore::ZoneAdvance::Replay)
+                .with_obs(rec4.clone()),
+        );
+        let c4 = rec4.finish().counters;
+        assert!(c4.iter().any(|(k, v)| k == "cas.misses" && *v == 1));
         // A concrete run over the same model must MISS: the key commits to
         // the zones flag (a zone artifact's stats describe the zone graph).
         let rec3 = obs::Recorder::enabled();

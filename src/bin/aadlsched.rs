@@ -27,7 +27,17 @@
 //!                     quanta into single bulk steps (identical verdicts
 //!                     and traces, far fewer materialized states on models
 //!                     with long uncontended stretches; ignored with --dot,
-//!                     which needs the concrete per-quantum LTS)
+//!                     which needs the concrete per-quantum LTS — a warning
+//!                     is printed on stderr when both are given)
+//!   --zone-advance <closed|replay>  how zone mode follows a forced run:
+//!                     `closed` (the default) advances through cached
+//!                     per-shape delay derivatives in O(#parameters);
+//!                     `replay` re-derives every quantum through the step
+//!                     relation. Verdicts and traces are identical — the
+//!                     switch exists for honest A/B timing
+//!   --zone-cap <n>    per-edge step cap in zone mode (default 4096; longer
+//!                     forced runs chain several edges, so the value never
+//!                     changes verdicts, only edge granularity)
 //!   --store <s>       persistent cross-run artifact store: a directory to
 //!                     consult before exploring and deposit verdicts into
 //!                     after, `readonly:<dir>` to consult without writing,
@@ -70,6 +80,8 @@ struct Args {
     max_states: Option<usize>,
     no_memo: bool,
     zones: bool,
+    zone_cap: Option<usize>,
+    zone_advance: Option<versa::ZoneAdvance>,
     store: Option<String>,
     print_acsr: bool,
     print_tree: bool,
@@ -85,6 +97,7 @@ fn usage() -> ExitCode {
          [--quantum <ms>] [--protocol <none|pip|pcp>] [--compact] \
          [--exhaustive] [--threads <n>] [--shards <n>] \
          [--max-states <n>] [--no-memo] [--zones] \
+         [--zone-advance <closed|replay>] [--zone-cap <n>] \
          [--store <dir|readonly:dir|off>] \
          [--tree] [--acsr] [--dot <file>] \
          [--metrics <file>] [--trace-events <file>] [--progress]\n\
@@ -113,6 +126,8 @@ fn parse_args() -> Result<Args, String> {
         max_states: None,
         no_memo: false,
         zones: false,
+        zone_cap: None,
+        zone_advance: None,
         store: None,
         print_acsr: false,
         print_tree: false,
@@ -163,6 +178,29 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-memo" => args.no_memo = true,
             "--zones" => args.zones = true,
+            "--zone-cap" => {
+                let cap: usize = raw
+                    .next()
+                    .ok_or("--zone-cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--zone-cap: {e}"))?;
+                if cap == 0 {
+                    return Err("--zone-cap must be at least 1".into());
+                }
+                args.zone_cap = Some(cap);
+            }
+            "--zone-advance" => {
+                let mode = raw.next().ok_or("--zone-advance needs <closed|replay>")?;
+                args.zone_advance = Some(match mode.as_str() {
+                    "closed" => versa::ZoneAdvance::Closed,
+                    "replay" => versa::ZoneAdvance::Replay,
+                    other => {
+                        return Err(format!(
+                            "--zone-advance: unknown mode `{other}` (closed | replay)"
+                        ))
+                    }
+                });
+            }
             "--store" => {
                 args.store = Some(raw.next().ok_or("--store needs <dir|readonly:dir|off>")?)
             }
@@ -328,7 +366,19 @@ fn main() -> ExitCode {
     }
     aopts.explore.memo = !args.no_memo;
     aopts.explore.zones = args.zones;
+    if let Some(cap) = args.zone_cap {
+        aopts.explore.zone_cap = cap;
+    }
+    if let Some(advance) = args.zone_advance {
+        aopts.explore.zone_advance = advance;
+    }
     aopts.explore.collect_lts = args.dot.is_some();
+    if args.zones && args.dot.is_some() {
+        eprintln!(
+            "warning: --dot needs the concrete per-quantum LTS, so --zones is \
+             ignored for this run; drop --dot to explore with delay zones"
+        );
+    }
     aopts.explore.obs = rec.clone();
     // The persistent artifact store. Off by default, so every store-less
     // invocation (including the fake-clock snapshot tests) is byte-identical
@@ -392,9 +442,10 @@ fn main() -> ExitCode {
             // option string — never the wall clock, so identical invocations
             // produce identical ids.
             let canon_opts = format!(
-                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?};memo={};zones={}",
+                "root={root};quantum_ms={:?};compact={};exhaustive={};threads={};shards={};max_states={:?};memo={};zones={};zone_cap={};zone_advance={}",
                 args.quantum_ms, args.compact, args.exhaustive, args.threads, args.shards,
-                args.max_states, !args.no_memo, args.zones
+                args.max_states, !args.no_memo, args.zones,
+                aopts.explore.zone_cap, aopts.explore.zone_advance
             );
             let run_id = obs::run_id(&[source.as_bytes(), canon_opts.as_bytes()]);
             let mut report = obs::Report::new(&run_id, "aadlsched");

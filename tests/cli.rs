@@ -288,7 +288,7 @@ fn metrics_flag_writes_a_schema_versioned_report() {
     let report = std::fs::read_to_string(&report_path).unwrap();
     for key in [
         "\"schema\": \"aadlsched-metrics\"",
-        "\"version\": 5",
+        "\"version\": 6",
         "\"run_id\"",
         "\"tool\": \"aadlsched\"",
         "\"model\"",
@@ -439,6 +439,66 @@ fn zones_flag_matches_concrete_on_the_longperiod_model() {
     let stdout = String::from_utf8_lossy(&zones.stdout);
     assert!(stdout.contains("VERDICT: schedulable"), "{stdout}");
     assert!(stdout.contains("exploration: 25094 states"), "{stdout}");
+}
+
+#[test]
+fn zone_advance_and_cap_flags_never_change_the_verdict() {
+    let path = write_model("ok_zoneflags.aadl", OK_MODEL);
+    let base = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--zones"]);
+    assert!(base.status.success(), "{base:?}");
+    let base_verdict = String::from_utf8_lossy(&base.stdout)
+        .lines()
+        .find(|l| l.contains("VERDICT"))
+        .unwrap()
+        .to_string();
+    for extra in [
+        &["--zone-advance", "replay"][..],
+        &["--zone-advance", "closed"][..],
+        &["--zone-cap", "1"][..],
+        &["--zone-cap", "3"][..],
+    ] {
+        let mut args = vec![path.to_str().unwrap(), "Top.impl", "--zones"];
+        args.extend_from_slice(extra);
+        let out = aadlsched(&args);
+        assert!(out.status.success(), "{extra:?}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(&base_verdict), "{extra:?}: {stdout}");
+    }
+    // Bad values are usage errors.
+    let bad = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--zone-advance", "magic"]);
+    assert_eq!(bad.status.code(), Some(2));
+    let bad = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--zone-cap", "0"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn dot_with_zones_warns_that_zones_are_ignored() {
+    let path = write_model("ok_dot_zones.aadl", OK_MODEL);
+    let dot = std::env::temp_dir().join("aadlsched_cli_tests/ok_zones.dot");
+    let _ = std::fs::remove_file(&dot);
+    let out = aadlsched(&[
+        path.to_str().unwrap(),
+        "Top.impl",
+        "--zones",
+        "--dot",
+        dot.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--zones is ignored"),
+        "expected an explicit warning on stderr, got: {stderr}"
+    );
+    // The export still happens — on the concrete engine.
+    let contents = std::fs::read_to_string(&dot).unwrap();
+    assert!(contents.starts_with("digraph lts {"), "{contents}");
+    // Without --dot there is no warning.
+    let quiet = aadlsched(&[path.to_str().unwrap(), "Top.impl", "--zones"]);
+    assert!(quiet.status.success());
+    assert!(
+        !String::from_utf8_lossy(&quiet.stderr).contains("ignored"),
+        "no warning expected without --dot"
+    );
 }
 
 #[test]

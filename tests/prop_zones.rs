@@ -33,7 +33,7 @@ use sched_baselines::taskset::{
     taskset_to_package, taskset_to_package_locking, uunifast, TaskSetSpec,
 };
 use sched_baselines::types::{Task, TaskSet};
-use versa::{explore, Exploration, Options};
+use versa::{explore, Exploration, Options, ZoneAdvance};
 
 /// Bounded random specs: 2–4 tasks over a small period pool so the
 /// exhaustive exploration stays test-sized, utilizations spanning clearly
@@ -129,6 +129,45 @@ fn assert_equivalent(concrete: &Exploration, zoned: &Exploration, exhaustive: bo
     }
 }
 
+/// The closed-form engine is a *server* for the same steps the replay
+/// engine derives one quantum at a time, so the two zone engines must be
+/// byte-identical, not merely equivalent: the same verdict, the same
+/// deadlocked terms (compared by stable digest, order-insensitively — the
+/// frontier is depth-ordered but intra-level discovery order is
+/// engine-internal), and the same shortest-counterexample timeline, label
+/// for label and state for state.
+fn assert_byte_identical(env: &acsr::Env, closed: &Exploration, replay: &Exploration, ctx: &str) {
+    let digests = |ex: &Exploration| {
+        let mut d: Vec<u64> = ex
+            .deadlocks
+            .iter()
+            .map(|&id| stable_digest(env, ex.state(id)))
+            .collect();
+        d.sort_unstable();
+        d
+    };
+    assert_eq!(
+        digests(closed),
+        digests(replay),
+        "deadlock term digests: {ctx}"
+    );
+    match (closed.first_deadlock_trace(), replay.first_deadlock_trace()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.render(env), b.render(env), "timeline text: {ctx}");
+            let states = |t: &versa::Trace| -> Vec<u64> {
+                t.iter().map(|(_, p)| stable_digest(env, p)).collect()
+            };
+            assert_eq!(states(&a), states(&b), "timeline states: {ctx}");
+        }
+        (a, b) => panic!(
+            "trace presence differs (closed: {}, replay: {}): {ctx}",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
 det_prop! {
     fn zones_match_concrete_on_random_task_sets(spec in arb_spec) {
         let ts = uunifast(&spec);
@@ -136,15 +175,26 @@ det_prop! {
         let m = instantiate(&pkg, "Top.impl").unwrap();
         let tm = translate(&m, &TranslateOptions::default()).unwrap();
         let concrete = explore(&tm.env, &tm.initial, &Options::default());
-        for threads in [1usize, 4] {
-            let zoned = explore(
-                &tm.env,
-                &tm.initial,
-                &Options::default().with_zones(true).with_threads(threads),
-            );
-            let ctx = format!("threads={threads} {ts:?}");
-            assert_equivalent(&concrete, &zoned, true, &ctx);
+        let mut by_advance = Vec::new();
+        for advance in [ZoneAdvance::Closed, ZoneAdvance::Replay] {
+            for threads in [1usize, 4] {
+                let zoned = explore(
+                    &tm.env,
+                    &tm.initial,
+                    &Options::default()
+                        .with_zones(true)
+                        .with_zone_advance(advance)
+                        .with_threads(threads),
+                );
+                let ctx = format!("advance={advance} threads={threads} {ts:?}");
+                assert_equivalent(&concrete, &zoned, true, &ctx);
+                if threads == 1 {
+                    by_advance.push(zoned);
+                }
+            }
         }
+        let (closed, replay) = (&by_advance[0], &by_advance[1]);
+        assert_byte_identical(&tm.env, closed, replay, &format!("{ts:?}"));
     }
 
     fn zones_match_concrete_in_verdict_mode(spec in arb_spec) {
@@ -155,14 +205,19 @@ det_prop! {
         let m = instantiate(&pkg, "Top.impl").unwrap();
         let tm = translate(&m, &TranslateOptions::default()).unwrap();
         let concrete = explore(&tm.env, &tm.initial, &Options::verdict());
-        for threads in [1usize, 4] {
-            let zoned = explore(
-                &tm.env,
-                &tm.initial,
-                &Options::verdict().with_zones(true).with_threads(threads),
-            );
-            let ctx = format!("verdict threads={threads} {ts:?}");
-            assert_equivalent(&concrete, &zoned, false, &ctx);
+        for advance in [ZoneAdvance::Closed, ZoneAdvance::Replay] {
+            for threads in [1usize, 4] {
+                let zoned = explore(
+                    &tm.env,
+                    &tm.initial,
+                    &Options::verdict()
+                        .with_zones(true)
+                        .with_zone_advance(advance)
+                        .with_threads(threads),
+                );
+                let ctx = format!("verdict advance={advance} threads={threads} {ts:?}");
+                assert_equivalent(&concrete, &zoned, false, &ctx);
+            }
         }
     }
 
@@ -179,15 +234,26 @@ det_prop! {
             let m = instantiate(&pkg, "Top.impl").unwrap();
             let tm = translate(&m, &TranslateOptions::default()).unwrap();
             let concrete = explore(&tm.env, &tm.initial, &Options::default());
-            for threads in [1usize, 4] {
-                let zoned = explore(
-                    &tm.env,
-                    &tm.initial,
-                    &Options::default().with_zones(true).with_threads(threads),
-                );
-                let ctx = format!("ccp={ccp:?} threads={threads} {ts:?}");
-                assert_equivalent(&concrete, &zoned, true, &ctx);
+            let mut by_advance = Vec::new();
+            for advance in [ZoneAdvance::Closed, ZoneAdvance::Replay] {
+                for threads in [1usize, 4] {
+                    let zoned = explore(
+                        &tm.env,
+                        &tm.initial,
+                        &Options::default()
+                            .with_zones(true)
+                            .with_zone_advance(advance)
+                            .with_threads(threads),
+                    );
+                    let ctx = format!("ccp={ccp:?} advance={advance} threads={threads} {ts:?}");
+                    assert_equivalent(&concrete, &zoned, true, &ctx);
+                    if threads == 1 {
+                        by_advance.push(zoned);
+                    }
+                }
             }
+            let (closed, replay) = (&by_advance[0], &by_advance[1]);
+            assert_byte_identical(&tm.env, closed, replay, &format!("ccp={ccp:?} {ts:?}"));
         }
     }
 

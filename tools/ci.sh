@@ -18,12 +18,15 @@
 #      (the last run also refreshes BENCH_exploration.json, which is
 #      committed — deliberately after the store stage, so the committed
 #      report's `cas` section reflects a fresh cold/warm A/B)
-#   5. the zone smoke: every bundled model analyzed with `--exhaustive`
-#      and with `--exhaustive --zones` — exit codes and verdict lines
-#      must be byte-identical (delay-zone exploration is a traversal
-#      change, never a verdict change), and the long-hyperperiod model
-#      must demonstrably collapse quanta (`zone.quanta_collapsed` >= 1
-#      in its `--metrics` report)
+#   5. the zone smoke: every bundled model analyzed with `--exhaustive`,
+#      with `--exhaustive --zones` (closed-form advance, the default) and
+#      with `--exhaustive --zones --zone-advance replay` — exit codes and
+#      verdict lines must be byte-identical across all three (delay-zone
+#      exploration is a traversal change, never a verdict change, and the
+#      closed-form advance is a serving change, never a traversal change),
+#      and the long-hyperperiod model must demonstrably collapse quanta
+#      (`zone.quanta_collapsed` >= 1) and serve them closed-form
+#      (`zone.closed_form_advances` >= 1) in its `--metrics` report
 #   6. the daemon smoke: start `aadlschedd`, analyze all four bundled
 #      models through `aadlschedc` and diff the exit codes against the
 #      `aadlsched` CLI (the two front ends must agree verdict-for-verdict),
@@ -105,11 +108,15 @@ diff -u target/ci/verdicts-t1.txt target/ci/verdicts-nomemo.txt
 echo "verdicts identical with the successor memo disabled"
 
 echo "== zone smoke: --zones verdicts must match the concrete engine =="
-# Every bundled model, both engines: exit codes and verdict lines must be
-# byte-identical (state counts intentionally differ — zone mode
-# materializes fewer, which the longperiod run below proves is actually
-# happening via the zone.quanta_collapsed counter).
-for model in cruise_control flight_control inversion overloaded longperiod; do
+# Every bundled model, three engines: concrete, closed-form zones (the
+# default) and replay zones (--zone-advance replay). Exit codes and
+# verdict lines must be byte-identical across all three (state counts
+# intentionally differ — zone mode materializes fewer, which the
+# longperiod run below proves is actually happening via the
+# zone.quanta_collapsed counter; that the closed-form path is actually
+# serving, not silently falling back to replay, is proved the same way
+# via zone.closed_form_advances).
+for model in cruise_control flight_control inversion overloaded producer_handler longperiod; do
   zone_flags="--exhaustive --zones"
   if [ "$model" = longperiod ]; then
     zone_flags="$zone_flags --metrics target/ci/zones-metrics.json"
@@ -120,16 +127,24 @@ for model in cruise_control flight_control inversion overloaded longperiod; do
   zones_code=0
   target/release/aadlsched "examples/models/$model.aadl" $zone_flags \
     > target/ci/zone-zoned.txt || zones_code=$?
-  if [ "$concrete_code" -ne "$zones_code" ]; then
-    echo "zone smoke: $model: concrete exit $concrete_code != zones exit $zones_code"
+  replay_code=0
+  target/release/aadlsched "examples/models/$model.aadl" --exhaustive --zones \
+    --zone-advance replay > target/ci/zone-replay.txt || replay_code=$?
+  if [ "$concrete_code" -ne "$zones_code" ] || [ "$concrete_code" -ne "$replay_code" ]; then
+    echo "zone smoke: $model: exit codes differ (concrete $concrete_code, closed $zones_code, replay $replay_code)"
     exit 1
   fi
   if ! diff -u <(extract_verdicts < target/ci/zone-concrete.txt) \
                <(extract_verdicts < target/ci/zone-zoned.txt); then
-    echo "zone smoke: $model: verdict lines differ between engines"
+    echo "zone smoke: $model: verdict lines differ (concrete vs closed-form zones)"
     exit 1
   fi
-  echo "zone smoke: $model: verdicts agree (exit $concrete_code)"
+  if ! diff -u <(extract_verdicts < target/ci/zone-replay.txt) \
+               <(extract_verdicts < target/ci/zone-zoned.txt); then
+    echo "zone smoke: $model: verdict lines differ (replay vs closed-form zones)"
+    exit 1
+  fi
+  echo "zone smoke: $model: verdicts agree across all three engines (exit $concrete_code)"
 done
 collapsed="$(grep -o '"zone.quanta_collapsed": [0-9]*' target/ci/zones-metrics.json \
   | grep -o '[0-9]*$')"
@@ -137,7 +152,13 @@ if [ "${collapsed:-0}" -lt 1 ]; then
   echo "zone smoke: longperiod collapsed no quanta (zone.quanta_collapsed=${collapsed:-absent})"
   exit 1
 fi
-echo "zone smoke: longperiod collapsed $collapsed quanta into delay steps"
+closed_advances="$(grep -o '"zone.closed_form_advances": [0-9]*' target/ci/zones-metrics.json \
+  | grep -o '[0-9]*$')"
+if [ "${closed_advances:-0}" -lt 1 ]; then
+  echo "zone smoke: longperiod served no closed-form advances (zone.closed_form_advances=${closed_advances:-absent})"
+  exit 1
+fi
+echo "zone smoke: longperiod collapsed $collapsed quanta ($closed_advances closed-form advances)"
 
 echo "== daemon smoke: aadlschedd verdicts must match the CLI =="
 # Stage 1 built the workspace binaries; run them directly so the smoke
